@@ -1,0 +1,63 @@
+// Extension bench: the full Figure 7 cluster model — P daemons forwarding
+// over a shared network into the centralized main-Paradyn-process ISM.
+// Answers the scalability what-if the paper's single-node ROCC runs leave
+// open: where does centralization become the bottleneck?
+#include <cstdio>
+#include <vector>
+
+#include "paradyn/cluster_model.hpp"
+
+using namespace prism;
+
+int main() {
+  paradyn::ClusterModelParams base;
+  base.horizon_ms = 60'000;
+  base.ism_per_sample_ms = 0.4;  // saturation within the swept range
+
+  std::printf("== Fig. 7 cluster model: centralized ISM scalability ==\n");
+  std::printf("   (%u app processes/node, %.0f ms sampling period, ISM "
+              "%.2f ms/sample, r = 10, 90%% CI)\n",
+              base.app_processes_per_node, base.sampling_period_ms,
+              base.ism_per_sample_ms);
+  std::printf("nodes,latency_ms,latency_ci,ism_util,net_util\n");
+  const std::vector<unsigned> counts{2, 4, 8, 16, 24, 32, 48};
+  const auto pts = paradyn::sweep_cluster_size(base, counts, 10, 0x715);
+  double knee = 0;
+  for (const auto& pt : pts) {
+    std::printf("%u,%.2f,%.2f,%.3f,%.3f\n", pt.nodes, pt.latency.mean,
+                pt.latency.half_width, pt.ism_utilization.mean,
+                pt.network_utilization.mean);
+    if (knee == 0 && pt.ism_utilization.mean > 0.9) knee = pt.nodes;
+  }
+  if (knee > 0) {
+    std::printf("\ncentralized ISM saturates around %g nodes at these "
+                "parameters — the scaling argument for hierarchical or "
+                "distributed ISMs (TAM's spanning tree, §4).\n",
+                knee);
+  } else {
+    std::printf("\nISM below saturation across the sweep.\n");
+  }
+
+  std::printf("\n== hierarchical aggregation (TAM-style spanning tree) at "
+              "48 nodes ==\n");
+  std::printf("   (per-batch-overhead-dominated ISM: 2.0 ms/batch, "
+              "0.02 ms/sample — the regime aggregation targets)\n");
+  std::printf("config,latency_ms,ism_util,net_util,stable\n");
+  for (unsigned fanout : {0u, 4u, 8u}) {
+    paradyn::ClusterModelParams p = base;
+    p.nodes = 48;
+    p.ism_per_batch_ms = 2.0;
+    p.ism_per_sample_ms = 0.02;
+    p.aggregator_fanout = fanout;
+    const auto m = paradyn::run_cluster_model(p, stats::Rng(0x7A11));
+    std::printf("%s,%.2f,%.3f,%.3f,%s\n",
+                fanout == 0 ? "flat" :
+                (fanout == 4 ? "tree fanout 4" : "tree fanout 8"),
+                m.mean_sample_latency_ms, m.ism_utilization,
+                m.network_utilization, m.stable ? "yes" : "NO");
+  }
+  std::printf("(aggregation amortizes the ISM's per-batch overhead and "
+              "unloads the shared network; it cannot help when the ISM is "
+              "per-sample bound, as in the sweep above)\n");
+  return 0;
+}

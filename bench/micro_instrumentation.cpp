@@ -1,0 +1,144 @@
+// Micro-benchmarks of the live instrumentation system's hot paths
+// (google-benchmark): probe event emission, trace-buffer append/drain,
+// channel operations, k-way merging, causal reordering, and perturbation
+// compensation.  These quantify the per-event costs the models parameterize.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/sensor.hpp"
+#include "stats/rng.hpp"
+#include "trace/buffer.hpp"
+#include "trace/causal.hpp"
+#include "trace/merge.hpp"
+#include "trace/perturbation.hpp"
+
+using namespace prism;
+
+namespace {
+
+void BM_ProbeEventEnabled(benchmark::State& state) {
+  std::uint64_t sink_count = 0;
+  core::Probe probe("bench", 1, 0, 0,
+                    [&](trace::EventRecord) { ++sink_count; });
+  for (auto _ : state) probe.event(42);
+  benchmark::DoNotOptimize(sink_count);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeEventEnabled);
+
+void BM_ProbeEventDisabled(benchmark::State& state) {
+  // The cost of instrumentation that W3 has dynamically removed.
+  core::Probe probe("bench", 1, 0, 0, [](trace::EventRecord) {}, false);
+  for (auto _ : state) probe.event(42);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeEventDisabled);
+
+void BM_TraceBufferAppend(benchmark::State& state) {
+  trace::TraceBuffer buf(static_cast<std::size_t>(state.range(0)));
+  trace::EventRecord r;
+  for (auto _ : state) {
+    if (buf.full()) {
+      auto drained = buf.drain();
+      benchmark::DoNotOptimize(drained);
+    }
+    buf.append(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceBufferAppend)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ChannelPushPop(benchmark::State& state) {
+  core::Channel<trace::EventRecord> ch(1024);
+  trace::EventRecord r;
+  for (auto _ : state) {
+    ch.try_push(r);
+    benchmark::DoNotOptimize(ch.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void BM_KWayMerge(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t per = 20000 / k;
+  std::vector<std::vector<trace::EventRecord>> streams(k);
+  std::uint64_t ts = 0;
+  for (std::size_t i = 0; i < per; ++i)
+    for (std::size_t s = 0; s < k; ++s) {
+      trace::EventRecord r;
+      r.timestamp = ts++;
+      r.node = static_cast<std::uint32_t>(s);
+      streams[s].push_back(r);
+    }
+  for (auto _ : state) {
+    auto merged = trace::merge_sorted(streams);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * per * k);
+}
+BENCHMARK(BM_KWayMerge)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CausalReordererInOrder(benchmark::State& state) {
+  // Best case: already-ordered stream.
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::uint64_t released = 0;
+    trace::CausalReorderer r([&](const trace::EventRecord&) { ++released; });
+    std::vector<trace::EventRecord> events(8192);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      events[i].node = static_cast<std::uint32_t>(i % 4);
+      events[i].seq = i / 4;
+    }
+    state.ResumeTiming();
+    for (const auto& e : events) r.offer(e);
+    benchmark::DoNotOptimize(released);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_CausalReordererInOrder);
+
+void BM_CausalReordererShuffled(benchmark::State& state) {
+  // Worst-ish case: fully shuffled arrivals force hold-back and rescans.
+  stats::Rng rng(7);
+  std::vector<trace::EventRecord> events(4096);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].node = static_cast<std::uint32_t>(i % 4);
+    events[i].seq = i / 4;
+  }
+  for (std::size_t i = events.size(); i > 1; --i)
+    std::swap(events[i - 1], events[rng.next_below(i)]);
+  for (auto _ : state) {
+    std::uint64_t released = 0;
+    trace::CausalReorderer r([&](const trace::EventRecord&) { ++released; });
+    for (const auto& e : events) r.offer(e);
+    benchmark::DoNotOptimize(released);
+  }
+  state.SetItemsProcessed(state.iterations() * events.size());
+}
+BENCHMARK(BM_CausalReordererShuffled);
+
+void BM_PerturbationCompensate(benchmark::State& state) {
+  std::vector<trace::EventRecord> clean(8192);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    clean[i].node = static_cast<std::uint32_t>(i % 8);
+    clean[i].seq = i / 8;
+    clean[i].timestamp = 1000 * (i / 8) + (i % 8);
+  }
+  trace::PerturbationModel model;
+  model.per_event_overhead = 50;
+  const auto perturbed = trace::apply_perturbation(clean, model);
+  for (auto _ : state) {
+    auto copy = perturbed;
+    auto rep = trace::compensate(copy, model);
+    benchmark::DoNotOptimize(rep);
+  }
+  state.SetItemsProcessed(state.iterations() * clean.size());
+}
+BENCHMARK(BM_PerturbationCompensate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// SPI-style event-action rules + Pablo-style adaptive tracing, live.
+//
+// A rules file (inline here) watches the ISM's ordered output; an adaptive
+// throttle in front of one node's LIS protects the IS from event bursts —
+// the two "application-specific" IS technologies of Table 8, running
+// together in one integrated environment.
+#include <cstdio>
+#include <memory>
+
+#include "core/environment.hpp"
+#include "core/throttle.hpp"
+#include "spi/machine.hpp"
+#include "workload/thread_apps.hpp"
+
+int main() {
+  using namespace prism;
+
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 3;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.ism.causal_ordering = true;
+  core::IntegratedEnvironment env(cfg);
+
+  // Event-action rules over the processed stream.
+  const char* spec = R"(
+    # message-plane accounting
+    rule sends:      when kind = send                     do count
+    rule recvs:      when kind = recv                     do count
+    # node 1's traffic, captured for inspection
+    rule node1_msgs: when node = 1 && (kind = send || kind = recv) do mark n1
+    # a steering-style trigger on round-completion markers
+    rule rounds:     when kind = user && tag = 2          do trigger
+  )";
+  int rounds_seen = 0;
+  auto machine = std::make_shared<spi::EventActionMachine>(
+      spi::parse_spec(spec),
+      [&rounds_seen](const std::string&, const trace::EventRecord&) {
+        ++rounds_seen;
+      });
+  env.attach_tool(machine);
+  env.start();
+
+  // An adaptive throttle guarding a high-frequency probe on node 0: under a
+  // burst it degrades from full tracing to sampling/counting.
+  core::ThrottleConfig tcfg;
+  tcfg.escalate_rate = 5e5;
+  tcfg.deescalate_rate = 5e4;
+  tcfg.dwell_ns = 100'000;
+  core::TracingThrottle throttle(
+      tcfg, [&env](trace::EventRecord r) { env.record(r); });
+
+  const auto app = workload::run_ring_threads(env, 100, 5'000);
+
+  // Burst 20k probe events through the throttle (their own process stream,
+  // so the ISM's causal ordering treats them independently).
+  trace::EventRecord burst;
+  burst.node = 0;
+  burst.process = 1;
+  burst.kind = trace::EventKind::kUserEvent;
+  burst.tag = 77;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    burst.timestamp = core::now_ns();
+    burst.seq = i;
+    throttle.offer(burst);
+  }
+  (void)app;
+
+  env.stop();
+
+  std::printf("%s\n", machine->report().c_str());
+  std::printf("throttle: offered %llu, forwarded %llu, suppressed %llu, "
+              "level now %s after %llu transitions\n",
+              static_cast<unsigned long long>(throttle.offered()),
+              static_cast<unsigned long long>(throttle.forwarded()),
+              static_cast<unsigned long long>(throttle.suppressed()),
+              std::string(core::to_string(throttle.level())).c_str(),
+              static_cast<unsigned long long>(throttle.level_changes()));
+  std::printf("ring rounds observed via trigger rule: %d\n", rounds_seen);
+  std::printf("node-1 messages captured: %zu\n",
+              machine->marked("n1").size());
+  const auto ism = env.ism().stats();
+  std::printf("ISM: %llu dispatched, mean latency %.1f us, p95 %.1f us\n",
+              static_cast<unsigned long long>(ism.records_dispatched),
+              ism.processing_latency_ns.mean() / 1e3,
+              ism.processing_latency_p95_ns / 1e3);
+  return 0;
+}

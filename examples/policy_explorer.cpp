@@ -1,0 +1,91 @@
+// Policy explorer: the paper's Figure 1 loop as an interactive CLI.
+//
+// Give it your deployment's parameters and it evaluates the PICL-style
+// buffer-management alternatives analytically AND by simulation, then
+// recommends a policy — "what-if analyses to investigate various parameters
+// and policies" (§5), before a line of the production IS is written.
+//
+// Usage: ./policy_explorer [l] [alpha] [P] [flush_base] [flush_per_record]
+//   l                buffer capacity in records       (default 50)
+//   alpha            event arrival rate per time unit (default 0.007)
+//   P                number of nodes                  (default 8)
+//   flush_base       f(l) intercept                   (default 100)
+//   flush_per_record f(l) slope                       (default 10)
+#include <cstdio>
+#include <cstdlib>
+
+#include "picl/analytic_model.hpp"
+#include "picl/flush_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prism;
+
+  picl::PiclModelParams p;
+  if (argc > 1) p.buffer_capacity = static_cast<unsigned>(std::atoi(argv[1]));
+  if (argc > 2) p.arrival_rate = std::atof(argv[2]);
+  if (argc > 3) p.nodes = static_cast<unsigned>(std::atoi(argv[3]));
+  if (argc > 4) p.flush_cost_base = std::atof(argv[4]);
+  if (argc > 5) p.flush_cost_per_record = std::atof(argv[5]);
+  p.validate();
+
+  std::printf("== IS policy exploration ==\n");
+  std::printf("buffer capacity l=%u, arrival rate alpha=%g, nodes P=%u, "
+              "flush cost f(l)=%g\n\n",
+              p.buffer_capacity, p.arrival_rate, p.nodes, p.flush_cost());
+
+  std::printf("analytic model (Table 3):\n");
+  std::printf("  expected trace stopping time: FOF %.4g, FAOF %.4g "
+              "(pooled bound %.4g)\n",
+              picl::fof_expected_stopping_time(p),
+              picl::faof_expected_stopping_time(p),
+              picl::faof_stopping_time_lower_bound(p));
+  std::printf("  flushing frequency (per arrival): FOF %.4g, FAOF %.4g\n",
+              picl::fof_flushing_frequency(p),
+              picl::faof_flushing_frequency_exact(p));
+  std::printf("  program interruptions per time unit: FOF %.4g, FAOF %.4g\n",
+              picl::fof_interruption_rate(p),
+              picl::faof_interruption_rate(p));
+  std::printf("  time fraction spent flushing: FOF %.4f, FAOF %.4f\n\n",
+              picl::fof_flush_time_fraction(p),
+              picl::faof_flush_time_fraction(p));
+
+  std::printf("simulation check (2000 regenerative cycles, common random "
+              "numbers):\n");
+  const auto fof = picl::simulate_fof(p, 2000, stats::Rng(1));
+  const auto faof = picl::simulate_faof(p, 2000, stats::Rng(1));
+  const auto fof_ci = fof.frequency_estimator.ratio_ci(0.90);
+  const auto faof_ci = faof.frequency_estimator.ratio_ci(0.90);
+  std::printf("  FOF : freq %.4g (90%% CI +-%.2g), interruptions/time %.4g\n",
+              fof.flushing_frequency, fof_ci.half_width,
+              fof.interruption_rate);
+  std::printf("  FAOF: freq %.4g (90%% CI +-%.2g), interruptions/time %.4g\n\n",
+              faof.flushing_frequency, faof_ci.half_width,
+              faof.interruption_rate);
+
+  // The recommendation logic the paper's evaluation supports: FAOF wins on
+  // flush frequency and interruption rate, but requires gang-flush
+  // coordination; FOF is trivial to implement but perturbs more often.
+  const double freq_ratio =
+      picl::fof_flushing_frequency(p) / picl::faof_flushing_frequency_bound(p);
+  const double intr_ratio =
+      picl::fof_interruption_rate(p) / picl::faof_interruption_rate(p);
+  std::printf("recommendation: ");
+  if (freq_ratio > 1.5 || intr_ratio > 3.0) {
+    std::printf(
+        "FAOF — it flushes %.1fx less often per record and interrupts the "
+        "program %.1fx less often; budget for gang-flush coordination "
+        "(context-switching all processes, as Pablo/CM-5 and TAM/Paragon "
+        "do).\n",
+        freq_ratio, intr_ratio);
+  } else {
+    std::printf(
+        "FOF — at this arrival rate the policies are nearly "
+        "indistinguishable (frequency ratio %.2f), so take the simpler "
+        "implementation; PICL already supports it.\n",
+        freq_ratio);
+  }
+  std::printf("note: the PICL authors advise against FOF at high arrival "
+              "rates because mid-run per-node flushes can severely perturb "
+              "program behavior (S3.1.3).\n");
+  return 0;
+}

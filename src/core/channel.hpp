@@ -1,0 +1,162 @@
+// Bounded blocking channel — the in-process stand-in for the OS IPC
+// abstractions real ISs ride on ("sockets in Pablo and Issos, pipes in
+// Paradyn, and remote procedure calls in TAM", §2.2.3).
+//
+// Semantics match a Unix pipe closely enough to reproduce the behaviors the
+// paper analyzes: finite capacity, FIFO, blocking writers when full (this is
+// precisely the "pipes become full and application processes, blocked"
+// bottleneck of §3.2.3), blocking readers when empty, and EOF via close().
+// Self-accounting (enqueue/dequeue counts, high-water mark, producer block
+// time) feeds the live IS's evaluation layer.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace prism::core {
+
+struct ChannelStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t rejected = 0;  ///< failed try_push attempts
+  std::size_t max_occupancy = 0;
+  /// Cumulative time producers spent blocked in push() (ns).
+  std::uint64_t producer_block_ns = 0;
+};
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("Channel: capacity 0");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking push.  Returns false when the channel is closed.
+  bool push(T value) {
+    std::unique_lock lk(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+      stats_.producer_block_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    ++stats_.enqueued;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push.  Returns false when full or closed.
+  bool try_push(T value) {
+    std::unique_lock lk(mu_);
+    if (closed_ || items_.size() >= capacity_) {
+      ++stats_.rejected;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    ++stats_.enqueued;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop.  Returns nullopt when the channel is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.dequeued;
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.dequeued;
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Pop with a deadline.  Returns nullopt on timeout or closed+drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!not_empty_.wait_for(lk, timeout,
+                             [&] { return !items_.empty() || closed_; }))
+      return std::nullopt;
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.dequeued;
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Closes the channel: producers fail, consumers drain then see EOF.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  ChannelStats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
+
+  /// Conservation invariant: enqueued == dequeued + resident.
+  bool conserved() const {
+    std::lock_guard lk(mu_);
+    return stats_.enqueued == stats_.dequeued + items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  ChannelStats stats_;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,57 @@
+// IS classification dimensions (§2.4 and Table 8).
+//
+// "We classify an IS in terms of (1) off-line versus on-line tool usage ...
+// and (2) IS development, management, and evaluation approaches (including
+// any cost models used for evaluation)."  These enums are used both for the
+// Table 8 survey registry and as configuration descriptors on live IS
+// instances (an environment can be asked what class of IS it is running).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace prism::core {
+
+/// Time constraints imposed by the analysis tools in the environment.
+enum class AnalysisSupport : std::uint8_t {
+  kOffline,        ///< batch post-mortem analysis (trace file consumers)
+  kOnline,         ///< concurrent with execution, steady runtime data flow
+  kOnOffline,      ///< both modes supported
+};
+
+/// How the IS software comes into being.
+enum class SynthesisApproach : std::uint8_t {
+  kHardCoded,           ///< fixed module compiled into the environment
+  kApplicationSpecific, ///< customizable/generated per application
+};
+
+/// Policies scheduling the LIS/ISM activities (§2.4 "IS Management").
+enum class ManagementApproach : std::uint8_t {
+  kStatic,               ///< fixed policy chosen before the run
+  kAdaptive,             ///< policy parameters adjust at runtime
+  kApplicationSpecific,  ///< policy supplied by/derived from the application
+};
+
+/// How (whether) the IS's own overheads are evaluated.
+enum class EvaluationApproach : std::uint8_t {
+  kNone,                    ///< no integral evaluation (the ad hoc norm)
+  kAdaptiveCostModel,       ///< Paradyn-style continuously updated cost model
+  kPerturbationFactors,     ///< Falcon-style factor analysis
+  kAccountableInvasiveness, ///< ParAide/SPI-style accounted intrusiveness
+  kStructuredModeling,      ///< this paper: model-first evaluation
+};
+
+std::string_view to_string(AnalysisSupport v);
+std::string_view to_string(SynthesisApproach v);
+std::string_view to_string(ManagementApproach v);
+std::string_view to_string(EvaluationApproach v);
+
+/// Full classification of one IS along the paper's dimensions.
+struct IsClassification {
+  AnalysisSupport analysis = AnalysisSupport::kOffline;
+  SynthesisApproach synthesis = SynthesisApproach::kHardCoded;
+  ManagementApproach management = ManagementApproach::kStatic;
+  EvaluationApproach evaluation = EvaluationApproach::kNone;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,23 @@
+// Physical timestamps for the live instrumentation system.
+//
+// Timestamps are nanoseconds from a process-wide steady epoch, so records
+// from different threads of one process are directly comparable (the lack of
+// a *global* clock across nodes is what logical timestamps are for).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace prism::core {
+
+/// Nanoseconds since the first call in this process (steady, monotonic).
+inline std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+}  // namespace prism::core

@@ -1,0 +1,152 @@
+#include "core/config_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace prism::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::uint64_t parse_u64(std::size_t line, const std::string& v) {
+  std::uint64_t out = 0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || p != v.data() + v.size())
+    throw ConfigError(line, "expected an unsigned integer, got '" + v + "'");
+  return out;
+}
+
+double parse_double(std::size_t line, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing junk");
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError(line, "expected a number, got '" + v + "'");
+  }
+}
+
+bool parse_bool(std::size_t line, const std::string& v) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ConfigError(line, "expected a boolean, got '" + v + "'");
+}
+
+}  // namespace
+
+EnvironmentConfig parse_environment_config(const std::string& text) {
+  EnvironmentConfig cfg;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments.
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.resize(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError(lineno, "expected 'key = value', got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) throw ConfigError(lineno, "empty key");
+    if (value.empty()) throw ConfigError(lineno, "empty value for '" + key + "'");
+
+    if (key == "nodes") {
+      cfg.nodes = static_cast<std::uint32_t>(parse_u64(lineno, value));
+    } else if (key == "processes_per_node") {
+      cfg.processes_per_node =
+          static_cast<std::uint32_t>(parse_u64(lineno, value));
+    } else if (key == "lis") {
+      if (value == "buffered") cfg.lis_style = LisStyle::kBuffered;
+      else if (value == "forwarding") cfg.lis_style = LisStyle::kForwarding;
+      else if (value == "daemon") cfg.lis_style = LisStyle::kDaemon;
+      else throw ConfigError(lineno, "unknown lis style '" + value + "'");
+    } else if (key == "flush_policy") {
+      if (value == "fof") cfg.flush_policy = FlushPolicyKind::kFof;
+      else if (value == "faof") cfg.flush_policy = FlushPolicyKind::kFaof;
+      else if (value == "threshold")
+        cfg.flush_policy = FlushPolicyKind::kThreshold;
+      else if (value == "adaptive")
+        cfg.flush_policy = FlushPolicyKind::kAdaptive;
+      else throw ConfigError(lineno, "unknown flush policy '" + value + "'");
+    } else if (key == "buffer_capacity") {
+      cfg.local_buffer_capacity = parse_u64(lineno, value);
+    } else if (key == "flush_threshold") {
+      cfg.flush_threshold_fraction = parse_double(lineno, value);
+    } else if (key == "adaptive_target_flush_ns") {
+      cfg.adaptive_target_flush_ns = parse_u64(lineno, value);
+    } else if (key == "sampling_period_ns") {
+      cfg.sampling_period_ns = parse_u64(lineno, value);
+    } else if (key == "pipe_capacity") {
+      cfg.pipe_capacity = parse_u64(lineno, value);
+    } else if (key == "daemon_blocks_app") {
+      cfg.daemon_blocks_app_on_full_pipe = parse_bool(lineno, value);
+    } else if (key == "tp") {
+      if (value == "pipe") cfg.tp_flavor = TpFlavor::kPipe;
+      else if (value == "socket") cfg.tp_flavor = TpFlavor::kSocket;
+      else if (value == "rpc") cfg.tp_flavor = TpFlavor::kRpc;
+      else if (value == "custom") cfg.tp_flavor = TpFlavor::kCustom;
+      else throw ConfigError(lineno, "unknown tp flavor '" + value + "'");
+    } else if (key == "link_capacity") {
+      cfg.link_capacity = parse_u64(lineno, value);
+    } else if (key == "ism_input") {
+      if (value == "siso") cfg.ism.input = InputConfig::kSiso;
+      else if (value == "miso") cfg.ism.input = InputConfig::kMiso;
+      else throw ConfigError(lineno, "unknown ism input '" + value + "'");
+    } else if (key == "causal_ordering") {
+      cfg.ism.causal_ordering = parse_bool(lineno, value);
+    } else if (key == "output_capacity") {
+      cfg.ism.output_capacity = parse_u64(lineno, value);
+    } else if (key == "storage_path") {
+      cfg.ism.storage_path = value;
+    } else {
+      throw ConfigError(lineno, "unknown key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+std::string serialize_environment_config(const EnvironmentConfig& cfg) {
+  std::ostringstream os;
+  os << "nodes = " << cfg.nodes << "\n";
+  os << "processes_per_node = " << cfg.processes_per_node << "\n";
+  os << "lis = " << to_string(cfg.lis_style) << "\n";
+  os << "flush_policy = ";
+  switch (cfg.flush_policy) {
+    case FlushPolicyKind::kFof: os << "fof"; break;
+    case FlushPolicyKind::kFaof: os << "faof"; break;
+    case FlushPolicyKind::kThreshold: os << "threshold"; break;
+    case FlushPolicyKind::kAdaptive: os << "adaptive"; break;
+  }
+  os << "\n";
+  os << "buffer_capacity = " << cfg.local_buffer_capacity << "\n";
+  os << "flush_threshold = " << cfg.flush_threshold_fraction << "\n";
+  os << "adaptive_target_flush_ns = " << cfg.adaptive_target_flush_ns << "\n";
+  os << "sampling_period_ns = " << cfg.sampling_period_ns << "\n";
+  os << "pipe_capacity = " << cfg.pipe_capacity << "\n";
+  os << "daemon_blocks_app = "
+     << (cfg.daemon_blocks_app_on_full_pipe ? "true" : "false") << "\n";
+  os << "tp = " << to_string(cfg.tp_flavor) << "\n";
+  os << "link_capacity = " << cfg.link_capacity << "\n";
+  os << "ism_input = "
+     << (cfg.ism.input == InputConfig::kSiso ? "siso" : "miso") << "\n";
+  os << "causal_ordering = " << (cfg.ism.causal_ordering ? "true" : "false")
+     << "\n";
+  os << "output_capacity = " << cfg.ism.output_capacity << "\n";
+  if (cfg.ism.storage_path)
+    os << "storage_path = " << cfg.ism.storage_path->string() << "\n";
+  return os.str();
+}
+
+}  // namespace prism::core

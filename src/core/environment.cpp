@@ -1,0 +1,129 @@
+#include "core/environment.hpp"
+
+#include <stdexcept>
+
+namespace prism::core {
+
+std::string_view to_string(LisStyle s) {
+  switch (s) {
+    case LisStyle::kBuffered: return "buffered";
+    case LisStyle::kForwarding: return "forwarding";
+    case LisStyle::kDaemon: return "daemon";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::unique_ptr<FlushPolicy> make_policy(const EnvironmentConfig& cfg) {
+  switch (cfg.flush_policy) {
+    case FlushPolicyKind::kFof: return std::make_unique<FlushOnFill>();
+    case FlushPolicyKind::kFaof: return std::make_unique<FlushAllOnFill>();
+    case FlushPolicyKind::kThreshold:
+      return std::make_unique<ThresholdFlush>(cfg.flush_threshold_fraction);
+    case FlushPolicyKind::kAdaptive:
+      return std::make_unique<AdaptiveThresholdFlush>(
+          cfg.adaptive_target_flush_ns);
+  }
+  throw std::invalid_argument("make_policy: unknown policy");
+}
+
+}  // namespace
+
+IntegratedEnvironment::IntegratedEnvironment(EnvironmentConfig config)
+    : config_(config) {
+  if (config_.nodes == 0)
+    throw std::invalid_argument("IntegratedEnvironment: 0 nodes");
+  const std::size_t data_links =
+      config_.ism.input == InputConfig::kSiso ? 1 : config_.nodes;
+  tp_ = std::make_unique<TransferProtocol>(config_.tp_flavor, config_.nodes,
+                                           data_links, config_.link_capacity);
+  ism_ = std::make_unique<Ism>(*tp_, config_.ism);
+  lises_.reserve(config_.nodes);
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    switch (config_.lis_style) {
+      case LisStyle::kBuffered:
+        lises_.push_back(std::make_unique<BufferedLis>(
+            n, config_.local_buffer_capacity, make_policy(config_),
+            tp_->data_link_for(n),
+            config_.flush_policy == FlushPolicyKind::kFaof ? &coordinator_
+                                                           : nullptr));
+        break;
+      case LisStyle::kForwarding:
+        lises_.push_back(
+            std::make_unique<ForwardingLis>(n, tp_->data_link_for(n)));
+        break;
+      case LisStyle::kDaemon:
+        lises_.push_back(std::make_unique<DaemonLis>(
+            n, config_.processes_per_node, config_.pipe_capacity,
+            config_.sampling_period_ns, tp_->data_link_for(n),
+            &tp_->control_link(n), config_.daemon_blocks_app_on_full_pipe,
+            &probe_registry_));
+        break;
+    }
+  }
+}
+
+IntegratedEnvironment::~IntegratedEnvironment() {
+  try {
+    stop();
+  } catch (...) {
+    // Shutdown must not throw from a destructor.
+  }
+}
+
+void IntegratedEnvironment::attach_tool(std::shared_ptr<Tool> tool) {
+  ism_->attach_tool(std::move(tool));
+}
+
+void IntegratedEnvironment::start() {
+  if (started_) return;
+  started_ = true;
+  ism_->start();
+}
+
+void IntegratedEnvironment::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& l : lises_) l->stop();
+  ism_->stop();
+}
+
+Lis& IntegratedEnvironment::lis(std::uint32_t node) {
+  if (node >= lises_.size())
+    throw std::out_of_range("IntegratedEnvironment: bad node");
+  return *lises_[node];
+}
+
+void IntegratedEnvironment::flush_all() {
+  for (auto& l : lises_) l->flush();
+}
+
+LisStats IntegratedEnvironment::total_lis_stats() const {
+  LisStats total;
+  for (const auto& l : lises_) {
+    const LisStats s = l->stats();
+    total.recorded += s.recorded;
+    total.dropped += s.dropped;
+    total.flushes += s.flushes;
+    total.records_forwarded += s.records_forwarded;
+    total.flush_time_ns += s.flush_time_ns;
+  }
+  return total;
+}
+
+IsClassification IntegratedEnvironment::classification() const {
+  IsClassification c;
+  // Off-line when the only consumer path is the storage tier; a live tool
+  // set makes it on-line.  We report the configuration's capability.
+  c.analysis = config_.ism.storage_path ? AnalysisSupport::kOnOffline
+                                        : AnalysisSupport::kOnline;
+  c.synthesis = SynthesisApproach::kApplicationSpecific;  // configurable
+  c.management = config_.flush_policy == FlushPolicyKind::kAdaptive
+                     ? ManagementApproach::kAdaptive
+                     : ManagementApproach::kStatic;
+  c.evaluation = EvaluationApproach::kStructuredModeling;
+  return c;
+}
+
+}  // namespace prism::core

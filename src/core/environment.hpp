@@ -1,0 +1,111 @@
+// The integrated parallel tool environment (§2.3, Fig. 3) — the top-level
+// assembly that owns the whole IS and its tools.
+//
+// "An integrated parallel tool environment supports the use of multiple,
+// possibly heterogeneous, tools that cooperate for carrying out one or more
+// analyses of the same parallel program ... Clearly, the IS plays a central
+// role in integration."
+//
+// IntegratedEnvironment wires a per-node LIS array, a TransferProtocol, an
+// Ism, and any number of tools, with a single start/stop lifecycle.  The LIS
+// style, ISM input configuration, buffer capacities, flush policy and
+// sampling period are all configuration — this is the "configurable testbed"
+// role the paper assigns to Vista's P'RISM (§3.3), generalized to all three
+// LIS styles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classification.hpp"
+#include "core/ism.hpp"
+#include "core/lis.hpp"
+#include "core/probe_registry.hpp"
+#include "core/transfer_protocol.hpp"
+
+namespace prism::core {
+
+/// Which LIS implementation each node runs.
+enum class LisStyle : std::uint8_t {
+  kBuffered,    ///< PICL-style library buffers + flush policy
+  kForwarding,  ///< Vista-style per-event forwarding
+  kDaemon,      ///< Paradyn-style sampling daemon
+};
+
+std::string_view to_string(LisStyle s);
+
+/// Flush policies selectable by name for buffered LISes.
+enum class FlushPolicyKind : std::uint8_t { kFof, kFaof, kThreshold, kAdaptive };
+
+struct EnvironmentConfig {
+  std::uint32_t nodes = 4;
+  /// Application processes (threads) per node — used by the daemon LIS.
+  std::uint32_t processes_per_node = 1;
+  LisStyle lis_style = LisStyle::kBuffered;
+  FlushPolicyKind flush_policy = FlushPolicyKind::kFof;
+  std::size_t local_buffer_capacity = 1024;
+  double flush_threshold_fraction = 0.8;          ///< for kThreshold
+  std::uint64_t adaptive_target_flush_ns = 10'000'000;  ///< for kAdaptive
+  std::uint64_t sampling_period_ns = 1'000'000;   ///< daemon LIS
+  std::size_t pipe_capacity = 256;                ///< daemon LIS pipes
+  bool daemon_blocks_app_on_full_pipe = true;
+  TpFlavor tp_flavor = TpFlavor::kPipe;
+  std::size_t link_capacity = 1024;
+  IsmConfig ism;
+};
+
+class IntegratedEnvironment {
+ public:
+  explicit IntegratedEnvironment(EnvironmentConfig config);
+  ~IntegratedEnvironment();
+  IntegratedEnvironment(const IntegratedEnvironment&) = delete;
+  IntegratedEnvironment& operator=(const IntegratedEnvironment&) = delete;
+
+  /// Must be called before start().
+  void attach_tool(std::shared_ptr<Tool> tool);
+
+  void start();
+  /// Stops LISes (flushing), then the ISM (draining), then finishes tools.
+  void stop();
+
+  Lis& lis(std::uint32_t node);
+  Ism& ism() { return *ism_; }
+  TransferProtocol& tp() { return *tp_; }
+  /// Dynamic-instrumentation registry: register application probes here and
+  /// they become controllable via kEnable/DisableInstrumentation messages
+  /// (handled by daemon LISes).
+  ProbeRegistry& probes() { return probe_registry_; }
+  const EnvironmentConfig& config() const { return config_; }
+
+  /// Convenience hot path: record an event through node `node`'s LIS.
+  void record(std::uint32_t node, const trace::EventRecord& r) {
+    lis(node).record(r);
+  }
+  /// Routes by the record's own node field.
+  void record(const trace::EventRecord& r) { lis(r.node).record(r); }
+
+  /// Gang flush (FAOF trigger or shutdown path).
+  void flush_all();
+
+  /// Aggregated LIS statistics across nodes.
+  LisStats total_lis_stats() const;
+
+  /// How this environment classifies along the §2.4 dimensions.
+  IsClassification classification() const;
+
+ private:
+  EnvironmentConfig config_;
+  std::unique_ptr<TransferProtocol> tp_;
+  std::unique_ptr<Ism> ism_;
+  FlushCoordinator coordinator_;
+  ProbeRegistry probe_registry_;
+  std::vector<std::unique_ptr<Lis>> lises_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,118 @@
+// Local-buffer flush policies (§3.1).
+//
+// "We have identified two management policies for the PICL IS: Flush One
+// buffer when it Fills (FOF) and Flush All the buffers when One Fills
+// (FAOF)."  Policies are small strategy objects consulted by BufferedLis
+// after every append; `global()` distinguishes FAOF-style gang flushes
+// (which require coordination across all LISes) from local decisions.
+//
+// ThresholdFlush and AdaptiveThresholdFlush extend the paper's static
+// policies: the adaptive one tracks the observed arrival rate and flushes
+// early enough to bound the expected flush frequency — the "adaptive
+// management policy" direction the paper prescribes for next-generation ISs
+// (§5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+
+#include "trace/buffer.hpp"
+
+namespace prism::core {
+
+class FlushPolicy {
+ public:
+  virtual ~FlushPolicy() = default;
+  /// Consulted after each append: should this LIS flush now?
+  virtual bool should_flush(const trace::TraceBuffer& buffer) = 0;
+  /// True when a triggered flush must gang-flush every LIS (FAOF).
+  virtual bool global() const { return false; }
+  virtual std::string_view name() const = 0;
+};
+
+/// FOF: flush this buffer when it fills.
+class FlushOnFill final : public FlushPolicy {
+ public:
+  bool should_flush(const trace::TraceBuffer& b) override { return b.full(); }
+  std::string_view name() const override { return "FOF"; }
+};
+
+/// FAOF: when one buffer fills, flush all buffers.
+class FlushAllOnFill final : public FlushPolicy {
+ public:
+  bool should_flush(const trace::TraceBuffer& b) override { return b.full(); }
+  bool global() const override { return true; }
+  std::string_view name() const override { return "FAOF"; }
+};
+
+/// Flush when occupancy reaches `fraction` of capacity (0 < fraction <= 1).
+/// Flushing before completely full keeps the hot path from ever dropping.
+class ThresholdFlush final : public FlushPolicy {
+ public:
+  explicit ThresholdFlush(double fraction) : fraction_(fraction) {
+    if (!(fraction > 0 && fraction <= 1))
+      throw std::invalid_argument("ThresholdFlush: fraction out of (0,1]");
+  }
+  bool should_flush(const trace::TraceBuffer& b) override {
+    return static_cast<double>(b.size()) >=
+           fraction_ * static_cast<double>(b.capacity());
+  }
+  std::string_view name() const override { return "threshold"; }
+
+ private:
+  double fraction_;
+};
+
+/// Adaptive policy: estimates the event arrival rate with an exponentially
+/// weighted mean of inter-arrival gaps and flushes when the buffer holds
+/// more than `target_flush_interval` worth of expected arrivals, clamped to
+/// the capacity.  Bounds both flush frequency and buffer residency latency.
+class AdaptiveThresholdFlush final : public FlushPolicy {
+ public:
+  /// `target_flush_interval_ns`: desired time between flushes.
+  /// `smoothing` in (0,1]: EWMA weight of the newest gap.
+  AdaptiveThresholdFlush(std::uint64_t target_flush_interval_ns,
+                         double smoothing = 0.1)
+      : target_ns_(target_flush_interval_ns), alpha_(smoothing) {
+    if (target_flush_interval_ns == 0)
+      throw std::invalid_argument("AdaptiveThresholdFlush: zero target");
+    if (!(smoothing > 0 && smoothing <= 1))
+      throw std::invalid_argument("AdaptiveThresholdFlush: bad smoothing");
+  }
+
+  /// Feeds the arrival timestamp (ns) of the record just appended.
+  void observe_arrival(std::uint64_t t_ns) {
+    if (have_last_) {
+      const auto gap = static_cast<double>(t_ns - last_ns_);
+      mean_gap_ns_ =
+          mean_gap_ns_ == 0 ? gap : alpha_ * gap + (1 - alpha_) * mean_gap_ns_;
+    }
+    last_ns_ = t_ns;
+    have_last_ = true;
+  }
+
+  bool should_flush(const trace::TraceBuffer& b) override {
+    if (b.full()) return true;
+    if (mean_gap_ns_ <= 0) return false;
+    const double expected_records =
+        static_cast<double>(target_ns_) / mean_gap_ns_;
+    return static_cast<double>(b.size()) >= expected_records;
+  }
+
+  double estimated_rate_per_sec() const {
+    return mean_gap_ns_ > 0 ? 1e9 / mean_gap_ns_ : 0.0;
+  }
+
+  std::string_view name() const override { return "adaptive"; }
+
+ private:
+  std::uint64_t target_ns_;
+  double alpha_;
+  double mean_gap_ns_ = 0;
+  std::uint64_t last_ns_ = 0;
+  bool have_last_ = false;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,206 @@
+#include "core/ism.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/clock.hpp"
+
+namespace prism::core {
+
+std::string_view to_string(InputConfig c) {
+  switch (c) {
+    case InputConfig::kSiso: return "SISO";
+    case InputConfig::kMiso: return "MISO";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t stream_seq_key(const trace::EventRecord& r) {
+  // node:process:seq packed; seq is bounded well below 2^28 in practice for
+  // live runs, and collisions only skew a latency sample, never correctness.
+  return (static_cast<std::uint64_t>(r.node) << 46) ^
+         (static_cast<std::uint64_t>(r.process) << 28) ^ r.seq;
+}
+
+}  // namespace
+
+Ism::Ism(TransferProtocol& tp, IsmConfig config)
+    : tp_(tp), config_(config) {
+  output_ = std::make_unique<Channel<Timed>>(config_.output_capacity);
+  if (config_.storage_path)
+    storage_ = std::make_unique<trace::TraceFileWriter>(*config_.storage_path);
+  // Sanity: TP link layout must match the configured input style.
+  if (config_.input == InputConfig::kSiso && tp_.data_link_count() != 1)
+    throw std::invalid_argument("Ism: SISO needs exactly one data link");
+  if (config_.input == InputConfig::kMiso &&
+      tp_.data_link_count() != tp_.nodes())
+    throw std::invalid_argument("Ism: MISO needs one data link per node");
+}
+
+Ism::~Ism() { stop(); }
+
+void Ism::attach_tool(std::shared_ptr<Tool> tool) {
+  if (!tool) throw std::invalid_argument("Ism: null tool");
+  std::lock_guard lk(mu_);
+  if (started_) throw std::logic_error("Ism: attach_tool after start");
+  tools_.push_back(std::move(tool));
+}
+
+void Ism::start() {
+  std::lock_guard lk(mu_);
+  if (started_) return;
+  started_ = true;
+  running_.store(true);
+  processor_ = std::thread([this] { processor_main(); });
+  dispatcher_ = std::thread([this] { dispatch_main(); });
+}
+
+void Ism::processor_main() {
+  // Latency bookkeeping for records held back by the reorderer: record key
+  // -> TP arrival time.
+  std::unordered_map<std::uint64_t, std::uint64_t> arrival_ns;
+
+  if (config_.causal_ordering) {
+    reorderer_ = std::make_unique<trace::CausalReorderer>(
+        [this, &arrival_ns](const trace::EventRecord& r) {
+          auto it = arrival_ns.find(stream_seq_key(r));
+          const std::uint64_t t_arr =
+              it != arrival_ns.end() ? it->second : current_batch_arrival_ns_;
+          if (it != arrival_ns.end()) arrival_ns.erase(it);
+          emit(r, t_arr);
+        });
+  }
+
+  const std::size_t n_links = tp_.data_link_count();
+  if (n_links == 1) {
+    // SISO: block on the single input buffer.
+    while (auto msg = tp_.data_link(0).pop()) {
+      if (auto* batch = std::get_if<DataBatch>(&*msg)) {
+        if (config_.causal_ordering) {
+          for (auto& r : batch->records)
+            arrival_ns.emplace(stream_seq_key(r), batch->t_sent_ns);
+        }
+        process_batch(std::move(*batch));
+      }
+    }
+  } else {
+    // MISO: round-robin over the per-node input buffers.
+    std::size_t idle_spins = 0;
+    for (;;) {
+      bool any = false;
+      bool all_done = true;
+      for (std::size_t i = 0; i < n_links; ++i) {
+        auto& link = tp_.data_link(i);
+        if (!link.closed() || link.size() > 0) all_done = false;
+        if (auto msg = link.try_pop()) {
+          any = true;
+          if (auto* batch = std::get_if<DataBatch>(&*msg)) {
+            if (config_.causal_ordering) {
+              for (auto& r : batch->records)
+                arrival_ns.emplace(stream_seq_key(r), batch->t_sent_ns);
+            }
+            process_batch(std::move(*batch));
+          }
+        }
+      }
+      if (all_done) break;
+      if (!any) {
+        if (++idle_spins > 64) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      } else {
+        idle_spins = 0;
+      }
+    }
+  }
+  // Input exhausted: anything still held back is causally unresolvable
+  // (lost sends); it stays held, and stats expose the residue via held_back.
+  output_->close();
+}
+
+void Ism::process_batch(DataBatch&& batch) {
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.batches_received;
+    stats_.records_received += batch.records.size();
+  }
+  current_batch_arrival_ns_ = batch.t_sent_ns;
+  for (auto& r : batch.records) {
+    if (config_.causal_ordering) {
+      reorderer_->offer(r);
+    } else {
+      trace::EventRecord out = r;
+      out.lamport = ++plain_lamport_;
+      emit(out, batch.t_sent_ns);
+    }
+  }
+  if (config_.causal_ordering) {
+    std::lock_guard lk(mu_);
+    stats_.held_back = reorderer_->held_back_total();
+    stats_.hold_back_ratio = reorderer_->hold_back_ratio();
+  }
+}
+
+void Ism::emit(const trace::EventRecord& r, std::uint64_t t_arrival_ns) {
+  const std::uint64_t t_now = now_ns();
+  {
+    std::lock_guard lk(mu_);
+    const double latency =
+        static_cast<double>(t_now >= t_arrival_ns ? t_now - t_arrival_ns : 0);
+    stats_.processing_latency_ns.add(latency);
+    proc_latency_p95_.add(latency);
+    if (storage_) {
+      storage_->write(r);
+      ++stats_.records_stored;
+    }
+  }
+  output_->push(Timed{r, t_now});
+}
+
+void Ism::dispatch_main() {
+  while (auto timed = output_->pop()) {
+    const std::uint64_t t_now = now_ns();
+    for (auto& tool : tools_) tool->consume(timed->record);
+    std::lock_guard lk(mu_);
+    ++stats_.records_dispatched;
+    stats_.dispatch_latency_ns.add(
+        static_cast<double>(t_now >= timed->t_processed_ns
+                                ? t_now - timed->t_processed_ns
+                                : 0));
+  }
+}
+
+void Ism::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  running_.store(false);
+  // Close the inbound data links: the processor drains them and exits,
+  // closing the output channel, which lets the dispatcher drain and exit.
+  // Control links stay open through the drain so that tools (steering) can
+  // still emit control messages for in-flight records; they close last.
+  tp_.close_data_links();
+  if (processor_.joinable()) processor_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::lock_guard lk(mu_);
+    if (storage_) storage_->close();
+  }
+  for (auto& tool : tools_) tool->finish();
+  tp_.close_control_links();
+}
+
+IsmStats Ism::stats() const {
+  std::lock_guard lk(mu_);
+  IsmStats out = stats_;
+  if (proc_latency_p95_.count() > 0)
+    out.processing_latency_p95_ns = proc_latency_p95_.value();
+  return out;
+}
+
+}  // namespace prism::core

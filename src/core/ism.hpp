@@ -1,0 +1,126 @@
+// The Instrumentation System Manager (§2.2.2).
+//
+// "The LIS forwards instrumentation data from the concurrent system nodes to
+// a logically centralized location called the Instrumentation System Manager
+// (ISM), which manages the data in real-time.  The functions of the ISM
+// include temporary buffering of data, storing of data on a mass-storage
+// device, and pre-processing of data for analysis and/or visualization tools
+// (e.g., causal ordering)."
+//
+// The live ISM here mirrors Fig. 2: input buffer(s) fed by the TP, an
+// instrumentation data processor (causal reordering + logical timestamping),
+// an output buffer drained to the attached tools, and an optional storage
+// tier (trace file).  The input side is configurable as SISO (one shared
+// input buffer) or MISO (one per node) — the §3.3.2 design alternatives —
+// and the ISM self-measures the §3.3.2 metrics: data processing latency and
+// average input buffer length.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/tool.hpp"
+#include "core/transfer_protocol.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+#include "trace/causal.hpp"
+#include "trace/file.hpp"
+
+namespace prism::core {
+
+/// Input-buffer configuration (§3.3.2).
+enum class InputConfig : std::uint8_t {
+  kSiso,  ///< Single Input buffer, Single Output buffer
+  kMiso,  ///< Multiple Input buffers (one per node), Single Output buffer
+};
+
+std::string_view to_string(InputConfig c);
+
+struct IsmConfig {
+  InputConfig input = InputConfig::kSiso;
+  std::size_t output_capacity = 8192;
+  /// Causally reorder and logically timestamp records before dispatch.
+  bool causal_ordering = true;
+  /// Optional storage tier: every processed record is also appended here.
+  std::optional<std::filesystem::path> storage_path;
+};
+
+struct IsmStats {
+  std::uint64_t batches_received = 0;
+  std::uint64_t records_received = 0;
+  std::uint64_t records_dispatched = 0;
+  std::uint64_t records_stored = 0;
+  std::uint64_t held_back = 0;          ///< out-of-order arrivals buffered
+  double hold_back_ratio = 0.0;
+  /// Data processing latency (ns): TP send -> output buffer (§3.3.2).
+  stats::Summary processing_latency_ns;
+  /// On-line 95th-percentile processing latency (P2 estimator; 0 when no
+  /// records have been processed).
+  double processing_latency_p95_ns = 0;
+  /// Output-queue residence (ns): output buffer -> tool dispatch.
+  stats::Summary dispatch_latency_ns;
+};
+
+class Ism {
+ public:
+  /// The ISM consumes every data link of `tp`; `tp` must outlive the ISM.
+  Ism(TransferProtocol& tp, IsmConfig config);
+  ~Ism();
+  Ism(const Ism&) = delete;
+  Ism& operator=(const Ism&) = delete;
+
+  /// Attaches a tool (before or after start()).
+  void attach_tool(std::shared_ptr<Tool> tool);
+
+  /// Starts the data-processor and dispatch threads.
+  void start();
+
+  /// Drains in-flight data, stops threads, finishes tools.  Idempotent.
+  /// Callers must stop all LISes first so no new data races the drain.
+  void stop();
+
+  IsmStats stats() const;
+  const IsmConfig& config() const { return config_; }
+
+  /// ISM -> LIS control plane (dynamic instrumentation, FAOF broadcast...).
+  void broadcast_control(const ControlMessage& m) { tp_.broadcast(m); }
+
+ private:
+  struct Timed {
+    trace::EventRecord record;
+    std::uint64_t t_processed_ns;
+  };
+
+  void processor_main();
+  void dispatch_main();
+  void process_batch(DataBatch&& batch);
+  void emit(const trace::EventRecord& r, std::uint64_t t_arrival_ns);
+
+  TransferProtocol& tp_;
+  IsmConfig config_;
+  std::vector<std::shared_ptr<Tool>> tools_;
+  std::unique_ptr<Channel<Timed>> output_;
+  std::unique_ptr<trace::CausalReorderer> reorderer_;
+  std::unique_ptr<trace::TraceFileWriter> storage_;
+  std::thread processor_;
+  std::thread dispatcher_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  mutable std::mutex mu_;
+  IsmStats stats_;
+  stats::P2Quantile proc_latency_p95_{0.95};
+  /// Arrival time of the batch whose records are being processed.
+  std::uint64_t current_batch_arrival_ns_ = 0;
+  /// Logical stamp counter when causal ordering is disabled.
+  std::uint64_t plain_lamport_ = 0;
+};
+
+}  // namespace prism::core

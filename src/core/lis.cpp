@@ -1,0 +1,270 @@
+#include "core/lis.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/clock.hpp"
+#include "core/probe_registry.hpp"
+
+namespace prism::core {
+
+// ---------------------------------------------------------------- FlushCoordinator
+
+void FlushCoordinator::attach(BufferedLis* lis) {
+  std::lock_guard lk(mu_);
+  members_.push_back(lis);
+}
+
+void FlushCoordinator::detach(BufferedLis* lis) {
+  std::lock_guard lk(mu_);
+  members_.erase(std::remove(members_.begin(), members_.end(), lis),
+                 members_.end());
+}
+
+void FlushCoordinator::flush_all() {
+  // A gang flush triggered from within a gang flush (another buffer filled
+  // while we were flushing) folds into the ongoing one.
+  bool expected = false;
+  if (!in_progress_.compare_exchange_strong(expected, true)) return;
+  std::vector<BufferedLis*> snapshot;
+  {
+    std::lock_guard lk(mu_);
+    snapshot = members_;
+  }
+  for (BufferedLis* l : snapshot) l->flush();
+  ++gang_flushes_;
+  in_progress_.store(false);
+}
+
+// ---------------------------------------------------------------- BufferedLis
+
+BufferedLis::BufferedLis(std::uint32_t node, std::size_t buffer_capacity,
+                         std::unique_ptr<FlushPolicy> policy, DataLink& to_ism,
+                         FlushCoordinator* coordinator)
+    : Lis(node),
+      buffer_(buffer_capacity, trace::OverflowPolicy::kDrop),
+      policy_(std::move(policy)),
+      link_(to_ism),
+      coordinator_(coordinator) {
+  if (!policy_) throw std::invalid_argument("BufferedLis: null policy");
+  if (policy_->global() && !coordinator_)
+    throw std::invalid_argument(
+        "BufferedLis: a global (FAOF) policy needs a FlushCoordinator");
+  if (coordinator_) coordinator_->attach(this);
+}
+
+BufferedLis::~BufferedLis() {
+  if (coordinator_) coordinator_->detach(this);
+}
+
+void BufferedLis::record(const trace::EventRecord& r) {
+  bool trigger_global = false;
+  {
+    std::unique_lock lk(mu_);
+    if (stopped_) return;
+    if (buffer_.append(r)) {
+      ++stats_.recorded;
+    } else {
+      ++stats_.dropped;
+    }
+    if (policy_->should_flush(buffer_)) {
+      if (policy_->global()) {
+        trigger_global = true;  // coordinator flushes everyone, incl. us
+      } else {
+        flush_locked(lk);
+      }
+    }
+  }
+  if (trigger_global) coordinator_->flush_all();
+}
+
+void BufferedLis::flush() {
+  std::unique_lock lk(mu_);
+  flush_locked(lk);
+}
+
+void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
+  if (buffer_.empty()) return;
+  const std::uint64_t t0 = now_ns();
+  DataBatch batch;
+  batch.source_node = node_;
+  batch.t_sent_ns = t0;
+  batch.records = buffer_.drain();
+  ++stats_.flushes;
+  stats_.records_forwarded += batch.records.size();
+  // Ship without holding the buffer lock: the link may block when the ISM
+  // is behind, and application threads must still be able to... wait.  They
+  // cannot: PICL semantics are that the *application* pays for the flush
+  // ("data collection stops" / processes are context-switched).  We keep the
+  // lock to preserve exactly that cost model — record() blocks for the
+  // duration of the flush, which is what the FOF/FAOF analysis measures.
+  link_.push(std::move(batch));
+  stats_.flush_time_ns += now_ns() - t0;
+  (void)lk;
+}
+
+void BufferedLis::stop() {
+  std::unique_lock lk(mu_);
+  if (stopped_) return;
+  flush_locked(lk);
+  stopped_ = true;
+}
+
+LisStats BufferedLis::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------- ForwardingLis
+
+ForwardingLis::ForwardingLis(std::uint32_t node, DataLink& to_ism)
+    : Lis(node), link_(to_ism) {}
+
+void ForwardingLis::record(const trace::EventRecord& r) {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    ++stats_.recorded;
+  }
+  DataBatch batch;
+  batch.source_node = node_;
+  batch.t_sent_ns = now_ns();
+  batch.records.push_back(r);
+  if (link_.push(std::move(batch))) {
+    std::lock_guard lk(mu_);
+    ++stats_.flushes;
+    ++stats_.records_forwarded;
+  } else {
+    std::lock_guard lk(mu_);
+    ++stats_.dropped;
+  }
+}
+
+void ForwardingLis::stop() {
+  std::lock_guard lk(mu_);
+  stopped_ = true;
+}
+
+LisStats ForwardingLis::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------- DaemonLis
+
+DaemonLis::DaemonLis(std::uint32_t node, std::uint32_t n_processes,
+                     std::size_t pipe_capacity,
+                     std::uint64_t sampling_period_ns, DataLink& to_ism,
+                     ControlLink* control, bool block_on_full_pipe,
+                     ProbeRegistry* probes)
+    : Lis(node),
+      link_(to_ism),
+      control_(control),
+      probes_(probes),
+      block_on_full_pipe_(block_on_full_pipe),
+      sampling_period_ns_(sampling_period_ns) {
+  if (n_processes == 0) throw std::invalid_argument("DaemonLis: 0 processes");
+  if (sampling_period_ns == 0)
+    throw std::invalid_argument("DaemonLis: zero sampling period");
+  pipes_.reserve(n_processes);
+  for (std::uint32_t i = 0; i < n_processes; ++i)
+    pipes_.push_back(
+        std::make_unique<Channel<trace::EventRecord>>(pipe_capacity));
+  running_.store(true);
+  daemon_ = std::thread([this] { daemon_main(); });
+}
+
+DaemonLis::~DaemonLis() { stop(); }
+
+void DaemonLis::record(const trace::EventRecord& r) {
+  if (r.process >= pipes_.size())
+    throw std::out_of_range("DaemonLis::record: unknown process");
+  auto& pipe = *pipes_[r.process];
+  bool ok;
+  if (block_on_full_pipe_) {
+    ok = pipe.push(r);  // may block: the §3.2.3 application stall
+  } else {
+    ok = pipe.try_push(r);
+  }
+  std::lock_guard lk(mu_);
+  if (ok)
+    ++stats_.recorded;
+  else
+    ++stats_.dropped;
+}
+
+void DaemonLis::daemon_main() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const auto period = std::chrono::nanoseconds(
+        sampling_period_ns_.load(std::memory_order_relaxed));
+    std::this_thread::sleep_for(period);
+    if (control_) {
+      while (auto msg = control_->try_pop()) {
+        if (msg->kind == ControlKind::kSetSamplingPeriod) {
+          set_sampling_period_ns(static_cast<std::uint64_t>(msg->value));
+        } else if (msg->kind == ControlKind::kShutdown) {
+          running_.store(false);
+        } else if (probes_ &&
+                   (msg->kind == ControlKind::kEnableInstrumentation ||
+                    msg->kind == ControlKind::kDisableInstrumentation)) {
+          probes_->apply(*msg);
+        }
+      }
+    }
+    drain_once();
+  }
+  drain_once();  // final sweep
+}
+
+void DaemonLis::drain_once() {
+  const std::uint64_t t0 = now_ns();
+  DataBatch batch;
+  batch.source_node = node_;
+  // "The local daemon collects the instrumentation data samples from the
+  // head of each buffer, one at a time" (§3.2.2) — round-robin over pipe
+  // heads until all pipes are momentarily empty.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& pipe : pipes_) {
+      if (auto r = pipe->try_pop()) {
+        batch.records.push_back(*r);
+        any = true;
+      }
+    }
+  }
+  if (!batch.records.empty()) {
+    batch.t_sent_ns = now_ns();
+    link_.push(std::move(batch));
+    std::lock_guard lk(mu_);
+    ++stats_.flushes;
+    stats_.records_forwarded += batch.records.size();
+  }
+  daemon_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+void DaemonLis::flush() { drain_once(); }
+
+void DaemonLis::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) {
+    if (daemon_.joinable()) daemon_.join();
+    return;
+  }
+  for (auto& p : pipes_) p->close();
+  if (daemon_.joinable()) daemon_.join();
+}
+
+LisStats DaemonLis::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::uint64_t DaemonLis::app_block_time_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& p : pipes_) total += p->stats().producer_block_ns;
+  return total;
+}
+
+}  // namespace prism::core

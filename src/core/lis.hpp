@@ -1,0 +1,183 @@
+// Local Instrumentation Servers (§2.2.1).
+//
+// "The Local Instrumentation Server (LIS) captures instrumentation data of
+// interest from the concurrent application processes and forwards the data
+// to other IS modules ... an LIS can simply comprise instrumentation library
+// calls responsible for storing data in local buffers or forwarding data to
+// analysis tools.  Or, as in Paradyn, it may consist of a separate process
+// for each node of the concurrent system."
+//
+// Three live implementations, one per case study:
+//   * BufferedLis   — PICL-style: library calls append to a local buffer;
+//                     a FlushPolicy decides when to ship (FOF / FAOF / ...).
+//   * ForwardingLis — Vista-style: "event forwarding involves only one
+//                     system call per event" — no local buffering.
+//   * DaemonLis     — Paradyn-style: application processes write samples to
+//                     per-process pipes; a daemon thread drains the pipe
+//                     heads every sampling period and forwards to the ISM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/flush_policy.hpp"
+#include "core/transfer_protocol.hpp"
+#include "trace/buffer.hpp"
+#include "trace/record.hpp"
+
+namespace prism::core {
+
+struct LisStats {
+  std::uint64_t recorded = 0;        ///< events accepted from the application
+  std::uint64_t dropped = 0;         ///< events lost (buffer/pipe overflow)
+  std::uint64_t flushes = 0;         ///< batches shipped to the ISM
+  std::uint64_t records_forwarded = 0;
+  std::uint64_t flush_time_ns = 0;   ///< cumulative time in flush operations
+};
+
+class Lis {
+ public:
+  explicit Lis(std::uint32_t node) : node_(node) {}
+  virtual ~Lis() = default;
+  Lis(const Lis&) = delete;
+  Lis& operator=(const Lis&) = delete;
+
+  /// Hot path: accept one event from an application thread.  Thread-safe.
+  virtual void record(const trace::EventRecord& r) = 0;
+  /// Force any locally held data toward the ISM.
+  virtual void flush() = 0;
+  /// Stop accepting and shut down internal threads, flushing first.
+  virtual void stop() = 0;
+  virtual std::string_view kind() const = 0;
+
+  std::uint32_t node() const { return node_; }
+  virtual LisStats stats() const = 0;
+
+ protected:
+  std::uint32_t node_;
+};
+
+class BufferedLis;
+
+/// Coordinates FAOF gang flushes: "All processes are context-switched to
+/// flush their local buffers" (§3.1.3).  In-process stand-in for the
+/// broadcast a multicomputer IS would use.
+class FlushCoordinator {
+ public:
+  void attach(BufferedLis* lis);
+  void detach(BufferedLis* lis);
+  /// Flushes every attached LIS.  Reentrancy-safe: a flush triggered while
+  /// a gang flush is in progress folds into the ongoing one.
+  void flush_all();
+  std::uint64_t gang_flushes() const { return gang_flushes_.load(); }
+
+ private:
+  std::mutex mu_;
+  std::vector<BufferedLis*> members_;
+  std::atomic<bool> in_progress_{false};
+  std::atomic<std::uint64_t> gang_flushes_{0};
+};
+
+/// PICL-style library LIS with a local trace buffer.
+class BufferedLis final : public Lis {
+ public:
+  /// `coordinator` may be null for purely local policies (FOF); required
+  /// when `policy->global()` (FAOF).
+  BufferedLis(std::uint32_t node, std::size_t buffer_capacity,
+              std::unique_ptr<FlushPolicy> policy, DataLink& to_ism,
+              FlushCoordinator* coordinator = nullptr);
+  ~BufferedLis() override;
+
+  void record(const trace::EventRecord& r) override;
+  void flush() override;
+  void stop() override;
+  std::string_view kind() const override { return "buffered"; }
+  LisStats stats() const override;
+
+  std::string_view policy_name() const { return policy_->name(); }
+
+ private:
+  void flush_locked(std::unique_lock<std::mutex>& lk);
+
+  mutable std::mutex mu_;
+  trace::TraceBuffer buffer_;
+  std::unique_ptr<FlushPolicy> policy_;
+  DataLink& link_;
+  FlushCoordinator* coordinator_;
+  LisStats stats_;
+  bool stopped_ = false;
+};
+
+/// Vista-style bufferless event forwarding.
+class ForwardingLis final : public Lis {
+ public:
+  ForwardingLis(std::uint32_t node, DataLink& to_ism);
+
+  void record(const trace::EventRecord& r) override;
+  void flush() override {}
+  void stop() override;
+  std::string_view kind() const override { return "forwarding"; }
+  LisStats stats() const override;
+
+ private:
+  DataLink& link_;
+  mutable std::mutex mu_;
+  LisStats stats_;
+  bool stopped_ = false;
+};
+
+/// Paradyn-style daemon LIS.
+class DaemonLis final : public Lis {
+ public:
+  /// `pipe_capacity` bounds each per-process pipe; a full pipe blocks the
+  /// writing application thread (the §3.2.3 bottleneck) when
+  /// `block_on_full_pipe`, else drops.
+  /// `probes` (optional) receives kEnable/DisableInstrumentation control
+  /// messages — the daemon is the dynamic-instrumentation agent on its node.
+  DaemonLis(std::uint32_t node, std::uint32_t n_processes,
+            std::size_t pipe_capacity, std::uint64_t sampling_period_ns,
+            DataLink& to_ism, ControlLink* control = nullptr,
+            bool block_on_full_pipe = true,
+            class ProbeRegistry* probes = nullptr);
+  ~DaemonLis() override;
+
+  void record(const trace::EventRecord& r) override;
+  void flush() override;
+  void stop() override;
+  std::string_view kind() const override { return "daemon"; }
+  LisStats stats() const override;
+
+  void set_sampling_period_ns(std::uint64_t ns) {
+    sampling_period_ns_.store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t sampling_period_ns() const {
+    return sampling_period_ns_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative ns application threads spent blocked on full pipes.
+  std::uint64_t app_block_time_ns() const;
+  /// CPU-ish time the daemon thread spent actively collecting/forwarding.
+  std::uint64_t daemon_busy_ns() const { return daemon_busy_ns_.load(); }
+
+ private:
+  void daemon_main();
+  void drain_once();
+
+  std::vector<std::unique_ptr<Channel<trace::EventRecord>>> pipes_;
+  DataLink& link_;
+  ControlLink* control_;
+  class ProbeRegistry* probes_;
+  bool block_on_full_pipe_;
+  std::atomic<std::uint64_t> sampling_period_ns_;
+  std::atomic<bool> running_{false};
+  std::thread daemon_;
+  mutable std::mutex mu_;
+  LisStats stats_;
+  std::atomic<std::uint64_t> daemon_busy_ns_{0};
+};
+
+}  // namespace prism::core

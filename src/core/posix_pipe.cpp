@@ -1,0 +1,117 @@
+#include "core/posix_pipe.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <system_error>
+#include <vector>
+
+namespace prism::core {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x50495045;  // "PIPE"
+
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t source_node = 0;
+  std::uint64_t t_sent_ns = 0;
+  std::uint64_t record_count = 0;
+};
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+PosixPipeLink::PosixPipeLink(DataLink& deliver_to) : out_(deliver_to) {
+  int fds[2];
+  if (::pipe(fds) != 0)
+    throw std::system_error(errno, std::generic_category(), "pipe");
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+  // Writes to a closed pipe must surface as errors, not SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  reader_ = std::thread([this] { reader_main(); });
+}
+
+PosixPipeLink::~PosixPipeLink() {
+  close_writer();
+  if (reader_.joinable()) reader_.join();
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+bool PosixPipeLink::send(const DataBatch& batch) {
+  std::lock_guard lk(write_mu_);
+  if (writer_closed_.load()) return false;
+  FrameHeader hdr;
+  hdr.source_node = batch.source_node;
+  hdr.t_sent_ns = batch.t_sent_ns;
+  hdr.record_count = batch.records.size();
+  if (!write_all(write_fd_, &hdr, sizeof hdr)) return false;
+  if (!batch.records.empty() &&
+      !write_all(write_fd_, batch.records.data(),
+                 batch.records.size() * sizeof(trace::EventRecord)))
+    return false;
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(sizeof hdr +
+                       batch.records.size() * sizeof(trace::EventRecord),
+                   std::memory_order_relaxed);
+  return true;
+}
+
+void PosixPipeLink::close_writer() {
+  std::lock_guard lk(write_mu_);
+  if (!writer_closed_.exchange(true) && write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+void PosixPipeLink::reader_main() {
+  for (;;) {
+    FrameHeader hdr;
+    if (!read_all(read_fd_, &hdr, sizeof hdr)) break;  // EOF or error
+    if (hdr.magic != kFrameMagic) break;               // corrupt stream
+    DataBatch batch;
+    batch.source_node = hdr.source_node;
+    batch.t_sent_ns = hdr.t_sent_ns;
+    batch.records.resize(hdr.record_count);
+    if (hdr.record_count > 0 &&
+        !read_all(read_fd_, batch.records.data(),
+                  hdr.record_count * sizeof(trace::EventRecord)))
+      break;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    out_.push(Message(std::move(batch)));
+  }
+}
+
+}  // namespace prism::core

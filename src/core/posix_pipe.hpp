@@ -1,0 +1,53 @@
+// A real kernel-pipe transfer-protocol link (§2.2.3 names pipes as the
+// Paradyn TP).  PosixPipeLink frames DataBatch messages over a pipe(2):
+// the writer side is callable from any LIS thread; a reader thread
+// deserializes frames and delivers them into an in-process DataLink, so the
+// rest of the stack (ISM, tools) is unchanged.  This demonstrates that the
+// TP abstraction really does cover OS IPC — batches cross a kernel buffer
+// with genuine blocking-on-full semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/transfer_protocol.hpp"
+
+namespace prism::core {
+
+class PosixPipeLink {
+ public:
+  /// Frames sent into the pipe are delivered to `deliver_to` (typically the
+  /// ISM's data link).  Throws std::system_error when pipe(2) fails.
+  explicit PosixPipeLink(DataLink& deliver_to);
+  ~PosixPipeLink();
+  PosixPipeLink(const PosixPipeLink&) = delete;
+  PosixPipeLink& operator=(const PosixPipeLink&) = delete;
+
+  /// Writes one batch into the pipe (blocking if the kernel buffer is
+  /// full).  Returns false after close_writer() or on a broken pipe.
+  bool send(const DataBatch& batch);
+
+  /// Closes the write end; the reader drains remaining frames and exits.
+  void close_writer();
+
+  std::uint64_t messages_sent() const { return messages_.load(); }
+  std::uint64_t bytes_sent() const { return bytes_.load(); }
+  std::uint64_t frames_delivered() const { return delivered_.load(); }
+
+ private:
+  void reader_main();
+
+  DataLink& out_;
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  std::mutex write_mu_;
+  std::thread reader_;
+  std::atomic<bool> writer_closed_{false};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace prism::core

@@ -1,0 +1,72 @@
+#include "core/probe_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prism::core {
+
+void ProbeRegistry::add(Probe* probe) {
+  if (!probe) throw std::invalid_argument("ProbeRegistry: null probe");
+  std::lock_guard lk(mu_);
+  probes_.emplace(probe->id(), probe);
+}
+
+void ProbeRegistry::remove(Probe* probe) {
+  if (!probe) return;
+  std::lock_guard lk(mu_);
+  auto [lo, hi] = probes_.equal_range(probe->id());
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == probe) {
+      probes_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t ProbeRegistry::enable(std::uint16_t id) {
+  std::lock_guard lk(mu_);
+  auto [lo, hi] = probes_.equal_range(id);
+  std::size_t n = 0;
+  for (auto it = lo; it != hi; ++it, ++n) it->second->enable();
+  return n;
+}
+
+std::size_t ProbeRegistry::disable(std::uint16_t id) {
+  std::lock_guard lk(mu_);
+  auto [lo, hi] = probes_.equal_range(id);
+  std::size_t n = 0;
+  for (auto it = lo; it != hi; ++it, ++n) it->second->disable();
+  return n;
+}
+
+void ProbeRegistry::apply(const ControlMessage& m) {
+  const auto id = static_cast<std::uint16_t>(m.value);
+  if (m.kind == ControlKind::kEnableInstrumentation) {
+    enable(id);
+  } else if (m.kind == ControlKind::kDisableInstrumentation) {
+    disable(id);
+  }
+}
+
+std::size_t ProbeRegistry::size() const {
+  std::lock_guard lk(mu_);
+  return probes_.size();
+}
+
+std::size_t ProbeRegistry::enabled_count() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (auto& [id, p] : probes_)
+    if (p->enabled()) ++n;
+  return n;
+}
+
+std::vector<std::uint16_t> ProbeRegistry::ids() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::uint16_t> out;
+  for (auto& [id, p] : probes_) out.push_back(id);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace prism::core

@@ -1,0 +1,49 @@
+// Registry of dynamically switchable probes — the substrate for Paradyn-
+// style dynamic instrumentation over the control plane: "instrumentation is
+// inserted dynamically in the program during runtime to generate samples"
+// (§3.2), realized live as enabling/disabling registered probes in response
+// to ControlKind::kEnableInstrumentation / kDisableInstrumentation messages.
+//
+// Thread-safe: probes register/deregister from application threads, control
+// handling happens on daemon threads, W3-style searches toggle from a tool
+// thread.  The registry does not own the probes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/sensor.hpp"
+#include "core/transfer_protocol.hpp"
+
+namespace prism::core {
+
+class ProbeRegistry {
+ public:
+  /// Registers a probe under its id().  Multiple probes may share an id
+  /// (e.g. the same metric instrumented on every process); control actions
+  /// apply to all of them.
+  void add(Probe* probe);
+  void remove(Probe* probe);
+
+  /// Enables/disables every probe with the given id.  Returns the number
+  /// of probes affected.
+  std::size_t enable(std::uint16_t id);
+  std::size_t disable(std::uint16_t id);
+
+  /// Applies a control message (ignores non-instrumentation kinds).
+  /// The message's `value` carries the probe id.
+  void apply(const ControlMessage& m);
+
+  std::size_t size() const;
+  std::size_t enabled_count() const;
+  /// Ids currently registered (sorted, unique).
+  std::vector<std::uint16_t> ids() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::multimap<std::uint16_t, Probe*> probes_;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,106 @@
+// Sensors and probes — the instrumentation points an application (or a
+// compiler pass, in a full deployment) inserts.
+//
+// "Ogle et al. describe the LIS part of the monitor in their Issos
+// environment in terms of sensors, probes, and tracing buffers" (§2.2.1).
+// A Probe is a named, dynamically enable-able instrumentation point (the
+// Paradyn model: "instrumentation is inserted dynamically in the program
+// during runtime", §3.2) that emits EventRecords into a LIS sink.  ScopedBlock
+// wraps a code region in kBlockBegin/kBlockEnd events.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "core/clock.hpp"
+#include "trace/record.hpp"
+
+namespace prism::core {
+
+/// Destination for sensor events (bound to a LIS).
+using EventSink = std::function<void(trace::EventRecord)>;
+
+/// A dynamically switchable instrumentation point.  Emission is a no-op
+/// while disabled; toggling is lock-free and safe from any thread.
+class Probe {
+ public:
+  Probe(std::string name, std::uint16_t id, std::uint32_t node,
+        std::uint32_t process, EventSink sink, bool enabled = true)
+      : name_(std::move(name)),
+        id_(id),
+        node_(node),
+        process_(process),
+        sink_(std::move(sink)),
+        enabled_(enabled) {}
+
+  const std::string& name() const { return name_; }
+  std::uint16_t id() const { return id_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Emits a user event with this probe's id as the tag.
+  void event(std::uint64_t payload = 0) {
+    emit(trace::EventKind::kUserEvent, payload);
+  }
+
+  /// Emits a sampled metric value (Paradyn-style).
+  void sample(double value) {
+    emit(trace::EventKind::kSample, trace::pack_double(value));
+  }
+
+  /// Emits a counter increment (payload = running count).
+  void count() { emit(trace::EventKind::kUserEvent, ++counter_); }
+
+  void emit(trace::EventKind kind, std::uint64_t payload) {
+    if (!enabled()) return;
+    trace::EventRecord r;
+    r.timestamp = now_ns();
+    r.node = node_;
+    r.process = process_;
+    r.kind = kind;
+    r.tag = id_;
+    r.payload = payload;
+    r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    sink_(r);
+    ++emitted_;
+  }
+
+  std::uint64_t emitted() const { return emitted_.load(); }
+
+ private:
+  std::string name_;
+  std::uint16_t id_;
+  std::uint32_t node_;
+  std::uint32_t process_;
+  EventSink sink_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> emitted_{0};
+};
+
+/// RAII region instrumentation: emits kBlockBegin on construction and
+/// kBlockEnd (payload = duration ns) on destruction.
+class ScopedBlock {
+ public:
+  ScopedBlock(Probe& probe, std::uint64_t block_id)
+      : probe_(probe), block_id_(block_id), t0_(now_ns()) {
+    probe_.emit(trace::EventKind::kBlockBegin, block_id_);
+  }
+  ~ScopedBlock() {
+    probe_.emit(trace::EventKind::kBlockEnd, now_ns() - t0_);
+  }
+  ScopedBlock(const ScopedBlock&) = delete;
+  ScopedBlock& operator=(const ScopedBlock&) = delete;
+
+ private:
+  Probe& probe_;
+  std::uint64_t block_id_;
+  std::uint64_t t0_;
+};
+
+}  // namespace prism::core

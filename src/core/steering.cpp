@@ -1,0 +1,47 @@
+#include "core/steering.hpp"
+
+#include <stdexcept>
+
+namespace prism::core {
+
+SteeringTool::SteeringTool(Ism& ism, SteeringPolicy policy)
+    : ism_(ism), policy_(policy) {
+  if (policy_.consecutive_needed == 0)
+    throw std::invalid_argument("SteeringTool: consecutive_needed == 0");
+  if (!(policy_.high_threshold > policy_.low_threshold))
+    throw std::invalid_argument(
+        "SteeringTool: high_threshold must exceed low_threshold");
+}
+
+void SteeringTool::consume(const trace::EventRecord& r) {
+  if (r.kind != trace::EventKind::kSample || r.tag != policy_.metric_tag)
+    return;
+  const double v = trace::unpack_double(r.payload);
+  if (!engaged_.load(std::memory_order_relaxed)) {
+    if (v > policy_.high_threshold) {
+      if (++consecutive_ >= policy_.consecutive_needed) {
+        engaged_.store(true);
+        consecutive_ = 0;
+        high_fired_.fetch_add(1);
+        ism_.broadcast_control(policy_.high_action);
+      }
+    } else {
+      consecutive_ = 0;
+    }
+  } else {
+    if (v < policy_.low_threshold) {
+      if (++consecutive_ >= policy_.consecutive_needed) {
+        engaged_.store(false);
+        consecutive_ = 0;
+        if (policy_.low_action) {
+          low_fired_.fetch_add(1);
+          ism_.broadcast_control(*policy_.low_action);
+        }
+      }
+    } else {
+      consecutive_ = 0;
+    }
+  }
+}
+
+}  // namespace prism::core

@@ -1,0 +1,51 @@
+// Closed-loop steering (§2.3's "steering" tool class; Fig. 2's control
+// arrows from the tools back through the ISM to the application /
+// instrumentation): a tool that watches a sampled metric in the ISM's
+// output stream and, on sustained threshold crossings, sends control
+// messages back down the TP — e.g. stretching the daemon's sampling period
+// when the instrumentation itself is overloading a node.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "core/ism.hpp"
+#include "core/tool.hpp"
+
+namespace prism::core {
+
+struct SteeringPolicy {
+  /// Metric tag to watch (kSample records).
+  std::uint16_t metric_tag = 0;
+  /// Crossing this value `consecutive_needed` times fires `high_action`.
+  double high_threshold = 1.0;
+  /// Falling below this re-arms and fires `low_action` (if set).
+  double low_threshold = 0.0;
+  unsigned consecutive_needed = 3;
+  ControlMessage high_action{ControlKind::kSetSamplingPeriod, 0, 0.0};
+  std::optional<ControlMessage> low_action;
+};
+
+class SteeringTool final : public Tool {
+ public:
+  /// `ism` must outlive the tool (both are owned by the environment).
+  SteeringTool(Ism& ism, SteeringPolicy policy);
+
+  std::string_view name() const override { return "steering"; }
+  void consume(const trace::EventRecord& r) override;
+
+  std::uint64_t high_actions_fired() const { return high_fired_.load(); }
+  std::uint64_t low_actions_fired() const { return low_fired_.load(); }
+  bool engaged() const { return engaged_.load(); }
+
+ private:
+  Ism& ism_;
+  SteeringPolicy policy_;
+  unsigned consecutive_ = 0;
+  std::atomic<bool> engaged_{false};
+  std::atomic<std::uint64_t> high_fired_{0};
+  std::atomic<std::uint64_t> low_fired_{0};
+};
+
+}  // namespace prism::core

@@ -1,0 +1,113 @@
+#include "core/throttle.hpp"
+
+namespace prism::core {
+
+std::string_view to_string(TraceLevel lvl) {
+  switch (lvl) {
+    case TraceLevel::kFull: return "full";
+    case TraceLevel::kSampled: return "sampled";
+    case TraceLevel::kCounting: return "counting";
+    case TraceLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+TracingThrottle::TracingThrottle(ThrottleConfig config, EventSink downstream)
+    : cfg_(config), down_(std::move(downstream)) {
+  if (!down_) throw std::invalid_argument("TracingThrottle: null sink");
+  if (!(cfg_.escalate_rate > cfg_.deescalate_rate))
+    throw std::invalid_argument(
+        "TracingThrottle: escalate_rate must exceed deescalate_rate");
+  if (!(cfg_.smoothing > 0 && cfg_.smoothing <= 1))
+    throw std::invalid_argument("TracingThrottle: bad smoothing");
+  if (cfg_.sample_stride == 0)
+    throw std::invalid_argument("TracingThrottle: zero stride");
+  if (cfg_.counting_window_ns == 0)
+    throw std::invalid_argument("TracingThrottle: zero window");
+}
+
+double TracingThrottle::estimated_rate_per_sec() const {
+  // mean_gap_ns_ is only written under the lock; a stale read is fine for
+  // reporting.
+  return mean_gap_ns_ > 0 ? 1e9 / mean_gap_ns_ : 0.0;
+}
+
+void TracingThrottle::pin(TraceLevel lvl) {
+  pinned_.store(true);
+  level_.store(lvl);
+}
+
+void TracingThrottle::offer(const trace::EventRecord& r) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lk(mu_);
+  const std::uint64_t now = r.timestamp;
+  if (last_event_ns_ != 0 && now > last_event_ns_) {
+    const auto gap = static_cast<double>(now - last_event_ns_);
+    mean_gap_ns_ = mean_gap_ns_ == 0
+                       ? gap
+                       : cfg_.smoothing * gap +
+                             (1 - cfg_.smoothing) * mean_gap_ns_;
+  }
+  last_event_ns_ = now;
+  if (!pinned_.load(std::memory_order_relaxed)) maybe_transition(now);
+
+  switch (level_.load(std::memory_order_relaxed)) {
+    case TraceLevel::kFull:
+      forward(r);
+      break;
+    case TraceLevel::kSampled:
+      if (stride_cursor_++ % cfg_.sample_stride == 0) forward(r);
+      break;
+    case TraceLevel::kCounting:
+      if (window_start_ns_ == 0) window_start_ns_ = now;
+      ++window_count_;
+      if (now - window_start_ns_ >= cfg_.counting_window_ns)
+        flush_window(now, r);
+      break;
+    case TraceLevel::kOff:
+      break;
+  }
+}
+
+void TracingThrottle::forward(const trace::EventRecord& r) {
+  trace::EventRecord out = r;
+  if (cfg_.renumber_seq) out.seq = out_seq_++;
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  down_(out);
+}
+
+void TracingThrottle::flush_window(std::uint64_t now,
+                                   const trace::EventRecord& like) {
+  trace::EventRecord agg;
+  agg.timestamp = now;
+  agg.node = like.node;
+  agg.process = like.process;
+  agg.kind = trace::EventKind::kSample;
+  agg.tag = cfg_.counting_tag;
+  agg.payload = window_count_;
+  agg.seq = like.seq;
+  window_count_ = 0;
+  window_start_ns_ = now;
+  forward(agg);
+}
+
+void TracingThrottle::maybe_transition(std::uint64_t now) {
+  if (mean_gap_ns_ <= 0) return;
+  if (now - last_transition_ns_ < cfg_.dwell_ns) return;
+  const double rate = 1e9 / mean_gap_ns_;
+  auto lvl = level_.load(std::memory_order_relaxed);
+  if (rate > cfg_.escalate_rate && lvl != TraceLevel::kOff) {
+    level_.store(static_cast<TraceLevel>(static_cast<int>(lvl) + 1));
+    last_transition_ns_ = now;
+    level_changes_.fetch_add(1, std::memory_order_relaxed);
+    // Reset the estimate so one burst does not cascade straight to kOff.
+    mean_gap_ns_ = 0;
+  } else if (rate < cfg_.deescalate_rate && lvl != TraceLevel::kFull) {
+    level_.store(static_cast<TraceLevel>(static_cast<int>(lvl) - 1));
+    last_transition_ns_ = now;
+    level_changes_.fetch_add(1, std::memory_order_relaxed);
+    mean_gap_ns_ = 0;
+  }
+}
+
+}  // namespace prism::core

@@ -1,0 +1,99 @@
+// Pablo-style adaptive tracing levels (§4: "Pablo's IS supports adaptive
+// levels of tracing to dynamically alter the volume, frequency, and types
+// of event data recorded.  Adaptive management policies ensure that the IS
+// overheads remain low, particularly for long-running instrumented
+// programs").
+//
+// TracingThrottle is an EventSink decorator that watches the observed event
+// rate (EWMA of inter-event gaps) and moves between tracing levels:
+//
+//   kFull      — every record passes through;
+//   kSampled   — 1-in-N records pass (N = sample_stride);
+//   kCounting  — records are aggregated: one kSample record per
+//                aggregation window carries the count seen in that window;
+//   kOff       — everything is dropped (only level transitions reported).
+//
+// Transitions happen when the EWMA rate stays above `escalate_rate` (go one
+// level coarser) or below `deescalate_rate` (one level finer), with a
+// minimum dwell time to prevent flapping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/sensor.hpp"
+#include "trace/record.hpp"
+
+namespace prism::core {
+
+enum class TraceLevel : std::uint8_t { kFull = 0, kSampled, kCounting, kOff };
+
+std::string_view to_string(TraceLevel lvl);
+
+struct ThrottleConfig {
+  /// Events/second above which the throttle escalates one level.
+  double escalate_rate = 1e6;
+  /// Events/second below which it de-escalates one level.
+  double deescalate_rate = 1e5;
+  /// EWMA weight for the newest inter-event gap.
+  double smoothing = 0.05;
+  /// Minimum time between level changes (ns).
+  std::uint64_t dwell_ns = 1'000'000;
+  /// 1-in-N pass-through at kSampled.
+  std::uint32_t sample_stride = 16;
+  /// Window for kCounting aggregation (ns).
+  std::uint64_t counting_window_ns = 1'000'000;
+  /// Tag used for the aggregate records emitted at kCounting.
+  std::uint16_t counting_tag = 0xFFFF;
+  /// Renumber forwarded records' per-stream sequence so the throttled
+  /// output remains a contiguous stream (required when it feeds a causally
+  /// ordering ISM — suppressed records must not leave seq gaps).
+  bool renumber_seq = true;
+};
+
+class TracingThrottle {
+ public:
+  TracingThrottle(ThrottleConfig config, EventSink downstream);
+
+  /// The decorated sink: feed every would-be record here.
+  void offer(const trace::EventRecord& r);
+
+  TraceLevel level() const { return level_.load(std::memory_order_relaxed); }
+  double estimated_rate_per_sec() const;
+  std::uint64_t offered() const { return offered_.load(); }
+  std::uint64_t forwarded() const { return forwarded_.load(); }
+  std::uint64_t suppressed() const {
+    return offered_.load() - forwarded_.load();
+  }
+  std::uint64_t level_changes() const { return level_changes_.load(); }
+
+  /// Pins the level (disables adaptation); pass kFull..kOff.
+  void pin(TraceLevel lvl);
+  void unpin() { pinned_.store(false); }
+
+ private:
+  void maybe_transition(std::uint64_t now);
+  void forward(const trace::EventRecord& r);
+  void flush_window(std::uint64_t now, const trace::EventRecord& like);
+
+  ThrottleConfig cfg_;
+  EventSink down_;
+  std::mutex mu_;
+  double mean_gap_ns_ = 0;
+  std::uint64_t last_event_ns_ = 0;
+  std::uint64_t last_transition_ns_ = 0;
+  std::uint64_t window_start_ns_ = 0;
+  std::uint64_t window_count_ = 0;
+  std::uint32_t stride_cursor_ = 0;
+  std::uint64_t out_seq_ = 0;
+  std::atomic<TraceLevel> level_{TraceLevel::kFull};
+  std::atomic<bool> pinned_{false};
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> level_changes_{0};
+};
+
+}  // namespace prism::core

@@ -1,0 +1,138 @@
+#include "core/tool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+namespace prism::core {
+
+// ---------------------------------------------------------------- StatsTool
+
+void StatsTool::consume(const trace::EventRecord& r) {
+  std::lock_guard lk(mu_);
+  ++total_;
+  ++by_kind_[r.kind];
+  ++by_node_[r.node];
+  if (r.kind == trace::EventKind::kSample)
+    metrics_[r.tag].add(trace::unpack_double(r.payload));
+}
+
+std::uint64_t StatsTool::total() const {
+  std::lock_guard lk(mu_);
+  return total_;
+}
+
+std::uint64_t StatsTool::count(trace::EventKind k) const {
+  std::lock_guard lk(mu_);
+  auto it = by_kind_.find(k);
+  return it == by_kind_.end() ? 0 : it->second;
+}
+
+std::uint64_t StatsTool::count_for_node(std::uint32_t node) const {
+  std::lock_guard lk(mu_);
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? 0 : it->second;
+}
+
+stats::Summary StatsTool::metric(std::uint16_t tag) const {
+  std::lock_guard lk(mu_);
+  auto it = metrics_.find(tag);
+  return it == metrics_.end() ? stats::Summary{} : it->second;
+}
+
+void StatsTool::report(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  os << "StatsTool: " << total_ << " records\n";
+  for (auto& [kind, n] : by_kind_)
+    os << "  " << to_string(kind) << ": " << n << "\n";
+  for (auto& [node, n] : by_node_) os << "  node " << node << ": " << n << "\n";
+  for (auto& [tag, s] : metrics_)
+    os << "  metric " << tag << ": mean=" << s.mean() << " n=" << s.count()
+       << "\n";
+}
+
+// ---------------------------------------------------------------- TimelineTool
+
+TimelineTool::TimelineTool(std::size_t max_records) : max_(max_records) {
+  records_.reserve(std::min<std::size_t>(max_records, 1024));
+}
+
+void TimelineTool::consume(const trace::EventRecord& r) {
+  std::lock_guard lk(mu_);
+  ++seen_;
+  if (records_.size() < max_) records_.push_back(r);
+}
+
+std::string TimelineTool::render(std::size_t width) const {
+  std::lock_guard lk(mu_);
+  if (records_.empty()) return "(empty timeline)\n";
+  std::uint64_t t0 = UINT64_MAX, t1 = 0;
+  std::uint32_t max_node = 0;
+  for (const auto& r : records_) {
+    t0 = std::min(t0, r.timestamp);
+    t1 = std::max(t1, r.timestamp);
+    max_node = std::max(max_node, r.node);
+  }
+  const double span = t1 > t0 ? static_cast<double>(t1 - t0) : 1.0;
+  std::vector<std::string> lanes(max_node + 1, std::string(width, '.'));
+  for (const auto& r : records_) {
+    auto col = static_cast<std::size_t>(
+        static_cast<double>(r.timestamp - t0) / span * (width - 1));
+    char glyph = '*';
+    switch (r.kind) {
+      case trace::EventKind::kSend: glyph = 's'; break;
+      case trace::EventKind::kRecv: glyph = 'r'; break;
+      case trace::EventKind::kSample: glyph = '^'; break;
+      case trace::EventKind::kFlushBegin:
+      case trace::EventKind::kFlushEnd: glyph = 'F'; break;
+      case trace::EventKind::kBarrier: glyph = '|'; break;
+      default: break;
+    }
+    lanes[r.node][col] = glyph;
+  }
+  std::ostringstream os;
+  os << "timeline [" << t0 << " ns .. " << t1 << " ns], " << records_.size()
+     << " of " << seen_ << " records\n";
+  for (std::size_t n = 0; n < lanes.size(); ++n)
+    os << "node " << n << " |" << lanes[n] << "|\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- TraceFileTool
+
+TraceFileTool::TraceFileTool(const std::filesystem::path& path)
+    : writer_(path) {}
+
+void TraceFileTool::consume(const trace::EventRecord& r) {
+  std::lock_guard lk(mu_);
+  writer_.write(r);
+}
+
+void TraceFileTool::finish() {
+  std::lock_guard lk(mu_);
+  writer_.close();
+}
+
+std::uint64_t TraceFileTool::written() const {
+  std::lock_guard lk(mu_);
+  return writer_.records_written();
+}
+
+// ---------------------------------------------------------------- ThresholdWatchTool
+
+ThresholdWatchTool::ThresholdWatchTool(std::uint16_t tag, double threshold,
+                                       Trigger on_cross)
+    : tag_(tag), threshold_(threshold), on_cross_(std::move(on_cross)) {
+  if (!on_cross_) throw std::invalid_argument("ThresholdWatchTool: null trigger");
+}
+
+void ThresholdWatchTool::consume(const trace::EventRecord& r) {
+  if (r.kind != trace::EventKind::kSample || r.tag != tag_) return;
+  const double v = trace::unpack_double(r.payload);
+  if (v > threshold_) {
+    ++triggers_;
+    on_cross_(r, v);
+  }
+}
+
+}  // namespace prism::core

@@ -1,0 +1,113 @@
+// Tools — the consumers of processed instrumentation data (§2.3).
+//
+// "Tools receive instrumentation data from ISM output buffers or a mass
+// storage device, depending on on-line or off-line usage."  A Tool is a
+// sink with a lifecycle; the bundled implementations cover the four tool
+// types of Fig. 3 (performance evaluation, debugging, steering,
+// visualization) in miniature so examples and tests have real consumers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "trace/file.hpp"
+#include "trace/record.hpp"
+
+namespace prism::core {
+
+class Tool {
+ public:
+  virtual ~Tool() = default;
+  virtual std::string_view name() const = 0;
+  /// Consumes one processed (causally ordered, logically stamped) record.
+  /// Called from the ISM's dispatch thread.
+  virtual void consume(const trace::EventRecord& r) = 0;
+  /// Called once when the environment shuts down.
+  virtual void finish() {}
+};
+
+/// Performance-evaluation tool: per-kind and per-node event counts plus
+/// metric summaries for kSample records (tag -> summary of values).
+class StatsTool final : public Tool {
+ public:
+  std::string_view name() const override { return "stats"; }
+  void consume(const trace::EventRecord& r) override;
+  void finish() override {}
+
+  std::uint64_t total() const;
+  std::uint64_t count(trace::EventKind k) const;
+  std::uint64_t count_for_node(std::uint32_t node) const;
+  /// Summary of sampled values for a metric tag.
+  stats::Summary metric(std::uint16_t tag) const;
+  /// Renders a report.
+  void report(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<trace::EventKind, std::uint64_t> by_kind_;
+  std::map<std::uint32_t, std::uint64_t> by_node_;
+  std::map<std::uint16_t, stats::Summary> metrics_;
+  std::uint64_t total_ = 0;
+};
+
+/// Visualization stand-in: retains up to `max_records` ordered records and
+/// renders an ASCII space-time timeline (one lane per node).
+class TimelineTool final : public Tool {
+ public:
+  explicit TimelineTool(std::size_t max_records = 4096);
+  std::string_view name() const override { return "timeline"; }
+  void consume(const trace::EventRecord& r) override;
+
+  const std::vector<trace::EventRecord>& records() const { return records_; }
+  /// ASCII rendering: `width` columns spanning the observed time range.
+  std::string render(std::size_t width = 72) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_;
+  std::vector<trace::EventRecord> records_;
+  std::uint64_t seen_ = 0;
+};
+
+/// Off-line consumer: appends every record to a trace file.
+class TraceFileTool final : public Tool {
+ public:
+  explicit TraceFileTool(const std::filesystem::path& path);
+  std::string_view name() const override { return "trace_file"; }
+  void consume(const trace::EventRecord& r) override;
+  void finish() override;
+  std::uint64_t written() const;
+
+ private:
+  mutable std::mutex mu_;
+  trace::TraceFileWriter writer_;
+};
+
+/// Debugging/steering stand-in: watches a metric tag and invokes a callback
+/// when its sampled value crosses a threshold (a steering trigger).
+class ThresholdWatchTool final : public Tool {
+ public:
+  using Trigger = std::function<void(const trace::EventRecord&, double)>;
+  ThresholdWatchTool(std::uint16_t tag, double threshold, Trigger on_cross);
+  std::string_view name() const override { return "threshold_watch"; }
+  void consume(const trace::EventRecord& r) override;
+  std::uint64_t triggers() const { return triggers_.load(); }
+
+ private:
+  std::uint16_t tag_;
+  double threshold_;
+  Trigger on_cross_;
+  std::atomic<std::uint64_t> triggers_{0};
+};
+
+}  // namespace prism::core

@@ -1,0 +1,148 @@
+#include "core/tool_registry.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace prism::core {
+
+std::string_view to_string(AnalysisSupport v) {
+  switch (v) {
+    case AnalysisSupport::kOffline: return "Off-line";
+    case AnalysisSupport::kOnline: return "On-line";
+    case AnalysisSupport::kOnOffline: return "On-/Off-line";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SynthesisApproach v) {
+  switch (v) {
+    case SynthesisApproach::kHardCoded: return "Hard-coded";
+    case SynthesisApproach::kApplicationSpecific: return "Application-specific";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ManagementApproach v) {
+  switch (v) {
+    case ManagementApproach::kStatic: return "Static";
+    case ManagementApproach::kAdaptive: return "Adaptive";
+    case ManagementApproach::kApplicationSpecific:
+      return "Application-specific";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(EvaluationApproach v) {
+  switch (v) {
+    case EvaluationApproach::kNone: return "-";
+    case EvaluationApproach::kAdaptiveCostModel: return "Adaptive cost model";
+    case EvaluationApproach::kPerturbationFactors:
+      return "Perturbation factors";
+    case EvaluationApproach::kAccountableInvasiveness:
+      return "Accountable invasiveness";
+    case EvaluationApproach::kStructuredModeling: return "Structured modeling";
+  }
+  return "unknown";
+}
+
+void ToolRegistry::add(ToolSurveyEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+std::optional<ToolSurveyEntry> ToolRegistry::find(std::string_view name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return e;
+  return std::nullopt;
+}
+
+std::vector<ToolSurveyEntry> ToolRegistry::with_analysis(
+    AnalysisSupport a) const {
+  std::vector<ToolSurveyEntry> out;
+  std::copy_if(entries_.begin(), entries_.end(), std::back_inserter(out),
+               [a](const auto& e) { return e.analysis == a; });
+  return out;
+}
+
+std::vector<ToolSurveyEntry> ToolRegistry::with_management(
+    ManagementApproach m) const {
+  std::vector<ToolSurveyEntry> out;
+  std::copy_if(entries_.begin(), entries_.end(), std::back_inserter(out),
+               [m](const auto& e) { return e.management == m; });
+  return out;
+}
+
+std::vector<ToolSurveyEntry> ToolRegistry::with_evaluation(
+    EvaluationApproach e) const {
+  std::vector<ToolSurveyEntry> out;
+  std::copy_if(entries_.begin(), entries_.end(), std::back_inserter(out),
+               [e](const auto& x) { return x.evaluation == e; });
+  return out;
+}
+
+std::string ToolRegistry::render() const {
+  std::ostringstream os;
+  auto col = [&](std::string_view s, int w) {
+    os << std::left << std::setw(w) << std::string(s).substr(0, w - 1);
+  };
+  col("Tool", 16);
+  col("Analysis", 14);
+  col("LIS", 26);
+  col("ISM", 24);
+  col("Synthesis", 22);
+  col("Management", 22);
+  col("Evaluation", 28);
+  os << "\n" << std::string(150, '-') << "\n";
+  for (const auto& e : entries_) {
+    col(e.name, 16);
+    col(to_string(e.analysis), 14);
+    col(e.lis, 26);
+    col(e.ism, 24);
+    col(to_string(e.synthesis), 22);
+    col(to_string(e.management), 22);
+    col(e.evaluation_note.empty() ? std::string(to_string(e.evaluation))
+                                  : e.evaluation_note,
+        28);
+    os << "\n";
+  }
+  return os.str();
+}
+
+ToolRegistry ToolRegistry::paper_table8() {
+  ToolRegistry r;
+  r.add({"PICL", AnalysisSupport::kOffline,
+         "Local buffers using runtime library", "Trace file",
+         SynthesisApproach::kHardCoded, ManagementApproach::kStatic,
+         EvaluationApproach::kNone, ""});
+  r.add({"AIMS", AnalysisSupport::kOffline, "Library", "Trace file",
+         SynthesisApproach::kHardCoded, ManagementApproach::kStatic,
+         EvaluationApproach::kNone, ""});
+  r.add({"Pablo", AnalysisSupport::kOffline, "Library", "Trace file",
+         SynthesisApproach::kHardCoded, ManagementApproach::kAdaptive,
+         EvaluationApproach::kNone, ""});
+  r.add({"Paradyn", AnalysisSupport::kOnline, "Local daemon",
+         "Main Paradyn process", SynthesisApproach::kApplicationSpecific,
+         ManagementApproach::kAdaptive, EvaluationApproach::kAdaptiveCostModel,
+         "Adaptive cost model"});
+  r.add({"Falcon/Issos", AnalysisSupport::kOnOffline, "Resident monitor",
+         "Central monitor", SynthesisApproach::kApplicationSpecific,
+         ManagementApproach::kApplicationSpecific,
+         EvaluationApproach::kPerturbationFactors,
+         "Perturbation factor evaluation"});
+  r.add({"ParAide(TAM)", AnalysisSupport::kOnOffline, "Library",
+         "Event trace server", SynthesisApproach::kHardCoded,
+         ManagementApproach::kStatic,
+         EvaluationApproach::kAccountableInvasiveness,
+         "Accountable invasiveness"});
+  r.add({"SPI", AnalysisSupport::kOnOffline, "Library",
+         "Event-Action machines", SynthesisApproach::kApplicationSpecific,
+         ManagementApproach::kApplicationSpecific,
+         EvaluationApproach::kAccountableInvasiveness,
+         "Accountable invasiveness"});
+  r.add({"VIZIR", AnalysisSupport::kOnOffline, "Library", "VIZIR front-end",
+         SynthesisApproach::kHardCoded, ManagementApproach::kStatic,
+         EvaluationApproach::kNone, ""});
+  return r;
+}
+
+}  // namespace prism::core

@@ -1,0 +1,54 @@
+// The Table 8 survey: IS features of representative parallel tools.
+//
+// "This paper classifies an IS in terms of (1) the time constraints imposed
+// by analysis tools in the environment, and (2) IS development, management,
+// and evaluation approaches" (§1); Table 8 instantiates that classification
+// for PICL, AIMS, Pablo, Paradyn, Falcon/Issos/ChaosMON, ParAide (TAM), SPI,
+// and VIZIR.  The registry makes the taxonomy queryable (find all on-line
+// adaptive ISs, ...) and renders the table for the Table 8 bench.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/classification.hpp"
+
+namespace prism::core {
+
+struct ToolSurveyEntry {
+  std::string name;
+  AnalysisSupport analysis;
+  std::string lis;  ///< nature of the LIS component
+  std::string ism;  ///< nature of the ISM component
+  SynthesisApproach synthesis;
+  ManagementApproach management;
+  EvaluationApproach evaluation;
+  std::string evaluation_note;  ///< Table 8 "Evaluation Approach" cell text
+};
+
+class ToolRegistry {
+ public:
+  /// The registry preloaded with the paper's Table 8 rows.
+  static ToolRegistry paper_table8();
+
+  /// An empty registry for user extension.
+  ToolRegistry() = default;
+
+  void add(ToolSurveyEntry entry);
+  const std::vector<ToolSurveyEntry>& entries() const { return entries_; }
+  std::optional<ToolSurveyEntry> find(std::string_view name) const;
+
+  std::vector<ToolSurveyEntry> with_analysis(AnalysisSupport a) const;
+  std::vector<ToolSurveyEntry> with_management(ManagementApproach m) const;
+  std::vector<ToolSurveyEntry> with_evaluation(EvaluationApproach e) const;
+
+  /// Renders the survey as an aligned text table (the Table 8 bench output).
+  std::string render() const;
+
+ private:
+  std::vector<ToolSurveyEntry> entries_;
+};
+
+}  // namespace prism::core

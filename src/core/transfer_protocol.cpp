@@ -1,0 +1,77 @@
+#include "core/transfer_protocol.hpp"
+
+#include <stdexcept>
+
+namespace prism::core {
+
+std::string_view to_string(ControlKind k) {
+  switch (k) {
+    case ControlKind::kStart: return "start";
+    case ControlKind::kStop: return "stop";
+    case ControlKind::kFlushAll: return "flush_all";
+    case ControlKind::kSetSamplingPeriod: return "set_sampling_period";
+    case ControlKind::kEnableInstrumentation: return "enable_instrumentation";
+    case ControlKind::kDisableInstrumentation: return "disable_instrumentation";
+    case ControlKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TpFlavor f) {
+  switch (f) {
+    case TpFlavor::kPipe: return "pipe";
+    case TpFlavor::kSocket: return "socket";
+    case TpFlavor::kRpc: return "rpc";
+    case TpFlavor::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+TransferProtocol::TransferProtocol(TpFlavor flavor, std::size_t nodes,
+                                   std::size_t data_links,
+                                   std::size_t link_capacity)
+    : flavor_(flavor) {
+  if (nodes == 0) throw std::invalid_argument("TransferProtocol: 0 nodes");
+  if (data_links == 0 || (data_links != 1 && data_links != nodes))
+    throw std::invalid_argument(
+        "TransferProtocol: data_links must be 1 (SISO) or == nodes (MISO)");
+  datas_.reserve(data_links);
+  for (std::size_t i = 0; i < data_links; ++i)
+    datas_.push_back(std::make_unique<DataLink>(link_capacity));
+  controls_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i)
+    controls_.push_back(std::make_unique<ControlLink>(link_capacity));
+}
+
+DataLink& TransferProtocol::data_link_for(std::uint32_t node) {
+  if (node >= controls_.size())
+    throw std::out_of_range("TransferProtocol: bad node");
+  return datas_.size() == 1 ? *datas_[0] : *datas_.at(node);
+}
+
+ControlLink& TransferProtocol::control_link(std::uint32_t node) {
+  return *controls_.at(node);
+}
+
+void TransferProtocol::broadcast(const ControlMessage& m) {
+  for (std::size_t i = 0; i < controls_.size(); ++i) {
+    ControlMessage copy = m;
+    copy.target_node = static_cast<std::uint32_t>(i);
+    controls_[i]->try_push(copy);
+  }
+}
+
+void TransferProtocol::close_all() {
+  close_data_links();
+  close_control_links();
+}
+
+void TransferProtocol::close_data_links() {
+  for (auto& d : datas_) d->close();
+}
+
+void TransferProtocol::close_control_links() {
+  for (auto& c : controls_) c->close();
+}
+
+}  // namespace prism::core

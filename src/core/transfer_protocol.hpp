@@ -1,0 +1,103 @@
+// The Transfer Protocol (TP) component of the generic IS model (§2.2.3).
+//
+// "Instrumentation data are transferred from the LIS to the ISM and further
+// to various analysis and visualization tools ... Data transfer to the tools
+// is typically accompanied by an exchange of control signals between the ISM
+// and a tool ... Additionally, control messages may need to be passed between
+// the ISM and concurrent application processes (directly or via the LIS)."
+//
+// The TP here is a consistent message format (data batches + control
+// messages) over bounded blocking links.  Links model the OS IPC flavors of
+// Fig. 3 (pipe / socket / RPC) — semantically they differ only in the
+// descriptive flavor tag and default capacity; all provide FIFO,
+// finite-capacity, blocking delivery, which is the behavior every model in
+// the paper depends on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "trace/record.hpp"
+
+namespace prism::core {
+
+/// A batch of instrumentation data in flight from a LIS to the ISM.
+struct DataBatch {
+  std::uint32_t source_node = 0;
+  /// Physical time the batch entered the TP (ns), for latency accounting.
+  std::uint64_t t_sent_ns = 0;
+  std::vector<trace::EventRecord> records;
+};
+
+/// Control-plane message kinds.
+enum class ControlKind : std::uint8_t {
+  kStart,                 ///< begin data collection
+  kStop,                  ///< stop data collection
+  kFlushAll,              ///< FAOF broadcast: flush local buffers now
+  kSetSamplingPeriod,     ///< value = new period (ns)
+  kEnableInstrumentation, ///< value = metric/probe id
+  kDisableInstrumentation,///< value = metric/probe id
+  kShutdown,              ///< tear down the receiver
+};
+
+std::string_view to_string(ControlKind k);
+
+struct ControlMessage {
+  ControlKind kind = ControlKind::kStart;
+  std::uint32_t target_node = 0;
+  double value = 0.0;
+};
+
+using Message = std::variant<DataBatch, ControlMessage>;
+
+/// One FIFO link of the transfer protocol.
+using DataLink = Channel<Message>;
+using ControlLink = Channel<ControlMessage>;
+
+/// IPC flavor tags of Fig. 3 ("RPC / Sockets / Pipes") plus the
+/// custom-protocol option the paper notes for VIZIR.
+enum class TpFlavor : std::uint8_t { kPipe, kSocket, kRpc, kCustom };
+
+std::string_view to_string(TpFlavor f);
+
+/// Wiring for one integrated environment: data links from each LIS toward
+/// the ISM and a control link back to each LIS.  The number of data links is
+/// an ISM input-buffer configuration decision (SISO shares one link; MISO
+/// uses one per node) — see IsmConfig.
+class TransferProtocol {
+ public:
+  TransferProtocol(TpFlavor flavor, std::size_t nodes,
+                   std::size_t data_links, std::size_t link_capacity);
+
+  TpFlavor flavor() const { return flavor_; }
+  std::size_t nodes() const { return controls_.size(); }
+  std::size_t data_link_count() const { return datas_.size(); }
+
+  /// Data link that node `node` should send on (SISO maps all nodes to
+  /// link 0; MISO maps node i to link i).
+  DataLink& data_link_for(std::uint32_t node);
+  DataLink& data_link(std::size_t index) { return *datas_.at(index); }
+
+  ControlLink& control_link(std::uint32_t node);
+
+  /// Broadcasts a control message to every node's control link.
+  void broadcast(const ControlMessage& m);
+
+  /// Closes every link (shutdown path).
+  void close_all();
+  /// Closes only the data plane (lets control messages emitted while the
+  /// ISM drains — e.g. steering actions — still land in the control links).
+  void close_data_links();
+  void close_control_links();
+
+ private:
+  TpFlavor flavor_;
+  std::vector<std::unique_ptr<DataLink>> datas_;
+  std::vector<std::unique_ptr<ControlLink>> controls_;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,136 @@
+#include "core/views.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prism::core {
+
+std::string_view to_string(ViewAggregate a) {
+  switch (a) {
+    case ViewAggregate::kMean: return "mean";
+    case ViewAggregate::kMax: return "max";
+    case ViewAggregate::kMin: return "min";
+    case ViewAggregate::kSum: return "sum";
+    case ViewAggregate::kCount: return "count";
+    case ViewAggregate::kRate: return "rate";
+  }
+  return "unknown";
+}
+
+MetricViewTool::MetricViewTool(
+    std::vector<ViewDef> views,
+    std::function<void(const trace::EventRecord&)> sink)
+    : sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("MetricViewTool: null sink");
+  if (views.empty()) throw std::invalid_argument("MetricViewTool: no views");
+  for (auto& def : views) {
+    if (def.name.empty())
+      throw std::invalid_argument("MetricViewTool: unnamed view");
+    if (def.window_ns == 0)
+      throw std::invalid_argument("MetricViewTool: zero window in '" +
+                                  def.name + "'");
+    ViewState st;
+    st.def = def;
+    views_.push_back(std::move(st));
+  }
+}
+
+bool MetricViewTool::matches(const ViewState& v, const trace::EventRecord& r) {
+  if (r.tag != v.def.source_tag) return false;
+  if (v.def.node_filter != 0xFFFFFFFFu && r.node != v.def.node_filter)
+    return false;
+  const bool value_view = v.def.aggregate != ViewAggregate::kCount &&
+                          v.def.aggregate != ViewAggregate::kRate;
+  if (value_view && r.kind != trace::EventKind::kSample) return false;
+  return true;
+}
+
+void MetricViewTool::consume(const trace::EventRecord& r) {
+  std::lock_guard lk(mu_);
+  for (auto& v : views_) {
+    if (!matches(v, r)) continue;
+    // Tumbling windows by record time; late records fold into the current
+    // window (the stream is causally, not totally, ordered).
+    if (!v.window_open) {
+      v.window_open = true;
+      v.window_start = r.timestamp;
+      v.count = 0;
+      v.sum = 0;
+      v.min = 0;
+      v.max = 0;
+    } else if (r.timestamp >= v.window_start + v.def.window_ns) {
+      emit(v, v.window_start + v.def.window_ns);
+      // Re-open at the boundary grid so rates stay comparable.
+      const std::uint64_t periods =
+          (r.timestamp - v.window_start) / v.def.window_ns;
+      v.window_start += periods * v.def.window_ns;
+      v.count = 0;
+      v.sum = 0;
+      v.min = 0;
+      v.max = 0;
+    }
+    const double value = trace::unpack_double(r.payload);
+    if (v.count == 0) {
+      v.min = value;
+      v.max = value;
+    } else {
+      v.min = std::min(v.min, value);
+      v.max = std::max(v.max, value);
+    }
+    ++v.count;
+    v.sum += value;
+  }
+}
+
+void MetricViewTool::emit(ViewState& v, std::uint64_t window_end) {
+  double out = 0;
+  switch (v.def.aggregate) {
+    case ViewAggregate::kMean:
+      out = v.count ? v.sum / static_cast<double>(v.count) : 0.0;
+      break;
+    case ViewAggregate::kMax: out = v.max; break;
+    case ViewAggregate::kMin: out = v.min; break;
+    case ViewAggregate::kSum: out = v.sum; break;
+    case ViewAggregate::kCount: out = static_cast<double>(v.count); break;
+    case ViewAggregate::kRate:
+      out = static_cast<double>(v.count) * 1e9 /
+            static_cast<double>(v.def.window_ns);
+      break;
+  }
+  trace::EventRecord derived;
+  derived.timestamp = window_end;
+  derived.node = v.def.node_filter == 0xFFFFFFFFu ? 0 : v.def.node_filter;
+  derived.process = 0xFFFFFFFEu;  // views' own pseudo-process
+  derived.kind = trace::EventKind::kSample;
+  derived.tag = v.def.output_tag;
+  derived.payload = trace::pack_double(out);
+  derived.seq = v.seq++;
+  ++v.windows;
+  v.emitted.add(out);
+  sink_(derived);
+}
+
+void MetricViewTool::finish() {
+  std::lock_guard lk(mu_);
+  for (auto& v : views_) {
+    if (v.window_open && v.count > 0)
+      emit(v, v.window_start + v.def.window_ns);
+    v.window_open = false;
+  }
+}
+
+std::uint64_t MetricViewTool::windows_emitted(const std::string& view) const {
+  std::lock_guard lk(mu_);
+  for (const auto& v : views_)
+    if (v.def.name == view) return v.windows;
+  throw std::out_of_range("MetricViewTool: unknown view " + view);
+}
+
+stats::Summary MetricViewTool::emitted_values(const std::string& view) const {
+  std::lock_guard lk(mu_);
+  for (const auto& v : views_)
+    if (v.def.name == view) return v.emitted;
+  throw std::out_of_range("MetricViewTool: unknown view " + view);
+}
+
+}  // namespace prism::core

@@ -1,0 +1,90 @@
+// Falcon-style metric views (§4 / Table 8: Falcon specifies monitoring with
+// "a low-level sensor specification language and a higher level view
+// specification language").  A *view* is a derived metric computed on-line
+// from the ISM's ordered record stream — windowed aggregates of raw samples
+// or event rates — re-emitted as kSample records so downstream tools
+// (thresholds, steering, event-action rules) compose on top of them.
+//
+// MetricViewTool evaluates a set of view definitions; each view owns a
+// tumbling window (by record timestamp) and emits one derived sample per
+// window into the view sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tool.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::core {
+
+enum class ViewAggregate : std::uint8_t {
+  kMean,   ///< mean of sample values in the window
+  kMax,    ///< max sample value
+  kMin,    ///< min sample value
+  kSum,    ///< sum of sample values
+  kCount,  ///< number of matching records (any kind)
+  kRate,   ///< matching records per second
+};
+
+std::string_view to_string(ViewAggregate a);
+
+struct ViewDef {
+  std::string name;
+  /// Records feeding the view: kSample records with this tag (for value
+  /// aggregates) or any record with this tag (for kCount / kRate).
+  std::uint16_t source_tag = 0;
+  /// kCount/kRate accept any kind; value aggregates require kSample.
+  ViewAggregate aggregate = ViewAggregate::kMean;
+  /// Tumbling window length (ns of record time).
+  std::uint64_t window_ns = 1'000'000'000;
+  /// Tag of the emitted derived samples.
+  std::uint16_t output_tag = 0;
+  /// Restrict to one node (nullopt-like: 0xFFFFFFFF = all nodes).
+  std::uint32_t node_filter = 0xFFFFFFFFu;
+};
+
+class MetricViewTool final : public Tool {
+ public:
+  /// Derived samples are delivered to `sink` (e.g. another tool, a steering
+  /// policy, or back into a LIS for re-injection).
+  MetricViewTool(std::vector<ViewDef> views,
+                 std::function<void(const trace::EventRecord&)> sink);
+
+  std::string_view name() const override { return "metric_views"; }
+  void consume(const trace::EventRecord& r) override;
+  /// Flushes all open windows (end of run).
+  void finish() override;
+
+  /// Windows emitted per view.
+  std::uint64_t windows_emitted(const std::string& view) const;
+  /// Summary of a view's emitted values.
+  stats::Summary emitted_values(const std::string& view) const;
+
+ private:
+  struct ViewState {
+    ViewDef def;
+    bool window_open = false;
+    std::uint64_t window_start = 0;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t windows = 0;
+    stats::Summary emitted;
+  };
+
+  void emit(ViewState& v, std::uint64_t window_end);
+  static bool matches(const ViewState& v, const trace::EventRecord& r);
+
+  std::function<void(const trace::EventRecord&)> sink_;
+  mutable std::mutex mu_;
+  std::vector<ViewState> views_;
+};
+
+}  // namespace prism::core

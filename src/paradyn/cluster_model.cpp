@@ -1,0 +1,275 @@
+#include "paradyn/cluster_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/collectors.hpp"
+#include "sim/engine.hpp"
+#include "sim/replication.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::paradyn {
+
+void ClusterModelParams::validate() const {
+  if (nodes == 0) throw std::invalid_argument("ClusterModelParams: 0 nodes");
+  if (app_processes_per_node == 0)
+    throw std::invalid_argument("ClusterModelParams: 0 processes");
+  if (!(sampling_period_ms > 0) || !(horizon_ms > 0))
+    throw std::invalid_argument("ClusterModelParams: bad times");
+  if (!(sample_rate_per_process >= 0) || !(ism_per_sample_ms >= 0) ||
+      !(net_base_ms >= 0) || !(net_per_sample_ms >= 0) ||
+      !(ism_per_batch_ms >= 0) || !(aggregator_per_batch_ms >= 0))
+    throw std::invalid_argument("ClusterModelParams: negative cost");
+  if (aggregator_fanout == 1)
+    throw std::invalid_argument(
+        "ClusterModelParams: aggregator_fanout must be 0 (flat) or >= 2");
+}
+
+namespace {
+
+struct Batch {
+  double oldest_sample_t = 0;  ///< generation time of the oldest sample
+  double mean_sample_t = 0;    ///< average generation time in the batch
+  std::uint64_t samples = 0;
+  std::uint64_t merged_from = 1;  ///< daemon batches folded in (tree mode)
+};
+
+struct Cluster {
+  const ClusterModelParams& p;
+  sim::Engine eng;
+  stats::Rng rng;
+
+  // Shared network: FIFO single server over batches.
+  std::deque<Batch> net_queue;
+  bool net_busy = false;
+  sim::UtilizationTracker net_util;
+
+  // ISM: single server over batches (sample-proportional service).
+  std::deque<Batch> ism_queue;
+  bool ism_busy = false;
+  sim::UtilizationTracker ism_util;
+  stats::TimeWeighted ism_qlen;
+
+  stats::Summary sample_latency;
+  stats::P2Quantile sample_p95{0.95};
+  std::uint64_t samples_done = 0;
+  std::uint64_t batches = 0;
+
+  // Per-node accumulation since the last daemon wakeup.
+  std::vector<double> pending_samples;
+  std::vector<double> pending_time_sum;  ///< sum of generation times
+
+  // Tree mode: per-aggregator batches awaiting the periodic merge flush.
+  struct AggState {
+    std::vector<Batch> inbox;
+  };
+  std::vector<AggState> aggs;
+
+  Cluster(const ClusterModelParams& params, stats::Rng r)
+      : p(params), rng(r), pending_samples(params.nodes, 0),
+        pending_time_sum(params.nodes, 0) {
+    if (p.aggregator_fanout >= 2)
+      aggs.resize((p.nodes + p.aggregator_fanout - 1) / p.aggregator_fanout);
+  }
+
+  double exp_draw(double mean) {
+    return mean <= 0 ? 0.0 : -std::log(rng.next_double_open()) * mean;
+  }
+
+  void start() {
+    // Sample generation per node: aggregated Poisson over its processes.
+    for (unsigned n = 0; n < p.nodes; ++n) {
+      schedule_generation(n);
+      schedule_wakeup(n);
+    }
+    // Tree mode: aggregators flush every period, offset by half a period so
+    // daemon batches have arrived.
+    for (unsigned a = 0; a < aggs.size(); ++a) {
+      eng.schedule_after(1.5 * p.sampling_period_ms,
+                         [this, a] { aggregator_flush(a); });
+    }
+  }
+
+  void aggregator_flush(unsigned a) {
+    if (eng.now() <= p.horizon_ms + 2 * p.sampling_period_ms)
+      eng.schedule_after(p.sampling_period_ms,
+                         [this, a] { aggregator_flush(a); });
+    auto& inbox = aggs[a].inbox;
+    if (inbox.empty()) return;
+    Batch merged;
+    merged.samples = 0;
+    merged.merged_from = inbox.size();
+    merged.oldest_sample_t = inbox.front().oldest_sample_t;
+    double weighted_t = 0;
+    for (const Batch& b : inbox) {
+      merged.samples += b.samples;
+      weighted_t += b.mean_sample_t * static_cast<double>(b.samples);
+      merged.oldest_sample_t =
+          std::min(merged.oldest_sample_t, b.oldest_sample_t);
+    }
+    merged.mean_sample_t =
+        merged.samples > 0 ? weighted_t / static_cast<double>(merged.samples)
+                           : eng.now();
+    const double merge_cost =
+        p.aggregator_per_batch_ms * static_cast<double>(inbox.size());
+    inbox.clear();
+    eng.schedule_after(merge_cost, [this, merged] { enqueue_network(merged); });
+  }
+
+  void schedule_generation(unsigned node) {
+    const double rate =
+        p.sample_rate_per_process * p.app_processes_per_node;  // per ms
+    if (rate <= 0) return;
+    eng.schedule_after(exp_draw(1.0 / rate), [this, node] {
+      if (eng.now() <= p.horizon_ms) {
+        pending_samples[node] += 1;
+        pending_time_sum[node] += eng.now();
+        schedule_generation(node);
+      }
+    });
+  }
+
+  void schedule_wakeup(unsigned node) {
+    eng.schedule_after(p.sampling_period_ms, [this, node] {
+      if (eng.now() > p.horizon_ms + p.sampling_period_ms) return;
+      if (pending_samples[node] > 0) {
+        Batch b;
+        b.samples = static_cast<std::uint64_t>(pending_samples[node]);
+        b.mean_sample_t = pending_time_sum[node] / pending_samples[node];
+        b.oldest_sample_t = eng.now() - p.sampling_period_ms;
+        pending_samples[node] = 0;
+        pending_time_sum[node] = 0;
+        if (aggs.empty()) {
+          // Flat: daemon collection cost delays the network hand-off.
+          eng.schedule_after(p.daemon_batch_cpu_ms,
+                             [this, b] { enqueue_network(b); });
+        } else {
+          // Tree: ship to this node's aggregator over its local link
+          // (parallel links within a group; no shared-net contention).
+          const unsigned a = node / p.aggregator_fanout;
+          const double local_transfer =
+              p.daemon_batch_cpu_ms + p.net_base_ms +
+              p.net_per_sample_ms * static_cast<double>(b.samples);
+          eng.schedule_after(local_transfer,
+                             [this, a, b] { aggs[a].inbox.push_back(b); });
+        }
+      }
+      schedule_wakeup(node);
+    });
+  }
+
+  void enqueue_network(const Batch& b) {
+    net_queue.push_back(b);
+    maybe_start_network();
+  }
+
+  void maybe_start_network() {
+    if (net_busy || net_queue.empty()) return;
+    net_busy = true;
+    const Batch b = net_queue.front();
+    net_queue.pop_front();
+    net_util.begin_busy(eng.now(), 0);
+    const double transfer =
+        p.net_base_ms + p.net_per_sample_ms * static_cast<double>(b.samples);
+    eng.schedule_after(transfer, [this, b] {
+      net_util.end_busy(eng.now());
+      net_busy = false;
+      enqueue_ism(b);
+      maybe_start_network();
+    });
+  }
+
+  void enqueue_ism(const Batch& b) {
+    ism_queue.push_back(b);
+    ism_qlen.set(eng.now(), static_cast<double>(ism_queue.size()));
+    maybe_start_ism();
+  }
+
+  void maybe_start_ism() {
+    if (ism_busy || ism_queue.empty()) return;
+    ism_busy = true;
+    const Batch b = ism_queue.front();
+    ism_queue.pop_front();
+    ism_qlen.set(eng.now(), static_cast<double>(ism_queue.size()));
+    ism_util.begin_busy(eng.now(), 0);
+    const double service =
+        p.ism_per_batch_ms +
+        exp_draw(p.ism_per_sample_ms) * static_cast<double>(b.samples);
+    eng.schedule_after(service, [this, b] {
+      ism_util.end_busy(eng.now());
+      ism_busy = false;
+      ++batches;
+      samples_done += b.samples;
+      const double latency = eng.now() - b.mean_sample_t;
+      for (std::uint64_t i = 0; i < b.samples; ++i) {
+        sample_latency.add(latency);
+        sample_p95.add(latency);
+      }
+      maybe_start_ism();
+    });
+  }
+};
+
+}  // namespace
+
+ClusterModelMetrics run_cluster_model(const ClusterModelParams& params,
+                                      stats::Rng rng) {
+  params.validate();
+  Cluster c(params, rng);
+  c.start();
+  // Drain bound: a saturated ISM never empties; cap at 2x horizon.
+  c.eng.run_until(params.horizon_ms);
+  const std::uint64_t drain_budget = 4'000'000;
+  std::uint64_t steps = 0;
+  while (!c.eng.empty() && c.eng.now() < 2 * params.horizon_ms &&
+         steps++ < drain_budget)
+    c.eng.step();
+
+  ClusterModelMetrics m;
+  c.net_util.flush(c.eng.now());
+  c.ism_util.flush(c.eng.now());
+  // Utilizations over the measurement horizon, not the drain tail.
+  m.network_utilization =
+      std::min(1.0, c.net_util.busy_time() / params.horizon_ms);
+  m.ism_utilization =
+      std::min(1.0, c.ism_util.busy_time() / params.horizon_ms);
+  m.mean_sample_latency_ms = c.sample_latency.mean();
+  if (c.sample_p95.count() > 0) m.p95_sample_latency_ms = c.sample_p95.value();
+  m.mean_ism_queue = c.ism_qlen.time_average_until(c.eng.now());
+  m.samples_analyzed = c.samples_done;
+  m.batches = c.batches;
+  m.stable = c.ism_queue.empty() && c.net_queue.empty();
+  return m;
+}
+
+std::vector<ClusterSweepPoint> sweep_cluster_size(
+    const ClusterModelParams& base, const std::vector<unsigned>& node_counts,
+    unsigned replications, std::uint64_t seed) {
+  std::vector<ClusterSweepPoint> out;
+  out.reserve(node_counts.size());
+  for (unsigned n : node_counts) {
+    ClusterModelParams p = base;
+    p.nodes = n;
+    auto rr = sim::replicate(
+        replications, seed, 7'000'000ull + n,
+        [&p](stats::Rng& rng) -> sim::Responses {
+          const auto m = run_cluster_model(p, rng);
+          return {{"latency", m.mean_sample_latency_ms},
+                  {"ism_util", m.ism_utilization},
+                  {"net_util", m.network_utilization}};
+        });
+    ClusterSweepPoint pt;
+    pt.nodes = n;
+    pt.latency = rr.ci("latency", 0.90);
+    pt.ism_utilization = rr.ci("ism_util", 0.90);
+    pt.network_utilization = rr.ci("net_util", 0.90);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace prism::paradyn

@@ -1,0 +1,85 @@
+// The full Figure 7 queueing model of the Paradyn IS: P nodes, each with a
+// local daemon (LIS) collecting samples from its application processes'
+// pipes, forwarding batches over a shared network to the main Paradyn
+// process (ISM), modeled as a single-server queue that analyzes arriving
+// samples.
+//
+// "On each node, the LIS acts as a server to collect data from the local
+// application processes.  It forwards that data to the ISM over the
+// network.  The ISM is another server that accepts the instrumentation data
+// from all the distributed LISs and analyzes the data ...  These samples
+// compete for network resources to reach the ISM and undergo random delays
+// before arriving.  The ISM receives the samples, one at a time, and is
+// modeled as a single server queuing system." (§3.2.2)
+//
+// This answers the cluster-scale what-if the single-node ROCC model cannot:
+// at what node count does the *central* ISM (or the shared network) become
+// the bottleneck, and how does end-to-end sample latency grow?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::paradyn {
+
+struct ClusterModelParams {
+  unsigned nodes = 8;                    ///< P daemons
+  unsigned app_processes_per_node = 4;   ///< pipes per daemon
+  double sampling_period_ms = 200.0;     ///< daemon wakeup period
+  double sample_rate_per_process = 0.02; ///< samples/ms each process emits
+  /// Daemon per-batch collection cost (local CPU, not modeled as shared —
+  /// the single-node ROCC model covers that contention).
+  double daemon_batch_cpu_ms = 0.5;
+  /// Shared-network transfer time per batch: base + per-sample.
+  double net_base_ms = 0.5;
+  double net_per_sample_ms = 0.02;
+  /// ISM analysis time per sample (exponential service) plus a fixed
+  /// per-batch overhead (message handling, ordering bookkeeping).
+  double ism_per_sample_ms = 0.08;
+  double ism_per_batch_ms = 0.2;
+  /// Hierarchical aggregation (TAM-style spanning tree, §4): 0 = flat
+  /// (every daemon sends straight to the ISM); k >= 2 = one aggregator per
+  /// k nodes merges their batches before forwarding, paying
+  /// `aggregator_per_batch_ms` per merged input and amortizing the ISM's
+  /// per-batch overhead.
+  unsigned aggregator_fanout = 0;
+  double aggregator_per_batch_ms = 0.05;
+  double horizon_ms = 120'000;
+
+  void validate() const;
+};
+
+struct ClusterModelMetrics {
+  /// Utilization of the shared network and of the ISM server.
+  double network_utilization = 0;
+  double ism_utilization = 0;
+  /// End-to-end sample latency: generation -> ISM analysis done (ms).
+  double mean_sample_latency_ms = 0;
+  double p95_sample_latency_ms = 0;
+  /// Mean ISM input-queue length (batches) — Fig. 7's single-server queue.
+  double mean_ism_queue = 0;
+  std::uint64_t samples_analyzed = 0;
+  std::uint64_t batches = 0;
+  /// Whether the ISM kept up (queue drained within 2x horizon).
+  bool stable = true;
+};
+
+ClusterModelMetrics run_cluster_model(const ClusterModelParams& params,
+                                      stats::Rng rng);
+
+struct ClusterSweepPoint {
+  unsigned nodes = 0;
+  stats::ConfidenceInterval latency;
+  stats::ConfidenceInterval ism_utilization;
+  stats::ConfidenceInterval network_utilization;
+};
+
+/// Sweeps the node count: where does the centralized ISM saturate?
+std::vector<ClusterSweepPoint> sweep_cluster_size(
+    const ClusterModelParams& base, const std::vector<unsigned>& node_counts,
+    unsigned replications, std::uint64_t seed);
+
+}  // namespace prism::paradyn

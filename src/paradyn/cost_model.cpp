@@ -1,0 +1,67 @@
+#include "paradyn/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prism::paradyn {
+
+AdaptiveCostModel::AdaptiveCostModel(double initial_per_sample_cost_ms,
+                                     double smoothing)
+    : per_sample_cost_ms_(initial_per_sample_cost_ms), alpha_(smoothing) {
+  if (!(initial_per_sample_cost_ms >= 0))
+    throw std::invalid_argument("AdaptiveCostModel: negative prior");
+  if (!(smoothing > 0 && smoothing <= 1))
+    throw std::invalid_argument("AdaptiveCostModel: bad smoothing");
+}
+
+void AdaptiveCostModel::observe(double cpu_ms, std::uint64_t samples,
+                                double wall_ms) {
+  if (!(cpu_ms >= 0) || !(wall_ms > 0))
+    throw std::invalid_argument("AdaptiveCostModel::observe: bad inputs");
+  if (samples > 0) {
+    const double per_sample = cpu_ms / static_cast<double>(samples);
+    per_sample_cost_ms_ =
+        observations_ == 0
+            ? per_sample
+            : alpha_ * per_sample + (1 - alpha_) * per_sample_cost_ms_;
+  }
+  const double frac = cpu_ms / wall_ms;
+  observed_overhead_ = observations_ == 0
+                           ? frac
+                           : alpha_ * frac + (1 - alpha_) * observed_overhead_;
+  ++observations_;
+}
+
+double AdaptiveCostModel::predicted_overhead(double sampling_period_ms,
+                                             double samples_per_period) const {
+  if (!(sampling_period_ms > 0))
+    throw std::invalid_argument("predicted_overhead: period <= 0");
+  if (!(samples_per_period >= 0))
+    throw std::invalid_argument("predicted_overhead: samples < 0");
+  return per_sample_cost_ms_ * samples_per_period / sampling_period_ms;
+}
+
+double AdaptiveCostModel::recommended_period_ms(double target_overhead,
+                                                unsigned processes) const {
+  if (!(target_overhead > 0))
+    throw std::invalid_argument("recommended_period_ms: target <= 0");
+  if (processes == 0)
+    throw std::invalid_argument("recommended_period_ms: 0 processes");
+  // One sample per process per period: overhead = cost * procs / period.
+  return per_sample_cost_ms_ * processes / target_overhead;
+}
+
+SamplingRateDecay::SamplingRateDecay(double initial_period_ms,
+                                     double max_period_ms, double growth)
+    : initial_(initial_period_ms), max_(max_period_ms), growth_(growth) {
+  if (!(initial_period_ms > 0) || !(max_period_ms >= initial_period_ms))
+    throw std::invalid_argument("SamplingRateDecay: bad periods");
+  if (!(growth >= 1))
+    throw std::invalid_argument("SamplingRateDecay: growth < 1");
+}
+
+double SamplingRateDecay::period_ms(unsigned k) const {
+  return std::min(max_, initial_ * std::pow(growth_, k));
+}
+
+}  // namespace prism::paradyn

@@ -1,0 +1,78 @@
+// Adaptive instrumentation cost model (§4: "its IS is equipped with the
+// capability to estimate its cost to the application program.  This cost
+// model is continuously updated in response to actual measurements as an
+// instrumented program starts executing, and the model attempts to regulate
+// the amount of IS overhead to the application program" — Paradyn row of
+// Table 8, after Hollingsworth & Miller [10]).
+//
+// The model keeps an EWMA of the observed per-sample CPU cost, predicts the
+// overhead fraction a given sampling period would impose, and recommends the
+// shortest period that keeps predicted overhead under a target.  It also
+// implements the rate decay the paper mentions ("the rate of sampling of
+// data progressively decreases over time during an interval when
+// instrumentation is present", §3.2).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace prism::paradyn {
+
+class AdaptiveCostModel {
+ public:
+  /// `initial_per_sample_cost_ms`: prior for the per-sample CPU cost;
+  /// `smoothing` in (0,1]: EWMA weight of new observations.
+  explicit AdaptiveCostModel(double initial_per_sample_cost_ms = 0.05,
+                             double smoothing = 0.2);
+
+  /// Feeds a measurement: a collection pass took `cpu_ms` for `samples`
+  /// samples while `wall_ms` of application time elapsed.
+  void observe(double cpu_ms, std::uint64_t samples, double wall_ms);
+
+  /// Current estimate of the per-sample CPU cost (ms).
+  double per_sample_cost_ms() const { return per_sample_cost_ms_; }
+
+  /// Observed overhead fraction, EWMA over observation windows.
+  double observed_overhead() const { return observed_overhead_; }
+
+  /// Predicted overhead fraction for a candidate configuration.
+  double predicted_overhead(double sampling_period_ms,
+                            double samples_per_period) const;
+
+  /// Shortest sampling period (ms) whose predicted overhead stays under
+  /// `target_overhead` given `sample_rate_per_ms` sample production.
+  /// (Overhead = rate * cost, independent of batching period; the knob that
+  /// matters is how many samples are taken, so this solves for the period
+  /// at which one sample per process per period meets the target.)
+  double recommended_period_ms(double target_overhead,
+                               unsigned processes) const;
+
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  double per_sample_cost_ms_;
+  double alpha_;
+  double observed_overhead_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+/// Sampling-rate decay schedule: "the rate of sampling of data progressively
+/// decreases over time during an interval when instrumentation is present"
+/// (§3.2).  The period grows geometrically from `initial` toward `max`.
+class SamplingRateDecay {
+ public:
+  SamplingRateDecay(double initial_period_ms, double max_period_ms,
+                    double growth = 1.25);
+
+  /// Period to use for the k-th consecutive interval with instrumentation
+  /// present (k = 0 is the first).
+  double period_ms(unsigned k) const;
+
+  /// Resets when instrumentation is re-inserted.
+  void reset() {}
+
+ private:
+  double initial_, max_, growth_;
+};
+
+}  // namespace prism::paradyn

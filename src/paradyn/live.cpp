@@ -1,0 +1,44 @@
+#include "paradyn/live.hpp"
+
+#include "core/environment.hpp"
+#include "workload/thread_apps.hpp"
+
+namespace prism::paradyn {
+
+LiveDaemonReport run_live_daemon_experiment(const LiveDaemonParams& params) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 1;
+  cfg.processes_per_node = params.app_threads;
+  cfg.lis_style = core::LisStyle::kDaemon;
+  cfg.sampling_period_ns = params.sampling_period_ns;
+  cfg.pipe_capacity = params.pipe_capacity;
+  cfg.ism.input = core::InputConfig::kSiso;
+  cfg.ism.causal_ordering = false;  // samples only; no message pairing
+
+  core::IntegratedEnvironment env(cfg);
+  auto stats_tool = std::make_shared<core::StatsTool>();
+  env.attach_tool(stats_tool);
+  env.start();
+
+  const auto app = workload::run_sampling_threads(
+      env, /*metric_count=*/2, params.samples_per_sec_per_thread,
+      params.duration_ms);
+
+  auto* daemon = dynamic_cast<core::DaemonLis*>(&env.lis(0));
+  LiveDaemonReport rep;
+  rep.app_block_ns = daemon ? daemon->app_block_time_ns() : 0;
+  rep.daemon_busy_ns = daemon ? daemon->daemon_busy_ns() : 0;
+  env.stop();
+
+  rep.events_recorded = app.events_recorded;
+  rep.events_dispatched = env.ism().stats().records_dispatched;
+  rep.wall_ns = app.wall_ns;
+  rep.daemon_utilization_pct =
+      app.wall_ns > 0
+          ? 100.0 * static_cast<double>(rep.daemon_busy_ns) /
+                static_cast<double>(app.wall_ns)
+          : 0.0;
+  return rep;
+}
+
+}  // namespace prism::paradyn

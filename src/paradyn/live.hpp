@@ -1,0 +1,35 @@
+// Live-vs-model validation: runs the *real* daemon LIS (core::DaemonLis)
+// under a thread-based sampling workload and reports the same metrics the
+// ROCC model predicts, so the Fig. 9 trends can be checked against an
+// actual implementation (the "benchmarking of ISs to validate that
+// requirements are met" future-work item of §5).
+#pragma once
+
+#include <cstdint>
+
+namespace prism::paradyn {
+
+struct LiveDaemonParams {
+  unsigned app_threads = 4;
+  unsigned duration_ms = 200;
+  double samples_per_sec_per_thread = 2000;
+  std::uint64_t sampling_period_ns = 2'000'000;  // 2 ms
+  std::size_t pipe_capacity = 1024;
+};
+
+struct LiveDaemonReport {
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t daemon_busy_ns = 0;
+  /// Daemon busy time as a percentage of wall time — the live analogue of
+  /// utilizationPd.
+  double daemon_utilization_pct = 0;
+  /// Application time lost blocking on full pipes (ns) — the §3.2.3 stall.
+  std::uint64_t app_block_ns = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+/// Runs the live experiment.
+LiveDaemonReport run_live_daemon_experiment(const LiveDaemonParams& params);
+
+}  // namespace prism::paradyn

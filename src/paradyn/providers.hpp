@@ -1,0 +1,89 @@
+// MetricProvider implementations for the W3 search.
+//
+// SyntheticMetricProvider serves configurable per-node metric levels with
+// noise — the unit-test and example harness for the search.  It also
+// enforces (and counts violations of) the minimal-instrumentation contract:
+// sampling a metric that is not currently enabled is an error.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "paradyn/w3_search.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::paradyn {
+
+class SyntheticMetricProvider final : public MetricProvider {
+ public:
+  SyntheticMetricProvider(std::uint32_t nodes, stats::Rng rng,
+                          double noise = 0.02)
+      : n_(nodes), rng_(rng), noise_(noise) {
+    if (nodes == 0) throw std::invalid_argument("SyntheticMetricProvider: 0");
+    for (int m = 0; m < 3; ++m)
+      levels_[static_cast<MetricId>(m)].assign(nodes, 0.0);
+  }
+
+  /// Sets the true level of `metric` at `node`.
+  void set_level(std::uint32_t node, MetricId metric, double level) {
+    levels_.at(metric).at(node) = level;
+  }
+
+  std::uint32_t nodes() const override { return n_; }
+
+  void enable(std::uint32_t node, MetricId metric) override {
+    if (!enabled_.insert(key(node, metric)).second)
+      throw std::logic_error("SyntheticMetricProvider: double enable");
+    ++total_enables_;
+    max_concurrent_ = std::max(max_concurrent_, enabled_.size());
+  }
+
+  void disable(std::uint32_t node, MetricId metric) override {
+    if (enabled_.erase(key(node, metric)) == 0)
+      throw std::logic_error("SyntheticMetricProvider: disable while off");
+  }
+
+  double sample(std::uint32_t node, MetricId metric) override {
+    if (enabled_.find(key(node, metric)) == enabled_.end())
+      throw std::logic_error(
+          "SyntheticMetricProvider: sample of disabled metric");
+    double base;
+    if (node == kWholeProgram) {
+      // Whole-program view: average over nodes.
+      const auto& v = levels_.at(metric);
+      double sum = 0;
+      for (double x : v) sum += x;
+      base = sum / static_cast<double>(n_);
+    } else {
+      base = levels_.at(metric).at(node);
+    }
+    const double eps = noise_ * (2.0 * rng_.next_double() - 1.0);
+    double v = base + eps;
+    if (v < 0) v = 0;
+    if (v > 1) v = 1;
+    return v;
+  }
+
+  std::size_t currently_enabled() const { return enabled_.size(); }
+  std::size_t max_concurrent_enabled() const { return max_concurrent_; }
+  std::uint64_t total_enables() const { return total_enables_; }
+
+ private:
+  static std::uint64_t key(std::uint32_t node, MetricId metric) {
+    return (static_cast<std::uint64_t>(node) << 16) |
+           static_cast<std::uint64_t>(metric);
+  }
+
+  std::uint32_t n_;
+  stats::Rng rng_;
+  double noise_;
+  std::map<MetricId, std::vector<double>> levels_;
+  std::set<std::uint64_t> enabled_;
+  std::size_t max_concurrent_ = 0;
+  std::uint64_t total_enables_ = 0;
+};
+
+}  // namespace prism::paradyn

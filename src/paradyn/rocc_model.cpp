@@ -1,0 +1,185 @@
+#include "paradyn/rocc_model.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "rocc/model.hpp"
+#include "stats/distributions.hpp"
+
+namespace prism::paradyn {
+
+using rocc::Behavior;
+using rocc::ProcessClass;
+using rocc::ResourceKind;
+using rocc::Step;
+
+void ParadynRoccParams::validate() const {
+  if (!(sampling_period_ms > 0))
+    throw std::invalid_argument("ParadynRoccParams: period <= 0");
+  if (app_processes == 0)
+    throw std::invalid_argument("ParadynRoccParams: no app processes");
+  if (!(horizon_ms > 0))
+    throw std::invalid_argument("ParadynRoccParams: horizon <= 0");
+  if (!(quantum_ms > 0))
+    throw std::invalid_argument("ParadynRoccParams: quantum <= 0");
+  if (!(sample_rate_per_metric >= 0) || !(per_sample_cpu_ms >= 0) ||
+      !(daemon_wakeup_overhead_ms >= 0))
+    throw std::invalid_argument("ParadynRoccParams: negative daemon cost");
+}
+
+namespace {
+
+/// Per-wakeup daemon demands: a fixed wakeup overhead plus a per-sample cost
+/// for the samples accumulated over one period, then a network forward.
+struct DaemonDemand {
+  double cpu = 0;
+  double net = 0;
+};
+
+DaemonDemand daemon_demand(const ParadynRoccParams& p) {
+  const double samples_per_wakeup =
+      p.sample_rate_per_metric * p.sampling_period_ms * p.daemon_metrics;
+  return {p.daemon_wakeup_overhead_ms + p.per_sample_cpu_ms * samples_per_wakeup,
+          p.per_sample_network_ms * samples_per_wakeup};
+}
+
+}  // namespace
+
+ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& p,
+                                    stats::Rng rng) {
+  p.validate();
+  rocc::NodeModel node(p.quantum_ms, rng);
+
+  // Application processes: compute/communicate cycles; the inserted
+  // instrumentation costs one sample's CPU per generated sample, folded
+  // into the burst (events_per_sample = 1 cycle per sample on average).
+  auto app_cpu = std::make_shared<stats::Exponential>(
+      stats::Exponential::from_mean(p.app_cpu_burst_mean_ms));
+  auto app_net = std::make_shared<stats::Exponential>(
+      stats::Exponential::from_mean(p.app_network_mean_ms));
+  for (unsigned i = 0; i < p.app_processes; ++i) {
+    node.add_process(
+        ProcessClass::kApplication,
+        rocc::compute_communicate_behavior(app_cpu, app_net,
+                                           p.app_comm_probability,
+                                           /*instr_cpu_cost=*/
+                                           p.per_sample_cpu_ms,
+                                           /*events_per_sample=*/1));
+  }
+
+  // The daemon: timer-locked on the sampling period (a real daemon sits on
+  // an interval timer — contention delays its work, not its wakeups).  Its
+  // backlog queues without bound: samples pile up in the pipes and the
+  // daemon works them off whenever the scheduler lets it, so under
+  // saturation round-robin throttles it to its fair CPU share — the Fig. 9b
+  // starvation mechanism of §3.2.3.
+  const DaemonDemand dd = daemon_demand(p);
+  node.add_timer_process(ProcessClass::kInstrumentation, p.sampling_period_ms,
+                         dd.cpu, dd.net,
+                         /*max_outstanding=*/1'000'000'000);
+
+  // Other-user background load.
+  if (p.other_user_processes > 0) {
+    auto other_cpu = std::make_shared<stats::Exponential>(
+        stats::Exponential::from_mean(p.other_cpu_burst_mean_ms));
+    auto other_think = std::make_shared<stats::Exponential>(
+        stats::Exponential::from_mean(p.other_think_mean_ms));
+    for (unsigned i = 0; i < p.other_user_processes; ++i)
+      node.add_process(ProcessClass::kOtherUser,
+                       rocc::background_load_behavior(other_cpu, other_think));
+  }
+
+  const rocc::NodeMetrics m = node.run(p.horizon_ms);
+
+  ParadynRoccMetrics out;
+  out.pd_interference_ms = m.cpu_time_instrumentation;
+  const double total_cpu =
+      m.cpu_time_application + m.cpu_time_instrumentation + m.cpu_time_other;
+  out.pd_cpu_utilization_pct =
+      total_cpu > 0 ? 100.0 * m.cpu_time_instrumentation / total_cpu : 0.0;
+  out.pd_horizon_utilization_pct =
+      100.0 * m.cpu_time_instrumentation / m.span;
+  out.app_cpu_ms = m.cpu_time_application;
+  out.app_requests = m.app_requests_completed;
+  out.mean_cpu_queueing_delay_ms = m.mean_cpu_queueing_delay;
+  out.cpu_utilization = total_cpu / m.span;
+  return out;
+}
+
+namespace {
+
+SweepPoint summarize(double x, const sim::ReplicationResult& rr) {
+  SweepPoint pt;
+  pt.x = x;
+  pt.interference = rr.ci("interference", 0.90);
+  pt.utilization_pct = rr.ci("utilization_pct", 0.90);
+  pt.queueing_delay = rr.ci("queueing_delay", 0.90);
+  return pt;
+}
+
+sim::Responses to_responses(const ParadynRoccMetrics& m) {
+  return {{"interference", m.pd_interference_ms},
+          {"utilization_pct", m.pd_cpu_utilization_pct},
+          {"queueing_delay", m.mean_cpu_queueing_delay_ms},
+          {"app_requests", static_cast<double>(m.app_requests)}};
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_sampling_period(
+    const ParadynRoccParams& base, const std::vector<double>& periods_ms,
+    unsigned replications, std::uint64_t seed) {
+  std::vector<SweepPoint> out;
+  out.reserve(periods_ms.size());
+  for (double period : periods_ms) {
+    ParadynRoccParams p = base;
+    p.sampling_period_ms = period;
+    auto rr = sim::replicate(
+        replications, seed, static_cast<std::uint64_t>(period * 1000),
+        [&p](stats::Rng& rng) { return to_responses(run_paradyn_rocc(p, rng)); });
+    out.push_back(summarize(period, rr));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_app_processes(
+    const ParadynRoccParams& base, const std::vector<unsigned>& counts,
+    unsigned replications, std::uint64_t seed) {
+  std::vector<SweepPoint> out;
+  out.reserve(counts.size());
+  for (unsigned n : counts) {
+    ParadynRoccParams p = base;
+    p.app_processes = n;
+    auto rr = sim::replicate(
+        replications, seed, 1'000'000ull + n,
+        [&p](stats::Rng& rng) { return to_responses(run_paradyn_rocc(p, rng)); });
+    out.push_back(summarize(static_cast<double>(n), rr));
+  }
+  return out;
+}
+
+stats::FactorialResult paradyn_factorial(const ParadynRoccParams& base,
+                                         double period_lo, double period_hi,
+                                         unsigned procs_lo, unsigned procs_hi,
+                                         unsigned replications,
+                                         const std::string& response,
+                                         std::uint64_t seed) {
+  if (response != "interference" && response != "utilization_pct")
+    throw std::invalid_argument("paradyn_factorial: unknown response " +
+                                response);
+  stats::Design2kr design({"period", "procs"}, replications);
+  return design.run([&](const std::vector<int>& levels, unsigned rep) {
+    ParadynRoccParams p = base;
+    p.sampling_period_ms = levels[0] < 0 ? period_lo : period_hi;
+    p.app_processes = levels[1] < 0 ? procs_lo : procs_hi;
+    stats::Rng rng(stats::Rng::hash_seed(
+        seed, static_cast<std::uint64_t>(levels[0] + 1),
+        static_cast<std::uint64_t>(levels[1] + 1),
+        static_cast<std::uint64_t>(rep)));
+    const auto m = run_paradyn_rocc(p, rng);
+    return response == "interference" ? m.pd_interference_ms
+                                      : m.pd_cpu_utilization_pct;
+  });
+}
+
+}  // namespace prism::paradyn

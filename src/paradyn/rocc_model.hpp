@@ -1,0 +1,112 @@
+// The Paradyn IS ROCC scenario (§3.2.2, Figs. 8-9, Tables 4-5).
+//
+// One node of the workstation cluster: a round-robin CPU and a network,
+// shared by
+//   * n instrumented application processes (compute/communicate cycles, plus
+//     the inserted instrumentation's CPU cost),
+//   * the Paradyn daemon (Pd): wakes every sampling period, spends a fixed
+//     wakeup overhead plus a per-sample cost for the samples its local pipes
+//     accumulated since the last wakeup, then forwards the batch, and
+//   * other-user background load.
+//
+// Metrics (Table 5):
+//   * Pd interference — absolute CPU time consumed by the daemon over the
+//     run (Fig. 9a plots this in ms against the sampling period).  The
+//     wakeup overhead term makes it fall superlinearly as the period grows
+//     and level off at the fixed per-sample work — the published shape.
+//   * utilizationPd — the daemon's share of consumed CPU time (in %,
+//     relative to all processes).  As the application process count grows
+//     the application's share grows and round-robin starves the daemon, so
+//     the share falls toward zero (Fig. 9b) and daemon queueing delay rises
+//     (the pipe-blocking bottleneck of §3.2.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/replication.hpp"
+#include "stats/factorial.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::paradyn {
+
+struct ParadynRoccParams {
+  // Factors of interest (the paper's 2^k design uses these two).
+  double sampling_period_ms = 200.0;
+  unsigned app_processes = 8;
+
+  // Daemon workload characterization.  W3 keeps the instrumented metric set
+  // bounded ("a minimal amount of instrumentation"), so the daemon's sample
+  // volume scales with the enabled metric count, not the process count —
+  // adding application processes adds CPU *contention*, not daemon work.
+  double daemon_wakeup_overhead_ms = 2.0;  ///< fixed CPU cost per wakeup
+  double per_sample_cpu_ms = 0.15;         ///< CPU cost to collect one sample
+  double per_sample_network_ms = 0.02;     ///< network cost to forward one
+  double sample_rate_per_metric = 0.05;    ///< samples/ms per enabled metric
+  unsigned daemon_metrics = 8;             ///< enabled metrics (W3-bounded)
+
+  // Application workload characterization ("local nodes have more
+  // computation than communication capacity as in the case of high
+  // performance workstations", §3.2.3 — CPU-bound apps).
+  double app_cpu_burst_mean_ms = 10.0;
+  double app_network_mean_ms = 2.0;
+  double app_comm_probability = 0.25;
+
+  // Background load.
+  unsigned other_user_processes = 1;
+  double other_cpu_burst_mean_ms = 5.0;
+  double other_think_mean_ms = 40.0;
+
+  // System.
+  double quantum_ms = 5.0;    ///< Unix round-robin quantum
+  double horizon_ms = 60'000; ///< simulated run length
+
+  void validate() const;
+};
+
+struct ParadynRoccMetrics {
+  /// Absolute daemon CPU time over the horizon (ms) — Pd interference.
+  double pd_interference_ms = 0;
+  /// Daemon share of all consumed CPU time, percent — utilizationPd.
+  double pd_cpu_utilization_pct = 0;
+  /// Daemon share of wall horizon, percent.
+  double pd_horizon_utilization_pct = 0;
+  /// Application CPU time (ms) and completed requests (throughput proxy).
+  double app_cpu_ms = 0;
+  std::uint64_t app_requests = 0;
+  /// Mean CPU ready-queue delay (ms) — rises when the node saturates.
+  double mean_cpu_queueing_delay_ms = 0;
+  /// Total CPU utilization (all classes), fraction of horizon.
+  double cpu_utilization = 0;
+};
+
+/// Runs one replication of the scenario.
+ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& params,
+                                    stats::Rng rng);
+
+/// Fig. 9(a) sweep: Pd interference (with 90% CI) vs sampling period.
+struct SweepPoint {
+  double x = 0;
+  stats::ConfidenceInterval interference;
+  stats::ConfidenceInterval utilization_pct;
+  stats::ConfidenceInterval queueing_delay;
+};
+std::vector<SweepPoint> sweep_sampling_period(
+    const ParadynRoccParams& base, const std::vector<double>& periods_ms,
+    unsigned replications, std::uint64_t seed);
+
+/// Fig. 9(b) sweep: utilizationPd (with 90% CI) vs #application processes.
+std::vector<SweepPoint> sweep_app_processes(
+    const ParadynRoccParams& base, const std::vector<unsigned>& counts,
+    unsigned replications, std::uint64_t seed);
+
+/// The paper's 2^k r factorial design over {sampling period, #app processes}
+/// for a chosen response ("interference" or "utilization").
+stats::FactorialResult paradyn_factorial(const ParadynRoccParams& base,
+                                         double period_lo, double period_hi,
+                                         unsigned procs_lo, unsigned procs_hi,
+                                         unsigned replications,
+                                         const std::string& response,
+                                         std::uint64_t seed);
+
+}  // namespace prism::paradyn

@@ -1,0 +1,91 @@
+#include "paradyn/w3_search.hpp"
+
+#include <array>
+
+namespace prism::paradyn {
+
+std::string_view to_string(MetricId m) {
+  switch (m) {
+    case MetricId::kCpuUtilization: return "cpu_utilization";
+    case MetricId::kSyncWaitFraction: return "sync_wait_fraction";
+    case MetricId::kCommFraction: return "comm_fraction";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Hypothesis h) {
+  switch (h) {
+    case Hypothesis::kCpuBound: return "CPUBound";
+    case Hypothesis::kSyncBound: return "SyncBound";
+    case Hypothesis::kCommBound: return "CommBound";
+  }
+  return "unknown";
+}
+
+MetricId metric_for(Hypothesis h) {
+  switch (h) {
+    case Hypothesis::kCpuBound: return MetricId::kCpuUtilization;
+    case Hypothesis::kSyncBound: return MetricId::kSyncWaitFraction;
+    case Hypothesis::kCommBound: return MetricId::kCommFraction;
+  }
+  return MetricId::kCpuUtilization;
+}
+
+double W3Search::test(MetricProvider& provider, std::uint32_t node,
+                      MetricId metric, Diagnosis& accounting) const {
+  provider.enable(node, metric);
+  ++accounting.insertions;
+  double sum = 0;
+  for (unsigned i = 0; i < config_.samples_per_test; ++i) {
+    sum += provider.sample(node, metric);
+    ++accounting.samples_used;
+  }
+  provider.disable(node, metric);
+  return sum / config_.samples_per_test;
+}
+
+Diagnosis W3Search::run(MetricProvider& provider) const {
+  Diagnosis d;
+
+  // "Why": test the root hypotheses at whole-program scope, one at a time
+  // (minimal instrumentation: never two metrics enabled concurrently).
+  static constexpr std::array<Hypothesis, 3> kAll = {
+      Hypothesis::kCpuBound, Hypothesis::kSyncBound, Hypothesis::kCommBound};
+  Hypothesis best = Hypothesis::kCpuBound;
+  double best_excess = 0;
+  bool any = false;
+  for (Hypothesis h : kAll) {
+    const double mean =
+        test(provider, MetricProvider::kWholeProgram, metric_for(h), d);
+    const double excess = mean - config_.threshold_for(h);
+    if (excess > 0 && (!any || excess > best_excess)) {
+      any = true;
+      best = h;
+      best_excess = excess;
+      d.evidence = mean;
+    }
+  }
+  if (!any) return d;  // program looks healthy: no hypothesis held
+  d.why = best;
+
+  // "Where": refine the confirmed hypothesis to the node with the strongest
+  // evidence above threshold, again one node at a time.
+  const MetricId metric = metric_for(best);
+  std::optional<std::uint32_t> where;
+  double where_mean = 0;
+  for (std::uint32_t n = 0; n < provider.nodes(); ++n) {
+    const double mean = test(provider, n, metric, d);
+    if (mean > config_.threshold_for(best) &&
+        (!where || mean > where_mean)) {
+      where = n;
+      where_mean = mean;
+    }
+  }
+  if (where) {
+    d.where = where;
+    d.evidence = where_mean;
+  }
+  return d;
+}
+
+}  // namespace prism::paradyn

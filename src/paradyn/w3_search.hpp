@@ -1,0 +1,106 @@
+// Miniature W3 bottleneck search (§3.2).
+//
+// "It provides data collection support for Paradyn's W3 search model, which
+// analyzes program performance bottlenecks by measuring system resource
+// utilization with appropriate metrics.  When the search algorithm needs to
+// analyze a particular metric, instrumentation is inserted dynamically in
+// the program during runtime to generate samples of that metric value.
+// Therefore, the W3 search methodology uses a minimal amount of
+// instrumentation."
+//
+// This implementation answers two of the three W's: *why* (which hypothesis
+// — CPU-, synchronization-, or communication-bound) and *where* (which
+// node).  It drives a MetricProvider, the dynamic-instrumentation interface:
+// the search enables exactly one (node, metric) pair at a time, draws a
+// fixed number of samples, tests the mean against the hypothesis threshold,
+// and disables the instrumentation before moving on — tests assert this
+// minimality invariant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace prism::paradyn {
+
+/// Metrics the search can request.
+enum class MetricId : std::uint16_t {
+  kCpuUtilization = 0,    ///< fraction of time on the CPU
+  kSyncWaitFraction = 1,  ///< fraction of time blocked on synchronization
+  kCommFraction = 2,      ///< fraction of time in communication
+};
+
+std::string_view to_string(MetricId m);
+
+/// Root hypotheses ("why").
+enum class Hypothesis : std::uint8_t {
+  kCpuBound = 0,
+  kSyncBound = 1,
+  kCommBound = 2,
+};
+
+std::string_view to_string(Hypothesis h);
+
+/// The metric each hypothesis tests.
+MetricId metric_for(Hypothesis h);
+
+/// Dynamic-instrumentation interface the search drives.  `kWholeProgram`
+/// aggregates over all nodes (the root of the "where" axis).
+class MetricProvider {
+ public:
+  static constexpr std::uint32_t kWholeProgram = 0xFFFFFFFFu;
+
+  virtual ~MetricProvider() = default;
+  virtual std::uint32_t nodes() const = 0;
+  /// Inserts instrumentation for (node, metric).
+  virtual void enable(std::uint32_t node, MetricId metric) = 0;
+  /// Removes it.
+  virtual void disable(std::uint32_t node, MetricId metric) = 0;
+  /// Draws one sample; only valid while enabled.
+  virtual double sample(std::uint32_t node, MetricId metric) = 0;
+};
+
+struct W3Config {
+  unsigned samples_per_test = 16;
+  /// A hypothesis holds when the sampled mean exceeds its threshold.
+  double cpu_threshold = 0.7;
+  double sync_threshold = 0.3;
+  double comm_threshold = 0.3;
+
+  double threshold_for(Hypothesis h) const {
+    switch (h) {
+      case Hypothesis::kCpuBound: return cpu_threshold;
+      case Hypothesis::kSyncBound: return sync_threshold;
+      case Hypothesis::kCommBound: return comm_threshold;
+    }
+    return 1.0;
+  }
+};
+
+struct Diagnosis {
+  std::optional<Hypothesis> why;      ///< nullopt: no hypothesis held
+  std::optional<std::uint32_t> where; ///< refined node, when localizable
+  double evidence = 0;                ///< sampled mean behind the verdict
+  /// Total samples drawn — the search's instrumentation cost.
+  std::uint64_t samples_used = 0;
+  /// Distinct (node, metric) instrumentation insertions performed.
+  std::uint64_t insertions = 0;
+};
+
+class W3Search {
+ public:
+  explicit W3Search(W3Config config) : config_(config) {}
+
+  /// Runs the why -> where refinement against `provider`.
+  Diagnosis run(MetricProvider& provider) const;
+
+ private:
+  /// Tests one hypothesis at one locus; returns the sampled mean.
+  double test(MetricProvider& provider, std::uint32_t node, MetricId metric,
+              Diagnosis& accounting) const;
+
+  W3Config config_;
+};
+
+}  // namespace prism::paradyn

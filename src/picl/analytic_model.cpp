@@ -1,0 +1,92 @@
+#include "picl/analytic_model.hpp"
+
+#include <stdexcept>
+
+#include "stats/erlang.hpp"
+
+namespace prism::picl {
+
+void PiclModelParams::validate() const {
+  if (buffer_capacity == 0)
+    throw std::invalid_argument("PiclModelParams: buffer_capacity == 0");
+  if (!(arrival_rate > 0))
+    throw std::invalid_argument("PiclModelParams: arrival_rate <= 0");
+  if (nodes == 0) throw std::invalid_argument("PiclModelParams: nodes == 0");
+  if (flush_cost_base < 0 || flush_cost_per_record < 0)
+    throw std::invalid_argument("PiclModelParams: negative flush cost");
+}
+
+double fof_stopping_time_cdf(const PiclModelParams& p, double t) {
+  p.validate();
+  return stats::erlang_cdf(p.buffer_capacity, p.arrival_rate, t);
+}
+
+double fof_expected_stopping_time(const PiclModelParams& p) {
+  p.validate();
+  return stats::erlang_mean(p.buffer_capacity, p.arrival_rate);
+}
+
+double faof_stopping_time_tail(const PiclModelParams& p, double t) {
+  p.validate();
+  return stats::erlang_min_tail(p.buffer_capacity, p.arrival_rate, p.nodes, t);
+}
+
+double faof_expected_stopping_time(const PiclModelParams& p) {
+  p.validate();
+  return stats::erlang_min_mean(p.buffer_capacity, p.arrival_rate, p.nodes);
+}
+
+double faof_stopping_time_lower_bound(const PiclModelParams& p) {
+  p.validate();
+  return stats::erlang_min_mean_lower_bound(p.buffer_capacity, p.arrival_rate,
+                                            p.nodes);
+}
+
+double fof_flushing_frequency(const PiclModelParams& p) {
+  p.validate();
+  return 1.0 /
+         (p.buffer_capacity + p.arrival_rate * p.flush_cost());
+}
+
+double faof_flushing_frequency_bound(const PiclModelParams& p) {
+  p.validate();
+  return 1.0 / (p.buffer_capacity +
+                p.nodes * p.arrival_rate * p.flush_cost());
+}
+
+double faof_flushing_frequency_exact(const PiclModelParams& p) {
+  p.validate();
+  const double fill_arrivals =
+      p.arrival_rate * faof_expected_stopping_time(p);
+  const double flush_arrivals =
+      p.arrival_rate * p.nodes * p.flush_cost();
+  return 1.0 / (fill_arrivals + flush_arrivals);
+}
+
+double fof_interruption_rate(const PiclModelParams& p) {
+  p.validate();
+  const double cycle = fof_expected_stopping_time(p) + p.flush_cost();
+  return p.nodes / cycle;
+}
+
+double faof_interruption_rate(const PiclModelParams& p) {
+  p.validate();
+  const double cycle =
+      faof_expected_stopping_time(p) + p.nodes * p.flush_cost();
+  return 1.0 / cycle;
+}
+
+double fof_flush_time_fraction(const PiclModelParams& p) {
+  p.validate();
+  const double cycle = fof_expected_stopping_time(p) + p.flush_cost();
+  return p.flush_cost() / cycle;
+}
+
+double faof_flush_time_fraction(const PiclModelParams& p) {
+  p.validate();
+  const double flush = p.nodes * p.flush_cost();
+  const double cycle = faof_expected_stopping_time(p) + flush;
+  return flush / cycle;
+}
+
+}  // namespace prism::picl

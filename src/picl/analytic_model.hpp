@@ -1,0 +1,94 @@
+// Analytic model of the PICL IS local-buffer management policies
+// (§3.1, Tables 1-3, Figure 5).
+//
+// Model: P nodes, each with a local trace buffer of capacity l records.
+// Instrumentation events arrive at each buffer as independent Poisson
+// processes of rate alpha, so the *trace stopping time* (time for a buffer
+// to fill) is Erlang(l, alpha).  Flushing a buffer to the host costs
+// f(l) = base + per_record * l (message-passing time, "a linear function of
+// l" — Table 3 note).
+//
+// Policies:
+//   FOF  — Flush One buffer when it Fills.  Regenerative cycle per buffer:
+//          fill (l arrivals) + flush (alpha*f(l) arrivals keep coming while
+//          the flush runs).  Long-term flushing frequency, in flushes per
+//          arrival at a buffer (Table 2's metric):
+//              omega_o = 1 / (l + alpha * f(l)).
+//   FAOF — Flush All buffers when One Fills.  The gang flush drains P
+//          buffers through the host link, costing P * f(l); the triggering
+//          buffer saw l fill arrivals plus alpha * P * f(l) during the gang
+//          flush, giving the paper's curve (an upper bound for the
+//          non-triggering buffers, which flushed with fewer arrivals):
+//              omega_a <= 1 / (l + P * alpha * f(l)).
+//          The FAOF trace stopping time is the minimum of P iid Erlang fill
+//          times, with the paper's pooled-arrival lower bound
+//          E[tau] >= l / (P * alpha).
+//
+// The default flush-cost coefficients (base 100, per_record 10 time units)
+// reproduce the published Figure 5 axis ranges: ~0-0.1 at alpha=0.0008,
+// ~0-0.09 at alpha=0.007, ~0-2.5e-3 at alpha=2.
+#pragma once
+
+#include <cstdint>
+
+namespace prism::picl {
+
+struct PiclModelParams {
+  unsigned buffer_capacity = 50;   ///< l, records
+  double arrival_rate = 0.007;     ///< alpha, records per time unit
+  unsigned nodes = 8;              ///< P
+  double flush_cost_base = 100.0;  ///< f(l) intercept
+  double flush_cost_per_record = 10.0;  ///< f(l) slope
+
+  /// Message-passing time to flush one buffer of capacity l.
+  double flush_cost() const {
+    return flush_cost_base + flush_cost_per_record * buffer_capacity;
+  }
+  void validate() const;
+};
+
+// --- Trace stopping time (Table 3, rows 1-2) ------------------------------
+
+/// FOF: P[tau_l <= t] — Erlang(l, alpha) CDF.
+double fof_stopping_time_cdf(const PiclModelParams& p, double t);
+
+/// FOF: E[tau_l] = l / alpha.
+double fof_expected_stopping_time(const PiclModelParams& p);
+
+/// FAOF: P[tau_l > t] = (Erlang tail)^P — survival of the minimum.
+double faof_stopping_time_tail(const PiclModelParams& p, double t);
+
+/// FAOF: exact E[min of P Erlang fill times] (numeric integration).
+double faof_expected_stopping_time(const PiclModelParams& p);
+
+/// FAOF: the paper's lower bound l / (P * alpha).
+double faof_stopping_time_lower_bound(const PiclModelParams& p);
+
+// --- Long-term flushing frequency (Table 3, row 3; Figure 5) --------------
+
+/// FOF: omega_o = 1 / (l + alpha f(l)), flushes per arrival.
+double fof_flushing_frequency(const PiclModelParams& p);
+
+/// FAOF: the paper's curve/upper bound 1 / (l + P alpha f(l)).
+double faof_flushing_frequency_bound(const PiclModelParams& p);
+
+/// FAOF: frequency computed with the exact expected stopping time:
+/// 1 / (alpha E[tau_min] + P alpha f(l)) — flushes per arrival at the
+/// average buffer, counting fill-phase plus gang-flush-phase arrivals.
+double faof_flushing_frequency_exact(const PiclModelParams& p);
+
+// --- Program-interruption view (extension) --------------------------------
+
+/// Flush interruptions of the program per unit time, system-wide.
+/// FOF: P independent buffers, each interrupting at 1/(l/alpha + f(l)).
+double fof_interruption_rate(const PiclModelParams& p);
+
+/// FAOF: one gang interruption per cycle: 1/(E[tau_min] + P f(l)).
+double faof_interruption_rate(const PiclModelParams& p);
+
+/// Long-run fraction of time the IS spends in the flushing state
+/// (Smith's theorem applied to the regenerative cycle, §3.1.3).
+double fof_flush_time_fraction(const PiclModelParams& p);
+double faof_flush_time_fraction(const PiclModelParams& p);
+
+}  // namespace prism::picl

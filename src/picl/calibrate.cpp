@@ -1,0 +1,29 @@
+#include "picl/calibrate.hpp"
+
+#include <stdexcept>
+
+namespace prism::picl {
+
+CalibrationReport calibrate_picl_model(
+    const std::vector<trace::EventRecord>& records, unsigned buffer_capacity,
+    unsigned nodes, double flush_cost_base, double flush_cost_per_record) {
+  if (records.empty())
+    throw std::invalid_argument("calibrate_picl_model: empty trace");
+  CalibrationReport rep;
+  rep.workload = trace::characterize_arrivals(records);
+  if (rep.workload.inter_arrival.count() == 0)
+    throw std::invalid_argument(
+        "calibrate_picl_model: trace has no per-stream gaps");
+  rep.params.buffer_capacity = buffer_capacity;
+  rep.params.nodes = nodes;
+  rep.params.flush_cost_base = flush_cost_base;
+  rep.params.flush_cost_per_record = flush_cost_per_record;
+  // Per-buffer arrival rate = 1 / mean per-stream inter-arrival gap.
+  rep.params.arrival_rate = 1.0 / rep.workload.inter_arrival.mean();
+  rep.params.validate();
+  rep.poisson_plausible =
+      rep.workload.cv >= 0.5 && rep.workload.cv <= 1.5;
+  return rep;
+}
+
+}  // namespace prism::picl

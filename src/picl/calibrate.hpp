@@ -1,0 +1,32 @@
+// Trace-driven model calibration (§5 item 3: "appropriately characterizing
+// IS workload to enhance the power and accuracy of the models").
+//
+// Given a trace captured from a real or simulated run, fit the PICL model's
+// arrival rate from the measured per-stream inter-arrival process, so the
+// Figure-1 loop can be driven by observed workloads instead of guesses.
+#pragma once
+
+#include <vector>
+
+#include "picl/analytic_model.hpp"
+#include "trace/analysis.hpp"
+#include "trace/record.hpp"
+
+namespace prism::picl {
+
+struct CalibrationReport {
+  PiclModelParams params;
+  trace::ArrivalCharacterization workload;
+  /// True when the Poisson-arrivals assumption looks tenable
+  /// (inter-arrival CV within [0.5, 1.5]).
+  bool poisson_plausible = false;
+};
+
+/// Fits arrival_rate (events per timestamp unit, per node) from `records`;
+/// buffer capacity, node count, and flush-cost coefficients come from the
+/// deployment configuration being evaluated.
+CalibrationReport calibrate_picl_model(
+    const std::vector<trace::EventRecord>& records, unsigned buffer_capacity,
+    unsigned nodes, double flush_cost_base, double flush_cost_per_record);
+
+}  // namespace prism::picl

@@ -1,0 +1,82 @@
+// A working PICL-style instrumentation library for the simulated
+// multicomputer (§3.1, Table 1: off-line IS, library LIS, trace-file ISM,
+// parallel-I/O TP, static management).
+//
+// "During program execution, calls to these functions generate
+// instrumentation data in a particular event record format and log the data
+// in a local buffer of each node.  The user specifies the size of the
+// buffer.  These buffers are typically flushed at the end of program
+// execution and merged into a single trace file at the host system."
+//
+// PiclInstrumentation taps the Multicomputer's instrumentation hook (the
+// library-call insertion point), maintains one TraceBuffer per node, applies
+// FOF or FAOF on overflow, models the flush cost f(l) by bracketing each
+// flush with kFlushBegin/kFlushEnd records, keeps flushed segments in a
+// host-side main instrumentation data buffer (Fig. 4's storage hierarchy),
+// and merges everything into a single time-ordered trace at finalize().
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "trace/buffer.hpp"
+#include "trace/record.hpp"
+#include "workload/multicomputer.hpp"
+
+namespace prism::picl {
+
+struct PiclConfig {
+  std::size_t buffer_capacity = 1024;  ///< l, records per node buffer
+  bool flush_all_on_fill = false;      ///< FAOF when true, else FOF
+  /// Modeled flush cost f(l) = base + per_record * records_flushed,
+  /// in engine time units; 0 disables the marker records.
+  double flush_cost_base = 0.0;
+  double flush_cost_per_record = 0.0;
+};
+
+struct PiclNodeReport {
+  std::uint64_t records = 0;  ///< application records captured
+  std::uint64_t flushes = 0;
+  std::uint64_t dropped = 0;
+};
+
+class PiclInstrumentation {
+ public:
+  /// Installs itself as `mc`'s instrumentation hook; `mc` must outlive this.
+  PiclInstrumentation(workload::Multicomputer& mc, PiclConfig config);
+
+  /// Flushes node `n`'s buffer into the host main buffer.
+  void flush_node(std::uint32_t n);
+  /// Gang flush (FAOF action, also the end-of-run path).
+  void flush_all();
+
+  /// Flushes everything and returns the single merged, time-ordered trace.
+  std::vector<trace::EventRecord> finalize();
+
+  /// Writes the merged trace to a binary trace file; returns record count.
+  std::uint64_t write_trace(const std::filesystem::path& path);
+
+  PiclNodeReport node_report(std::uint32_t n) const;
+  std::uint64_t total_flushes() const;
+  std::uint64_t total_records_captured() const;
+  const PiclConfig& config() const { return config_; }
+
+ private:
+  void on_event(const trace::EventRecord& r);
+  double flush_cost(std::size_t records) const {
+    return config_.flush_cost_base +
+           config_.flush_cost_per_record * static_cast<double>(records);
+  }
+
+  workload::Multicomputer& mc_;
+  PiclConfig config_;
+  std::vector<trace::TraceBuffer> buffers_;       ///< one per node
+  std::vector<std::vector<trace::EventRecord>> host_segments_;  ///< per node
+  std::vector<PiclNodeReport> reports_;
+  std::vector<std::uint64_t> flush_seq_;  ///< per-node IS-event seq counters
+  bool finalized_ = false;
+};
+
+}  // namespace prism::picl

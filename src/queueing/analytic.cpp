@@ -1,0 +1,59 @@
+#include "queueing/analytic.hpp"
+
+#include <stdexcept>
+
+namespace prism::queueing {
+
+namespace {
+void check(double lambda, double mean_service) {
+  if (!(lambda > 0)) throw std::domain_error("queueing: lambda <= 0");
+  if (!(mean_service > 0)) throw std::domain_error("queueing: E[S] <= 0");
+}
+void check_stable(double rho) {
+  if (!(rho < 1)) throw std::domain_error("queueing: unstable (rho >= 1)");
+}
+}  // namespace
+
+double utilization(double lambda, double mean_service) {
+  check(lambda, mean_service);
+  return lambda * mean_service;
+}
+
+double mm1_mean_number(double lambda, double mean_service) {
+  const double rho = utilization(lambda, mean_service);
+  check_stable(rho);
+  return rho / (1.0 - rho);
+}
+
+double mm1_mean_sojourn(double lambda, double mean_service) {
+  const double rho = utilization(lambda, mean_service);
+  check_stable(rho);
+  return mean_service / (1.0 - rho);
+}
+
+double mm1_mean_wait(double lambda, double mean_service) {
+  return mm1_mean_sojourn(lambda, mean_service) - mean_service;
+}
+
+double mg1_mean_wait(double lambda, double mean_service,
+                     double service_variance) {
+  const double rho = utilization(lambda, mean_service);
+  check_stable(rho);
+  if (service_variance < 0)
+    throw std::domain_error("queueing: Var[S] < 0");
+  const double second_moment =
+      service_variance + mean_service * mean_service;
+  return lambda * second_moment / (2.0 * (1.0 - rho));
+}
+
+double mg1_mean_queue_length(double lambda, double mean_service,
+                             double service_variance) {
+  return lambda * mg1_mean_wait(lambda, mean_service, service_variance);
+}
+
+double mg1_mean_sojourn(double lambda, double mean_service,
+                        double service_variance) {
+  return mg1_mean_wait(lambda, mean_service, service_variance) + mean_service;
+}
+
+}  // namespace prism::queueing

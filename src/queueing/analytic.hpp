@@ -1,0 +1,36 @@
+// Closed-form queueing results used to validate the simulation layer.
+//
+// The paper's methodology leans on "appropriate results from multiple,
+// related disciplines such as ... queuing theory" (§5).  These formulas give
+// the simulation layer an independent oracle: tests drive an M/M/1 or M/G/1
+// station and compare measured means against theory.
+#pragma once
+
+namespace prism::queueing {
+
+/// Offered load rho = lambda * E[S].  Stable iff rho < 1.
+double utilization(double lambda, double mean_service);
+
+/// M/M/1 mean number in system: rho / (1 - rho).
+double mm1_mean_number(double lambda, double mean_service);
+
+/// M/M/1 mean time in system: E[S] / (1 - rho).
+double mm1_mean_sojourn(double lambda, double mean_service);
+
+/// M/M/1 mean waiting time (excluding service): rho * E[S] / (1 - rho).
+double mm1_mean_wait(double lambda, double mean_service);
+
+/// M/G/1 Pollaczek-Khinchine mean waiting time:
+/// W = lambda * E[S^2] / (2 (1 - rho)).
+double mg1_mean_wait(double lambda, double mean_service,
+                     double service_variance);
+
+/// M/G/1 mean number in queue (waiting, excluding in service), via Little.
+double mg1_mean_queue_length(double lambda, double mean_service,
+                             double service_variance);
+
+/// M/G/1 mean sojourn time: W + E[S].
+double mg1_mean_sojourn(double lambda, double mean_service,
+                        double service_variance);
+
+}  // namespace prism::queueing

@@ -1,0 +1,48 @@
+// Jobs (customers) flowing through queueing networks.
+//
+// A Job is what the paper's models call an "instrumentation data" unit: a
+// trace record, a metric sample, or a batch thereof.  Timestamps are filled
+// in by the network elements so latency decompositions (waiting vs service
+// vs total sojourn) fall out for free.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace prism::queueing {
+
+/// Customer classes, used for per-class statistics and priorities.
+enum class JobClass : std::uint8_t {
+  kApplication = 0,  ///< instrumented application data
+  kInstrumentation,  ///< IS-internal traffic (daemon forwarding, control)
+  kOtherUser,        ///< background load sharing the resources
+  kControl,          ///< ISM<->tool / ISM<->LIS control messages
+};
+
+struct Job {
+  std::uint64_t id = 0;
+  JobClass cls = JobClass::kApplication;
+  /// Identifier of the producing entity (node / process index).
+  std::uint32_t source = 0;
+  /// Smaller value = higher priority (only PriorityQueue inspects this).
+  std::int32_t priority = 0;
+  /// Sequence number within the source (used for causal-order modeling).
+  std::uint64_t seq = 0;
+  /// Model-specific payload (e.g. record count in a batch).
+  std::uint64_t payload = 0;
+  /// True when the job models an out-of-causal-order arrival that the ISM
+  /// must hold back until its predecessors arrive (§3.3.2).
+  bool out_of_order = false;
+
+  sim::Time t_created = 0;
+  sim::Time t_enqueued = 0;
+  sim::Time t_service_begin = 0;
+  sim::Time t_departed = 0;
+
+  sim::Time waiting_time() const { return t_service_begin - t_enqueued; }
+  sim::Time service_time() const { return t_departed - t_service_begin; }
+  sim::Time sojourn_time() const { return t_departed - t_created; }
+};
+
+}  // namespace prism::queueing

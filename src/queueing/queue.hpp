@@ -1,0 +1,102 @@
+// Waiting lines with FIFO or priority discipline, optional finite capacity,
+// and built-in time-weighted length statistics.
+//
+// The Vista ISM model (Fig. 10) uses "input (priority) queues" in front of
+// the data processor and a FIFO output queue; the PICL model uses finite
+// local buffers whose fill level drives the flush policies.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "queueing/job.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::queueing {
+
+enum class Discipline { kFifo, kPriority };
+
+/// A waiting line.  Not a concurrent container — it lives inside the
+/// single-threaded simulation.
+class Queue {
+ public:
+  explicit Queue(Discipline d = Discipline::kFifo,
+                 std::size_t capacity = std::numeric_limits<std::size_t>::max(),
+                 double t0 = 0.0)
+      : discipline_(d), capacity_(capacity), length_(t0, 0.0) {
+    if (capacity == 0) throw std::invalid_argument("Queue: capacity == 0");
+  }
+
+  /// Attempts to enqueue at time `t`.  Returns false (and counts a drop)
+  /// when the queue is at capacity.
+  bool push(sim::Time t, Job job) {
+    ++arrivals_;
+    if (items_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    job.t_enqueued = t;
+    if (discipline_ == Discipline::kFifo) {
+      items_.push_back(std::move(job));
+    } else {
+      // Stable insertion: after all jobs with priority <= job.priority.
+      auto it = items_.end();
+      while (it != items_.begin() && (it - 1)->priority > job.priority) --it;
+      items_.insert(it, std::move(job));
+    }
+    length_.set(t, static_cast<double>(items_.size()));
+    return true;
+  }
+
+  /// Removes and returns the head-of-line job, or nullopt when empty.
+  std::optional<Job> pop(sim::Time t) {
+    if (items_.empty()) return std::nullopt;
+    Job j = std::move(items_.front());
+    items_.pop_front();
+    ++departures_;
+    length_.set(t, static_cast<double>(items_.size()));
+    waiting_.add(t - j.t_enqueued);
+    return j;
+  }
+
+  /// Peeks at the head-of-line job.
+  const Job* front() const { return items_.empty() ? nullptr : &items_.front(); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return items_.size() >= capacity_; }
+
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t departures() const { return departures_; }
+  std::uint64_t drops() const { return drops_; }
+
+  /// Time-averaged queue length up to the last push/pop.
+  double mean_length() const { return length_.time_average(); }
+  /// Time-averaged length after integrating up to `t`.
+  double mean_length_until(sim::Time t) { return length_.time_average_until(t); }
+  double max_length() const { return length_.max(); }
+  /// Summary of waiting times of departed jobs.
+  const stats::Summary& waiting_times() const { return waiting_; }
+
+  /// Conservation check: arrivals == departures + drops + resident.
+  bool conserved() const {
+    return arrivals_ == departures_ + drops_ + items_.size();
+  }
+
+ private:
+  Discipline discipline_;
+  std::size_t capacity_;
+  std::deque<Job> items_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t departures_ = 0;
+  std::uint64_t drops_ = 0;
+  stats::TimeWeighted length_;
+  stats::Summary waiting_;
+};
+
+}  // namespace prism::queueing

@@ -1,0 +1,105 @@
+// Single-server station: a Queue drained by one server with a stochastic
+// service-time distribution, delivering completed jobs to a downstream sink.
+//
+// With an Exponential arrival source and a general service distribution this
+// is the M/G/1 station of the paper's models (PICL local buffers, Vista ISM
+// input side); with exponential service it is the G/M/1 / M/M/1 used on the
+// Vista output side.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "queueing/job.hpp"
+#include "queueing/queue.hpp"
+#include "sim/collectors.hpp"
+#include "sim/engine.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::queueing {
+
+/// Downstream consumer of completed jobs.
+using Sink = std::function<void(Job&&)>;
+
+class Server {
+ public:
+  /// The server owns its queue; `service` must outlive the server.
+  Server(sim::Engine& eng, std::shared_ptr<const stats::Distribution> service,
+         stats::Rng rng, Sink sink,
+         Discipline discipline = Discipline::kFifo,
+         std::size_t queue_capacity =
+             std::numeric_limits<std::size_t>::max())
+      : eng_(eng),
+        service_(std::move(service)),
+        rng_(rng),
+        sink_(std::move(sink)),
+        queue_(discipline, queue_capacity, eng.now()),
+        util_(eng.now()) {
+    if (!service_) throw std::invalid_argument("Server: null service dist");
+    if (!sink_) throw std::invalid_argument("Server: null sink");
+  }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Offers a job to the station.  Returns false if the queue dropped it.
+  bool submit(Job job) {
+    job.t_created = job.t_created == 0 ? eng_.now() : job.t_created;
+    const bool ok = queue_.push(eng_.now(), std::move(job));
+    if (ok && !busy_) begin_service();
+    return ok;
+  }
+
+  Queue& queue() { return queue_; }
+  const Queue& queue() const { return queue_; }
+  bool busy() const { return busy_; }
+  std::uint64_t completions() const { return completions_; }
+  const stats::Summary& sojourn_times() const { return sojourn_; }
+  const stats::Summary& service_samples() const { return service_stats_; }
+
+  /// Server busy fraction up to the last state change; call
+  /// finalize(now) before reading at the end of a run.
+  double utilization() const { return util_.utilization(); }
+  void finalize(sim::Time t) { util_.flush(t); }
+
+ private:
+  void begin_service() {
+    auto job = queue_.pop(eng_.now());
+    if (!job) return;
+    busy_ = true;
+    util_.begin_busy(eng_.now(), static_cast<int>(job->cls));
+    job->t_service_begin = eng_.now();
+    const double s = service_->sample(rng_);
+    service_stats_.add(s);
+    // Move the job into the completion closure; the engine owns it until
+    // service ends.
+    eng_.schedule_after(s, [this, j = std::move(*job)]() mutable {
+      complete(std::move(j));
+    });
+  }
+
+  void complete(Job&& job) {
+    job.t_departed = eng_.now();
+    sojourn_.add(job.sojourn_time());
+    ++completions_;
+    busy_ = false;
+    util_.end_busy(eng_.now());
+    sink_(std::move(job));
+    if (!queue_.empty()) begin_service();
+  }
+
+  sim::Engine& eng_;
+  std::shared_ptr<const stats::Distribution> service_;
+  stats::Rng rng_;
+  Sink sink_;
+  Queue queue_;
+  sim::UtilizationTracker util_;
+  bool busy_ = false;
+  std::uint64_t completions_ = 0;
+  stats::Summary sojourn_;
+  stats::Summary service_stats_;
+};
+
+}  // namespace prism::queueing

@@ -1,0 +1,72 @@
+#include "rocc/model.hpp"
+
+#include <stdexcept>
+
+namespace prism::rocc {
+
+NodeModel::NodeModel(sim::Time quantum, stats::Rng rng)
+    : rng_(rng),
+      cpu_(std::make_unique<CpuResource>(eng_, "cpu", quantum)),
+      net_(std::make_unique<FifoResource>(eng_, "network")) {}
+
+std::uint32_t NodeModel::add_process(ProcessClass cls, Behavior behavior) {
+  const auto id = static_cast<std::uint32_t>(processes_.size());
+  ResourceSet rs;
+  rs.cpu = cpu_.get();
+  rs.network = net_.get();
+  processes_.push_back(std::make_unique<RoccProcess>(
+      eng_, id, cls, rs, std::move(behavior), rng_.split()));
+  return id;
+}
+
+TimerProcess& NodeModel::add_timer_process(ProcessClass cls, sim::Time period,
+                                           sim::Time cpu_demand,
+                                           sim::Time net_demand,
+                                           unsigned max_outstanding) {
+  const auto id =
+      static_cast<std::uint32_t>(processes_.size() + timers_.size());
+  ResourceSet rs;
+  rs.cpu = cpu_.get();
+  rs.network = net_.get();
+  timers_.push_back(std::make_unique<TimerProcess>(
+      eng_, id, cls, rs, period, cpu_demand, net_demand, max_outstanding));
+  return *timers_.back();
+}
+
+NodeMetrics NodeModel::run(sim::Time horizon) {
+  if (!(horizon > 0)) throw std::invalid_argument("NodeModel::run: horizon");
+  for (auto& p : processes_) p->start();
+  for (auto& t : timers_) t->start();
+  eng_.run_until(horizon);
+  cpu_->finalize(eng_.now());
+  net_->finalize(eng_.now());
+
+  NodeMetrics m;
+  m.span = eng_.now();
+  m.cpu_time_application = cpu_->busy_time(ProcessClass::kApplication);
+  m.cpu_time_instrumentation = cpu_->busy_time(ProcessClass::kInstrumentation);
+  m.cpu_time_other = cpu_->busy_time(ProcessClass::kOtherUser);
+  m.cpu_util_application = cpu_->utilization(ProcessClass::kApplication);
+  m.cpu_util_instrumentation =
+      cpu_->utilization(ProcessClass::kInstrumentation);
+  m.cpu_util_other = cpu_->utilization(ProcessClass::kOtherUser);
+  m.net_time_instrumentation = net_->busy_time(ProcessClass::kInstrumentation);
+  m.net_time_application = net_->busy_time(ProcessClass::kApplication);
+  m.mean_cpu_queueing_delay = cpu_->queueing_delays().mean();
+  m.preemptions = static_cast<CpuResource*>(cpu_.get())->preemptions();
+  for (auto& p : processes_) {
+    if (p->cls() == ProcessClass::kApplication)
+      m.app_requests_completed += p->requests_completed();
+    else if (p->cls() == ProcessClass::kInstrumentation)
+      m.daemon_requests_completed += p->requests_completed();
+  }
+  for (auto& t : timers_) {
+    if (t->cls() == ProcessClass::kApplication)
+      m.app_requests_completed += t->requests_completed();
+    else if (t->cls() == ProcessClass::kInstrumentation)
+      m.daemon_requests_completed += t->requests_completed();
+  }
+  return m;
+}
+
+}  // namespace prism::rocc

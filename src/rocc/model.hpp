@@ -1,0 +1,78 @@
+// Assembled ROCC scenario: one node's CPU + network shared by the three
+// process classes of Fig. 8, run for a fixed horizon, reporting the two
+// Paradyn metrics of Table 5:
+//
+//   * Pd interference — "the absolute amount of CPU time required for daemon
+//     execution" over the run (lower is better);
+//   * utilizationPd — the share of CPU time consumed by the daemon (nominal
+//     is best: high means the daemon competes with the application, low —
+//     under contention — means the daemon is starved and pipes back up).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rocc/process.hpp"
+#include "rocc/resource.hpp"
+#include "sim/engine.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::rocc {
+
+struct NodeMetrics {
+  /// Simulated horizon actually observed.
+  sim::Time span = 0;
+  /// Absolute CPU busy time per class.
+  double cpu_time_application = 0;
+  double cpu_time_instrumentation = 0;
+  double cpu_time_other = 0;
+  /// CPU utilization fractions per class (busy time / span).
+  double cpu_util_application = 0;
+  double cpu_util_instrumentation = 0;
+  double cpu_util_other = 0;
+  /// Network busy time per class.
+  double net_time_instrumentation = 0;
+  double net_time_application = 0;
+  /// Mean CPU ready-queue delay experienced by requests.
+  double mean_cpu_queueing_delay = 0;
+  /// Forced context switches on the CPU.
+  std::uint64_t preemptions = 0;
+  /// Application requests completed (throughput proxy).
+  std::uint64_t app_requests_completed = 0;
+  std::uint64_t daemon_requests_completed = 0;
+};
+
+/// A single-node ROCC scenario under construction.
+class NodeModel {
+ public:
+  /// `quantum` is the round-robin scheduling quantum of the node's CPU.
+  NodeModel(sim::Time quantum, stats::Rng rng);
+
+  sim::Engine& engine() { return eng_; }
+  Resource& cpu() { return *cpu_; }
+  Resource& network() { return *net_; }
+
+  /// Adds a process; returns its id.  Each process gets an independent
+  /// child stream of the model's RNG.
+  std::uint32_t add_process(ProcessClass cls, Behavior behavior);
+
+  /// Adds a timer-locked process (see TimerProcess); returns a reference
+  /// valid for the model's lifetime.  `max_outstanding` bounds how many of
+  /// its requests may be in flight before wakeups are skipped.
+  TimerProcess& add_timer_process(ProcessClass cls, sim::Time period,
+                                  sim::Time cpu_demand, sim::Time net_demand,
+                                  unsigned max_outstanding = 4);
+
+  /// Runs all processes for `horizon` simulated time and reports metrics.
+  NodeMetrics run(sim::Time horizon);
+
+ private:
+  sim::Engine eng_;
+  stats::Rng rng_;
+  std::unique_ptr<CpuResource> cpu_;
+  std::unique_ptr<FifoResource> net_;
+  std::vector<std::unique_ptr<RoccProcess>> processes_;
+  std::vector<std::unique_ptr<TimerProcess>> timers_;
+};
+
+}  // namespace prism::rocc

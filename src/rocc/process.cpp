@@ -1,0 +1,137 @@
+#include "rocc/process.hpp"
+
+namespace prism::rocc {
+
+Behavior compute_communicate_behavior(
+    std::shared_ptr<const stats::Distribution> cpu_burst,
+    std::shared_ptr<const stats::Distribution> network_op,
+    double comm_probability, double instr_cpu_cost,
+    unsigned events_per_sample) {
+  if (!cpu_burst || !network_op)
+    throw std::invalid_argument("compute_communicate_behavior: null dist");
+  if (!(comm_probability >= 0 && comm_probability <= 1))
+    throw std::invalid_argument("compute_communicate_behavior: bad p");
+  // State machine: 0 = next is CPU burst, 1 = next is network op.
+  auto state = std::make_shared<unsigned>(0);
+  auto cycles = std::make_shared<std::uint64_t>(0);
+  return [=](stats::Rng& rng) -> std::optional<Step> {
+    if (*state == 0) {
+      *state = 1;
+      double demand = cpu_burst->sample(rng);
+      ++*cycles;
+      if (instr_cpu_cost > 0 && events_per_sample > 0 &&
+          *cycles % events_per_sample == 0) {
+        demand += instr_cpu_cost;
+      }
+      return Step{0, ResourceKind::kCpu, demand};
+    }
+    *state = 0;
+    if (!rng.next_bernoulli(comm_probability)) {
+      // Skip the communication phase this cycle; fall through to the next
+      // CPU burst immediately.
+      *state = 1;
+      return Step{0, ResourceKind::kCpu, cpu_burst->sample(rng)};
+    }
+    return Step{0, ResourceKind::kNetwork, network_op->sample(rng)};
+  };
+}
+
+Behavior sampling_daemon_behavior(sim::Time period, double per_sample_cpu,
+                                  double batch_network_cost,
+                                  unsigned n_app_processes) {
+  if (!(period > 0))
+    throw std::invalid_argument("sampling_daemon_behavior: period <= 0");
+  if (!(per_sample_cpu > 0))
+    throw std::invalid_argument("sampling_daemon_behavior: cpu cost <= 0");
+  if (n_app_processes == 0)
+    throw std::invalid_argument("sampling_daemon_behavior: no app processes");
+  // State machine: 0 = wait out the sampling period then collect (CPU);
+  // 1 = forward the batch (network).
+  auto state = std::make_shared<unsigned>(0);
+  return [=](stats::Rng&) -> std::optional<Step> {
+    if (*state == 0) {
+      *state = 1;
+      return Step{period, ResourceKind::kCpu,
+                  per_sample_cpu * n_app_processes};
+    }
+    *state = 0;
+    if (batch_network_cost > 0)
+      return Step{0, ResourceKind::kNetwork, batch_network_cost};
+    // No forwarding cost configured: go straight back to the timer.
+    *state = 1;
+    return Step{period, ResourceKind::kCpu, per_sample_cpu * n_app_processes};
+  };
+}
+
+Behavior background_load_behavior(
+    std::shared_ptr<const stats::Distribution> cpu_burst,
+    std::shared_ptr<const stats::Distribution> think_time) {
+  if (!cpu_burst || !think_time)
+    throw std::invalid_argument("background_load_behavior: null dist");
+  return [=](stats::Rng& rng) -> std::optional<Step> {
+    return Step{think_time->sample(rng), ResourceKind::kCpu,
+                cpu_burst->sample(rng)};
+  };
+}
+
+TimerProcess::TimerProcess(sim::Engine& eng, std::uint32_t id,
+                           ProcessClass cls, ResourceSet resources,
+                           sim::Time period, sim::Time cpu_demand,
+                           sim::Time net_demand, unsigned max_outstanding)
+    : eng_(eng),
+      id_(id),
+      cls_(cls),
+      res_(resources),
+      period_(period),
+      cpu_demand_(cpu_demand),
+      net_demand_(net_demand),
+      max_outstanding_(max_outstanding) {
+  if (!(period > 0)) throw std::invalid_argument("TimerProcess: period <= 0");
+  if (!(cpu_demand > 0))
+    throw std::invalid_argument("TimerProcess: cpu demand <= 0");
+  if (net_demand < 0)
+    throw std::invalid_argument("TimerProcess: net demand < 0");
+  if (!res_.cpu) throw std::invalid_argument("TimerProcess: no CPU");
+  if (net_demand > 0 && !res_.network)
+    throw std::invalid_argument("TimerProcess: no network");
+}
+
+void TimerProcess::start() {
+  if (started_) return;
+  started_ = true;
+  eng_.schedule_after(period_, [this] { wake(); });
+}
+
+void TimerProcess::wake() {
+  // Re-arm first: the timer is free-running.
+  eng_.schedule_after(period_, [this] { wake(); });
+  ++wakeups_;
+  if (outstanding_ >= max_outstanding_) {
+    ++skipped_;
+    return;
+  }
+  ++outstanding_;
+  Request req;
+  req.process_id = id_;
+  req.cls = cls_;
+  req.resource = ResourceKind::kCpu;
+  req.demand = cpu_demand_;
+  res_.cpu->submit(std::move(req), [this](Request&&) {
+    ++completed_;
+    if (net_demand_ > 0) {
+      Request net;
+      net.process_id = id_;
+      net.cls = cls_;
+      net.resource = ResourceKind::kNetwork;
+      net.demand = net_demand_;
+      res_.network->submit(std::move(net), [this](Request&&) {
+        ++completed_;
+        --outstanding_;
+      });
+    } else {
+      --outstanding_;
+    }
+  });
+}
+
+}  // namespace prism::rocc

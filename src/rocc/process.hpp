@@ -1,0 +1,193 @@
+// Processes of the ROCC model.
+//
+// A RoccProcess issues a sequence of resource-occupancy requests: after each
+// request completes, the process's Behavior is consulted for the next step
+// (an optional pre-delay, a resource, and a demand).  "Multiple processes can
+// generate requests concurrently.  If a resource is busy, the request waits
+// in the queue of that particular resource ...  When a request is fully
+// serviced, it signals the process that generated it, which then issues the
+// next request" (§3.2.2).
+//
+// Behaviors for the three Fig. 8 process classes are provided as factories:
+// instrumented application processes (compute/communicate cycles with a
+// per-sample instrumentation cost), the periodic sampling daemon (the
+// "time out" trigger in Fig. 8), and background other-user load.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "rocc/resource.hpp"
+#include "sim/engine.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::rocc {
+
+/// One step of a process's life: wait `delay_before`, then occupy
+/// `resource` for `demand`.
+struct Step {
+  sim::Time delay_before = 0;
+  ResourceKind resource = ResourceKind::kCpu;
+  sim::Time demand = 0;
+};
+
+/// Yields the next step, or nullopt to terminate the process.
+using Behavior = std::function<std::optional<Step>(stats::Rng&)>;
+
+/// The resources a process can occupy.
+struct ResourceSet {
+  Resource* cpu = nullptr;
+  Resource* network = nullptr;
+  Resource* io = nullptr;
+
+  Resource* get(ResourceKind k) const {
+    switch (k) {
+      case ResourceKind::kCpu: return cpu;
+      case ResourceKind::kNetwork: return network;
+      case ResourceKind::kIo: return io;
+    }
+    return nullptr;
+  }
+};
+
+class RoccProcess {
+ public:
+  RoccProcess(sim::Engine& eng, std::uint32_t id, ProcessClass cls,
+              ResourceSet resources, Behavior behavior, stats::Rng rng)
+      : eng_(eng),
+        id_(id),
+        cls_(cls),
+        res_(resources),
+        behavior_(std::move(behavior)),
+        rng_(rng) {
+    if (!behavior_) throw std::invalid_argument("RoccProcess: null behavior");
+  }
+
+  RoccProcess(const RoccProcess&) = delete;
+  RoccProcess& operator=(const RoccProcess&) = delete;
+
+  void start() {
+    if (started_) return;
+    started_ = true;
+    advance();
+  }
+
+  std::uint32_t id() const { return id_; }
+  ProcessClass cls() const { return cls_; }
+  std::uint64_t requests_completed() const { return completed_; }
+  /// Sum of serviced demands, by resource kind.
+  double demand_completed(ResourceKind k) const {
+    return demand_done_[static_cast<int>(k)];
+  }
+  bool terminated() const { return terminated_; }
+
+ private:
+  void advance() {
+    auto step = behavior_(rng_);
+    if (!step) {
+      terminated_ = true;
+      return;
+    }
+    if (step->delay_before < 0 || step->demand <= 0)
+      throw std::logic_error("RoccProcess: invalid step");
+    const Step s = *step;
+    eng_.schedule_after(s.delay_before, [this, s] { issue(s); });
+  }
+
+  void issue(const Step& s) {
+    Resource* r = res_.get(s.resource);
+    if (!r) throw std::logic_error("RoccProcess: no such resource");
+    Request req;
+    req.process_id = id_;
+    req.cls = cls_;
+    req.resource = s.resource;
+    req.demand = s.demand;
+    r->submit(std::move(req), [this, kind = s.resource](Request&& done) {
+      ++completed_;
+      demand_done_[static_cast<int>(kind)] += done.demand;
+      advance();
+    });
+  }
+
+  sim::Engine& eng_;
+  std::uint32_t id_;
+  ProcessClass cls_;
+  ResourceSet res_;
+  Behavior behavior_;
+  stats::Rng rng_;
+  bool started_ = false;
+  bool terminated_ = false;
+  std::uint64_t completed_ = 0;
+  double demand_done_[3] = {0, 0, 0};
+};
+
+/// Application process: alternating CPU bursts and network operations.
+/// Every `events_per_sample`-th cycle also pays `instr_cpu_cost` of CPU to
+/// execute inserted instrumentation (0 disables).
+Behavior compute_communicate_behavior(
+    std::shared_ptr<const stats::Distribution> cpu_burst,
+    std::shared_ptr<const stats::Distribution> network_op,
+    double comm_probability = 1.0, double instr_cpu_cost = 0.0,
+    unsigned events_per_sample = 0);
+
+/// Sampling daemon (Paradyn Pd): every `period`, collect one sample from
+/// each of `n_app_processes` local pipes (CPU demand `per_sample_cpu` each,
+/// batched into a single CPU request) and forward the batch to the ISM
+/// (network demand `batch_network_cost`).
+Behavior sampling_daemon_behavior(sim::Time period, double per_sample_cpu,
+                                  double batch_network_cost,
+                                  unsigned n_app_processes);
+
+/// Other-user background load: CPU bursts separated by idle think times.
+Behavior background_load_behavior(
+    std::shared_ptr<const stats::Distribution> cpu_burst,
+    std::shared_ptr<const stats::Distribution> think_time);
+
+/// Timer-driven process: fires at every multiple of `period` (timer-locked,
+/// like a daemon on an interval timer), submitting a CPU request and — on
+/// its completion — an optional network request.  Unlike RoccProcess, the
+/// next wakeup does not wait for the previous request to complete, so the
+/// wakeup rate stays horizon/period even when the node saturates.  To bound
+/// buildup it skips a wakeup while more than `max_outstanding` of its
+/// requests are in flight (a real daemon coalesces missed timer ticks).
+class TimerProcess {
+ public:
+  TimerProcess(sim::Engine& eng, std::uint32_t id, ProcessClass cls,
+               ResourceSet resources, sim::Time period, sim::Time cpu_demand,
+               sim::Time net_demand, unsigned max_outstanding = 4);
+
+  TimerProcess(const TimerProcess&) = delete;
+  TimerProcess& operator=(const TimerProcess&) = delete;
+
+  /// Schedules wakeups at period, 2*period, ... (forever; the engine's
+  /// run_until horizon bounds the run).
+  void start();
+
+  ProcessClass cls() const { return cls_; }
+  std::uint64_t wakeups() const { return wakeups_; }
+  std::uint64_t skipped() const { return skipped_; }
+  std::uint64_t requests_completed() const { return completed_; }
+
+ private:
+  void wake();
+
+  sim::Engine& eng_;
+  std::uint32_t id_;
+  ProcessClass cls_;
+  ResourceSet res_;
+  sim::Time period_;
+  sim::Time cpu_demand_;
+  sim::Time net_demand_;
+  unsigned max_outstanding_;
+  unsigned outstanding_ = 0;
+  bool started_ = false;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace prism::rocc

@@ -1,0 +1,42 @@
+// Requests in the Resource OCCupancy (ROCC) model (§3.2.2).
+//
+// "Requests ... are demands from application processes, other users'
+// processes, and IS processes to occupy the system resources during the
+// execution of an instrumented application program.  A request to occupy a
+// resource specifies the amount of time needed for completion of a
+// particular computation, communication, or I/O step of a process."
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace prism::rocc {
+
+/// The process classes of Fig. 8.
+enum class ProcessClass : std::uint8_t {
+  kApplication = 0,      ///< instrumented application processes
+  kInstrumentation = 1,  ///< IS processes (e.g. the Paradyn daemon)
+  kOtherUser = 2,        ///< other users' / system processes
+};
+
+/// Resource kinds of the Paradyn ROCC instantiation.
+enum class ResourceKind : std::uint8_t {
+  kCpu = 0,
+  kNetwork = 1,
+  kIo = 2,
+};
+
+struct Request {
+  std::uint32_t process_id = 0;
+  ProcessClass cls = ProcessClass::kApplication;
+  ResourceKind resource = ResourceKind::kCpu;
+  /// Total occupancy demand (simulated time units).
+  sim::Time demand = 0;
+  /// Demand not yet serviced (maintained by preemptive resources).
+  sim::Time remaining = 0;
+  sim::Time t_issued = 0;
+  sim::Time t_completed = 0;
+};
+
+}  // namespace prism::rocc

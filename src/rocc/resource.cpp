@@ -1,0 +1,95 @@
+#include "rocc/resource.hpp"
+
+#include <utility>
+
+namespace prism::rocc {
+
+void CpuResource::submit(Request req, Completion done) {
+  if (!(req.demand > 0)) throw std::invalid_argument("CpuResource: demand <= 0");
+  if (!done) throw std::invalid_argument("CpuResource: null completion");
+  req.remaining = req.demand;
+  req.t_issued = eng_.now();
+  const std::uint32_t pid = req.process_id;
+  procs_[pid].pending.push_back(Entry{std::move(req), std::move(done), true});
+  enqueue_ready(pid);
+  if (!running_) dispatch();
+}
+
+void CpuResource::enqueue_ready(std::uint32_t pid) {
+  ProcState& ps = procs_[pid];
+  if (!ps.in_ready && !ps.pending.empty()) {
+    ps.in_ready = true;
+    ready_.push_back(pid);
+  }
+}
+
+void CpuResource::dispatch() {
+  if (ready_.empty()) {
+    running_ = false;
+    return;
+  }
+  running_ = true;
+  const std::uint32_t pid = ready_.front();
+  ready_.pop_front();
+  ProcState& ps = procs_[pid];
+  ps.in_ready = false;
+  Entry& entry = ps.pending.front();
+  if (entry.first_service) {
+    queueing_delay_.add(eng_.now() - entry.req.t_issued);
+    entry.first_service = false;
+  }
+  const sim::Time slice = std::min(quantum_, entry.req.remaining);
+  util_.begin_busy(eng_.now(), static_cast<int>(entry.req.cls));
+  eng_.schedule_after(slice, [this, pid, slice]() mutable {
+    util_.end_busy(eng_.now());
+    ProcState& p = procs_[pid];
+    Entry& e = p.pending.front();
+    e.req.remaining -= slice;
+    if (e.req.remaining > 1e-12) {
+      // Quantum expired with work left: preempt; the process re-enters the
+      // ready ring at the tail, continuing the same request next turn.
+      ++preemptions_;
+    } else {
+      e.req.remaining = 0;
+      e.req.t_completed = eng_.now();
+      ++completions_;
+      Entry finished = std::move(p.pending.front());
+      p.pending.pop_front();
+      finished.done(std::move(finished.req));
+    }
+    enqueue_ready(pid);
+    dispatch();
+  });
+}
+
+void FifoResource::submit(Request req, Completion done) {
+  if (!(req.demand > 0)) throw std::invalid_argument("FifoResource: demand <= 0");
+  if (!done) throw std::invalid_argument("FifoResource: null completion");
+  req.remaining = req.demand;
+  req.t_issued = eng_.now();
+  waiting_.push_back(Entry{std::move(req), std::move(done)});
+  if (!busy_) begin_service();
+}
+
+void FifoResource::begin_service() {
+  if (waiting_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Entry entry = std::move(waiting_.front());
+  waiting_.pop_front();
+  queueing_delay_.add(eng_.now() - entry.req.t_issued);
+  util_.begin_busy(eng_.now(), static_cast<int>(entry.req.cls));
+  const sim::Time d = entry.req.demand;
+  eng_.schedule_after(d, [this, e = std::move(entry)]() mutable {
+    util_.end_busy(eng_.now());
+    e.req.remaining = 0;
+    e.req.t_completed = eng_.now();
+    ++completions_;
+    e.done(std::move(e.req));
+    begin_service();
+  });
+}
+
+}  // namespace prism::rocc

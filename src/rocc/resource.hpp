@@ -1,0 +1,133 @@
+// System resources of the ROCC model (§3.2.2, Fig. 8).
+//
+// * CpuResource — a preemptive round-robin processor with a scheduling
+//   quantum: "To ensure fair scheduling of processes, the operating system
+//   (Unix) can preempt a process that needs to occupy a system resource for a
+//   period of time longer than the specified quantum."  Per-class busy time
+//   is tracked so the model can report daemon interference (absolute CPU time
+//   of the IS class) and utilization shares.
+// * FifoResource — a non-preemptive first-come-first-served resource
+//   (the network in Fig. 8; also usable as a disk).
+//
+// "When a request is fully serviced, it signals the process that generated
+// it" — completion callbacks implement that signal.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "rocc/request.hpp"
+#include "sim/collectors.hpp"
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::rocc {
+
+/// Invoked when a request's demand is fully serviced.
+using Completion = std::function<void(Request&&)>;
+
+class Resource {
+ public:
+  explicit Resource(sim::Engine& eng, std::string name)
+      : eng_(eng), name_(std::move(name)), util_(eng.now()) {}
+  virtual ~Resource() = default;
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Submits a request; `done` fires when the full demand has been served.
+  virtual void submit(Request req, Completion done) = 0;
+
+  const std::string& name() const { return name_; }
+  /// Busy time attributed to a process class.
+  double busy_time(ProcessClass c) const {
+    return util_.busy_time(static_cast<int>(c));
+  }
+  double busy_time() const { return util_.busy_time(); }
+  double utilization() const { return util_.utilization(); }
+  double utilization(ProcessClass c) const {
+    return util_.utilization(static_cast<int>(c));
+  }
+  /// Integrate busy-time accounting up to `t` (call at end of run).
+  void finalize(sim::Time t) { util_.flush(t); }
+  /// Waiting time from submission to first service, per completed request.
+  const stats::Summary& queueing_delays() const { return queueing_delay_; }
+  std::uint64_t completions() const { return completions_; }
+
+ protected:
+  sim::Engine& eng_;
+  std::string name_;
+  sim::UtilizationTracker util_;
+  stats::Summary queueing_delay_;
+  std::uint64_t completions_ = 0;
+};
+
+/// Preemptive round-robin CPU with a fixed quantum.
+///
+/// Scheduling is per *process* (keyed by Request::process_id), exactly like
+/// Unix round-robin: each process with runnable work holds one slot in the
+/// ready ring regardless of how many requests it has queued, and its
+/// requests are served FIFO within that slot.  A process that stays
+/// backlogged therefore receives its fair 1/(#ready) share — the mechanism
+/// behind the §3.2.3 daemon starvation.
+class CpuResource final : public Resource {
+ public:
+  CpuResource(sim::Engine& eng, std::string name, sim::Time quantum)
+      : Resource(eng, std::move(name)), quantum_(quantum) {
+    if (!(quantum > 0)) throw std::invalid_argument("CpuResource: quantum <= 0");
+  }
+
+  void submit(Request req, Completion done) override;
+
+  sim::Time quantum() const { return quantum_; }
+  /// Number of quantum-expiry preemptions (context switches forced by the
+  /// scheduler, excluding voluntary completions).
+  std::uint64_t preemptions() const { return preemptions_; }
+  std::size_t ready_queue_length() const { return ready_.size(); }
+
+ private:
+  struct Entry {
+    Request req;
+    Completion done;
+    bool first_service = true;
+  };
+  struct ProcState {
+    std::deque<Entry> pending;
+    bool in_ready = false;
+  };
+
+  void enqueue_ready(std::uint32_t pid);
+  void dispatch();
+
+  sim::Time quantum_;
+  std::unordered_map<std::uint32_t, ProcState> procs_;
+  std::deque<std::uint32_t> ready_;  ///< one slot per runnable process
+  bool running_ = false;
+  std::uint64_t preemptions_ = 0;
+};
+
+/// Non-preemptive FCFS resource (network link, disk).
+class FifoResource final : public Resource {
+ public:
+  using Resource::Resource;
+
+  void submit(Request req, Completion done) override;
+
+  std::size_t queue_length() const { return waiting_.size(); }
+
+ private:
+  struct Entry {
+    Request req;
+    Completion done;
+  };
+
+  void begin_service();
+
+  std::deque<Entry> waiting_;
+  bool busy_ = false;
+};
+
+}  // namespace prism::rocc

@@ -1,0 +1,47 @@
+#include "sim/collectors.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace prism::sim {
+
+std::size_t mser5_truncation_index(const std::vector<double>& observations) {
+  constexpr std::size_t kBatch = 5;
+  const std::size_t n_batches = observations.size() / kBatch;
+  if (n_batches < 2) return 0;
+
+  std::vector<double> batch_means(n_batches);
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    double acc = 0;
+    for (std::size_t i = 0; i < kBatch; ++i)
+      acc += observations[b * kBatch + i];
+    batch_means[b] = acc / kBatch;
+  }
+
+  // Suffix sums for O(n) evaluation of the MSER statistic
+  // MSER(d) = s^2(d) / (n - d)   over retained batches d..n-1.
+  std::vector<double> suffix_sum(n_batches + 1, 0),
+      suffix_sq(n_batches + 1, 0);
+  for (std::size_t b = n_batches; b > 0; --b) {
+    suffix_sum[b - 1] = suffix_sum[b] + batch_means[b - 1];
+    suffix_sq[b - 1] = suffix_sq[b] + batch_means[b - 1] * batch_means[b - 1];
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_d = 0;
+  // Convention: never delete more than half the run.
+  for (std::size_t d = 0; d <= n_batches / 2; ++d) {
+    const double m = static_cast<double>(n_batches - d);
+    const double mean = suffix_sum[d] / m;
+    const double var = suffix_sq[d] / m - mean * mean;
+    const double mser = var / m;
+    if (mser < best) {
+      best = mser;
+      best_d = d;
+    }
+  }
+  return best_d * kBatch;
+}
+
+}  // namespace prism::sim

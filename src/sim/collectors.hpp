@@ -1,0 +1,170 @@
+// Output-analysis collectors for simulations.
+//
+// * UtilizationTracker — fraction of simulated time a resource is busy,
+//   optionally split by customer class (the ROCC model's per-class CPU
+//   occupancy comes from this).
+// * RegenerativeEstimator — ratio estimation over regenerative cycles.  The
+//   PICL analysis rests on exactly this: "the process of filling and flushing
+//   a buffer is a regenerative process ... the proportion of time spent by
+//   the instrumentation system in the flushing state throughout program
+//   execution is the same as the proportion of time spent in this state
+//   during one cycle (Smith's theorem)" (§3.1.3).
+// * BatchMeans — CI on a steady-state mean from one long run, via batching.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::sim {
+
+/// Tracks busy time of a single resource, by integer customer class.
+class UtilizationTracker {
+ public:
+  explicit UtilizationTracker(double t0 = 0.0) : start_(t0), last_(t0) {}
+
+  /// Marks the resource busy serving class `cls` from time `t`.
+  void begin_busy(double t, int cls) {
+    account(t);
+    busy_ = true;
+    cls_ = cls;
+  }
+
+  /// Marks the resource idle from time `t`.
+  void end_busy(double t) {
+    account(t);
+    busy_ = false;
+  }
+
+  /// Finalizes accounting up to time `t` without changing state.
+  void flush(double t) { account(t); }
+
+  double busy_time() const {
+    double total = 0;
+    for (auto& [c, bt] : by_class_) total += bt;
+    return total;
+  }
+  double busy_time(int cls) const {
+    auto it = by_class_.find(cls);
+    return it == by_class_.end() ? 0.0 : it->second;
+  }
+  /// Utilization over [t0, last accounted time].
+  double utilization() const {
+    const double span = last_ - start_;
+    return span > 0 ? busy_time() / span : 0.0;
+  }
+  double utilization(int cls) const {
+    const double span = last_ - start_;
+    return span > 0 ? busy_time(cls) / span : 0.0;
+  }
+  double observed_span() const { return last_ - start_; }
+
+ private:
+  void account(double t) {
+    if (t < last_) throw std::invalid_argument("UtilizationTracker: time ran backwards");
+    if (busy_) by_class_[cls_] += t - last_;
+    last_ = t;
+  }
+
+  double start_, last_;
+  bool busy_ = false;
+  int cls_ = 0;
+  std::unordered_map<int, double> by_class_;
+};
+
+/// Classical regenerative ratio estimator.  Each cycle i contributes a
+/// "reward" Y_i (e.g. time spent flushing, or number of flushes) and a
+/// length T_i.  The long-run rate is R = E[Y]/E[T], estimated by
+/// sum(Y)/sum(T) with a delta-method CI.
+class RegenerativeEstimator {
+ public:
+  void add_cycle(double reward, double length) {
+    if (!(length > 0))
+      throw std::invalid_argument("RegenerativeEstimator: length <= 0");
+    y_.add(reward);
+    t_.add(length);
+    ++n_;
+    sum_yy_ += reward * reward;
+    sum_tt_ += length * length;
+    sum_yt_ += reward * length;
+  }
+
+  std::uint64_t cycles() const { return n_; }
+  double mean_reward() const { return y_.mean(); }
+  double mean_length() const { return t_.mean(); }
+
+  /// Point estimate of the long-run ratio E[Y]/E[T].
+  double ratio() const {
+    if (n_ == 0) throw std::logic_error("RegenerativeEstimator: no cycles");
+    return y_.sum() / t_.sum();
+  }
+
+  /// Delta-method CI on the ratio.  Requires >= 2 cycles.
+  stats::ConfidenceInterval ratio_ci(double confidence) const {
+    if (n_ < 2) throw std::logic_error("RegenerativeEstimator: need >= 2 cycles");
+    const double r = ratio();
+    const auto n = static_cast<double>(n_);
+    const double ybar = y_.mean(), tbar = t_.mean();
+    // s^2 of Z_i = Y_i - r T_i.
+    const double szz = (sum_yy_ - 2 * r * sum_yt_ + r * r * sum_tt_ -
+                        n * (ybar - r * tbar) * (ybar - r * tbar)) /
+                       (n - 1);
+    const double half =
+        stats::t_critical(confidence, static_cast<unsigned>(n_ - 1)) *
+        std::sqrt(szz > 0 ? szz : 0.0) / (tbar * std::sqrt(n));
+    return stats::ConfidenceInterval{r, half, confidence, n_};
+  }
+
+ private:
+  stats::Summary y_, t_;
+  std::uint64_t n_ = 0;
+  double sum_yy_ = 0, sum_tt_ = 0, sum_yt_ = 0;
+};
+
+/// Batch-means estimator: feeds observations into fixed-size batches and
+/// builds a CI from the batch means, discarding an initial warm-up prefix.
+class BatchMeans {
+ public:
+  BatchMeans(std::size_t batch_size, std::size_t warmup_observations = 0)
+      : batch_size_(batch_size), warmup_(warmup_observations) {
+    if (batch_size == 0) throw std::invalid_argument("BatchMeans: batch 0");
+  }
+
+  void add(double x) {
+    if (warmup_ > 0) {
+      --warmup_;
+      return;
+    }
+    cur_.add(x);
+    if (cur_.count() == batch_size_) {
+      batches_.add(cur_.mean());
+      cur_.reset();
+    }
+  }
+
+  std::uint64_t complete_batches() const { return batches_.count(); }
+  double mean() const { return batches_.mean(); }
+  stats::ConfidenceInterval ci(double confidence) const {
+    return stats::confidence_interval(batches_, confidence);
+  }
+
+ private:
+  std::size_t batch_size_;
+  std::size_t warmup_;
+  stats::Summary cur_;
+  stats::Summary batches_;
+};
+
+/// MSER-5 warm-up truncation (White 1997): batches the observation sequence
+/// into groups of 5, then picks the truncation point minimizing the MSER
+/// statistic (half-width proxy) over the retained suffix.  Returns the
+/// index of the first observation to KEEP.  Standard practice for deleting
+/// initialization bias before steady-state estimation.
+std::size_t mser5_truncation_index(const std::vector<double>& observations);
+
+}  // namespace prism::sim

@@ -1,0 +1,45 @@
+#include "sim/replication.hpp"
+
+#include <stdexcept>
+
+namespace prism::sim {
+
+void ReplicationResult::add(const Responses& r) {
+  for (auto& [name, value] : r) by_metric_[name].add(value);
+  ++n_;
+}
+
+std::vector<std::string> ReplicationResult::metrics() const {
+  std::vector<std::string> out;
+  out.reserve(by_metric_.size());
+  for (auto& [name, s] : by_metric_) out.push_back(name);
+  return out;
+}
+
+const stats::Summary& ReplicationResult::summary(
+    const std::string& metric) const {
+  auto it = by_metric_.find(metric);
+  if (it == by_metric_.end())
+    throw std::out_of_range("ReplicationResult: unknown metric " + metric);
+  return it->second;
+}
+
+stats::ConfidenceInterval ReplicationResult::ci(const std::string& metric,
+                                                double confidence) const {
+  return stats::confidence_interval(summary(metric), confidence);
+}
+
+ReplicationResult replicate(
+    unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
+    const std::function<Responses(stats::Rng&)>& model) {
+  if (r == 0) throw std::invalid_argument("replicate: r == 0");
+  ReplicationResult out;
+  for (unsigned rep = 0; rep < r; ++rep) {
+    stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
+                                         static_cast<std::uint64_t>(rep)));
+    out.add(model(rng));
+  }
+  return out;
+}
+
+}  // namespace prism::sim

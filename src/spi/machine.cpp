@@ -1,0 +1,88 @@
+#include "spi/machine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace prism::spi {
+
+EventActionMachine::EventActionMachine(std::vector<Rule> rules,
+                                       TriggerFn on_trigger,
+                                       std::size_t max_marked)
+    : rules_(std::move(rules)),
+      on_trigger_(std::move(on_trigger)),
+      max_marked_(max_marked) {
+  for (const auto& rule : rules_) {
+    if (!rule.when)
+      throw std::invalid_argument("EventActionMachine: rule '" + rule.name +
+                                  "' has no predicate");
+    if (rule.action == ActionKind::kMark && rule.mark_label.empty())
+      throw std::invalid_argument("EventActionMachine: rule '" + rule.name +
+                                  "' marks without a label");
+  }
+}
+
+EventActionMachine EventActionMachine::from_spec(const std::string& text,
+                                                 TriggerFn on_trigger,
+                                                 std::size_t max_marked) {
+  return EventActionMachine(parse_spec(text), std::move(on_trigger),
+                            max_marked);
+}
+
+void EventActionMachine::consume(const trace::EventRecord& r) {
+  seen_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& rule : rules_) {
+    if (!rule.when(r)) continue;
+    {
+      std::lock_guard lk(mu_);
+      ++counts_[rule.name];
+      if (rule.action == ActionKind::kMark) {
+        auto& v = marked_[rule.mark_label];
+        if (v.size() < max_marked_) v.push_back(r);
+      } else if (rule.action == ActionKind::kTrigger) {
+        ++trigger_counts_[rule.name];
+      }
+    }
+    if (rule.action == ActionKind::kTrigger && on_trigger_)
+      on_trigger_(rule.name, r);
+  }
+}
+
+std::uint64_t EventActionMachine::count(const std::string& rule) const {
+  std::lock_guard lk(mu_);
+  auto it = counts_.find(rule);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t EventActionMachine::triggers(const std::string& rule) const {
+  std::lock_guard lk(mu_);
+  auto it = trigger_counts_.find(rule);
+  return it == trigger_counts_.end() ? 0 : it->second;
+}
+
+std::vector<trace::EventRecord> EventActionMachine::marked(
+    const std::string& label) const {
+  std::lock_guard lk(mu_);
+  auto it = marked_.find(label);
+  return it == marked_.end() ? std::vector<trace::EventRecord>{} : it->second;
+}
+
+std::string EventActionMachine::report() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  os << "event-action machine: " << seen_.load() << " events\n";
+  for (const auto& rule : rules_) {
+    auto it = counts_.find(rule.name);
+    os << "  rule " << rule.name << ": "
+       << (it == counts_.end() ? 0 : it->second) << " matches";
+    if (rule.action == ActionKind::kMark) os << " (mark " << rule.mark_label << ")";
+    if (rule.action == ActionKind::kTrigger) {
+      auto t = trigger_counts_.find(rule.name);
+      os << " (" << (t == trigger_counts_.end() ? 0 : t->second)
+         << " triggers)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace prism::spi

@@ -1,0 +1,62 @@
+// The SPI-style Event-Action machine (Table 8: SPI's ISM is "Event-Action
+// machines").  It is a core::Tool, so it attaches to any ISM and evaluates
+// its rules over the ordered record stream: counting matches, firing
+// triggers (the steering hook), and capturing marked records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tool.hpp"
+#include "spi/spec.hpp"
+
+namespace prism::spi {
+
+class EventActionMachine final : public core::Tool {
+ public:
+  /// Fired for every matched kTrigger rule: (rule name, record).
+  using TriggerFn =
+      std::function<void(const std::string&, const trace::EventRecord&)>;
+
+  explicit EventActionMachine(std::vector<Rule> rules,
+                              TriggerFn on_trigger = nullptr,
+                              std::size_t max_marked = 4096);
+
+  /// Builds the machine from specification text (see spec.hpp grammar).
+  static EventActionMachine from_spec(const std::string& text,
+                                      TriggerFn on_trigger = nullptr,
+                                      std::size_t max_marked = 4096);
+
+  std::string_view name() const override { return "event_action_machine"; }
+  void consume(const trace::EventRecord& r) override;
+
+  /// Events seen / matched (any rule).
+  std::uint64_t events_seen() const { return seen_.load(); }
+  /// Per-rule match counter.
+  std::uint64_t count(const std::string& rule) const;
+  /// Trigger firings per rule.
+  std::uint64_t triggers(const std::string& rule) const;
+  /// Records captured under a mark label.
+  std::vector<trace::EventRecord> marked(const std::string& label) const;
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Renders the per-rule counters.
+  std::string report() const;
+
+ private:
+  std::vector<Rule> rules_;
+  TriggerFn on_trigger_;
+  std::size_t max_marked_;
+  std::atomic<std::uint64_t> seen_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counts_;
+  std::map<std::string, std::uint64_t> trigger_counts_;
+  std::map<std::string, std::vector<trace::EventRecord>> marked_;
+};
+
+}  // namespace prism::spi

@@ -1,0 +1,333 @@
+#include "spi/spec.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+namespace prism::spi {
+
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+enum class Tok : std::uint8_t {
+  kIdent,   // rule names, field names, kind names, keywords
+  kNumber,  // integer or float literal
+  kColon,
+  kLParen,
+  kRParen,
+  kAndAnd,
+  kOrOr,
+  kBang,
+  kOp,      // = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  Tok type = Tok::kEnd;
+  std::string text;
+  double number = 0;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : s_(text) { advance(); }
+
+  const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    cur_.line = line_;
+    if (i_ >= s_.size()) {
+      cur_ = Token{Tok::kEnd, "", 0, line_};
+      return;
+    }
+    const char c = s_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) || s_[j] == '_'))
+        ++j;
+      cur_ = Token{Tok::kIdent, s_.substr(i_, j - i_), 0, line_};
+      i_ = j;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i_ + 1 < s_.size() &&
+         std::isdigit(static_cast<unsigned char>(s_[i_ + 1])))) {
+      std::size_t j = i_;
+      while (j < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[j])) || s_[j] == '.' ||
+              s_[j] == 'e' || s_[j] == 'E' ||
+              ((s_[j] == '+' || s_[j] == '-') && j > i_ &&
+               (s_[j - 1] == 'e' || s_[j - 1] == 'E'))))
+        ++j;
+      const std::string lit = s_.substr(i_, j - i_);
+      cur_ = Token{Tok::kNumber, lit, std::stod(lit), line_};
+      i_ = j;
+      return;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i_ + 1 < s_.size() && s_[i_ + 1] == b;
+    };
+    if (two('&', '&')) { cur_ = {Tok::kAndAnd, "&&", 0, line_}; i_ += 2; return; }
+    if (two('|', '|')) { cur_ = {Tok::kOrOr, "||", 0, line_}; i_ += 2; return; }
+    if (two('!', '=')) { cur_ = {Tok::kOp, "!=", 0, line_}; i_ += 2; return; }
+    if (two('<', '=')) { cur_ = {Tok::kOp, "<=", 0, line_}; i_ += 2; return; }
+    if (two('>', '=')) { cur_ = {Tok::kOp, ">=", 0, line_}; i_ += 2; return; }
+    switch (c) {
+      case ':': cur_ = {Tok::kColon, ":", 0, line_}; ++i_; return;
+      case '(': cur_ = {Tok::kLParen, "(", 0, line_}; ++i_; return;
+      case ')': cur_ = {Tok::kRParen, ")", 0, line_}; ++i_; return;
+      case '!': cur_ = {Tok::kBang, "!", 0, line_}; ++i_; return;
+      case '=': cur_ = {Tok::kOp, "=", 0, line_}; ++i_; return;
+      case '<': cur_ = {Tok::kOp, "<", 0, line_}; ++i_; return;
+      case '>': cur_ = {Tok::kOp, ">", 0, line_}; ++i_; return;
+      default:
+        throw SpecError(line_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (i_ < s_.size() &&
+             std::isspace(static_cast<unsigned char>(s_[i_]))) {
+        if (s_[i_] == '\n') ++line_;
+        ++i_;
+      }
+      if (i_ < s_.size() && s_[i_] == '#') {
+        while (i_ < s_.size() && s_[i_] != '\n') ++i_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  Token cur_;
+};
+
+// ------------------------------------------------------------------ parser
+
+const std::map<std::string, trace::EventKind>& kind_names() {
+  static const std::map<std::string, trace::EventKind> names{
+      {"user", trace::EventKind::kUserEvent},
+      {"send", trace::EventKind::kSend},
+      {"recv", trace::EventKind::kRecv},
+      {"block_begin", trace::EventKind::kBlockBegin},
+      {"block_end", trace::EventKind::kBlockEnd},
+      {"sample", trace::EventKind::kSample},
+      {"flush_begin", trace::EventKind::kFlushBegin},
+      {"flush_end", trace::EventKind::kFlushEnd},
+      {"io", trace::EventKind::kIo},
+      {"memref", trace::EventKind::kMemRef},
+      {"control", trace::EventKind::kControl},
+      {"barrier", trace::EventKind::kBarrier},
+      {"trace_start", trace::EventKind::kTraceStart},
+      {"trace_stop", trace::EventKind::kTraceStop},
+  };
+  return names;
+}
+
+enum class Field : std::uint8_t {
+  kKind, kNode, kProcess, kTag, kPeer, kPayload, kSeq, kTimestamp, kLamport,
+  kValue,
+};
+
+std::optional<Field> field_by_name(const std::string& n) {
+  static const std::map<std::string, Field> fields{
+      {"kind", Field::kKind},        {"node", Field::kNode},
+      {"process", Field::kProcess},  {"tag", Field::kTag},
+      {"peer", Field::kPeer},        {"payload", Field::kPayload},
+      {"seq", Field::kSeq},          {"timestamp", Field::kTimestamp},
+      {"lamport", Field::kLamport},  {"value", Field::kValue},
+  };
+  auto it = fields.find(n);
+  if (it == fields.end()) return std::nullopt;
+  return it->second;
+}
+
+double field_value(Field f, const trace::EventRecord& r) {
+  switch (f) {
+    case Field::kKind: return static_cast<double>(r.kind);
+    case Field::kNode: return r.node;
+    case Field::kProcess: return r.process;
+    case Field::kTag: return r.tag;
+    case Field::kPeer: return r.peer;
+    case Field::kPayload: return static_cast<double>(r.payload);
+    case Field::kSeq: return static_cast<double>(r.seq);
+    case Field::kTimestamp: return static_cast<double>(r.timestamp);
+    case Field::kLamport: return static_cast<double>(r.lamport);
+    case Field::kValue: return trace::unpack_double(r.payload);
+  }
+  return 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  std::vector<Rule> parse() {
+    std::vector<Rule> rules;
+    while (lex_.peek().type != Tok::kEnd) {
+      rules.push_back(parse_rule());
+    }
+    return rules;
+  }
+
+ private:
+  Token expect(Tok type, const char* what) {
+    Token t = lex_.take();
+    if (t.type != type)
+      throw SpecError(t.line, std::string("expected ") + what + ", got '" +
+                                  t.text + "'");
+    return t;
+  }
+
+  Token expect_ident(const char* keyword) {
+    Token t = expect(Tok::kIdent, keyword);
+    if (t.text != keyword)
+      throw SpecError(t.line, std::string("expected '") + keyword +
+                                  "', got '" + t.text + "'");
+    return t;
+  }
+
+  Rule parse_rule() {
+    expect_ident("rule");
+    Rule rule;
+    rule.name = expect(Tok::kIdent, "rule name").text;
+    expect(Tok::kColon, "':'");
+    expect_ident("when");
+    rule.when = parse_or();
+    expect_ident("do");
+    const Token act = expect(Tok::kIdent, "action");
+    if (act.text == "count") {
+      rule.action = ActionKind::kCount;
+    } else if (act.text == "trigger") {
+      rule.action = ActionKind::kTrigger;
+    } else if (act.text == "mark") {
+      rule.action = ActionKind::kMark;
+      rule.mark_label = expect(Tok::kIdent, "mark label").text;
+    } else {
+      throw SpecError(act.line, "unknown action '" + act.text + "'");
+    }
+    return rule;
+  }
+
+  Predicate parse_or() {
+    Predicate left = parse_and();
+    while (lex_.peek().type == Tok::kOrOr) {
+      lex_.take();
+      left = p_or(std::move(left), parse_and());
+    }
+    return left;
+  }
+
+  Predicate parse_and() {
+    Predicate left = parse_unary();
+    while (lex_.peek().type == Tok::kAndAnd) {
+      lex_.take();
+      left = p_and(std::move(left), parse_unary());
+    }
+    return left;
+  }
+
+  Predicate parse_unary() {
+    if (lex_.peek().type == Tok::kBang) {
+      lex_.take();
+      return p_not(parse_unary());
+    }
+    if (lex_.peek().type == Tok::kLParen) {
+      lex_.take();
+      Predicate inner = parse_or();
+      expect(Tok::kRParen, "')'");
+      return inner;
+    }
+    return parse_cmp();
+  }
+
+  Predicate parse_cmp() {
+    const Token ftok = expect(Tok::kIdent, "field name");
+    const auto field = field_by_name(ftok.text);
+    if (!field) throw SpecError(ftok.line, "unknown field '" + ftok.text + "'");
+    const Token op = expect(Tok::kOp, "comparison operator");
+    double rhs;
+    const Token lit = lex_.take();
+    if (lit.type == Tok::kNumber) {
+      rhs = lit.number;
+    } else if (lit.type == Tok::kIdent && *field == Field::kKind) {
+      auto it = kind_names().find(lit.text);
+      if (it == kind_names().end())
+        throw SpecError(lit.line, "unknown event kind '" + lit.text + "'");
+      rhs = static_cast<double>(it->second);
+    } else {
+      throw SpecError(lit.line, "expected literal, got '" + lit.text + "'");
+    }
+    const Field f = *field;
+    const std::string o = op.text;
+    if (o == "=")
+      return [f, rhs](const trace::EventRecord& r) { return field_value(f, r) == rhs; };
+    if (o == "!=")
+      return [f, rhs](const trace::EventRecord& r) { return field_value(f, r) != rhs; };
+    if (o == "<")
+      return [f, rhs](const trace::EventRecord& r) { return field_value(f, r) < rhs; };
+    if (o == "<=")
+      return [f, rhs](const trace::EventRecord& r) { return field_value(f, r) <= rhs; };
+    if (o == ">")
+      return [f, rhs](const trace::EventRecord& r) { return field_value(f, r) > rhs; };
+    return [f, rhs](const trace::EventRecord& r) { return field_value(f, r) >= rhs; };
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+std::vector<Rule> parse_spec(const std::string& text) {
+  return Parser(text).parse();
+}
+
+Predicate match_kind(trace::EventKind k) {
+  return [k](const trace::EventRecord& r) { return r.kind == k; };
+}
+Predicate match_node(std::uint32_t node) {
+  return [node](const trace::EventRecord& r) { return r.node == node; };
+}
+Predicate match_tag(std::uint16_t tag) {
+  return [tag](const trace::EventRecord& r) { return r.tag == tag; };
+}
+Predicate payload_above(std::uint64_t threshold) {
+  return [threshold](const trace::EventRecord& r) {
+    return r.payload > threshold;
+  };
+}
+Predicate sample_value_above(double threshold) {
+  return [threshold](const trace::EventRecord& r) {
+    return r.kind == trace::EventKind::kSample &&
+           trace::unpack_double(r.payload) > threshold;
+  };
+}
+Predicate p_and(Predicate a, Predicate b) {
+  return [a = std::move(a), b = std::move(b)](const trace::EventRecord& r) {
+    return a(r) && b(r);
+  };
+}
+Predicate p_or(Predicate a, Predicate b) {
+  return [a = std::move(a), b = std::move(b)](const trace::EventRecord& r) {
+    return a(r) || b(r);
+  };
+}
+Predicate p_not(Predicate a) {
+  return [a = std::move(a)](const trace::EventRecord& r) { return !a(r); };
+}
+
+}  // namespace prism::spi

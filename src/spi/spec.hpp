@@ -1,0 +1,82 @@
+// SPI-style event specification language (§4, ref [1]: "SPI supports an
+// application-specific instrumentation development environment, which is
+// based on an event-action model and an event specification language").
+//
+// A specification is a list of rules:
+//
+//   rule big_sends:   when kind = send && payload > 1024        do count
+//   rule hot_metric:  when kind = sample && tag = 5 && value > 0.9 do trigger
+//   rule node3_waits: when kind = recv && node = 3               do mark slow
+//   rule anything:    when !(kind = send || kind = recv)         do count
+//
+// Grammar (comments start with '#'):
+//   spec    := { rule }
+//   rule    := "rule" IDENT ":" "when" expr "do" action
+//   expr    := or
+//   or      := and { "||" and }
+//   and     := unary { "&&" unary }
+//   unary   := "!" unary | "(" expr ")" | cmp
+//   cmp     := field op literal
+//   field   := kind | node | process | tag | peer | payload | seq |
+//              timestamp | lamport | value          (value: sample payload)
+//   op      := "=" | "!=" | "<" | "<=" | ">" | ">="
+//   literal := NUMBER | FLOAT | event-kind name (send, recv, sample, ...)
+//   action  := "count" | "trigger" | "mark" IDENT
+//
+// parse_spec() produces compiled Rule objects (predicates are closed-over
+// lambdas — no interpretation overhead per event beyond the comparisons).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace prism::spi {
+
+/// Compiled predicate over one event.
+using Predicate = std::function<bool(const trace::EventRecord&)>;
+
+enum class ActionKind : std::uint8_t {
+  kCount,    ///< increment the rule's counter
+  kTrigger,  ///< invoke the machine's trigger callback
+  kMark,     ///< capture the record under a label
+};
+
+struct Rule {
+  std::string name;
+  Predicate when;
+  ActionKind action = ActionKind::kCount;
+  std::string mark_label;  ///< for kMark
+};
+
+/// Error with line information.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(std::size_t line, const std::string& message)
+      : std::runtime_error("spec:" + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses an event-action specification.  Throws SpecError on bad input.
+std::vector<Rule> parse_spec(const std::string& text);
+
+// --- Programmatic predicate combinators (for building rules in C++) -------
+
+Predicate match_kind(trace::EventKind k);
+Predicate match_node(std::uint32_t node);
+Predicate match_tag(std::uint16_t tag);
+Predicate payload_above(std::uint64_t threshold);
+Predicate sample_value_above(double threshold);
+Predicate p_and(Predicate a, Predicate b);
+Predicate p_or(Predicate a, Predicate b);
+Predicate p_not(Predicate a);
+
+}  // namespace prism::spi

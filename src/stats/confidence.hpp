@@ -1,0 +1,44 @@
+// Confidence intervals on sample means.
+//
+// The paper derives "mean values of the two metrics ... within 90% confidence
+// intervals" from r = 50 replications (§3.2.2, §3.3.2).  ConfidenceInterval
+// packages a mean with its t-based half-width; overlap() implements the
+// standard visual test the paper applies when it declares SISO and MISO
+// "less distinguishable" at low arrival rates.
+#pragma once
+
+#include <stdexcept>
+
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double confidence = 0.0;
+  unsigned long long n = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  bool contains(double x) const { return x >= lo() && x <= hi(); }
+  /// True when the two intervals overlap — the replications do not
+  /// distinguish the two alternatives at this confidence level.
+  bool overlaps(const ConfidenceInterval& other) const {
+    return lo() <= other.hi() && other.lo() <= hi();
+  }
+};
+
+/// t-based CI on the mean of `s` at the given confidence level
+/// (e.g. 0.90 for the paper's experiments).  Requires >= 2 observations.
+inline ConfidenceInterval confidence_interval(const Summary& s,
+                                              double confidence) {
+  if (s.count() < 2)
+    throw std::invalid_argument("confidence_interval: need >= 2 observations");
+  const double t = t_critical(confidence, static_cast<unsigned>(s.count() - 1));
+  return ConfidenceInterval{s.mean(), t * s.std_error(), confidence,
+                            s.count()};
+}
+
+}  // namespace prism::stats

@@ -1,0 +1,30 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+namespace prism::stats {
+
+std::uint64_t poisson_sample(Rng& rng, double mean) {
+  if (!(mean >= 0)) throw std::invalid_argument("poisson_sample: mean < 0");
+  if (mean == 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double u1 = rng.next_double_open();
+    const double u2 = rng.next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+    const double x = mean + std::sqrt(mean) * z + 0.5;
+    return x < 0 ? 0 : static_cast<std::uint64_t>(x);
+  }
+  // Knuth: count exponential gaps fitting in `mean`.
+  const double limit = std::exp(-mean);
+  double prod = rng.next_double_open();
+  std::uint64_t k = 0;
+  while (prod > limit) {
+    prod *= rng.next_double_open();
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace prism::stats

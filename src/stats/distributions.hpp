@@ -1,0 +1,272 @@
+// Sampling distributions used by the simulation models.
+//
+// The paper's models draw inter-arrival times from exponential distributions
+// (PICL local buffers, Vista ISM arrivals), service times from normal
+// distributions (Vista data processor), and resource demands from empirical /
+// uniform mixtures (Paradyn ROCC workload characterization).  Each class here
+// is a small value type: analytic moments are available where they exist so
+// tests can check sample statistics against theory.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace prism::stats {
+
+/// Abstract sampling distribution over the nonnegative reals (durations).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draws one variate using the caller's stream.
+  virtual double sample(Rng& rng) const = 0;
+  /// Analytic mean.
+  virtual double mean() const = 0;
+  /// Analytic variance.
+  virtual double variance() const = 0;
+  /// Human-readable description (for experiment logs).
+  virtual std::string describe() const = 0;
+};
+
+/// Degenerate distribution: always returns `value`.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value) : value_(value) {
+    if (value < 0) throw std::invalid_argument("Deterministic: value < 0");
+  }
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::string describe() const override {
+    return "Deterministic(" + std::to_string(value_) + ")";
+  }
+
+ private:
+  double value_;
+};
+
+/// Exponential distribution with rate lambda (mean 1/lambda).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate) : rate_(rate) {
+    if (!(rate > 0)) throw std::invalid_argument("Exponential: rate <= 0");
+  }
+  static Exponential from_mean(double mean) { return Exponential(1.0 / mean); }
+  double sample(Rng& rng) const override {
+    return -std::log(rng.next_double_open()) / rate_;
+  }
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  double rate() const { return rate_; }
+  std::string describe() const override {
+    return "Exponential(rate=" + std::to_string(rate_) + ")";
+  }
+
+ private:
+  double rate_;
+};
+
+/// Uniform distribution on [lo, hi].
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (lo < 0 || hi < lo) throw std::invalid_argument("Uniform: bad range");
+  }
+  double sample(Rng& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.next_double();
+  }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  std::string describe() const override {
+    return "Uniform[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Normal distribution truncated at zero (durations cannot be negative).
+/// For the parameter ranges used in the paper's models (mean >> sigma) the
+/// truncation mass is negligible, so the analytic moments below are reported
+/// for the untruncated normal; tests allow for the tiny truncation bias.
+class TruncatedNormal final : public Distribution {
+ public:
+  TruncatedNormal(double mean, double stddev) : mean_(mean), sigma_(stddev) {
+    if (!(stddev >= 0)) throw std::invalid_argument("Normal: stddev < 0");
+  }
+  double sample(Rng& rng) const override {
+    // Box-Muller; draw until nonnegative (cheap when mean >> sigma).
+    for (;;) {
+      const double u1 = rng.next_double_open();
+      const double u2 = rng.next_double();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+      const double x = mean_ + sigma_ * z;
+      if (x >= 0) return x;
+    }
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return sigma_ * sigma_; }
+  std::string describe() const override {
+    return "Normal(mu=" + std::to_string(mean_) +
+           ",sigma=" + std::to_string(sigma_) + ")";
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  double mean_, sigma_;
+};
+
+/// Erlang-k distribution: sum of k iid Exponential(rate) variates.
+/// This is exactly the distribution of the time for a local trace buffer of
+/// capacity k to fill under Poisson event arrivals at `rate` (Table 3).
+class Erlang final : public Distribution {
+ public:
+  Erlang(unsigned k, double rate) : k_(k), rate_(rate) {
+    if (k == 0) throw std::invalid_argument("Erlang: k == 0");
+    if (!(rate > 0)) throw std::invalid_argument("Erlang: rate <= 0");
+  }
+  double sample(Rng& rng) const override {
+    // Product-of-uniforms method: -log(prod u_i)/rate.
+    double acc = 0.0;
+    for (unsigned i = 0; i < k_; ++i) acc += -std::log(rng.next_double_open());
+    return acc / rate_;
+  }
+  double mean() const override { return k_ / rate_; }
+  double variance() const override { return k_ / (rate_ * rate_); }
+  unsigned k() const { return k_; }
+  double rate() const { return rate_; }
+  std::string describe() const override {
+    return "Erlang(k=" + std::to_string(k_) +
+           ",rate=" + std::to_string(rate_) + ")";
+  }
+
+ private:
+  unsigned k_;
+  double rate_;
+};
+
+/// Two-phase hyperexponential distribution: with probability p the variate is
+/// Exponential(rate1), otherwise Exponential(rate2).  Coefficient of
+/// variation > 1 — used to model bursty instrumentation-data arrivals
+/// ("it is not uncommon for the rate of arrivals to surge", §3.3.3).
+class Hyperexponential final : public Distribution {
+ public:
+  Hyperexponential(double p, double rate1, double rate2)
+      : p_(p), r1_(rate1), r2_(rate2) {
+    if (!(p >= 0 && p <= 1)) throw std::invalid_argument("Hyperexp: bad p");
+    if (!(rate1 > 0) || !(rate2 > 0))
+      throw std::invalid_argument("Hyperexp: rate <= 0");
+  }
+  double sample(Rng& rng) const override {
+    const double rate = rng.next_bernoulli(p_) ? r1_ : r2_;
+    return -std::log(rng.next_double_open()) / rate;
+  }
+  double mean() const override { return p_ / r1_ + (1 - p_) / r2_; }
+  double variance() const override {
+    const double m = mean();
+    const double m2 = 2 * (p_ / (r1_ * r1_) + (1 - p_) / (r2_ * r2_));
+    return m2 - m * m;
+  }
+  std::string describe() const override {
+    return "Hyperexp(p=" + std::to_string(p_) + ")";
+  }
+
+ private:
+  double p_, r1_, r2_;
+};
+
+/// Discrete empirical distribution over a fixed set of (value, weight) pairs.
+/// Used for workload-characterization-style demand models (§3.2.2 cites
+/// Kleinrock-style workstation workload studies).
+class Empirical final : public Distribution {
+ public:
+  explicit Empirical(std::vector<std::pair<double, double>> value_weight)
+      : points_(std::move(value_weight)) {
+    if (points_.empty()) throw std::invalid_argument("Empirical: empty");
+    double total = 0;
+    for (auto& [v, w] : points_) {
+      if (v < 0 || w < 0) throw std::invalid_argument("Empirical: negative");
+      total += w;
+    }
+    if (!(total > 0)) throw std::invalid_argument("Empirical: zero mass");
+    cdf_.reserve(points_.size());
+    double acc = 0;
+    for (auto& [v, w] : points_) {
+      acc += w / total;
+      cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+  double sample(Rng& rng) const override {
+    const double u = rng.next_double();
+    for (std::size_t i = 0; i < cdf_.size(); ++i)
+      if (u < cdf_[i]) return points_[i].first;
+    return points_.back().first;
+  }
+  double mean() const override {
+    double m = 0;
+    for (std::size_t i = 0; i < points_.size(); ++i)
+      m += points_[i].first * prob(i);
+    return m;
+  }
+  double variance() const override {
+    const double m = mean();
+    double v = 0;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const double d = points_[i].first - m;
+      v += d * d * prob(i);
+    }
+    return v;
+  }
+  std::string describe() const override {
+    return "Empirical(" + std::to_string(points_.size()) + " points)";
+  }
+
+ private:
+  double prob(std::size_t i) const {
+    return cdf_[i] - (i == 0 ? 0.0 : cdf_[i - 1]);
+  }
+  std::vector<std::pair<double, double>> points_;
+  std::vector<double> cdf_;
+};
+
+/// Shifted distribution: base sample plus a constant offset (e.g. a fixed
+/// per-message software overhead plus a variable transmission time).
+class Shifted final : public Distribution {
+ public:
+  Shifted(std::shared_ptr<const Distribution> base, double shift)
+      : base_(std::move(base)), shift_(shift) {
+    if (!base_) throw std::invalid_argument("Shifted: null base");
+    if (shift < 0) throw std::invalid_argument("Shifted: shift < 0");
+  }
+  double sample(Rng& rng) const override {
+    return shift_ + base_->sample(rng);
+  }
+  double mean() const override { return shift_ + base_->mean(); }
+  double variance() const override { return base_->variance(); }
+  std::string describe() const override {
+    return "Shifted(+" + std::to_string(shift_) + "," + base_->describe() +
+           ")";
+  }
+
+ private:
+  std::shared_ptr<const Distribution> base_;
+  double shift_;
+};
+
+/// Samples a Poisson(mean) count.  Knuth's product method for small means,
+/// normal approximation (rounded, clamped at 0) for mean > 64 where the
+/// relative error of the approximation is far below sampling noise.
+std::uint64_t poisson_sample(Rng& rng, double mean);
+
+}  // namespace prism::stats

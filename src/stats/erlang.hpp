@@ -1,0 +1,38 @@
+// Analytic facts about Erlang fill times and their order statistics.
+//
+// Under Poisson instrumentation-event arrivals at rate alpha, the time for a
+// local trace buffer of capacity l to fill is Erlang(l, alpha) — this is the
+// "trace stopping time" of the PICL model (Table 3).  The FAOF policy flushes
+// when the FIRST of P buffers fills, so its stopping time is the minimum of P
+// iid Erlang variates; the paper uses the pooled-arrival lower bound
+// E[min] >= l / (P alpha).  We provide the exact distribution functions, the
+// expected minimum by numeric integration of the product tail, and the bound.
+#pragma once
+
+namespace prism::stats {
+
+/// CDF of an Erlang(l, rate) variate at t: P[tau <= t].
+double erlang_cdf(unsigned l, double rate, double t);
+
+/// Tail of an Erlang(l, rate) variate at t: P[tau > t]
+/// = e^{-rate t} * sum_{k=0}^{l-1} (rate t)^k / k!.
+double erlang_tail(unsigned l, double rate, double t);
+
+/// Mean of Erlang(l, rate): l / rate.
+double erlang_mean(unsigned l, double rate);
+
+/// Tail of the minimum of p iid Erlang(l, rate) variates:
+/// P[min > t] = P[tau > t]^p.  This is the FAOF trace-stopping-time tail
+/// of Table 3.
+double erlang_min_tail(unsigned l, double rate, unsigned p, double t);
+
+/// Expected minimum of p iid Erlang(l, rate) variates, computed as
+/// integral_0^inf P[min > t] dt with adaptive Simpson quadrature
+/// (absolute tolerance ~1e-9 relative to the mean).
+double erlang_min_mean(unsigned l, double rate, unsigned p);
+
+/// The paper's lower bound on the FAOF expected stopping time:
+/// l / (p * rate) (time for the pooled arrival process to deposit l records).
+double erlang_min_mean_lower_bound(unsigned l, double rate, unsigned p);
+
+}  // namespace prism::stats

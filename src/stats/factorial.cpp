@@ -1,0 +1,155 @@
+#include "stats/factorial.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace prism::stats {
+
+std::size_t FactorialResult::dominant_effect() const {
+  std::size_t best = 1;
+  for (std::size_t i = 1; i < variation_fraction.size(); ++i)
+    if (variation_fraction[i] > variation_fraction[best]) best = i;
+  return best;
+}
+
+std::string FactorialResult::to_string() const {
+  std::ostringstream os;
+  os << "2^" << k << " * " << r << " factorial analysis\n";
+  os << "  effect            estimate      var%";
+  if (!effect_ci.empty()) os << "      CI half-width";
+  os << "\n";
+  for (std::size_t i = 0; i < effects.size(); ++i) {
+    os << "  " << effect_names[i];
+    for (std::size_t pad = effect_names[i].size(); pad < 16; ++pad) os << ' ';
+    os << " " << effects[i];
+    os << "  " << 100.0 * variation_fraction[i] << "%";
+    if (i < effect_ci.size()) os << "  +/- " << effect_ci[i].half_width;
+    os << "\n";
+  }
+  os << "  error";
+  for (std::size_t pad = 5; pad < 16; ++pad) os << ' ';
+  os << "             " << 100.0 * error_fraction << "%\n";
+  return os.str();
+}
+
+Design2kr::Design2kr(std::vector<std::string> factor_names, unsigned r)
+    : names_(std::move(factor_names)), r_(r) {
+  if (names_.empty()) throw std::invalid_argument("Design2kr: no factors");
+  if (names_.size() > 16) throw std::invalid_argument("Design2kr: k > 16");
+  if (r == 0) throw std::invalid_argument("Design2kr: r == 0");
+}
+
+std::vector<int> Design2kr::levels(unsigned point) const {
+  if (point >= points()) throw std::out_of_range("Design2kr::levels");
+  std::vector<int> out(k());
+  for (unsigned f = 0; f < k(); ++f)
+    out[f] = (point >> f) & 1u ? +1 : -1;
+  return out;
+}
+
+FactorialResult Design2kr::run(
+    const std::function<double(const std::vector<int>&, unsigned)>& fn) const {
+  std::vector<std::vector<double>> responses(points());
+  for (unsigned pt = 0; pt < points(); ++pt) {
+    responses[pt].reserve(r_);
+    const auto lv = levels(pt);
+    for (unsigned rep = 0; rep < r_; ++rep)
+      responses[pt].push_back(fn(lv, rep));
+  }
+  return analyze(responses);
+}
+
+FactorialResult Design2kr::analyze(
+    const std::vector<std::vector<double>>& responses) const {
+  const unsigned n = points();
+  if (responses.size() != n)
+    throw std::invalid_argument("Design2kr::analyze: wrong #points");
+  for (auto& row : responses)
+    if (row.size() != r_)
+      throw std::invalid_argument("Design2kr::analyze: wrong #reps");
+
+  // Cell means.
+  std::vector<double> ybar(n, 0.0);
+  for (unsigned pt = 0; pt < n; ++pt) {
+    for (double y : responses[pt]) ybar[pt] += y;
+    ybar[pt] /= static_cast<double>(r_);
+  }
+
+  FactorialResult res;
+  res.k = k();
+  res.r = r_;
+
+  // Sign table: effect subset `e` (bitmask over factors) has sign
+  // prod_{f in e} level_f at design point pt.  Effect estimate
+  // q_e = (1/2^k) sum_pt sign(e, pt) * ybar_pt.
+  res.effects.resize(n, 0.0);
+  for (unsigned e = 0; e < n; ++e) {
+    double acc = 0.0;
+    for (unsigned pt = 0; pt < n; ++pt) {
+      // sign = (-1)^{popcount(e & ~pt & mask)} — a factor contributes -1
+      // when it is in the effect subset and at its low level (bit 0).
+      const unsigned low_bits = e & ~pt;
+      const int sign = (__builtin_popcount(low_bits) & 1) ? -1 : +1;
+      acc += sign * ybar[pt];
+    }
+    res.effects[e] = acc / static_cast<double>(n);
+  }
+
+  // Effect names.
+  res.effect_names.resize(n);
+  for (unsigned e = 0; e < n; ++e) {
+    if (e == 0) {
+      res.effect_names[e] = "mean";
+      continue;
+    }
+    std::string nm;
+    for (unsigned f = 0; f < k(); ++f) {
+      if ((e >> f) & 1u) {
+        if (!nm.empty()) nm += "x";
+        nm += names_[f];
+      }
+    }
+    res.effect_names[e] = nm;
+  }
+
+  // Sums of squares.  SSE = sum over cells and reps of (y - ybar_cell)^2;
+  // SS(effect e) = 2^k * r * q_e^2; SST = SSE + sum of effect SS.
+  double sse = 0.0;
+  for (unsigned pt = 0; pt < n; ++pt)
+    for (double y : responses[pt]) {
+      const double d = y - ybar[pt];
+      sse += d * d;
+    }
+  double ss_effects_total = 0.0;
+  std::vector<double> ss_effect(n, 0.0);
+  for (unsigned e = 1; e < n; ++e) {
+    ss_effect[e] =
+        static_cast<double>(n) * static_cast<double>(r_) * res.effects[e] *
+        res.effects[e];
+    ss_effects_total += ss_effect[e];
+  }
+  const double sst = sse + ss_effects_total;
+  res.variation_fraction.assign(n, 0.0);
+  if (sst > 0) {
+    for (unsigned e = 1; e < n; ++e)
+      res.variation_fraction[e] = ss_effect[e] / sst;
+    res.error_fraction = sse / sst;
+  }
+
+  // Confidence intervals on effects: s_e^2 = SSE / (2^k (r-1)); each effect
+  // estimate has standard deviation s_e / sqrt(2^k r), dof = 2^k (r - 1).
+  if (r_ >= 2) {
+    const double dof = static_cast<double>(n) * (r_ - 1);
+    const double se2 = sse / dof;
+    const double sq = std::sqrt(se2 / (static_cast<double>(n) * r_));
+    const double t = t_critical(0.90, static_cast<unsigned>(dof));
+    res.effect_ci.resize(n);
+    for (unsigned e = 0; e < n; ++e)
+      res.effect_ci[e] = ConfidenceInterval{res.effects[e], t * sq, 0.90,
+                                            static_cast<std::uint64_t>(r_)};
+  }
+  return res;
+}
+
+}  // namespace prism::stats

@@ -1,0 +1,79 @@
+// 2^k·r factorial experiment design (Jain, "The Art of Computer Systems
+// Performance Analysis", ch. 17-18 — the paper's reference [11]).
+//
+// Both simulation case studies in the paper use this design: "We used a 2kr
+// factorial design technique for these experiments, where k is the number of
+// factors of interest and r is the number of repetitions ... k=2 factors and
+// r=50 repetitions, and the mean values of the two metrics are derived within
+// 90% confidence intervals" (§3.2.2, §3.3.2).  The paper then uses the
+// allocation of variation to conclude that "the inter-arrival rate is the
+// dominant factor" (§3.3.2).
+//
+// Design2kr estimates all 2^k effects (mean, main effects, and every
+// interaction) by the sign-table method, computes the allocation of variation
+// (fraction of total sum of squares explained by each effect vs experimental
+// error), and produces t-based confidence intervals on each effect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace prism::stats {
+
+/// Result of a 2^k·r factorial analysis.
+struct FactorialResult {
+  /// Effect names: "mean", then factor names, then interactions joined
+  /// with "x" in subset order ("AxB", "AxC", "BxC", "AxBxC", ...).
+  std::vector<std::string> effect_names;
+  /// Estimated effects q_i (q_0 is the grand mean).
+  std::vector<double> effects;
+  /// Fraction of total variation allocated to each effect (same order as
+  /// `effects`, mean excluded => entry 0 is 0), plus `error_fraction`.
+  std::vector<double> variation_fraction;
+  double error_fraction = 0.0;
+  /// Confidence intervals on each effect (valid when r >= 2).
+  std::vector<ConfidenceInterval> effect_ci;
+  unsigned k = 0;
+  unsigned r = 0;
+
+  /// Index of the non-mean effect explaining the most variation.
+  std::size_t dominant_effect() const;
+  /// Formats a compact report table.
+  std::string to_string() const;
+};
+
+/// A 2^k·r design.  Factor levels are abstract (-1 / +1); the caller's
+/// `run` functor receives the level vector and the replication index and
+/// returns the measured response.  Replication index `rep` should be used to
+/// derive the RNG seed so replications are independent.
+class Design2kr {
+ public:
+  explicit Design2kr(std::vector<std::string> factor_names, unsigned r);
+
+  unsigned k() const { return static_cast<unsigned>(names_.size()); }
+  unsigned r() const { return r_; }
+  /// Number of design points (2^k).
+  unsigned points() const { return 1u << k(); }
+
+  /// Level vector (each -1 or +1) for design point `point` in [0, 2^k).
+  std::vector<int> levels(unsigned point) const;
+
+  /// Runs the full design and analyzes it.
+  FactorialResult run(
+      const std::function<double(const std::vector<int>& levels,
+                                 unsigned rep)>& run) const;
+
+  /// Analyzes externally collected responses: responses[point][rep].
+  FactorialResult analyze(
+      const std::vector<std::vector<double>>& responses) const;
+
+ private:
+  std::vector<std::string> names_;
+  unsigned r_;
+};
+
+}  // namespace prism::stats

@@ -1,0 +1,77 @@
+// Fixed-bin histogram with under/overflow accounting.  Used to validate
+// sampled distributions against analytic CDFs (Table 3 validation) and to
+// characterize latency distributions from the live IS.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace prism::stats {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (!(hi > lo)) throw std::invalid_argument("Histogram: hi <= lo");
+    if (bins == 0) throw std::invalid_argument("Histogram: bins == 0");
+    width_ = (hi - lo) / static_cast<double>(bins);
+  }
+
+  void add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      auto idx = static_cast<std::size_t>((x - lo_) / width_);
+      if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+      ++counts_[idx];
+    }
+  }
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t bin) const { return lo_ + width_ * bin; }
+  double bin_hi(std::size_t bin) const { return lo_ + width_ * (bin + 1); }
+
+  /// Empirical CDF evaluated at the right edge of `bin`.
+  double cdf_at_bin(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t acc = underflow_;
+    for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i)
+      acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+  }
+
+  /// Approximate quantile by scanning bins (midpoint interpolation).
+  double quantile(double q) const {
+    if (!(q >= 0 && q <= 1)) throw std::invalid_argument("quantile: q");
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double acc = static_cast<double>(underflow_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double next = acc + static_cast<double>(counts_[i]);
+      if (next >= target && counts_[i] > 0) {
+        const double frac = (target - acc) / static_cast<double>(counts_[i]);
+        return bin_lo(i) + frac * width_;
+      }
+      acc = next;
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace prism::stats

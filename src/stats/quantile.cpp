@@ -1,0 +1,76 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prism::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0 && q < 1)) throw std::invalid_argument("P2Quantile: q in (0,1)");
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increment_ = {0, q / 2, q, (1 + q) / 2, 1};
+  positions_ = {1, 2, 3, 4, 5};
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  // Find the cell k containing x; clamp the extremes.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  ++n_;
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Adjust the three interior markers.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1 && above > 1) || (d <= -1 && below > 1)) {
+      const double s = d >= 1 ? 1.0 : -1.0;
+      // Parabolic (P²) estimate.
+      const double hp =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        // Linear fallback.
+        const std::size_t j = s > 0 ? i + 1 : i - 1;
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) throw std::logic_error("P2Quantile: no observations");
+  if (n_ < 5) {
+    // Exact small-sample quantile (nearest-rank on the sorted prefix).
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + n_);
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(n_ - 1.0, std::floor(q_ * static_cast<double>(n_))));
+    return tmp[idx];
+  }
+  return heights_[2];
+}
+
+}  // namespace prism::stats

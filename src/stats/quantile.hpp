@@ -1,0 +1,34 @@
+// On-line quantile estimation with the P² algorithm (Jain & Chlamtac 1985 —
+// the same Raj Jain whose methodology text the paper builds its evaluation
+// discipline on).  O(1) memory, no stored samples: the live ISM uses it to
+// report tail latencies without retaining per-record data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace prism::stats {
+
+/// Estimates a single quantile q of a stream.  Exact until 5 observations,
+/// then the classic 5-marker parabolic interpolation.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate (exact for n <= 5).  Requires at least 1 observation.
+  double value() const;
+  std::uint64_t count() const { return n_; }
+  double quantile() const { return q_; }
+
+ private:
+  double q_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increment_{}; // desired position increments
+};
+
+}  // namespace prism::stats

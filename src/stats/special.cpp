@@ -1,0 +1,141 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prism::stats {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Series representation of P(a,x), good for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Continued-fraction representation of Q(a,x), good for x >= a + 1
+// (modified Lentz's method).
+double gamma_q_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  if (!(x > 0)) throw std::domain_error("log_gamma: x <= 0");
+  // Lanczos, g = 7, n = 9.
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(kPi / std::sin(kPi * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double a = kCoef[0];
+  const double t = z + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (z + i);
+  return 0.5 * std::log(2.0 * kPi) + (z + 0.5) * std::log(t) - t + std::log(a);
+}
+
+double gamma_p(double a, double x) {
+  if (!(a > 0)) throw std::domain_error("gamma_p: a <= 0");
+  if (x < 0) throw std::domain_error("gamma_p: x < 0");
+  if (x == 0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  if (!(a > 0)) throw std::domain_error("gamma_q: a <= 0");
+  if (x < 0) throw std::domain_error("gamma_q: x < 0");
+  if (x == 0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (!(p > 0 && p < 1)) throw std::domain_error("normal_quantile: p in (0,1)");
+  // Acklam's algorithm.
+  static const double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                              -2.759285104469687e+02, 1.383577518672690e+02,
+                              -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                              -1.556989798598866e+02, 6.680131188771972e+01,
+                              -1.328068155288572e+01};
+  static const double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                              -2.400758277161838e+00, -2.549732539343734e+00,
+                              4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                              2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  } else if (p <= 1 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  } else {
+    q = std::sqrt(-2 * std::log(1 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  // One Halley refinement step using the normal CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2 * kPi) * std::exp(x * x / 2);
+  return x - u / (1 + x * u / 2);
+}
+
+double t_critical(double confidence, unsigned dof) {
+  if (!(confidence > 0 && confidence < 1))
+    throw std::domain_error("t_critical: confidence in (0,1)");
+  if (dof == 0) throw std::domain_error("t_critical: dof == 0");
+  const double p = 0.5 + confidence / 2.0;  // upper-tail quantile point
+  const double z = normal_quantile(p);
+  if (dof > 200) return z;
+  // Cornish-Fisher expansion of the t quantile in powers of 1/dof.
+  const double n = dof;
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double g1 = (z3 + z) / 4.0;
+  const double g2 = (5 * z5 + 16 * z3 + 3 * z) / 96.0;
+  const double g3 = (3 * z7 + 19 * z5 + 17 * z3 - 15 * z) / 384.0;
+  return z + g1 / n + g2 / (n * n) + g3 / (n * n * n);
+}
+
+}  // namespace prism::stats

@@ -1,0 +1,32 @@
+// Special functions needed by the analytic models: log-gamma, the regularized
+// incomplete gamma function P(a, x) and its complement Q(a, x), and the
+// Student-t quantiles used for confidence intervals.
+#pragma once
+
+namespace prism::stats {
+
+/// Natural log of the gamma function (Lanczos approximation; |err| < 2e-10
+/// over the parameter ranges used here).
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a).
+/// P(l, rate*t) is the CDF of an Erlang(l, rate) variate at t.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative err| < 1.15e-9).
+double normal_quantile(double p);
+
+/// Two-sided Student-t critical value t_{alpha/2, dof}: the value c such
+/// that P(|T| <= c) = confidence for a t distribution with `dof` degrees of
+/// freedom.  Exact for dof -> infinity (normal); uses the Cornish-Fisher
+/// expansion otherwise (error < 1e-4 for dof >= 3, ample for 90%/95% CIs).
+double t_critical(double confidence, unsigned dof);
+
+}  // namespace prism::stats

@@ -1,0 +1,132 @@
+// Running summary statistics.
+//
+// Welford's online algorithm for mean/variance (numerically stable, single
+// pass, O(1) memory) plus a time-weighted variant for quantities integrated
+// over simulated time (queue lengths, resource occupancy).  Both are used by
+// every model in the suite and by the live instrumentation system's own
+// self-accounting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace prism::stats {
+
+/// Online mean / variance / extrema over a stream of observations.
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merges another summary into this one (parallel Welford combination).
+  void merge(const Summary& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    mean_ = (na * mean_ + nb * other.mean_) / nt;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  double std_error() const noexcept {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  /// Coefficient of variation (stddev / mean); NaN when mean == 0.
+  double cov() const noexcept { return stddev() / mean(); }
+
+  void reset() noexcept { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the
+/// instantaneous length of an ISM input buffer.  Call set(t, value) at each
+/// change; the integral is maintained between updates.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double t0 = 0.0, double initial = 0.0) noexcept
+      : last_time_(t0), start_time_(t0), value_(initial) {}
+
+  /// Records that the signal changed to `value` at time `t` (t must be
+  /// monotonically nondecreasing).
+  void set(double t, double value) noexcept {
+    advance(t);
+    value_ = value;
+    max_ = std::max(max_, value);
+  }
+
+  /// Adds `delta` to the current value at time `t`.
+  void add(double t, double delta) noexcept { set(t, value_ + delta); }
+
+  /// Integrates up to time `t` without changing the value.
+  void advance(double t) noexcept {
+    if (t > last_time_) {
+      integral_ += value_ * (t - last_time_);
+      last_time_ = t;
+    }
+  }
+
+  double value() const noexcept { return value_; }
+  double max() const noexcept { return max_; }
+  double integral() const noexcept { return integral_; }
+
+  /// Time average over [start, last update].
+  double time_average() const noexcept {
+    const double span = last_time_ - start_time_;
+    return span > 0 ? integral_ / span : value_;
+  }
+
+  /// Time average over [start, t] after integrating up to t.
+  double time_average_until(double t) noexcept {
+    advance(t);
+    return time_average();
+  }
+
+ private:
+  double last_time_;
+  double start_time_;
+  double value_;
+  double integral_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace prism::stats

@@ -1,0 +1,88 @@
+// Off-line trace analysis — the consumer side of the off-line IS (what
+// ParaGraph does with PICL traces, §3.1): per-node activity breakdowns,
+// message statistics, the communication matrix, blocking-time analysis for
+// receives, and a critical-path estimate through the message graph.
+//
+// All functions take a merged, time-ordered trace (the output of
+// PiclInstrumentation::finalize() or a TraceFileReader).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "trace/record.hpp"
+
+namespace prism::trace {
+
+/// Per-node activity summary.
+struct NodeActivity {
+  std::uint32_t node = 0;
+  std::uint64_t events = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Time between this node's first and last event.
+  std::uint64_t active_span = 0;
+  /// Total time inside kBlockBegin/kBlockEnd pairs (busy/compute time).
+  std::uint64_t block_time = 0;
+  /// Total flush (IS-overhead) time from kFlushBegin/kFlushEnd pairs.
+  std::uint64_t flush_time = 0;
+};
+
+/// Matched message with its measured latency.
+struct MessageEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint16_t tag = 0;
+  std::uint64_t t_send = 0;
+  std::uint64_t t_recv = 0;
+  std::uint64_t latency() const { return t_recv - t_send; }
+};
+
+struct TraceAnalysis {
+  std::vector<NodeActivity> nodes;       ///< indexed by node id (dense)
+  std::vector<MessageEdge> messages;     ///< every matched send/recv pair
+  std::uint64_t unmatched_sends = 0;
+  std::uint64_t unmatched_recvs = 0;
+  stats::Summary message_latency;        ///< over matched messages
+  /// comm_matrix[from][to] = messages sent (dense, nodes x nodes).
+  std::vector<std::vector<std::uint64_t>> comm_matrix;
+  std::uint64_t span = 0;                ///< global first..last event time
+
+  std::string to_string() const;
+};
+
+/// Analyzes a merged trace.  Sends and receives are matched n-th to n-th per
+/// (from, to, tag) channel, in timestamp order.
+TraceAnalysis analyze_trace(const std::vector<EventRecord>& records);
+
+/// Estimated critical path: the longest chain of happens-before-ordered
+/// events (program order within a node plus message edges), weighted by the
+/// time gaps between consecutive chain events.  Returns the chain's total
+/// duration and its hop count.
+struct CriticalPath {
+  std::uint64_t duration = 0;
+  std::size_t events = 0;
+  std::size_t message_hops = 0;
+};
+CriticalPath critical_path(const std::vector<EventRecord>& records);
+
+/// Per-(node,process) inter-arrival statistics of instrumentation events —
+/// the workload-characterization input to the IS models ("appropriately
+/// characterizing IS workload to enhance the power and accuracy of the
+/// models", §5).
+struct ArrivalCharacterization {
+  stats::Summary inter_arrival;  ///< all per-stream gaps pooled
+  double rate = 0;               ///< events per time unit, pooled
+  double cv = 0;                 ///< coefficient of variation of gaps
+  /// Burstiness index: fraction of gaps shorter than half the mean gap.
+  double burstiness = 0;
+  std::uint64_t streams = 0;
+};
+ArrivalCharacterization characterize_arrivals(
+    const std::vector<EventRecord>& records);
+
+}  // namespace prism::trace

@@ -1,0 +1,96 @@
+// Local trace buffers.
+//
+// PICL-style LISes "generate instrumentation data in a particular event
+// record format and log the data in a local buffer of each node.  The user
+// specifies the size of the buffer ... By default, data collection stops
+// after a buffer becomes full" (§3.1).  TraceBuffer is a fixed-capacity,
+// allocation-free-at-runtime array with a selectable overflow policy, and it
+// accounts for everything the flush-policy analysis needs: fill events,
+// drops, and flush counts/durations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace prism::trace {
+
+/// What to do with a record that arrives when the buffer is full.
+enum class OverflowPolicy : std::uint8_t {
+  kDrop,       ///< discard the new record ("data collection stops") — PICL default
+  kOverwrite,  ///< overwrite the oldest record (circular buffer)
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity,
+                       OverflowPolicy policy = OverflowPolicy::kDrop)
+      : capacity_(capacity), policy_(policy) {
+    if (capacity == 0) throw std::invalid_argument("TraceBuffer: capacity 0");
+    records_.reserve(capacity);
+  }
+
+  /// Appends a record.  Returns false when the record was dropped.
+  bool append(const EventRecord& r) {
+    ++offered_;
+    if (records_.size() < capacity_) {
+      records_.push_back(r);
+      return true;
+    }
+    if (policy_ == OverflowPolicy::kDrop) {
+      ++dropped_;
+      return false;
+    }
+    // Circular overwrite.
+    records_[write_cursor_] = r;
+    write_cursor_ = (write_cursor_ + 1) % capacity_;
+    ++overwritten_;
+    return true;
+  }
+
+  bool full() const { return records_.size() >= capacity_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Records offered since construction (accepted + dropped).
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t overwritten() const { return overwritten_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+  /// Read-only view of the buffered records (insertion order; for the
+  /// overwrite policy the view is storage order, not age order).
+  std::span<const EventRecord> contents() const { return records_; }
+
+  /// Moves all buffered records out and resets the buffer (a flush).
+  std::vector<EventRecord> drain() {
+    ++flushes_;
+    std::vector<EventRecord> out;
+    out.swap(records_);
+    records_.reserve(capacity_);
+    write_cursor_ = 0;
+    return out;
+  }
+
+  /// Conservation invariant: offered == resident + drained + dropped
+  /// (+ overwritten for circular buffers).
+  bool conserved(std::uint64_t drained_total) const {
+    return offered_ ==
+           records_.size() + drained_total + dropped_ + overwritten_;
+  }
+
+ private:
+  std::size_t capacity_;
+  OverflowPolicy policy_;
+  std::vector<EventRecord> records_;
+  std::size_t write_cursor_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace prism::trace

@@ -1,0 +1,105 @@
+#include "trace/causal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prism::trace {
+
+CausalReorderer::CausalReorderer(
+    std::function<void(const EventRecord&)> release)
+    : release_(std::move(release)) {
+  if (!release_) throw std::invalid_argument("CausalReorderer: null release");
+}
+
+bool CausalReorderer::deliverable(const EventRecord& r) const {
+  const auto key = stream_of(r);
+  auto it = next_seq_.find(key);
+  const std::uint64_t expected = it == next_seq_.end() ? 0 : it->second;
+  if (r.seq != expected) return false;
+  if (r.kind == EventKind::kRecv) {
+    const auto ch = channel(r.peer, r.node, r.tag);
+    auto sit = sends_released_.find(ch);
+    const std::uint64_t sends = sit == sends_released_.end() ? 0 : sit->second;
+    auto rit = recvs_released_.find(ch);
+    const std::uint64_t recvs = rit == recvs_released_.end() ? 0 : rit->second;
+    if (recvs >= sends) return false;  // matching send not yet released
+  }
+  return true;
+}
+
+void CausalReorderer::release_now(const EventRecord& r) {
+  EventRecord out = r;
+  out.lamport = ++lamport_;
+  next_seq_[stream_of(r)] = r.seq + 1;
+  if (r.kind == EventKind::kSend)
+    ++sends_released_[channel(r.node, r.peer, r.tag)];
+  else if (r.kind == EventKind::kRecv)
+    ++recvs_released_[channel(r.peer, r.node, r.tag)];
+  ++released_total_;
+  release_(out);
+}
+
+void CausalReorderer::offer(EventRecord r) {
+  ++offered_total_;
+  if (!deliverable(r)) {
+    ++held_back_total_;
+    auto& dq = held_[stream_of(r)];
+    // Insert keeping the per-stream deque sorted by seq.
+    auto pos = std::lower_bound(
+        dq.begin(), dq.end(), r,
+        [](const EventRecord& a, const EventRecord& b) { return a.seq < b.seq; });
+    dq.insert(pos, r);
+    ++held_count_;
+    return;
+  }
+  release_now(r);
+  drain_ready();
+}
+
+void CausalReorderer::drain_ready() {
+  // Fixed-point: releasing one event may unblock the head of any stream
+  // (program order) or a held recv (message order).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [key, dq] : held_) {
+      while (!dq.empty() && deliverable(dq.front())) {
+        EventRecord r = dq.front();
+        dq.pop_front();
+        --held_count_;
+        release_now(r);
+        progressed = true;
+      }
+    }
+  }
+}
+
+std::size_t CausalReorderer::held() const { return held_count_; }
+
+long long first_causal_violation(const std::vector<EventRecord>& records) {
+  std::map<std::uint64_t, std::uint64_t> next_seq;
+  std::map<std::uint64_t, std::uint64_t> sends, recvs;
+  auto stream_of = [](const EventRecord& r) {
+    return (static_cast<std::uint64_t>(r.node) << 32) | r.process;
+  };
+  auto channel = [](std::uint32_t from, std::uint32_t to, std::uint16_t tag) {
+    return (static_cast<std::uint64_t>(from) << 40) |
+           (static_cast<std::uint64_t>(to) << 16) | tag;
+  };
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    auto& expected = next_seq[stream_of(r)];
+    if (r.seq != expected) return static_cast<long long>(i);
+    ++expected;
+    if (r.kind == EventKind::kSend) {
+      ++sends[channel(r.node, r.peer, r.tag)];
+    } else if (r.kind == EventKind::kRecv) {
+      const auto ch = channel(r.peer, r.node, r.tag);
+      if (recvs[ch] >= sends[ch]) return static_cast<long long>(i);
+      ++recvs[ch];
+    }
+  }
+  return -1;
+}
+
+}  // namespace prism::trace

@@ -1,0 +1,90 @@
+// Causal ordering of instrumentation data at the ISM.
+//
+// The Vista ISM releases events only in causal order: "If an arriving event
+// is in correct causal order, it is assigned a logical time-stamp and stored
+// in an output buffer.  If the arriving event is not in causal order, it is
+// added in one (or multiple) input buffer(s) to reconstruct the causal order
+// of the data before dispatch to a tool" (§3.3).
+//
+// CausalReorderer enforces two constraints on the release order:
+//   (1) program order: events of a (node, process) stream are released in
+//       increasing per-stream sequence number;
+//   (2) message order: a kRecv event is released only after its matching
+//       kSend (the n-th recv at B from A with tag t matches the n-th send
+//       from A to B with tag t).
+// Released events receive monotonically increasing Lamport stamps.
+// Held-back events wait in per-stream input buffers, whose occupancy is the
+// paper's "average buffer length" / Falcon's "hold back ratio" metric.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace prism::trace {
+
+class CausalReorderer {
+ public:
+  /// `release` consumes events as they become causally deliverable.
+  explicit CausalReorderer(std::function<void(const EventRecord&)> release);
+
+  /// Offers one event.  May trigger zero or more releases (the offered
+  /// event and any previously-held events it unblocks).
+  void offer(EventRecord r);
+
+  /// Number of events currently held back.
+  std::size_t held() const;
+  /// Events held back at least once (for the hold-back ratio).
+  std::uint64_t held_back_total() const { return held_back_total_; }
+  std::uint64_t offered_total() const { return offered_total_; }
+  std::uint64_t released_total() const { return released_total_; }
+  /// Falcon's hold-back ratio: held-back arrivals / total arrivals (§3.3.2).
+  double hold_back_ratio() const {
+    return offered_total_ == 0
+               ? 0.0
+               : static_cast<double>(held_back_total_) /
+                     static_cast<double>(offered_total_);
+  }
+
+ private:
+  using StreamKey = std::uint64_t;  // node << 32 | process
+  using ChannelKey = std::uint64_t; // from << 40 | to << 16 | tag
+
+  static StreamKey stream_of(const EventRecord& r) {
+    return (static_cast<std::uint64_t>(r.node) << 32) | r.process;
+  }
+  static ChannelKey channel(std::uint32_t from, std::uint32_t to,
+                            std::uint16_t tag) {
+    return (static_cast<std::uint64_t>(from) << 40) |
+           (static_cast<std::uint64_t>(to) << 16) | tag;
+  }
+
+  bool deliverable(const EventRecord& r) const;
+  void release_now(const EventRecord& r);
+  void drain_ready();
+
+  std::function<void(const EventRecord&)> release_;
+  /// Next expected per-stream sequence number.
+  std::map<StreamKey, std::uint64_t> next_seq_;
+  /// Released send count and released recv count per channel.
+  std::map<ChannelKey, std::uint64_t> sends_released_;
+  std::map<ChannelKey, std::uint64_t> recvs_released_;
+  /// Held-back events per stream, kept sorted by seq.
+  std::map<StreamKey, std::deque<EventRecord>> held_;
+  std::size_t held_count_ = 0;
+  std::uint64_t lamport_ = 0;
+  std::uint64_t offered_total_ = 0;
+  std::uint64_t held_back_total_ = 0;
+  std::uint64_t released_total_ = 0;
+};
+
+/// Verifies that `records` (in release order) satisfies program order and
+/// message order as defined above.  Returns the index of the first violation
+/// or -1 when consistent.
+long long first_causal_violation(const std::vector<EventRecord>& records);
+
+}  // namespace prism::trace

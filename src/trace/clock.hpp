@@ -1,0 +1,85 @@
+// Logical clocks.
+//
+// "To avoid problems due to the lack of a global clock, we use the technique
+// of assigning logical time-stamps" (§3.3).  LamportClock implements the
+// classic scalar clock the Vista ISM assigns to in-order arrivals;
+// VectorClock provides the stronger happens-before test used by the causal
+// checker in tests and the perturbation analysis.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace prism::trace {
+
+/// Scalar Lamport clock.
+class LamportClock {
+ public:
+  /// Local event: advance and return the new stamp.
+  std::uint64_t tick() { return ++time_; }
+
+  /// Message receipt carrying `remote` stamp: merge then advance.
+  std::uint64_t merge(std::uint64_t remote) {
+    time_ = std::max(time_, remote);
+    return ++time_;
+  }
+
+  std::uint64_t now() const { return time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+/// Fixed-width vector clock over `n` processes.
+class VectorClock {
+ public:
+  explicit VectorClock(std::size_t n, std::size_t self)
+      : v_(n, 0), self_(self) {
+    if (self >= n) throw std::invalid_argument("VectorClock: self >= n");
+  }
+
+  /// Local event.
+  const std::vector<std::uint64_t>& tick() {
+    ++v_[self_];
+    return v_;
+  }
+
+  /// Message receipt: component-wise max with sender's vector, then tick.
+  const std::vector<std::uint64_t>& merge(
+      const std::vector<std::uint64_t>& remote) {
+    if (remote.size() != v_.size())
+      throw std::invalid_argument("VectorClock: size mismatch");
+    for (std::size_t i = 0; i < v_.size(); ++i)
+      v_[i] = std::max(v_[i], remote[i]);
+    ++v_[self_];
+    return v_;
+  }
+
+  const std::vector<std::uint64_t>& value() const { return v_; }
+
+  /// Happens-before: a < b iff a <= b component-wise and a != b.
+  static bool happens_before(const std::vector<std::uint64_t>& a,
+                             const std::vector<std::uint64_t>& b) {
+    if (a.size() != b.size())
+      throw std::invalid_argument("happens_before: size mismatch");
+    bool strictly = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] > b[i]) return false;
+      if (a[i] < b[i]) strictly = true;
+    }
+    return strictly;
+  }
+
+  static bool concurrent(const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint64_t>& b) {
+    return !happens_before(a, b) && !happens_before(b, a) && a != b;
+  }
+
+ private:
+  std::vector<std::uint64_t> v_;
+  std::size_t self_;
+};
+
+}  // namespace prism::trace

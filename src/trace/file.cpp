@@ -1,0 +1,81 @@
+#include "trace/file.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace prism::trace {
+
+TraceFileWriter::TraceFileWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw std::runtime_error("TraceFileWriter: cannot open " +
+                                      path.string());
+  TraceFileHeader hdr;
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  if (!out_) throw std::runtime_error("TraceFileWriter: header write failed");
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an incomplete file is detectable via the
+    // header count mismatch.
+  }
+}
+
+void TraceFileWriter::write(const EventRecord& r) {
+  out_.write(reinterpret_cast<const char*>(&r), sizeof r);
+  if (!out_) throw std::runtime_error("TraceFileWriter: write failed");
+  ++count_;
+}
+
+void TraceFileWriter::write(const std::vector<EventRecord>& batch) {
+  if (batch.empty()) return;
+  out_.write(reinterpret_cast<const char*>(batch.data()),
+             static_cast<std::streamsize>(batch.size() * sizeof(EventRecord)));
+  if (!out_) throw std::runtime_error("TraceFileWriter: batch write failed");
+  count_ += batch.size();
+}
+
+void TraceFileWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  TraceFileHeader hdr;
+  hdr.record_count = count_;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  out_.close();
+  if (!out_) throw std::runtime_error("TraceFileWriter: close failed");
+}
+
+TraceFileReader::TraceFileReader(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("TraceFileReader: cannot open " +
+                                    path.string());
+  TraceFileHeader hdr;
+  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
+  if (!in || hdr.magic != TraceFileHeader::kMagic)
+    throw std::runtime_error("TraceFileReader: bad magic in " + path.string());
+  if (hdr.record_size != sizeof(EventRecord))
+    throw std::runtime_error("TraceFileReader: record size mismatch");
+  records_.resize(hdr.record_count);
+  in.read(reinterpret_cast<char*>(records_.data()),
+          static_cast<std::streamsize>(hdr.record_count * sizeof(EventRecord)));
+  if (!in) throw std::runtime_error("TraceFileReader: truncated file " +
+                                    path.string());
+}
+
+void write_csv(const std::filesystem::path& path,
+               const std::vector<EventRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path.string());
+  out << "timestamp,node,process,kind,tag,peer,payload,lamport,seq\n";
+  for (const auto& r : records) {
+    out << r.timestamp << ',' << r.node << ',' << r.process << ','
+        << to_string(r.kind) << ',' << r.tag << ',' << r.peer << ','
+        << r.payload << ',' << r.lamport << ',' << r.seq << '\n';
+  }
+  if (!out) throw std::runtime_error("write_csv: write failed");
+}
+
+}  // namespace prism::trace

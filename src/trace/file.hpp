@@ -1,0 +1,63 @@
+// Binary trace files with a small self-describing header, plus a CSV dump
+// for human consumption.  The off-line ISM "simply stores the data for
+// post-processing" (§2.4); these files are that storage tier, and the final
+// merge target ("merged into a single trace file at the host system", §3.1).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace prism::trace {
+
+/// Magic + version at the head of every trace file.
+struct TraceFileHeader {
+  static constexpr std::uint64_t kMagic = 0x50524953'54524331ull;  // "PRISTRC1"
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = 1;
+  std::uint32_t record_size = sizeof(EventRecord);
+  std::uint64_t record_count = 0;  ///< patched on close
+};
+
+/// Streaming writer.  Not thread-safe; one writer per file.
+class TraceFileWriter {
+ public:
+  explicit TraceFileWriter(const std::filesystem::path& path);
+  ~TraceFileWriter();
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  void write(const EventRecord& r);
+  void write(const std::vector<EventRecord>& batch);
+  std::uint64_t records_written() const { return count_; }
+  /// Flushes and patches the header; called by the destructor if needed.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::filesystem::path path_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// Whole-file reader (traces in this suite comfortably fit in memory).
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::filesystem::path& path);
+
+  const std::vector<EventRecord>& records() const { return records_; }
+  std::uint64_t record_count() const { return records_.size(); }
+
+ private:
+  std::vector<EventRecord> records_;
+};
+
+/// Writes a human-readable CSV rendering of `records` to `path`.
+void write_csv(const std::filesystem::path& path,
+               const std::vector<EventRecord>& records);
+
+}  // namespace prism::trace

@@ -1,0 +1,72 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace prism::trace {
+
+namespace {
+
+struct HeapItem {
+  const EventRecord* rec;
+  std::size_t stream;
+  std::size_t index;
+};
+
+struct HeapLater {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    RecordOrder lt;
+    if (lt(*b.rec, *a.rec)) return true;
+    if (lt(*a.rec, *b.rec)) return false;
+    return a.stream > b.stream;  // deterministic tie-break by stream id
+  }
+};
+
+}  // namespace
+
+std::vector<EventRecord> merge_sorted(
+    const std::vector<std::vector<EventRecord>>& streams) {
+  RecordOrder lt;
+  std::size_t total = 0;
+  for (const auto& s : streams) {
+    total += s.size();
+    for (std::size_t i = 1; i < s.size(); ++i)
+      if (lt(s[i], s[i - 1]))
+        throw std::invalid_argument("merge_sorted: input stream not sorted");
+  }
+  std::vector<EventRecord> out;
+  out.reserve(total);
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapLater> heap;
+  for (std::size_t s = 0; s < streams.size(); ++s)
+    if (!streams[s].empty()) heap.push(HeapItem{&streams[s][0], s, 0});
+  while (!heap.empty()) {
+    HeapItem it = heap.top();
+    heap.pop();
+    out.push_back(*it.rec);
+    const auto& src = streams[it.stream];
+    if (it.index + 1 < src.size())
+      heap.push(HeapItem{&src[it.index + 1], it.stream, it.index + 1});
+  }
+  return out;
+}
+
+std::vector<EventRecord> merge_any(
+    const std::vector<std::vector<EventRecord>>& streams) {
+  std::vector<EventRecord> out;
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  out.reserve(total);
+  for (const auto& s : streams) out.insert(out.end(), s.begin(), s.end());
+  std::stable_sort(out.begin(), out.end(), RecordOrder{});
+  return out;
+}
+
+bool is_time_ordered(std::span<const EventRecord> records) {
+  RecordOrder lt;
+  for (std::size_t i = 1; i < records.size(); ++i)
+    if (lt(records[i], records[i - 1])) return false;
+  return true;
+}
+
+}  // namespace prism::trace

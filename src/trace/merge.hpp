@@ -1,0 +1,30 @@
+// K-way trace merging.
+//
+// The off-line ISM's job in the PICL case study: per-node buffers/files are
+// "merged into a single trace file at the host system" (§3.1), with
+// "event-ordering off-line" (§2.2.2).  merge_sorted() is a heap-based k-way
+// merge over per-node streams that are individually time-ordered;
+// merge_any() sorts unconditionally (for inputs perturbed out of order).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace prism::trace {
+
+/// Merges per-source record sequences, each already sorted by RecordOrder,
+/// into one globally sorted sequence.  O(N log k).
+std::vector<EventRecord> merge_sorted(
+    const std::vector<std::vector<EventRecord>>& streams);
+
+/// Merges arbitrary record sequences by concatenation + stable sort.
+/// O(N log N); use when inputs are not guaranteed sorted.
+std::vector<EventRecord> merge_any(
+    const std::vector<std::vector<EventRecord>>& streams);
+
+/// True when `records` is sorted by RecordOrder.
+bool is_time_ordered(std::span<const EventRecord> records);
+
+}  // namespace prism::trace

@@ -1,0 +1,223 @@
+#include "trace/perturbation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace prism::trace {
+
+namespace {
+
+using StreamKey = std::uint64_t;
+using ChannelKey = std::uint64_t;
+
+StreamKey stream_of(const EventRecord& r) {
+  return (static_cast<std::uint64_t>(r.node) << 32) | r.process;
+}
+ChannelKey channel(std::uint32_t from, std::uint32_t to, std::uint16_t tag) {
+  return (static_cast<std::uint64_t>(from) << 40) |
+         (static_cast<std::uint64_t>(to) << 16) | tag;
+}
+
+/// Indices of each stream's records, in per-stream seq order.
+std::map<StreamKey, std::vector<std::size_t>> index_streams(
+    const std::vector<EventRecord>& recs) {
+  std::map<StreamKey, std::vector<std::size_t>> streams;
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    streams[stream_of(recs[i])].push_back(i);
+  for (auto& [k, idx] : streams)
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return recs[a].seq < recs[b].seq;
+    });
+  return streams;
+}
+
+/// recv index -> matched send index (n-th recv on a channel matches the
+/// n-th send, ordinals in per-stream seq order which is the program order).
+std::map<std::size_t, std::size_t> match_messages(
+    const std::vector<EventRecord>& recs,
+    const std::map<StreamKey, std::vector<std::size_t>>& streams) {
+  std::map<ChannelKey, std::vector<std::size_t>> sends, recvs;
+  for (auto& [k, idx] : streams) {
+    for (std::size_t i : idx) {
+      const auto& r = recs[i];
+      if (r.kind == EventKind::kSend)
+        sends[channel(r.node, r.peer, r.tag)].push_back(i);
+      else if (r.kind == EventKind::kRecv)
+        recvs[channel(r.peer, r.node, r.tag)].push_back(i);
+    }
+  }
+  std::map<std::size_t, std::size_t> match;
+  for (auto& [ch, ss] : sends) {
+    auto it = recvs.find(ch);
+    if (it == recvs.end()) continue;
+    const std::size_t n = std::min(ss.size(), it->second.size());
+    for (std::size_t i = 0; i < n; ++i) match[it->second[i]] = ss[i];
+  }
+  return match;
+}
+
+/// Runs `visit(record_index)` over all records in a dependency-respecting
+/// order: per-stream seq order, and each matched recv after its send.
+/// Returns the number of sweep passes used.
+template <typename Visit>
+unsigned topological_sweep(
+    const std::vector<EventRecord>& recs,
+    const std::map<StreamKey, std::vector<std::size_t>>& streams,
+    const std::map<std::size_t, std::size_t>& recv_to_send, Visit visit) {
+  std::vector<bool> done(recs.size(), false);
+  std::map<StreamKey, std::size_t> cursor;
+  std::size_t remaining = recs.size();
+  unsigned passes = 0;
+  while (remaining > 0) {
+    ++passes;
+    bool progressed = false;
+    for (auto& [key, idx] : streams) {
+      auto& cur = cursor[key];
+      while (cur < idx.size()) {
+        const std::size_t i = idx[cur];
+        auto dep = recv_to_send.find(i);
+        if (dep != recv_to_send.end() && !done[dep->second]) break;
+        visit(i);
+        done[i] = true;
+        ++cur;
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      // Corrupt pairing (cycle): process the remainder ignoring message
+      // dependencies rather than looping forever.
+      for (auto& [key, idx] : streams) {
+        auto& cur = cursor[key];
+        while (cur < idx.size()) {
+          visit(idx[cur]);
+          done[idx[cur]] = true;
+          ++cur;
+          --remaining;
+        }
+      }
+    }
+  }
+  return passes;
+}
+
+}  // namespace
+
+std::vector<EventRecord> apply_perturbation(
+    const std::vector<EventRecord>& clean, const PerturbationModel& model) {
+  std::vector<EventRecord> out = clean;
+  const auto streams = index_streams(out);
+  const auto recv_to_send = match_messages(out, streams);
+
+  // Execution replay: each event is delayed by the accumulated overhead of
+  // the preceding instrumented events on its process (inter-event gaps are
+  // preserved), and a receive additionally waits for its (delayed) message.
+  std::map<StreamKey, std::size_t> prev_index;  // last replayed per stream
+  topological_sweep(out, streams, recv_to_send, [&](std::size_t i) {
+    EventRecord& r = out[i];
+    const auto key = stream_of(r);
+    auto prev = prev_index.find(key);
+    std::uint64_t t;
+    if (prev == prev_index.end()) {
+      t = clean[i].timestamp;
+    } else {
+      const std::uint64_t gap =
+          clean[i].timestamp - clean[prev->second].timestamp;
+      t = out[prev->second].timestamp + gap + model.per_event_overhead;
+    }
+    auto dep = recv_to_send.find(i);
+    if (dep != recv_to_send.end()) {
+      t = std::max(t,
+                   out[dep->second].timestamp + model.min_message_latency);
+    }
+    r.timestamp = t;
+    prev_index[key] = i;
+  });
+  return out;
+}
+
+CompensationReport compensate(std::vector<EventRecord>& perturbed,
+                              const PerturbationModel& model) {
+  CompensationReport rep;
+  const auto streams = index_streams(perturbed);
+  const auto recv_to_send = match_messages(perturbed, streams);
+
+  std::vector<std::uint64_t> true_ts(perturbed.size(), 0);
+  std::map<StreamKey, std::size_t> prev_index;
+  std::map<StreamKey, std::uint64_t> flush_begin_true;
+  std::map<StreamKey, bool> in_flush;
+
+  rep.iterations =
+      topological_sweep(perturbed, streams, recv_to_send, [&](std::size_t i) {
+        EventRecord& r = perturbed[i];
+        const auto key = stream_of(r);
+        auto prev = prev_index.find(key);
+
+        // Gap-preserving local estimate: true gap = perturbed gap minus the
+        // per-event overhead (clamped at zero).
+        std::uint64_t t;
+        if (prev == prev_index.end()) {
+          t = r.timestamp;
+        } else {
+          const std::uint64_t pgap =
+              r.timestamp - perturbed[prev->second].timestamp;
+          const std::uint64_t gap =
+              pgap > model.per_event_overhead
+                  ? pgap - model.per_event_overhead
+                  : 0;
+          t = true_ts[prev->second] + gap;
+        }
+
+        // Flush intervals are pure overhead: the end collapses onto the
+        // begin's true time, removing the interval from all later gaps.
+        if (model.remove_flush_intervals) {
+          if (r.kind == EventKind::kFlushBegin) {
+            in_flush[key] = true;
+            flush_begin_true[key] = t;
+          } else if (r.kind == EventKind::kFlushEnd && in_flush[key]) {
+            in_flush[key] = false;
+            t = flush_begin_true[key];
+          }
+        }
+
+        // Message constraint: a recv happens no earlier than its send's
+        // true time plus the minimum latency.  A message-limited recv (one
+        // that fired as soon as the delayed message arrived) is pinned to
+        // exactly that arrival.
+        auto dep = recv_to_send.find(i);
+        if (dep != recv_to_send.end()) {
+          const std::size_t s = dep->second;
+          const std::uint64_t arrival =
+              true_ts[s] + model.min_message_latency;
+          const bool message_limited =
+              r.timestamp <=
+              perturbed[s].timestamp + model.min_message_latency;
+          const std::uint64_t prev_true =
+              prev == prev_index.end() ? 0 : true_ts[prev->second];
+          if (message_limited) {
+            t = std::max(prev_true, arrival);
+            ++rep.recv_constraints_applied;
+          } else if (t < arrival) {
+            t = std::max(prev_true, arrival);
+            ++rep.recv_constraints_applied;
+          }
+        }
+
+        true_ts[i] = t;
+        prev_index[key] = i;
+      });
+
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    if (true_ts[i] != perturbed[i].timestamp) {
+      ++rep.adjusted;
+      if (perturbed[i].timestamp > true_ts[i])
+        rep.total_overhead_removed += perturbed[i].timestamp - true_ts[i];
+    }
+    perturbed[i].timestamp = true_ts[i];
+  }
+  return rep;
+}
+
+}  // namespace prism::trace

@@ -1,0 +1,66 @@
+// Perturbation accounting and compensation.
+//
+// "Work has been done on compensating for the effects of program
+// perturbation due to instrumentation ... Malony et al. describe a model for
+// removing the effects of perturbation from the traces of parallel program
+// executions" (§4, refs [16][31]).  This module implements the time-based
+// part of that model:
+//
+//   * each instrumented event inflates its process's subsequent timestamps
+//     by a fixed per-event overhead delta;
+//   * buffer flushes inflate them by the flush duration (bracketed by
+//     kFlushBegin / kFlushEnd records);
+//   * compensation removes the accumulated local overhead, then restores
+//     cross-process consistency: a receive cannot precede its matching send
+//     plus the minimum message latency.
+//
+// The paper is careful to note that "quantitative calculation of program
+// perturbation, which can change the actual order of events, is still a
+// challenge" (§3.1.3) — event *reordering* is out of scope here too; the
+// compensator restores timestamps, and reports how many receive constraints
+// it had to re-enforce (a measure of how close the trace came to reordering).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace prism::trace {
+
+struct PerturbationModel {
+  /// Timestamp inflation per instrumented event (same unit as timestamps).
+  std::uint64_t per_event_overhead = 0;
+  /// Minimum end-to-end message latency enforced between matched
+  /// send/recv pairs after compensation.
+  std::uint64_t min_message_latency = 0;
+  /// When true, time between kFlushBegin/kFlushEnd on a process is treated
+  /// as pure overhead and removed.
+  bool remove_flush_intervals = true;
+};
+
+struct CompensationReport {
+  /// Records whose timestamps were reduced.
+  std::uint64_t adjusted = 0;
+  /// Receive events pushed later to respect their send (violations the
+  /// local pass introduced — each was a potential event reordering).
+  std::uint64_t recv_constraints_applied = 0;
+  /// Total overhead time removed, summed over processes.
+  std::uint64_t total_overhead_removed = 0;
+  /// Iterations of the cross-process fix-point.
+  unsigned iterations = 0;
+};
+
+/// Applies the model's overhead to a clean trace, producing the "perturbed"
+/// trace an IS would actually record.  Inverse-direction helper used by
+/// tests and by the perturbation ablation bench.
+std::vector<EventRecord> apply_perturbation(
+    const std::vector<EventRecord>& clean, const PerturbationModel& model);
+
+/// Removes modeled instrumentation overhead from `perturbed` (record order
+/// is preserved; only timestamps change).  The input must contain every
+/// process's records in per-process seq order.
+CompensationReport compensate(std::vector<EventRecord>& perturbed,
+                              const PerturbationModel& model);
+
+}  // namespace prism::trace

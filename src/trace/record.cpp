@@ -1,0 +1,39 @@
+#include "trace/record.hpp"
+
+#include <cstring>
+
+namespace prism::trace {
+
+std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kUserEvent: return "user";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kBlockBegin: return "block_begin";
+    case EventKind::kBlockEnd: return "block_end";
+    case EventKind::kSample: return "sample";
+    case EventKind::kFlushBegin: return "flush_begin";
+    case EventKind::kFlushEnd: return "flush_end";
+    case EventKind::kIo: return "io";
+    case EventKind::kMemRef: return "memref";
+    case EventKind::kControl: return "control";
+    case EventKind::kBarrier: return "barrier";
+    case EventKind::kTraceStart: return "trace_start";
+    case EventKind::kTraceStop: return "trace_stop";
+  }
+  return "unknown";
+}
+
+std::uint64_t pack_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double unpack_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace prism::trace

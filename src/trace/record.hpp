@@ -1,0 +1,73 @@
+// The instrumentation-data record.
+//
+// "We use the term instrumentation data to account for both execution
+// information (messages, memory references, I/O calls, etc.) and program
+// information (variables, arrays, objects, etc.)" (§2.2).  EventRecord is a
+// compact, trivially-copyable 32-byte POD so local buffers are dense arrays
+// (cache-friendly, flushable with a single write) and the hot logging path
+// never allocates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace prism::trace {
+
+/// Kinds of instrumentation events.  The numeric values are part of the
+/// on-disk trace format; append only.
+enum class EventKind : std::uint16_t {
+  kUserEvent = 0,     ///< user-defined marker (PICL tracedata-style)
+  kSend = 1,          ///< message send (payload = bytes, tag = msg tag)
+  kRecv = 2,          ///< message receive
+  kBlockBegin = 3,    ///< entry into an instrumented block/function
+  kBlockEnd = 4,      ///< exit from an instrumented block/function
+  kSample = 5,        ///< sampled metric value (Paradyn-style)
+  kFlushBegin = 6,    ///< IS self-event: local buffer flush started
+  kFlushEnd = 7,      ///< IS self-event: local buffer flush finished
+  kIo = 8,            ///< I/O call
+  kMemRef = 9,        ///< memory reference (modeling only)
+  kControl = 10,      ///< IS control message
+  kBarrier = 11,      ///< synchronization barrier
+  kTraceStart = 12,   ///< per-process trace start marker
+  kTraceStop = 13,    ///< per-process trace stop marker
+};
+
+std::string_view to_string(EventKind k);
+
+/// One instrumentation event.  `timestamp` is in nanoseconds for live
+/// traces and model time units for simulated traces.  `lamport` carries the
+/// logical time-stamp assigned by the ISM ("we use the technique of
+/// assigning logical time-stamps", §3.3).
+struct EventRecord {
+  std::uint64_t timestamp = 0;  ///< physical (local-clock) time
+  std::uint32_t node = 0;       ///< node of the concurrent system
+  std::uint32_t process = 0;    ///< process (or thread) on that node
+  EventKind kind = EventKind::kUserEvent;
+  std::uint16_t tag = 0;        ///< event-kind-specific tag (msg tag, metric id)
+  std::uint32_t peer = 0;       ///< peer node for send/recv, else 0
+  std::uint64_t payload = 0;    ///< bytes, metric value bits, block id, ...
+  std::uint64_t lamport = 0;    ///< logical timestamp (assigned by ISM)
+  std::uint64_t seq = 0;        ///< per-(node,process) sequence number
+};
+
+static_assert(std::is_trivially_copyable_v<EventRecord>,
+              "EventRecord must stay a flushable POD");
+static_assert(sizeof(EventRecord) == 48, "on-disk format size");
+
+/// Total order used by trace files and merging: (timestamp, node, process,
+/// seq).  Deterministic tie-break keeps merges stable.
+struct RecordOrder {
+  bool operator()(const EventRecord& a, const EventRecord& b) const {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    if (a.node != b.node) return a.node < b.node;
+    if (a.process != b.process) return a.process < b.process;
+    return a.seq < b.seq;
+  }
+};
+
+/// Packs/unpacks a double metric value into the payload field losslessly.
+std::uint64_t pack_double(double v);
+double unpack_double(std::uint64_t bits);
+
+}  // namespace prism::trace

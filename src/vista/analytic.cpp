@@ -1,0 +1,92 @@
+#include "vista/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "queueing/analytic.hpp"
+
+namespace prism::vista {
+
+namespace {
+
+/// Survival function of the straggle delay D (without the straggle_prob
+/// factor): truncated Pareto(shape a, scale s, cap c).
+double straggle_tail(const VistaIsmParams& p, double x) {
+  if (x < p.straggle_scale_ms) return 1.0;
+  if (x >= p.straggle_cap_ms) return 0.0;
+  return std::pow(p.straggle_scale_ms / x, p.straggle_shape);
+}
+
+}  // namespace
+
+double straggle_excess_second_moment(const VistaIsmParams& p, double gap) {
+  // E[(D-g)+^2] = 2 * int_g^c (x - g) * Fbar(x) dx.  The identity already
+  // covers the truncation atom at c: Fbar(x) for x < c includes P(D = c).
+  const double c = p.straggle_cap_ms;
+  if (gap >= c) return 0.0;
+  const double lo = std::max(gap, p.straggle_scale_ms);
+  // Below the Pareto scale Fbar = 1: the [gap, lo) strip integrates to
+  // (lo - gap)^2 exactly.
+  const double head = (lo - gap) * (lo - gap);
+  // Simpson over [lo, c] with enough panels for the heavy tail.
+  const int n = 2000;
+  const double h = (c - lo) / n;
+  double acc = 0;
+  for (int i = 0; i <= n; ++i) {
+    const double x = lo + h * i;
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    acc += w * (x - gap) * straggle_tail(p, x);
+  }
+  return head + 2.0 * acc * h / 3.0;
+}
+
+VistaAnalyticPrediction predict_vista_ism(const VistaIsmParams& p) {
+  p.validate();
+  VistaAnalyticPrediction out;
+  const double lambda = p.processes / p.mean_interarrival_ms;  // per ms
+
+  // Hold-back: per-record expected wait from straggles on its own stream.
+  const double gap = p.mean_interarrival_ms;  // per-process gap
+  out.mean_holdback_ms =
+      p.straggle_prob * straggle_excess_second_moment(p, gap) / (2.0 * gap);
+
+  // Fixed point on the pressure-dependent service time.
+  const double coeff =
+      p.miso ? p.miso_overhead_per_buffer_ms : p.siso_scan_overhead_ms;
+  double service = p.proc_service_mean_ms;
+  double wait = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double rho = lambda * service;
+    if (rho >= 1.0) {
+      out.stable = false;
+      break;
+    }
+    const double var =
+        p.proc_service_sigma_ms * p.proc_service_sigma_ms;
+    wait = queueing::mg1_mean_wait(lambda, service, var);
+    // Input-side backlog: waiting jobs + held records (Little).
+    const double backlog = lambda * (wait + out.mean_holdback_ms);
+    const double pressure = std::min(1.0, backlog / p.pressure_threshold);
+    const double next = p.proc_service_mean_ms + coeff * p.processes * pressure;
+    if (std::fabs(next - service) < 1e-9) {
+      service = next;
+      break;
+    }
+    service = next;
+  }
+  out.effective_service_ms = service;
+  out.processor_utilization = std::min(1.0, lambda * service);
+  if (!out.stable) {
+    out.mean_wait_ms = std::numeric_limits<double>::infinity();
+    out.mean_latency_ms = std::numeric_limits<double>::infinity();
+    out.mean_input_buffer = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  out.mean_wait_ms = wait;
+  out.mean_latency_ms = wait + service + out.mean_holdback_ms;
+  out.mean_input_buffer = lambda * (wait + out.mean_holdback_ms);
+  return out;
+}
+
+}  // namespace prism::vista

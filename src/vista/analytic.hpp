@@ -1,0 +1,41 @@
+// Analytic approximation of the Vista ISM model — the "model of the model".
+//
+// The paper validates simulations against queueing theory wherever closed
+// forms exist (§5: "appropriate results from ... queuing theory").  For the
+// Fig. 10 ISM this module assembles a first-order prediction of the two
+// §3.3.2 metrics from:
+//   * an M/G/1 Pollaczek-Khinchine waiting time at the data processor, with
+//     the backlog-pressure service surcharge resolved by fixed-point
+//     iteration (service depends on backlog depends on service);
+//   * a renewal argument for hold-back: a record straggles with probability
+//     q, picking up a truncated-Pareto extra delay D; a straggle exceeding
+//     the per-process gap g holds successors for a total of (D-g)^2 / (2g),
+//     so the mean hold-back per record is q * E[(D-g)+^2] / (2g);
+//   * Little's law for the input-side buffer occupancy.
+// Accuracy target: within ~35% of simulation at moderate loads (asserted by
+// tests) — enough to bracket design decisions before running simulations.
+#pragma once
+
+#include "vista/ism_model.hpp"
+
+namespace prism::vista {
+
+struct VistaAnalyticPrediction {
+  double processor_utilization = 0;
+  double mean_wait_ms = 0;       ///< M/G/1 queue wait at the processor
+  double mean_holdback_ms = 0;   ///< causal hold-back per record
+  double mean_latency_ms = 0;    ///< wait + service + hold-back
+  double mean_input_buffer = 0;  ///< Little: lambda * (wait + hold-back)
+  double effective_service_ms = 0;
+  bool stable = true;
+};
+
+/// First-order analytic prediction for the given parameters.
+VistaAnalyticPrediction predict_vista_ism(const VistaIsmParams& params);
+
+/// Mean of the positive part (D - g)+ squared for the straggle delay D
+/// (truncated Pareto(shape, scale, cap)), by numeric quadrature.  Exposed
+/// for tests.
+double straggle_excess_second_moment(const VistaIsmParams& params, double gap);
+
+}  // namespace prism::vista

@@ -1,0 +1,286 @@
+#include "vista/ism_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/collectors.hpp"
+#include "sim/engine.hpp"
+#include "stats/distributions.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::vista {
+
+void VistaIsmParams::validate() const {
+  if (processes == 0) throw std::invalid_argument("VistaIsmParams: P == 0");
+  if (!(mean_interarrival_ms > 0))
+    throw std::invalid_argument("VistaIsmParams: inter-arrival <= 0");
+  if (!(proc_service_mean_ms > 0))
+    throw std::invalid_argument("VistaIsmParams: service <= 0");
+  if (!(horizon_ms > 0))
+    throw std::invalid_argument("VistaIsmParams: horizon <= 0");
+  if (network_delay_mean_ms < 0 || miso_overhead_per_buffer_ms < 0 ||
+      siso_scan_overhead_ms < 0 || tool_service_mean_ms < 0)
+    throw std::invalid_argument("VistaIsmParams: negative parameter");
+  if (!(straggle_prob >= 0 && straggle_prob <= 1))
+    throw std::invalid_argument("VistaIsmParams: straggle_prob out of [0,1]");
+  if (!(straggle_shape > 1) || !(straggle_scale_ms > 0) ||
+      !(straggle_cap_ms >= straggle_scale_ms))
+    throw std::invalid_argument("VistaIsmParams: bad straggle tail");
+  if (!(pressure_threshold > 0))
+    throw std::invalid_argument("VistaIsmParams: pressure_threshold <= 0");
+}
+
+namespace {
+
+struct Arrival {
+  std::uint32_t process;
+  std::uint64_t seq;
+  double t_arrival;
+};
+
+struct Model {
+  const VistaIsmParams& p;
+  sim::Engine eng;
+  // Separate streams so the arrival process (generation times, network
+  // delays, straggles) is identical across ISM configurations sharing a
+  // seed — true common random numbers for the SISO/MISO comparison.  The
+  // service stream differs only in consumption order, which is aligned to
+  // the processed-record sequence.
+  stats::Rng arrival_rng;
+  stats::Rng service_rng;
+
+  std::vector<std::uint64_t> next_release;
+  std::vector<std::map<std::uint64_t, Arrival>> held;
+  std::size_t held_count = 0;
+  std::deque<Arrival> proc_queue;
+  bool proc_busy = false;
+  stats::TimeWeighted input_len;
+  sim::UtilizationTracker proc_util;
+
+  std::deque<double> out_queue;
+  bool tool_busy = false;
+  stats::TimeWeighted out_len;
+
+  std::vector<double> latencies;
+  std::uint64_t arrivals = 0;
+  std::uint64_t held_back = 0;
+  std::uint64_t released = 0;
+
+  Model(const VistaIsmParams& params, stats::Rng r)
+      : p(params), arrival_rng(r.split()), service_rng(r.split()),
+        next_release(params.processes, 0), held(params.processes) {}
+
+  void note_input_len() {
+    input_len.set(eng.now(),
+                  static_cast<double>(proc_queue.size() + held_count));
+  }
+
+  void start_sources() {
+    for (std::uint32_t i = 0; i < p.processes; ++i) {
+      schedule_generation(i, std::make_shared<std::uint64_t>(0));
+    }
+  }
+
+  static double exp_draw(stats::Rng& rng, double mean) {
+    return mean <= 0 ? 0.0 : -std::log(rng.next_double_open()) * mean;
+  }
+
+  static double normal_draw(stats::Rng& rng, double mean, double sigma) {
+    // Box-Muller, truncated at 0.
+    for (;;) {
+      const double u1 = rng.next_double_open();
+      const double u2 = rng.next_double();
+      const double z = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(2.0 * 3.14159265358979323846 * u2);
+      const double x = mean + sigma * z;
+      if (x >= 0) return x;
+    }
+  }
+
+  void schedule_generation(std::uint32_t proc,
+                           std::shared_ptr<std::uint64_t> seq) {
+    const double gap = exp_draw(arrival_rng, p.mean_interarrival_ms);
+    eng.schedule_after(gap, [this, proc, seq] {
+      if (eng.now() > p.horizon_ms) return;  // sources stop at the horizon
+      const std::uint64_t s = (*seq)++;
+      double delay = exp_draw(arrival_rng, p.network_delay_mean_ms);
+      if (p.straggle_prob > 0 && arrival_rng.next_bernoulli(p.straggle_prob)) {
+        // Truncated Pareto(shape, scale): scale * U^{-1/shape}, capped.
+        delay += std::min(
+            p.straggle_cap_ms,
+            p.straggle_scale_ms *
+                std::pow(arrival_rng.next_double_open(), -1.0 / p.straggle_shape));
+      }
+      eng.schedule_after(delay, [this, proc, s] {
+        on_arrival(Arrival{proc, s, eng.now()});
+      });
+      schedule_generation(proc, seq);
+    });
+  }
+
+  void on_arrival(const Arrival& a) {
+    ++arrivals;
+    proc_queue.push_back(a);
+    note_input_len();
+    maybe_start_processor();
+  }
+
+  void maybe_start_processor() {
+    if (proc_busy || proc_queue.empty()) return;
+    proc_busy = true;
+    proc_util.begin_busy(eng.now(), 0);
+    double service = normal_draw(service_rng, p.proc_service_mean_ms,
+                                 p.proc_service_sigma_ms);
+    // Buffer-maintenance surcharge, scaled by backlog pressure (the memory /
+    // virtual-memory effect of §3.3.2).  Both configurations pay it; MISO's
+    // per-buffer bookkeeping has the larger coefficient, which is what makes
+    // SISO "marginally better at higher arrival rates" (§3.3.3).
+    const double backlog = static_cast<double>(proc_queue.size() + held_count);
+    const double pressure = std::min(1.0, backlog / p.pressure_threshold);
+    const double coeff =
+        p.miso ? p.miso_overhead_per_buffer_ms : p.siso_scan_overhead_ms;
+    service += coeff * p.processes * pressure;
+    eng.schedule_after(service, [this] { finish_processing(); });
+  }
+
+  void finish_processing() {
+    Arrival a = proc_queue.front();
+    proc_queue.pop_front();
+    proc_busy = false;
+    proc_util.end_busy(eng.now());
+    if (a.seq == next_release[a.process]) {
+      release(a);
+      // Releasing may unblock consecutively held successors.
+      auto& h = held[a.process];
+      auto it = h.find(next_release[a.process]);
+      while (it != h.end()) {
+        Arrival next = it->second;
+        h.erase(it);
+        --held_count;
+        release(next);
+        it = h.find(next_release[a.process]);
+      }
+    } else {
+      held[a.process].emplace(a.seq, a);
+      ++held_count;
+      ++held_back;
+    }
+    note_input_len();
+    maybe_start_processor();
+  }
+
+  void release(const Arrival& a) {
+    // Arrival at the output buffer: this ends the data processing latency.
+    latencies.push_back(eng.now() - a.t_arrival);
+    ++released;
+    next_release[a.process] = a.seq + 1;
+    out_queue.push_back(eng.now());
+    out_len.set(eng.now(), static_cast<double>(out_queue.size()));
+    maybe_start_tool();
+  }
+
+  void maybe_start_tool() {
+    if (tool_busy || out_queue.empty()) return;
+    tool_busy = true;
+    const double service = exp_draw(service_rng, p.tool_service_mean_ms);
+    eng.schedule_after(service, [this] {
+      out_queue.pop_front();
+      out_len.set(eng.now(), static_cast<double>(out_queue.size()));
+      tool_busy = false;
+      maybe_start_tool();
+    });
+  }
+};
+
+}  // namespace
+
+VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng) {
+  params.validate();
+  Model m(params, rng);
+  m.start_sources();
+  m.eng.run();
+
+  VistaIsmMetrics out;
+  out.records = m.arrivals;
+  out.released = m.released;
+  out.hold_back_ratio =
+      m.arrivals ? static_cast<double>(m.held_back) / m.arrivals : 0.0;
+  if (!m.latencies.empty()) {
+    stats::Summary s;
+    for (double x : m.latencies) s.add(x);
+    out.mean_processing_latency_ms = s.mean();
+    auto v = m.latencies;
+    const std::size_t k = static_cast<std::size_t>(0.95 * (v.size() - 1));
+    std::nth_element(v.begin(), v.begin() + k, v.end());
+    out.p95_processing_latency_ms = v[k];
+  }
+  out.mean_input_buffer_length = m.input_len.time_average_until(m.eng.now());
+  out.max_input_buffer_length = m.input_len.max();
+  out.mean_output_queue_length = m.out_len.time_average_until(m.eng.now());
+  m.proc_util.flush(m.eng.now());
+  out.processor_utilization = m.proc_util.utilization();
+  return out;
+}
+
+std::vector<VistaSweepPoint> sweep_interarrival(
+    const VistaIsmParams& base, const std::vector<double>& interarrival_ms,
+    unsigned replications, std::uint64_t seed) {
+  std::vector<VistaSweepPoint> out;
+  out.reserve(interarrival_ms.size());
+  for (double ia : interarrival_ms) {
+    VistaSweepPoint pt;
+    pt.mean_interarrival_ms = ia;
+    for (int cfg = 0; cfg < 2; ++cfg) {
+      VistaIsmParams p = base;
+      p.mean_interarrival_ms = ia;
+      p.miso = cfg == 1;
+      // Common random numbers: the scenario tag ignores the configuration,
+      // so SISO and MISO replications see identical arrival streams.
+      auto rr = sim::replicate(
+          replications, seed, static_cast<std::uint64_t>(ia * 1024),
+          [&p](stats::Rng& rng) -> sim::Responses {
+            const auto m = run_vista_ism(p, rng);
+            return {{"latency", m.mean_processing_latency_ms},
+                    {"buffer", m.mean_input_buffer_length}};
+          });
+      if (cfg == 0) {
+        pt.latency_siso = rr.ci("latency", 0.90);
+        pt.buffer_siso = rr.ci("buffer", 0.90);
+      } else {
+        pt.latency_miso = rr.ci("latency", 0.90);
+        pt.buffer_miso = rr.ci("buffer", 0.90);
+      }
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+stats::FactorialResult vista_factorial(const VistaIsmParams& base,
+                                       double interarrival_lo_ms,
+                                       double interarrival_hi_ms,
+                                       unsigned replications,
+                                       const std::string& response,
+                                       std::uint64_t seed) {
+  if (response != "latency" && response != "buffer_length")
+    throw std::invalid_argument("vista_factorial: unknown response " +
+                                response);
+  stats::Design2kr design({"config", "interarrival"}, replications);
+  return design.run([&](const std::vector<int>& levels, unsigned rep) {
+    VistaIsmParams p = base;
+    p.miso = levels[0] > 0;  // -1: SISO, +1: MISO
+    p.mean_interarrival_ms =
+        levels[1] < 0 ? interarrival_lo_ms : interarrival_hi_ms;
+    stats::Rng rng(stats::Rng::hash_seed(
+        seed, static_cast<std::uint64_t>(levels[1] + 2),
+        static_cast<std::uint64_t>(rep)));
+    const auto m = run_vista_ism(p, rng);
+    return response == "latency" ? m.mean_processing_latency_ms
+                                 : m.mean_input_buffer_length;
+  });
+}
+
+}  // namespace prism::vista

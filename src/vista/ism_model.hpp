@@ -1,0 +1,107 @@
+// Queueing model of the Vista ISM (§3.3.2, Fig. 10, Fig. 11, Tables 6-7).
+//
+// Model: P application processes emit event records (Poisson, per-process
+// mean inter-arrival time is the experimental factor).  Records reach the
+// ISM after an exponential network delay, so some arrive out of causal
+// (per-process sequence) order.  The ISM's data processor — a single server
+// with normally distributed service time — handles each arrival; in-order
+// records are logically timestamped and moved to the output buffer, while
+// out-of-order records wait in the input buffer(s) until their predecessors
+// have been released.  A tool drains the output buffer FCFS with exponential
+// service (the G/M/1 output side of Fig. 10).
+//
+// SISO vs MISO: the configurations differ in input-buffer organization.
+// "Intuitively, maintenance of multiple buffers should incur more overhead,
+// especially in accessing memory (including virtual memory), under high
+// arrival rate conditions" (§3.3.2) — modeled as a per-record processing
+// surcharge proportional to the number of buffers (MISO) versus a small
+// scan surcharge proportional to current hold-back occupancy (SISO).
+//
+// Metrics (Table 7):
+//   * data processing latency — arrival at the ISM to arrival at the output
+//     buffer (includes processor queueing, service, and hold-back time);
+//   * average input buffer length — time-averaged occupancy of the input
+//     side (processor queue + hold-back buffers); the hold-back ratio
+//     (Falcon's metric) is reported alongside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/replication.hpp"
+#include "stats/confidence.hpp"
+#include "stats/factorial.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::vista {
+
+struct VistaIsmParams {
+  bool miso = false;                   ///< MISO when true, else SISO
+  unsigned processes = 8;              ///< P
+  double mean_interarrival_ms = 30.0;  ///< per-process (the swept factor)
+  double network_delay_mean_ms = 1.0;  ///< common LIS->ISM forwarding delay
+  /// A record occasionally straggles (the forwarding call is descheduled or
+  /// paged on a time-shared workstation), picking up a heavy-tailed
+  /// truncated-Pareto(shape, scale, cap) extra delay — the out-of-order
+  /// source.  The heavy tail matters: for shape < 3 the run-to-run variance
+  /// contributed by hold-back grows with the inter-arrival gap (~g^(3-shape)),
+  /// so the measured latency is *noisier at longer inter-arrival times* —
+  /// precisely the published Fig. 11 behaviour — while the truncation keeps
+  /// all moments finite (stable estimates).
+  double straggle_prob = 0.15;
+  double straggle_shape = 1.3;     ///< Pareto tail index (1 < shape < 3)
+  double straggle_scale_ms = 5.0;  ///< Pareto minimum delay x_m
+  double straggle_cap_ms = 2000.0; ///< truncation (a worst-case page stall)
+  double proc_service_mean_ms = 1.0;   ///< data processor, normal
+  double proc_service_sigma_ms = 0.25;
+  /// MISO per-record surcharge: maintaining P buffers costs more as the
+  /// resident set grows ("accessing memory (including virtual memory),
+  /// under high arrival rate conditions") — scaled by backlog pressure.
+  double miso_overhead_per_buffer_ms = 0.02;  ///< * P * pressure, per record
+  double pressure_threshold = 8.0;            ///< backlog for full pressure
+  double siso_scan_overhead_ms = 0.004;       ///< SISO's (cheaper) coefficient
+  double tool_service_mean_ms = 0.8;   ///< output-side consumer, exponential
+  double horizon_ms = 60'000;
+
+  void validate() const;
+};
+
+struct VistaIsmMetrics {
+  double mean_processing_latency_ms = 0;
+  double p95_processing_latency_ms = 0;
+  double mean_input_buffer_length = 0;
+  double max_input_buffer_length = 0;
+  double hold_back_ratio = 0;
+  double mean_output_queue_length = 0;
+  double processor_utilization = 0;
+  std::uint64_t records = 0;
+  std::uint64_t released = 0;
+};
+
+/// One replication of the model.
+VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng);
+
+struct VistaSweepPoint {
+  double mean_interarrival_ms = 0;
+  stats::ConfidenceInterval latency_siso, latency_miso;
+  stats::ConfidenceInterval buffer_siso, buffer_miso;
+};
+
+/// Fig. 11 sweep: both configurations at each inter-arrival time, with 90%
+/// CIs over `replications` runs (common random numbers across configs).
+std::vector<VistaSweepPoint> sweep_interarrival(
+    const VistaIsmParams& base, const std::vector<double>& interarrival_ms,
+    unsigned replications, std::uint64_t seed);
+
+/// The paper's 2^k r factorial design over {configuration, inter-arrival},
+/// for response "latency" or "buffer_length".  The paper's finding: "the
+/// inter-arrival rate is the dominant factor" for both metrics.
+stats::FactorialResult vista_factorial(const VistaIsmParams& base,
+                                       double interarrival_lo_ms,
+                                       double interarrival_hi_ms,
+                                       unsigned replications,
+                                       const std::string& response,
+                                       std::uint64_t seed);
+
+}  // namespace prism::vista

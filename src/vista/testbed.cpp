@@ -1,0 +1,64 @@
+#include "vista/testbed.hpp"
+
+#include <memory>
+
+#include "core/environment.hpp"
+#include "trace/causal.hpp"
+#include "workload/thread_apps.hpp"
+
+namespace prism::vista {
+
+namespace {
+
+/// Tool that retains everything for the post-run causal-order check.
+class CollectorTool final : public core::Tool {
+ public:
+  std::string_view name() const override { return "collector"; }
+  void consume(const trace::EventRecord& r) override {
+    std::lock_guard lk(mu_);
+    records_.push_back(r);
+  }
+  std::vector<trace::EventRecord> take() {
+    std::lock_guard lk(mu_);
+    return std::move(records_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<trace::EventRecord> records_;
+};
+
+}  // namespace
+
+TestbedReport run_prism_testbed(const TestbedParams& params) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = params.nodes;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.link_capacity = params.link_capacity;
+  cfg.ism.input = params.input;
+  cfg.ism.causal_ordering = params.causal_ordering;
+
+  core::IntegratedEnvironment env(cfg);
+  auto collector = std::make_shared<CollectorTool>();
+  env.attach_tool(collector);
+  env.start();
+
+  const auto app = workload::run_ring_threads(env, params.rounds,
+                                              params.work_iters_per_hop);
+  env.stop();
+
+  TestbedReport rep;
+  rep.events_recorded = app.events_recorded;
+  rep.wall_ns = app.wall_ns;
+  const auto ism = env.ism().stats();
+  rep.records_dispatched = ism.records_dispatched;
+  rep.mean_processing_latency_us = ism.processing_latency_ns.mean() / 1e3;
+  rep.mean_dispatch_latency_us = ism.dispatch_latency_ns.mean() / 1e3;
+  rep.hold_back_ratio = ism.hold_back_ratio;
+  const auto records = collector->take();
+  rep.causally_ordered_output =
+      trace::first_causal_violation(records) < 0;
+  return rep;
+}
+
+}  // namespace prism::vista

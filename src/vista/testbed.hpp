@@ -1,0 +1,47 @@
+// P'RISM — the live, configurable Vista IS testbed (§3.3).
+//
+// "Vista includes a testbed IS, which is being used for studying IS
+// management policies that control data collection, forwarding, processing,
+// and dispatching.  The IS is configurable, so different management policies
+// can be instituted dynamically.  The overall goal of the Vista IS testbed
+// (called P'RISM, PaRallel Instrumentation System Management ...) is to
+// enable the user to rapidly prototype IS designs and select a policy that
+// meets functional and performance requirements."
+//
+// PrismTestbed assembles a live environment with Vista-style event
+// forwarding and a chosen ISM configuration, drives a synthetic
+// message-passing workload across real threads, and reports the measured
+// ISM metrics — so a SISO-vs-MISO (or ordering on/off) decision can be made
+// from live measurements the same way §3.3.2 made it from the model.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ism.hpp"
+
+namespace prism::vista {
+
+struct TestbedParams {
+  core::InputConfig input = core::InputConfig::kSiso;
+  bool causal_ordering = true;
+  std::uint32_t nodes = 4;
+  /// Ring rounds the workload runs (each hop = recv + compute + send).
+  unsigned rounds = 50;
+  std::uint64_t work_iters_per_hop = 2'000;
+  std::size_t link_capacity = 1024;
+};
+
+struct TestbedReport {
+  std::uint64_t events_recorded = 0;
+  std::uint64_t records_dispatched = 0;
+  double mean_processing_latency_us = 0;
+  double mean_dispatch_latency_us = 0;
+  double hold_back_ratio = 0;
+  std::uint64_t wall_ns = 0;
+  bool causally_ordered_output = false;
+};
+
+/// Runs one live configuration end-to-end and reports its measurements.
+TestbedReport run_prism_testbed(const TestbedParams& params);
+
+}  // namespace prism::vista

@@ -1,0 +1,317 @@
+#include "workload/apps.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace prism::workload {
+
+namespace {
+
+constexpr std::uint16_t kRingTag = 1;
+constexpr std::uint16_t kHaloLeftTag = 2;
+constexpr std::uint16_t kHaloRightTag = 3;
+constexpr std::uint16_t kTaskTag = 4;
+constexpr std::uint16_t kResultTag = 5;
+
+}  // namespace
+
+AppReport run_ring_app(Multicomputer& mc, unsigned rounds,
+                       const stats::Distribution& compute, stats::Rng rng,
+                       std::uint64_t message_bytes) {
+  if (rounds == 0) throw std::invalid_argument("run_ring_app: 0 rounds");
+  const std::uint32_t P = mc.nodes();
+  auto& eng = mc.engine();
+  // Shared state survives until the engine drains.
+  struct State {
+    unsigned hops_left;
+    stats::Rng rng;
+  };
+  auto st = std::make_shared<State>(State{rounds * P, rng});
+
+  for (std::uint32_t n = 0; n < P; ++n) {
+    mc.set_receiver(n, [&mc, &eng, &compute, st, n, P,
+                        message_bytes](const SimMessage& m) {
+      if (m.tag != kRingTag) return;
+      if (st->hops_left == 0) return;
+      --st->hops_left;
+      if (st->hops_left == 0) return;
+      const double work = compute.sample(st->rng);
+      eng.schedule_after(work, [&mc, st, n, P, message_bytes] {
+        mc.user_event(n, 100, st->hops_left);
+        mc.send(n, (n + 1) % P, kRingTag, message_bytes);
+      });
+    });
+  }
+  // Kick off: node 0 computes then launches the token.
+  const double work0 = compute.sample(st->rng);
+  eng.schedule_after(work0, [&mc, P, message_bytes] {
+    mc.send(0, 1 % P, kRingTag, message_bytes);
+  });
+  eng.run();
+
+  AppReport rep;
+  rep.messages = mc.messages_sent();
+  rep.makespan = eng.now();
+  return rep;
+}
+
+AppReport run_stencil_app(Multicomputer& mc, unsigned iterations,
+                          const stats::Distribution& compute, stats::Rng rng,
+                          std::uint64_t halo_bytes) {
+  if (iterations == 0) throw std::invalid_argument("run_stencil_app: 0 iters");
+  const std::uint32_t P = mc.nodes();
+  if (P < 2) throw std::invalid_argument("run_stencil_app: needs >= 2 nodes");
+  auto& eng = mc.engine();
+
+  struct NodeState {
+    unsigned iter = 0;       // current iteration being assembled
+    unsigned have_left = 0;  // halos received for `iter` (counts per side)
+    unsigned have_right = 0;
+    stats::Rng rng{0};
+  };
+  struct State {
+    std::vector<NodeState> nodes;
+    unsigned iterations;
+    std::uint64_t halo_bytes;
+    std::uint64_t user_events = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->nodes.resize(P);
+  st->iterations = iterations;
+  st->halo_bytes = halo_bytes;
+  for (auto& ns : st->nodes) ns.rng = rng.split();
+
+  // advance(): when node n has both halos for its current iteration, it
+  // computes, emits a user event, and sends the next iteration's halos.
+  auto send_halos = [&mc, st, P](std::uint32_t n) {
+    const std::uint32_t left = (n + P - 1) % P;
+    const std::uint32_t right = (n + 1) % P;
+    mc.send(n, left, kHaloRightTag, st->halo_bytes);   // arrives as right halo
+    mc.send(n, right, kHaloLeftTag, st->halo_bytes);   // arrives as left halo
+  };
+
+  std::function<void(std::uint32_t)> advance =
+      [&eng, &mc, &compute, st, send_halos, &advance, P](std::uint32_t n) {
+        NodeState& ns = st->nodes[n];
+        if (ns.have_left == 0 || ns.have_right == 0) return;
+        --ns.have_left;
+        --ns.have_right;
+        const double work = compute.sample(ns.rng);
+        eng.schedule_after(work, [&mc, st, send_halos, &advance, n] {
+          NodeState& ns2 = st->nodes[n];
+          mc.user_event(n, 101, ns2.iter);
+          ++st->user_events;
+          ++ns2.iter;
+          if (ns2.iter < st->iterations) {
+            send_halos(n);
+          }
+          // A queued pair of halos for the new iteration may already be in.
+          advance(n);
+        });
+      };
+
+  for (std::uint32_t n = 0; n < P; ++n) {
+    mc.set_receiver(n, [st, &advance, n](const SimMessage& m) {
+      NodeState& ns = st->nodes[n];
+      if (m.tag == kHaloLeftTag)
+        ++ns.have_left;
+      else if (m.tag == kHaloRightTag)
+        ++ns.have_right;
+      else
+        return;
+      advance(n);
+    });
+  }
+  // Iteration 0: everyone sends halos.
+  for (std::uint32_t n = 0; n < P; ++n) send_halos(n);
+  eng.run();
+
+  AppReport rep;
+  rep.messages = mc.messages_sent();
+  rep.user_events = st->user_events;
+  rep.makespan = eng.now();
+  return rep;
+}
+
+AppReport run_master_worker_app(Multicomputer& mc, unsigned tasks,
+                                const stats::Distribution& task_time,
+                                stats::Rng rng, std::uint64_t task_bytes,
+                                std::uint64_t result_bytes) {
+  const std::uint32_t P = mc.nodes();
+  if (P < 2)
+    throw std::invalid_argument("run_master_worker_app: needs >= 2 nodes");
+  if (tasks == 0) throw std::invalid_argument("run_master_worker_app: 0 tasks");
+  auto& eng = mc.engine();
+
+  struct State {
+    unsigned next_task = 0;
+    unsigned done = 0;
+    unsigned total;
+    std::uint64_t task_bytes, result_bytes;
+    std::vector<stats::Rng> worker_rng;
+  };
+  auto st = std::make_shared<State>();
+  st->total = tasks;
+  st->task_bytes = task_bytes;
+  st->result_bytes = result_bytes;
+  for (std::uint32_t w = 0; w < P; ++w) st->worker_rng.push_back(rng.split());
+
+  // Master: on a result, dispatch the next task to that worker.
+  mc.set_receiver(0, [&mc, st](const SimMessage& m) {
+    if (m.tag != kResultTag) return;
+    ++st->done;
+    if (st->next_task < st->total) {
+      const unsigned id = st->next_task++;
+      mc.send(0, m.from, kTaskTag, st->task_bytes, id);
+    }
+  });
+  // Workers: compute then reply.
+  for (std::uint32_t w = 1; w < P; ++w) {
+    mc.set_receiver(w, [&mc, &eng, &task_time, st, w](const SimMessage& m) {
+      if (m.tag != kTaskTag) return;
+      const double work = task_time.sample(st->worker_rng[w]);
+      eng.schedule_after(work, [&mc, st, w, id = m.payload] {
+        mc.user_event(w, 102, id);
+        mc.send(w, 0, kResultTag, st->result_bytes, id);
+      });
+    });
+  }
+  // Initial distribution: one task per worker (or fewer).
+  for (std::uint32_t w = 1; w < P && st->next_task < st->total; ++w) {
+    const unsigned id = st->next_task++;
+    mc.send(0, w, kTaskTag, st->task_bytes, id);
+  }
+  eng.run();
+
+  AppReport rep;
+  rep.messages = mc.messages_sent();
+  rep.user_events = st->done;
+  rep.makespan = eng.now();
+  return rep;
+}
+
+AppReport run_alltoall_app(Multicomputer& mc, unsigned rounds,
+                           const stats::Distribution& compute, stats::Rng rng,
+                           std::uint64_t message_bytes) {
+  if (rounds == 0) throw std::invalid_argument("run_alltoall_app: 0 rounds");
+  const std::uint32_t P = mc.nodes();
+  if (P < 2) throw std::invalid_argument("run_alltoall_app: needs >= 2 nodes");
+  auto& eng = mc.engine();
+
+  constexpr std::uint16_t kExchangeTag = 6;
+  struct NodeState {
+    unsigned received = 0;
+    unsigned round = 0;
+    stats::Rng rng{0};
+  };
+  struct State {
+    std::vector<NodeState> nodes;
+    unsigned rounds;
+    std::uint64_t bytes;
+    std::uint64_t user_events = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->nodes.resize(P);
+  st->rounds = rounds;
+  st->bytes = message_bytes;
+  for (auto& ns : st->nodes) ns.rng = rng.split();
+
+  auto send_round = [&mc, st, P](std::uint32_t n) {
+    for (std::uint32_t peer = 0; peer < P; ++peer)
+      if (peer != n) mc.send(n, peer, kExchangeTag, st->bytes);
+  };
+
+  for (std::uint32_t n = 0; n < P; ++n) {
+    mc.set_receiver(n, [&mc, &eng, &compute, st, send_round, n,
+                        P](const SimMessage& m) {
+      if (m.tag != kExchangeTag) return;
+      NodeState& ns = st->nodes[n];
+      if (++ns.received < P - 1) return;
+      ns.received = 0;
+      const double work = compute.sample(ns.rng);
+      eng.schedule_after(work, [&mc, st, send_round, n] {
+        NodeState& ns2 = st->nodes[n];
+        mc.user_event(n, 103, ns2.round);
+        ++st->user_events;
+        if (++ns2.round < st->rounds) send_round(n);
+      });
+    });
+  }
+  for (std::uint32_t n = 0; n < P; ++n) send_round(n);
+  eng.run();
+
+  AppReport rep;
+  rep.messages = mc.messages_sent();
+  rep.user_events = st->user_events;
+  rep.makespan = eng.now();
+  return rep;
+}
+
+AppReport run_wavefront_app(Multicomputer& mc, unsigned items,
+                            const stats::Distribution& stage_time,
+                            stats::Rng rng, std::uint64_t item_bytes) {
+  if (items == 0) throw std::invalid_argument("run_wavefront_app: 0 items");
+  const std::uint32_t P = mc.nodes();
+  if (P < 2) throw std::invalid_argument("run_wavefront_app: needs >= 2 nodes");
+  auto& eng = mc.engine();
+
+  constexpr std::uint16_t kItemTag = 7;
+  struct NodeState {
+    bool busy = false;
+    std::vector<std::uint64_t> backlog;  // item ids waiting at this stage
+    stats::Rng rng{0};
+  };
+  struct State {
+    std::vector<NodeState> nodes;
+    std::uint64_t bytes;
+    std::uint64_t completed = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->nodes.resize(P);
+  st->bytes = item_bytes;
+  for (auto& ns : st->nodes) ns.rng = rng.split();
+
+  // Each stage: when idle and backlogged, compute then forward (or retire
+  // at the last stage).
+  std::function<void(std::uint32_t)> pump = [&mc, &eng, &stage_time, st,
+                                             &pump, P](std::uint32_t n) {
+    NodeState& ns = st->nodes[n];
+    if (ns.busy || ns.backlog.empty()) return;
+    ns.busy = true;
+    const std::uint64_t item = ns.backlog.front();
+    ns.backlog.erase(ns.backlog.begin());
+    const double work = stage_time.sample(ns.rng);
+    eng.schedule_after(work, [&mc, st, &pump, n, item, P] {
+      NodeState& ns2 = st->nodes[n];
+      ns2.busy = false;
+      if (n + 1 < P) {
+        mc.send(n, n + 1, kItemTag, st->bytes, item);
+      } else {
+        mc.user_event(n, 104, item);
+        ++st->completed;
+      }
+      pump(n);
+    });
+  };
+
+  for (std::uint32_t n = 0; n < P; ++n) {
+    mc.set_receiver(n, [st, &pump, n](const SimMessage& m) {
+      if (m.tag != kItemTag) return;
+      st->nodes[n].backlog.push_back(m.payload);
+      pump(n);
+    });
+  }
+  // Source: node 0's backlog holds every item up front.
+  for (std::uint64_t i = 0; i < items; ++i) st->nodes[0].backlog.push_back(i);
+  pump(0);
+  eng.run();
+
+  AppReport rep;
+  rep.messages = mc.messages_sent();
+  rep.user_events = st->completed;
+  rep.makespan = eng.now();
+  return rep;
+}
+
+}  // namespace prism::workload

@@ -1,0 +1,67 @@
+// Synthetic message-passing applications on the simulated multicomputer.
+//
+// These are the instrumented workloads of the case studies: programs whose
+// communication structure generates the event-arrival processes the IS
+// models consume.  Three canonical SC-era kernels:
+//   * Ring      — a token circulates; one message in flight (low, regular
+//                 event rate per node).
+//   * Stencil   — 1-D halo exchange each iteration (bursty, synchronized
+//                 arrivals at all nodes: the FAOF-friendly regime).
+//   * MasterWorker — a master farms tasks to workers (skewed arrivals:
+//                 the master's buffer fills much faster — FOF-vs-FAOF
+//                 worst case).
+// Each app runs to completion on the engine and reports message counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "workload/multicomputer.hpp"
+
+namespace prism::workload {
+
+struct AppReport {
+  std::uint64_t messages = 0;
+  std::uint64_t user_events = 0;
+  sim::Time makespan = 0;
+};
+
+/// Token ring: `rounds` full circulations; each node computes for a
+/// compute-time draw before forwarding the token.
+AppReport run_ring_app(Multicomputer& mc, unsigned rounds,
+                       const stats::Distribution& compute, stats::Rng rng,
+                       std::uint64_t message_bytes = 64);
+
+/// 1-D periodic halo exchange: every node sends to both neighbours each
+/// iteration, computes when both halos arrive, repeats for `iterations`.
+AppReport run_stencil_app(Multicomputer& mc, unsigned iterations,
+                          const stats::Distribution& compute, stats::Rng rng,
+                          std::uint64_t halo_bytes = 1024);
+
+/// Master (node 0) farms `tasks` tasks over the workers; each worker
+/// computes a task-time draw and replies; the master reassigns until done.
+AppReport run_master_worker_app(Multicomputer& mc, unsigned tasks,
+                                const stats::Distribution& task_time,
+                                stats::Rng rng,
+                                std::uint64_t task_bytes = 256,
+                                std::uint64_t result_bytes = 128);
+
+/// All-to-all personalized exchange, `rounds` times: every node sends one
+/// message to every other node, computes when all P-1 arrive, repeats.
+/// The burstiest arrival pattern per node (the FAOF-friendly extreme).
+AppReport run_alltoall_app(Multicomputer& mc, unsigned rounds,
+                           const stats::Distribution& compute, stats::Rng rng,
+                           std::uint64_t message_bytes = 512);
+
+/// Pipelined wavefront: node 0 produces `items` work items; each node
+/// computes on an item then passes it to the next node (a software
+/// pipeline).  Skewed steady-state load: interior nodes saturate while the
+/// ends idle in/out — the FOF-friendly extreme.
+AppReport run_wavefront_app(Multicomputer& mc, unsigned items,
+                            const stats::Distribution& stage_time,
+                            stats::Rng rng, std::uint64_t item_bytes = 256);
+
+}  // namespace prism::workload

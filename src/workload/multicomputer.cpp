@@ -1,0 +1,72 @@
+#include "workload/multicomputer.hpp"
+
+namespace prism::workload {
+
+Multicomputer::Multicomputer(sim::Engine& eng, std::uint32_t nodes,
+                             double latency_base, double latency_per_byte,
+                             double time_scale_ns)
+    : eng_(eng),
+      latency_base_(latency_base),
+      latency_per_byte_(latency_per_byte),
+      time_scale_ns_(time_scale_ns),
+      receivers_(nodes),
+      seq_(nodes, 0) {
+  if (nodes == 0) throw std::invalid_argument("Multicomputer: 0 nodes");
+  if (latency_base < 0 || latency_per_byte < 0)
+    throw std::invalid_argument("Multicomputer: negative latency");
+}
+
+void Multicomputer::set_receiver(
+    std::uint32_t node, std::function<void(const SimMessage&)> handler) {
+  receivers_.at(node) = std::move(handler);
+}
+
+void Multicomputer::emit(std::uint32_t node, trace::EventKind kind,
+                         std::uint16_t tag, std::uint32_t peer,
+                         std::uint64_t payload) {
+  if (!instrument_) return;
+  trace::EventRecord r;
+  r.timestamp = timestamp_now();
+  r.node = node;
+  r.process = 0;
+  r.kind = kind;
+  r.tag = tag;
+  r.peer = peer;
+  r.payload = payload;
+  r.seq = seq_[node]++;
+  instrument_(r);
+}
+
+void Multicomputer::send(std::uint32_t from, std::uint32_t to,
+                         std::uint16_t tag, std::uint64_t bytes,
+                         std::uint64_t payload) {
+  if (from >= nodes() || to >= nodes())
+    throw std::out_of_range("Multicomputer::send: bad node");
+  SimMessage m;
+  m.from = from;
+  m.to = to;
+  m.tag = tag;
+  m.bytes = bytes;
+  m.payload = payload;
+  m.t_sent = eng_.now();
+  ++sent_;
+  bytes_ += bytes;
+  emit(from, trace::EventKind::kSend, tag, to, bytes);
+  const double latency =
+      latency_base_ + latency_per_byte_ * static_cast<double>(bytes);
+  eng_.schedule_after(latency, [this, m]() mutable {
+    m.t_delivered = eng_.now();
+    ++delivered_;
+    emit(m.to, trace::EventKind::kRecv, m.tag, m.from, m.bytes);
+    if (receivers_[m.to]) receivers_[m.to](m);
+  });
+}
+
+void Multicomputer::user_event(std::uint32_t node, std::uint16_t tag,
+                               std::uint64_t payload) {
+  if (node >= nodes())
+    throw std::out_of_range("Multicomputer::user_event: bad node");
+  emit(node, trace::EventKind::kUserEvent, tag, 0, payload);
+}
+
+}  // namespace prism::workload

@@ -1,0 +1,90 @@
+// Simulated distributed-memory multicomputer.
+//
+// Substitution (see DESIGN.md): the paper's PICL case study targets machines
+// like the nCUBE and Intel Paragon; we stand up a P-node message-passing
+// machine on the discrete-event engine.  Message transmission takes
+// latency_base + latency_per_byte * bytes; every send and delivery can emit
+// an instrumentation event through a pluggable hook — that hook is where the
+// PICL-style library LIS taps the machine, exactly like wrapped
+// communication calls tap a real one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "trace/record.hpp"
+
+namespace prism::workload {
+
+struct SimMessage {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint16_t tag = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t payload = 0;
+  sim::Time t_sent = 0;
+  sim::Time t_delivered = 0;
+};
+
+class Multicomputer {
+ public:
+  /// Times are engine units (the case studies use milliseconds);
+  /// `time_scale_ns` converts engine time to EventRecord nanoseconds
+  /// (default: 1 engine unit = 1 ms = 1e6 ns).
+  Multicomputer(sim::Engine& eng, std::uint32_t nodes, double latency_base,
+                double latency_per_byte, double time_scale_ns = 1e6);
+
+  std::uint32_t nodes() const { return static_cast<std::uint32_t>(receivers_.size()); }
+  sim::Engine& engine() { return eng_; }
+
+  /// Installs node `node`'s message handler.
+  void set_receiver(std::uint32_t node,
+                    std::function<void(const SimMessage&)> handler);
+
+  /// Installs the instrumentation hook: called with a kSend record at each
+  /// send and a kRecv record at each delivery.  This is the LIS tap.
+  void set_instrumentation(std::function<void(const trace::EventRecord&)> hook) {
+    instrument_ = std::move(hook);
+  }
+
+  /// Sends a message; the receiver's handler runs after the modeled latency.
+  void send(std::uint32_t from, std::uint32_t to, std::uint16_t tag,
+            std::uint64_t bytes, std::uint64_t payload = 0);
+
+  /// Emits a user-defined instrumentation event from a node (the
+  /// tracedata()-style call of instrumentation libraries).
+  void user_event(std::uint32_t node, std::uint16_t tag,
+                  std::uint64_t payload = 0);
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+  /// EventRecord timestamp for the current engine time.
+  std::uint64_t timestamp_now() const {
+    return static_cast<std::uint64_t>(eng_.now() * time_scale_ns_);
+  }
+
+  /// Nanoseconds per engine time unit.
+  double time_scale_ns() const { return time_scale_ns_; }
+
+ private:
+  void emit(std::uint32_t node, trace::EventKind kind, std::uint16_t tag,
+            std::uint32_t peer, std::uint64_t payload);
+
+  sim::Engine& eng_;
+  double latency_base_;
+  double latency_per_byte_;
+  double time_scale_ns_;
+  std::vector<std::function<void(const SimMessage&)>> receivers_;
+  std::function<void(const trace::EventRecord&)> instrument_;
+  std::vector<std::uint64_t> seq_;  ///< per-node instrumentation seq numbers
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace prism::workload

@@ -1,0 +1,196 @@
+#include "workload/thread_apps.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/clock.hpp"
+
+namespace prism::workload {
+
+namespace {
+
+trace::EventRecord make_event(std::uint32_t node, std::uint32_t process,
+                              trace::EventKind kind, std::uint16_t tag,
+                              std::uint32_t peer, std::uint64_t payload,
+                              std::uint64_t seq) {
+  trace::EventRecord r;
+  r.timestamp = core::now_ns();
+  r.node = node;
+  r.process = process;
+  r.kind = kind;
+  r.tag = tag;
+  r.peer = peer;
+  r.payload = payload;
+  r.seq = seq;
+  return r;
+}
+
+}  // namespace
+
+double burn_cpu(std::uint64_t iters) {
+  double x = 1.000000001;
+  for (std::uint64_t i = 0; i < iters; ++i) x = x * 1.000000001 + 1e-12;
+  return x;
+}
+
+ThreadAppReport run_ring_threads(core::IntegratedEnvironment& env,
+                                 unsigned rounds, std::uint64_t work_iters) {
+  const std::uint32_t P = env.config().nodes;
+  const std::uint64_t t0 = core::now_ns();
+  ThreadAppReport rep;
+  if (P < 2 || rounds == 0) return rep;
+
+  // One channel per edge of the ring; token is a round counter.
+  std::vector<std::unique_ptr<core::Channel<unsigned>>> links;
+  links.reserve(P);
+  for (std::uint32_t i = 0; i < P; ++i)
+    links.push_back(std::make_unique<core::Channel<unsigned>>(4));
+
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<double> checksum{0};
+
+  auto worker = [&](std::uint32_t n) {
+    std::uint64_t seq = 0;
+    double local = 0;
+    // Node 0 launches the token so every recv has a recorded matching send
+    // (the ISM's causal reorderer depends on that pairing).
+    if (n == 0) {
+      env.record(make_event(0, 0, trace::EventKind::kSend, 1, 1 % P, 0,
+                            seq++));
+      events.fetch_add(1, std::memory_order_relaxed);
+      messages.fetch_add(1, std::memory_order_relaxed);
+      links[1 % P]->push(0u);
+    }
+    // links[n] delivers to node n; node n forwards on links[(n+1)%P].
+    for (;;) {
+      auto token = links[n]->pop();
+      if (!token) break;
+      env.record(make_event(n, 0, trace::EventKind::kRecv, 1,
+                            (n + P - 1) % P, *token, seq++));
+      events.fetch_add(1, std::memory_order_relaxed);
+      local += burn_cpu(work_iters);
+      const unsigned next = (n == P - 1) ? *token + 1 : *token;
+      if (next >= rounds && n == P - 1) {
+        env.record(make_event(n, 0, trace::EventKind::kUserEvent, 2, 0,
+                              next, seq++));
+        events.fetch_add(1, std::memory_order_relaxed);
+        break;  // token retired after the final full circulation
+      }
+      env.record(
+          make_event(n, 0, trace::EventKind::kSend, 1, (n + 1) % P, next,
+                     seq++));
+      events.fetch_add(1, std::memory_order_relaxed);
+      messages.fetch_add(1, std::memory_order_relaxed);
+      links[(n + 1) % P]->push(next);
+    }
+    checksum.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (std::uint32_t n = 0; n < P; ++n) threads.emplace_back(worker, n);
+  // The run ends when node P-1 retires the token; close all links so the
+  // other workers' pops return.
+  threads.back().join();
+  threads.pop_back();
+  for (auto& l : links) l->close();
+  for (auto& t : threads) t.join();
+
+  rep.messages = messages.load();
+  rep.events_recorded = events.load();
+  rep.wall_ns = core::now_ns() - t0;
+  rep.checksum = checksum.load();
+  return rep;
+}
+
+ThreadAppReport run_phases_threads(core::IntegratedEnvironment& env,
+                                   unsigned phases,
+                                   std::uint64_t work_iters) {
+  const std::uint32_t P = env.config().nodes;
+  const std::uint64_t t0 = core::now_ns();
+  ThreadAppReport rep;
+  if (P == 0 || phases == 0) return rep;
+
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<double> checksum{0};
+  std::barrier sync(static_cast<std::ptrdiff_t>(P));
+
+  auto worker = [&](std::uint32_t n) {
+    std::uint64_t seq = 0;
+    double local = 0;
+    for (unsigned ph = 0; ph < phases; ++ph) {
+      env.record(make_event(n, 0, trace::EventKind::kBlockBegin, 10, 0, ph,
+                            seq++));
+      local += burn_cpu(work_iters);
+      env.record(
+          make_event(n, 0, trace::EventKind::kBlockEnd, 10, 0, ph, seq++));
+      env.record(
+          make_event(n, 0, trace::EventKind::kBarrier, 11, 0, ph, seq++));
+      events.fetch_add(3, std::memory_order_relaxed);
+      sync.arrive_and_wait();
+    }
+    checksum.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (std::uint32_t n = 0; n < P; ++n) threads.emplace_back(worker, n);
+  for (auto& t : threads) t.join();
+
+  rep.events_recorded = events.load();
+  rep.wall_ns = core::now_ns() - t0;
+  rep.checksum = checksum.load();
+  return rep;
+}
+
+ThreadAppReport run_sampling_threads(core::IntegratedEnvironment& env,
+                                     unsigned metric_count,
+                                     double samples_per_sec_per_thread,
+                                     unsigned duration_ms) {
+  const std::uint32_t nodes = env.config().nodes;
+  const std::uint32_t per_node = env.config().processes_per_node;
+  const std::uint64_t t0 = core::now_ns();
+  ThreadAppReport rep;
+  if (nodes == 0 || metric_count == 0 || !(samples_per_sec_per_thread > 0))
+    return rep;
+
+  const auto gap = std::chrono::nanoseconds(
+      static_cast<std::uint64_t>(1e9 / samples_per_sec_per_thread));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(duration_ms);
+  std::atomic<std::uint64_t> events{0};
+
+  auto worker = [&](std::uint32_t node, std::uint32_t proc) {
+    std::uint64_t seq = 0;
+    double phase = static_cast<double>(node * 31 + proc * 7);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (std::uint16_t m = 0; m < metric_count; ++m) {
+        const double value = 50.0 + 40.0 * std::sin(phase + m);
+        auto r = make_event(node, proc, trace::EventKind::kSample, m, 0,
+                            trace::pack_double(value), seq++);
+        env.record(r);
+        events.fetch_add(1, std::memory_order_relaxed);
+      }
+      phase += 0.1;
+      std::this_thread::sleep_for(gap);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nodes) * per_node);
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    for (std::uint32_t p = 0; p < per_node; ++p)
+      threads.emplace_back(worker, n, p);
+  for (auto& t : threads) t.join();
+
+  rep.events_recorded = events.load();
+  rep.wall_ns = core::now_ns() - t0;
+  return rep;
+}
+
+}  // namespace prism::workload

@@ -1,0 +1,181 @@
+// Simulated message-passing applications: completion, message counts, and
+// the causal validity of the instrumentation they emit.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stats/distributions.hpp"
+#include "stats/summary.hpp"
+#include "trace/causal.hpp"
+#include "workload/apps.hpp"
+
+namespace prism::workload {
+namespace {
+
+TEST(RingApp, CompletesWithExpectedMessageCount) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 4, 0.5, 0.0);
+  stats::Exponential compute(1.0);
+  const auto rep = run_ring_app(mc, /*rounds=*/5, compute, stats::Rng(1));
+  // rounds * P hops total (the launch send counts as the first hop).
+  EXPECT_EQ(rep.messages, 5u * 4u);
+  EXPECT_GT(rep.makespan, 0.0);
+}
+
+TEST(RingApp, TwoNodeRing) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 2, 0.1, 0.0);
+  stats::Deterministic compute(1.0);
+  const auto rep = run_ring_app(mc, 3, compute, stats::Rng(2));
+  EXPECT_EQ(rep.messages, 6u);
+}
+
+TEST(RingApp, InstrumentationIsCausallyValid) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 4, 0.5, 0.001);
+  std::vector<trace::EventRecord> events;
+  mc.set_instrumentation([&](const trace::EventRecord& r) {
+    events.push_back(r);
+  });
+  stats::Exponential compute(0.5);
+  run_ring_app(mc, 10, compute, stats::Rng(3));
+  EXPECT_FALSE(events.empty());
+  // Hook order is simulation order == causal order.
+  EXPECT_LT(trace::first_causal_violation(events), 0);
+}
+
+TEST(StencilApp, AllIterationsComputedOnAllNodes) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 6, 0.2, 0.0001);
+  stats::Exponential compute(0.5);
+  const auto rep = run_stencil_app(mc, /*iterations=*/8, compute,
+                                   stats::Rng(4));
+  EXPECT_EQ(rep.user_events, 8u * 6u);  // one compute event per node-iter
+  // Each iteration except the last sends 2 halos per node... all iterations
+  // send (iteration `iterations-1` doesn't re-send): total = 2*P*iters.
+  EXPECT_EQ(rep.messages, 2u * 6u * 8u);
+}
+
+TEST(StencilApp, NeighborSynchronizationLimitsSkew) {
+  // With deterministic compute, all nodes proceed in lock step; makespan is
+  // close to iterations * (latency + compute).
+  sim::Engine eng;
+  Multicomputer mc(eng, 4, 1.0, 0.0);
+  stats::Deterministic compute(2.0);
+  const auto rep = run_stencil_app(mc, 10, compute, stats::Rng(5));
+  EXPECT_NEAR(rep.makespan, 10 * 3.0, 3.0 + 1e-9);
+}
+
+TEST(StencilApp, RequiresTwoNodes) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 1, 1.0, 0.0);
+  stats::Deterministic compute(1.0);
+  EXPECT_THROW(run_stencil_app(mc, 2, compute, stats::Rng(6)),
+               std::invalid_argument);
+}
+
+TEST(MasterWorker, AllTasksCompleted) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 5, 0.3, 0.0001);
+  stats::Exponential task_time(0.2);
+  const auto rep = run_master_worker_app(mc, /*tasks=*/40, task_time,
+                                         stats::Rng(7));
+  EXPECT_EQ(rep.user_events, 40u);  // one completion event per task
+  // Each task: 1 task msg + 1 result msg.
+  EXPECT_EQ(rep.messages, 80u);
+}
+
+TEST(MasterWorker, FewerTasksThanWorkers) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 8, 0.3, 0.0);
+  stats::Deterministic task_time(1.0);
+  const auto rep = run_master_worker_app(mc, 3, task_time, stats::Rng(8));
+  EXPECT_EQ(rep.user_events, 3u);
+  EXPECT_EQ(rep.messages, 6u);
+}
+
+TEST(MasterWorker, LoadSkewsTowardMaster) {
+  // The master sees every result: node 0 participates in every exchange.
+  sim::Engine eng;
+  Multicomputer mc(eng, 4, 0.3, 0.0);
+  std::map<std::uint32_t, int> events_per_node;
+  mc.set_instrumentation([&](const trace::EventRecord& r) {
+    ++events_per_node[r.node];
+  });
+  stats::Exponential task_time(0.5);
+  run_master_worker_app(mc, 30, task_time, stats::Rng(9));
+  // Master's event count (send+recv per task) exceeds any single worker's.
+  EXPECT_GT(events_per_node[0], events_per_node[1]);
+  EXPECT_GT(events_per_node[0], events_per_node[2]);
+}
+
+TEST(AllToAll, CompletesAllRounds) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 5, 0.2, 0.0001);
+  stats::Exponential compute(0.5);
+  const auto rep = run_alltoall_app(mc, 6, compute, stats::Rng(10));
+  // Each node sends P-1 messages per round.
+  EXPECT_EQ(rep.messages, 6u * 5u * 4u);
+  EXPECT_EQ(rep.user_events, 6u * 5u);
+}
+
+TEST(AllToAll, ArrivalsAreBursty) {
+  // All-to-all generates synchronized bursts: the per-node inter-arrival CV
+  // of instrumentation events should be well above Poisson's 1.
+  sim::Engine eng;
+  Multicomputer mc(eng, 6, 0.3, 0.0);
+  std::vector<trace::EventRecord> events;
+  mc.set_instrumentation([&](const trace::EventRecord& r) {
+    events.push_back(r);
+  });
+  stats::Exponential compute(5.0);
+  run_alltoall_app(mc, 10, compute, stats::Rng(11));
+  // Gaps within a burst are 0; between bursts ~compute time: high CV.
+  std::map<std::uint32_t, std::uint64_t> last;
+  stats::Summary gaps;
+  for (const auto& r : events) {
+    auto it = last.find(r.node);
+    if (it != last.end()) gaps.add(static_cast<double>(r.timestamp - it->second));
+    last[r.node] = r.timestamp;
+  }
+  EXPECT_GT(gaps.cov(), 1.5);
+}
+
+TEST(Wavefront, AllItemsRetireAtLastStage) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 4, 0.2, 0.0001);
+  stats::Exponential stage(1.0);
+  const auto rep = run_wavefront_app(mc, 25, stage, stats::Rng(12));
+  EXPECT_EQ(rep.user_events, 25u);
+  // Each item crosses P-1 links.
+  EXPECT_EQ(rep.messages, 25u * 3u);
+}
+
+TEST(Wavefront, PipelineBeatsSerialMakespan) {
+  // With deterministic stages, makespan ~ (items + P - 1) * stage, far
+  // below the serial items * P * stage.
+  sim::Engine eng;
+  Multicomputer mc(eng, 4, 0.0001, 0.0);
+  stats::Deterministic stage(1.0);
+  const auto rep = run_wavefront_app(mc, 40, stage, stats::Rng(13));
+  EXPECT_LT(rep.makespan, 40.0 * 4.0 * 0.5);   // well under serial
+  EXPECT_GT(rep.makespan, 40.0);               // at least the source stage
+}
+
+TEST(Apps, RejectDegenerateParameters) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 3, 0.1, 0.0);
+  stats::Deterministic d(1.0);
+  EXPECT_THROW(run_ring_app(mc, 0, d, stats::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(run_stencil_app(mc, 0, d, stats::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(run_master_worker_app(mc, 0, d, stats::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(run_alltoall_app(mc, 0, d, stats::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(run_wavefront_app(mc, 0, d, stats::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::workload

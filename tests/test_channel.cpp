@@ -1,0 +1,147 @@
+// Bounded blocking channel: FIFO, capacity/blocking semantics, close/EOF,
+// statistics, and multi-threaded conservation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+
+namespace prism::core {
+namespace {
+
+TEST(Channel, FifoSingleThread) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ch.pop(), i);
+}
+
+TEST(Channel, TryPushRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));
+  EXPECT_EQ(ch.stats().rejected, 1u);
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, TryPopEmptyReturnsNullopt) {
+  Channel<int> ch(2);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(Channel, CloseUnblocksConsumerWithEof) {
+  Channel<int> ch(2);
+  std::optional<int> got = 42;
+  std::thread consumer([&] { got = ch.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  consumer.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(Channel, CloseDrainsBeforeEof) {
+  Channel<int> ch(4);
+  ch.push(1);
+  ch.push(2);
+  ch.close();
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Channel, PushAfterCloseFails) {
+  Channel<int> ch(4);
+  ch.close();
+  EXPECT_FALSE(ch.push(1));
+  EXPECT_FALSE(ch.try_push(1));
+}
+
+TEST(Channel, FullChannelBlocksProducerUntilPop) {
+  Channel<int> ch(1);
+  ch.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ch.push(2);  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(ch.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_GT(ch.stats().producer_block_ns, 0u);  // the §3.2.3 stall, measured
+}
+
+TEST(Channel, PopForTimesOut) {
+  Channel<int> ch(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+}
+
+TEST(Channel, PopForReturnsValueQuickly) {
+  Channel<int> ch(1);
+  ch.push(9);
+  EXPECT_EQ(ch.pop_for(std::chrono::seconds(5)), 9);
+}
+
+TEST(Channel, StatsTrackHighWaterMark) {
+  Channel<int> ch(10);
+  for (int i = 0; i < 7; ++i) ch.push(i);
+  for (int i = 0; i < 3; ++i) ch.pop();
+  ch.push(1);
+  const auto s = ch.stats();
+  EXPECT_EQ(s.enqueued, 8u);
+  EXPECT_EQ(s.dequeued, 3u);
+  EXPECT_EQ(s.max_occupancy, 7u);
+  EXPECT_TRUE(ch.conserved());
+}
+
+TEST(Channel, MpmcConservationStress) {
+  Channel<std::uint64_t> ch(64);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 2000;
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ch.push(static_cast<std::uint64_t>(p * kPerProducer + i));
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = ch.pop()) {
+        consumed_sum.fetch_add(*v);
+        consumed_count.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  ch.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+  EXPECT_TRUE(ch.conserved());
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch(2);
+  ch.push(std::make_unique<int>(5));
+  auto v = ch.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+TEST(Channel, RejectsZeroCapacity) {
+  EXPECT_THROW(Channel<int>(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::core

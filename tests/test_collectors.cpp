@@ -1,0 +1,133 @@
+// Utilization tracking, regenerative estimation (Smith's theorem), batch
+// means.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/collectors.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::sim {
+namespace {
+
+TEST(UtilizationTracker, BasicBusyAccounting) {
+  UtilizationTracker u(0.0);
+  u.begin_busy(1.0, 0);
+  u.end_busy(3.0);
+  u.begin_busy(5.0, 1);
+  u.end_busy(6.0);
+  u.flush(10.0);
+  EXPECT_DOUBLE_EQ(u.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(u.busy_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(u.busy_time(1), 1.0);
+  EXPECT_DOUBLE_EQ(u.utilization(), 0.3);
+  EXPECT_DOUBLE_EQ(u.utilization(0), 0.2);
+  EXPECT_DOUBLE_EQ(u.observed_span(), 10.0);
+}
+
+TEST(UtilizationTracker, UnknownClassIsZero) {
+  UtilizationTracker u;
+  EXPECT_DOUBLE_EQ(u.busy_time(42), 0.0);
+}
+
+TEST(UtilizationTracker, RejectsTimeTravel) {
+  UtilizationTracker u(0.0);
+  u.begin_busy(5.0, 0);
+  EXPECT_THROW(u.end_busy(4.0), std::invalid_argument);
+}
+
+TEST(UtilizationTracker, ClassSwitchMidBusy) {
+  UtilizationTracker u(0.0);
+  u.begin_busy(0.0, 0);
+  u.begin_busy(2.0, 1);  // switches the attributed class
+  u.end_busy(5.0);
+  EXPECT_DOUBLE_EQ(u.busy_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(u.busy_time(1), 3.0);
+}
+
+// ---- RegenerativeEstimator --------------------------------------------------
+
+TEST(Regenerative, DeterministicRatio) {
+  RegenerativeEstimator r;
+  for (int i = 0; i < 10; ++i) r.add_cycle(2.0, 8.0);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.25);
+  const auto ci = r.ratio_ci(0.90);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);  // no variance
+}
+
+TEST(Regenerative, SmithsTheoremOnTwoStateProcess) {
+  // Cycle: busy ~ Exp(mean 2), idle ~ Exp(mean 6).  Long-run busy fraction
+  // must be 2 / (2 + 6) = 0.25.
+  stats::Rng rng(31337);
+  RegenerativeEstimator r;
+  for (int i = 0; i < 20000; ++i) {
+    const double busy = -2.0 * std::log(rng.next_double_open());
+    const double idle = -6.0 * std::log(rng.next_double_open());
+    r.add_cycle(busy, busy + idle);
+  }
+  EXPECT_NEAR(r.ratio(), 0.25, 0.01);
+  EXPECT_TRUE(r.ratio_ci(0.95).contains(0.25));
+}
+
+TEST(Regenerative, CiShrinksWithCycles) {
+  stats::Rng rng(5);
+  RegenerativeEstimator small, big;
+  auto feed = [&](RegenerativeEstimator& r, int n) {
+    for (int i = 0; i < n; ++i) {
+      const double y = rng.next_double() + 0.5;
+      const double t = rng.next_double() + 2.0;
+      r.add_cycle(y, t);
+    }
+  };
+  feed(small, 50);
+  feed(big, 5000);
+  EXPECT_GT(small.ratio_ci(0.9).half_width, big.ratio_ci(0.9).half_width);
+}
+
+TEST(Regenerative, RejectsDegenerate) {
+  RegenerativeEstimator r;
+  EXPECT_THROW(r.ratio(), std::logic_error);
+  EXPECT_THROW(r.add_cycle(1.0, 0.0), std::invalid_argument);
+  r.add_cycle(1.0, 2.0);
+  EXPECT_THROW(r.ratio_ci(0.9), std::logic_error);
+}
+
+TEST(Regenerative, MeansExposed) {
+  RegenerativeEstimator r;
+  r.add_cycle(1.0, 4.0);
+  r.add_cycle(3.0, 6.0);
+  EXPECT_DOUBLE_EQ(r.mean_reward(), 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_length(), 5.0);
+  EXPECT_EQ(r.cycles(), 2u);
+}
+
+// ---- BatchMeans ---------------------------------------------------------------
+
+TEST(BatchMeans, FormsCompleteBatches) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 95; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.complete_batches(), 9u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, WarmupDiscarded) {
+  BatchMeans bm(5, 10);
+  for (int i = 0; i < 10; ++i) bm.add(1000.0);  // warm-up junk
+  for (int i = 0; i < 25; ++i) bm.add(2.0);
+  EXPECT_EQ(bm.complete_batches(), 5u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 2.0);
+}
+
+TEST(BatchMeans, CiCoversSteadyMean) {
+  stats::Rng rng(777);
+  BatchMeans bm(100, 500);
+  for (int i = 0; i < 20000; ++i) bm.add(rng.next_double() * 2.0);
+  EXPECT_TRUE(bm.ci(0.95).contains(1.0));
+}
+
+TEST(BatchMeans, RejectsZeroBatch) {
+  EXPECT_THROW(BatchMeans(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::sim

@@ -1,0 +1,93 @@
+// Adaptive cost model and sampling-rate decay.
+#include <gtest/gtest.h>
+
+#include "paradyn/cost_model.hpp"
+
+namespace prism::paradyn {
+namespace {
+
+TEST(AdaptiveCostModel, LearnsPerSampleCost) {
+  AdaptiveCostModel m(/*prior=*/1.0, /*smoothing=*/0.5);
+  // Observed: 0.2 ms per sample.
+  for (int i = 0; i < 20; ++i) m.observe(2.0, 10, 100.0);
+  EXPECT_NEAR(m.per_sample_cost_ms(), 0.2, 0.01);
+  EXPECT_EQ(m.observations(), 20u);
+}
+
+TEST(AdaptiveCostModel, FirstObservationReplacesPrior) {
+  AdaptiveCostModel m(5.0, 0.1);
+  m.observe(1.0, 10, 100.0);
+  EXPECT_NEAR(m.per_sample_cost_ms(), 0.1, 1e-12);
+}
+
+TEST(AdaptiveCostModel, TracksObservedOverhead) {
+  AdaptiveCostModel m(0.1, 1.0);  // no smoothing memory
+  m.observe(5.0, 10, 100.0);
+  EXPECT_NEAR(m.observed_overhead(), 0.05, 1e-12);
+}
+
+TEST(AdaptiveCostModel, PredictsOverheadFraction) {
+  AdaptiveCostModel m(0.5, 0.2);
+  // 0.5 ms per sample, 8 samples per 100 ms period -> 4%.
+  EXPECT_NEAR(m.predicted_overhead(100.0, 8), 0.04, 1e-12);
+}
+
+TEST(AdaptiveCostModel, RecommendedPeriodMeetsTarget) {
+  AdaptiveCostModel m(0.5, 0.2);
+  const double period = m.recommended_period_ms(/*target=*/0.02, /*procs=*/8);
+  // At the recommended period, predicted overhead == target.
+  EXPECT_NEAR(m.predicted_overhead(period, 8), 0.02, 1e-9);
+  // A shorter period would overshoot the budget.
+  EXPECT_GT(m.predicted_overhead(period / 2, 8), 0.02);
+}
+
+TEST(AdaptiveCostModel, RegulationLoopConverges) {
+  // Closed loop: model drives the period; observed cost follows; the
+  // overhead settles at the 2% target.
+  AdaptiveCostModel m(0.01, 0.3);  // bad prior: 10x too low
+  const double true_cost = 0.1;    // ms per sample
+  const unsigned procs = 4;
+  double period = m.recommended_period_ms(0.02, procs);
+  for (int step = 0; step < 30; ++step) {
+    const double cpu = true_cost * procs;  // one sample per proc per period
+    m.observe(cpu, procs, period);
+    period = m.recommended_period_ms(0.02, procs);
+  }
+  EXPECT_NEAR(m.per_sample_cost_ms(), true_cost, 0.01);
+  EXPECT_NEAR(true_cost * procs / period, 0.02, 0.002);
+}
+
+TEST(AdaptiveCostModel, RejectsBadInputs) {
+  EXPECT_THROW(AdaptiveCostModel(-1.0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveCostModel(0.1, 0.0), std::invalid_argument);
+  AdaptiveCostModel m(0.1);
+  EXPECT_THROW(m.observe(-1.0, 1, 10.0), std::invalid_argument);
+  EXPECT_THROW(m.observe(1.0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.predicted_overhead(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(m.recommended_period_ms(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(m.recommended_period_ms(0.1, 0), std::invalid_argument);
+}
+
+TEST(SamplingRateDecay, GrowsGeometricallyToCap) {
+  SamplingRateDecay d(10.0, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.period_ms(0), 10.0);
+  EXPECT_DOUBLE_EQ(d.period_ms(1), 20.0);
+  EXPECT_DOUBLE_EQ(d.period_ms(2), 40.0);
+  EXPECT_DOUBLE_EQ(d.period_ms(10), 100.0);  // capped
+}
+
+TEST(SamplingRateDecay, RateDecreasesMonotonically) {
+  // "The rate of sampling of data progressively decreases over time."
+  SamplingRateDecay d(5.0, 500.0, 1.3);
+  for (unsigned k = 1; k < 20; ++k)
+    EXPECT_GE(d.period_ms(k), d.period_ms(k - 1));
+}
+
+TEST(SamplingRateDecay, RejectsBadConfig) {
+  EXPECT_THROW(SamplingRateDecay(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(SamplingRateDecay(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(SamplingRateDecay(1.0, 10.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::paradyn

@@ -1,0 +1,138 @@
+// Erlang fill-time analytics (Table 3 substrate): CDF/tail identities,
+// exact minimum-of-P expectation vs Monte Carlo, and the paper's bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/erlang.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::stats {
+namespace {
+
+TEST(ErlangAnalytic, CdfPlusTailIsOne) {
+  for (unsigned l : {1u, 5u, 50u, 100u})
+    for (double t : {0.1, 1.0, 10.0, 100.0, 1000.0})
+      EXPECT_NEAR(erlang_cdf(l, 0.1, t) + erlang_tail(l, 0.1, t), 1.0, 1e-10);
+}
+
+TEST(ErlangAnalytic, TailClosedFormSmallL) {
+  // l = 1: tail = e^{-rate t}.  l = 2: tail = e^{-rt}(1 + rt).
+  const double r = 0.4, t = 3.0;
+  EXPECT_NEAR(erlang_tail(1, r, t), std::exp(-r * t), 1e-10);
+  EXPECT_NEAR(erlang_tail(2, r, t), std::exp(-r * t) * (1 + r * t), 1e-10);
+}
+
+TEST(ErlangAnalytic, MeanFormula) {
+  EXPECT_DOUBLE_EQ(erlang_mean(10, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(erlang_mean(100, 0.0008), 125000.0);
+}
+
+TEST(ErlangAnalytic, CdfMatchesMonteCarlo) {
+  Rng rng(404);
+  Erlang d(8, 0.5);
+  const double t = 14.0;
+  int below = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (d.sample(rng) <= t) ++below;
+  EXPECT_NEAR(static_cast<double>(below) / n, erlang_cdf(8, 0.5, t), 0.005);
+}
+
+TEST(ErlangAnalytic, EdgeCases) {
+  EXPECT_DOUBLE_EQ(erlang_cdf(5, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_cdf(5, 1.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_tail(5, 1.0, 0.0), 1.0);
+  EXPECT_THROW(erlang_cdf(0, 1.0, 1.0), std::domain_error);
+  EXPECT_THROW(erlang_cdf(5, 0.0, 1.0), std::domain_error);
+  EXPECT_THROW(erlang_min_tail(5, 1.0, 0, 1.0), std::domain_error);
+}
+
+TEST(ErlangMin, TailIsPowerOfSingleTail) {
+  const double single = erlang_tail(10, 0.2, 30.0);
+  EXPECT_NEAR(erlang_min_tail(10, 0.2, 4, 30.0), std::pow(single, 4), 1e-12);
+}
+
+TEST(ErlangMin, MeanOfOneEqualsErlangMean) {
+  EXPECT_NEAR(erlang_min_mean(10, 0.5, 1), erlang_mean(10, 0.5), 1e-6);
+}
+
+TEST(ErlangMin, MeanDecreasesWithP) {
+  double prev = erlang_min_mean(20, 0.1, 1);
+  for (unsigned p : {2u, 4u, 8u, 16u}) {
+    const double m = erlang_min_mean(20, 0.1, p);
+    EXPECT_LT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(ErlangMin, RespectsPaperLowerBound) {
+  // E[min of P Erlang(l)] >= l / (P alpha) — the Table 3 bound.
+  for (unsigned l : {5u, 20u, 100u})
+    for (unsigned p : {2u, 8u, 32u}) {
+      const double exact = erlang_min_mean(l, 0.7, p);
+      const double bound = erlang_min_mean_lower_bound(l, 0.7, p);
+      EXPECT_GE(exact, bound) << "l=" << l << " p=" << p;
+    }
+}
+
+TEST(ErlangMin, BoundTightensAsCvGrows) {
+  // Relative gap between the exact min and the pooled bound shrinks as l
+  // falls (higher CV -> min closer to pooled behaviour)... and in all cases
+  // the exact value stays below the single-buffer mean.
+  for (unsigned l : {2u, 10u, 50u}) {
+    const double exact = erlang_min_mean(l, 1.0, 8);
+    EXPECT_LT(exact, erlang_mean(l, 1.0));
+  }
+}
+
+TEST(ErlangMin, MatchesMonteCarlo) {
+  Rng rng(808);
+  Erlang d(15, 0.3);
+  Summary mins;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    double m = d.sample(rng);
+    for (int p = 1; p < 6; ++p) m = std::min(m, d.sample(rng));
+    mins.add(m);
+  }
+  const double exact = erlang_min_mean(15, 0.3, 6);
+  EXPECT_NEAR(mins.mean(), exact, 4 * mins.std_error());
+}
+
+TEST(ErlangMin, MinTailMatchesMonteCarlo) {
+  Rng rng(909);
+  Erlang d(10, 1.0);
+  const double t = 6.0;
+  int above = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    double m = d.sample(rng);
+    for (int p = 1; p < 4; ++p) m = std::min(m, d.sample(rng));
+    if (m > t) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / trials,
+              erlang_min_tail(10, 1.0, 4, t), 0.006);
+}
+
+// Property sweep: the exact min mean is monotone in l and 1/rate.
+class ErlangMinSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ErlangMinSweep, MonotoneInCapacity) {
+  const unsigned p = GetParam();
+  double prev = 0;
+  for (unsigned l = 5; l <= 100; l += 5) {
+    const double m = erlang_min_mean(l, 0.05, p);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ErlangMinSweep,
+                         ::testing::Values(1u, 2u, 8u, 32u));
+
+}  // namespace
+}  // namespace prism::stats

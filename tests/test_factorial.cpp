@@ -1,0 +1,129 @@
+// 2^k r factorial design: sign table, effect recovery on synthetic response
+// surfaces, allocation of variation, and CIs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/factorial.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::stats {
+namespace {
+
+TEST(Design2kr, LevelsEnumerateAllCorners) {
+  Design2kr d({"A", "B"}, 3);
+  EXPECT_EQ(d.points(), 4u);
+  EXPECT_EQ(d.levels(0), (std::vector<int>{-1, -1}));
+  EXPECT_EQ(d.levels(1), (std::vector<int>{+1, -1}));
+  EXPECT_EQ(d.levels(2), (std::vector<int>{-1, +1}));
+  EXPECT_EQ(d.levels(3), (std::vector<int>{+1, +1}));
+}
+
+TEST(Design2kr, RecoversExactLinearModel) {
+  // y = 10 + 3*A - 2*B + 0.5*A*B, no noise.
+  Design2kr d({"A", "B"}, 2);
+  auto res = d.run([](const std::vector<int>& lv, unsigned) {
+    return 10.0 + 3.0 * lv[0] - 2.0 * lv[1] + 0.5 * lv[0] * lv[1];
+  });
+  ASSERT_EQ(res.effects.size(), 4u);
+  EXPECT_NEAR(res.effects[0], 10.0, 1e-12);  // mean
+  EXPECT_NEAR(res.effects[1], 3.0, 1e-12);   // A
+  EXPECT_NEAR(res.effects[2], -2.0, 1e-12);  // B
+  EXPECT_NEAR(res.effects[3], 0.5, 1e-12);   // AxB
+  EXPECT_NEAR(res.error_fraction, 0.0, 1e-12);
+}
+
+TEST(Design2kr, EffectNames) {
+  Design2kr d({"A", "B", "C"}, 1);
+  auto res = d.run([](const std::vector<int>&, unsigned) { return 0.0; });
+  EXPECT_EQ(res.effect_names[0], "mean");
+  EXPECT_EQ(res.effect_names[1], "A");
+  EXPECT_EQ(res.effect_names[2], "B");
+  EXPECT_EQ(res.effect_names[3], "AxB");
+  EXPECT_EQ(res.effect_names[4], "C");
+  EXPECT_EQ(res.effect_names[7], "AxBxC");
+}
+
+TEST(Design2kr, AllocationOfVariationIdentifiesDominantFactor) {
+  // Jain-style example: B dominates.
+  Design2kr d({"A", "B"}, 5);
+  Rng rng(42);
+  auto res = d.run([&rng](const std::vector<int>& lv, unsigned) {
+    return 100.0 + 1.0 * lv[0] + 20.0 * lv[1] +
+           0.5 * (rng.next_double() - 0.5);
+  });
+  EXPECT_EQ(res.effect_names[res.dominant_effect()], "B");
+  EXPECT_GT(res.variation_fraction[2], 0.95);
+  EXPECT_LT(res.error_fraction, 0.05);
+}
+
+TEST(Design2kr, VariationFractionsSumToOne) {
+  Design2kr d({"A", "B"}, 10);
+  Rng rng(7);
+  auto res = d.run([&rng](const std::vector<int>& lv, unsigned) {
+    return 5.0 * lv[0] + 2.0 * lv[1] + rng.next_double();
+  });
+  double total = res.error_fraction;
+  for (double f : res.variation_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Design2kr, PureNoiseAllocatesToError) {
+  Design2kr d({"A", "B"}, 30);
+  Rng rng(99);
+  auto res = d.run([&rng](const std::vector<int>&, unsigned) {
+    return rng.next_double();
+  });
+  EXPECT_GT(res.error_fraction, 0.85);
+}
+
+TEST(Design2kr, CiCoversTrueEffect) {
+  // With noise sigma = 1 and r = 50, the effect CI should be tight around
+  // the true value 4.0.
+  Design2kr d({"A"}, 50);
+  Rng rng(1234);
+  auto res = d.run([&rng](const std::vector<int>& lv, unsigned) {
+    const double u1 = rng.next_double_open();
+    const double u2 = rng.next_double();
+    const double z = std::sqrt(-2 * std::log(u1)) *
+                     std::cos(2 * 3.14159265358979323846 * u2);
+    return 10.0 + 4.0 * lv[0] + z;
+  });
+  ASSERT_EQ(res.effect_ci.size(), 2u);
+  EXPECT_TRUE(res.effect_ci[1].contains(4.0));
+  EXPECT_LT(res.effect_ci[1].half_width, 0.5);
+}
+
+TEST(Design2kr, ThreeFactorInteractionRecovery) {
+  Design2kr d({"A", "B", "C"}, 2);
+  auto res = d.run([](const std::vector<int>& lv, unsigned) {
+    return 1.0 + 2.0 * lv[0] * lv[1] * lv[2];
+  });
+  EXPECT_NEAR(res.effects[7], 2.0, 1e-12);  // AxBxC
+  for (unsigned e = 1; e < 7; ++e) EXPECT_NEAR(res.effects[e], 0.0, 1e-12);
+}
+
+TEST(Design2kr, AnalyzeRejectsWrongShape) {
+  Design2kr d({"A"}, 2);
+  EXPECT_THROW(d.analyze({{1.0, 2.0}}), std::invalid_argument);     // 1 point
+  EXPECT_THROW(d.analyze({{1.0}, {2.0}}), std::invalid_argument);   // 1 rep
+}
+
+TEST(Design2kr, RejectsBadConstruction) {
+  EXPECT_THROW(Design2kr({}, 2), std::invalid_argument);
+  EXPECT_THROW(Design2kr({"A"}, 0), std::invalid_argument);
+}
+
+TEST(Design2kr, ToStringContainsEffects) {
+  Design2kr d({"A", "B"}, 2);
+  auto res = d.run([](const std::vector<int>& lv, unsigned) {
+    return static_cast<double>(lv[0]);
+  });
+  const std::string s = res.to_string();
+  EXPECT_NE(s.find("mean"), std::string::npos);
+  EXPECT_NE(s.find("AxB"), std::string::npos);
+  EXPECT_NE(s.find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prism::stats

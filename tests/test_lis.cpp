@@ -1,0 +1,221 @@
+// The three LIS styles: buffered (FOF/FAOF + coordinator), forwarding, and
+// daemon (sampling, pipes, control plane).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/lis.hpp"
+
+namespace prism::core {
+namespace {
+
+trace::EventRecord rec(std::uint32_t node = 0, std::uint32_t process = 0,
+                       std::uint64_t seq = 0) {
+  trace::EventRecord r;
+  r.node = node;
+  r.process = process;
+  r.seq = seq;
+  return r;
+}
+
+/// Drains every currently queued batch from a link.
+std::vector<DataBatch> drain(DataLink& link) {
+  std::vector<DataBatch> out;
+  while (auto m = link.try_pop()) {
+    if (auto* b = std::get_if<DataBatch>(&*m)) out.push_back(std::move(*b));
+  }
+  return out;
+}
+
+// ---- BufferedLis --------------------------------------------------------------
+
+TEST(BufferedLis, FofFlushesOwnBufferWhenFull) {
+  DataLink link(16);
+  BufferedLis lis(0, 3, std::make_unique<FlushOnFill>(), link);
+  lis.record(rec(0, 0, 0));
+  lis.record(rec(0, 0, 1));
+  EXPECT_TRUE(drain(link).empty());
+  lis.record(rec(0, 0, 2));  // fills -> flush
+  auto batches = drain(link);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].records.size(), 3u);
+  EXPECT_EQ(batches[0].source_node, 0u);
+  const auto s = lis.stats();
+  EXPECT_EQ(s.recorded, 3u);
+  EXPECT_EQ(s.flushes, 1u);
+  EXPECT_EQ(s.records_forwarded, 3u);
+}
+
+TEST(BufferedLis, ManualFlushShipsPartialBuffer) {
+  DataLink link(16);
+  BufferedLis lis(1, 100, std::make_unique<FlushOnFill>(), link);
+  lis.record(rec(1));
+  lis.flush();
+  auto batches = drain(link);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].records.size(), 1u);
+}
+
+TEST(BufferedLis, EmptyFlushIsNoop) {
+  DataLink link(16);
+  BufferedLis lis(0, 4, std::make_unique<FlushOnFill>(), link);
+  lis.flush();
+  EXPECT_TRUE(drain(link).empty());
+  EXPECT_EQ(lis.stats().flushes, 0u);
+}
+
+TEST(BufferedLis, StopFlushesAndRefusesFurtherRecords) {
+  DataLink link(16);
+  BufferedLis lis(0, 100, std::make_unique<FlushOnFill>(), link);
+  lis.record(rec());
+  lis.stop();
+  EXPECT_EQ(drain(link).size(), 1u);
+  lis.record(rec());
+  EXPECT_EQ(lis.stats().recorded, 1u);
+}
+
+TEST(BufferedLis, FaofRequiresCoordinator) {
+  DataLink link(16);
+  EXPECT_THROW(
+      BufferedLis(0, 4, std::make_unique<FlushAllOnFill>(), link, nullptr),
+      std::invalid_argument);
+}
+
+TEST(BufferedLis, FaofGangFlushesAllMembers) {
+  DataLink link(64);
+  FlushCoordinator coord;
+  BufferedLis a(0, 3, std::make_unique<FlushAllOnFill>(), link, &coord);
+  BufferedLis b(1, 3, std::make_unique<FlushAllOnFill>(), link, &coord);
+  // b holds one record; filling a must flush BOTH.
+  b.record(rec(1, 0, 0));
+  a.record(rec(0, 0, 0));
+  a.record(rec(0, 0, 1));
+  a.record(rec(0, 0, 2));  // fills a -> gang flush
+  auto batches = drain(link);
+  ASSERT_EQ(batches.size(), 2u);
+  std::size_t total = 0;
+  for (auto& batch : batches) total += batch.records.size();
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(coord.gang_flushes(), 1u);
+  EXPECT_EQ(b.stats().flushes, 1u);  // flushed although not full
+}
+
+TEST(BufferedLis, DropsWhenFullAndPolicySilent) {
+  // Threshold policy at 1.0 never fires below full; use a buffer that the
+  // policy ignores by filling then dropping one (policy fires at full, so
+  // use a policy that never triggers to observe drops).
+  class NeverFlush final : public FlushPolicy {
+   public:
+    bool should_flush(const trace::TraceBuffer&) override { return false; }
+    std::string_view name() const override { return "never"; }
+  };
+  DataLink link(16);
+  BufferedLis lis(0, 2, std::make_unique<NeverFlush>(), link);
+  lis.record(rec());
+  lis.record(rec());
+  lis.record(rec());  // dropped
+  EXPECT_EQ(lis.stats().dropped, 1u);
+  EXPECT_EQ(lis.stats().recorded, 2u);
+}
+
+// ---- ForwardingLis --------------------------------------------------------------
+
+TEST(ForwardingLis, OneBatchPerEvent) {
+  DataLink link(16);
+  ForwardingLis lis(2, link);
+  lis.record(rec(2, 0, 0));
+  lis.record(rec(2, 0, 1));
+  auto batches = drain(link);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].records.size(), 1u);
+  EXPECT_EQ(batches[1].records.size(), 1u);
+  EXPECT_EQ(lis.stats().records_forwarded, 2u);
+}
+
+TEST(ForwardingLis, StopSilences) {
+  DataLink link(16);
+  ForwardingLis lis(0, link);
+  lis.stop();
+  lis.record(rec());
+  EXPECT_TRUE(drain(link).empty());
+  EXPECT_EQ(lis.stats().recorded, 0u);
+}
+
+// ---- DaemonLis ------------------------------------------------------------------
+
+TEST(DaemonLis, SamplesPipesAndForwards) {
+  DataLink link(1024);
+  DaemonLis lis(0, /*n_processes=*/2, /*pipe_capacity=*/64,
+                /*sampling_period_ns=*/1'000'000, link);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    lis.record(rec(0, 0, i));
+    lis.record(rec(0, 1, i));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  lis.stop();
+  auto batches = drain(link);
+  std::size_t total = 0;
+  for (auto& b : batches) total += b.records.size();
+  EXPECT_EQ(total, 20u);
+  EXPECT_EQ(lis.stats().recorded, 20u);
+  EXPECT_GT(lis.daemon_busy_ns(), 0u);
+}
+
+TEST(DaemonLis, RejectsUnknownProcess) {
+  DataLink link(16);
+  DaemonLis lis(0, 1, 8, 1'000'000, link);
+  EXPECT_THROW(lis.record(rec(0, 5, 0)), std::out_of_range);
+  lis.stop();
+}
+
+TEST(DaemonLis, NonBlockingModeDropsOnFullPipe) {
+  DataLink link(16);
+  DaemonLis lis(0, 1, /*pipe_capacity=*/4, /*period=*/500'000'000, link,
+                nullptr, /*block=*/false);
+  for (std::uint64_t i = 0; i < 10; ++i) lis.record(rec(0, 0, i));
+  const auto s = lis.stats();
+  EXPECT_EQ(s.recorded + s.dropped, 10u);
+  EXPECT_GE(s.dropped, 6u);  // capacity 4 and a sleepy daemon
+  lis.stop();
+}
+
+TEST(DaemonLis, ControlPlaneAdjustsSamplingPeriod) {
+  DataLink link(64);
+  ControlLink control(8);
+  DaemonLis lis(0, 1, 64, /*period=*/1'000'000, link, &control);
+  control.push(
+      ControlMessage{ControlKind::kSetSamplingPeriod, 0, 5'000'000.0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(lis.sampling_period_ns(), 5'000'000u);
+  lis.stop();
+}
+
+TEST(DaemonLis, ShutdownControlStopsDaemon) {
+  DataLink link(64);
+  ControlLink control(8);
+  DaemonLis lis(0, 1, 64, /*period=*/1'000'000, link, &control);
+  control.push(ControlMessage{ControlKind::kShutdown, 0, 0});
+  // The daemon notices the shutdown within a few wakeups and exits; stop()
+  // then joins without hanging.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  lis.stop();
+  SUCCEED();
+}
+
+TEST(DaemonLis, StopIsIdempotent) {
+  DataLink link(16);
+  DaemonLis lis(0, 1, 8, 1'000'000, link);
+  lis.stop();
+  lis.stop();
+  SUCCEED();
+}
+
+TEST(DaemonLis, RejectsBadConstruction) {
+  DataLink link(16);
+  EXPECT_THROW(DaemonLis(0, 0, 8, 1000, link), std::invalid_argument);
+  EXPECT_THROW(DaemonLis(0, 1, 8, 0, link), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::core

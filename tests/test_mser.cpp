@@ -1,0 +1,63 @@
+// MSER-5 warm-up truncation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/collectors.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::sim {
+namespace {
+
+TEST(Mser5, ShortSequencesKeepEverything) {
+  EXPECT_EQ(mser5_truncation_index({}), 0u);
+  EXPECT_EQ(mser5_truncation_index({1, 2, 3}), 0u);
+  EXPECT_EQ(mser5_truncation_index(std::vector<double>(9, 1.0)), 0u);
+}
+
+TEST(Mser5, StationarySequenceKeepsMost) {
+  stats::Rng rng(1);
+  std::vector<double> obs;
+  for (int i = 0; i < 500; ++i) obs.push_back(rng.next_double());
+  // No warm-up bias: truncation should be small.
+  EXPECT_LE(mser5_truncation_index(obs), 50u);
+}
+
+TEST(Mser5, DetectsInitialTransient) {
+  // Strong decaying transient over the first 100 observations, then
+  // stationary noise.
+  stats::Rng rng(2);
+  std::vector<double> obs;
+  for (int i = 0; i < 100; ++i)
+    obs.push_back(100.0 * std::exp(-i / 20.0) + rng.next_double());
+  for (int i = 0; i < 400; ++i) obs.push_back(rng.next_double());
+  const auto cut = mser5_truncation_index(obs);
+  EXPECT_GE(cut, 40u);   // removes the bulk of the transient
+  EXPECT_LE(cut, 250u);  // never more than half the run
+}
+
+TEST(Mser5, NeverDeletesMoreThanHalf) {
+  // Monotone ramp: the statistic keeps wanting to cut, the convention caps
+  // it at half the batches.
+  std::vector<double> obs;
+  for (int i = 0; i < 200; ++i) obs.push_back(static_cast<double>(i));
+  EXPECT_LE(mser5_truncation_index(obs), 100u);
+}
+
+TEST(Mser5, TruncationImprovesSteadyEstimate) {
+  stats::Rng rng(3);
+  std::vector<double> obs;
+  for (int i = 0; i < 50; ++i) obs.push_back(50.0 - i);  // transient
+  for (int i = 0; i < 450; ++i) obs.push_back(5.0 + rng.next_double());
+  const auto cut = mser5_truncation_index(obs);
+  double full = 0, trunc = 0;
+  for (double x : obs) full += x;
+  full /= obs.size();
+  for (std::size_t i = cut; i < obs.size(); ++i) trunc += obs[i];
+  trunc /= (obs.size() - cut);
+  // True steady mean ~5.5; the truncated estimate must be closer.
+  EXPECT_LT(std::fabs(trunc - 5.5), std::fabs(full - 5.5));
+}
+
+}  // namespace
+}  // namespace prism::sim

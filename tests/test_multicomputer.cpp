@@ -1,0 +1,103 @@
+// Simulated multicomputer: latency model, delivery, instrumentation hook.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/multicomputer.hpp"
+
+namespace prism::workload {
+namespace {
+
+TEST(Multicomputer, DeliversAfterModeledLatency) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 2, /*base=*/2.0, /*per_byte=*/0.01);
+  std::vector<SimMessage> got;
+  mc.set_receiver(1, [&](const SimMessage& m) { got.push_back(m); });
+  mc.send(0, 1, 7, /*bytes=*/100);
+  eng.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].t_delivered, 3.0);  // 2 + 0.01*100
+  EXPECT_EQ(got[0].from, 0u);
+  EXPECT_EQ(got[0].tag, 7u);
+  EXPECT_EQ(mc.messages_sent(), 1u);
+  EXPECT_EQ(mc.messages_delivered(), 1u);
+  EXPECT_EQ(mc.bytes_sent(), 100u);
+}
+
+TEST(Multicomputer, InstrumentationHookSeesSendAndRecv) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 2, 1.0, 0.0);
+  std::vector<trace::EventRecord> events;
+  mc.set_instrumentation([&](const trace::EventRecord& r) {
+    events.push_back(r);
+  });
+  mc.send(0, 1, 3, 64);
+  eng.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, trace::EventKind::kSend);
+  EXPECT_EQ(events[0].node, 0u);
+  EXPECT_EQ(events[0].peer, 1u);
+  EXPECT_EQ(events[1].kind, trace::EventKind::kRecv);
+  EXPECT_EQ(events[1].node, 1u);
+  EXPECT_EQ(events[1].peer, 0u);
+  // Timestamps scaled: 1 engine ms = 1e6 ns by default.
+  EXPECT_EQ(events[1].timestamp, 1'000'000u);
+}
+
+TEST(Multicomputer, PerNodeSequenceNumbers) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 2, 1.0, 0.0);
+  std::vector<trace::EventRecord> events;
+  mc.set_instrumentation([&](const trace::EventRecord& r) {
+    events.push_back(r);
+  });
+  mc.user_event(0, 1);
+  mc.user_event(0, 2);
+  mc.user_event(1, 3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].seq, 0u);  // node 1's own stream
+}
+
+TEST(Multicomputer, NoHookNoCrash) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 2, 1.0, 0.0);
+  mc.set_receiver(1, [](const SimMessage&) {});
+  mc.send(0, 1, 0, 8);
+  eng.run();
+  SUCCEED();
+}
+
+TEST(Multicomputer, SelfSendAllowed) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 1, 0.5, 0.0);
+  int got = 0;
+  mc.set_receiver(0, [&](const SimMessage&) { ++got; });
+  mc.send(0, 0, 0, 8);
+  eng.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Multicomputer, RejectsBadArguments) {
+  sim::Engine eng;
+  EXPECT_THROW(Multicomputer(eng, 0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Multicomputer(eng, 2, -1.0, 0.0), std::invalid_argument);
+  Multicomputer mc(eng, 2, 1.0, 0.0);
+  EXPECT_THROW(mc.send(0, 5, 0, 1), std::out_of_range);
+  EXPECT_THROW(mc.user_event(9, 0), std::out_of_range);
+}
+
+TEST(Multicomputer, MessagesOnSameRouteKeepFifoOrder) {
+  sim::Engine eng;
+  Multicomputer mc(eng, 2, 1.0, 0.0);
+  std::vector<std::uint64_t> payloads;
+  mc.set_receiver(1, [&](const SimMessage& m) { payloads.push_back(m.payload); });
+  for (std::uint64_t i = 0; i < 10; ++i) mc.send(0, 1, 0, 8, i);
+  eng.run();
+  ASSERT_EQ(payloads.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(payloads[i], i);
+}
+
+}  // namespace
+}  // namespace prism::workload

@@ -1,0 +1,45 @@
+// Live daemon experiment: the real DaemonLis under a sampling workload.
+// Timing-sensitive assertions are kept loose — these validate *trends*.
+#include <gtest/gtest.h>
+
+#include "paradyn/live.hpp"
+
+namespace prism::paradyn {
+namespace {
+
+TEST(LiveDaemon, CollectsAndDispatchesSamples) {
+  LiveDaemonParams p;
+  p.app_threads = 2;
+  p.duration_ms = 80;
+  p.samples_per_sec_per_thread = 500;
+  const auto rep = run_live_daemon_experiment(p);
+  EXPECT_GT(rep.events_recorded, 0u);
+  EXPECT_EQ(rep.events_dispatched, rep.events_recorded);
+  EXPECT_GT(rep.wall_ns, 0u);
+  EXPECT_GT(rep.daemon_busy_ns, 0u);
+}
+
+TEST(LiveDaemon, UtilizationIsBounded) {
+  LiveDaemonParams p;
+  p.app_threads = 2;
+  p.duration_ms = 60;
+  const auto rep = run_live_daemon_experiment(p);
+  EXPECT_GE(rep.daemon_utilization_pct, 0.0);
+  EXPECT_LE(rep.daemon_utilization_pct, 100.0);
+}
+
+TEST(LiveDaemon, TinyPipesProduceBackpressure) {
+  // With one-slot pipes and a slow daemon, application threads must block
+  // (the §3.2.3 stall) — measurable as nonzero producer block time.
+  LiveDaemonParams p;
+  p.app_threads = 2;
+  p.duration_ms = 60;
+  p.samples_per_sec_per_thread = 5000;
+  p.pipe_capacity = 1;
+  p.sampling_period_ns = 20'000'000;  // 20 ms: deliberately sluggish
+  const auto rep = run_live_daemon_experiment(p);
+  EXPECT_GT(rep.app_block_ns, 0u);
+}
+
+}  // namespace
+}  // namespace prism::paradyn

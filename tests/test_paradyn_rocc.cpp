@@ -1,0 +1,114 @@
+// Paradyn ROCC scenario: Figure 9 shape targets and the factorial design.
+#include <gtest/gtest.h>
+
+#include "paradyn/rocc_model.hpp"
+
+namespace prism::paradyn {
+namespace {
+
+ParadynRoccParams fast_params() {
+  ParadynRoccParams p;
+  p.horizon_ms = 10'000;  // short horizon keeps tests quick
+  return p;
+}
+
+TEST(ParadynRocc, SingleRunProducesSaneMetrics) {
+  const auto m = run_paradyn_rocc(fast_params(), stats::Rng(1));
+  EXPECT_GT(m.pd_interference_ms, 0.0);
+  EXPECT_LT(m.pd_interference_ms, 10'000.0);
+  EXPECT_GT(m.pd_cpu_utilization_pct, 0.0);
+  EXPECT_LT(m.pd_cpu_utilization_pct, 100.0);
+  EXPECT_GT(m.app_requests, 0u);
+  EXPECT_LE(m.cpu_utilization, 1.0 + 1e-9);
+}
+
+TEST(ParadynRocc, DeterministicGivenSeed) {
+  const auto a = run_paradyn_rocc(fast_params(), stats::Rng(7));
+  const auto b = run_paradyn_rocc(fast_params(), stats::Rng(7));
+  EXPECT_DOUBLE_EQ(a.pd_interference_ms, b.pd_interference_ms);
+  EXPECT_EQ(a.app_requests, b.app_requests);
+}
+
+TEST(ParadynRocc, Fig9aInterferenceDecreasesWithPeriod) {
+  // "direct perturbation to local application processes decreases as the
+  // sampling rate decreases, that is, as the period increases."
+  const auto pts = sweep_sampling_period(
+      fast_params(), {50, 150, 300, 500}, /*replications=*/5, /*seed=*/42);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LT(pts[i].interference.mean, pts[i - 1].interference.mean)
+        << "period " << pts[i].x;
+}
+
+TEST(ParadynRocc, Fig9aSuperlinearThenLevelsOff) {
+  // The drop from 50->150 ms dwarfs the drop from 300->500 ms.
+  const auto pts = sweep_sampling_period(
+      fast_params(), {50, 150, 300, 500}, 5, 43);
+  const double early_drop = pts[0].interference.mean - pts[1].interference.mean;
+  const double late_drop = pts[2].interference.mean - pts[3].interference.mean;
+  EXPECT_GT(early_drop, 2.0 * late_drop);
+}
+
+TEST(ParadynRocc, Fig9bUtilizationDecreasesWithProcesses) {
+  // "CPU utilization by the daemon decreases as the number of application
+  // processes becomes large."
+  const auto pts =
+      sweep_app_processes(fast_params(), {1, 8, 24}, 5, 44);
+  EXPECT_GT(pts[0].utilization_pct.mean, pts[1].utilization_pct.mean);
+  EXPECT_GT(pts[1].utilization_pct.mean, pts[2].utilization_pct.mean);
+}
+
+TEST(ParadynRocc, SaturationRaisesQueueingDelay) {
+  // The §3.2.3 bottleneck: contention grows daemon servicing latency.
+  const auto pts = sweep_app_processes(fast_params(), {1, 24}, 5, 45);
+  EXPECT_GT(pts[1].queueing_delay.mean, pts[0].queueing_delay.mean);
+}
+
+TEST(ParadynRocc, InterferenceScalesWithHorizon) {
+  auto p = fast_params();
+  const auto short_run = run_paradyn_rocc(p, stats::Rng(9));
+  p.horizon_ms *= 2;
+  const auto long_run = run_paradyn_rocc(p, stats::Rng(9));
+  EXPECT_NEAR(long_run.pd_interference_ms / short_run.pd_interference_ms, 2.0,
+              0.4);
+}
+
+TEST(ParadynRocc, FactorialFindsPeriodDominantForInterference) {
+  // Over the paper's factor ranges, the sampling period drives the daemon's
+  // absolute CPU time far more than the process count does.
+  const auto res = paradyn_factorial(fast_params(), 50, 500, 2, 16,
+                                     /*r=*/8, "interference", 46);
+  EXPECT_EQ(res.effect_names[res.dominant_effect()], "period");
+  EXPECT_LT(res.error_fraction, 0.5);
+}
+
+TEST(ParadynRocc, FactorialUtilizationRespondsToProcs) {
+  const auto res = paradyn_factorial(fast_params(), 50, 500, 2, 16, 8,
+                                     "utilization_pct", 47);
+  // More processes -> lower daemon share: negative procs effect.
+  std::size_t procs_idx = 0;
+  for (std::size_t i = 0; i < res.effect_names.size(); ++i)
+    if (res.effect_names[i] == "procs") procs_idx = i;
+  ASSERT_GT(procs_idx, 0u);
+  EXPECT_LT(res.effects[procs_idx], 0.0);
+}
+
+TEST(ParadynRocc, FactorialRejectsUnknownResponse) {
+  EXPECT_THROW(
+      paradyn_factorial(fast_params(), 50, 500, 2, 16, 2, "bogus", 1),
+      std::invalid_argument);
+}
+
+TEST(ParadynRocc, ValidatesParameters) {
+  ParadynRoccParams p;
+  p.sampling_period_ms = 0;
+  EXPECT_THROW(run_paradyn_rocc(p, stats::Rng(1)), std::invalid_argument);
+  p = ParadynRoccParams{};
+  p.app_processes = 0;
+  EXPECT_THROW(run_paradyn_rocc(p, stats::Rng(1)), std::invalid_argument);
+  p = ParadynRoccParams{};
+  p.quantum_ms = 0;
+  EXPECT_THROW(run_paradyn_rocc(p, stats::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::paradyn

@@ -1,0 +1,151 @@
+// PICL analytic model (Table 3): formulas, monotonicity, policy ordering,
+// and the Figure 5 shape assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "picl/analytic_model.hpp"
+
+namespace prism::picl {
+namespace {
+
+PiclModelParams params(unsigned l, double alpha, unsigned P = 8) {
+  PiclModelParams p;
+  p.buffer_capacity = l;
+  p.arrival_rate = alpha;
+  p.nodes = P;
+  return p;  // default f(l) = 100 + 10 l
+}
+
+TEST(PiclAnalytic, ExpectedStoppingTimeIsLOverAlpha) {
+  EXPECT_DOUBLE_EQ(fof_expected_stopping_time(params(50, 0.007)), 50 / 0.007);
+  EXPECT_DOUBLE_EQ(fof_expected_stopping_time(params(10, 2.0)), 5.0);
+}
+
+TEST(PiclAnalytic, StoppingTimeCdfIsErlang) {
+  const auto p = params(10, 0.5);
+  EXPECT_NEAR(fof_stopping_time_cdf(p, 20.0), 0.5420703, 1e-5);
+  EXPECT_DOUBLE_EQ(fof_stopping_time_cdf(p, 0.0), 0.0);
+}
+
+TEST(PiclAnalytic, FaofTailIsMinTail) {
+  const auto p = params(10, 0.5, 4);
+  const double single = 1.0 - fof_stopping_time_cdf(p, 20.0);
+  EXPECT_NEAR(faof_stopping_time_tail(p, 20.0), std::pow(single, 4), 1e-10);
+}
+
+TEST(PiclAnalytic, FaofStoppingTimeBetweenBoundAndFof) {
+  const auto p = params(50, 0.007, 8);
+  const double exact = faof_expected_stopping_time(p);
+  EXPECT_GE(exact, faof_stopping_time_lower_bound(p));
+  EXPECT_LE(exact, fof_expected_stopping_time(p));
+}
+
+TEST(PiclAnalytic, FofFrequencyFormula) {
+  // omega_o = 1 / (l + alpha f(l)).
+  const auto p = params(50, 0.007);
+  const double f = 100 + 10 * 50;
+  EXPECT_DOUBLE_EQ(fof_flushing_frequency(p), 1.0 / (50 + 0.007 * f));
+}
+
+TEST(PiclAnalytic, FaofBoundFormula) {
+  const auto p = params(50, 0.007, 8);
+  const double f = 100 + 10 * 50;
+  EXPECT_DOUBLE_EQ(faof_flushing_frequency_bound(p),
+                   1.0 / (50 + 8 * 0.007 * f));
+}
+
+// --- Figure 5 shape targets -------------------------------------------------
+
+class Fig5Shape : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig5Shape, FrequencyDecreasesWithBufferCapacity) {
+  const double alpha = GetParam();
+  double prev_fof = 1e9, prev_faof = 1e9;
+  for (unsigned l = 10; l <= 100; l += 10) {
+    const auto p = params(l, alpha);
+    const double fof = fof_flushing_frequency(p);
+    const double faof = faof_flushing_frequency_bound(p);
+    EXPECT_LT(fof, prev_fof);
+    EXPECT_LT(faof, prev_faof);
+    prev_fof = fof;
+    prev_faof = faof;
+  }
+}
+
+TEST_P(Fig5Shape, FaofNeverAboveFof) {
+  const double alpha = GetParam();
+  for (unsigned l = 10; l <= 100; l += 10) {
+    const auto p = params(l, alpha);
+    EXPECT_LE(faof_flushing_frequency_bound(p), fof_flushing_frequency(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperArrivalRates, Fig5Shape,
+                         ::testing::Values(0.0008, 0.007, 2.0));
+
+TEST(Fig5Shape, GapGrowsWithArrivalRate) {
+  // Relative FOF/FAOF gap at l = 50 must grow across the paper's rates.
+  double prev_ratio = 1.0;
+  for (double alpha : {0.0008, 0.007, 2.0}) {
+    const auto p = params(50, alpha);
+    const double ratio =
+        fof_flushing_frequency(p) / faof_flushing_frequency_bound(p);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  // At the lowest rate the two are nearly indistinguishable (Fig. 5a)...
+  const auto lo = params(50, 0.0008);
+  EXPECT_NEAR(
+      fof_flushing_frequency(lo) / faof_flushing_frequency_bound(lo), 1.0,
+      0.1);
+  // ...and clearly separated at the highest (Fig. 5c).
+  const auto hi = params(50, 2.0);
+  EXPECT_GT(fof_flushing_frequency(hi) / faof_flushing_frequency_bound(hi),
+            3.0);
+}
+
+TEST(Fig5Shape, PublishedAxisRangesReproduced) {
+  // The default flush-cost model puts the curves in the published ranges.
+  EXPECT_NEAR(fof_flushing_frequency(params(10, 0.0008)), 0.1, 0.01);
+  EXPECT_NEAR(fof_flushing_frequency(params(10, 0.007)), 0.085, 0.01);
+  EXPECT_NEAR(fof_flushing_frequency(params(10, 2.0)), 2.4e-3, 0.5e-3);
+}
+
+// --- Extension metrics --------------------------------------------------------
+
+TEST(PiclAnalytic, FaofInterruptsProgramLessOften) {
+  // The real FAOF win: one gang interruption replaces P scattered ones.
+  for (double alpha : {0.0008, 0.007, 2.0}) {
+    const auto p = params(50, alpha);
+    EXPECT_LT(faof_interruption_rate(p), fof_interruption_rate(p));
+  }
+}
+
+TEST(PiclAnalytic, FlushTimeFractionsInUnitInterval) {
+  for (unsigned l : {10u, 50u, 100u}) {
+    const auto p = params(l, 0.007);
+    EXPECT_GT(fof_flush_time_fraction(p), 0.0);
+    EXPECT_LT(fof_flush_time_fraction(p), 1.0);
+    EXPECT_GT(faof_flush_time_fraction(p), 0.0);
+    EXPECT_LT(faof_flush_time_fraction(p), 1.0);
+  }
+}
+
+TEST(PiclAnalytic, ValidationRejectsBadParams) {
+  PiclModelParams p;
+  p.buffer_capacity = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = PiclModelParams{};
+  p.arrival_rate = 0;
+  EXPECT_THROW(fof_flushing_frequency(p), std::invalid_argument);
+  p = PiclModelParams{};
+  p.nodes = 0;
+  EXPECT_THROW(faof_flushing_frequency_bound(p), std::invalid_argument);
+  p = PiclModelParams{};
+  p.flush_cost_base = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::picl

@@ -1,0 +1,178 @@
+// PICL flush-policy simulation validated against the analytic model
+// ("compared and validated with simulation", §3.1.3).
+#include <gtest/gtest.h>
+
+#include "picl/analytic_model.hpp"
+#include "picl/flush_sim.hpp"
+
+namespace prism::picl {
+namespace {
+
+PiclModelParams params(unsigned l, double alpha, unsigned P = 8) {
+  PiclModelParams p;
+  p.buffer_capacity = l;
+  p.arrival_rate = alpha;
+  p.nodes = P;
+  return p;
+}
+
+TEST(FofSim, StoppingTimeMatchesErlangMean) {
+  const auto p = params(50, 0.007);
+  const auto r = simulate_fof(p, 4000, stats::Rng(11));
+  const double expected = fof_expected_stopping_time(p);
+  EXPECT_NEAR(r.stopping_time.mean(), expected,
+              4 * r.stopping_time.std_error());
+}
+
+TEST(FofSim, FlushingFrequencyMatchesFormula) {
+  const auto p = params(50, 0.007);
+  const auto r = simulate_fof(p, 4000, stats::Rng(12));
+  const double formula = fof_flushing_frequency(p);
+  EXPECT_NEAR(r.flushing_frequency, formula, 0.05 * formula);
+  // The regenerative CI must cover the analytic value.
+  EXPECT_TRUE(r.frequency_estimator.ratio_ci(0.99).contains(formula));
+}
+
+TEST(FofSim, FlushTimeFractionMatchesSmithsTheorem) {
+  const auto p = params(20, 0.1);
+  const auto r = simulate_fof(p, 4000, stats::Rng(13));
+  EXPECT_NEAR(r.flush_time_fraction, fof_flush_time_fraction(p), 0.02);
+}
+
+TEST(FaofSim, StoppingTimeMatchesMinErlangMean) {
+  const auto p = params(30, 0.05, 8);
+  const auto r = simulate_faof(p, 2000, stats::Rng(14));
+  const double exact = faof_expected_stopping_time(p);
+  EXPECT_NEAR(r.stopping_time.mean(), exact, 4 * r.stopping_time.std_error());
+}
+
+TEST(FaofSim, StoppingTimeRespectsPaperBound) {
+  const auto p = params(30, 0.05, 8);
+  const auto r = simulate_faof(p, 2000, stats::Rng(15));
+  EXPECT_GE(r.stopping_time.mean(), faof_stopping_time_lower_bound(p));
+}
+
+TEST(FaofSim, FrequencyMatchesExactModel) {
+  const auto p = params(30, 0.05, 8);
+  const auto r = simulate_faof(p, 2000, stats::Rng(16));
+  const double exact = faof_flushing_frequency_exact(p);
+  EXPECT_NEAR(r.flushing_frequency, exact, 0.05 * exact);
+}
+
+TEST(FaofSim, FrequencyAtOrAbovePaperBoundExpression) {
+  // The published curve 1/(l + P alpha f(l)) uses l fill arrivals per
+  // cycle; the simulated average buffer fills less than that, so the
+  // simulated per-buffer frequency sits at or above the curve.
+  const auto p = params(30, 0.05, 8);
+  const auto r = simulate_faof(p, 2000, stats::Rng(17));
+  EXPECT_GE(r.flushing_frequency,
+            faof_flushing_frequency_bound(p) * 0.999);
+}
+
+TEST(PolicyComparison, FaofInterruptsLessOftenOnCommonRandomNumbers) {
+  // Same seed => common random numbers for a sharp comparison.
+  for (double alpha : {0.007, 2.0}) {
+    const auto p = params(50, alpha);
+    const auto fof = simulate_fof(p, 1500, stats::Rng(99));
+    const auto faof = simulate_faof(p, 1500, stats::Rng(99));
+    EXPECT_LT(faof.interruption_rate, fof.interruption_rate)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(PolicyComparison, FaofStoppingTimeBelowFof) {
+  const auto p = params(40, 0.02, 8);
+  const auto fof = simulate_fof(p, 1500, stats::Rng(7));
+  const auto faof = simulate_faof(p, 1500, stats::Rng(7));
+  EXPECT_LT(faof.stopping_time.mean(), fof.stopping_time.mean());
+}
+
+TEST(FlushSim, ArrivalAccountingConsistent) {
+  const auto p = params(25, 0.1, 4);
+  const auto r = simulate_faof(p, 500, stats::Rng(21));
+  // Every cycle flushes P buffers.
+  EXPECT_EQ(r.total_flushes, 500u * 4u);
+  EXPECT_GT(r.total_arrivals, 0u);
+  EXPECT_GT(r.simulated_time, 0.0);
+}
+
+TEST(FlushSim, DeterministicGivenSeed) {
+  const auto p = params(25, 0.1, 4);
+  const auto a = simulate_faof(p, 200, stats::Rng(5));
+  const auto b = simulate_faof(p, 200, stats::Rng(5));
+  EXPECT_DOUBLE_EQ(a.flushing_frequency, b.flushing_frequency);
+  EXPECT_DOUBLE_EQ(a.stopping_time.mean(), b.stopping_time.mean());
+}
+
+TEST(FlushSim, RejectsZeroCycles) {
+  EXPECT_THROW(simulate_fof(params(10, 1.0), 0, stats::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_faof(params(10, 1.0), 0, stats::Rng(1)),
+               std::invalid_argument);
+}
+
+// ---- renewal (non-Poisson) robustness variants -----------------------------
+
+TEST(RenewalSim, ExponentialGapsMatchPoissonPath) {
+  // The renewal simulator with exponential gaps must agree with the native
+  // Poisson simulator's analytics.
+  const auto p = params(40, 0.05, 8);
+  stats::Exponential gap(0.05);
+  const auto r = simulate_fof_renewal(p, 2000, gap, stats::Rng(31));
+  EXPECT_NEAR(r.stopping_time.mean(), fof_expected_stopping_time(p),
+              4 * r.stopping_time.std_error());
+  const double formula = fof_flushing_frequency(p);
+  EXPECT_NEAR(r.flushing_frequency, formula, 0.05 * formula);
+}
+
+TEST(RenewalSim, FaofAdvantageSurvivesBurstyArrivals) {
+  // Hyperexponential gaps (CV ~ 2): the paper's Poisson assumption broken;
+  // FAOF still interrupts the program less often than FOF.
+  const auto p = params(40, 0.05, 8);
+  // A fast phase (mean 4) mixed with a slow phase (mean 60): CV well
+  // above 1.  Both policies see the identical renewal process.
+  stats::Hyperexponential gap(0.4, 1.0 / 4.0, 1.0 / 60.0);
+  ASSERT_NEAR(gap.mean(), 0.4 * 4.0 + 0.6 * 60.0, 1e-9);
+  const auto fof = simulate_fof_renewal(p, 1200, gap, stats::Rng(32));
+  const auto faof = simulate_faof_renewal(p, 1200, gap, stats::Rng(32));
+  EXPECT_LT(faof.interruption_rate, fof.interruption_rate);
+  EXPECT_LT(faof.flushing_frequency, fof.flushing_frequency * 1.5);
+}
+
+TEST(RenewalSim, BurstyStoppingTimeMoreVariable) {
+  const auto p = params(40, 0.05, 1);
+  stats::Exponential smooth(0.05);
+  stats::Hyperexponential bursty(0.1, 0.05 * 8, 0.05 * 0.55);
+  const auto s = simulate_fof_renewal(p, 1500, smooth, stats::Rng(33));
+  const auto b = simulate_fof_renewal(p, 1500, bursty, stats::Rng(33));
+  EXPECT_GT(b.stopping_time.cov(), s.stopping_time.cov());
+}
+
+TEST(RenewalSim, RejectsZeroCycles) {
+  stats::Exponential gap(1.0);
+  EXPECT_THROW(simulate_fof_renewal(params(10, 1.0), 0, gap, stats::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_faof_renewal(params(10, 1.0), 0, gap, stats::Rng(1)),
+               std::invalid_argument);
+}
+
+// Property sweep over the Figure 5 grid: simulation reproduces the
+// analytic FOF curve within 10% everywhere.
+class Fig5SimSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig5SimSweep, FofSimTracksFormulaAcrossCapacities) {
+  const double alpha = GetParam();
+  for (unsigned l = 10; l <= 100; l += 30) {
+    const auto p = params(l, alpha);
+    const auto r = simulate_fof(p, 800, stats::Rng(1000 + l));
+    const double formula = fof_flushing_frequency(p);
+    EXPECT_NEAR(r.flushing_frequency, formula, 0.1 * formula)
+        << "alpha=" << alpha << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRates, Fig5SimSweep,
+                         ::testing::Values(0.0008, 0.007, 2.0));
+
+}  // namespace
+}  // namespace prism::picl

@@ -1,0 +1,123 @@
+// Probe registry + live dynamic-instrumentation loop over the control plane.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/probe_registry.hpp"
+
+namespace prism::core {
+namespace {
+
+TEST(ProbeRegistry, AddEnableDisable) {
+  ProbeRegistry reg;
+  std::vector<trace::EventRecord> sink;
+  Probe a("a", 1, 0, 0, [&](trace::EventRecord r) { sink.push_back(r); });
+  Probe b("b", 2, 0, 0, [&](trace::EventRecord r) { sink.push_back(r); });
+  reg.add(&a);
+  reg.add(&b);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.enabled_count(), 2u);
+  EXPECT_EQ(reg.disable(1), 1u);
+  EXPECT_FALSE(a.enabled());
+  EXPECT_TRUE(b.enabled());
+  EXPECT_EQ(reg.enabled_count(), 1u);
+  EXPECT_EQ(reg.enable(1), 1u);
+  EXPECT_TRUE(a.enabled());
+}
+
+TEST(ProbeRegistry, SharedIdTogglesAllInstances) {
+  // The same metric instrumented on several processes: one id, many probes.
+  ProbeRegistry reg;
+  auto sink = [](trace::EventRecord) {};
+  Probe p0("m", 7, 0, 0, sink), p1("m", 7, 0, 1, sink), p2("m", 7, 1, 0, sink);
+  reg.add(&p0);
+  reg.add(&p1);
+  reg.add(&p2);
+  EXPECT_EQ(reg.disable(7), 3u);
+  EXPECT_EQ(reg.enabled_count(), 0u);
+  EXPECT_EQ(reg.enable(7), 3u);
+  EXPECT_EQ(reg.enabled_count(), 3u);
+}
+
+TEST(ProbeRegistry, RemoveDetaches) {
+  ProbeRegistry reg;
+  auto sink = [](trace::EventRecord) {};
+  Probe a("a", 1, 0, 0, sink), b("a2", 1, 0, 1, sink);
+  reg.add(&a);
+  reg.add(&b);
+  reg.remove(&a);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.disable(1), 1u);
+  EXPECT_TRUE(a.enabled());   // removed: untouched
+  EXPECT_FALSE(b.enabled());
+}
+
+TEST(ProbeRegistry, ApplyControlMessages) {
+  ProbeRegistry reg;
+  auto sink = [](trace::EventRecord) {};
+  Probe p("p", 4, 0, 0, sink);
+  reg.add(&p);
+  reg.apply({ControlKind::kDisableInstrumentation, 0, 4.0});
+  EXPECT_FALSE(p.enabled());
+  reg.apply({ControlKind::kEnableInstrumentation, 0, 4.0});
+  EXPECT_TRUE(p.enabled());
+  reg.apply({ControlKind::kStart, 0, 4.0});  // ignored
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(ProbeRegistry, UnknownIdIsNoop) {
+  ProbeRegistry reg;
+  EXPECT_EQ(reg.enable(99), 0u);
+  EXPECT_EQ(reg.disable(99), 0u);
+  EXPECT_THROW(reg.add(nullptr), std::invalid_argument);
+}
+
+TEST(ProbeRegistry, IdsAreUniqueSorted) {
+  ProbeRegistry reg;
+  auto sink = [](trace::EventRecord) {};
+  Probe a("a", 3, 0, 0, sink), b("b", 1, 0, 0, sink), c("c", 3, 0, 1, sink);
+  reg.add(&a);
+  reg.add(&b);
+  reg.add(&c);
+  EXPECT_EQ(reg.ids(), (std::vector<std::uint16_t>{1, 3}));
+}
+
+TEST(ProbeRegistry, LiveDynamicInstrumentationLoop) {
+  // The Paradyn pattern end-to-end: a probe registered in the environment,
+  // disabled via a broadcast control message, handled by the daemon LIS.
+  EnvironmentConfig cfg;
+  cfg.nodes = 1;
+  cfg.processes_per_node = 1;
+  cfg.lis_style = LisStyle::kDaemon;
+  cfg.sampling_period_ns = 1'000'000;
+  cfg.ism.causal_ordering = false;
+  IntegratedEnvironment env(cfg);
+  env.start();
+
+  Probe probe("metric", 5, 0, 0,
+              [&env](trace::EventRecord r) { env.record(r); });
+  env.probes().add(&probe);
+  probe.sample(1.0);
+  EXPECT_EQ(probe.emitted(), 1u);
+
+  env.ism().broadcast_control(
+      {ControlKind::kDisableInstrumentation, 0, 5.0});
+  for (int spin = 0; spin < 200 && probe.enabled(); ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(probe.enabled());
+  probe.sample(2.0);  // dynamically removed: no event
+  EXPECT_EQ(probe.emitted(), 1u);
+
+  env.ism().broadcast_control({ControlKind::kEnableInstrumentation, 0, 5.0});
+  for (int spin = 0; spin < 200 && !probe.enabled(); ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(probe.enabled());
+  env.probes().remove(&probe);
+  env.stop();
+}
+
+}  // namespace
+}  // namespace prism::core

@@ -1,0 +1,88 @@
+// P² on-line quantile estimator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/quantile.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::stats {
+namespace {
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.value(), std::logic_error);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(10);
+  EXPECT_DOUBLE_EQ(q.value(), 10.0);
+  q.add(30);
+  q.add(20);
+  // n=3, median = element at floor(0.5*3)=1 of sorted {10,20,30} = 20.
+  EXPECT_DOUBLE_EQ(q.value(), 20.0);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile q(0.5);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) q.add(rng.next_double());
+  EXPECT_NEAR(q.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailQuantileOfUniform) {
+  P2Quantile q(0.95);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) q.add(rng.next_double());
+  EXPECT_NEAR(q.value(), 0.95, 0.01);
+}
+
+TEST(P2Quantile, ExponentialQuantiles) {
+  // Exponential(1): q-quantile = -ln(1-q).
+  for (double p : {0.5, 0.9, 0.99}) {
+    P2Quantile q(p);
+    Rng rng(static_cast<std::uint64_t>(p * 1000));
+    for (int i = 0; i < 200000; ++i)
+      q.add(-std::log(rng.next_double_open()));
+    const double expected = -std::log(1 - p);
+    EXPECT_NEAR(q.value(), expected, 0.05 * expected + 0.02) << "p=" << p;
+  }
+}
+
+TEST(P2Quantile, AgreesWithExactOnModerateStream) {
+  P2Quantile q(0.9);
+  Rng rng(7);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.next_double() * rng.next_double();  // skewed
+    q.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<std::size_t>(0.9 * all.size())];
+  EXPECT_NEAR(q.value(), exact, 0.05 * exact + 0.01);
+}
+
+TEST(P2Quantile, MonotoneUnderSortedInput) {
+  // Degenerate input orders must not break the markers.
+  P2Quantile q(0.5);
+  for (int i = 0; i < 1000; ++i) q.add(i);
+  EXPECT_NEAR(q.value(), 500.0, 30.0);
+  P2Quantile qd(0.5);
+  for (int i = 1000; i > 0; --i) qd.add(i);
+  EXPECT_NEAR(qd.value(), 500.0, 30.0);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 100; ++i) q.add(42.0);
+  EXPECT_DOUBLE_EQ(q.value(), 42.0);
+}
+
+}  // namespace
+}  // namespace prism::stats

@@ -1,0 +1,243 @@
+// Queueing layer: queues (conservation, disciplines), single-server station
+// validated against M/M/1 and M/G/1 theory, and the analytic formulas.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "queueing/analytic.hpp"
+#include "queueing/job.hpp"
+#include "queueing/queue.hpp"
+#include "queueing/server.hpp"
+#include "queueing/source.hpp"
+#include "sim/engine.hpp"
+
+namespace prism::queueing {
+namespace {
+
+Job make_job(std::uint64_t id, std::int32_t prio = 0) {
+  Job j;
+  j.id = id;
+  j.priority = prio;
+  return j;
+}
+
+// ---- Queue -------------------------------------------------------------------
+
+TEST(Queue, FifoOrder) {
+  Queue q;
+  q.push(0.0, make_job(1));
+  q.push(1.0, make_job(2));
+  q.push(2.0, make_job(3));
+  EXPECT_EQ(q.pop(3.0)->id, 1u);
+  EXPECT_EQ(q.pop(3.0)->id, 2u);
+  EXPECT_EQ(q.pop(3.0)->id, 3u);
+  EXPECT_FALSE(q.pop(3.0).has_value());
+}
+
+TEST(Queue, PriorityOrderStable) {
+  Queue q(Discipline::kPriority);
+  q.push(0.0, make_job(1, 5));
+  q.push(0.0, make_job(2, 1));
+  q.push(0.0, make_job(3, 5));
+  q.push(0.0, make_job(4, 0));
+  EXPECT_EQ(q.pop(1.0)->id, 4u);
+  EXPECT_EQ(q.pop(1.0)->id, 2u);
+  EXPECT_EQ(q.pop(1.0)->id, 1u);  // same priority: insertion order
+  EXPECT_EQ(q.pop(1.0)->id, 3u);
+}
+
+TEST(Queue, CapacityDrops) {
+  Queue q(Discipline::kFifo, 2);
+  EXPECT_TRUE(q.push(0.0, make_job(1)));
+  EXPECT_TRUE(q.push(0.0, make_job(2)));
+  EXPECT_FALSE(q.push(0.0, make_job(3)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_TRUE(q.full());
+  EXPECT_TRUE(q.conserved());
+}
+
+TEST(Queue, ConservationInvariantUnderChurn) {
+  Queue q(Discipline::kFifo, 8);
+  std::uint64_t id = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 5; ++i) q.push(round, make_job(++id));
+    for (int i = 0; i < 3; ++i) q.pop(round + 0.5);
+    EXPECT_TRUE(q.conserved());
+  }
+}
+
+TEST(Queue, MeanLengthTimeWeighted) {
+  Queue q;
+  q.push(0.0, make_job(1));   // len 1 from t=0
+  q.push(10.0, make_job(2));  // len 2 from t=10
+  q.pop(20.0);                // len 1 from t=20
+  q.pop(30.0);                // len 0 from t=30
+  // integral = 1*10 + 2*10 + 1*10 = 40 over 30.
+  EXPECT_NEAR(q.mean_length_until(30.0), 40.0 / 30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q.max_length(), 2.0);
+}
+
+TEST(Queue, WaitingTimesRecorded) {
+  Queue q;
+  q.push(0.0, make_job(1));
+  q.push(0.0, make_job(2));
+  q.pop(4.0);
+  q.pop(6.0);
+  EXPECT_DOUBLE_EQ(q.waiting_times().mean(), 5.0);
+}
+
+TEST(Queue, RejectsZeroCapacity) {
+  EXPECT_THROW(Queue(Discipline::kFifo, 0), std::invalid_argument);
+}
+
+// ---- Analytic formulas ---------------------------------------------------------
+
+TEST(Analytic, Mm1KnownValues) {
+  // rho = 0.5: L = 1, W_total = 2*E[S].
+  EXPECT_DOUBLE_EQ(mm1_mean_number(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(mm1_mean_sojourn(0.5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(mm1_mean_wait(0.5, 1.0), 1.0);
+}
+
+TEST(Analytic, Mg1ReducesToMm1ForExponentialService) {
+  // Exponential service: Var = E[S]^2; P-K must equal the M/M/1 wait.
+  const double lambda = 0.7, es = 1.0;
+  EXPECT_NEAR(mg1_mean_wait(lambda, es, es * es), mm1_mean_wait(lambda, es),
+              1e-12);
+}
+
+TEST(Analytic, DeterministicServiceHalvesWait) {
+  // M/D/1 wait is half the M/M/1 wait.
+  const double lambda = 0.8, es = 1.0;
+  EXPECT_NEAR(mg1_mean_wait(lambda, es, 0.0),
+              0.5 * mm1_mean_wait(lambda, es), 1e-12);
+}
+
+TEST(Analytic, RejectsUnstable) {
+  EXPECT_THROW(mm1_mean_number(1.0, 1.0), std::domain_error);
+  EXPECT_THROW(mm1_mean_number(2.0, 1.0), std::domain_error);
+  EXPECT_THROW(mg1_mean_wait(1.5, 1.0, 1.0), std::domain_error);
+  EXPECT_THROW(mg1_mean_wait(0.5, 1.0, -1.0), std::domain_error);
+}
+
+// ---- Source + Server simulation vs theory ---------------------------------------
+
+struct SimulatedStation {
+  double mean_sojourn;
+  double mean_queue_len;
+  double utilization;
+  std::uint64_t completions;
+};
+
+SimulatedStation run_station(double lambda, std::shared_ptr<stats::Distribution> svc,
+                             double horizon, std::uint64_t seed) {
+  sim::Engine eng;
+  stats::Rng rng(seed);
+  auto sink_count = std::make_shared<std::uint64_t>(0);
+  auto server = std::make_shared<Server>(
+      eng, svc, rng.split(), [sink_count](Job&&) { ++*sink_count; });
+  Source src(eng, std::make_shared<stats::Exponential>(lambda), rng.split(),
+             0, [server](Job&& j) { server->submit(std::move(j)); });
+  src.start();
+  eng.run_until(horizon);
+  server->finalize(eng.now());
+  SimulatedStation out;
+  out.mean_sojourn = server->sojourn_times().mean();
+  out.mean_queue_len = server->queue().mean_length_until(eng.now());
+  out.utilization = server->utilization();
+  out.completions = server->completions();
+  return out;
+}
+
+TEST(ServerSim, Mm1SojournMatchesTheory) {
+  const double lambda = 0.5, es = 1.0;
+  auto st = run_station(
+      lambda, std::make_shared<stats::Exponential>(1.0 / es), 200000, 42);
+  EXPECT_NEAR(st.mean_sojourn, mm1_mean_sojourn(lambda, es), 0.1);
+  EXPECT_NEAR(st.utilization, 0.5, 0.02);
+}
+
+TEST(ServerSim, Mm1QueueLengthMatchesLittle) {
+  // Mean number waiting = lambda * W_q.
+  const double lambda = 0.6, es = 1.0;
+  auto st = run_station(
+      lambda, std::make_shared<stats::Exponential>(1.0 / es), 200000, 77);
+  EXPECT_NEAR(st.mean_queue_len, lambda * mm1_mean_wait(lambda, es), 0.1);
+}
+
+TEST(ServerSim, Md1WaitBelowMm1) {
+  const double lambda = 0.8, es = 1.0;
+  auto stD = run_station(lambda, std::make_shared<stats::Deterministic>(es),
+                         100000, 5);
+  auto stM = run_station(
+      lambda, std::make_shared<stats::Exponential>(1.0 / es), 100000, 5);
+  EXPECT_LT(stD.mean_sojourn, stM.mean_sojourn);
+  EXPECT_NEAR(stD.mean_sojourn,
+              mg1_mean_sojourn(lambda, es, 0.0), 0.3);
+}
+
+TEST(ServerSim, ThroughputEqualsArrivalRateWhenStable) {
+  const double lambda = 0.4;
+  auto st = run_station(lambda, std::make_shared<stats::Exponential>(1.0),
+                        50000, 9);
+  EXPECT_NEAR(static_cast<double>(st.completions) / 50000.0, lambda, 0.02);
+}
+
+TEST(Source, RespectsLimit) {
+  sim::Engine eng;
+  stats::Rng rng(3);
+  int received = 0;
+  Source src(eng, std::make_shared<stats::Deterministic>(1.0), rng, 0,
+             [&](Job&&) { ++received; });
+  src.set_limit(25);
+  src.start();
+  eng.run();
+  EXPECT_EQ(received, 25);
+  EXPECT_EQ(src.generated(), 25u);
+}
+
+TEST(Source, StopHaltsGeneration) {
+  sim::Engine eng;
+  stats::Rng rng(4);
+  int received = 0;
+  Source src(eng, std::make_shared<stats::Deterministic>(1.0), rng, 0,
+             [&](Job&& j) {
+               ++received;
+               if (j.seq == 9) eng.stop();
+             });
+  src.start();
+  eng.run();
+  EXPECT_EQ(received, 10);
+}
+
+TEST(Source, DecorateHookApplied) {
+  sim::Engine eng;
+  stats::Rng rng(5);
+  std::vector<JobClass> classes;
+  Source src(
+      eng, std::make_shared<stats::Deterministic>(1.0), rng, 7,
+      [&](Job&& j) { classes.push_back(j.cls); },
+      [](Job& j) { j.cls = JobClass::kInstrumentation; });
+  src.set_limit(3);
+  src.start();
+  eng.run();
+  ASSERT_EQ(classes.size(), 3u);
+  for (auto c : classes) EXPECT_EQ(c, JobClass::kInstrumentation);
+}
+
+TEST(Server, DropsWhenQueueFull) {
+  sim::Engine eng;
+  stats::Rng rng(6);
+  auto server = std::make_shared<Server>(
+      eng, std::make_shared<stats::Deterministic>(100.0), rng, [](Job&&) {},
+      Discipline::kFifo, 2);
+  // One in service + two queued; the fourth drops.
+  EXPECT_TRUE(server->submit(make_job(1)));
+  EXPECT_TRUE(server->submit(make_job(2)));
+  EXPECT_TRUE(server->submit(make_job(3)));
+  EXPECT_FALSE(server->submit(make_job(4)));
+  EXPECT_EQ(server->queue().drops(), 1u);
+}
+
+}  // namespace
+}  // namespace prism::queueing

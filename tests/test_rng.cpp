@@ -1,0 +1,128 @@
+// Tests for stats::Rng: determinism, stream independence, uniformity, and
+// the bounded-integer and seed-hashing helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, OpenDoubleNeverZero) {
+  Rng r(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = r.next_double_open();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(11);
+  Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(r.next_double());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(13);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextBelowApproximatelyUniform) {
+  Rng r(19);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.next_bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bernoulli(0.0));
+    EXPECT_TRUE(r.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(31);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  // Children differ from each other and from the parent's further output.
+  int same12 = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++same12;
+  EXPECT_EQ(same12, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(37), b(37);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, HashSeedOrderSensitive) {
+  const auto s1 = Rng::hash_seed(5, 1, 2);
+  const auto s2 = Rng::hash_seed(5, 2, 1);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Rng, HashSeedDeterministic) {
+  EXPECT_EQ(Rng::hash_seed(99, 7, 8, 9), Rng::hash_seed(99, 7, 8, 9));
+}
+
+TEST(Rng, HashSeedSensitiveToEveryTag) {
+  const auto base = Rng::hash_seed(1, 10, 20, 30);
+  EXPECT_NE(base, Rng::hash_seed(2, 10, 20, 30));
+  EXPECT_NE(base, Rng::hash_seed(1, 11, 20, 30));
+  EXPECT_NE(base, Rng::hash_seed(1, 10, 21, 30));
+  EXPECT_NE(base, Rng::hash_seed(1, 10, 20, 31));
+}
+
+}  // namespace
+}  // namespace prism::stats

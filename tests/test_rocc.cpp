@@ -1,0 +1,315 @@
+// ROCC model: round-robin CPU semantics, FIFO network, process request
+// cycles, and node-level conservation properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "rocc/model.hpp"
+#include "rocc/process.hpp"
+#include "rocc/resource.hpp"
+#include "sim/engine.hpp"
+#include "stats/distributions.hpp"
+
+namespace prism::rocc {
+namespace {
+
+Request make_request(double demand, std::uint32_t pid = 0,
+                     ProcessClass cls = ProcessClass::kApplication,
+                     ResourceKind kind = ResourceKind::kCpu) {
+  Request r;
+  r.process_id = pid;
+  r.cls = cls;
+  r.resource = kind;
+  r.demand = demand;
+  return r;
+}
+
+TEST(CpuResource, SingleRequestRunsToCompletion) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 10.0);
+  double completed_at = -1;
+  cpu.submit(make_request(25.0), [&](Request&& r) {
+    completed_at = r.t_completed;
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(completed_at, 25.0);
+  cpu.finalize(eng.now());
+  EXPECT_DOUBLE_EQ(cpu.busy_time(), 25.0);
+  // 25 with quantum 10: two forced preemptions (after 10 and 20).
+  EXPECT_EQ(cpu.preemptions(), 2u);
+}
+
+TEST(CpuResource, RoundRobinInterleavesProcessesFairly) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 1.0);
+  std::vector<int> completion_order;
+  // Two equal 3-unit jobs from distinct processes: RR alternates slices, so
+  // they finish at times 5 and 6 (not 3 and 6 as FIFO would).
+  double done1 = -1, done2 = -1;
+  cpu.submit(make_request(3.0, 1), [&](Request&& r) {
+    completion_order.push_back(1);
+    done1 = r.t_completed;
+  });
+  cpu.submit(make_request(3.0, 2), [&](Request&& r) {
+    completion_order.push_back(2);
+    done2 = r.t_completed;
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done1, 5.0);
+  EXPECT_DOUBLE_EQ(done2, 6.0);
+  EXPECT_EQ(completion_order, (std::vector<int>{1, 2}));
+  cpu.finalize(eng.now());
+  EXPECT_DOUBLE_EQ(cpu.busy_time(), 6.0);
+}
+
+TEST(CpuResource, SameProcessRequestsServeFifo) {
+  // Two requests from ONE process do not double its scheduler share: they
+  // run back-to-back within the process's slot.
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 1.0);
+  double first = -1, second = -1;
+  cpu.submit(make_request(3.0, 7), [&](Request&& r) { first = r.t_completed; });
+  cpu.submit(make_request(3.0, 7), [&](Request&& r) { second = r.t_completed; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(first, 3.0);
+  EXPECT_DOUBLE_EQ(second, 6.0);
+}
+
+TEST(CpuResource, BackloggedProcessGetsFairShareOnly) {
+  // One process with a deep backlog vs one with a single long job: over the
+  // contention window each gets ~half the CPU (the Fig. 9b mechanism).
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 1.0);
+  for (int i = 0; i < 10; ++i)
+    cpu.submit(make_request(2.0, 1), [](Request&&) {});  // 20 units backlog
+  double long_done = -1;
+  cpu.submit(make_request(10.0, 2),
+             [&](Request&& r) { long_done = r.t_completed; });
+  eng.run();
+  // Fair share: the 10-unit job finishes around t = 20, far earlier than
+  // the t = 30 it would see if the backlog held 10 ready slots.
+  EXPECT_LE(long_done, 21.0);
+  EXPECT_GE(long_done, 19.0);
+}
+
+TEST(CpuResource, ShortJobNotStarvedByLongJob) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 1.0);
+  double short_done = -1, long_done = -1;
+  cpu.submit(make_request(100.0, 1),
+             [&](Request&& r) { long_done = r.t_completed; });
+  cpu.submit(make_request(2.0, 2),
+             [&](Request&& r) { short_done = r.t_completed; });
+  eng.run();
+  // With RR the 2-unit job finishes by t=4 despite the 100-unit job ahead.
+  EXPECT_LE(short_done, 4.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(long_done, 102.0);
+}
+
+TEST(CpuResource, PerClassAccounting) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 5.0);
+  cpu.submit(make_request(10.0, 1, ProcessClass::kApplication),
+             [](Request&&) {});
+  cpu.submit(make_request(4.0, 2, ProcessClass::kInstrumentation),
+             [](Request&&) {});
+  eng.run();
+  cpu.finalize(eng.now());
+  EXPECT_DOUBLE_EQ(cpu.busy_time(ProcessClass::kApplication), 10.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_time(ProcessClass::kInstrumentation), 4.0);
+  EXPECT_DOUBLE_EQ(cpu.utilization(), 1.0);  // never idle until done
+}
+
+TEST(CpuResource, QuantumLongerThanDemandNoPreemption) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 50.0);
+  cpu.submit(make_request(10.0), [](Request&&) {});
+  eng.run();
+  EXPECT_EQ(cpu.preemptions(), 0u);
+}
+
+TEST(CpuResource, RejectsInvalid) {
+  sim::Engine eng;
+  EXPECT_THROW(CpuResource(eng, "cpu", 0.0), std::invalid_argument);
+  CpuResource cpu(eng, "cpu", 1.0);
+  EXPECT_THROW(cpu.submit(make_request(0.0), [](Request&&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(cpu.submit(make_request(1.0), nullptr), std::invalid_argument);
+}
+
+TEST(FifoResource, ServesInOrderWithoutPreemption) {
+  sim::Engine eng;
+  FifoResource net(eng, "net");
+  std::vector<double> completions;
+  net.submit(make_request(5.0, 1, ProcessClass::kApplication,
+                          ResourceKind::kNetwork),
+             [&](Request&& r) { completions.push_back(r.t_completed); });
+  net.submit(make_request(3.0, 2, ProcessClass::kApplication,
+                          ResourceKind::kNetwork),
+             [&](Request&& r) { completions.push_back(r.t_completed); });
+  eng.run();
+  EXPECT_EQ(completions, (std::vector<double>{5.0, 8.0}));
+}
+
+TEST(FifoResource, QueueingDelayMeasured) {
+  sim::Engine eng;
+  FifoResource net(eng, "net");
+  net.submit(make_request(4.0), [](Request&&) {});
+  net.submit(make_request(1.0), [](Request&&) {});
+  eng.run();
+  // Second request waited 4.
+  EXPECT_DOUBLE_EQ(net.queueing_delays().max(), 4.0);
+  EXPECT_EQ(net.completions(), 2u);
+}
+
+// ---- RoccProcess ---------------------------------------------------------------
+
+TEST(RoccProcess, ExecutesStepsSequentially) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 10.0);
+  FifoResource net(eng, "net");
+  ResourceSet rs{&cpu, &net, nullptr};
+  int steps = 0;
+  Behavior b = [&steps](stats::Rng&) -> std::optional<Step> {
+    if (steps >= 4) return std::nullopt;
+    ++steps;
+    return Step{1.0, steps % 2 ? ResourceKind::kCpu : ResourceKind::kNetwork,
+                2.0};
+  };
+  RoccProcess proc(eng, 0, ProcessClass::kApplication, rs, b, stats::Rng(1));
+  proc.start();
+  eng.run();
+  EXPECT_TRUE(proc.terminated());
+  EXPECT_EQ(proc.requests_completed(), 4u);
+  EXPECT_DOUBLE_EQ(proc.demand_completed(ResourceKind::kCpu), 4.0);
+  EXPECT_DOUBLE_EQ(proc.demand_completed(ResourceKind::kNetwork), 4.0);
+  // 4 steps of (1 delay + 2 service), strictly sequential.
+  EXPECT_DOUBLE_EQ(eng.now(), 12.0);
+}
+
+TEST(RoccProcess, StartIsIdempotent) {
+  sim::Engine eng;
+  CpuResource cpu(eng, "cpu", 10.0);
+  ResourceSet rs{&cpu, nullptr, nullptr};
+  int calls = 0;
+  Behavior b = [&calls](stats::Rng&) -> std::optional<Step> {
+    if (calls >= 1) return std::nullopt;
+    ++calls;
+    return Step{0.0, ResourceKind::kCpu, 1.0};
+  };
+  RoccProcess proc(eng, 0, ProcessClass::kApplication, rs, b, stats::Rng(1));
+  proc.start();
+  proc.start();
+  eng.run();
+  EXPECT_EQ(proc.requests_completed(), 1u);
+}
+
+// ---- Behaviors -----------------------------------------------------------------
+
+TEST(Behaviors, ComputeCommunicateAlternates) {
+  stats::Rng rng(2);
+  auto b = compute_communicate_behavior(
+      std::make_shared<stats::Deterministic>(3.0),
+      std::make_shared<stats::Deterministic>(1.0), 1.0);
+  auto s1 = b(rng);
+  auto s2 = b(rng);
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_EQ(s1->resource, ResourceKind::kCpu);
+  EXPECT_EQ(s2->resource, ResourceKind::kNetwork);
+  EXPECT_DOUBLE_EQ(s1->demand, 3.0);
+  EXPECT_DOUBLE_EQ(s2->demand, 1.0);
+}
+
+TEST(Behaviors, InstrumentationCostAddsToCpuBurst) {
+  stats::Rng rng(3);
+  auto plain = compute_communicate_behavior(
+      std::make_shared<stats::Deterministic>(3.0),
+      std::make_shared<stats::Deterministic>(1.0), 1.0, 0.0, 0);
+  auto instrumented = compute_communicate_behavior(
+      std::make_shared<stats::Deterministic>(3.0),
+      std::make_shared<stats::Deterministic>(1.0), 1.0, 0.5, 1);
+  EXPECT_DOUBLE_EQ(plain(rng)->demand, 3.0);
+  EXPECT_DOUBLE_EQ(instrumented(rng)->demand, 3.5);
+}
+
+TEST(Behaviors, SamplingDaemonPeriodAndDemand) {
+  stats::Rng rng(4);
+  auto b = sampling_daemon_behavior(100.0, 0.5, 2.0, 8);
+  auto s1 = b(rng);
+  ASSERT_TRUE(s1);
+  EXPECT_DOUBLE_EQ(s1->delay_before, 100.0);
+  EXPECT_EQ(s1->resource, ResourceKind::kCpu);
+  EXPECT_DOUBLE_EQ(s1->demand, 4.0);  // 0.5 * 8
+  auto s2 = b(rng);
+  EXPECT_EQ(s2->resource, ResourceKind::kNetwork);
+  EXPECT_DOUBLE_EQ(s2->demand, 2.0);
+}
+
+TEST(Behaviors, RejectBadArguments) {
+  auto d = std::make_shared<stats::Deterministic>(1.0);
+  EXPECT_THROW(compute_communicate_behavior(nullptr, d), std::invalid_argument);
+  EXPECT_THROW(compute_communicate_behavior(d, d, 1.5), std::invalid_argument);
+  EXPECT_THROW(sampling_daemon_behavior(0.0, 1.0, 1.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(sampling_daemon_behavior(1.0, 1.0, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(background_load_behavior(nullptr, d), std::invalid_argument);
+}
+
+// ---- NodeModel ---------------------------------------------------------------
+
+TEST(NodeModel, DaemonInterferenceMatchesDemand) {
+  // Unloaded node: the daemon's CPU busy time equals its issued demand.
+  NodeModel node(10.0, stats::Rng(5));
+  node.add_process(ProcessClass::kInstrumentation,
+                   sampling_daemon_behavior(100.0, 1.0, 0.0, 4));
+  const auto m = node.run(10000.0);
+  // ~96 wakeups of 4ms each (cycle = 100 wait + 4 service).
+  EXPECT_NEAR(m.cpu_time_instrumentation, 4.0 * 96, 4.0 * 10);
+  EXPECT_DOUBLE_EQ(m.cpu_time_application, 0.0);
+}
+
+TEST(NodeModel, CpuConservation) {
+  // Total CPU busy time never exceeds the horizon.
+  NodeModel node(5.0, stats::Rng(6));
+  auto cpu = std::make_shared<stats::Exponential>(0.5);
+  auto net = std::make_shared<stats::Exponential>(1.0);
+  for (int i = 0; i < 8; ++i)
+    node.add_process(ProcessClass::kApplication,
+                     compute_communicate_behavior(cpu, net));
+  const auto m = node.run(5000.0);
+  const double total =
+      m.cpu_time_application + m.cpu_time_instrumentation + m.cpu_time_other;
+  EXPECT_LE(total, m.span + 1e-6);
+  EXPECT_GT(m.app_requests_completed, 0u);
+}
+
+TEST(NodeModel, SaturationShrinksDaemonShare) {
+  // More app processes -> smaller daemon share of consumed CPU.
+  auto run_share = [](unsigned n_app) {
+    NodeModel node(10.0, stats::Rng(7));
+    auto cpu = std::make_shared<stats::Exponential>(1.0 / 8.0);
+    auto net = std::make_shared<stats::Exponential>(1.0 / 2.0);
+    for (unsigned i = 0; i < n_app; ++i)
+      node.add_process(ProcessClass::kApplication,
+                       compute_communicate_behavior(cpu, net));
+    // Fixed daemon workload (4 sampled pipes) regardless of app count:
+    // growing n adds contention, not daemon work.
+    node.add_process(ProcessClass::kInstrumentation,
+                     sampling_daemon_behavior(100.0, 0.5, 0.5, 4));
+    const auto m = node.run(20000.0);
+    const double total = m.cpu_time_application + m.cpu_time_instrumentation +
+                         m.cpu_time_other;
+    return m.cpu_time_instrumentation / total;
+  };
+  EXPECT_GT(run_share(1), run_share(16));
+}
+
+TEST(NodeModel, RejectsBadHorizon) {
+  NodeModel node(1.0, stats::Rng(8));
+  EXPECT_THROW(node.run(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::rocc

@@ -1,0 +1,103 @@
+// Probes and scoped blocks: enable/disable, event contents, sequence
+// numbering, RAII block events.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sensor.hpp"
+
+namespace prism::core {
+namespace {
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  std::vector<trace::EventRecord> events_;
+  EventSink sink() {
+    return [this](trace::EventRecord r) { events_.push_back(r); };
+  }
+};
+
+TEST_F(ProbeFixture, EventCarriesIdentity) {
+  Probe p("loop", 7, /*node=*/2, /*process=*/3, sink());
+  p.event(99);
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0].node, 2u);
+  EXPECT_EQ(events_[0].process, 3u);
+  EXPECT_EQ(events_[0].tag, 7u);
+  EXPECT_EQ(events_[0].payload, 99u);
+  EXPECT_EQ(events_[0].kind, trace::EventKind::kUserEvent);
+  EXPECT_EQ(p.name(), "loop");
+}
+
+TEST_F(ProbeFixture, DisabledProbeEmitsNothing) {
+  Probe p("x", 1, 0, 0, sink(), /*enabled=*/false);
+  p.event();
+  p.sample(1.0);
+  EXPECT_TRUE(events_.empty());
+  EXPECT_EQ(p.emitted(), 0u);
+}
+
+TEST_F(ProbeFixture, DynamicEnableDisable) {
+  Probe p("x", 1, 0, 0, sink());
+  p.event();
+  p.disable();
+  p.event();
+  p.enable();
+  p.event();
+  EXPECT_EQ(events_.size(), 2u);
+  EXPECT_EQ(p.emitted(), 2u);
+}
+
+TEST_F(ProbeFixture, SampleRoundTripsValue) {
+  Probe p("metric", 4, 0, 0, sink());
+  p.sample(3.75);
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0].kind, trace::EventKind::kSample);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(events_[0].payload), 3.75);
+}
+
+TEST_F(ProbeFixture, SequenceNumbersContiguous) {
+  Probe p("x", 1, 0, 0, sink());
+  for (int i = 0; i < 10; ++i) p.event();
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    EXPECT_EQ(events_[i].seq, i);
+}
+
+TEST_F(ProbeFixture, CountIncrements) {
+  Probe p("count", 2, 0, 0, sink());
+  p.count();
+  p.count();
+  ASSERT_EQ(events_.size(), 2u);
+  EXPECT_EQ(events_[0].payload, 1u);
+  EXPECT_EQ(events_[1].payload, 2u);
+}
+
+TEST_F(ProbeFixture, TimestampsMonotone) {
+  Probe p("x", 1, 0, 0, sink());
+  for (int i = 0; i < 100; ++i) p.event();
+  for (std::size_t i = 1; i < events_.size(); ++i)
+    EXPECT_GE(events_[i].timestamp, events_[i - 1].timestamp);
+}
+
+TEST_F(ProbeFixture, ScopedBlockEmitsBeginEnd) {
+  Probe p("region", 9, 0, 0, sink());
+  {
+    ScopedBlock block(p, 1234);
+    p.event();
+  }
+  ASSERT_EQ(events_.size(), 3u);
+  EXPECT_EQ(events_[0].kind, trace::EventKind::kBlockBegin);
+  EXPECT_EQ(events_[0].payload, 1234u);
+  EXPECT_EQ(events_[2].kind, trace::EventKind::kBlockEnd);
+  // End payload = duration, must be >= 0 and plausible.
+  EXPECT_GE(events_[2].timestamp, events_[0].timestamp);
+}
+
+TEST_F(ProbeFixture, ScopedBlockRespectsDisable) {
+  Probe p("region", 9, 0, 0, sink(), false);
+  { ScopedBlock block(p, 1); }
+  EXPECT_TRUE(events_.empty());
+}
+
+}  // namespace
+}  // namespace prism::core

@@ -1,0 +1,155 @@
+// Discrete-event engine: ordering, ties, cancellation, run_until, stop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace prism::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  double fired_at = -1;
+  e.schedule_at(10.0, [&] {
+    e.schedule_after(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  auto h = e.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(h));
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelInvalidHandle) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventHandle{}));
+  EXPECT_FALSE(e.cancel(EventHandle{9999}));
+}
+
+TEST(Engine, CancelledEventDoesNotBlockOthers) {
+  Engine e;
+  std::vector<int> order;
+  auto h = e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.cancel(h);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(Engine, RunUntilAdvancesClockExactly) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  e.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, RunUntilIncludesBoundary) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(3.0, [&] { ran = true; });
+  e.run_until(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 100; ++i)
+    e.schedule_at(i, [&] {
+      ++count;
+      if (count == 10) e.stop();
+    });
+  e.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(e.stopped());
+  e.resume();
+  e.run();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Engine, MaxEventsBound) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 50; ++i)
+    e.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(e.run(20), 20u);
+  EXPECT_EQ(count, 20);
+}
+
+TEST(Engine, SelfPerpetuatingProcessTerminatesViaRunUntil) {
+  Engine e;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    e.schedule_after(1.0, tick);
+  };
+  e.schedule_after(1.0, tick);
+  e.run_until(100.5);
+  EXPECT_EQ(ticks, 100);
+}
+
+TEST(Engine, EventsExecutedCounter) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i + 1.0, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 7u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, NestedSchedulingAtSameTime) {
+  // An event scheduling another event at the current instant runs it before
+  // later times.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    order.push_back(1);
+    e.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  e.schedule_at(2.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace prism::sim

@@ -1,0 +1,164 @@
+// Special functions and confidence intervals against known reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/confidence.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+
+namespace prism::stats {
+namespace {
+
+TEST(LogGamma, IntegerFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGamma, HalfInteger) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(3.14159265358979323846), 1e-9);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+  EXPECT_THROW(log_gamma(-1.0), std::domain_error);
+}
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 3.0, 10.0})
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  // P(a, 0) = 0; Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(3.0, 0.0), 1.0);
+}
+
+TEST(GammaP, ComplementIdentity) {
+  for (double a : {0.5, 1.0, 2.0, 10.0, 50.0})
+    for (double x : {0.1, 1.0, 5.0, 20.0, 80.0})
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-10);
+}
+
+TEST(GammaP, MedianOfErlangNearMean) {
+  // For Erlang(k, 1), median ~ k - 1/3: P(k, k - 1/3) ~ 0.5.
+  for (double k : {5.0, 20.0, 100.0})
+    EXPECT_NEAR(gamma_p(k, k - 1.0 / 3.0), 0.5, 0.01);
+}
+
+TEST(GammaP, Monotone) {
+  double prev = -1;
+  for (double x = 0; x <= 20; x += 0.5) {
+    const double v = gamma_p(4.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(normal_cdf(1.0), 0.841344746, 1e-6);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999})
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.95), 1.644853627, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(TCritical, MatchesTableValues) {
+  // Two-sided critical values from standard t tables.
+  EXPECT_NEAR(t_critical(0.95, 10), 2.228, 0.01);
+  EXPECT_NEAR(t_critical(0.90, 10), 1.812, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 30), 2.042, 0.01);
+  EXPECT_NEAR(t_critical(0.90, 49), 1.677, 0.01);  // the paper's r=50 case
+  EXPECT_NEAR(t_critical(0.99, 20), 2.845, 0.02);
+}
+
+TEST(TCritical, ConvergesToNormal) {
+  EXPECT_NEAR(t_critical(0.95, 100000), 1.959963985, 1e-3);
+}
+
+TEST(TCritical, DecreasesWithDof) {
+  EXPECT_GT(t_critical(0.95, 3), t_critical(0.95, 10));
+  EXPECT_GT(t_critical(0.95, 10), t_critical(0.95, 100));
+}
+
+TEST(TCritical, RejectsBadInputs) {
+  EXPECT_THROW(t_critical(0.0, 5), std::domain_error);
+  EXPECT_THROW(t_critical(1.0, 5), std::domain_error);
+  EXPECT_THROW(t_critical(0.9, 0), std::domain_error);
+}
+
+// ---- ConfidenceInterval -----------------------------------------------------
+
+TEST(ConfidenceInterval, BasicProperties) {
+  Summary s;
+  for (double x : {10.0, 12.0, 11.0, 9.0, 13.0}) s.add(x);
+  const auto ci = confidence_interval(s, 0.90);
+  EXPECT_DOUBLE_EQ(ci.mean, s.mean());
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(s.mean()));
+  EXPECT_LT(ci.lo(), ci.hi());
+}
+
+TEST(ConfidenceInterval, WiderAtHigherConfidence) {
+  Summary s;
+  for (int i = 0; i < 20; ++i) s.add(i % 5);
+  EXPECT_LT(confidence_interval(s, 0.90).half_width,
+            confidence_interval(s, 0.99).half_width);
+}
+
+TEST(ConfidenceInterval, OverlapLogic) {
+  ConfidenceInterval a{10.0, 1.0, 0.9, 5};
+  ConfidenceInterval b{11.5, 1.0, 0.9, 5};
+  ConfidenceInterval c{20.0, 1.0, 0.9, 5};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(ConfidenceInterval, RequiresTwoObservations) {
+  Summary s;
+  s.add(1);
+  EXPECT_THROW(confidence_interval(s, 0.9), std::invalid_argument);
+}
+
+TEST(ConfidenceInterval, CoverageIsApproximatelyNominal) {
+  // Monte-Carlo coverage check: 90% CIs built from n=10 normal samples
+  // should contain the true mean ~90% of the time.
+  Rng rng(2024);
+  int covered = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    Summary s;
+    for (int i = 0; i < 10; ++i) {
+      // Standard normal via Box-Muller.
+      const double u1 = rng.next_double_open();
+      const double u2 = rng.next_double();
+      s.add(std::sqrt(-2 * std::log(u1)) *
+            std::cos(2 * 3.14159265358979323846 * u2));
+    }
+    if (confidence_interval(s, 0.90).contains(0.0)) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / trials, 0.90, 0.025);
+}
+
+}  // namespace
+}  // namespace prism::stats

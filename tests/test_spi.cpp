@@ -1,0 +1,243 @@
+// SPI event-action machine: the specification language (lexer/parser) and
+// the runtime machine, including integration with a live ISM.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/environment.hpp"
+#include "spi/machine.hpp"
+#include "spi/spec.hpp"
+#include "stats/rng.hpp"
+
+namespace prism::spi {
+namespace {
+
+trace::EventRecord ev(trace::EventKind kind, std::uint32_t node = 0,
+                      std::uint16_t tag = 0, std::uint64_t payload = 0) {
+  trace::EventRecord r;
+  r.kind = kind;
+  r.node = node;
+  r.tag = tag;
+  r.payload = payload;
+  return r;
+}
+
+// ---- parser ---------------------------------------------------------------
+
+TEST(SpecParser, SingleRule) {
+  auto rules = parse_spec("rule r1: when kind = send do count");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name, "r1");
+  EXPECT_EQ(rules[0].action, ActionKind::kCount);
+  EXPECT_TRUE(rules[0].when(ev(trace::EventKind::kSend)));
+  EXPECT_FALSE(rules[0].when(ev(trace::EventKind::kRecv)));
+}
+
+TEST(SpecParser, AllComparisonOperators) {
+  auto rules = parse_spec(
+      "rule eq:  when payload = 5  do count\n"
+      "rule ne:  when payload != 5 do count\n"
+      "rule lt:  when payload < 5  do count\n"
+      "rule le:  when payload <= 5 do count\n"
+      "rule gt:  when payload > 5  do count\n"
+      "rule ge:  when payload >= 5 do count\n");
+  ASSERT_EQ(rules.size(), 6u);
+  auto at = [&](std::uint64_t v) {
+    std::vector<bool> hits;
+    for (auto& r : rules) hits.push_back(r.when(ev(trace::EventKind::kUserEvent, 0, 0, v)));
+    return hits;
+  };
+  EXPECT_EQ(at(5), (std::vector<bool>{true, false, false, true, false, true}));
+  EXPECT_EQ(at(4), (std::vector<bool>{false, true, true, true, false, false}));
+  EXPECT_EQ(at(6), (std::vector<bool>{false, true, false, false, true, true}));
+}
+
+TEST(SpecParser, BooleanCombinatorsAndPrecedence) {
+  // && binds tighter than ||.
+  auto rules = parse_spec(
+      "rule r: when kind = send && node = 1 || kind = recv do count");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].when(ev(trace::EventKind::kSend, 1)));
+  EXPECT_FALSE(rules[0].when(ev(trace::EventKind::kSend, 2)));
+  EXPECT_TRUE(rules[0].when(ev(trace::EventKind::kRecv, 2)));
+}
+
+TEST(SpecParser, ParensAndNegation) {
+  auto rules = parse_spec(
+      "rule r: when !(kind = send || kind = recv) && node = 0 do count");
+  EXPECT_TRUE(rules[0].when(ev(trace::EventKind::kUserEvent, 0)));
+  EXPECT_FALSE(rules[0].when(ev(trace::EventKind::kSend, 0)));
+  EXPECT_FALSE(rules[0].when(ev(trace::EventKind::kUserEvent, 1)));
+}
+
+TEST(SpecParser, SampleValueField) {
+  auto rules = parse_spec("rule hot: when kind = sample && value > 0.75 do trigger");
+  auto hot = ev(trace::EventKind::kSample, 0, 3, trace::pack_double(0.9));
+  auto cold = ev(trace::EventKind::kSample, 0, 3, trace::pack_double(0.5));
+  EXPECT_TRUE(rules[0].when(hot));
+  EXPECT_FALSE(rules[0].when(cold));
+  EXPECT_EQ(rules[0].action, ActionKind::kTrigger);
+}
+
+TEST(SpecParser, MarkActionWithLabel) {
+  auto rules = parse_spec("rule m: when node = 3 do mark suspicious");
+  EXPECT_EQ(rules[0].action, ActionKind::kMark);
+  EXPECT_EQ(rules[0].mark_label, "suspicious");
+}
+
+TEST(SpecParser, CommentsAndMultipleRules) {
+  auto rules = parse_spec(
+      "# watch the message plane\n"
+      "rule sends: when kind = send do count   # every send\n"
+      "rule recvs: when kind = recv do count\n");
+  EXPECT_EQ(rules.size(), 2u);
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_spec("rule ok: when kind = send do count\nrule bad: when bogus = 1 do count");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(SpecParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_spec("rule r when kind = send do count"), SpecError);
+  EXPECT_THROW(parse_spec("rule r: when kind = nosuchkind do count"), SpecError);
+  EXPECT_THROW(parse_spec("rule r: when kind = send do explode"), SpecError);
+  EXPECT_THROW(parse_spec("rule r: when kind = send do"), SpecError);
+  EXPECT_THROW(parse_spec("rule r: when (kind = send do count"), SpecError);
+  EXPECT_THROW(parse_spec("rule r: when kind > do count"), SpecError);
+  EXPECT_THROW(parse_spec("@"), SpecError);
+}
+
+TEST(SpecParser, EmptySpecIsEmpty) {
+  EXPECT_TRUE(parse_spec("").empty());
+  EXPECT_TRUE(parse_spec("  # only a comment\n").empty());
+}
+
+TEST(SpecParser, NeverCrashesOnGarbage) {
+  // Robustness: arbitrary byte soup must either parse or throw SpecError,
+  // never crash or loop.
+  stats::Rng rng(0xF00D);
+  const std::string alphabet =
+      "rule when do count trigger mark kind node = != < > ( ) ! && || "
+      "send recv 0123456789 . \n # _abcxyz";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const std::size_t len = 1 + rng.next_below(120);
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[rng.next_below(alphabet.size())];
+    try {
+      auto rules = parse_spec(text);
+      // If it parsed, the rules must be executable.
+      for (auto& r : rules) {
+        trace::EventRecord e;
+        (void)r.when(e);
+      }
+    } catch (const SpecError&) {
+      // expected for most garbage
+    }
+  }
+  SUCCEED();
+}
+
+// ---- combinators -----------------------------------------------------------
+
+TEST(Combinators, ComposeCorrectly) {
+  auto p = p_and(match_kind(trace::EventKind::kSend),
+                 p_or(match_node(1), payload_above(100)));
+  EXPECT_TRUE(p(ev(trace::EventKind::kSend, 1, 0, 0)));
+  EXPECT_TRUE(p(ev(trace::EventKind::kSend, 9, 0, 200)));
+  EXPECT_FALSE(p(ev(trace::EventKind::kSend, 9, 0, 50)));
+  EXPECT_FALSE(p(ev(trace::EventKind::kRecv, 1, 0, 200)));
+  EXPECT_TRUE(p_not(match_tag(3))(ev(trace::EventKind::kSend, 0, 4)));
+  EXPECT_TRUE(sample_value_above(0.5)(
+      ev(trace::EventKind::kSample, 0, 0, trace::pack_double(0.6))));
+}
+
+// ---- machine ----------------------------------------------------------------
+
+TEST(Machine, CountsMatches) {
+  auto m = EventActionMachine::from_spec(
+      "rule sends: when kind = send do count\n"
+      "rule node1: when node = 1 do count\n");
+  m.consume(ev(trace::EventKind::kSend, 1));
+  m.consume(ev(trace::EventKind::kSend, 0));
+  m.consume(ev(trace::EventKind::kRecv, 1));
+  EXPECT_EQ(m.count("sends"), 2u);
+  EXPECT_EQ(m.count("node1"), 2u);
+  EXPECT_EQ(m.count("unknown"), 0u);
+  EXPECT_EQ(m.events_seen(), 3u);
+}
+
+TEST(Machine, TriggersInvokeCallback) {
+  std::vector<std::string> fired;
+  auto m = EventActionMachine::from_spec(
+      "rule hot: when kind = sample && value > 0.8 do trigger",
+      [&](const std::string& rule, const trace::EventRecord&) {
+        fired.push_back(rule);
+      });
+  m.consume(ev(trace::EventKind::kSample, 0, 0, trace::pack_double(0.9)));
+  m.consume(ev(trace::EventKind::kSample, 0, 0, trace::pack_double(0.2)));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "hot");
+  EXPECT_EQ(m.triggers("hot"), 1u);
+}
+
+TEST(Machine, MarkCapturesRecordsBounded) {
+  auto m = EventActionMachine(
+      {Rule{"m", match_node(2), ActionKind::kMark, "grabbed"}}, nullptr,
+      /*max_marked=*/3);
+  for (int i = 0; i < 10; ++i) m.consume(ev(trace::EventKind::kUserEvent, 2));
+  EXPECT_EQ(m.marked("grabbed").size(), 3u);
+  EXPECT_EQ(m.count("m"), 10u);
+  EXPECT_TRUE(m.marked("nothing").empty());
+}
+
+TEST(Machine, RejectsInvalidRules) {
+  EXPECT_THROW(EventActionMachine({Rule{"x", nullptr, ActionKind::kCount, ""}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      EventActionMachine({Rule{"x", match_node(0), ActionKind::kMark, ""}}),
+      std::invalid_argument);
+}
+
+TEST(Machine, ReportListsRules) {
+  auto m = EventActionMachine::from_spec(
+      "rule a: when kind = send do count\nrule b: when node = 1 do mark grab");
+  m.consume(ev(trace::EventKind::kSend, 1));
+  const auto rep = m.report();
+  EXPECT_NE(rep.find("rule a"), std::string::npos);
+  EXPECT_NE(rep.find("rule b"), std::string::npos);
+  EXPECT_NE(rep.find("mark grab"), std::string::npos);
+}
+
+TEST(Machine, AttachesToLiveIsmAsTool) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 2;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+  auto machine = std::make_shared<EventActionMachine>(parse_spec(
+      "rule all: when seq >= 0 do count\n"
+      "rule big: when payload > 500 do mark big_payloads"));
+  env.attach_tool(machine);
+  env.start();
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    trace::EventRecord r;
+    r.node = static_cast<std::uint32_t>(s % 2);
+    r.seq = s / 2;
+    r.payload = s * 100;
+    env.record(r);
+  }
+  env.stop();
+  EXPECT_EQ(machine->count("all"), 20u);
+  EXPECT_EQ(machine->count("big"), 14u);  // payloads 600..1900
+  EXPECT_EQ(machine->marked("big_payloads").size(), 14u);
+}
+
+}  // namespace
+}  // namespace prism::spi

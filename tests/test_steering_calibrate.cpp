@@ -1,0 +1,194 @@
+// Closed-loop steering (tool -> ISM -> control plane -> LIS) and
+// trace-driven model calibration.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/clock.hpp"
+#include "core/environment.hpp"
+#include "core/steering.hpp"
+#include "picl/calibrate.hpp"
+#include "stats/distributions.hpp"
+
+namespace prism {
+namespace {
+
+trace::EventRecord sample(std::uint32_t node, std::uint32_t process,
+                          std::uint16_t tag, double value,
+                          std::uint64_t seq) {
+  trace::EventRecord r;
+  r.timestamp = core::now_ns();
+  r.node = node;
+  r.process = process;
+  r.kind = trace::EventKind::kSample;
+  r.tag = tag;
+  r.payload = trace::pack_double(value);
+  r.seq = seq;
+  return r;
+}
+
+TEST(Steering, FiresAfterConsecutiveCrossings) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 1;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+  core::SteeringPolicy policy;
+  policy.metric_tag = 9;
+  policy.high_threshold = 0.8;
+  policy.low_threshold = 0.2;
+  policy.consecutive_needed = 3;
+  policy.high_action = {core::ControlKind::kSetSamplingPeriod, 0, 5e6};
+  policy.low_action = core::ControlMessage{
+      core::ControlKind::kSetSamplingPeriod, 0, 1e6};
+  auto steer = std::make_shared<core::SteeringTool>(env.ism(), policy);
+  env.attach_tool(steer);
+  env.start();
+
+  std::uint64_t seq = 0;
+  // Two crossings then a dip: not enough.
+  env.record(sample(0, 0, 9, 0.9, seq++));
+  env.record(sample(0, 0, 9, 0.9, seq++));
+  env.record(sample(0, 0, 9, 0.5, seq++));
+  // Three consecutive: fires.
+  env.record(sample(0, 0, 9, 0.9, seq++));
+  env.record(sample(0, 0, 9, 0.95, seq++));
+  env.record(sample(0, 0, 9, 0.85, seq++));
+  // Recovery: three below low threshold fires the low action.
+  env.record(sample(0, 0, 9, 0.1, seq++));
+  env.record(sample(0, 0, 9, 0.1, seq++));
+  env.record(sample(0, 0, 9, 0.1, seq++));
+  env.stop();
+
+  EXPECT_EQ(steer->high_actions_fired(), 1u);
+  EXPECT_EQ(steer->low_actions_fired(), 1u);
+  EXPECT_FALSE(steer->engaged());
+  // Both control messages reached the LIS control link.
+  auto& link = env.tp().control_link(0);
+  auto m1 = link.try_pop();
+  auto m2 = link.try_pop();
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_DOUBLE_EQ(m1->value, 5e6);
+  EXPECT_DOUBLE_EQ(m2->value, 1e6);
+}
+
+TEST(Steering, IgnoresOtherTagsAndKinds) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 1;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+  core::SteeringPolicy policy;
+  policy.metric_tag = 9;
+  policy.high_threshold = 0.5;
+  policy.consecutive_needed = 1;
+  auto steer = std::make_shared<core::SteeringTool>(env.ism(), policy);
+  env.attach_tool(steer);
+  env.start();
+  env.record(sample(0, 0, 8, 0.9, 0));  // wrong tag
+  trace::EventRecord user;
+  user.timestamp = core::now_ns();
+  user.kind = trace::EventKind::kUserEvent;
+  user.tag = 9;
+  user.payload = trace::pack_double(0.9);
+  user.seq = 1;
+  env.record(user);  // wrong kind
+  env.stop();
+  EXPECT_EQ(steer->high_actions_fired(), 0u);
+}
+
+TEST(Steering, ClosedLoopAdjustsDaemonPeriod) {
+  // Full loop: sample stream -> SteeringTool -> control link -> DaemonLis
+  // adopts the new sampling period.
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 1;
+  cfg.processes_per_node = 1;
+  cfg.lis_style = core::LisStyle::kDaemon;
+  cfg.sampling_period_ns = 1'000'000;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+  core::SteeringPolicy policy;
+  policy.metric_tag = 1;
+  policy.high_threshold = 0.7;
+  policy.consecutive_needed = 2;
+  policy.high_action = {core::ControlKind::kSetSamplingPeriod, 0, 8'000'000};
+  auto steer = std::make_shared<core::SteeringTool>(env.ism(), policy);
+  env.attach_tool(steer);
+  env.start();
+  for (std::uint64_t s = 0; s < 4; ++s)
+    env.record(sample(0, 0, 1, 0.9, s));
+  // Give the daemon a few wakeups to drain the pipe and see the control.
+  auto* daemon = dynamic_cast<core::DaemonLis*>(&env.lis(0));
+  ASSERT_NE(daemon, nullptr);
+  for (int spin = 0; spin < 100 && daemon->sampling_period_ns() != 8'000'000;
+       ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(daemon->sampling_period_ns(), 8'000'000u);
+  env.stop();
+}
+
+TEST(Steering, RejectsBadPolicy) {
+  core::EnvironmentConfig cfg;
+  core::IntegratedEnvironment env(cfg);
+  core::SteeringPolicy p;
+  p.consecutive_needed = 0;
+  EXPECT_THROW(core::SteeringTool(env.ism(), p), std::invalid_argument);
+  p = core::SteeringPolicy{};
+  p.high_threshold = 0.1;
+  p.low_threshold = 0.5;
+  EXPECT_THROW(core::SteeringTool(env.ism(), p), std::invalid_argument);
+}
+
+// ---- calibration ------------------------------------------------------------
+
+TEST(Calibrate, RecoversPoissonRateFromTrace) {
+  // Synthesize a Poisson trace at rate 0.02/ns-unit per node, 4 nodes.
+  stats::Rng rng(42);
+  stats::Exponential gap(0.02);
+  std::vector<trace::EventRecord> records;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    std::uint64_t ts = 0;
+    for (std::uint64_t s = 0; s < 3000; ++s) {
+      ts += static_cast<std::uint64_t>(gap.sample(rng)) + 1;
+      trace::EventRecord r;
+      r.node = n;
+      r.seq = s;
+      r.timestamp = ts;
+      records.push_back(r);
+    }
+  }
+  const auto rep =
+      picl::calibrate_picl_model(records, 100, 4, 100.0, 10.0);
+  EXPECT_NEAR(rep.params.arrival_rate, 0.02, 0.002);
+  EXPECT_EQ(rep.params.nodes, 4u);
+  EXPECT_EQ(rep.params.buffer_capacity, 100u);
+  EXPECT_TRUE(rep.poisson_plausible);
+  // The calibrated model is immediately usable.
+  EXPECT_GT(picl::fof_flushing_frequency(rep.params), 0.0);
+}
+
+TEST(Calibrate, FlagsNonPoissonWorkload) {
+  // Deterministic arrivals: CV ~ 0 -> not Poisson-plausible.
+  std::vector<trace::EventRecord> records;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    trace::EventRecord r;
+    r.seq = s;
+    r.timestamp = s * 50;
+    records.push_back(r);
+  }
+  const auto rep = picl::calibrate_picl_model(records, 10, 1, 0, 1);
+  EXPECT_FALSE(rep.poisson_plausible);
+}
+
+TEST(Calibrate, RejectsDegenerateTraces) {
+  EXPECT_THROW(picl::calibrate_picl_model({}, 10, 1, 0, 1),
+               std::invalid_argument);
+  std::vector<trace::EventRecord> one(1);
+  EXPECT_THROW(picl::calibrate_picl_model(one, 10, 1, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism

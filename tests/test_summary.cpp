@@ -1,0 +1,140 @@
+// Welford summaries and time-weighted averages.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace prism::stats {
+namespace {
+
+TEST(Summary, EmptyIsZeroish) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(Summary, SingleObservation) {
+  Summary s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(Summary, KnownValues) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1);
+  a.add(3);
+  Summary before = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), before.mean());
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Summary, StdErrorShrinksWithN) {
+  Summary small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) big.add(i % 3);
+  EXPECT_GT(small.std_error(), big.std_error());
+}
+
+TEST(Summary, NumericalStabilityWithLargeOffset) {
+  // Naive sum-of-squares would lose everything at offset 1e9.
+  Summary s;
+  for (double x : {1e9 + 1, 1e9 + 2, 1e9 + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Summary, ResetClears) {
+  Summary s;
+  s.add(5);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+// ---- TimeWeighted ----------------------------------------------------------
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.set(0.0, 2.0);   // 2 on [0, 4)
+  tw.set(4.0, 6.0);   // 6 on [4, 6)
+  tw.advance(6.0);
+  // integral = 2*4 + 6*2 = 20 over span 6.
+  EXPECT_NEAR(tw.time_average(), 20.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tw.max(), 6.0);
+}
+
+TEST(TimeWeighted, InitialValueCounts) {
+  TimeWeighted tw(0.0, 3.0);
+  tw.advance(10.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(), 3.0);
+}
+
+TEST(TimeWeighted, AddDelta) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.add(1.0, +2.0);
+  tw.add(2.0, +1.0);
+  tw.add(3.0, -3.0);
+  EXPECT_DOUBLE_EQ(tw.value(), 0.0);
+  // 0 on [0,1), 2 on [1,2), 3 on [2,3): integral 5 over 3.
+  EXPECT_NEAR(tw.time_average_until(3.0), 5.0 / 3.0, 1e-12);
+}
+
+TEST(TimeWeighted, ZeroSpanReturnsCurrentValue) {
+  TimeWeighted tw(5.0, 7.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(), 7.0);
+}
+
+TEST(TimeWeighted, NonDecreasingTimeAccepted) {
+  TimeWeighted tw;
+  tw.set(1.0, 1.0);
+  tw.set(1.0, 2.0);  // same instant: ok, no span elapses
+  tw.advance(2.0);
+  EXPECT_NEAR(tw.time_average(), 1.0, 1e-12);  // value 2 over [1,2), 0 on [0,1)
+}
+
+TEST(TimeWeighted, NonZeroStart) {
+  TimeWeighted tw(10.0, 4.0);
+  tw.advance(20.0);
+  EXPECT_DOUBLE_EQ(tw.time_average(), 4.0);
+  EXPECT_DOUBLE_EQ(tw.integral(), 40.0);
+}
+
+}  // namespace
+}  // namespace prism::stats

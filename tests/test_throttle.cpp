@@ -1,0 +1,138 @@
+// Pablo-style adaptive tracing throttle: level transitions, sampling,
+// counting aggregation, pinning.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/throttle.hpp"
+
+namespace prism::core {
+namespace {
+
+trace::EventRecord ev(std::uint64_t ts, std::uint64_t payload = 0) {
+  trace::EventRecord r;
+  r.timestamp = ts;
+  r.payload = payload;
+  return r;
+}
+
+ThrottleConfig quick_config() {
+  ThrottleConfig c;
+  c.escalate_rate = 1e6;     // > 1 event/us escalates
+  c.deescalate_rate = 1e4;   // < 1 event/100us de-escalates
+  c.smoothing = 0.5;
+  c.dwell_ns = 0;            // no dwell for unit tests
+  c.sample_stride = 4;
+  c.counting_window_ns = 1000;
+  return c;
+}
+
+TEST(Throttle, FullLevelPassesEverything) {
+  std::vector<trace::EventRecord> out;
+  TracingThrottle t(quick_config(),
+                    [&](trace::EventRecord r) { out.push_back(r); });
+  // Slow events (10 us apart = 1e5/s, between the thresholds): stay kFull.
+  for (std::uint64_t i = 0; i < 10; ++i) t.offer(ev(i * 10'000));
+  EXPECT_EQ(t.level(), TraceLevel::kFull);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(t.suppressed(), 0u);
+}
+
+TEST(Throttle, EscalatesUnderBurst) {
+  std::vector<trace::EventRecord> out;
+  TracingThrottle t(quick_config(),
+                    [&](trace::EventRecord r) { out.push_back(r); });
+  // 100 ns gaps = 1e7 events/s >> escalate threshold.
+  for (std::uint64_t i = 0; i < 50; ++i) t.offer(ev(i * 100));
+  EXPECT_GE(static_cast<int>(t.level()), static_cast<int>(TraceLevel::kSampled));
+  EXPECT_GT(t.level_changes(), 0u);
+  EXPECT_LT(out.size(), 50u);  // something was sampled away
+}
+
+TEST(Throttle, SampledLevelKeepsOneInN) {
+  auto cfg = quick_config();
+  std::vector<trace::EventRecord> out;
+  TracingThrottle t(cfg, [&](trace::EventRecord r) { out.push_back(r); });
+  t.pin(TraceLevel::kSampled);
+  for (std::uint64_t i = 0; i < 40; ++i) t.offer(ev(i * 10'000));
+  EXPECT_EQ(out.size(), 10u);  // stride 4
+  EXPECT_EQ(t.forwarded(), 10u);
+  EXPECT_EQ(t.suppressed(), 30u);
+}
+
+TEST(Throttle, CountingAggregatesWindows) {
+  auto cfg = quick_config();
+  cfg.counting_window_ns = 1000;
+  std::vector<trace::EventRecord> out;
+  TracingThrottle t(cfg, [&](trace::EventRecord r) { out.push_back(r); });
+  t.pin(TraceLevel::kCounting);
+  // 10 events 200 ns apart: windows of 1000 ns -> aggregates of ~5.
+  for (std::uint64_t i = 1; i <= 10; ++i) t.offer(ev(i * 200));
+  ASSERT_GE(out.size(), 1u);
+  for (const auto& r : out) {
+    EXPECT_EQ(r.kind, trace::EventKind::kSample);
+    EXPECT_EQ(r.tag, cfg.counting_tag);
+    EXPECT_GE(r.payload, 1u);
+  }
+  std::uint64_t total = 0;
+  for (const auto& r : out) total += r.payload;
+  EXPECT_LE(total, 10u);  // aggregates never invent events
+}
+
+TEST(Throttle, OffDropsEverything) {
+  std::vector<trace::EventRecord> out;
+  TracingThrottle t(quick_config(),
+                    [&](trace::EventRecord r) { out.push_back(r); });
+  t.pin(TraceLevel::kOff);
+  for (std::uint64_t i = 0; i < 20; ++i) t.offer(ev(i * 100));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(t.suppressed(), 20u);
+}
+
+TEST(Throttle, DeescalatesWhenQuiet) {
+  auto cfg = quick_config();
+  std::vector<trace::EventRecord> out;
+  TracingThrottle t(cfg, [&](trace::EventRecord r) { out.push_back(r); });
+  t.pin(TraceLevel::kSampled);
+  t.unpin();
+  // Long gaps (1 ms = 1e3/s < deescalate threshold): back toward kFull.
+  std::uint64_t ts = 0;
+  for (int i = 0; i < 20; ++i) t.offer(ev(ts += 1'000'000));
+  EXPECT_EQ(t.level(), TraceLevel::kFull);
+}
+
+TEST(Throttle, DwellPreventsFlapping) {
+  auto cfg = quick_config();
+  cfg.dwell_ns = 1'000'000'000;  // 1 s dwell
+  TracingThrottle t(cfg, [](trace::EventRecord) {});
+  for (std::uint64_t i = 0; i < 100; ++i) t.offer(ev(i * 100));
+  // At most one transition can have happened within the dwell window.
+  EXPECT_LE(t.level_changes(), 1u);
+}
+
+TEST(Throttle, RateEstimateTracksInput) {
+  TracingThrottle t(quick_config(), [](trace::EventRecord) {});
+  for (std::uint64_t i = 0; i < 50; ++i) t.offer(ev(i * 10'000));  // 1e5/s
+  EXPECT_NEAR(t.estimated_rate_per_sec(), 1e5, 2e4);
+}
+
+TEST(Throttle, RejectsBadConfig) {
+  auto sink = [](trace::EventRecord) {};
+  EXPECT_THROW(TracingThrottle(quick_config(), nullptr),
+               std::invalid_argument);
+  auto c = quick_config();
+  c.escalate_rate = c.deescalate_rate;
+  EXPECT_THROW(TracingThrottle(c, sink), std::invalid_argument);
+  c = quick_config();
+  c.sample_stride = 0;
+  EXPECT_THROW(TracingThrottle(c, sink), std::invalid_argument);
+  c = quick_config();
+  c.smoothing = 0;
+  EXPECT_THROW(TracingThrottle(c, sink), std::invalid_argument);
+  c = quick_config();
+  c.counting_window_ns = 0;
+  EXPECT_THROW(TracingThrottle(c, sink), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::core

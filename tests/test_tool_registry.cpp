@@ -1,0 +1,88 @@
+// The Table 8 registry: the paper's rows are present with the published
+// classifications, and the query/render API behaves.
+#include <gtest/gtest.h>
+
+#include "core/tool_registry.hpp"
+
+namespace prism::core {
+namespace {
+
+TEST(ToolRegistry, Table8HasAllEightRows) {
+  const auto r = ToolRegistry::paper_table8();
+  EXPECT_EQ(r.entries().size(), 8u);
+  for (const char* name : {"PICL", "AIMS", "Pablo", "Paradyn", "Falcon/Issos",
+                           "ParAide(TAM)", "SPI", "VIZIR"})
+    EXPECT_TRUE(r.find(name).has_value()) << name;
+}
+
+TEST(ToolRegistry, PiclRowMatchesPaper) {
+  const auto e = ToolRegistry::paper_table8().find("PICL");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->analysis, AnalysisSupport::kOffline);
+  EXPECT_EQ(e->synthesis, SynthesisApproach::kHardCoded);
+  EXPECT_EQ(e->management, ManagementApproach::kStatic);
+  EXPECT_EQ(e->evaluation, EvaluationApproach::kNone);
+}
+
+TEST(ToolRegistry, ParadynRowMatchesPaper) {
+  const auto e = ToolRegistry::paper_table8().find("Paradyn");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->analysis, AnalysisSupport::kOnline);
+  EXPECT_EQ(e->synthesis, SynthesisApproach::kApplicationSpecific);
+  EXPECT_EQ(e->management, ManagementApproach::kAdaptive);
+  EXPECT_EQ(e->evaluation, EvaluationApproach::kAdaptiveCostModel);
+  EXPECT_EQ(e->lis, "Local daemon");
+  EXPECT_EQ(e->ism, "Main Paradyn process");
+}
+
+TEST(ToolRegistry, PabloIsOfflineYetAdaptive) {
+  // The distinguishing Pablo feature in Table 8.
+  const auto e = ToolRegistry::paper_table8().find("Pablo");
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->analysis, AnalysisSupport::kOffline);
+  EXPECT_EQ(e->management, ManagementApproach::kAdaptive);
+}
+
+TEST(ToolRegistry, QueriesByDimension) {
+  const auto r = ToolRegistry::paper_table8();
+  // Off-line only: PICL, AIMS, Pablo.
+  EXPECT_EQ(r.with_analysis(AnalysisSupport::kOffline).size(), 3u);
+  // Static management: PICL, AIMS, ParAide, VIZIR.
+  EXPECT_EQ(r.with_management(ManagementApproach::kStatic).size(), 4u);
+  // No integral evaluation: PICL, AIMS, Pablo, VIZIR.
+  EXPECT_EQ(r.with_evaluation(EvaluationApproach::kNone).size(), 4u);
+}
+
+TEST(ToolRegistry, FindMissingReturnsNullopt) {
+  EXPECT_FALSE(ToolRegistry::paper_table8().find("TAU").has_value());
+}
+
+TEST(ToolRegistry, RenderContainsEveryToolName) {
+  const auto r = ToolRegistry::paper_table8();
+  const std::string table = r.render();
+  for (const auto& e : r.entries())
+    EXPECT_NE(table.find(e.name.substr(0, 10)), std::string::npos) << e.name;
+  EXPECT_NE(table.find("Tool"), std::string::npos);
+  EXPECT_NE(table.find("Management"), std::string::npos);
+}
+
+TEST(ToolRegistry, UserExtension) {
+  ToolRegistry r;
+  r.add({"MyTool", AnalysisSupport::kOnline, "lib", "server",
+         SynthesisApproach::kHardCoded, ManagementApproach::kAdaptive,
+         EvaluationApproach::kStructuredModeling, ""});
+  EXPECT_EQ(r.entries().size(), 1u);
+  EXPECT_TRUE(r.find("MyTool").has_value());
+}
+
+TEST(Classification, NamesRenderForAllValues) {
+  EXPECT_EQ(to_string(AnalysisSupport::kOnOffline), "On-/Off-line");
+  EXPECT_EQ(to_string(SynthesisApproach::kApplicationSpecific),
+            "Application-specific");
+  EXPECT_EQ(to_string(ManagementApproach::kAdaptive), "Adaptive");
+  EXPECT_EQ(to_string(EvaluationApproach::kAccountableInvasiveness),
+            "Accountable invasiveness");
+}
+
+}  // namespace
+}  // namespace prism::core

@@ -1,0 +1,122 @@
+// Bundled tools: stats aggregation, timeline rendering, trace-file sink,
+// threshold watcher.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/tool.hpp"
+
+namespace prism::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+trace::EventRecord rec(std::uint32_t node, trace::EventKind kind,
+                       std::uint64_t ts = 0, std::uint16_t tag = 0,
+                       std::uint64_t payload = 0) {
+  trace::EventRecord r;
+  r.node = node;
+  r.kind = kind;
+  r.timestamp = ts;
+  r.tag = tag;
+  r.payload = payload;
+  return r;
+}
+
+TEST(StatsTool, CountsByKindAndNode) {
+  StatsTool t;
+  t.consume(rec(0, trace::EventKind::kSend));
+  t.consume(rec(0, trace::EventKind::kRecv));
+  t.consume(rec(1, trace::EventKind::kSend));
+  EXPECT_EQ(t.total(), 3u);
+  EXPECT_EQ(t.count(trace::EventKind::kSend), 2u);
+  EXPECT_EQ(t.count(trace::EventKind::kRecv), 1u);
+  EXPECT_EQ(t.count(trace::EventKind::kBarrier), 0u);
+  EXPECT_EQ(t.count_for_node(0), 2u);
+  EXPECT_EQ(t.count_for_node(7), 0u);
+}
+
+TEST(StatsTool, AggregatesMetricSamples) {
+  StatsTool t;
+  for (double v : {1.0, 2.0, 3.0})
+    t.consume(rec(0, trace::EventKind::kSample, 0, 5, trace::pack_double(v)));
+  const auto m = t.metric(5);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_EQ(t.metric(6).count(), 0u);
+}
+
+TEST(StatsTool, ReportMentionsCountsAndMetrics) {
+  StatsTool t;
+  t.consume(rec(2, trace::EventKind::kSample, 0, 9, trace::pack_double(4.0)));
+  std::ostringstream os;
+  t.report(os);
+  EXPECT_NE(os.str().find("sample"), std::string::npos);
+  EXPECT_NE(os.str().find("node 2"), std::string::npos);
+  EXPECT_NE(os.str().find("metric 9"), std::string::npos);
+}
+
+TEST(TimelineTool, RendersLanePerNode) {
+  TimelineTool t(100);
+  t.consume(rec(0, trace::EventKind::kSend, 100));
+  t.consume(rec(1, trace::EventKind::kRecv, 200));
+  t.consume(rec(2, trace::EventKind::kSample, 300));
+  const std::string viz = t.render(40);
+  EXPECT_NE(viz.find("node 0"), std::string::npos);
+  EXPECT_NE(viz.find("node 2"), std::string::npos);
+  EXPECT_NE(viz.find('s'), std::string::npos);
+  EXPECT_NE(viz.find('r'), std::string::npos);
+  EXPECT_NE(viz.find('^'), std::string::npos);
+}
+
+TEST(TimelineTool, EmptyRenders) {
+  TimelineTool t;
+  EXPECT_NE(t.render().find("empty"), std::string::npos);
+}
+
+TEST(TimelineTool, RetainsAtMostMax) {
+  TimelineTool t(5);
+  for (int i = 0; i < 20; ++i)
+    t.consume(rec(0, trace::EventKind::kUserEvent, i));
+  EXPECT_EQ(t.records().size(), 5u);
+}
+
+TEST(TraceFileTool, WritesRecordsOnFinish) {
+  const auto path = fs::temp_directory_path() / "prism_tool_sink.trc";
+  {
+    TraceFileTool t(path);
+    t.consume(rec(0, trace::EventKind::kUserEvent, 1));
+    t.consume(rec(0, trace::EventKind::kUserEvent, 2));
+    EXPECT_EQ(t.written(), 2u);
+    t.finish();
+  }
+  trace::TraceFileReader r(path);
+  EXPECT_EQ(r.record_count(), 2u);
+  fs::remove(path);
+}
+
+TEST(ThresholdWatchTool, TriggersAboveThreshold) {
+  int fired = 0;
+  double seen = 0;
+  ThresholdWatchTool t(3, 10.0, [&](const trace::EventRecord&, double v) {
+    ++fired;
+    seen = v;
+  });
+  t.consume(rec(0, trace::EventKind::kSample, 0, 3, trace::pack_double(9.0)));
+  EXPECT_EQ(fired, 0);
+  t.consume(rec(0, trace::EventKind::kSample, 0, 3, trace::pack_double(11.5)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(seen, 11.5);
+  // Wrong tag or kind: ignored.
+  t.consume(rec(0, trace::EventKind::kSample, 0, 4, trace::pack_double(99.0)));
+  t.consume(rec(0, trace::EventKind::kUserEvent, 0, 3, 12345));
+  EXPECT_EQ(t.triggers(), 1u);
+}
+
+TEST(ThresholdWatchTool, RejectsNullTrigger) {
+  EXPECT_THROW(ThresholdWatchTool(1, 1.0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::core

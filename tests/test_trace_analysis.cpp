@@ -1,0 +1,195 @@
+// Off-line trace analysis: activity breakdowns, message matching, critical
+// path, and arrival characterization.
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "trace/analysis.hpp"
+#include "trace/merge.hpp"
+#include "workload/apps.hpp"
+#include "workload/multicomputer.hpp"
+
+namespace prism::trace {
+namespace {
+
+EventRecord ev(std::uint32_t node, std::uint64_t seq, std::uint64_t ts,
+               EventKind kind = EventKind::kUserEvent, std::uint32_t peer = 0,
+               std::uint16_t tag = 0, std::uint64_t payload = 0) {
+  EventRecord r;
+  r.node = node;
+  r.seq = seq;
+  r.timestamp = ts;
+  r.kind = kind;
+  r.peer = peer;
+  r.tag = tag;
+  r.payload = payload;
+  return r;
+}
+
+TEST(AnalyzeTrace, EmptyTrace) {
+  const auto a = analyze_trace({});
+  EXPECT_TRUE(a.nodes.empty());
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_EQ(a.span, 0u);
+}
+
+TEST(AnalyzeTrace, CountsAndSpan) {
+  std::vector<EventRecord> t{ev(0, 0, 100), ev(1, 0, 150), ev(0, 1, 400)};
+  const auto a = analyze_trace(t);
+  ASSERT_EQ(a.nodes.size(), 2u);
+  EXPECT_EQ(a.nodes[0].events, 2u);
+  EXPECT_EQ(a.nodes[1].events, 1u);
+  EXPECT_EQ(a.nodes[0].active_span, 300u);
+  EXPECT_EQ(a.span, 300u);
+}
+
+TEST(AnalyzeTrace, MatchesMessagesAndLatency) {
+  std::vector<EventRecord> t{
+      ev(0, 0, 100, EventKind::kSend, 1, 3, 512),
+      ev(1, 0, 160, EventKind::kRecv, 0, 3),
+      ev(0, 1, 200, EventKind::kSend, 1, 3, 256),
+      ev(1, 1, 290, EventKind::kRecv, 0, 3),
+  };
+  const auto a = analyze_trace(t);
+  ASSERT_EQ(a.messages.size(), 2u);
+  EXPECT_EQ(a.messages[0].latency(), 60u);
+  EXPECT_EQ(a.messages[1].latency(), 90u);
+  EXPECT_DOUBLE_EQ(a.message_latency.mean(), 75.0);
+  EXPECT_EQ(a.nodes[0].bytes_sent, 768u);
+  EXPECT_EQ(a.comm_matrix[0][1], 2u);
+  EXPECT_EQ(a.comm_matrix[1][0], 0u);
+  EXPECT_EQ(a.unmatched_sends, 0u);
+  EXPECT_EQ(a.unmatched_recvs, 0u);
+}
+
+TEST(AnalyzeTrace, UnmatchedTrafficCounted) {
+  std::vector<EventRecord> t{
+      ev(0, 0, 100, EventKind::kSend, 1, 1),
+      ev(1, 0, 150, EventKind::kRecv, 2, 1),  // from node 2: no send
+  };
+  const auto a = analyze_trace(t);
+  EXPECT_EQ(a.unmatched_sends, 1u);
+  EXPECT_EQ(a.unmatched_recvs, 1u);
+}
+
+TEST(AnalyzeTrace, BlockAndFlushTime) {
+  std::vector<EventRecord> t{
+      ev(0, 0, 100, EventKind::kBlockBegin),
+      ev(0, 1, 300, EventKind::kBlockEnd),
+      ev(0, 2, 400, EventKind::kFlushBegin),
+      ev(0, 3, 450, EventKind::kFlushEnd),
+  };
+  const auto a = analyze_trace(t);
+  EXPECT_EQ(a.nodes[0].block_time, 200u);
+  EXPECT_EQ(a.nodes[0].flush_time, 50u);
+}
+
+TEST(AnalyzeTrace, ToStringMentionsNodes) {
+  std::vector<EventRecord> t{ev(0, 0, 1), ev(1, 0, 2)};
+  const auto s = analyze_trace(t).to_string();
+  EXPECT_NE(s.find("node 0"), std::string::npos);
+  EXPECT_NE(s.find("node 1"), std::string::npos);
+}
+
+TEST(CriticalPath, SingleStreamIsWholeSpan) {
+  std::vector<EventRecord> t{ev(0, 0, 100), ev(0, 1, 300), ev(0, 2, 700)};
+  const auto cp = critical_path(t);
+  EXPECT_EQ(cp.duration, 600u);
+  EXPECT_EQ(cp.events, 3u);
+  EXPECT_EQ(cp.message_hops, 0u);
+}
+
+TEST(CriticalPath, CrossesMessages) {
+  // node 0: e@0, send@100; node 1: recv@250, e@400.  Path: 0->100->250->400.
+  std::vector<EventRecord> t{
+      ev(0, 0, 0), ev(0, 1, 100, EventKind::kSend, 1, 1),
+      ev(1, 0, 250, EventKind::kRecv, 0, 1), ev(1, 1, 400)};
+  const auto cp = critical_path(t);
+  EXPECT_EQ(cp.duration, 400u);
+  EXPECT_EQ(cp.events, 4u);
+  EXPECT_EQ(cp.message_hops, 1u);
+}
+
+TEST(CriticalPath, PicksLongerOfLocalVsMessage) {
+  // Receiver has a long local history; the message edge is shorter.
+  std::vector<EventRecord> t{
+      ev(1, 0, 0), ev(1, 1, 500, EventKind::kRecv, 0, 1),
+      ev(0, 0, 450, EventKind::kSend, 1, 1)};
+  const auto cp = critical_path(t);
+  // Local chain on node 1: 0 -> 500 (500) beats send chain (50).
+  EXPECT_EQ(cp.duration, 500u);
+  EXPECT_EQ(cp.message_hops, 0u);
+}
+
+TEST(CriticalPath, RingAppPathSpansMakespan) {
+  sim::Engine eng;
+  workload::Multicomputer mc(eng, 4, 0.5, 0.0);
+  std::vector<EventRecord> events;
+  mc.set_instrumentation([&](const EventRecord& r) { events.push_back(r); });
+  stats::Deterministic compute(1.0);
+  const auto app = workload::run_ring_app(mc, 10, compute, stats::Rng(1));
+  auto merged = merge_any({events});
+  const auto cp = critical_path(merged);
+  // The ring is one long chain: its critical path covers nearly the whole
+  // trace span (first send to last recv).  Message hops may be absorbed by
+  // equivalent program-order edges (every node is active all run), so only
+  // the duration is asserted here.
+  const auto a = analyze_trace(merged);
+  EXPECT_GT(cp.duration, a.span * 9 / 10);
+  (void)app;
+}
+
+TEST(CriticalPath, RelayChainCountsMessageHops) {
+  // node 0 -> 1 -> 2 -> 3, each hop via one message; each node has exactly
+  // two events, so the only long chain crosses the messages.
+  std::vector<EventRecord> t;
+  std::uint64_t ts = 0;
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    t.push_back(ev(n, n == 0 ? 0 : 1, ts += 10, EventKind::kSend, n + 1, 1));
+    t.push_back(ev(n + 1, 0, ts += 40, EventKind::kRecv, n, 1));
+  }
+  const auto cp = critical_path(t);
+  EXPECT_EQ(cp.message_hops, 3u);
+  EXPECT_EQ(cp.duration, 140u);  // 150 - first event at 10
+  EXPECT_EQ(cp.events, 6u);
+}
+
+TEST(CharacterizeArrivals, PoissonLikeStream) {
+  std::vector<EventRecord> t;
+  stats::Rng rng(5);
+  stats::Exponential gap(0.01);  // mean 100
+  std::uint64_t ts = 0;
+  for (std::uint64_t s = 0; s < 5000; ++s) {
+    ts += static_cast<std::uint64_t>(gap.sample(rng));
+    t.push_back(ev(0, s, ts));
+  }
+  const auto c = characterize_arrivals(t);
+  EXPECT_EQ(c.streams, 1u);
+  EXPECT_NEAR(c.inter_arrival.mean(), 100.0, 5.0);
+  EXPECT_NEAR(c.cv, 1.0, 0.1);          // exponential: CV = 1
+  EXPECT_NEAR(c.burstiness, 0.39, 0.05);  // P[gap < mean/2] = 1 - e^-0.5
+  EXPECT_NEAR(c.rate, 0.01, 0.001);
+}
+
+TEST(CharacterizeArrivals, DeterministicStreamHasZeroCv) {
+  std::vector<EventRecord> t;
+  for (std::uint64_t s = 0; s < 100; ++s) t.push_back(ev(0, s, s * 50));
+  const auto c = characterize_arrivals(t);
+  EXPECT_NEAR(c.cv, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.burstiness, 0.0);
+  EXPECT_NEAR(c.inter_arrival.mean(), 50.0, 1e-9);
+}
+
+TEST(CharacterizeArrivals, MultipleStreamsSeparated) {
+  // Two streams with offset timestamps: gaps are within-stream only.
+  std::vector<EventRecord> t;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    t.push_back(ev(0, s, s * 100));
+    t.push_back(ev(1, s, s * 100 + 1));  // would be 1-gap if pooled
+  }
+  const auto c = characterize_arrivals(t);
+  EXPECT_EQ(c.streams, 2u);
+  EXPECT_NEAR(c.inter_arrival.mean(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace prism::trace

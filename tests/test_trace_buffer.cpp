@@ -1,0 +1,116 @@
+// EventRecord layout and TraceBuffer semantics (drop / overwrite policies,
+// conservation).
+#include <gtest/gtest.h>
+
+#include "trace/buffer.hpp"
+#include "trace/record.hpp"
+
+namespace prism::trace {
+namespace {
+
+EventRecord rec(std::uint64_t ts, std::uint64_t seq = 0) {
+  EventRecord r;
+  r.timestamp = ts;
+  r.seq = seq;
+  return r;
+}
+
+TEST(EventRecord, PackUnpackDoubleRoundTrips) {
+  for (double v : {0.0, 1.5, -3.25, 1e-300, 1e300}) {
+    EXPECT_DOUBLE_EQ(unpack_double(pack_double(v)), v);
+  }
+}
+
+TEST(EventRecord, KindNamesAreDistinct) {
+  EXPECT_EQ(to_string(EventKind::kSend), "send");
+  EXPECT_EQ(to_string(EventKind::kRecv), "recv");
+  EXPECT_EQ(to_string(EventKind::kFlushBegin), "flush_begin");
+  EXPECT_NE(to_string(EventKind::kSample), to_string(EventKind::kUserEvent));
+}
+
+TEST(RecordOrder, OrdersByTimestampThenIds) {
+  RecordOrder lt;
+  EventRecord a = rec(1), b = rec(2);
+  EXPECT_TRUE(lt(a, b));
+  EXPECT_FALSE(lt(b, a));
+  EventRecord c = rec(5), d = rec(5);
+  c.node = 0;
+  d.node = 1;
+  EXPECT_TRUE(lt(c, d));
+  d.node = 0;
+  c.seq = 1;
+  d.seq = 2;
+  EXPECT_TRUE(lt(c, d));
+}
+
+TEST(TraceBuffer, FillsToCapacityThenDrops) {
+  TraceBuffer b(3);
+  EXPECT_TRUE(b.append(rec(1)));
+  EXPECT_TRUE(b.append(rec(2)));
+  EXPECT_TRUE(b.append(rec(3)));
+  EXPECT_TRUE(b.full());
+  EXPECT_FALSE(b.append(rec(4)));
+  EXPECT_EQ(b.dropped(), 1u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.offered(), 4u);
+}
+
+TEST(TraceBuffer, DrainResetsAndCounts) {
+  TraceBuffer b(2);
+  b.append(rec(1));
+  b.append(rec(2));
+  auto drained = b.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.flushes(), 1u);
+  EXPECT_TRUE(b.append(rec(3)));
+  EXPECT_TRUE(b.conserved(drained.size()));
+}
+
+TEST(TraceBuffer, OverwritePolicyKeepsNewest) {
+  TraceBuffer b(3, OverflowPolicy::kOverwrite);
+  for (std::uint64_t i = 1; i <= 5; ++i) EXPECT_TRUE(b.append(rec(i)));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.overwritten(), 2u);
+  // Storage contains 4, 5, 3 (circular); verify 1 and 2 gone, 4 and 5 kept.
+  bool has4 = false, has5 = false, has1 = false;
+  for (const auto& r : b.contents()) {
+    if (r.timestamp == 4) has4 = true;
+    if (r.timestamp == 5) has5 = true;
+    if (r.timestamp == 1) has1 = true;
+  }
+  EXPECT_TRUE(has4);
+  EXPECT_TRUE(has5);
+  EXPECT_FALSE(has1);
+}
+
+TEST(TraceBuffer, ConservationWithDropsAndOverwrites) {
+  TraceBuffer drop(4, OverflowPolicy::kDrop);
+  TraceBuffer wrap(4, OverflowPolicy::kOverwrite);
+  std::uint64_t drained_drop = 0, drained_wrap = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    drop.append(rec(i));
+    wrap.append(rec(i));
+    if (i % 7 == 6) {
+      drained_drop += drop.drain().size();
+      drained_wrap += wrap.drain().size();
+    }
+  }
+  EXPECT_TRUE(drop.conserved(drained_drop));
+  EXPECT_TRUE(wrap.conserved(drained_wrap));
+}
+
+TEST(TraceBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceBuffer(0), std::invalid_argument);
+}
+
+TEST(TraceBuffer, ContentsPreserveInsertionOrder) {
+  TraceBuffer b(10);
+  for (std::uint64_t i = 0; i < 5; ++i) b.append(rec(100 + i, i));
+  auto view = b.contents();
+  ASSERT_EQ(view.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(view[i].seq, i);
+}
+
+}  // namespace
+}  // namespace prism::trace

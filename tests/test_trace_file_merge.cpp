@@ -1,0 +1,169 @@
+// Trace files (round trip, corruption detection) and k-way merging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "stats/rng.hpp"
+#include "trace/file.hpp"
+#include "trace/merge.hpp"
+
+namespace prism::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+EventRecord rec(std::uint64_t ts, std::uint32_t node = 0,
+                std::uint64_t seq = 0) {
+  EventRecord r;
+  r.timestamp = ts;
+  r.node = node;
+  r.seq = seq;
+  return r;
+}
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("prism_trace_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".trc");
+  }
+  void TearDown() override { std::error_code ec; fs::remove(path_, ec); }
+  fs::path path_;
+};
+
+TEST_F(TraceFileTest, RoundTrip) {
+  {
+    TraceFileWriter w(path_);
+    for (std::uint64_t i = 0; i < 100; ++i) w.write(rec(i * 10, i % 4, i));
+    w.close();
+    EXPECT_EQ(w.records_written(), 100u);
+  }
+  TraceFileReader r(path_);
+  ASSERT_EQ(r.record_count(), 100u);
+  EXPECT_EQ(r.records()[42].timestamp, 420u);
+  EXPECT_EQ(r.records()[42].node, 42u % 4);
+}
+
+TEST_F(TraceFileTest, BatchWrite) {
+  std::vector<EventRecord> batch;
+  for (int i = 0; i < 50; ++i) batch.push_back(rec(i));
+  {
+    TraceFileWriter w(path_);
+    w.write(batch);
+    w.close();
+  }
+  TraceFileReader r(path_);
+  EXPECT_EQ(r.record_count(), 50u);
+}
+
+TEST_F(TraceFileTest, DestructorCloses) {
+  { TraceFileWriter w(path_); w.write(rec(7)); }
+  TraceFileReader r(path_);
+  EXPECT_EQ(r.record_count(), 1u);
+}
+
+TEST_F(TraceFileTest, EmptyFileValid) {
+  { TraceFileWriter w(path_); w.close(); }
+  TraceFileReader r(path_);
+  EXPECT_EQ(r.record_count(), 0u);
+}
+
+TEST_F(TraceFileTest, BadMagicRejected) {
+  { std::ofstream out(path_, std::ios::binary); out << "not a trace file at all........."; }
+  EXPECT_THROW(TraceFileReader r(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, TruncatedFileRejected) {
+  {
+    TraceFileWriter w(path_);
+    for (int i = 0; i < 10; ++i) w.write(rec(i));
+    w.close();
+  }
+  fs::resize_file(path_, fs::file_size(path_) - 13);
+  EXPECT_THROW(TraceFileReader r(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, MissingFileRejected) {
+  EXPECT_THROW(TraceFileReader r(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, CsvDumpContainsHeaderAndRows) {
+  std::vector<EventRecord> recs{rec(1, 0, 0), rec(2, 1, 0)};
+  recs[0].kind = EventKind::kSend;
+  write_csv(path_, recs);
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("timestamp,node"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("send"), std::string::npos);
+}
+
+// ---- merging ------------------------------------------------------------------
+
+TEST(Merge, SortedStreamsMergeSorted) {
+  std::vector<std::vector<EventRecord>> streams(3);
+  for (std::uint64_t i = 0; i < 30; ++i)
+    streams[i % 3].push_back(rec(i, i % 3, i / 3));
+  auto merged = merge_sorted(streams);
+  ASSERT_EQ(merged.size(), 30u);
+  EXPECT_TRUE(is_time_ordered(merged));
+  for (std::uint64_t i = 0; i < 30; ++i)
+    EXPECT_EQ(merged[i].timestamp, i);
+}
+
+TEST(Merge, EmptyStreamsHandled) {
+  EXPECT_TRUE(merge_sorted({}).empty());
+  EXPECT_TRUE(merge_sorted({{}, {}, {}}).empty());
+  std::vector<std::vector<EventRecord>> one{{rec(1)}, {}};
+  EXPECT_EQ(merge_sorted(one).size(), 1u);
+}
+
+TEST(Merge, RejectsUnsortedInput) {
+  std::vector<std::vector<EventRecord>> bad{{rec(5), rec(1)}};
+  EXPECT_THROW(merge_sorted(bad), std::invalid_argument);
+}
+
+TEST(Merge, TieBreakIsDeterministic) {
+  // Same timestamp on two streams: lower node id first (RecordOrder).
+  std::vector<std::vector<EventRecord>> streams{{rec(10, 1)}, {rec(10, 0)}};
+  auto merged = merge_sorted(streams);
+  EXPECT_EQ(merged[0].node, 0u);
+  EXPECT_EQ(merged[1].node, 1u);
+}
+
+TEST(Merge, MergeAnySortsArbitraryInput) {
+  stats::Rng rng(99);
+  std::vector<std::vector<EventRecord>> streams(4);
+  for (int i = 0; i < 400; ++i)
+    streams[rng.next_below(4)].push_back(
+        rec(rng.next_below(1000), static_cast<std::uint32_t>(rng.next_below(4))));
+  auto merged = merge_any(streams);
+  EXPECT_EQ(merged.size(), 400u);
+  EXPECT_TRUE(is_time_ordered(merged));
+}
+
+TEST(Merge, LargeKWayStress) {
+  std::vector<std::vector<EventRecord>> streams(32);
+  std::uint64_t ts = 0;
+  for (int round = 0; round < 100; ++round)
+    for (std::size_t s = 0; s < 32; ++s)
+      streams[s].push_back(rec(ts++, static_cast<std::uint32_t>(s)));
+  auto merged = merge_sorted(streams);
+  EXPECT_EQ(merged.size(), 3200u);
+  EXPECT_TRUE(is_time_ordered(merged));
+}
+
+TEST(Merge, IsTimeOrderedDetectsViolation) {
+  std::vector<EventRecord> bad{rec(2), rec(1)};
+  EXPECT_FALSE(is_time_ordered(bad));
+  std::vector<EventRecord> good{rec(1), rec(2)};
+  EXPECT_TRUE(is_time_ordered(good));
+}
+
+}  // namespace
+}  // namespace prism::trace

@@ -1,0 +1,85 @@
+// Transfer protocol wiring: SISO/MISO link layouts, routing, broadcast,
+// shutdown.
+#include <gtest/gtest.h>
+
+#include "core/transfer_protocol.hpp"
+
+namespace prism::core {
+namespace {
+
+TEST(TransferProtocol, SisoSharesOneDataLink) {
+  TransferProtocol tp(TpFlavor::kPipe, 4, 1, 16);
+  EXPECT_EQ(tp.data_link_count(), 1u);
+  EXPECT_EQ(&tp.data_link_for(0), &tp.data_link_for(3));
+}
+
+TEST(TransferProtocol, MisoGivesEachNodeItsOwnLink) {
+  TransferProtocol tp(TpFlavor::kSocket, 4, 4, 16);
+  EXPECT_EQ(tp.data_link_count(), 4u);
+  EXPECT_NE(&tp.data_link_for(0), &tp.data_link_for(1));
+  EXPECT_EQ(&tp.data_link_for(2), &tp.data_link(2));
+}
+
+TEST(TransferProtocol, RejectsInvalidLayouts) {
+  EXPECT_THROW(TransferProtocol(TpFlavor::kPipe, 0, 1, 16),
+               std::invalid_argument);
+  EXPECT_THROW(TransferProtocol(TpFlavor::kPipe, 4, 2, 16),
+               std::invalid_argument);
+  EXPECT_THROW(TransferProtocol(TpFlavor::kPipe, 4, 0, 16),
+               std::invalid_argument);
+}
+
+TEST(TransferProtocol, RejectsBadNodeLookup) {
+  TransferProtocol tp(TpFlavor::kPipe, 2, 1, 16);
+  EXPECT_THROW(tp.data_link_for(2), std::out_of_range);
+  EXPECT_THROW(tp.control_link(2), std::out_of_range);
+}
+
+TEST(TransferProtocol, DataBatchRoundTrip) {
+  TransferProtocol tp(TpFlavor::kPipe, 2, 1, 16);
+  DataBatch b;
+  b.source_node = 1;
+  b.t_sent_ns = 12345;
+  trace::EventRecord r;
+  r.timestamp = 7;
+  b.records.push_back(r);
+  tp.data_link_for(1).push(Message(std::move(b)));
+  auto msg = tp.data_link(0).try_pop();
+  ASSERT_TRUE(msg.has_value());
+  auto* batch = std::get_if<DataBatch>(&*msg);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->source_node, 1u);
+  EXPECT_EQ(batch->records.size(), 1u);
+  EXPECT_EQ(batch->records[0].timestamp, 7u);
+}
+
+TEST(TransferProtocol, BroadcastReachesEveryNodeWithItsId) {
+  TransferProtocol tp(TpFlavor::kRpc, 3, 1, 16);
+  tp.broadcast(ControlMessage{ControlKind::kFlushAll, 0, 0.0});
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    auto m = tp.control_link(n).try_pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->kind, ControlKind::kFlushAll);
+    EXPECT_EQ(m->target_node, n);
+  }
+}
+
+TEST(TransferProtocol, CloseAllEofsEverything) {
+  TransferProtocol tp(TpFlavor::kCustom, 2, 2, 16);
+  tp.close_all();
+  EXPECT_FALSE(tp.data_link(0).pop().has_value());
+  EXPECT_FALSE(tp.data_link(1).pop().has_value());
+  EXPECT_FALSE(tp.control_link(0).pop().has_value());
+}
+
+TEST(TransferProtocol, NamesForDisplay) {
+  EXPECT_EQ(to_string(TpFlavor::kPipe), "pipe");
+  EXPECT_EQ(to_string(TpFlavor::kSocket), "socket");
+  EXPECT_EQ(to_string(TpFlavor::kRpc), "rpc");
+  EXPECT_EQ(to_string(ControlKind::kFlushAll), "flush_all");
+  EXPECT_EQ(to_string(ControlKind::kSetSamplingPeriod),
+            "set_sampling_period");
+}
+
+}  // namespace
+}  // namespace prism::core

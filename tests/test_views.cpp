@@ -1,0 +1,170 @@
+// Falcon-style metric views: windowed aggregates, rates, filtering,
+// composition with thresholds.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/views.hpp"
+
+namespace prism::core {
+namespace {
+
+trace::EventRecord sample(std::uint64_t ts, std::uint16_t tag, double value,
+                          std::uint32_t node = 0) {
+  trace::EventRecord r;
+  r.timestamp = ts;
+  r.node = node;
+  r.kind = trace::EventKind::kSample;
+  r.tag = tag;
+  r.payload = trace::pack_double(value);
+  return r;
+}
+
+ViewDef mean_view(std::uint16_t in, std::uint16_t out,
+                  std::uint64_t window = 1000) {
+  ViewDef v;
+  v.name = "v";
+  v.source_tag = in;
+  v.aggregate = ViewAggregate::kMean;
+  v.window_ns = window;
+  v.output_tag = out;
+  return v;
+}
+
+TEST(MetricViews, WindowedMean) {
+  std::vector<trace::EventRecord> out;
+  MetricViewTool t({mean_view(1, 100)},
+                   [&](const trace::EventRecord& r) { out.push_back(r); });
+  t.consume(sample(0, 1, 2.0));
+  t.consume(sample(500, 1, 4.0));
+  t.consume(sample(1200, 1, 9.0));  // closes the first window
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].tag, 100u);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[0].payload), 3.0);
+  EXPECT_EQ(out[0].timestamp, 1000u);  // window boundary
+  EXPECT_EQ(out[0].kind, trace::EventKind::kSample);
+}
+
+TEST(MetricViews, FinishFlushesOpenWindow) {
+  std::vector<trace::EventRecord> out;
+  MetricViewTool t({mean_view(1, 100)},
+                   [&](const trace::EventRecord& r) { out.push_back(r); });
+  t.consume(sample(0, 1, 7.0));
+  t.finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[0].payload), 7.0);
+  EXPECT_EQ(t.windows_emitted("v"), 1u);
+}
+
+TEST(MetricViews, MinMaxSumAggregates) {
+  std::vector<trace::EventRecord> out;
+  auto mk = [&](ViewAggregate a, const char* name) {
+    ViewDef v = mean_view(1, 100);
+    v.name = name;
+    v.aggregate = a;
+    return v;
+  };
+  MetricViewTool t({mk(ViewAggregate::kMin, "min"),
+                    mk(ViewAggregate::kMax, "max"),
+                    mk(ViewAggregate::kSum, "sum")},
+                   [&](const trace::EventRecord& r) { out.push_back(r); });
+  for (double v : {3.0, 1.0, 5.0}) t.consume(sample(10, 1, v));
+  t.finish();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[0].payload), 1.0);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[1].payload), 5.0);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[2].payload), 9.0);
+}
+
+TEST(MetricViews, RateCountsAnyKindPerSecond) {
+  ViewDef v;
+  v.name = "rate";
+  v.source_tag = 3;
+  v.aggregate = ViewAggregate::kRate;
+  v.window_ns = 1'000'000'000;  // 1 s
+  v.output_tag = 101;
+  std::vector<trace::EventRecord> out;
+  MetricViewTool t({v}, [&](const trace::EventRecord& r) { out.push_back(r); });
+  for (int i = 0; i < 50; ++i) {
+    trace::EventRecord r;
+    r.timestamp = static_cast<std::uint64_t>(i) * 10'000'000;
+    r.kind = trace::EventKind::kUserEvent;  // non-sample records count too
+    r.tag = 3;
+    t.consume(r);
+  }
+  t.finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[0].payload), 50.0);  // 50/s
+}
+
+TEST(MetricViews, NodeFilterRestricts) {
+  ViewDef v = mean_view(1, 100);
+  v.node_filter = 2;
+  std::vector<trace::EventRecord> out;
+  MetricViewTool t({v}, [&](const trace::EventRecord& r) { out.push_back(r); });
+  t.consume(sample(0, 1, 10.0, /*node=*/1));  // filtered out
+  t.consume(sample(0, 1, 20.0, /*node=*/2));
+  t.finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[0].payload), 20.0);
+  EXPECT_EQ(out[0].node, 2u);
+}
+
+TEST(MetricViews, ValueViewsIgnoreNonSamples) {
+  std::vector<trace::EventRecord> out;
+  MetricViewTool t({mean_view(1, 100)},
+                   [&](const trace::EventRecord& r) { out.push_back(r); });
+  trace::EventRecord user;
+  user.timestamp = 10;
+  user.tag = 1;
+  user.kind = trace::EventKind::kUserEvent;
+  t.consume(user);
+  t.finish();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MetricViews, MultipleWindowsGridAligned) {
+  std::vector<trace::EventRecord> out;
+  MetricViewTool t({mean_view(1, 100, 1000)},
+                   [&](const trace::EventRecord& r) { out.push_back(r); });
+  t.consume(sample(100, 1, 1.0));
+  t.consume(sample(3500, 1, 2.0));  // skips two empty windows
+  t.consume(sample(4100, 1, 4.0));  // closes the 3xxx window
+  t.finish();
+  ASSERT_EQ(out.size(), 3u);
+  // First window [100, 1100): mean 1.0.  Second [3100, 4100): 2.0.
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[0].payload), 1.0);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[1].payload), 2.0);
+  EXPECT_DOUBLE_EQ(trace::unpack_double(out[2].payload), 4.0);
+  // Derived seq numbers are contiguous (a valid stream for re-injection).
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[1].seq, 1u);
+  EXPECT_EQ(out[2].seq, 2u);
+}
+
+TEST(MetricViews, EmittedSummaryTracked) {
+  MetricViewTool t({mean_view(1, 100)}, [](const trace::EventRecord&) {});
+  t.consume(sample(0, 1, 2.0));
+  t.consume(sample(1500, 1, 6.0));
+  t.finish();
+  const auto s = t.emitted_values("v");
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_THROW(t.emitted_values("nope"), std::out_of_range);
+}
+
+TEST(MetricViews, RejectsBadDefinitions) {
+  auto sink = [](const trace::EventRecord&) {};
+  EXPECT_THROW(MetricViewTool({}, sink), std::invalid_argument);
+  EXPECT_THROW(MetricViewTool({mean_view(1, 2)}, nullptr),
+               std::invalid_argument);
+  ViewDef unnamed = mean_view(1, 2);
+  unnamed.name = "";
+  EXPECT_THROW(MetricViewTool({unnamed}, sink), std::invalid_argument);
+  ViewDef zero = mean_view(1, 2);
+  zero.window_ns = 0;
+  EXPECT_THROW(MetricViewTool({zero}, sink), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::core

@@ -1,0 +1,112 @@
+// Analytic approximation of the Vista ISM vs the simulation: bracketing
+// accuracy, orderings, stability detection, and the straggle-excess moment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vista/analytic.hpp"
+
+namespace prism::vista {
+namespace {
+
+VistaIsmParams base(double ia, bool miso = false) {
+  VistaIsmParams p;
+  p.horizon_ms = 30'000;
+  p.mean_interarrival_ms = ia;
+  p.miso = miso;
+  return p;
+}
+
+double sim_latency(const VistaIsmParams& p, int reps = 5) {
+  double acc = 0;
+  for (int r = 0; r < reps; ++r)
+    acc += run_vista_ism(p, stats::Rng(300 + r)).mean_processing_latency_ms;
+  return acc / reps;
+}
+
+TEST(VistaAnalytic, BracketsSimulationAcrossRates) {
+  for (double ia : {10.0, 30.0, 100.0}) {
+    const auto p = base(ia);
+    const auto a = predict_vista_ism(p);
+    const double sim = sim_latency(p);
+    EXPECT_TRUE(a.stable);
+    EXPECT_NEAR(a.mean_latency_ms, sim, 0.6 * sim + 0.5)
+        << "inter-arrival " << ia;
+  }
+}
+
+TEST(VistaAnalytic, BufferPredictionTracksLittle) {
+  for (double ia : {10.0, 30.0}) {
+    const auto p = base(ia);
+    const auto a = predict_vista_ism(p);
+    double sim = 0;
+    for (int r = 0; r < 5; ++r)
+      sim += run_vista_ism(p, stats::Rng(400 + r)).mean_input_buffer_length / 5;
+    EXPECT_NEAR(a.mean_input_buffer, sim, 0.6 * sim + 0.5);
+  }
+}
+
+TEST(VistaAnalytic, PreservesSisoMisoOrdering) {
+  const auto siso = predict_vista_ism(base(10.0, false));
+  const auto miso = predict_vista_ism(base(10.0, true));
+  EXPECT_LT(siso.mean_latency_ms, miso.mean_latency_ms);
+  EXPECT_LT(siso.processor_utilization, miso.processor_utilization);
+}
+
+TEST(VistaAnalytic, LatencyMonotoneInRate) {
+  double prev = 1e99;
+  for (double ia : {10.0, 20.0, 50.0, 100.0}) {
+    const auto a = predict_vista_ism(base(ia));
+    EXPECT_LT(a.mean_latency_ms, prev);
+    prev = a.mean_latency_ms;
+  }
+}
+
+TEST(VistaAnalytic, DetectsOverload) {
+  auto p = base(10.0, true);
+  p.proc_service_mean_ms = 2.0;  // rho > 1 at aggregate rate 0.8/ms
+  const auto a = predict_vista_ism(p);
+  EXPECT_FALSE(a.stable);
+  EXPECT_TRUE(std::isinf(a.mean_latency_ms));
+}
+
+TEST(VistaAnalytic, ExcessMomentProperties) {
+  const auto p = base(10.0);
+  // Decreasing in the gap; zero past the cap.
+  const double m10 = straggle_excess_second_moment(p, 10.0);
+  const double m100 = straggle_excess_second_moment(p, 100.0);
+  const double m_cap = straggle_excess_second_moment(p, p.straggle_cap_ms);
+  EXPECT_GT(m10, m100);
+  EXPECT_GT(m100, 0.0);
+  EXPECT_DOUBLE_EQ(m_cap, 0.0);
+  // Gaps below the Pareto scale (the deterministic head strip) still order.
+  EXPECT_GT(straggle_excess_second_moment(p, 2.0), m10);
+}
+
+TEST(VistaAnalytic, ExcessMomentMatchesMonteCarlo) {
+  const auto p = base(10.0);
+  const double gap = 25.0;
+  stats::Rng rng(5);
+  double acc = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double d = std::min(
+        p.straggle_cap_ms,
+        p.straggle_scale_ms *
+            std::pow(rng.next_double_open(), -1.0 / p.straggle_shape));
+    const double ex = d > gap ? d - gap : 0.0;
+    acc += ex * ex;
+  }
+  const double mc = acc / n;
+  EXPECT_NEAR(straggle_excess_second_moment(p, gap), mc, 0.05 * mc);
+}
+
+TEST(VistaAnalytic, HoldbackVanishesWithoutStragglers) {
+  auto p = base(30.0);
+  p.straggle_prob = 0.0;
+  const auto a = predict_vista_ism(p);
+  EXPECT_DOUBLE_EQ(a.mean_holdback_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace prism::vista

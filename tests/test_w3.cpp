@@ -1,0 +1,130 @@
+// W3 bottleneck search: correct diagnosis, minimal instrumentation, and the
+// dynamic enable/disable contract.
+#include <gtest/gtest.h>
+
+#include "paradyn/providers.hpp"
+#include "paradyn/w3_search.hpp"
+
+namespace prism::paradyn {
+namespace {
+
+SyntheticMetricProvider healthy(std::uint32_t nodes, std::uint64_t seed) {
+  SyntheticMetricProvider p(nodes, stats::Rng(seed));
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    p.set_level(n, MetricId::kCpuUtilization, 0.4);
+    p.set_level(n, MetricId::kSyncWaitFraction, 0.05);
+    p.set_level(n, MetricId::kCommFraction, 0.05);
+  }
+  return p;
+}
+
+TEST(W3Search, HealthyProgramYieldsNoHypothesis) {
+  auto provider = healthy(4, 1);
+  W3Search search(W3Config{});
+  const auto d = search.run(provider);
+  EXPECT_FALSE(d.why.has_value());
+  EXPECT_FALSE(d.where.has_value());
+}
+
+TEST(W3Search, DiagnosesGlobalCpuBottleneck) {
+  auto provider = healthy(4, 2);
+  for (std::uint32_t n = 0; n < 4; ++n)
+    provider.set_level(n, MetricId::kCpuUtilization, 0.95);
+  W3Search search(W3Config{});
+  const auto d = search.run(provider);
+  ASSERT_TRUE(d.why.has_value());
+  EXPECT_EQ(*d.why, Hypothesis::kCpuBound);
+}
+
+TEST(W3Search, LocalizesSyncBottleneckToNode) {
+  auto provider = healthy(6, 3);
+  // Whole-program sync fraction: (0.05*5 + 0.9)/6 = 0.19 < threshold...
+  // raise the program-wide level enough to trip "why", with node 2 worst.
+  for (std::uint32_t n = 0; n < 6; ++n)
+    provider.set_level(n, MetricId::kSyncWaitFraction, 0.35);
+  provider.set_level(2, MetricId::kSyncWaitFraction, 0.9);
+  W3Search search(W3Config{});
+  const auto d = search.run(provider);
+  ASSERT_TRUE(d.why.has_value());
+  EXPECT_EQ(*d.why, Hypothesis::kSyncBound);
+  ASSERT_TRUE(d.where.has_value());
+  EXPECT_EQ(*d.where, 2u);
+  EXPECT_GT(d.evidence, 0.8);
+}
+
+TEST(W3Search, PicksStrongestHypothesisWhenSeveralHold) {
+  auto provider = healthy(2, 4);
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    provider.set_level(n, MetricId::kCpuUtilization, 0.75);   // +0.05 excess
+    provider.set_level(n, MetricId::kCommFraction, 0.80);     // +0.50 excess
+  }
+  W3Search search(W3Config{});
+  const auto d = search.run(provider);
+  ASSERT_TRUE(d.why.has_value());
+  EXPECT_EQ(*d.why, Hypothesis::kCommBound);
+}
+
+TEST(W3Search, NeverEnablesTwoProbesConcurrently) {
+  // The minimal-instrumentation contract: one (node, metric) at a time.
+  auto provider = healthy(8, 5);
+  provider.set_level(3, MetricId::kCommFraction, 0.9);
+  for (std::uint32_t n = 0; n < 8; ++n)
+    provider.set_level(n, MetricId::kCommFraction, 0.5);
+  W3Search search(W3Config{});
+  search.run(provider);
+  EXPECT_EQ(provider.max_concurrent_enabled(), 1u);
+  EXPECT_EQ(provider.currently_enabled(), 0u);  // everything removed
+}
+
+TEST(W3Search, InstrumentationCostAccounted) {
+  auto provider = healthy(4, 6);
+  provider.set_level(0, MetricId::kCpuUtilization, 0.9);
+  for (std::uint32_t n = 0; n < 4; ++n)
+    provider.set_level(n, MetricId::kCpuUtilization, 0.85);
+  W3Config cfg;
+  cfg.samples_per_test = 10;
+  W3Search search(cfg);
+  const auto d = search.run(provider);
+  // 3 root tests + 4 node tests = 7 insertions, 70 samples.
+  EXPECT_EQ(d.insertions, 7u);
+  EXPECT_EQ(d.samples_used, 70u);
+  EXPECT_EQ(provider.total_enables(), 7u);
+}
+
+TEST(W3Search, HealthyProgramUsesOnlyRootTests) {
+  auto provider = healthy(16, 7);
+  W3Config cfg;
+  cfg.samples_per_test = 4;
+  W3Search search(cfg);
+  const auto d = search.run(provider);
+  EXPECT_EQ(d.insertions, 3u);  // no "where" refinement when nothing held
+  EXPECT_EQ(d.samples_used, 12u);
+}
+
+TEST(SyntheticProvider, EnforcesEnableContract) {
+  SyntheticMetricProvider p(2, stats::Rng(8));
+  EXPECT_THROW(p.sample(0, MetricId::kCpuUtilization), std::logic_error);
+  p.enable(0, MetricId::kCpuUtilization);
+  EXPECT_THROW(p.enable(0, MetricId::kCpuUtilization), std::logic_error);
+  p.disable(0, MetricId::kCpuUtilization);
+  EXPECT_THROW(p.disable(0, MetricId::kCpuUtilization), std::logic_error);
+}
+
+TEST(SyntheticProvider, WholeProgramAveragesNodes) {
+  SyntheticMetricProvider p(2, stats::Rng(9), /*noise=*/0.0);
+  p.set_level(0, MetricId::kCpuUtilization, 0.2);
+  p.set_level(1, MetricId::kCpuUtilization, 0.8);
+  p.enable(MetricProvider::kWholeProgram, MetricId::kCpuUtilization);
+  EXPECT_NEAR(p.sample(MetricProvider::kWholeProgram,
+                       MetricId::kCpuUtilization),
+              0.5, 1e-12);
+}
+
+TEST(W3Names, Render) {
+  EXPECT_EQ(to_string(Hypothesis::kCpuBound), "CPUBound");
+  EXPECT_EQ(to_string(MetricId::kSyncWaitFraction), "sync_wait_fraction");
+  EXPECT_EQ(metric_for(Hypothesis::kCommBound), MetricId::kCommFraction);
+}
+
+}  // namespace
+}  // namespace prism::paradyn
