@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_is_design"
+  "../bench/ablation_is_design.pdb"
+  "CMakeFiles/ablation_is_design.dir/ablation_is_design.cpp.o"
+  "CMakeFiles/ablation_is_design.dir/ablation_is_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_is_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

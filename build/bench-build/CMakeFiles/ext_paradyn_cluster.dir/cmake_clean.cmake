@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_paradyn_cluster"
+  "../bench/ext_paradyn_cluster.pdb"
+  "CMakeFiles/ext_paradyn_cluster.dir/ext_paradyn_cluster.cpp.o"
+  "CMakeFiles/ext_paradyn_cluster.dir/ext_paradyn_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_paradyn_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_picl_flushing"
+  "../bench/fig05_picl_flushing.pdb"
+  "CMakeFiles/fig05_picl_flushing.dir/fig05_picl_flushing.cpp.o"
+  "CMakeFiles/fig05_picl_flushing.dir/fig05_picl_flushing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_picl_flushing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_picl_flushing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_paradyn_rocc.cpp" "bench-build/CMakeFiles/fig09_paradyn_rocc.dir/fig09_paradyn_rocc.cpp.o" "gcc" "bench-build/CMakeFiles/fig09_paradyn_rocc.dir/fig09_paradyn_rocc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_picl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_paradyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_rocc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_vista.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

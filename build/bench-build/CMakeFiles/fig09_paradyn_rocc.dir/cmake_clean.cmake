@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_paradyn_rocc"
+  "../bench/fig09_paradyn_rocc.pdb"
+  "CMakeFiles/fig09_paradyn_rocc.dir/fig09_paradyn_rocc.cpp.o"
+  "CMakeFiles/fig09_paradyn_rocc.dir/fig09_paradyn_rocc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_paradyn_rocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

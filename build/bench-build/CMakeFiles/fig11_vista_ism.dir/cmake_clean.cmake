@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_vista_ism"
+  "../bench/fig11_vista_ism.pdb"
+  "CMakeFiles/fig11_vista_ism.dir/fig11_vista_ism.cpp.o"
+  "CMakeFiles/fig11_vista_ism.dir/fig11_vista_ism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vista_ism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

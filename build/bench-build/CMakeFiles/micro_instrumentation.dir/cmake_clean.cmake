@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_instrumentation"
+  "../bench/micro_instrumentation.pdb"
+  "CMakeFiles/micro_instrumentation.dir/micro_instrumentation.cpp.o"
+  "CMakeFiles/micro_instrumentation.dir/micro_instrumentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_picl_analytic"
+  "../bench/table3_picl_analytic.pdb"
+  "CMakeFiles/table3_picl_analytic.dir/table3_picl_analytic.cpp.o"
+  "CMakeFiles/table3_picl_analytic.dir/table3_picl_analytic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_picl_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_picl_analytic.
+# This may be replaced when dependencies are built.

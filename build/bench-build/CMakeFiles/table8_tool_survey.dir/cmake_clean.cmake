@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_tool_survey"
+  "../bench/table8_tool_survey.pdb"
+  "CMakeFiles/table8_tool_survey.dir/table8_tool_survey.cpp.o"
+  "CMakeFiles/table8_tool_survey.dir/table8_tool_survey.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_tool_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validate_live_vs_model"
+  "../bench/validate_live_vs_model.pdb"
+  "CMakeFiles/validate_live_vs_model.dir/validate_live_vs_model.cpp.o"
+  "CMakeFiles/validate_live_vs_model.dir/validate_live_vs_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_live_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_actions.dir/event_actions.cpp.o"
+  "CMakeFiles/event_actions.dir/event_actions.cpp.o.d"
+  "event_actions"
+  "event_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradyn_bottleneck.dir/paradyn_bottleneck.cpp.o"
+  "CMakeFiles/paradyn_bottleneck.dir/paradyn_bottleneck.cpp.o.d"
+  "paradyn_bottleneck"
+  "paradyn_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradyn_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

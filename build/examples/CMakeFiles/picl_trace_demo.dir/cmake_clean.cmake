@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picl_trace_demo.dir/picl_trace_demo.cpp.o"
+  "CMakeFiles/picl_trace_demo.dir/picl_trace_demo.cpp.o.d"
+  "picl_trace_demo"
+  "picl_trace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picl_trace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_online.dir/vista_online.cpp.o"
+  "CMakeFiles/vista_online.dir/vista_online.cpp.o.d"
+  "vista_online"
+  "vista_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cpp" "src/CMakeFiles/prism_core.dir/core/config_io.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/config_io.cpp.o.d"
+  "/root/repo/src/core/environment.cpp" "src/CMakeFiles/prism_core.dir/core/environment.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/environment.cpp.o.d"
+  "/root/repo/src/core/ism.cpp" "src/CMakeFiles/prism_core.dir/core/ism.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/ism.cpp.o.d"
+  "/root/repo/src/core/lis.cpp" "src/CMakeFiles/prism_core.dir/core/lis.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/lis.cpp.o.d"
+  "/root/repo/src/core/posix_pipe.cpp" "src/CMakeFiles/prism_core.dir/core/posix_pipe.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/posix_pipe.cpp.o.d"
+  "/root/repo/src/core/probe_registry.cpp" "src/CMakeFiles/prism_core.dir/core/probe_registry.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/probe_registry.cpp.o.d"
+  "/root/repo/src/core/steering.cpp" "src/CMakeFiles/prism_core.dir/core/steering.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/steering.cpp.o.d"
+  "/root/repo/src/core/throttle.cpp" "src/CMakeFiles/prism_core.dir/core/throttle.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/throttle.cpp.o.d"
+  "/root/repo/src/core/tool.cpp" "src/CMakeFiles/prism_core.dir/core/tool.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/tool.cpp.o.d"
+  "/root/repo/src/core/tool_registry.cpp" "src/CMakeFiles/prism_core.dir/core/tool_registry.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/tool_registry.cpp.o.d"
+  "/root/repo/src/core/transfer_protocol.cpp" "src/CMakeFiles/prism_core.dir/core/transfer_protocol.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/transfer_protocol.cpp.o.d"
+  "/root/repo/src/core/views.cpp" "src/CMakeFiles/prism_core.dir/core/views.cpp.o" "gcc" "src/CMakeFiles/prism_core.dir/core/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

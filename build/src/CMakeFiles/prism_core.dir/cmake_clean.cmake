@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_core.dir/core/config_io.cpp.o"
+  "CMakeFiles/prism_core.dir/core/config_io.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/environment.cpp.o"
+  "CMakeFiles/prism_core.dir/core/environment.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/ism.cpp.o"
+  "CMakeFiles/prism_core.dir/core/ism.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/lis.cpp.o"
+  "CMakeFiles/prism_core.dir/core/lis.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/posix_pipe.cpp.o"
+  "CMakeFiles/prism_core.dir/core/posix_pipe.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/probe_registry.cpp.o"
+  "CMakeFiles/prism_core.dir/core/probe_registry.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/steering.cpp.o"
+  "CMakeFiles/prism_core.dir/core/steering.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/throttle.cpp.o"
+  "CMakeFiles/prism_core.dir/core/throttle.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/tool.cpp.o"
+  "CMakeFiles/prism_core.dir/core/tool.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/tool_registry.cpp.o"
+  "CMakeFiles/prism_core.dir/core/tool_registry.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/transfer_protocol.cpp.o"
+  "CMakeFiles/prism_core.dir/core/transfer_protocol.cpp.o.d"
+  "CMakeFiles/prism_core.dir/core/views.cpp.o"
+  "CMakeFiles/prism_core.dir/core/views.cpp.o.d"
+  "libprism_core.a"
+  "libprism_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paradyn/cluster_model.cpp" "src/CMakeFiles/prism_paradyn.dir/paradyn/cluster_model.cpp.o" "gcc" "src/CMakeFiles/prism_paradyn.dir/paradyn/cluster_model.cpp.o.d"
+  "/root/repo/src/paradyn/cost_model.cpp" "src/CMakeFiles/prism_paradyn.dir/paradyn/cost_model.cpp.o" "gcc" "src/CMakeFiles/prism_paradyn.dir/paradyn/cost_model.cpp.o.d"
+  "/root/repo/src/paradyn/live.cpp" "src/CMakeFiles/prism_paradyn.dir/paradyn/live.cpp.o" "gcc" "src/CMakeFiles/prism_paradyn.dir/paradyn/live.cpp.o.d"
+  "/root/repo/src/paradyn/rocc_model.cpp" "src/CMakeFiles/prism_paradyn.dir/paradyn/rocc_model.cpp.o" "gcc" "src/CMakeFiles/prism_paradyn.dir/paradyn/rocc_model.cpp.o.d"
+  "/root/repo/src/paradyn/w3_search.cpp" "src/CMakeFiles/prism_paradyn.dir/paradyn/w3_search.cpp.o" "gcc" "src/CMakeFiles/prism_paradyn.dir/paradyn/w3_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_rocc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

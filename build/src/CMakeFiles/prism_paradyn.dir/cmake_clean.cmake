@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_paradyn.dir/paradyn/cluster_model.cpp.o"
+  "CMakeFiles/prism_paradyn.dir/paradyn/cluster_model.cpp.o.d"
+  "CMakeFiles/prism_paradyn.dir/paradyn/cost_model.cpp.o"
+  "CMakeFiles/prism_paradyn.dir/paradyn/cost_model.cpp.o.d"
+  "CMakeFiles/prism_paradyn.dir/paradyn/live.cpp.o"
+  "CMakeFiles/prism_paradyn.dir/paradyn/live.cpp.o.d"
+  "CMakeFiles/prism_paradyn.dir/paradyn/rocc_model.cpp.o"
+  "CMakeFiles/prism_paradyn.dir/paradyn/rocc_model.cpp.o.d"
+  "CMakeFiles/prism_paradyn.dir/paradyn/w3_search.cpp.o"
+  "CMakeFiles/prism_paradyn.dir/paradyn/w3_search.cpp.o.d"
+  "libprism_paradyn.a"
+  "libprism_paradyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_paradyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/picl/analytic_model.cpp" "src/CMakeFiles/prism_picl.dir/picl/analytic_model.cpp.o" "gcc" "src/CMakeFiles/prism_picl.dir/picl/analytic_model.cpp.o.d"
+  "/root/repo/src/picl/calibrate.cpp" "src/CMakeFiles/prism_picl.dir/picl/calibrate.cpp.o" "gcc" "src/CMakeFiles/prism_picl.dir/picl/calibrate.cpp.o.d"
+  "/root/repo/src/picl/flush_sim.cpp" "src/CMakeFiles/prism_picl.dir/picl/flush_sim.cpp.o" "gcc" "src/CMakeFiles/prism_picl.dir/picl/flush_sim.cpp.o.d"
+  "/root/repo/src/picl/library.cpp" "src/CMakeFiles/prism_picl.dir/picl/library.cpp.o" "gcc" "src/CMakeFiles/prism_picl.dir/picl/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_picl.dir/picl/analytic_model.cpp.o"
+  "CMakeFiles/prism_picl.dir/picl/analytic_model.cpp.o.d"
+  "CMakeFiles/prism_picl.dir/picl/calibrate.cpp.o"
+  "CMakeFiles/prism_picl.dir/picl/calibrate.cpp.o.d"
+  "CMakeFiles/prism_picl.dir/picl/flush_sim.cpp.o"
+  "CMakeFiles/prism_picl.dir/picl/flush_sim.cpp.o.d"
+  "CMakeFiles/prism_picl.dir/picl/library.cpp.o"
+  "CMakeFiles/prism_picl.dir/picl/library.cpp.o.d"
+  "libprism_picl.a"
+  "libprism_picl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_picl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_queueing.dir/queueing/analytic.cpp.o"
+  "CMakeFiles/prism_queueing.dir/queueing/analytic.cpp.o.d"
+  "libprism_queueing.a"
+  "libprism_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

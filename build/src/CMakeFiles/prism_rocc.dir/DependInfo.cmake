@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rocc/model.cpp" "src/CMakeFiles/prism_rocc.dir/rocc/model.cpp.o" "gcc" "src/CMakeFiles/prism_rocc.dir/rocc/model.cpp.o.d"
+  "/root/repo/src/rocc/process.cpp" "src/CMakeFiles/prism_rocc.dir/rocc/process.cpp.o" "gcc" "src/CMakeFiles/prism_rocc.dir/rocc/process.cpp.o.d"
+  "/root/repo/src/rocc/resource.cpp" "src/CMakeFiles/prism_rocc.dir/rocc/resource.cpp.o" "gcc" "src/CMakeFiles/prism_rocc.dir/rocc/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_rocc.dir/rocc/model.cpp.o"
+  "CMakeFiles/prism_rocc.dir/rocc/model.cpp.o.d"
+  "CMakeFiles/prism_rocc.dir/rocc/process.cpp.o"
+  "CMakeFiles/prism_rocc.dir/rocc/process.cpp.o.d"
+  "CMakeFiles/prism_rocc.dir/rocc/resource.cpp.o"
+  "CMakeFiles/prism_rocc.dir/rocc/resource.cpp.o.d"
+  "libprism_rocc.a"
+  "libprism_rocc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_rocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prism_rocc.
+# This may be replaced when dependencies are built.

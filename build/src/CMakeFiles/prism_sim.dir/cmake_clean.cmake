@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_sim.dir/sim/collectors.cpp.o"
+  "CMakeFiles/prism_sim.dir/sim/collectors.cpp.o.d"
+  "CMakeFiles/prism_sim.dir/sim/replication.cpp.o"
+  "CMakeFiles/prism_sim.dir/sim/replication.cpp.o.d"
+  "libprism_sim.a"
+  "libprism_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_spi.dir/spi/machine.cpp.o"
+  "CMakeFiles/prism_spi.dir/spi/machine.cpp.o.d"
+  "CMakeFiles/prism_spi.dir/spi/spec.cpp.o"
+  "CMakeFiles/prism_spi.dir/spi/spec.cpp.o.d"
+  "libprism_spi.a"
+  "libprism_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

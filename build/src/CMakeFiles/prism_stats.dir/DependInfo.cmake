@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distributions.cpp" "src/CMakeFiles/prism_stats.dir/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/prism_stats.dir/stats/distributions.cpp.o.d"
+  "/root/repo/src/stats/erlang.cpp" "src/CMakeFiles/prism_stats.dir/stats/erlang.cpp.o" "gcc" "src/CMakeFiles/prism_stats.dir/stats/erlang.cpp.o.d"
+  "/root/repo/src/stats/factorial.cpp" "src/CMakeFiles/prism_stats.dir/stats/factorial.cpp.o" "gcc" "src/CMakeFiles/prism_stats.dir/stats/factorial.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/prism_stats.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/prism_stats.dir/stats/quantile.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/CMakeFiles/prism_stats.dir/stats/special.cpp.o" "gcc" "src/CMakeFiles/prism_stats.dir/stats/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_stats.dir/stats/distributions.cpp.o"
+  "CMakeFiles/prism_stats.dir/stats/distributions.cpp.o.d"
+  "CMakeFiles/prism_stats.dir/stats/erlang.cpp.o"
+  "CMakeFiles/prism_stats.dir/stats/erlang.cpp.o.d"
+  "CMakeFiles/prism_stats.dir/stats/factorial.cpp.o"
+  "CMakeFiles/prism_stats.dir/stats/factorial.cpp.o.d"
+  "CMakeFiles/prism_stats.dir/stats/quantile.cpp.o"
+  "CMakeFiles/prism_stats.dir/stats/quantile.cpp.o.d"
+  "CMakeFiles/prism_stats.dir/stats/special.cpp.o"
+  "CMakeFiles/prism_stats.dir/stats/special.cpp.o.d"
+  "libprism_stats.a"
+  "libprism_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/prism_trace.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/prism_trace.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/causal.cpp" "src/CMakeFiles/prism_trace.dir/trace/causal.cpp.o" "gcc" "src/CMakeFiles/prism_trace.dir/trace/causal.cpp.o.d"
+  "/root/repo/src/trace/file.cpp" "src/CMakeFiles/prism_trace.dir/trace/file.cpp.o" "gcc" "src/CMakeFiles/prism_trace.dir/trace/file.cpp.o.d"
+  "/root/repo/src/trace/merge.cpp" "src/CMakeFiles/prism_trace.dir/trace/merge.cpp.o" "gcc" "src/CMakeFiles/prism_trace.dir/trace/merge.cpp.o.d"
+  "/root/repo/src/trace/perturbation.cpp" "src/CMakeFiles/prism_trace.dir/trace/perturbation.cpp.o" "gcc" "src/CMakeFiles/prism_trace.dir/trace/perturbation.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/prism_trace.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/prism_trace.dir/trace/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

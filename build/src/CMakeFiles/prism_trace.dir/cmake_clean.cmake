@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_trace.dir/trace/analysis.cpp.o"
+  "CMakeFiles/prism_trace.dir/trace/analysis.cpp.o.d"
+  "CMakeFiles/prism_trace.dir/trace/causal.cpp.o"
+  "CMakeFiles/prism_trace.dir/trace/causal.cpp.o.d"
+  "CMakeFiles/prism_trace.dir/trace/file.cpp.o"
+  "CMakeFiles/prism_trace.dir/trace/file.cpp.o.d"
+  "CMakeFiles/prism_trace.dir/trace/merge.cpp.o"
+  "CMakeFiles/prism_trace.dir/trace/merge.cpp.o.d"
+  "CMakeFiles/prism_trace.dir/trace/perturbation.cpp.o"
+  "CMakeFiles/prism_trace.dir/trace/perturbation.cpp.o.d"
+  "CMakeFiles/prism_trace.dir/trace/record.cpp.o"
+  "CMakeFiles/prism_trace.dir/trace/record.cpp.o.d"
+  "libprism_trace.a"
+  "libprism_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_vista.dir/vista/analytic.cpp.o"
+  "CMakeFiles/prism_vista.dir/vista/analytic.cpp.o.d"
+  "CMakeFiles/prism_vista.dir/vista/ism_model.cpp.o"
+  "CMakeFiles/prism_vista.dir/vista/ism_model.cpp.o.d"
+  "CMakeFiles/prism_vista.dir/vista/testbed.cpp.o"
+  "CMakeFiles/prism_vista.dir/vista/testbed.cpp.o.d"
+  "libprism_vista.a"
+  "libprism_vista.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_vista.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

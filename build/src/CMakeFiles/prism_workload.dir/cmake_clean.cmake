@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_workload.dir/workload/apps.cpp.o"
+  "CMakeFiles/prism_workload.dir/workload/apps.cpp.o.d"
+  "CMakeFiles/prism_workload.dir/workload/multicomputer.cpp.o"
+  "CMakeFiles/prism_workload.dir/workload/multicomputer.cpp.o.d"
+  "CMakeFiles/prism_workload.dir/workload/thread_apps.cpp.o"
+  "CMakeFiles/prism_workload.dir/workload/thread_apps.cpp.o.d"
+  "libprism_workload.a"
+  "libprism_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprism_workload.a"
+)

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/prism_test_core.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_config_io.cpp" "tests/CMakeFiles/prism_test_core.dir/test_config_io.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_config_io.cpp.o.d"
+  "/root/repo/tests/test_environment.cpp" "tests/CMakeFiles/prism_test_core.dir/test_environment.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_environment.cpp.o.d"
+  "/root/repo/tests/test_environment_matrix.cpp" "tests/CMakeFiles/prism_test_core.dir/test_environment_matrix.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_environment_matrix.cpp.o.d"
+  "/root/repo/tests/test_flush_policy.cpp" "tests/CMakeFiles/prism_test_core.dir/test_flush_policy.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_flush_policy.cpp.o.d"
+  "/root/repo/tests/test_ism.cpp" "tests/CMakeFiles/prism_test_core.dir/test_ism.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_ism.cpp.o.d"
+  "/root/repo/tests/test_lis.cpp" "tests/CMakeFiles/prism_test_core.dir/test_lis.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_lis.cpp.o.d"
+  "/root/repo/tests/test_posix_pipe.cpp" "tests/CMakeFiles/prism_test_core.dir/test_posix_pipe.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_posix_pipe.cpp.o.d"
+  "/root/repo/tests/test_probe_registry.cpp" "tests/CMakeFiles/prism_test_core.dir/test_probe_registry.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_probe_registry.cpp.o.d"
+  "/root/repo/tests/test_sensor.cpp" "tests/CMakeFiles/prism_test_core.dir/test_sensor.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_sensor.cpp.o.d"
+  "/root/repo/tests/test_throttle.cpp" "tests/CMakeFiles/prism_test_core.dir/test_throttle.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_throttle.cpp.o.d"
+  "/root/repo/tests/test_tool_registry.cpp" "tests/CMakeFiles/prism_test_core.dir/test_tool_registry.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_tool_registry.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/prism_test_core.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_tools.cpp.o.d"
+  "/root/repo/tests/test_transfer_protocol.cpp" "tests/CMakeFiles/prism_test_core.dir/test_transfer_protocol.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_transfer_protocol.cpp.o.d"
+  "/root/repo/tests/test_views.cpp" "tests/CMakeFiles/prism_test_core.dir/test_views.cpp.o" "gcc" "tests/CMakeFiles/prism_test_core.dir/test_views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_picl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_paradyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_rocc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_vista.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_integration.dir/test_integration.cpp.o"
+  "CMakeFiles/prism_test_integration.dir/test_integration.cpp.o.d"
+  "CMakeFiles/prism_test_integration.dir/test_soak.cpp.o"
+  "CMakeFiles/prism_test_integration.dir/test_soak.cpp.o.d"
+  "prism_test_integration"
+  "prism_test_integration.pdb"
+  "prism_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

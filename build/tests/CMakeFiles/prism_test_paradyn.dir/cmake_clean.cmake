@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_paradyn.dir/test_cluster_model.cpp.o"
+  "CMakeFiles/prism_test_paradyn.dir/test_cluster_model.cpp.o.d"
+  "CMakeFiles/prism_test_paradyn.dir/test_cost_model.cpp.o"
+  "CMakeFiles/prism_test_paradyn.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/prism_test_paradyn.dir/test_paradyn_live.cpp.o"
+  "CMakeFiles/prism_test_paradyn.dir/test_paradyn_live.cpp.o.d"
+  "CMakeFiles/prism_test_paradyn.dir/test_paradyn_rocc.cpp.o"
+  "CMakeFiles/prism_test_paradyn.dir/test_paradyn_rocc.cpp.o.d"
+  "CMakeFiles/prism_test_paradyn.dir/test_w3.cpp.o"
+  "CMakeFiles/prism_test_paradyn.dir/test_w3.cpp.o.d"
+  "prism_test_paradyn"
+  "prism_test_paradyn.pdb"
+  "prism_test_paradyn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_paradyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_picl.dir/test_picl_analytic.cpp.o"
+  "CMakeFiles/prism_test_picl.dir/test_picl_analytic.cpp.o.d"
+  "CMakeFiles/prism_test_picl.dir/test_picl_library.cpp.o"
+  "CMakeFiles/prism_test_picl.dir/test_picl_library.cpp.o.d"
+  "CMakeFiles/prism_test_picl.dir/test_picl_sim.cpp.o"
+  "CMakeFiles/prism_test_picl.dir/test_picl_sim.cpp.o.d"
+  "prism_test_picl"
+  "prism_test_picl.pdb"
+  "prism_test_picl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_picl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_queueing.dir/test_queueing.cpp.o"
+  "CMakeFiles/prism_test_queueing.dir/test_queueing.cpp.o.d"
+  "prism_test_queueing"
+  "prism_test_queueing.pdb"
+  "prism_test_queueing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

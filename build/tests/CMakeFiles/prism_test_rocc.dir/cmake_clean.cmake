@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_rocc.dir/test_rocc.cpp.o"
+  "CMakeFiles/prism_test_rocc.dir/test_rocc.cpp.o.d"
+  "prism_test_rocc"
+  "prism_test_rocc.pdb"
+  "prism_test_rocc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_rocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_sim.dir/test_collectors.cpp.o"
+  "CMakeFiles/prism_test_sim.dir/test_collectors.cpp.o.d"
+  "CMakeFiles/prism_test_sim.dir/test_mser.cpp.o"
+  "CMakeFiles/prism_test_sim.dir/test_mser.cpp.o.d"
+  "CMakeFiles/prism_test_sim.dir/test_replication.cpp.o"
+  "CMakeFiles/prism_test_sim.dir/test_replication.cpp.o.d"
+  "CMakeFiles/prism_test_sim.dir/test_sim_engine.cpp.o"
+  "CMakeFiles/prism_test_sim.dir/test_sim_engine.cpp.o.d"
+  "prism_test_sim"
+  "prism_test_sim.pdb"
+  "prism_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_spi.dir/test_spi.cpp.o"
+  "CMakeFiles/prism_test_spi.dir/test_spi.cpp.o.d"
+  "prism_test_spi"
+  "prism_test_spi.pdb"
+  "prism_test_spi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

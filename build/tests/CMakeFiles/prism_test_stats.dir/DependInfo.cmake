@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_erlang.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_erlang.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_erlang.cpp.o.d"
+  "/root/repo/tests/test_factorial.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_factorial.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_factorial.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_quantile.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_quantile.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_quantile.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_special.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_special.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_special.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/prism_test_stats.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/prism_test_stats.dir/test_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism_picl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_paradyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_rocc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_vista.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prism_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_stats.dir/test_distributions.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_distributions.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_erlang.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_erlang.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_factorial.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_factorial.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_histogram.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_histogram.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_quantile.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_quantile.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_rng.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_rng.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_special.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_special.cpp.o.d"
+  "CMakeFiles/prism_test_stats.dir/test_summary.cpp.o"
+  "CMakeFiles/prism_test_stats.dir/test_summary.cpp.o.d"
+  "prism_test_stats"
+  "prism_test_stats.pdb"
+  "prism_test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

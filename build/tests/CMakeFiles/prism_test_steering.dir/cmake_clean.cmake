@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_steering.dir/test_steering_calibrate.cpp.o"
+  "CMakeFiles/prism_test_steering.dir/test_steering_calibrate.cpp.o.d"
+  "prism_test_steering"
+  "prism_test_steering.pdb"
+  "prism_test_steering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_trace.dir/test_causal.cpp.o"
+  "CMakeFiles/prism_test_trace.dir/test_causal.cpp.o.d"
+  "CMakeFiles/prism_test_trace.dir/test_perturbation.cpp.o"
+  "CMakeFiles/prism_test_trace.dir/test_perturbation.cpp.o.d"
+  "CMakeFiles/prism_test_trace.dir/test_trace_analysis.cpp.o"
+  "CMakeFiles/prism_test_trace.dir/test_trace_analysis.cpp.o.d"
+  "CMakeFiles/prism_test_trace.dir/test_trace_buffer.cpp.o"
+  "CMakeFiles/prism_test_trace.dir/test_trace_buffer.cpp.o.d"
+  "CMakeFiles/prism_test_trace.dir/test_trace_file_merge.cpp.o"
+  "CMakeFiles/prism_test_trace.dir/test_trace_file_merge.cpp.o.d"
+  "prism_test_trace"
+  "prism_test_trace.pdb"
+  "prism_test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

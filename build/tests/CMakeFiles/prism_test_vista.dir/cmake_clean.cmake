@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_vista.dir/test_vista_analytic.cpp.o"
+  "CMakeFiles/prism_test_vista.dir/test_vista_analytic.cpp.o.d"
+  "CMakeFiles/prism_test_vista.dir/test_vista_model.cpp.o"
+  "CMakeFiles/prism_test_vista.dir/test_vista_model.cpp.o.d"
+  "CMakeFiles/prism_test_vista.dir/test_vista_testbed.cpp.o"
+  "CMakeFiles/prism_test_vista.dir/test_vista_testbed.cpp.o.d"
+  "prism_test_vista"
+  "prism_test_vista.pdb"
+  "prism_test_vista[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_vista.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prism_test_vista.
+# This may be replaced when dependencies are built.

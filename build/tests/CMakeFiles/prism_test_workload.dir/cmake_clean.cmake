@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_test_workload.dir/test_apps.cpp.o"
+  "CMakeFiles/prism_test_workload.dir/test_apps.cpp.o.d"
+  "CMakeFiles/prism_test_workload.dir/test_multicomputer.cpp.o"
+  "CMakeFiles/prism_test_workload.dir/test_multicomputer.cpp.o.d"
+  "CMakeFiles/prism_test_workload.dir/test_thread_apps.cpp.o"
+  "CMakeFiles/prism_test_workload.dir/test_thread_apps.cpp.o.d"
+  "prism_test_workload"
+  "prism_test_workload.pdb"
+  "prism_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/prism_test_stats[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_queueing[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_rocc[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_trace[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_core[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_picl[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_paradyn[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_vista[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_spi[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_steering[1]_include.cmake")
+include("/root/repo/build/tests/prism_test_integration[1]_include.cmake")
