@@ -1,0 +1,168 @@
+#include "bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace prism::bench {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInteger;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue& JsonValue::add(const std::string& key, JsonValue v) {
+  if (kind_ != Kind::kObject)
+    throw std::logic_error("JsonValue::add on non-object");
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  if (kind_ != Kind::kArray)
+    throw std::logic_error("JsonValue::push on non-array");
+  elements_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the convention
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Prefer the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::render(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad_in;
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.render(out, indent + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      return;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += pad_in;
+        elements_[i].render(out, indent + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      return;
+    }
+    case Kind::kNumber: append_number(out, num_); return;
+    case Kind::kInteger: out += std::to_string(int_); return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kString: append_escaped(out, str_); return;
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  render(out, 0);
+  out += '\n';
+  return out;
+}
+
+void write_json_file(const std::string& path, const JsonValue& v) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("bench_json: cannot open " + path);
+  f << v.dump();
+  if (!f) throw std::runtime_error("bench_json: write failed for " + path);
+}
+
+}  // namespace prism::bench

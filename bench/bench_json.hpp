@@ -1,0 +1,53 @@
+// Minimal JSON emitter for benchmark trajectories.
+//
+// Benchmarks write flat BENCH_*.json files (an object of scalars, arrays,
+// and one level of nested objects) so successive PRs can diff wall times,
+// events/sec, and speedups without parsing stdout.  This is a writer only —
+// no parsing, no DOM — and it depends on nothing but the standard library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prism::bench {
+
+/// Builds a JSON value tree and renders it with stable formatting: object
+/// keys appear in insertion order and doubles use shortest round-trip form,
+/// so byte-wise diffs across runs reflect real changes only.
+class JsonValue {
+ public:
+  static JsonValue object();
+  static JsonValue array();
+  static JsonValue number(double v);
+  static JsonValue integer(std::int64_t v);
+  static JsonValue boolean(bool v);
+  static JsonValue string(std::string v);
+
+  /// Adds (or replaces nothing — keys are not deduplicated; callers add each
+  /// key once) a member to an object value.
+  JsonValue& add(const std::string& key, JsonValue v);
+  /// Appends an element to an array value.
+  JsonValue& push(JsonValue v);
+
+  /// Renders with 2-space indentation and a trailing newline at top level.
+  std::string dump() const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInteger, kBool, kString };
+  void render(std::string& out, int indent) const;
+
+  Kind kind_ = Kind::kObject;
+  double num_ = 0;
+  std::int64_t int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// Writes `v.dump()` to `path` atomically enough for a bench harness
+/// (truncate + write).  Throws std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const JsonValue& v);
+
+}  // namespace prism::bench

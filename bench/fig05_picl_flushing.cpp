@@ -12,8 +12,30 @@
 
 #include "picl/analytic_model.hpp"
 #include "picl/flush_sim.hpp"
+#include "sim/replication.hpp"
 
 using namespace prism;
+
+namespace {
+
+/// Replicated simulation spot check: mean flushing frequency over `reps`
+/// independent replications, run on the worker pool (bit-identical to a
+/// serial run; see sim/replication.hpp).
+double sim_spot_check(const picl::PiclModelParams& p, bool faof,
+                      unsigned cycles, std::uint64_t tag) {
+  const unsigned reps = 8;
+  const auto rr = sim::replicate(
+      reps, /*base_seed=*/0xF1605, tag,
+      [&p, faof, cycles](stats::Rng& rng) -> sim::Responses {
+        const auto res = faof ? picl::simulate_faof(p, cycles, rng)
+                              : picl::simulate_fof(p, cycles, rng);
+        return {{"freq", res.flushing_frequency}};
+      },
+      sim::ReplicateOptions{});
+  return rr.summary("freq").mean();
+}
+
+}  // namespace
 
 int main() {
   const unsigned P = 8;
@@ -39,10 +61,8 @@ int main() {
       // Simulation spot checks at the panel corners.
       double fof_sim = 0, faof_sim = 0;
       if (l == 10 || l == 50 || l == 100) {
-        fof_sim = picl::simulate_fof(p, 1500, stats::Rng(10 * l + a))
-                      .flushing_frequency;
-        faof_sim = picl::simulate_faof(p, 800, stats::Rng(20 * l + a))
-                       .flushing_frequency;
+        fof_sim = sim_spot_check(p, /*faof=*/false, 1500, 10 * l + a);
+        faof_sim = sim_spot_check(p, /*faof=*/true, 800, 20 * l + a);
         std::printf("%u,%.6g,%.6g,%.6g,%.6g\n", l, fof, faof, fof_sim,
                     faof_sim);
       } else {

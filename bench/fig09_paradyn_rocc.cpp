@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "paradyn/rocc_model.hpp"
+#include "sim/thread_pool.hpp"
 
 using namespace prism;
 
@@ -20,15 +21,20 @@ int main() {
   paradyn::ParadynRoccParams base;  // defaults documented in the header
   const unsigned r = 30;
   const std::uint64_t seed = 0x5EED;
+  // Replications run on the worker pool (results are bit-identical to
+  // serial; see sim/replication.hpp).
+  const sim::ReplicateOptions par{};
 
   std::printf("== Figure 9(a): Pd interference vs sampling period ==\n");
-  std::printf("   (n_app = %u, horizon = %g ms, r = %u, 90%% CI)\n",
-              base.app_processes, base.horizon_ms, r);
+  std::printf("   (n_app = %u, horizon = %g ms, r = %u, 90%% CI, "
+              "%u worker threads)\n",
+              base.app_processes, base.horizon_ms, r,
+              sim::ThreadPool::default_threads());
   std::printf("period_ms,interference_ms,ci_half,queueing_delay_ms\n");
   const std::vector<double> periods{50, 100, 150, 200, 250,
                                     300, 350, 400, 450, 500};
   const auto sweep_a =
-      paradyn::sweep_sampling_period(base, periods, r, seed);
+      paradyn::sweep_sampling_period(base, periods, r, seed, par);
   bool monotone = true;
   for (std::size_t i = 0; i < sweep_a.size(); ++i) {
     const auto& pt = sweep_a[i];
@@ -52,7 +58,8 @@ int main() {
               base.sampling_period_ms, r);
   std::printf("n_app,utilization_pct,ci_half,queueing_delay_ms\n");
   const std::vector<unsigned> counts{1, 2, 4, 8, 12, 16, 20, 24, 28, 32};
-  const auto sweep_b = paradyn::sweep_app_processes(base, counts, r, seed + 1);
+  const auto sweep_b =
+      paradyn::sweep_app_processes(base, counts, r, seed + 1, par);
   bool decreasing = true;
   for (std::size_t i = 0; i < sweep_b.size(); ++i) {
     const auto& pt = sweep_b[i];

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "sim/thread_pool.hpp"
 #include "vista/analytic.hpp"
 #include "vista/ism_model.hpp"
 
@@ -21,15 +22,17 @@ int main() {
   base.horizon_ms = 30'000;
   const unsigned r = 30;
   const std::uint64_t seed = 0xF16;
+  // Replications run on the worker pool (bit-identical to serial).
+  const sim::ReplicateOptions par{};
 
   std::printf("== Figure 11: SISO vs MISO ISM (P = %u processes, r = %u, "
-              "90%% CI) ==\n",
-              base.processes, r);
+              "90%% CI, %u worker threads) ==\n",
+              base.processes, r, sim::ThreadPool::default_threads());
   std::printf(
       "interarrival_ms,lat_siso,lat_siso_ci,lat_miso,lat_miso_ci,"
       "buf_siso,buf_siso_ci,buf_miso,buf_miso_ci\n");
   const std::vector<double> ias{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
-  const auto pts = vista::sweep_interarrival(base, ias, r, seed);
+  const auto pts = vista::sweep_interarrival(base, ias, r, seed, par);
   for (const auto& pt : pts) {
     std::printf("%g,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
                 pt.mean_interarrival_ms, pt.latency_siso.mean,

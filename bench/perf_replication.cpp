@@ -1,0 +1,273 @@
+// Performance-trajectory benchmark for the parallel replication harness and
+// the engine calendar.  Times the paper's three replicated case-study
+// workloads (PICL Fig. 5 flushing sweep, Paradyn ROCC Fig. 9a sweep, Vista
+// ISM Fig. 11 sweep) serially and at 2 and N worker threads, verifies that
+// every parallel run is bit-identical to the serial run, measures the
+// engine's schedule/step, cancel, and reschedule hot loops, and writes
+// BENCH_replication.json so future PRs have a comparable perf record.
+// (BENCH_*.json field documentation lives in README.md.)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "picl/analytic_model.hpp"
+#include "picl/flush_sim.hpp"
+#include "paradyn/rocc_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/replication.hpp"
+#include "sim/thread_pool.hpp"
+#include "vista/ism_model.hpp"
+
+using namespace prism;
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// One replicated case-study workload, parameterized on the thread count.
+/// Returns a deterministic fingerprint (sum of every metric mean over every
+/// scenario) used to assert serial/parallel bit-identity.
+using Workload = std::function<double(const sim::ReplicateOptions&)>;
+
+double run_fig05_sweep(const sim::ReplicateOptions& opts, unsigned reps,
+                       unsigned fof_cycles, unsigned faof_cycles) {
+  double fingerprint = 0;
+  const std::vector<double> alphas{0.0008, 0.007, 2.0};
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    for (unsigned l = 10; l <= 100; l += 10) {
+      picl::PiclModelParams p;
+      p.buffer_capacity = l;
+      p.arrival_rate = alphas[a];
+      p.nodes = 8;
+      const auto rr = sim::replicate(
+          reps, /*base_seed=*/0xF1605, /*scenario_tag=*/100 * a + l,
+          [&p, fof_cycles, faof_cycles](stats::Rng& rng) -> sim::Responses {
+            const auto fof = picl::simulate_fof(p, fof_cycles, rng.split());
+            const auto faof = picl::simulate_faof(p, faof_cycles, rng.split());
+            return {{"fof_freq", fof.flushing_frequency},
+                    {"faof_freq", faof.flushing_frequency},
+                    {"fof_stop", fof.stopping_time.mean()}};
+          },
+          opts);
+      for (const auto& m : rr.metrics()) fingerprint += rr.summary(m).mean();
+    }
+  }
+  return fingerprint;
+}
+
+double run_rocc_sweep(const sim::ReplicateOptions& opts, unsigned reps) {
+  paradyn::ParadynRoccParams base;
+  base.horizon_ms = 20'000;
+  const auto pts = paradyn::sweep_sampling_period(
+      base, {50, 200, 500}, reps, /*seed=*/0x5EED, opts);
+  double fingerprint = 0;
+  for (const auto& pt : pts)
+    fingerprint += pt.interference.mean + pt.utilization_pct.mean +
+                   pt.queueing_delay.mean;
+  return fingerprint;
+}
+
+double run_vista_sweep(const sim::ReplicateOptions& opts, unsigned reps) {
+  vista::VistaIsmParams base;
+  base.horizon_ms = 10'000;
+  const auto pts =
+      vista::sweep_interarrival(base, {10, 50, 100}, reps, /*seed=*/0xF16, opts);
+  double fingerprint = 0;
+  for (const auto& pt : pts)
+    fingerprint += pt.latency_siso.mean + pt.latency_miso.mean +
+                   pt.buffer_siso.mean + pt.buffer_miso.mean;
+  return fingerprint;
+}
+
+struct ThreadsResult {
+  unsigned threads = 0;
+  double ms = 0;
+  double speedup = 1;
+  bool identical = true;
+};
+
+/// Times `work` at each thread count; threads=1 is the baseline.
+std::vector<ThreadsResult> time_workload(const Workload& work,
+                                         const std::vector<unsigned>& counts) {
+  std::vector<ThreadsResult> out;
+  double serial_ms = 0, serial_fp = 0;
+  for (unsigned t : counts) {
+    sim::ReplicateOptions opts;
+    opts.threads = t;
+    double fp = 0;
+    const double ms = wall_ms([&] { fp = work(opts); });
+    ThreadsResult r;
+    r.threads = t;
+    r.ms = ms;
+    if (t == 1) {
+      serial_ms = ms;
+      serial_fp = fp;
+      r.speedup = 1.0;
+      r.identical = true;
+    } else {
+      r.speedup = ms > 0 ? serial_ms / ms : 1.0;
+      r.identical = fp == serial_fp;  // bit-identical merge, so == is exact
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+bench::JsonValue to_json(const std::string& name, unsigned reps,
+                         const std::vector<ThreadsResult>& results,
+                         bool* all_identical) {
+  auto arr = bench::JsonValue::array();
+  for (const auto& r : results) {
+    auto row = bench::JsonValue::object();
+    row.add("threads", bench::JsonValue::integer(r.threads));
+    row.add("wall_ms", bench::JsonValue::number(r.ms));
+    row.add("speedup_vs_serial", bench::JsonValue::number(r.speedup));
+    row.add("bit_identical_to_serial", bench::JsonValue::boolean(r.identical));
+    *all_identical = *all_identical && r.identical;
+    arr.push(std::move(row));
+  }
+  auto wl = bench::JsonValue::object();
+  wl.add("name", bench::JsonValue::string(name));
+  wl.add("replications_per_scenario", bench::JsonValue::integer(reps));
+  wl.add("results", std::move(arr));
+  return wl;
+}
+
+/// Engine calendar hot loops, in events (or operations) per second.
+bench::JsonValue engine_micro() {
+  auto obj = bench::JsonValue::object();
+
+  // schedule_at + step through a large FEL, the simulator's core loop.
+  {
+    constexpr int kEvents = 200'000;
+    sim::Engine e;
+    volatile int sink = 0;
+    stats::Rng rng(42);
+    const double ms = wall_ms([&] {
+      for (int i = 0; i < kEvents; ++i)
+        e.schedule_at(rng.next_double() * 1e6, [&sink] { sink = sink + 1; });
+      e.run();
+    });
+    obj.add("schedule_step_events_per_sec",
+            bench::JsonValue::number(kEvents / (ms / 1000.0)));
+  }
+
+  // schedule + cancel churn: the timeout pattern (almost every timeout is
+  // cancelled before it fires).
+  {
+    constexpr int kOps = 200'000;
+    sim::Engine e;
+    const double ms = wall_ms([&] {
+      for (int i = 0; i < kOps; ++i) {
+        auto h = e.schedule_at(static_cast<double>(i + 1), [] {});
+        e.cancel(h);
+      }
+      e.run();
+    });
+    obj.add("schedule_cancel_pairs_per_sec",
+            bench::JsonValue::number(kOps / (ms / 1000.0)));
+  }
+
+  // Periodic event rescheduling itself via its handle (no std::function
+  // re-allocation per period).
+  {
+    constexpr int kTicks = 200'000;
+    sim::Engine e;
+    int ticks = 0;
+    sim::EventHandle h;
+    h = e.schedule_at(1.0, [&] {
+      if (++ticks < kTicks) h = e.reschedule(h, e.now() + 1.0);
+    });
+    const double ms = wall_ms([&] { e.run(); });
+    obj.add("periodic_reschedule_ticks_per_sec",
+            bench::JsonValue::number(kTicks / (ms / 1000.0)));
+  }
+  return obj;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional override: perf_replication [reps] (keeps CI wall time bounded).
+  unsigned reps = 12;
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed < 1) {
+      std::fprintf(stderr, "usage: %s [reps>=1]  (got '%s')\n", argv[0],
+                   argv[1]);
+      return 2;
+    }
+    reps = static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = sim::ThreadPool::default_threads();
+  std::vector<unsigned> counts{1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+
+  auto root = bench::JsonValue::object();
+  root.add("bench", bench::JsonValue::string("replication_harness"));
+  root.add("schema_version", bench::JsonValue::integer(1));
+  root.add("hardware_concurrency", bench::JsonValue::integer(hw));
+  std::printf("perf_replication: hardware_concurrency=%u, r=%u per scenario\n",
+              hw, reps);
+
+  bool all_identical = true;
+  auto workloads = bench::JsonValue::array();
+
+  {
+    std::printf("timing fig05 PICL flushing sweep (3 alphas x 10 capacities)"
+                "...\n");
+    const auto res = time_workload(
+        [&](const sim::ReplicateOptions& o) {
+          return run_fig05_sweep(o, reps, 400, 250);
+        },
+        counts);
+    workloads.push(to_json("fig05_picl_flushing_sweep", reps, res,
+                           &all_identical));
+    for (const auto& r : res)
+      std::printf("  threads=%u  wall=%8.1f ms  speedup=%.2fx  identical=%s\n",
+                  r.threads, r.ms, r.speedup, r.identical ? "yes" : "NO");
+  }
+  {
+    std::printf("timing fig09 Paradyn ROCC period sweep...\n");
+    const auto res = time_workload(
+        [&](const sim::ReplicateOptions& o) { return run_rocc_sweep(o, reps); },
+        counts);
+    workloads.push(to_json("fig09_rocc_period_sweep", reps, res,
+                           &all_identical));
+    for (const auto& r : res)
+      std::printf("  threads=%u  wall=%8.1f ms  speedup=%.2fx  identical=%s\n",
+                  r.threads, r.ms, r.speedup, r.identical ? "yes" : "NO");
+  }
+  {
+    std::printf("timing fig11 Vista ISM interarrival sweep...\n");
+    const auto res = time_workload(
+        [&](const sim::ReplicateOptions& o) { return run_vista_sweep(o, reps); },
+        counts);
+    workloads.push(to_json("fig11_vista_ism_sweep", reps, res,
+                           &all_identical));
+    for (const auto& r : res)
+      std::printf("  threads=%u  wall=%8.1f ms  speedup=%.2fx  identical=%s\n",
+                  r.threads, r.ms, r.speedup, r.identical ? "yes" : "NO");
+  }
+
+  root.add("workloads", std::move(workloads));
+
+  std::printf("timing engine calendar hot loops...\n");
+  root.add("engine_calendar", engine_micro());
+
+  const std::string path = "BENCH_replication.json";
+  bench::write_json_file(path, root);
+  std::printf("wrote %s\n", path.c_str());
+  std::printf("parallel-vs-serial bit-identity: %s\n",
+              all_identical ? "OK" : "VIOLATION");
+  return all_identical ? 0 : 1;
+}

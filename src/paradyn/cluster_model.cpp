@@ -248,7 +248,8 @@ ClusterModelMetrics run_cluster_model(const ClusterModelParams& params,
 
 std::vector<ClusterSweepPoint> sweep_cluster_size(
     const ClusterModelParams& base, const std::vector<unsigned>& node_counts,
-    unsigned replications, std::uint64_t seed) {
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts) {
   std::vector<ClusterSweepPoint> out;
   out.reserve(node_counts.size());
   for (unsigned n : node_counts) {
@@ -261,7 +262,8 @@ std::vector<ClusterSweepPoint> sweep_cluster_size(
           return {{"latency", m.mean_sample_latency_ms},
                   {"ism_util", m.ism_utilization},
                   {"net_util", m.network_utilization}};
-        });
+        },
+        opts);
     ClusterSweepPoint pt;
     pt.nodes = n;
     pt.latency = rr.ci("latency", 0.90);

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/replication.hpp"
 #include "stats/confidence.hpp"
 #include "stats/rng.hpp"
 
@@ -78,8 +79,11 @@ struct ClusterSweepPoint {
 };
 
 /// Sweeps the node count: where does the centralized ISM saturate?
+/// `opts` controls replication execution (parallel by default; results are
+/// bit-identical for any thread count).
 std::vector<ClusterSweepPoint> sweep_cluster_size(
     const ClusterModelParams& base, const std::vector<unsigned>& node_counts,
-    unsigned replications, std::uint64_t seed);
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts = {});
 
 }  // namespace prism::paradyn

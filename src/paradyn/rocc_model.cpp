@@ -128,7 +128,8 @@ sim::Responses to_responses(const ParadynRoccMetrics& m) {
 
 std::vector<SweepPoint> sweep_sampling_period(
     const ParadynRoccParams& base, const std::vector<double>& periods_ms,
-    unsigned replications, std::uint64_t seed) {
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts) {
   std::vector<SweepPoint> out;
   out.reserve(periods_ms.size());
   for (double period : periods_ms) {
@@ -136,7 +137,8 @@ std::vector<SweepPoint> sweep_sampling_period(
     p.sampling_period_ms = period;
     auto rr = sim::replicate(
         replications, seed, static_cast<std::uint64_t>(period * 1000),
-        [&p](stats::Rng& rng) { return to_responses(run_paradyn_rocc(p, rng)); });
+        [&p](stats::Rng& rng) { return to_responses(run_paradyn_rocc(p, rng)); },
+        opts);
     out.push_back(summarize(period, rr));
   }
   return out;
@@ -144,7 +146,8 @@ std::vector<SweepPoint> sweep_sampling_period(
 
 std::vector<SweepPoint> sweep_app_processes(
     const ParadynRoccParams& base, const std::vector<unsigned>& counts,
-    unsigned replications, std::uint64_t seed) {
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts) {
   std::vector<SweepPoint> out;
   out.reserve(counts.size());
   for (unsigned n : counts) {
@@ -152,7 +155,8 @@ std::vector<SweepPoint> sweep_app_processes(
     p.app_processes = n;
     auto rr = sim::replicate(
         replications, seed, 1'000'000ull + n,
-        [&p](stats::Rng& rng) { return to_responses(run_paradyn_rocc(p, rng)); });
+        [&p](stats::Rng& rng) { return to_responses(run_paradyn_rocc(p, rng)); },
+        opts);
     out.push_back(summarize(static_cast<double>(n), rr));
   }
   return out;

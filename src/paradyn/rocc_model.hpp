@@ -85,6 +85,8 @@ ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& params,
                                     stats::Rng rng);
 
 /// Fig. 9(a) sweep: Pd interference (with 90% CI) vs sampling period.
+/// `opts` controls replication execution (parallel by default; results are
+/// bit-identical for any thread count).
 struct SweepPoint {
   double x = 0;
   stats::ConfidenceInterval interference;
@@ -93,12 +95,14 @@ struct SweepPoint {
 };
 std::vector<SweepPoint> sweep_sampling_period(
     const ParadynRoccParams& base, const std::vector<double>& periods_ms,
-    unsigned replications, std::uint64_t seed);
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts = {});
 
 /// Fig. 9(b) sweep: utilizationPd (with 90% CI) vs #application processes.
 std::vector<SweepPoint> sweep_app_processes(
     const ParadynRoccParams& base, const std::vector<unsigned>& counts,
-    unsigned replications, std::uint64_t seed);
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts = {});
 
 /// The paper's 2^k r factorial design over {sampling period, #app processes}
 /// for a chosen response ("interference" or "utilization").

@@ -6,13 +6,22 @@
 // the Vista ISM queueing network — run on this engine.  The engine is
 // deterministic: identical schedules of identical callbacks produce identical
 // executions, so experiments are reproducible given their RNG seeds.
+//
+// Calendar layout: the heap orders lightweight (time, id, slot) entries; the
+// callback itself lives in a slot vector addressed by the entry.  A handle is
+// (id, slot); a slot's current id doubles as a generation counter, so
+// cancel() is an O(1) id comparison plus a free-list push — no cancelled-id
+// set to grow without bound — and cancelled/rescheduled events leave lazy
+// tombstone entries in the heap that are discarded when they surface (or
+// compacted wholesale when tombstones outnumber live events).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace prism::sim {
@@ -21,9 +30,12 @@ namespace prism::sim {
 /// milliseconds; the PICL analytic model is unit-agnostic).
 using Time = double;
 
-/// Opaque handle identifying a scheduled event, used for cancellation.
+/// Opaque handle identifying a scheduled event, used for cancellation and
+/// rescheduling.  A handle is invalidated when its event executes, is
+/// cancelled, or is rescheduled (reschedule returns the replacement handle).
 struct EventHandle {
   std::uint64_t id = 0;
+  std::uint32_t slot = 0;
   bool valid() const { return id != 0; }
 };
 
@@ -40,9 +52,13 @@ class Engine {
   /// for the same instant run in scheduling order (FIFO tie-break).
   EventHandle schedule_at(Time t, std::function<void()> fn) {
     if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+    const std::uint32_t s = acquire_slot();
     const std::uint64_t id = ++next_id_;
-    heap_.push(Scheduled{t, id, std::move(fn)});
-    return EventHandle{id};
+    slots_[s].fn = std::move(fn);
+    slots_[s].id = id;
+    ++live_;
+    push_entry(Entry{t, id, s});
+    return EventHandle{id, s};
   }
 
   /// Schedules `fn` to run `delay` (>= 0) after the current time.
@@ -51,11 +67,49 @@ class Engine {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event.  Returns false if the event already ran, was
-  /// already cancelled, or the handle is invalid.
+  /// Moves a pending event to time `t` without touching its callback — the
+  /// fast path for periodic events, which would otherwise destroy and
+  /// re-allocate identical std::function state every period.  Also valid on
+  /// the currently-executing event (from inside its own callback), which
+  /// re-arms the same callback after it returns.  Returns the replacement
+  /// handle (`h` itself is invalidated), or an invalid handle if `h` no
+  /// longer refers to a pending or currently-executing event.
+  EventHandle reschedule(EventHandle h, Time t) {
+    if (t < now_) throw std::invalid_argument("reschedule: time in the past");
+    if (!h.valid() || h.slot >= slots_.size()) return EventHandle{};
+    if (h.id == running_id_) {
+      // Re-arm the executing event: reserve a slot now; step() moves the
+      // callback back into it after the callback returns.  The slot is
+      // re-acquired if an earlier re-arm of this same event was cancelled.
+      if (rearm_id_ == 0 || slots_[rearm_slot_].id != rearm_id_) {
+        rearm_slot_ = acquire_slot();
+        ++live_;
+      }
+      const std::uint64_t id = ++next_id_;
+      slots_[rearm_slot_].id = id;
+      rearm_id_ = id;
+      push_entry(Entry{t, id, rearm_slot_});
+      return EventHandle{id, rearm_slot_};
+    }
+    if (slots_[h.slot].id != h.id) return EventHandle{};
+    // A fresh id turns the old heap entry into a tombstone; the callback
+    // stays in place.
+    const std::uint64_t id = ++next_id_;
+    slots_[h.slot].id = id;
+    push_entry(Entry{t, id, h.slot});
+    return EventHandle{id, h.slot};
+  }
+
+  /// Cancels a pending event in O(1).  Returns false if the event already
+  /// ran, was already cancelled or rescheduled, or the handle is invalid —
+  /// and records nothing for such ids, so repeated stale cancels cannot
+  /// accumulate state.
   bool cancel(EventHandle h) {
-    if (!h.valid() || h.id > next_id_) return false;
-    return cancelled_.insert(h.id).second && pending_contains_hint();
+    if (!h.valid() || h.slot >= slots_.size()) return false;
+    if (slots_[h.slot].id != h.id) return false;
+    release_slot(h.slot);
+    --live_;
+    return true;
   }
 
   /// Executes the next pending event, if any.  Returns false when the
@@ -63,15 +117,29 @@ class Engine {
   bool step() {
     while (!heap_.empty()) {
       if (stopped_) return false;
-      Scheduled ev = heap_.top();
-      heap_.pop();
-      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;
-      }
-      now_ = ev.at;
+      const Entry top = heap_.front();
+      pop_entry();
+      if (slots_[top.slot].id != top.id) continue;  // tombstone
+      now_ = top.at;
       ++executed_;
-      ev.fn();
+      --live_;
+      std::function<void()> fn = std::move(slots_[top.slot].fn);
+      release_slot(top.slot);
+      // Save re-arm state so callbacks that recursively step the engine
+      // cannot clobber an enclosing event's bookkeeping.
+      const std::uint64_t saved_running = running_id_;
+      const std::uint64_t saved_rearm_id = rearm_id_;
+      const std::uint32_t saved_rearm_slot = rearm_slot_;
+      running_id_ = top.id;
+      rearm_id_ = 0;
+      fn();
+      // A cancelled re-arm leaves the slot freed (or reused under a newer
+      // id), which the generation check detects — the callback is dropped.
+      if (rearm_id_ != 0 && slots_[rearm_slot_].id == rearm_id_)
+        slots_[rearm_slot_].fn = std::move(fn);
+      running_id_ = saved_running;
+      rearm_id_ = saved_rearm_id;
+      rearm_slot_ = saved_rearm_slot;
       return true;
     }
     return false;
@@ -85,10 +153,14 @@ class Engine {
     return n;
   }
 
-  /// Runs events with time <= t, then advances the clock to exactly t.
+  /// Runs events with time <= t, then advances the clock to exactly t.  On
+  /// an engine stopped before the call this is a no-op: the clock must not
+  /// silently jump to t past events that never executed — resume() first.
   void run_until(Time t) {
     if (t < now_) throw std::invalid_argument("run_until: time in the past");
-    while (!stopped_ && !heap_.empty() && heap_.top().at <= t) {
+    while (!stopped_) {
+      prune_top();
+      if (heap_.empty() || heap_.front().at > t) break;
       if (!step()) break;
     }
     if (!stopped_ && t > now_) now_ = t;
@@ -100,36 +172,90 @@ class Engine {
   /// Re-arms a stopped engine (the clock is preserved).
   void resume() noexcept { stopped_ = false; }
 
-  /// Number of events currently pending (including not-yet-skipped
-  /// cancellations, which is an upper bound).
-  std::size_t pending() const noexcept { return heap_.size(); }
+  /// Number of live pending events (cancelled events are excluded).
+  std::size_t pending() const noexcept { return live_; }
   std::uint64_t events_executed() const noexcept { return executed_; }
-  bool empty() const noexcept { return heap_.empty(); }
+  bool empty() const noexcept { return live_ == 0; }
 
  private:
-  struct Scheduled {
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Slot {
+    std::function<void()> fn;
+    std::uint64_t id = 0;  // generation: 0 = free, else the live event's id
+    std::uint32_t next_free = kNoSlot;
+  };
+  struct Entry {
     Time at;
     std::uint64_t id;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
+  // std::*_heap builds a max-heap, so the comparator is "later": the
+  // earliest (time, id) event surfaces at front().  FIFO among simultaneous
+  // events falls out of the id tie-break.
   struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.id > b.id;
     }
   };
 
-  // cancel() bookkeeping note: we cannot cheaply verify membership in a
-  // std::priority_queue, so cancellation optimistically records the id and
-  // step() discards it when (if) it surfaces.  This hint always returns true;
-  // it exists to document the contract.
-  bool pending_contains_hint() const { return true; }
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slots_[s].next_free;
+      return s;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
 
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  void release_slot(std::uint32_t s) noexcept {
+    slots_[s].fn = nullptr;
+    slots_[s].id = 0;
+    slots_[s].next_free = free_head_;
+    free_head_ = s;
+  }
+
+  void push_entry(Entry e) {
+    // Compact when tombstones dominate, so schedule/cancel churn cannot grow
+    // the heap without bound.
+    if (heap_.size() >= 64 && heap_.size() > 2 * live_) compact();
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  void pop_entry() noexcept {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+
+  /// Discards tombstone entries sitting at the top of the heap, so the
+  /// surviving front (if any) is the next live event.
+  void prune_top() noexcept {
+    while (!heap_.empty() && slots_[heap_.front().slot].id != heap_.front().id)
+      pop_entry();
+  }
+
+  void compact() {
+    std::size_t kept = 0;
+    for (const Entry& e : heap_)
+      if (slots_[e.slot].id == e.id) heap_[kept++] = e;
+    heap_.resize(kept);
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_id_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t running_id_ = 0;  // id of the event being executed, else 0
+  std::uint64_t rearm_id_ = 0;    // pending re-arm of the running event
+  std::uint32_t rearm_slot_ = kNoSlot;
   bool stopped_ = false;
 };
 

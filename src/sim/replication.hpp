@@ -5,6 +5,12 @@
 // index), and summarizes each response metric with a t-based confidence
 // interval — the method both simulation case studies in the paper use
 // (r = 50 replications, 90% confidence).
+//
+// Replications are independent by construction (per-replication seeds), so
+// they can execute on a worker pool.  Parallel execution is bit-identical to
+// serial: replication `rep` always seeds from hash_seed(base_seed, tag, rep)
+// regardless of which worker runs it, and responses are merged in
+// replication-index order, never completion order.
 #pragma once
 
 #include <cstdint>
@@ -39,14 +45,35 @@ class ReplicationResult {
   unsigned n_ = 0;
 };
 
+/// Execution options for replicate().
+struct ReplicateOptions {
+  /// Worker threads running replications concurrently.  0 = one per
+  /// hardware thread; 1 = serial in the calling thread (no pool is
+  /// created).  Any value yields bit-identical results, but threads > 1
+  /// requires the model functor to be safe to invoke concurrently (models
+  /// that mutate shared captured state must use threads <= 1).
+  unsigned threads = 0;
+};
+
 /// Runs `r` replications of `model`.  The functor receives a fresh Rng for
 /// the replication and returns its responses.  `scenario_tag` isolates the
 /// random streams of different experimental scenarios sharing a base seed;
 /// two scenarios with the same tag and base seed see *identical* random
 /// inputs (common random numbers), which is exactly what the FOF-vs-FAOF
-/// comparison wants.
+/// comparison wants.  This overload runs serially in the calling thread and
+/// so accepts functors with shared mutable state.
 ReplicationResult replicate(
     unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
     const std::function<Responses(stats::Rng&)>& model);
+
+/// As above, with explicit execution options.  With opts.threads != 1 the
+/// model functor must be concurrency-safe; results are bit-identical to the
+/// serial overload for any thread count.  A replication that throws
+/// propagates the (first, by completion) exception to the caller after the
+/// pool drains.
+ReplicationResult replicate(
+    unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
+    const std::function<Responses(stats::Rng&)>& model,
+    const ReplicateOptions& opts);
 
 }  // namespace prism::sim

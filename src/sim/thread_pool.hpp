@@ -1,0 +1,67 @@
+// Fixed-size worker pool for CPU-bound experiment execution.
+//
+// The pool exists to run *independent replications* concurrently (see
+// sim/replication.hpp): tasks are closures that own all of their mutable
+// state, so the pool needs no work stealing, futures, or task graphs — just
+// a FIFO queue, a fixed set of workers, and strict exception propagation.
+// Determinism is the caller's job (replication results are merged in
+// replication-index order, not completion order); the pool only promises
+// that every submitted task runs exactly once and that wait() observes all
+// side effects of completed tasks (release/acquire via the queue mutex).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prism::sim {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers.  `threads == 0` means one worker per
+  /// hardware thread (at least one).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue (runs or discards nothing — blocks until every
+  /// submitted task has finished), then joins the workers.  Exceptions held
+  /// for wait() are dropped if wait() was never called.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have finished, then rethrows
+  /// the *first* exception any of them threw (if any).  The pool remains
+  /// usable after wait(), whether or not an exception was rethrown.
+  void wait();
+
+  /// Number of worker threads.
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The worker count `threads == 0` resolves to on this machine.
+  static unsigned default_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // workers wait here for tasks
+  std::condition_variable all_done_;     // wait() waits here for drain
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;       // first task exception, for wait()
+  std::size_t in_flight_ = 0;            // queued + currently-executing tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prism::sim

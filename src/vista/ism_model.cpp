@@ -227,7 +227,8 @@ VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng) {
 
 std::vector<VistaSweepPoint> sweep_interarrival(
     const VistaIsmParams& base, const std::vector<double>& interarrival_ms,
-    unsigned replications, std::uint64_t seed) {
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts) {
   std::vector<VistaSweepPoint> out;
   out.reserve(interarrival_ms.size());
   for (double ia : interarrival_ms) {
@@ -245,7 +246,8 @@ std::vector<VistaSweepPoint> sweep_interarrival(
             const auto m = run_vista_ism(p, rng);
             return {{"latency", m.mean_processing_latency_ms},
                     {"buffer", m.mean_input_buffer_length}};
-          });
+          },
+          opts);
       if (cfg == 0) {
         pt.latency_siso = rr.ci("latency", 0.90);
         pt.buffer_siso = rr.ci("buffer", 0.90);

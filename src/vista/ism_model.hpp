@@ -90,9 +90,12 @@ struct VistaSweepPoint {
 
 /// Fig. 11 sweep: both configurations at each inter-arrival time, with 90%
 /// CIs over `replications` runs (common random numbers across configs).
+/// `opts` controls replication execution (parallel by default; results are
+/// bit-identical for any thread count).
 std::vector<VistaSweepPoint> sweep_interarrival(
     const VistaIsmParams& base, const std::vector<double>& interarrival_ms,
-    unsigned replications, std::uint64_t seed);
+    unsigned replications, std::uint64_t seed,
+    const sim::ReplicateOptions& opts = {});
 
 /// The paper's 2^k r factorial design over {configuration, inter-arrival},
 /// for response "latency" or "buffer_length".  The paper's finding: "the

@@ -1,9 +1,15 @@
-// Replication harness: determinism, stream isolation, and CI behaviour.
+// Replication harness: determinism, stream isolation, CI behaviour, and
+// serial/parallel bit-identity.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
 
+#include "paradyn/rocc_model.hpp"
+#include "picl/flush_sim.hpp"
 #include "sim/replication.hpp"
+#include "vista/ism_model.hpp"
 
 namespace prism::sim {
 namespace {
@@ -67,6 +73,116 @@ TEST(Replicate, RejectsZeroReplications) {
   EXPECT_THROW(
       replicate(0, 1, 1, [](stats::Rng&) -> Responses { return {}; }),
       std::invalid_argument);
+  EXPECT_THROW(replicate(0, 1, 1,
+                         [](stats::Rng&) -> Responses { return {}; },
+                         ReplicateOptions{4}),
+               std::invalid_argument);
+}
+
+// Asserts that parallel execution reproduces the serial run bit-for-bit on
+// every metric: same mean, same variance accumulator state, same extremes.
+void expect_bit_identical(const ReplicationResult& serial,
+                          const ReplicationResult& parallel) {
+  ASSERT_EQ(serial.replications(), parallel.replications());
+  ASSERT_EQ(serial.metrics(), parallel.metrics());
+  for (const auto& m : serial.metrics()) {
+    const auto& a = serial.summary(m);
+    const auto& b = parallel.summary(m);
+    EXPECT_EQ(a.mean(), b.mean()) << m;
+    EXPECT_EQ(a.variance(), b.variance()) << m;
+    EXPECT_EQ(a.sum(), b.sum()) << m;
+    EXPECT_EQ(a.min(), b.min()) << m;
+    EXPECT_EQ(a.max(), b.max()) << m;
+  }
+}
+
+TEST(Replicate, ParallelBitIdenticalToSerial) {
+  auto model = [](stats::Rng& rng) -> Responses {
+    // Several draws so per-replication streams interleave nontrivially.
+    double x = 0;
+    for (int i = 0; i < 100; ++i) x += rng.next_double();
+    return {{"x", x}, {"y", rng.next_double_open()}};
+  };
+  const auto serial = replicate(37, 123, 9, model, ReplicateOptions{1});
+  const auto parallel = replicate(37, 123, 9, model, ReplicateOptions{4});
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(Replicate, ParallelBitIdenticalForCaseStudyModels) {
+  // The acceptance bar for the harness: PICL, ROCC, and Vista replications
+  // merge to bit-identical summaries at any thread count.
+  {
+    picl::PiclModelParams p;
+    p.buffer_capacity = 20;
+    p.nodes = 4;
+    p.arrival_rate = 0.007;
+    auto model = [&p](stats::Rng& rng) -> Responses {
+      const auto r = picl::simulate_fof(p, 150, rng);
+      return {{"freq", r.flushing_frequency},
+              {"stop", r.stopping_time.mean()},
+              {"interrupt", r.interruption_rate}};
+    };
+    expect_bit_identical(replicate(8, 77, 1, model, ReplicateOptions{1}),
+                         replicate(8, 77, 1, model, ReplicateOptions{4}));
+  }
+  {
+    paradyn::ParadynRoccParams p;
+    p.horizon_ms = 4'000;
+    auto model = [&p](stats::Rng& rng) -> Responses {
+      const auto m = paradyn::run_paradyn_rocc(p, rng);
+      return {{"interference", m.pd_interference_ms},
+              {"utilization_pct", m.pd_cpu_utilization_pct},
+              {"delay", m.mean_cpu_queueing_delay_ms},
+              {"requests", static_cast<double>(m.app_requests)}};
+    };
+    expect_bit_identical(replicate(8, 77, 2, model, ReplicateOptions{1}),
+                         replicate(8, 77, 2, model, ReplicateOptions{4}));
+  }
+  {
+    vista::VistaIsmParams p;
+    p.horizon_ms = 3'000;
+    auto model = [&p](stats::Rng& rng) -> Responses {
+      const auto m = vista::run_vista_ism(p, rng);
+      return {{"latency", m.mean_processing_latency_ms},
+              {"buffer", m.mean_input_buffer_length},
+              {"holdback", m.hold_back_ratio}};
+    };
+    expect_bit_identical(replicate(8, 77, 3, model, ReplicateOptions{1}),
+                         replicate(8, 77, 3, model, ReplicateOptions{4}));
+  }
+}
+
+TEST(Replicate, ThreadsZeroMeansHardwareConcurrency) {
+  auto model = [](stats::Rng& rng) -> Responses {
+    return {{"x", rng.next_double()}};
+  };
+  expect_bit_identical(replicate(16, 5, 6, model, ReplicateOptions{1}),
+                       replicate(16, 5, 6, model, ReplicateOptions{0}));
+}
+
+TEST(Replicate, ParallelPropagatesModelException) {
+  std::atomic<int> calls{0};
+  auto throwing = [&calls](stats::Rng&) -> Responses {
+    const int n = calls.fetch_add(1, std::memory_order_relaxed);
+    if (n == 7) throw std::runtime_error("model blew up");
+    return {{"x", 1.0}};
+  };
+  EXPECT_THROW(replicate(16, 1, 2, throwing, ReplicateOptions{4}),
+               std::runtime_error);
+}
+
+TEST(Replicate, ParallelSmokeManyReplications) {
+  // TSan-friendly smoke: plenty of concurrent replications, all state local
+  // to the worker, merged summaries checked against the serial run.
+  auto model = [](stats::Rng& rng) -> Responses {
+    double acc = 0;
+    for (int i = 0; i < 500; ++i) acc += rng.next_double();
+    return {{"acc", acc}};
+  };
+  const auto serial = replicate(64, 9, 4, model, ReplicateOptions{1});
+  const auto parallel = replicate(64, 9, 4, model, ReplicateOptions{4});
+  expect_bit_identical(serial, parallel);
+  EXPECT_NEAR(parallel.summary("acc").mean(), 250.0, 5.0);
 }
 
 }  // namespace

@@ -137,6 +137,181 @@ TEST(Engine, EventsExecutedCounter) {
   EXPECT_TRUE(e.empty());
 }
 
+TEST(Engine, CancelAfterExecutionReturnsFalse) {
+  // A handle whose event already ran must be rejected — and rejected
+  // without recording anything, so stale cancels cannot accumulate state
+  // (the seed implementation grew its cancelled-id set forever here).
+  Engine e;
+  auto h = e.schedule_at(1.0, [] {});
+  e.run();
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  auto h = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));
+  e.run();
+  EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(Engine, PendingExcludesCancelledEvents) {
+  Engine e;
+  auto a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  e.schedule_at(3.0, [] {});
+  EXPECT_EQ(e.pending(), 3u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 2u);
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ScheduleCancelChurnStaysBounded) {
+  // Heavy schedule/cancel churn: every event is cancelled before it fires.
+  // Executes fine and leaves an empty calendar (the tombstone compaction
+  // keeps the heap proportional to the live count, not the churn count).
+  Engine e;
+  for (int i = 0; i < 100'000; ++i) {
+    auto h = e.schedule_at(static_cast<double>(i + 1), [] {});
+    EXPECT_TRUE(e.cancel(h));
+  }
+  EXPECT_EQ(e.pending(), 0u);
+  bool ran = false;
+  e.schedule_at(200'000.0, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.events_executed(), 1u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledFrontWithoutOverrunning) {
+  // A cancelled event at the top of the calendar must not let run_until
+  // execute a live event beyond t.
+  Engine e;
+  bool late_ran = false;
+  auto front = e.schedule_at(2.0, [] {});
+  e.schedule_at(10.0, [&] { late_ran = true; });
+  e.cancel(front);
+  e.run_until(3.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, ReschedulePendingEventMovesIt) {
+  Engine e;
+  std::vector<int> order;
+  auto h = e.schedule_at(5.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(2); });
+  auto h2 = e.reschedule(h, 1.0);
+  ASSERT_TRUE(h2.valid());
+  EXPECT_FALSE(e.cancel(h));  // the old handle is dead
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.events_executed(), 2u);
+  EXPECT_FALSE(e.cancel(h2));  // executed
+}
+
+TEST(Engine, RescheduleInvalidHandleReturnsInvalid) {
+  Engine e;
+  EXPECT_FALSE(e.reschedule(EventHandle{}, 1.0).valid());
+  EXPECT_FALSE(e.reschedule(EventHandle{9999}, 1.0).valid());
+  auto h = e.schedule_at(1.0, [] {});
+  e.cancel(h);
+  EXPECT_FALSE(e.reschedule(h, 2.0).valid());
+}
+
+TEST(Engine, RescheduleRunningEventActsAsPeriodicTimer) {
+  // The fast path for periodic events: the executing callback re-arms
+  // itself via its handle; the engine moves the callback back rather than
+  // building a fresh std::function each period.
+  Engine e;
+  int ticks = 0;
+  EventHandle h;
+  h = e.schedule_at(1.0, [&] {
+    ++ticks;
+    if (e.now() < 100.0) h = e.reschedule(h, e.now() + 1.0);
+  });
+  e.run();
+  EXPECT_EQ(ticks, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RearmCancelledBeforeFiringIsDropped) {
+  // Re-arm, then cancel the re-arm handle from a later event: the held
+  // callback must be discarded, not resurrected.
+  Engine e;
+  int ticks = 0;
+  EventHandle h;
+  h = e.schedule_at(1.0, [&] {
+    ++ticks;
+    h = e.reschedule(h, e.now() + 10.0);
+  });
+  e.schedule_at(5.0, [&] { EXPECT_TRUE(e.cancel(h)); });
+  e.run();
+  EXPECT_EQ(ticks, 1);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RescheduleKeepsFifoSemantics) {
+  // A rescheduled event lands *after* events already scheduled for the same
+  // instant (it is logically a cancel + fresh schedule).
+  Engine e;
+  std::vector<int> order;
+  auto h = e.schedule_at(9.0, [&] { order.push_back(1); });
+  e.schedule_at(5.0, [&] { order.push_back(2); });
+  e.reschedule(h, 5.0);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Engine, RunUntilOnStoppedEngineDoesNotAdvanceClock) {
+  // Regression: a stopped engine must not silently jump its clock to t past
+  // events that never executed.
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i)
+    e.schedule_at(i, [&] {
+      ++fired;
+      if (fired == 2) e.stop();
+    });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  // Stopped: run_until must neither run events nor advance the clock.
+  e.run_until(100.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 3u);
+  // After resume the same call catches up and then advances exactly to t.
+  e.resume();
+  e.run_until(100.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, StopDuringRunUntilPreservesEventClock) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(3.0, [&] { ++fired; });
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);  // not silently bumped to 10
+  e.resume();
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
 TEST(Engine, NestedSchedulingAtSameTime) {
   // An event scheduling another event at the current instant runs it before
   // later times.
