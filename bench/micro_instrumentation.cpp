@@ -10,6 +10,9 @@
 
 #include "core/channel.hpp"
 #include "core/sensor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "stats/rng.hpp"
 #include "trace/buffer.hpp"
@@ -215,6 +218,82 @@ void BM_EnginePeriodicRespawn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ticks);
 }
 BENCHMARK(BM_EnginePeriodicRespawn)->Arg(16384);
+
+// ---- obs_overhead: the self-telemetry layer measuring itself -------------
+//
+// BM_EngineScheduleStep above doubles as the cross-build anchor for the
+// kill switch: built with -DPRISM_OBS=OFF its hook macros compile away, and
+// the ISSUE's acceptance bar is that the OFF build stays within 2% of a
+// build that never had probes.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  // One sharded counter hammered from N threads: with per-thread shards the
+  // multithreaded rate should scale, not collapse onto one cache line.
+  static obs::Counter counter;
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd)->Threads(1)->Threads(4);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram hist(obs::Histogram::latency_bounds_ns());
+  double v = 1.0;
+  for (auto _ : state) {
+    hist.record(v);
+    v = v < 1e9 ? v * 1.1 : 1.0;  // walk the buckets
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsMacroCountHit(benchmark::State& state) {
+  // The macro path the engine and pipeline hooks use: function-local static
+  // handle + one relaxed fetch_add.  In a -DPRISM_OBS=OFF build this loop is
+  // empty — compare against BM_ObsBaselineLoop there.
+  for (auto _ : state) {
+    PRISM_OBS_COUNT("bench.obs.macro_hit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsMacroCountHit);
+
+void BM_ObsBaselineLoop(benchmark::State& state) {
+  // Empty-loop baseline: what BM_ObsMacroCountHit must cost when the layer
+  // is compiled out.
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsBaselineLoop);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  // Tracer off (the default): a SpanScope is one relaxed load and a branch.
+  obs::Tracer::instance().set_enabled(false);
+  for (auto _ : state) {
+    obs::SpanScope span("bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  // Tracer on: two clock reads plus a ring push under a per-thread mutex.
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    obs::SpanScope span("bench.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "picl/analytic_model.hpp"
 #include "picl/flush_sim.hpp"
 #include "paradyn/rocc_model.hpp"
@@ -142,6 +145,68 @@ bench::JsonValue to_json(const std::string& name, unsigned reps,
   return wl;
 }
 
+/// Embeds a MetricsSnapshot as the BENCH metrics block (same shape as
+/// obs::json_report; bench_json cannot depend on prism, so the conversion
+/// lives here).
+bench::JsonValue metrics_to_json(const obs::MetricsSnapshot& snap) {
+  auto counters = bench::JsonValue::object();
+  for (const auto& c : snap.counters)
+    counters.add(c.name, bench::JsonValue::integer(
+                             static_cast<std::int64_t>(c.value)));
+  auto gauges = bench::JsonValue::object();
+  for (const auto& g : snap.gauges)
+    gauges.add(g.name, bench::JsonValue::integer(g.value));
+  auto histograms = bench::JsonValue::object();
+  for (const auto& h : snap.histograms) {
+    auto hv = bench::JsonValue::object();
+    hv.add("count",
+           bench::JsonValue::integer(static_cast<std::int64_t>(h.count)));
+    hv.add("sum", bench::JsonValue::number(h.sum));
+    auto bounds = bench::JsonValue::array();
+    for (double b : h.bounds) bounds.push(bench::JsonValue::number(b));
+    hv.add("bounds", std::move(bounds));
+    auto buckets = bench::JsonValue::array();
+    for (std::uint64_t b : h.buckets)
+      buckets.push(bench::JsonValue::integer(static_cast<std::int64_t>(b)));
+    hv.add("buckets", std::move(buckets));
+    histograms.add(h.name, std::move(hv));
+  }
+  auto obj = bench::JsonValue::object();
+  obj.add("obs_compiled_in", bench::JsonValue::boolean(obs::compiled_in()));
+  obj.add("counters", std::move(counters));
+  obj.add("gauges", std::move(gauges));
+  obj.add("histograms", std::move(histograms));
+  return obj;
+}
+
+/// Per-replication execution telemetry from one representative parallel run
+/// (satellite of the metrics block: rep-time spread and pool utilization).
+bench::JsonValue replication_telemetry(unsigned reps, unsigned threads) {
+  picl::PiclModelParams p;
+  p.buffer_capacity = 40;
+  p.arrival_rate = 0.007;
+  p.nodes = 8;
+  sim::ReplicateOptions opts;
+  opts.threads = threads;
+  const auto rr = sim::replicate(
+      reps, /*base_seed=*/0xF1605, /*scenario_tag=*/7,
+      [&p](stats::Rng& rng) -> sim::Responses {
+        const auto fof = picl::simulate_fof(p, 400, rng);
+        return {{"freq", fof.flushing_frequency}};
+      },
+      opts);
+  auto obj = bench::JsonValue::object();
+  obj.add("replications", bench::JsonValue::integer(rr.replications()));
+  obj.add("threads_used", bench::JsonValue::integer(rr.threads_used()));
+  obj.add("wall_ms", bench::JsonValue::number(rr.wall_ms()));
+  obj.add("rep_time_ms_mean", bench::JsonValue::number(rr.rep_time_ms().mean()));
+  obj.add("rep_time_ms_min", bench::JsonValue::number(rr.rep_time_ms().min()));
+  obj.add("rep_time_ms_max", bench::JsonValue::number(rr.rep_time_ms().max()));
+  obj.add("worker_utilization",
+          bench::JsonValue::number(rr.worker_utilization()));
+  return obj;
+}
+
 /// Engine calendar hot loops, in events (or operations) per second.
 bench::JsonValue engine_micro() {
   auto obj = bench::JsonValue::object();
@@ -212,6 +277,11 @@ int main(int argc, char** argv) {
   std::vector<unsigned> counts{1, 2, 4};
   if (hw > 4) counts.push_back(hw);
 
+  // Self-telemetry: trace the run (spans ride along with the timings below)
+  // and scrape the metrics registry into the BENCH file at the end.
+  obs::Tracer::instance().set_ring_capacity(1 << 16);
+  obs::Tracer::instance().set_enabled(true);
+
   auto root = bench::JsonValue::object();
   root.add("bench", bench::JsonValue::string("replication_harness"));
   root.add("schema_version", bench::JsonValue::integer(1));
@@ -263,6 +333,23 @@ int main(int argc, char** argv) {
 
   std::printf("timing engine calendar hot loops...\n");
   root.add("engine_calendar", engine_micro());
+
+  std::printf("collecting replication telemetry (r=%u, threads=%u)...\n",
+              reps, hw);
+  root.add("replication_telemetry", replication_telemetry(reps, hw));
+
+  const auto snap = obs::Registry::instance().snapshot();
+  root.add("metrics", metrics_to_json(snap));
+  std::printf("---- telemetry snapshot ----\n%s",
+              obs::text_report(snap).c_str());
+
+  const std::string trace_path = "perf_replication.trace.json";
+  obs::Tracer::instance().write_chrome_json(trace_path);
+  std::printf("wrote %s (%zu events, %llu dropped) — open at "
+              "https://ui.perfetto.dev\n",
+              trace_path.c_str(), obs::Tracer::instance().snapshot().size(),
+              static_cast<unsigned long long>(
+                  obs::Tracer::instance().dropped()));
 
   const std::string path = "BENCH_replication.json";
   bench::write_json_file(path, root);

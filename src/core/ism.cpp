@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/clock.hpp"
+#include "obs/obs.hpp"
 
 namespace prism::core {
 
@@ -78,6 +79,7 @@ void Ism::processor_main() {
   if (n_links == 1) {
     // SISO: block on the single input buffer.
     while (auto msg = tp_.data_link(0).pop()) {
+      PRISM_OBS_GAUGE_SET("core.ism.input_depth", tp_.data_link(0).size());
       if (auto* batch = std::get_if<DataBatch>(&*msg)) {
         if (config_.causal_ordering) {
           for (auto& r : batch->records)
@@ -122,6 +124,9 @@ void Ism::processor_main() {
 }
 
 void Ism::process_batch(DataBatch&& batch) {
+  PRISM_OBS_SPAN("ism.process_batch", "core");
+  PRISM_OBS_COUNT("core.ism.batches_received");
+  PRISM_OBS_COUNT_N("core.ism.records_received", batch.records.size());
   {
     std::lock_guard lk(mu_);
     ++stats_.batches_received;
@@ -141,6 +146,7 @@ void Ism::process_batch(DataBatch&& batch) {
     std::lock_guard lk(mu_);
     stats_.held_back = reorderer_->held_back_total();
     stats_.hold_back_ratio = reorderer_->hold_back_ratio();
+    PRISM_OBS_GAUGE_SET("core.ism.held_back", stats_.held_back);
   }
 }
 
@@ -152,6 +158,7 @@ void Ism::emit(const trace::EventRecord& r, std::uint64_t t_arrival_ns) {
         static_cast<double>(t_now >= t_arrival_ns ? t_now - t_arrival_ns : 0);
     stats_.processing_latency_ns.add(latency);
     proc_latency_p95_.add(latency);
+    PRISM_OBS_HIST("core.ism.processing_latency_ns", latency);
     if (storage_) {
       storage_->write(r);
       ++stats_.records_stored;
@@ -163,9 +170,11 @@ void Ism::emit(const trace::EventRecord& r, std::uint64_t t_arrival_ns) {
 void Ism::dispatch_main() {
   while (auto timed = output_->pop()) {
     const std::uint64_t t_now = now_ns();
+    PRISM_OBS_GAUGE_SET("core.ism.output_depth", output_->size());
     for (auto& tool : tools_) tool->consume(timed->record);
     std::lock_guard lk(mu_);
     ++stats_.records_dispatched;
+    PRISM_OBS_COUNT("core.ism.records_dispatched");
     stats_.dispatch_latency_ns.add(
         static_cast<double>(t_now >= timed->t_processed_ns
                                 ? t_now - timed->t_processed_ns

@@ -6,6 +6,7 @@
 
 #include "core/clock.hpp"
 #include "core/probe_registry.hpp"
+#include "obs/obs.hpp"
 
 namespace prism::core {
 
@@ -32,8 +33,12 @@ void FlushCoordinator::flush_all() {
     std::lock_guard lk(mu_);
     snapshot = members_;
   }
-  for (BufferedLis* l : snapshot) l->flush();
+  {
+    PRISM_OBS_SPAN("lis.gang_flush", "core");
+    for (BufferedLis* l : snapshot) l->flush();
+  }
   ++gang_flushes_;
+  PRISM_OBS_COUNT("core.lis.gang_flushes");
   in_progress_.store(false);
 }
 
@@ -65,9 +70,15 @@ void BufferedLis::record(const trace::EventRecord& r) {
     if (stopped_) return;
     if (buffer_.append(r)) {
       ++stats_.recorded;
+      PRISM_OBS_COUNT("core.lis.recorded");
     } else {
       ++stats_.dropped;
+      PRISM_OBS_COUNT("core.lis.dropped");
     }
+    PRISM_OBS_HIST_B("core.lis.buffer_occupancy_pct",
+                     ::prism::obs::Histogram::percent_bounds(),
+                     100.0 * static_cast<double>(buffer_.size()) /
+                         static_cast<double>(buffer_.capacity()));
     if (policy_->should_flush(buffer_)) {
       if (policy_->global()) {
         trigger_global = true;  // coordinator flushes everyone, incl. us
@@ -86,6 +97,7 @@ void BufferedLis::flush() {
 
 void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
   if (buffer_.empty()) return;
+  PRISM_OBS_SPAN("lis.flush", "core");
   const std::uint64_t t0 = now_ns();
   DataBatch batch;
   batch.source_node = node_;
@@ -93,6 +105,9 @@ void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
   batch.records = buffer_.drain();
   ++stats_.flushes;
   stats_.records_forwarded += batch.records.size();
+  PRISM_OBS_COUNT("core.lis.flushes");
+  PRISM_OBS_COUNT_N("core.lis.records_forwarded", batch.records.size());
+  PRISM_OBS_COUNT("core.tp.batches_pushed");
   // Ship without holding the buffer lock: the link may block when the ISM
   // is behind, and application threads must still be able to... wait.  They
   // cannot: PICL semantics are that the *application* pays for the flush
@@ -126,6 +141,7 @@ void ForwardingLis::record(const trace::EventRecord& r) {
     std::lock_guard lk(mu_);
     if (stopped_) return;
     ++stats_.recorded;
+    PRISM_OBS_COUNT("core.lis.recorded");
   }
   DataBatch batch;
   batch.source_node = node_;
@@ -135,9 +151,12 @@ void ForwardingLis::record(const trace::EventRecord& r) {
     std::lock_guard lk(mu_);
     ++stats_.flushes;
     ++stats_.records_forwarded;
+    PRISM_OBS_COUNT("core.lis.records_forwarded");
+    PRISM_OBS_COUNT("core.tp.batches_pushed");
   } else {
     std::lock_guard lk(mu_);
     ++stats_.dropped;
+    PRISM_OBS_COUNT("core.lis.dropped");
   }
 }
 
@@ -188,10 +207,13 @@ void DaemonLis::record(const trace::EventRecord& r) {
     ok = pipe.try_push(r);
   }
   std::lock_guard lk(mu_);
-  if (ok)
+  if (ok) {
     ++stats_.recorded;
-  else
+    PRISM_OBS_COUNT("core.lis.recorded");
+  } else {
     ++stats_.dropped;
+    PRISM_OBS_COUNT("core.lis.dropped");
+  }
 }
 
 void DaemonLis::daemon_main() {
@@ -218,6 +240,7 @@ void DaemonLis::daemon_main() {
 }
 
 void DaemonLis::drain_once() {
+  PRISM_OBS_SPAN("lis.daemon_drain", "core");
   const std::uint64_t t0 = now_ns();
   DataBatch batch;
   batch.source_node = node_;
@@ -235,11 +258,15 @@ void DaemonLis::drain_once() {
     }
   }
   if (!batch.records.empty()) {
+    const std::size_t n = batch.records.size();
     batch.t_sent_ns = now_ns();
     link_.push(std::move(batch));
     std::lock_guard lk(mu_);
     ++stats_.flushes;
-    stats_.records_forwarded += batch.records.size();
+    stats_.records_forwarded += n;
+    PRISM_OBS_COUNT("core.lis.flushes");
+    PRISM_OBS_COUNT_N("core.lis.records_forwarded", n);
+    PRISM_OBS_COUNT("core.tp.batches_pushed");
   }
   daemon_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
 }

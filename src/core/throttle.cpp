@@ -1,5 +1,7 @@
 #include "core/throttle.hpp"
 
+#include "obs/obs.hpp"
+
 namespace prism::core {
 
 std::string_view to_string(TraceLevel lvl) {
@@ -39,6 +41,7 @@ void TracingThrottle::pin(TraceLevel lvl) {
 
 void TracingThrottle::offer(const trace::EventRecord& r) {
   offered_.fetch_add(1, std::memory_order_relaxed);
+  PRISM_OBS_COUNT("core.throttle.offered");
   std::lock_guard lk(mu_);
   const std::uint64_t now = r.timestamp;
   if (last_event_ns_ != 0 && now > last_event_ns_) {
@@ -56,15 +59,23 @@ void TracingThrottle::offer(const trace::EventRecord& r) {
       forward(r);
       break;
     case TraceLevel::kSampled:
-      if (stride_cursor_++ % cfg_.sample_stride == 0) forward(r);
+      if (stride_cursor_++ % cfg_.sample_stride == 0) {
+        forward(r);
+      } else {
+        PRISM_OBS_COUNT("core.throttle.suppressed");
+      }
       break;
     case TraceLevel::kCounting:
+      // The raw record is absorbed; an aggregate representing the window is
+      // forwarded separately by flush_window().
+      PRISM_OBS_COUNT("core.throttle.suppressed");
       if (window_start_ns_ == 0) window_start_ns_ = now;
       ++window_count_;
       if (now - window_start_ns_ >= cfg_.counting_window_ns)
         flush_window(now, r);
       break;
     case TraceLevel::kOff:
+      PRISM_OBS_COUNT("core.throttle.suppressed");
       break;
   }
 }
@@ -73,6 +84,7 @@ void TracingThrottle::forward(const trace::EventRecord& r) {
   trace::EventRecord out = r;
   if (cfg_.renumber_seq) out.seq = out_seq_++;
   forwarded_.fetch_add(1, std::memory_order_relaxed);
+  PRISM_OBS_COUNT("core.throttle.forwarded");
   down_(out);
 }
 
@@ -100,12 +112,18 @@ void TracingThrottle::maybe_transition(std::uint64_t now) {
     level_.store(static_cast<TraceLevel>(static_cast<int>(lvl) + 1));
     last_transition_ns_ = now;
     level_changes_.fetch_add(1, std::memory_order_relaxed);
+    PRISM_OBS_COUNT("core.throttle.level_changes");
+    PRISM_OBS_GAUGE_SET("core.throttle.level", static_cast<int>(lvl) + 1);
+    PRISM_OBS_INSTANT("throttle.escalate", "core");
     // Reset the estimate so one burst does not cascade straight to kOff.
     mean_gap_ns_ = 0;
   } else if (rate < cfg_.deescalate_rate && lvl != TraceLevel::kFull) {
     level_.store(static_cast<TraceLevel>(static_cast<int>(lvl) - 1));
     last_transition_ns_ = now;
     level_changes_.fetch_add(1, std::memory_order_relaxed);
+    PRISM_OBS_COUNT("core.throttle.level_changes");
+    PRISM_OBS_GAUGE_SET("core.throttle.level", static_cast<int>(lvl) - 1);
+    PRISM_OBS_INSTANT("throttle.deescalate", "core");
     mean_gap_ns_ = 0;
   }
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace prism::core {
 
 std::string_view to_string(ControlKind k) {
@@ -54,10 +56,15 @@ ControlLink& TransferProtocol::control_link(std::uint32_t node) {
 }
 
 void TransferProtocol::broadcast(const ControlMessage& m) {
+  PRISM_OBS_COUNT("core.tp.control_broadcasts");
   for (std::size_t i = 0; i < controls_.size(); ++i) {
     ControlMessage copy = m;
     copy.target_node = static_cast<std::uint32_t>(i);
-    controls_[i]->try_push(copy);
+    if (!controls_[i]->try_push(copy)) {
+      // A full or closed control link silently loses the message for that
+      // node (the broadcast is best-effort by design); surface the loss.
+      PRISM_OBS_COUNT("core.tp.control_dropped");
+    }
   }
 }
 

@@ -1,0 +1,188 @@
+// Minimal JSON reader for validating this repo's own exports (trace-event
+// files, metrics blocks) in tests — a deliberately small recursive-descent
+// parser over the full JSON grammar, building a lightweight DOM.  It is a
+// checker, not a production parser: no streaming, no surrogate-pair
+// decoding (escapes are verified and kept verbatim), inputs are the files
+// we ourselves write.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prism::obs::jsonlite {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // insertion order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// First member with `key`, or nullptr.
+  const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  /// Parses a complete JSON document; std::nullopt on any syntax error or
+  /// trailing garbage.
+  std::optional<Value> parse() {
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.kind = Value::Kind::kString; return parse_string(out.str);
+      case 't': out.kind = Value::Kind::kBool; out.b = true;
+                return literal("true");
+      case 'f': out.kind = Value::Kind::kBool; out.b = false;
+                return literal("false");
+      case 'n': out.kind = Value::Kind::kNull; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (peek() != '"' || !parse_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      Value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      Value v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char esc = s_[pos_ + 1];
+        if (esc == 'u') {
+          if (pos_ + 5 >= s_.size()) return false;
+          for (int i = 2; i <= 5; ++i)
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          out.append(s_.substr(pos_, 6));
+          pos_ += 6;
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't')
+          return false;
+        out += esc;  // escape kept verbatim; checker, not decoder
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out.kind = Value::Kind::kNumber;
+    out.num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline std::optional<Value> parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+inline bool valid(std::string_view text) { return parse(text).has_value(); }
+
+}  // namespace prism::obs::jsonlite

@@ -1,0 +1,155 @@
+#include "obs/report.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+
+namespace prism::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);  // shortest round-trip form
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string text_report(const MetricsSnapshot& snap) {
+  std::string out;
+  char line[256];
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& c : snap.counters) {
+      std::snprintf(line, sizeof line, "  %-44s %20llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : snap.gauges) {
+      std::snprintf(line, sizeof line, "  %-44s %20lld\n", g.name.c_str(),
+                    static_cast<long long>(g.value));
+      out += line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& h : snap.histograms) {
+      std::snprintf(line, sizeof line,
+                    "  %-44s count=%llu mean=%.3g\n", h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.mean());
+      out += line;
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        if (i < h.bounds.size())
+          std::snprintf(line, sizeof line, "    le %-12.4g %14llu\n",
+                        h.bounds[i],
+                        static_cast<unsigned long long>(h.buckets[i]));
+        else
+          std::snprintf(line, sizeof line, "    overflow %8s %14llu\n", "",
+                        static_cast<unsigned long long>(h.buckets[i]));
+        out += line;
+      }
+    }
+  }
+  return out;
+}
+
+std::string json_report(const MetricsSnapshot& snap) {
+  std::string out;
+  out += "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out += ',';
+    append_quoted(out, snap.counters[i].name);
+    out += ':';
+    out += std::to_string(snap.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out += ',';
+    append_quoted(out, snap.gauges[i].name);
+    out += ':';
+    out += std::to_string(snap.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i) out += ',';
+    append_quoted(out, h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_double(out, h.sum);
+    out += ",\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j) out += ',';
+      append_double(out, h.bounds[j]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j) out += ',';
+      out += std::to_string(h.buckets[j]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+PeriodicReporter::PeriodicReporter(
+    std::uint64_t period_ms, std::function<void(const MetricsSnapshot&)> publish)
+    : publish_(std::move(publish)) {
+  if (!publish_) throw std::invalid_argument("PeriodicReporter: null publish");
+  if (period_ms == 0) throw std::invalid_argument("PeriodicReporter: period 0");
+  thread_ = std::thread([this, period_ms] { loop(period_ms); });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopping_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicReporter::loop(std::uint64_t period_ms) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    const bool stopping = cv_.wait_for(lk, std::chrono::milliseconds(period_ms),
+                                       [this] { return stopping_; });
+    lk.unlock();
+    publish_(Registry::instance().snapshot());
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
+    if (stopping) return;  // the post-stop publish above was the final one
+  }
+}
+
+}  // namespace prism::obs

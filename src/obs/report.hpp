@@ -1,0 +1,61 @@
+// Telemetry reporter: renders a MetricsSnapshot as an aligned text table or
+// a JSON object, and optionally publishes snapshots on a fixed period
+// (ISAAC-style in-situ reporting).  Benches embed the JSON form in their
+// BENCH_*.json output; the text form is the end-of-run console snapshot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace prism::obs {
+
+/// Human-readable table: one line per counter/gauge, histograms with count,
+/// mean, and the occupied buckets.  Zero-valued metrics are included — a
+/// zero drop counter is information.
+std::string text_report(const MetricsSnapshot& snap);
+
+/// Compact JSON object:
+///   {"counters":{name:value,...},
+///    "gauges":{name:value,...},
+///    "histograms":{name:{"count":..,"sum":..,"bounds":[..],"buckets":[..]}}}
+/// Keys appear in name-sorted order; numbers use round-trip formatting, so
+/// the output is byte-stable for identical snapshots.
+std::string json_report(const MetricsSnapshot& snap);
+
+/// Calls `publish` with a fresh Registry snapshot every `period_ms` until
+/// stopped or destroyed.  The callback runs on the reporter's thread.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(std::uint64_t period_ms,
+                   std::function<void(const MetricsSnapshot&)> publish);
+  ~PeriodicReporter();
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stops the thread after at most one more period; idempotent.  A final
+  /// snapshot is published on stop so short runs still report.
+  void stop();
+
+  std::uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop(std::uint64_t period_ms);
+
+  std::function<void(const MetricsSnapshot&)> publish_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> publishes_{0};
+  std::thread thread_;
+};
+
+}  // namespace prism::obs

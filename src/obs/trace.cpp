@@ -1,0 +1,233 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace prism::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  if (events == 0) throw std::invalid_argument("Tracer: zero ring capacity");
+  ring_capacity_.store(events, std::memory_order_relaxed);
+}
+
+Tracer::Ring& Tracer::ring() {
+  // One ring per (thread, tracer) pair; the shared_ptr keeps the ring alive
+  // for snapshots after the thread exits.
+  thread_local std::shared_ptr<Ring> r = [this] {
+    std::lock_guard lk(registry_mu_);
+    auto made = std::make_shared<Ring>(
+        ring_capacity_.load(std::memory_order_relaxed),
+        static_cast<std::uint32_t>(rings_.size()));
+    rings_.push_back(made);
+    return made;
+  }();
+  return *r;
+}
+
+void Tracer::push(const TraceEvent& e) {
+  Ring& r = ring();
+  std::lock_guard lk(r.mu);
+  if (r.filled == r.buf.size()) ++r.dropped;  // overwriting the oldest
+  r.buf[r.next] = e;
+  r.next = (r.next + 1) % r.buf.size();
+  if (r.filled < r.buf.size()) ++r.filled;
+}
+
+void Tracer::begin(const char* name, const char* cat) {
+  if (!enabled()) return;
+  push(TraceEvent{name, cat, now_ns(), 0, 0, 'B'});
+}
+
+void Tracer::end(const char* name, const char* cat) {
+  if (!enabled()) return;
+  push(TraceEvent{name, cat, now_ns(), 0, 0, 'E'});
+}
+
+void Tracer::instant(const char* name, const char* cat) {
+  if (!enabled()) return;
+  push(TraceEvent{name, cat, now_ns(), 0, 0, 'i'});
+}
+
+void Tracer::complete(const char* name, const char* cat, std::uint64_t t0_ns,
+                      std::uint64_t t1_ns) {
+  if (!enabled()) return;
+  push(TraceEvent{name, cat, t0_ns, t1_ns, 0, 'X'});
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard lk(registry_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& r : rings) {
+    std::lock_guard lk(r->mu);
+    // Oldest-first: the ring's logical start is `next` once it has wrapped.
+    const std::size_t start = r->filled == r->buf.size() ? r->next : 0;
+    for (std::size_t i = 0; i < r->filled; ++i) {
+      TraceEvent e = r->buf[(start + i) % r->buf.size()];
+      e.tid = r->tid;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lk(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard rlk(r->mu);
+    total += r->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(registry_mu_);
+  for (const auto& r : rings_) {
+    std::lock_guard rlk(r->mu);
+    r->next = 0;
+    r->filled = 0;
+    r->dropped = 0;
+  }
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const auto events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat ? e.cat : "prism");
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    append_us(out, e.t0_ns);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.t1_ns >= e.t0_ns ? e.t1_ns - e.t0_ns : 0);
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(e.tid);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("Tracer: cannot open " + path);
+  const std::string json = chrome_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!f) throw std::runtime_error("Tracer: write failed for " + path);
+}
+
+std::string Tracer::folded_text() const {
+  // Nesting is inferred per thread from complete-span containment: a span
+  // beginning before the enclosing span's end is its child.  Self time is
+  // the span's duration minus its direct children's durations.
+  struct Frame {
+    std::uint64_t t1;
+    std::uint64_t dur;
+    std::uint64_t child = 0;
+    std::string path;
+  };
+  std::map<std::string, std::uint64_t> folded;
+
+  auto events = snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                     return a.t1_ns > b.t1_ns;  // parents before children
+                   });
+
+  std::vector<Frame> stack;
+  auto pop_frame = [&] {
+    Frame& f = stack.back();
+    folded[f.path] += f.dur >= f.child ? f.dur - f.child : 0;
+    stack.pop_back();
+  };
+
+  std::uint32_t tid = 0;
+  bool tid_open = false;
+  for (const auto& e : events) {
+    if (e.phase != 'X') continue;
+    if (!tid_open || e.tid != tid) {
+      while (!stack.empty()) pop_frame();
+      tid = e.tid;
+      tid_open = true;
+    }
+    while (!stack.empty() && e.t0_ns >= stack.back().t1) pop_frame();
+    const std::uint64_t dur = e.t1_ns >= e.t0_ns ? e.t1_ns - e.t0_ns : 0;
+    if (!stack.empty()) stack.back().child += dur;
+    Frame f;
+    f.t1 = e.t1_ns;
+    f.dur = dur;
+    f.path = stack.empty() ? e.name : stack.back().path + ";" + e.name;
+    stack.push_back(std::move(f));
+  }
+  while (!stack.empty()) pop_frame();
+
+  std::string out;
+  for (const auto& [path, ns] : folded) {
+    out += path;
+    out += ' ';
+    out += std::to_string(ns);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace prism::obs

@@ -1,0 +1,144 @@
+// Span tracer with Chrome trace-event export (DESIGN.md §8).
+//
+// Following DeWiz's event-stream-as-first-class-object idea, the tracer
+// records what the engine and IS pipeline *did* as a stream of spans and
+// instants, ring-buffered per thread (newest events win when a ring wraps),
+// and exports:
+//
+//   * Chrome/Perfetto trace-event JSON ("X" complete spans, "B"/"E"
+//     begin/end pairs, "i" instants) — load the file at chrome://tracing or
+//     https://ui.perfetto.dev;
+//   * a folded-stack text dump (one "name;nested;deeper <ns>" line per
+//     stack, flamegraph.pl-compatible).
+//
+// The tracer is disabled by default: SpanScope and begin()/end() check one
+// relaxed atomic and return.  Event names and categories must be string
+// literals (or otherwise outlive the tracer) — rings store the pointers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prism::obs {
+
+/// Nanoseconds since the first call in this process (steady, monotonic).
+/// Distinct epoch from core::now_ns(); trace timestamps are only ever
+/// compared with each other.
+inline std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t t0_ns = 0;  ///< begin (B/X/i) timestamp
+  std::uint64_t t1_ns = 0;  ///< end timestamp (X only)
+  std::uint32_t tid = 0;    ///< tracer-assigned thread index
+  char phase = 'X';         ///< 'X' complete, 'B' begin, 'E' end, 'i' instant
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Runtime switch.  Disabled (default): record calls are one relaxed
+  /// load + branch.  Enabling mid-run only affects events from then on.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity (events per thread) used for threads that have not yet
+  /// recorded.  Existing rings keep their size.
+  void set_ring_capacity(std::size_t events);
+
+  void begin(const char* name, const char* cat);
+  void end(const char* name, const char* cat);
+  void instant(const char* name, const char* cat);
+  /// Records a complete span with explicit begin/end times (ns).
+  void complete(const char* name, const char* cat, std::uint64_t t0_ns,
+                std::uint64_t t1_ns);
+
+  /// All buffered events, merged across threads, sorted by (t0, tid).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON (ts/dur in microseconds, pid 0, tid = tracer
+  /// thread index).
+  std::string chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+  /// Folded flamegraph stacks built from complete ('X') spans: one
+  /// "root;child;leaf <self_ns>" line per distinct stack, per-thread
+  /// nesting inferred from span containment, lines sorted.
+  std::string folded_text() const;
+
+  /// Discards all buffered events (rings stay registered).
+  void clear();
+
+  /// Events overwritten by ring wrap-around since the last clear().
+  std::uint64_t dropped() const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  // Singleton-only: ring() keys its per-thread ring off a thread_local that
+  // assumes a single Tracer exists.
+  Tracer() = default;
+
+  struct Ring {
+    explicit Ring(std::size_t capacity, std::uint32_t tid)
+        : buf(capacity), tid(tid) {}
+    mutable std::mutex mu;  // owner thread writes; snapshot reads
+    std::vector<TraceEvent> buf;
+    std::size_t next = 0;    // write cursor
+    std::size_t filled = 0;  // min(buf.size(), events written)
+    std::uint64_t dropped = 0;
+    std::uint32_t tid;
+  };
+
+  Ring& ring();
+  void push(const TraceEvent& e);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> ring_capacity_{1 << 14};
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/// RAII span: records one complete ('X') event on scope exit, spanning the
+/// scope's lifetime.  Costs one atomic load when the tracer is disabled.
+class SpanScope {
+ public:
+  SpanScope(const char* name, const char* cat) {
+    if (Tracer::instance().enabled()) {
+      name_ = name;
+      cat_ = cat;
+      t0_ = now_ns();
+    }
+  }
+  ~SpanScope() {
+    if (name_) Tracer::instance().complete(name_, cat_, t0_, now_ns());
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+}  // namespace prism::obs

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace prism::sim {
 
 /// Simulated time, in model-defined units (the case studies use
@@ -58,6 +60,7 @@ class Engine {
     slots_[s].id = id;
     ++live_;
     push_entry(Entry{t, id, s});
+    PRISM_OBS_COUNT("sim.engine.events_scheduled");
     return EventHandle{id, s};
   }
 
@@ -89,6 +92,7 @@ class Engine {
       slots_[rearm_slot_].id = id;
       rearm_id_ = id;
       push_entry(Entry{t, id, rearm_slot_});
+      PRISM_OBS_COUNT("sim.engine.events_rescheduled");
       return EventHandle{id, rearm_slot_};
     }
     if (slots_[h.slot].id != h.id) return EventHandle{};
@@ -97,6 +101,7 @@ class Engine {
     const std::uint64_t id = ++next_id_;
     slots_[h.slot].id = id;
     push_entry(Entry{t, id, h.slot});
+    PRISM_OBS_COUNT("sim.engine.events_rescheduled");
     return EventHandle{id, h.slot};
   }
 
@@ -109,6 +114,7 @@ class Engine {
     if (slots_[h.slot].id != h.id) return false;
     release_slot(h.slot);
     --live_;
+    PRISM_OBS_COUNT("sim.engine.events_cancelled");
     return true;
   }
 
@@ -123,6 +129,8 @@ class Engine {
       now_ = top.at;
       ++executed_;
       --live_;
+      PRISM_OBS_COUNT("sim.engine.events_executed");
+      PRISM_OBS_GAUGE_SET("sim.engine.calendar_entries", heap_.size());
       std::function<void()> fn = std::move(slots_[top.slot].fn);
       release_slot(top.slot);
       // Save re-arm state so callbacks that recursively step the engine
@@ -239,6 +247,8 @@ class Engine {
   }
 
   void compact() {
+    PRISM_OBS_COUNT("sim.engine.tombstone_compactions");
+    PRISM_OBS_COUNT_N("sim.engine.tombstones_compacted", heap_.size() - live_);
     std::size_t kept = 0;
     for (const Entry& e : heap_)
       if (slots_[e.slot].id == e.id) heap_[kept++] = e;

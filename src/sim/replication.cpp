@@ -1,10 +1,22 @@
 #include "sim/replication.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace prism::sim {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double ms_between(clock::time_point t0, clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
 
 void ReplicationResult::add(const Responses& r) {
   for (auto& [name, value] : r) by_metric_[name].add(value);
@@ -31,6 +43,11 @@ stats::ConfidenceInterval ReplicationResult::ci(const std::string& metric,
   return stats::confidence_interval(summary(metric), confidence);
 }
 
+double ReplicationResult::worker_utilization() const {
+  if (threads_used_ == 0 || wall_ms_ <= 0) return 0;
+  return rep_time_ms_.sum() / (static_cast<double>(threads_used_) * wall_ms_);
+}
+
 ReplicationResult replicate(
     unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
     const std::function<Responses(stats::Rng&)>& model) {
@@ -44,14 +61,29 @@ ReplicationResult replicate(
   if (r == 0) throw std::invalid_argument("replicate: r == 0");
   const unsigned threads =
       opts.threads == 0 ? ThreadPool::default_threads() : opts.threads;
+  PRISM_OBS_SPAN("replicate", "sim");
+  PRISM_OBS_COUNT_N("sim.replicate.replications", r);
 
+  const auto t_begin = clock::now();
   ReplicationResult out;
   if (threads <= 1 || r == 1) {
     for (unsigned rep = 0; rep < r; ++rep) {
+      const auto t0 = clock::now();
       stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
                                            static_cast<std::uint64_t>(rep)));
-      out.add(model(rng));
+      Responses resp;
+      {
+        PRISM_OBS_SPAN("replicate.rep", "sim");
+        resp = model(rng);
+      }
+      const double ms = ms_between(t0, clock::now());
+      out.add(resp);
+      out.record_rep_time_ms(ms);
+      PRISM_OBS_HIST_B("sim.replicate.rep_ms",
+                       ::prism::obs::Histogram::exponential_bounds(0.01, 4, 16),
+                       ms);
     }
+    out.set_execution(1, ms_between(t_begin, clock::now()));
     return out;
   }
 
@@ -60,18 +92,32 @@ ReplicationResult replicate(
   // the summed metrics are bit-identical to the serial path.  A throwing
   // replication surfaces via ThreadPool::wait() after the pool drains.
   std::vector<Responses> slots(r);
+  std::vector<double> rep_ms(r, 0.0);
+  const unsigned workers = threads < r ? threads : r;
   {
-    ThreadPool pool(threads < r ? threads : r);
+    ThreadPool pool(workers);
     for (unsigned rep = 0; rep < r; ++rep) {
-      pool.submit([&slots, &model, base_seed, scenario_tag, rep] {
+      pool.submit([&slots, &rep_ms, &model, base_seed, scenario_tag, rep] {
+        const auto t0 = clock::now();
         stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
                                              static_cast<std::uint64_t>(rep)));
-        slots[rep] = model(rng);
+        {
+          PRISM_OBS_SPAN("replicate.rep", "sim");
+          slots[rep] = model(rng);
+        }
+        rep_ms[rep] = ms_between(t0, clock::now());
       });
     }
     pool.wait();
   }
-  for (const Responses& resp : slots) out.add(resp);
+  for (unsigned rep = 0; rep < r; ++rep) {
+    out.add(slots[rep]);
+    out.record_rep_time_ms(rep_ms[rep]);
+    PRISM_OBS_HIST_B("sim.replicate.rep_ms",
+                     ::prism::obs::Histogram::exponential_bounds(0.01, 4, 16),
+                     rep_ms[rep]);
+  }
+  out.set_execution(workers, ms_between(t_begin, clock::now()));
   return out;
 }
 

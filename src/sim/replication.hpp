@@ -40,8 +40,33 @@ class ReplicationResult {
                                double confidence = 0.90) const;
   unsigned replications() const { return n_; }
 
+  // ---- execution telemetry (filled by replicate(); the reporter and the
+  // perf benches read these instead of re-timing the harness) -------------
+
+  /// Per-replication wall time (ms), merged in replication-index order.
+  const stats::Summary& rep_time_ms() const { return rep_time_ms_; }
+  /// Wall time (ms) of the whole replicate() call.
+  double wall_ms() const { return wall_ms_; }
+  /// Worker threads the run actually used (1 = serial path).
+  unsigned threads_used() const { return threads_used_; }
+  /// Fraction of `threads_used * wall_ms` spent inside model replications —
+  /// ~1.0 means the pool stayed busy; low values mean stragglers or an
+  /// undersized replication count.  0 until replicate() fills it.
+  double worker_utilization() const;
+
+  /// Harness bookkeeping (public so replicate() and custom harnesses can
+  /// fill it; not meant for model code).
+  void record_rep_time_ms(double ms) { rep_time_ms_.add(ms); }
+  void set_execution(unsigned threads, double wall_ms) {
+    threads_used_ = threads;
+    wall_ms_ = wall_ms;
+  }
+
  private:
   std::map<std::string, stats::Summary> by_metric_;
+  stats::Summary rep_time_ms_;
+  double wall_ms_ = 0;
+  unsigned threads_used_ = 0;
   unsigned n_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace prism::sim {
 
 unsigned ThreadPool::default_threads() noexcept {
@@ -28,13 +30,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  Task t{std::move(task), 0};
+#if PRISM_OBS_ENABLED
+  t.t_submit_ns = obs::now_ns();
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) throw std::runtime_error("ThreadPool: submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(t));
     ++in_flight_;
+    PRISM_OBS_GAUGE_SET("sim.pool.queue_depth", queue_.size());
   }
   work_ready_.notify_one();
+  PRISM_OBS_COUNT("sim.pool.tasks_submitted");
 }
 
 void ThreadPool::wait() {
@@ -49,20 +57,32 @@ void ThreadPool::wait() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      PRISM_OBS_GAUGE_SET("sim.pool.queue_depth", queue_.size());
     }
+#if PRISM_OBS_ENABLED
+    const std::uint64_t t_start = obs::now_ns();
+    PRISM_OBS_HIST("sim.pool.queue_wait_ns",
+                   t_start >= task.t_submit_ns ? t_start - task.t_submit_ns
+                                               : 0);
+#endif
     std::exception_ptr err;
     try {
-      task();
+      PRISM_OBS_SPAN("pool.task", "sim");
+      task.fn();
     } catch (...) {
       err = std::current_exception();
     }
+#if PRISM_OBS_ENABLED
+    PRISM_OBS_HIST("sim.pool.task_run_ns", obs::now_ns() - t_start);
+    PRISM_OBS_COUNT("sim.pool.tasks_executed");
+#endif
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (err && !first_error_) first_error_ = err;

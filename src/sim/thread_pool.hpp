@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -52,12 +53,17 @@ class ThreadPool {
   static unsigned default_threads() noexcept;
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t t_submit_ns = 0;  ///< obs only; 0 in PRISM_OBS=OFF builds
+  };
+
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable work_ready_;   // workers wait here for tasks
   std::condition_variable all_done_;     // wait() waits here for drain
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::exception_ptr first_error_;       // first task exception, for wait()
   std::size_t in_flight_ = 0;            // queued + currently-executing tasks
   bool shutdown_ = false;

@@ -6,9 +6,20 @@
 #include <thread>
 
 #include "core/lis.hpp"
+#include "obs/obs.hpp"
 
 namespace prism::core {
 namespace {
+
+#if PRISM_OBS_ENABLED
+/// Current value of a telemetry counter (0 if nothing registered it yet);
+/// overflow tests assert deltas, since the registry is process-global.
+std::uint64_t obs_count(std::string_view name) {
+  const auto snap = ::prism::obs::Registry::instance().snapshot();
+  const auto* c = snap.counter(name);
+  return c ? c->value : 0;
+}
+#endif
 
 trace::EventRecord rec(std::uint32_t node = 0, std::uint32_t process = 0,
                        std::uint64_t seq = 0) {
@@ -112,11 +123,18 @@ TEST(BufferedLis, DropsWhenFullAndPolicySilent) {
   };
   DataLink link(16);
   BufferedLis lis(0, 2, std::make_unique<NeverFlush>(), link);
+#if PRISM_OBS_ENABLED
+  const std::uint64_t dropped_before = obs_count("core.lis.dropped");
+#endif
   lis.record(rec());
   lis.record(rec());
   lis.record(rec());  // dropped
   EXPECT_EQ(lis.stats().dropped, 1u);
   EXPECT_EQ(lis.stats().recorded, 2u);
+#if PRISM_OBS_ENABLED
+  // The overflow also surfaced through the telemetry counter.
+  EXPECT_EQ(obs_count("core.lis.dropped") - dropped_before, 1u);
+#endif
 }
 
 // ---- ForwardingLis --------------------------------------------------------------
@@ -171,12 +189,18 @@ TEST(DaemonLis, RejectsUnknownProcess) {
 
 TEST(DaemonLis, NonBlockingModeDropsOnFullPipe) {
   DataLink link(16);
+#if PRISM_OBS_ENABLED
+  const std::uint64_t dropped_before = obs_count("core.lis.dropped");
+#endif
   DaemonLis lis(0, 1, /*pipe_capacity=*/4, /*period=*/500'000'000, link,
                 nullptr, /*block=*/false);
   for (std::uint64_t i = 0; i < 10; ++i) lis.record(rec(0, 0, i));
   const auto s = lis.stats();
   EXPECT_EQ(s.recorded + s.dropped, 10u);
   EXPECT_GE(s.dropped, 6u);  // capacity 4 and a sleepy daemon
+#if PRISM_OBS_ENABLED
+  EXPECT_GE(obs_count("core.lis.dropped") - dropped_before, 6u);
+#endif
   lis.stop();
 }
 

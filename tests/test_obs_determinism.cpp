@@ -1,0 +1,130 @@
+// Telemetry must be observation-only: simulation results are bit-identical
+// whether the tracer is recording, metrics are accumulating, or (in a
+// PRISM_OBS=OFF build) no probe code exists at all.  These tests run the
+// same instrumented workloads twice in-process — telemetry fully active vs
+// tracer off and registry reset — and demand exact equality, so they hold
+// in both ON and OFF builds and catch any probe that leaks into model state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "picl/flush_sim.hpp"
+#include "sim/engine.hpp"
+#include "sim/replication.hpp"
+#include "stats/rng.hpp"
+
+#if PRISM_OBS_ENABLED
+#include "obs/metrics.hpp"
+#endif
+
+namespace prism::obs {
+namespace {
+
+/// Runs a schedule/cancel/reschedule-heavy engine workload and fingerprints
+/// the execution: (executed count, final clock, order-sensitive checksum of
+/// callback ids and times).
+struct EngineFingerprint {
+  std::uint64_t executed = 0;
+  double final_now = 0;
+  std::uint64_t checksum = 0;
+
+  bool operator==(const EngineFingerprint& o) const {
+    return executed == o.executed && final_now == o.final_now &&
+           checksum == o.checksum;
+  }
+};
+
+EngineFingerprint run_engine_workload() {
+  sim::Engine eng;
+  EngineFingerprint fp;
+  stats::Rng rng(stats::Rng::hash_seed(42, 0, 0));
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 2'000; ++i) {
+    const double t = rng.next_double() * 1'000.0;
+    const int tag = i;
+    handles.push_back(eng.schedule_at(t, [&fp, &eng, tag] {
+      fp.checksum = fp.checksum * 1099511628211ULL ^
+                    static_cast<std::uint64_t>(tag);
+      fp.checksum ^= static_cast<std::uint64_t>(eng.now() * 1e6);
+    }));
+  }
+  // Churn: cancel a third, reschedule a third (tombstones + compaction).
+  for (std::size_t i = 0; i < handles.size(); i += 3) eng.cancel(handles[i]);
+  for (std::size_t i = 1; i < handles.size(); i += 3)
+    eng.reschedule(handles[i], 2'000.0 + static_cast<double>(i));
+  fp.executed = eng.run();
+  fp.final_now = eng.now();
+  return fp;
+}
+
+sim::ReplicationResult run_picl_sweep() {
+  picl::PiclModelParams p;
+  p.buffer_capacity = 20;
+  p.nodes = 4;
+  p.arrival_rate = 0.007;
+  return sim::replicate(
+      6, 77, 1,
+      [&p](stats::Rng& rng) -> sim::Responses {
+        const auto r = picl::simulate_fof(p, 100, rng);
+        return {{"freq", r.flushing_frequency},
+                {"stop", r.stopping_time.mean()},
+                {"interrupt", r.interruption_rate}};
+      },
+      sim::ReplicateOptions{2});
+}
+
+void expect_identical(const sim::ReplicationResult& a,
+                      const sim::ReplicationResult& b) {
+  ASSERT_EQ(a.metrics(), b.metrics());
+  for (const auto& m : a.metrics()) {
+    EXPECT_EQ(a.summary(m).mean(), b.summary(m).mean()) << m;
+    EXPECT_EQ(a.summary(m).variance(), b.summary(m).variance()) << m;
+    EXPECT_EQ(a.summary(m).min(), b.summary(m).min()) << m;
+    EXPECT_EQ(a.summary(m).max(), b.summary(m).max()) << m;
+  }
+}
+
+TEST(ObsDeterminism, EngineExecutionIdenticalWithTracerOnAndOff) {
+  auto& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  const EngineFingerprint instrumented = run_engine_workload();
+  tracer.set_enabled(false);
+  tracer.clear();
+#if PRISM_OBS_ENABLED
+  Registry::instance().reset();
+#endif
+  const EngineFingerprint quiet = run_engine_workload();
+  EXPECT_TRUE(instrumented == quiet)
+      << "executed " << instrumented.executed << " vs " << quiet.executed
+      << ", now " << instrumented.final_now << " vs " << quiet.final_now;
+}
+
+TEST(ObsDeterminism, ReplicationSweepIdenticalWithTelemetryActive) {
+  auto& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  const auto instrumented = run_picl_sweep();
+  tracer.set_enabled(false);
+  tracer.clear();
+#if PRISM_OBS_ENABLED
+  Registry::instance().reset();
+#endif
+  const auto quiet = run_picl_sweep();
+  expect_identical(instrumented, quiet);
+}
+
+TEST(ObsDeterminism, KillSwitchStateIsConsistent) {
+  // compiled_in() must agree with the preprocessor flag the build set; the
+  // OFF build additionally proves model results need no probe code at all,
+  // because the two tests above still pass there.
+#if PRISM_OBS_ENABLED
+  EXPECT_TRUE(compiled_in());
+#else
+  EXPECT_FALSE(compiled_in());
+#endif
+}
+
+}  // namespace
+}  // namespace prism::obs

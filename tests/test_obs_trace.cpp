@@ -1,0 +1,214 @@
+// Span tracer: RAII scopes, begin/end pairs, instants, ring wrap-around,
+// concurrent recording (exercised under TSan via `ctest -L sanitize`),
+// Chrome trace-event JSON round trip, and folded flamegraph output.
+//
+// The Tracer is a process-wide singleton, so every test disables it and
+// clears the rings on exit; tests in this file must not assume an empty
+// tracer beyond what their own clear() established.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_check.hpp"
+#include "obs/trace.hpp"
+
+namespace prism::obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& t = Tracer::instance();
+    t.set_enabled(true);
+    t.clear();
+  }
+  void TearDown() override {
+    auto& t = Tracer::instance();
+    t.set_enabled(false);
+    t.clear();
+  }
+};
+
+std::size_t count_phase(const std::vector<TraceEvent>& evs, char phase) {
+  return static_cast<std::size_t>(std::count_if(
+      evs.begin(), evs.end(),
+      [phase](const TraceEvent& e) { return e.phase == phase; }));
+}
+
+TEST_F(TracerTest, SpanScopeRecordsCompleteEvent) {
+  {
+    SpanScope span("unit.span", "test");
+  }
+  const auto evs = Tracer::instance().snapshot();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].phase, 'X');
+  EXPECT_STREQ(evs[0].name, "unit.span");
+  EXPECT_STREQ(evs[0].cat, "test");
+  EXPECT_LE(evs[0].t0_ns, evs[0].t1_ns);
+}
+
+TEST_F(TracerTest, BeginEndAndInstant) {
+  auto& t = Tracer::instance();
+  t.begin("phase.a", "test");
+  t.instant("marker", "test");
+  t.end("phase.a", "test");
+  const auto evs = t.snapshot();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(count_phase(evs, 'B'), 1u);
+  EXPECT_EQ(count_phase(evs, 'E'), 1u);
+  EXPECT_EQ(count_phase(evs, 'i'), 1u);
+  // snapshot() is time-ordered: B before i before E.
+  EXPECT_EQ(evs[0].phase, 'B');
+  EXPECT_EQ(evs[2].phase, 'E');
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  auto& t = Tracer::instance();
+  t.set_enabled(false);
+  {
+    SpanScope span("ignored", "test");
+  }
+  t.instant("ignored", "test");
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST_F(TracerTest, RingWrapKeepsNewestAndCountsDropped) {
+  auto& t = Tracer::instance();
+  t.set_ring_capacity(8);
+  // This thread's ring may predate the capacity change (rings are created on
+  // first use per thread), so record from a fresh thread.
+  std::thread([&t] {
+    for (int i = 0; i < 20; ++i)
+      t.complete("wrap", "test", static_cast<std::uint64_t>(i),
+                 static_cast<std::uint64_t>(i) + 1);
+  }).join();
+  const auto evs = t.snapshot();
+  ASSERT_EQ(evs.size(), 8u);
+  EXPECT_GE(t.dropped(), 12u);
+  // Oldest events were overwritten: the survivors are the last 8 (t0 12..19).
+  EXPECT_EQ(evs.front().t0_ns, 12u);
+  EXPECT_EQ(evs.back().t0_ns, 19u);
+  t.set_ring_capacity(1 << 14);
+}
+
+TEST_F(TracerTest, ConcurrentSpansFromManyThreads) {
+  auto& t = Tracer::instance();
+  constexpr unsigned kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> workers;
+  for (unsigned i = 0; i < kThreads; ++i)
+    workers.emplace_back([] {
+      for (int s = 0; s < kSpansPerThread; ++s) {
+        SpanScope span("mt.span", "test");
+      }
+    });
+  for (auto& w : workers) w.join();
+  const auto evs = t.snapshot();
+  EXPECT_EQ(evs.size() + t.dropped(), kThreads * kSpansPerThread);
+  // Every thread got its own tid.
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : evs) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), kThreads);
+}
+
+TEST_F(TracerTest, ChromeJsonIsValidAndRoundTrips) {
+  auto& t = Tracer::instance();
+  {
+    SpanScope outer("outer", "test");
+    SpanScope inner("inner", "test");
+  }
+  t.instant("tick", "test");
+  const std::string json = t.chrome_json();
+  const auto doc = jsonlite::parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  ASSERT_TRUE(doc->is_object());
+  const auto* unit = doc->find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->arr.size(), 3u);
+  std::size_t complete = 0, instants = 0;
+  for (const auto& e : events->arr) {
+    ASSERT_TRUE(e.is_object());
+    const auto* ph = e.find("ph");
+    const auto* name = e.find("name");
+    const auto* ts = e.find("ts");
+    const auto* pid = e.find("pid");
+    const auto* tid = e.find("tid");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_TRUE(ts->is_number());
+    if (ph->str == "X") {
+      ++complete;
+      const auto* dur = e.find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->num, 0.0);
+    } else if (ph->str == "i") {
+      ++instants;
+      // Perfetto requires a scope on instants.
+      ASSERT_NE(e.find("s"), nullptr);
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(instants, 1u);
+}
+
+TEST_F(TracerTest, WriteChromeJsonProducesLoadableFile) {
+  auto& t = Tracer::instance();
+  {
+    SpanScope span("file.span", "test");
+  }
+  const std::string path = ::testing::TempDir() + "obs_trace_test.trace.json";
+  t.write_chrome_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(jsonlite::valid(ss.str()));
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, FoldedTextReflectsNesting) {
+  auto& t = Tracer::instance();
+  // Deterministic spans via explicit timestamps: outer [0,100] contains
+  // inner [10,40]; sibling [200,250] stands alone.
+  t.complete("outer", "test", 0, 100);
+  t.complete("inner", "test", 10, 40);
+  t.complete("sibling", "test", 200, 250);
+  const std::string folded = t.folded_text();
+  EXPECT_NE(folded.find("outer;inner 30"), std::string::npos) << folded;
+  // outer's self time excludes inner: 100 - 30.
+  EXPECT_NE(folded.find("outer 70"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("sibling 50"), std::string::npos) << folded;
+}
+
+TEST_F(TracerTest, ClearEmptiesRingsButKeepsThreads) {
+  auto& t = Tracer::instance();
+  {
+    SpanScope span("pre.clear", "test");
+  }
+  ASSERT_FALSE(t.snapshot().empty());
+  t.clear();
+  EXPECT_TRUE(t.snapshot().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+  {
+    SpanScope span("post.clear", "test");
+  }
+  EXPECT_EQ(t.snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace prism::obs

@@ -152,6 +152,38 @@ TEST(Replicate, ParallelBitIdenticalForCaseStudyModels) {
   }
 }
 
+TEST(ReplicationResult, SurfacesExecutionTelemetry) {
+  auto model = [](stats::Rng& rng) -> Responses {
+    double acc = 0;
+    for (int i = 0; i < 10'000; ++i) acc += rng.next_double();
+    return {{"acc", acc}};
+  };
+  const auto serial = replicate(12, 1, 1, model, ReplicateOptions{1});
+  EXPECT_EQ(serial.rep_time_ms().count(), 12u);
+  EXPECT_GE(serial.rep_time_ms().min(), 0.0);
+  EXPECT_GT(serial.wall_ms(), 0.0);
+  EXPECT_EQ(serial.threads_used(), 1u);
+  // Serial: all wall time is replication time (minus harness overhead).
+  EXPECT_GT(serial.worker_utilization(), 0.0);
+  EXPECT_LE(serial.worker_utilization(), 1.0);
+
+  const auto parallel = replicate(12, 1, 1, model, ReplicateOptions{4});
+  EXPECT_EQ(parallel.rep_time_ms().count(), 12u);
+  EXPECT_GT(parallel.wall_ms(), 0.0);
+  EXPECT_EQ(parallel.threads_used(), 4u);
+  EXPECT_GT(parallel.worker_utilization(), 0.0);
+  EXPECT_LE(parallel.worker_utilization(), 1.0);
+
+  // More replications than threads clamps the pool.
+  const auto clamped = replicate(3, 1, 1, model, ReplicateOptions{8});
+  EXPECT_EQ(clamped.threads_used(), 3u);
+
+  // A fresh result reports no execution until replicate() fills it.
+  ReplicationResult empty;
+  EXPECT_EQ(empty.threads_used(), 0u);
+  EXPECT_EQ(empty.worker_utilization(), 0.0);
+}
+
 TEST(Replicate, ThreadsZeroMeansHardwareConcurrency) {
   auto model = [](stats::Rng& rng) -> Responses {
     return {{"x", rng.next_double()}};

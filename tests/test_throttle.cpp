@@ -5,9 +5,20 @@
 #include <vector>
 
 #include "core/throttle.hpp"
+#include "obs/obs.hpp"
 
 namespace prism::core {
 namespace {
+
+#if PRISM_OBS_ENABLED
+/// Current value of a telemetry counter (0 if nothing registered it yet);
+/// tests assert deltas, since the registry is process-global.
+std::uint64_t obs_count(std::string_view name) {
+  const auto snap = ::prism::obs::Registry::instance().snapshot();
+  const auto* c = snap.counter(name);
+  return c ? c->value : 0;
+}
+#endif
 
 trace::EventRecord ev(std::uint64_t ts, std::uint64_t payload = 0) {
   trace::EventRecord r;
@@ -54,10 +65,17 @@ TEST(Throttle, SampledLevelKeepsOneInN) {
   std::vector<trace::EventRecord> out;
   TracingThrottle t(cfg, [&](trace::EventRecord r) { out.push_back(r); });
   t.pin(TraceLevel::kSampled);
+#if PRISM_OBS_ENABLED
+  const std::uint64_t suppressed_before = obs_count("core.throttle.suppressed");
+#endif
   for (std::uint64_t i = 0; i < 40; ++i) t.offer(ev(i * 10'000));
   EXPECT_EQ(out.size(), 10u);  // stride 4
   EXPECT_EQ(t.forwarded(), 10u);
   EXPECT_EQ(t.suppressed(), 30u);
+#if PRISM_OBS_ENABLED
+  // The sampled-away records also surfaced through the telemetry counter.
+  EXPECT_EQ(obs_count("core.throttle.suppressed") - suppressed_before, 30u);
+#endif
 }
 
 TEST(Throttle, CountingAggregatesWindows) {
@@ -84,9 +102,15 @@ TEST(Throttle, OffDropsEverything) {
   TracingThrottle t(quick_config(),
                     [&](trace::EventRecord r) { out.push_back(r); });
   t.pin(TraceLevel::kOff);
+#if PRISM_OBS_ENABLED
+  const std::uint64_t suppressed_before = obs_count("core.throttle.suppressed");
+#endif
   for (std::uint64_t i = 0; i < 20; ++i) t.offer(ev(i * 100));
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(t.suppressed(), 20u);
+#if PRISM_OBS_ENABLED
+  EXPECT_EQ(obs_count("core.throttle.suppressed") - suppressed_before, 20u);
+#endif
 }
 
 TEST(Throttle, DeescalatesWhenQuiet) {
