@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "obs/json_check.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -262,13 +263,20 @@ bench::JsonValue engine_micro() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Optional override: perf_replication [reps] (keeps CI wall time bounded).
+  // Optional args: perf_replication [--no-trace] [reps] (keeps CI wall time
+  // bounded; --no-trace skips the span tracer and the trace-file write).
+  bool trace = true;
   unsigned reps = 12;
-  if (argc > 1) {
-    const int parsed = std::atoi(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-trace") {
+      trace = false;
+      continue;
+    }
+    const int parsed = std::atoi(arg.c_str());
     if (parsed < 1) {
-      std::fprintf(stderr, "usage: %s [reps>=1]  (got '%s')\n", argv[0],
-                   argv[1]);
+      std::fprintf(stderr, "usage: %s [--no-trace] [reps>=1]  (got '%s')\n",
+                   argv[0], arg.c_str());
       return 2;
     }
     reps = static_cast<unsigned>(parsed);
@@ -279,8 +287,10 @@ int main(int argc, char** argv) {
 
   // Self-telemetry: trace the run (spans ride along with the timings below)
   // and scrape the metrics registry into the BENCH file at the end.
-  obs::Tracer::instance().set_ring_capacity(1 << 16);
-  obs::Tracer::instance().set_enabled(true);
+  if (trace) {
+    obs::Tracer::instance().set_ring_capacity(1 << 16);
+    obs::Tracer::instance().set_enabled(true);
+  }
 
   auto root = bench::JsonValue::object();
   root.add("bench", bench::JsonValue::string("replication_harness"));
@@ -343,13 +353,25 @@ int main(int argc, char** argv) {
   std::printf("---- telemetry snapshot ----\n%s",
               obs::text_report(snap).c_str());
 
-  const std::string trace_path = "perf_replication.trace.json";
-  obs::Tracer::instance().write_chrome_json(trace_path);
-  std::printf("wrote %s (%zu events, %llu dropped) — open at "
-              "https://ui.perfetto.dev\n",
-              trace_path.c_str(), obs::Tracer::instance().snapshot().size(),
-              static_cast<unsigned long long>(
-                  obs::Tracer::instance().dropped()));
+  if (trace) {
+    // Validate before writing: a malformed trace file silently breaks the
+    // Perfetto import much later, far from the bug.
+    const std::string trace_path = "perf_replication.trace.json";
+    const std::string trace_json = obs::Tracer::instance().chrome_json();
+    if (!obs::jsonlite::valid(trace_json)) {
+      std::fprintf(stderr, "ERROR: generated trace JSON failed validation; "
+                           "not writing %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::Tracer::instance().write_chrome_json(trace_path);
+    std::printf("wrote %s (%zu events, %llu dropped, JSON validated) — open "
+                "at https://ui.perfetto.dev\n",
+                trace_path.c_str(), obs::Tracer::instance().snapshot().size(),
+                static_cast<unsigned long long>(
+                    obs::Tracer::instance().dropped()));
+  } else {
+    std::printf("trace disabled (--no-trace)\n");
+  }
 
   const std::string path = "BENCH_replication.json";
   bench::write_json_file(path, root);

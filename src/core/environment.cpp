@@ -108,8 +108,14 @@ LisStats IntegratedEnvironment::total_lis_stats() const {
     total.flushes += s.flushes;
     total.records_forwarded += s.records_forwarded;
     total.flush_time_ns += s.flush_time_ns;
+    total.buffered += s.buffered;
   }
   return total;
+}
+
+void IntegratedEnvironment::set_observer(obs::PipelineObserver* o) {
+  for (auto& l : lises_) l->set_observer(o);
+  ism_->set_observer(o);
 }
 
 IsClassification IntegratedEnvironment::classification() const {

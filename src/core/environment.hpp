@@ -94,6 +94,11 @@ class IntegratedEnvironment {
   /// Aggregated LIS statistics across nodes.
   LisStats total_lis_stats() const;
 
+  /// Attaches one model-time observability sink to every LIS and the ISM
+  /// (may be null to detach).  Call before start(); the LISes are the
+  /// pipeline's capture points.
+  void set_observer(obs::PipelineObserver* o);
+
   /// How this environment classifies along the §2.4 dimensions.
   IsClassification classification() const;
 

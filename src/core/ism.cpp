@@ -26,6 +26,10 @@ std::uint64_t stream_seq_key(const trace::EventRecord& r) {
          (static_cast<std::uint64_t>(r.process) << 28) ^ r.seq;
 }
 
+obs::LineageKey obs_key(const trace::EventRecord& r) {
+  return obs::lineage_key(r.node, r.process, r.seq);
+}
+
 }  // namespace
 
 Ism::Ism(TransferProtocol& tp, IsmConfig config)
@@ -80,6 +84,9 @@ void Ism::processor_main() {
     // SISO: block on the single input buffer.
     while (auto msg = tp_.data_link(0).pop()) {
       PRISM_OBS_GAUGE_SET("core.ism.input_depth", tp_.data_link(0).size());
+      if (observer_)
+        tp_.sample_depths(&observer_->timeline,
+                          static_cast<double>(now_ns()));
       if (auto* batch = std::get_if<DataBatch>(&*msg)) {
         if (config_.causal_ordering) {
           for (auto& r : batch->records)
@@ -99,6 +106,9 @@ void Ism::processor_main() {
         if (!link.closed() || link.size() > 0) all_done = false;
         if (auto msg = link.try_pop()) {
           any = true;
+          if (observer_)
+            tp_.sample_depths(&observer_->timeline,
+                              static_cast<double>(now_ns()));
           if (auto* batch = std::get_if<DataBatch>(&*msg)) {
             if (config_.causal_ordering) {
               for (auto& r : batch->records)
@@ -119,7 +129,17 @@ void Ism::processor_main() {
     }
   }
   // Input exhausted: anything still held back is causally unresolvable
-  // (lost sends); it stays held, and stats expose the residue via held_back.
+  // (lost sends); it stays held, and stats expose the residue via
+  // held_back / still_held.  Lineage attributes it as ISM queue loss.
+  if (reorderer_) {
+    if (observer_) {
+      const auto t = static_cast<double>(now_ns());
+      for (const auto& r : reorderer_->held_records())
+        observer_->lineage.lose(obs_key(r), obs::LossSite::kIsmQueue, t);
+    }
+    std::lock_guard lk(mu_);
+    stats_.still_held = reorderer_->held();
+  }
   output_->close();
 }
 
@@ -133,6 +153,12 @@ void Ism::process_batch(DataBatch&& batch) {
     stats_.records_received += batch.records.size();
   }
   current_batch_arrival_ns_ = batch.t_sent_ns;
+  if (observer_) {
+    const auto t_in = static_cast<double>(now_ns());
+    for (const auto& r : batch.records)
+      observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kIsmInput,
+                               t_in);
+  }
   for (auto& r : batch.records) {
     if (config_.causal_ordering) {
       reorderer_->offer(r);
@@ -145,8 +171,13 @@ void Ism::process_batch(DataBatch&& batch) {
   if (config_.causal_ordering) {
     std::lock_guard lk(mu_);
     stats_.held_back = reorderer_->held_back_total();
+    stats_.still_held = reorderer_->held();
     stats_.hold_back_ratio = reorderer_->hold_back_ratio();
     PRISM_OBS_GAUGE_SET("core.ism.held_back", stats_.held_back);
+    if (observer_)
+      observer_->timeline.sample_changed(
+          "ism.held", static_cast<double>(now_ns()),
+          static_cast<double>(stats_.still_held));
   }
 }
 
@@ -164,6 +195,13 @@ void Ism::emit(const trace::EventRecord& r, std::uint64_t t_arrival_ns) {
       ++stats_.records_stored;
     }
   }
+  if (observer_) {
+    observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kIsmProcessed,
+                             static_cast<double>(t_now));
+    observer_->timeline.sample_changed(
+        "ism.output_depth", static_cast<double>(t_now),
+        static_cast<double>(output_->size() + 1));
+  }
   output_->push(Timed{r, t_now});
 }
 
@@ -172,6 +210,13 @@ void Ism::dispatch_main() {
     const std::uint64_t t_now = now_ns();
     PRISM_OBS_GAUGE_SET("core.ism.output_depth", output_->size());
     for (auto& tool : tools_) tool->consume(timed->record);
+    if (observer_) {
+      observer_->lineage.complete(obs_key(timed->record),
+                                  static_cast<double>(t_now));
+      observer_->timeline.sample_changed(
+          "ism.output_depth", static_cast<double>(t_now),
+          static_cast<double>(output_->size()));
+    }
     std::lock_guard lk(mu_);
     ++stats_.records_dispatched;
     PRISM_OBS_COUNT("core.ism.records_dispatched");
@@ -207,6 +252,7 @@ void Ism::stop() {
 IsmStats Ism::stats() const {
   std::lock_guard lk(mu_);
   IsmStats out = stats_;
+  out.in_output = output_->size();
   if (proc_latency_p95_.count() > 0)
     out.processing_latency_p95_ns = proc_latency_p95_.value();
   return out;

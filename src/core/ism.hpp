@@ -28,6 +28,7 @@
 #include "core/channel.hpp"
 #include "core/tool.hpp"
 #include "core/transfer_protocol.hpp"
+#include "obs/pipeline.hpp"
 #include "stats/quantile.hpp"
 #include "stats/summary.hpp"
 #include "trace/causal.hpp"
@@ -58,6 +59,8 @@ struct IsmStats {
   std::uint64_t records_dispatched = 0;
   std::uint64_t records_stored = 0;
   std::uint64_t held_back = 0;          ///< out-of-order arrivals buffered
+  std::uint64_t still_held = 0;         ///< reorderer residue (snapshot)
+  std::uint64_t in_output = 0;          ///< output buffer occupancy (snapshot)
   double hold_back_ratio = 0.0;
   /// Data processing latency (ns): TP send -> output buffer (§3.3.2).
   stats::Summary processing_latency_ns;
@@ -66,6 +69,14 @@ struct IsmStats {
   double processing_latency_p95_ns = 0;
   /// Output-queue residence (ns): output buffer -> tool dispatch.
   stats::Summary dispatch_latency_ns;
+
+  std::uint64_t records_in() const { return records_received; }
+  /// Record-conservation invariant: every record the TP delivered is
+  /// dispatched to the tools, still held by the causal reorderer, or still
+  /// sitting in the output buffer.  Exact at quiescence (after stop()).
+  bool conserved() const {
+    return records_in() == records_dispatched + still_held + in_output;
+  }
 };
 
 class Ism {
@@ -88,6 +99,11 @@ class Ism {
 
   IsmStats stats() const;
   const IsmConfig& config() const { return config_; }
+
+  /// Attaches the model-time observability sink (may be null).  Call before
+  /// start(); records stamped: kIsmInput, kIsmProcessed, kToolDispatch,
+  /// with kIsmQueue losses for the causally unresolvable shutdown residue.
+  void set_observer(obs::PipelineObserver* o) { observer_ = o; }
 
   /// ISM -> LIS control plane (dynamic instrumentation, FAOF broadcast...).
   void broadcast_control(const ControlMessage& m) { tp_.broadcast(m); }
@@ -116,6 +132,7 @@ class Ism {
   bool stopped_ = false;
   mutable std::mutex mu_;
   IsmStats stats_;
+  obs::PipelineObserver* observer_ = nullptr;
   stats::P2Quantile proc_latency_p95_{0.95};
   /// Arrival time of the batch whose records are being processed.
   std::uint64_t current_batch_arrival_ns_ = 0;

@@ -51,7 +51,8 @@ BufferedLis::BufferedLis(std::uint32_t node, std::size_t buffer_capacity,
       buffer_(buffer_capacity, trace::OverflowPolicy::kDrop),
       policy_(std::move(policy)),
       link_(to_ism),
-      coordinator_(coordinator) {
+      coordinator_(coordinator),
+      tl_buffer_("lis" + std::to_string(node) + ".buffer") {
   if (!policy_) throw std::invalid_argument("BufferedLis: null policy");
   if (policy_->global() && !coordinator_)
     throw std::invalid_argument(
@@ -68,12 +69,25 @@ void BufferedLis::record(const trace::EventRecord& r) {
   {
     std::unique_lock lk(mu_);
     if (stopped_) return;
-    if (buffer_.append(r)) {
+    const bool accepted = buffer_.append(r);
+    if (accepted) {
       ++stats_.recorded;
       PRISM_OBS_COUNT("core.lis.recorded");
     } else {
       ++stats_.dropped;
       PRISM_OBS_COUNT("core.lis.dropped");
+    }
+    if (observer_) {
+      const auto k = obs_key(r);
+      const auto t = static_cast<double>(now_ns());
+      if (obs_capture_) observer_->lineage.offer(k, t);
+      if (accepted) {
+        observer_->lineage.stamp(k, obs::PipelineStage::kLisEnqueue, t);
+      } else {
+        observer_->lineage.lose(k, obs::LossSite::kLisBuffer, t);
+      }
+      observer_->timeline.sample_changed(
+          tl_buffer_, t, static_cast<double>(buffer_.size()));
     }
     PRISM_OBS_HIST_B("core.lis.buffer_occupancy_pct",
                      ::prism::obs::Histogram::percent_bounds(),
@@ -105,6 +119,12 @@ void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
   batch.records = buffer_.drain();
   ++stats_.flushes;
   stats_.records_forwarded += batch.records.size();
+  if (observer_) {
+    const auto ts = static_cast<double>(t0);
+    for (const auto& r : batch.records)
+      observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisForward, ts);
+    observer_->timeline.sample_changed(tl_buffer_, ts, 0.0);
+  }
   PRISM_OBS_COUNT("core.lis.flushes");
   PRISM_OBS_COUNT_N("core.lis.records_forwarded", batch.records.size());
   PRISM_OBS_COUNT("core.tp.batches_pushed");
@@ -128,7 +148,9 @@ void BufferedLis::stop() {
 
 LisStats BufferedLis::stats() const {
   std::lock_guard lk(mu_);
-  return stats_;
+  LisStats out = stats_;
+  out.buffered = buffer_.size();
+  return out;
 }
 
 // ---------------------------------------------------------------- ForwardingLis
@@ -147,13 +169,26 @@ void ForwardingLis::record(const trace::EventRecord& r) {
   batch.source_node = node_;
   batch.t_sent_ns = now_ns();
   batch.records.push_back(r);
+  const auto t_sent = static_cast<double>(batch.t_sent_ns);
+  if (observer_ && obs_capture_) observer_->lineage.offer(obs_key(r), t_sent);
   if (link_.push(std::move(batch))) {
+    if (observer_) {
+      // Bufferless forwarding: enqueue and forward are the same system call.
+      observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisEnqueue,
+                               t_sent);
+      observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisForward,
+                               t_sent);
+    }
     std::lock_guard lk(mu_);
     ++stats_.flushes;
     ++stats_.records_forwarded;
     PRISM_OBS_COUNT("core.lis.records_forwarded");
     PRISM_OBS_COUNT("core.tp.batches_pushed");
   } else {
+    if (observer_) {
+      observer_->lineage.lose(obs_key(r), obs::LossSite::kTpBackpressure,
+                              static_cast<double>(now_ns()));
+    }
     std::lock_guard lk(mu_);
     ++stats_.dropped;
     PRISM_OBS_COUNT("core.lis.dropped");
@@ -182,7 +217,8 @@ DaemonLis::DaemonLis(std::uint32_t node, std::uint32_t n_processes,
       control_(control),
       probes_(probes),
       block_on_full_pipe_(block_on_full_pipe),
-      sampling_period_ns_(sampling_period_ns) {
+      sampling_period_ns_(sampling_period_ns),
+      tl_backlog_("lis" + std::to_string(node) + ".pipe_backlog") {
   if (n_processes == 0) throw std::invalid_argument("DaemonLis: 0 processes");
   if (sampling_period_ns == 0)
     throw std::invalid_argument("DaemonLis: zero sampling period");
@@ -205,6 +241,18 @@ void DaemonLis::record(const trace::EventRecord& r) {
     ok = pipe.push(r);  // may block: the §3.2.3 application stall
   } else {
     ok = pipe.try_push(r);
+  }
+  if (observer_) {
+    const auto k = obs_key(r);
+    const auto t = static_cast<double>(now_ns());
+    if (obs_capture_) observer_->lineage.offer(k, t);
+    if (ok) {
+      observer_->lineage.stamp(k, obs::PipelineStage::kLisEnqueue, t);
+    } else {
+      observer_->lineage.lose(k, obs::LossSite::kLisPipe, t);
+    }
+    observer_->timeline.sample_changed(tl_backlog_, t,
+                                       static_cast<double>(pipe.size()));
   }
   std::lock_guard lk(mu_);
   if (ok) {
@@ -260,6 +308,13 @@ void DaemonLis::drain_once() {
   if (!batch.records.empty()) {
     const std::size_t n = batch.records.size();
     batch.t_sent_ns = now_ns();
+    if (observer_) {
+      const auto ts = static_cast<double>(batch.t_sent_ns);
+      for (const auto& r : batch.records)
+        observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisForward,
+                                 ts);
+      observer_->timeline.sample_changed(tl_backlog_, ts, 0.0);
+    }
     link_.push(std::move(batch));
     std::lock_guard lk(mu_);
     ++stats_.flushes;
@@ -285,7 +340,9 @@ void DaemonLis::stop() {
 
 LisStats DaemonLis::stats() const {
   std::lock_guard lk(mu_);
-  return stats_;
+  LisStats out = stats_;
+  for (const auto& p : pipes_) out.buffered += p->size();
+  return out;
 }
 
 std::uint64_t DaemonLis::app_block_time_ns() const {

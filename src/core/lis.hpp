@@ -27,6 +27,7 @@
 
 #include "core/flush_policy.hpp"
 #include "core/transfer_protocol.hpp"
+#include "obs/pipeline.hpp"
 #include "trace/buffer.hpp"
 #include "trace/record.hpp"
 
@@ -38,6 +39,17 @@ struct LisStats {
   std::uint64_t flushes = 0;         ///< batches shipped to the ISM
   std::uint64_t records_forwarded = 0;
   std::uint64_t flush_time_ns = 0;   ///< cumulative time in flush operations
+  std::uint64_t buffered = 0;        ///< records still held locally (snapshot)
+
+  /// Records offered by the application (accepted + refused).
+  std::uint64_t records_in() const { return recorded + dropped; }
+  /// Record-conservation invariant: every offered record is accounted for —
+  /// forwarded toward the ISM, dropped, or still buffered locally.  Exact at
+  /// quiescence (after stop()); mid-run a record being moved between buffer
+  /// and batch can be transiently uncounted.
+  bool conserved() const {
+    return records_in() == records_forwarded + dropped + buffered;
+  }
 };
 
 class Lis {
@@ -58,8 +70,23 @@ class Lis {
   std::uint32_t node() const { return node_; }
   virtual LisStats stats() const = 0;
 
+  /// Attaches the model-time observability sink (may be null to detach).
+  /// When `capture`, record() is the pipeline's lineage capture point; pass
+  /// false when an upstream TracingThrottle already captures.  Call before
+  /// concurrent record() traffic begins.
+  void set_observer(obs::PipelineObserver* o, bool capture = true) {
+    observer_ = o;
+    obs_capture_ = capture;
+  }
+
  protected:
+  static obs::LineageKey obs_key(const trace::EventRecord& r) {
+    return obs::lineage_key(r.node, r.process, r.seq);
+  }
+
   std::uint32_t node_;
+  obs::PipelineObserver* observer_ = nullptr;
+  bool obs_capture_ = true;
 };
 
 class BufferedLis;
@@ -111,6 +138,7 @@ class BufferedLis final : public Lis {
   FlushCoordinator* coordinator_;
   LisStats stats_;
   bool stopped_ = false;
+  const std::string tl_buffer_;  ///< timeline series: buffer occupancy
 };
 
 /// Vista-style bufferless event forwarding.
@@ -178,6 +206,7 @@ class DaemonLis final : public Lis {
   mutable std::mutex mu_;
   LisStats stats_;
   std::atomic<std::uint64_t> daemon_busy_ns_{0};
+  const std::string tl_backlog_;  ///< timeline series: pipe occupancy
 };
 
 }  // namespace prism::core

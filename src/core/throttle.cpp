@@ -4,6 +4,14 @@
 
 namespace prism::core {
 
+namespace {
+
+obs::LineageKey obs_key(const trace::EventRecord& r) {
+  return obs::lineage_key(r.node, r.process, r.seq);
+}
+
+}  // namespace
+
 std::string_view to_string(TraceLevel lvl) {
   switch (lvl) {
     case TraceLevel::kFull: return "full";
@@ -54,6 +62,12 @@ void TracingThrottle::offer(const trace::EventRecord& r) {
   last_event_ns_ = now;
   if (!pinned_.load(std::memory_order_relaxed)) maybe_transition(now);
 
+  // Lineage capture point: every record the application would have emitted
+  // enters the tracer here, so suppression is attributable loss rather than
+  // a record that never existed.
+  if (observer_)
+    observer_->lineage.offer(obs_key(r), static_cast<double>(r.timestamp));
+
   switch (level_.load(std::memory_order_relaxed)) {
     case TraceLevel::kFull:
       forward(r);
@@ -63,12 +77,20 @@ void TracingThrottle::offer(const trace::EventRecord& r) {
         forward(r);
       } else {
         PRISM_OBS_COUNT("core.throttle.suppressed");
+        if (observer_)
+          observer_->lineage.lose(obs_key(r), obs::LossSite::kThrottle,
+                                  static_cast<double>(now));
       }
       break;
     case TraceLevel::kCounting:
       // The raw record is absorbed; an aggregate representing the window is
-      // forwarded separately by flush_window().
+      // forwarded separately by flush_window().  Lose the absorbed record
+      // before the flush so the aggregate's (possibly colliding) key gets a
+      // fresh lineage entry.
       PRISM_OBS_COUNT("core.throttle.suppressed");
+      if (observer_)
+        observer_->lineage.lose(obs_key(r), obs::LossSite::kThrottle,
+                                static_cast<double>(now));
       if (window_start_ns_ == 0) window_start_ns_ = now;
       ++window_count_;
       if (now - window_start_ns_ >= cfg_.counting_window_ns)
@@ -76,15 +98,28 @@ void TracingThrottle::offer(const trace::EventRecord& r) {
       break;
     case TraceLevel::kOff:
       PRISM_OBS_COUNT("core.throttle.suppressed");
+      if (observer_)
+        observer_->lineage.lose(obs_key(r), obs::LossSite::kThrottle,
+                                static_cast<double>(now));
       break;
   }
 }
 
-void TracingThrottle::forward(const trace::EventRecord& r) {
+void TracingThrottle::forward(const trace::EventRecord& r, bool fresh) {
   trace::EventRecord out = r;
   if (cfg_.renumber_seq) out.seq = out_seq_++;
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   PRISM_OBS_COUNT("core.throttle.forwarded");
+  if (observer_) {
+    if (fresh) {
+      // Window aggregates are born inside the throttle; they were never
+      // offered upstream.
+      observer_->lineage.offer(obs_key(out),
+                               static_cast<double>(out.timestamp));
+    } else if (out.seq != r.seq) {
+      observer_->lineage.remap(obs_key(r), obs_key(out));
+    }
+  }
   down_(out);
 }
 
@@ -100,7 +135,7 @@ void TracingThrottle::flush_window(std::uint64_t now,
   agg.seq = like.seq;
   window_count_ = 0;
   window_start_ns_ = now;
-  forward(agg);
+  forward(agg, /*fresh=*/true);
 }
 
 void TracingThrottle::maybe_transition(std::uint64_t now) {
@@ -115,6 +150,11 @@ void TracingThrottle::maybe_transition(std::uint64_t now) {
     PRISM_OBS_COUNT("core.throttle.level_changes");
     PRISM_OBS_GAUGE_SET("core.throttle.level", static_cast<int>(lvl) + 1);
     PRISM_OBS_INSTANT("throttle.escalate", "core");
+    if (observer_)
+      observer_->timeline.sample_changed("throttle.level",
+                                         static_cast<double>(now),
+                                         static_cast<double>(
+                                             static_cast<int>(lvl) + 1));
     // Reset the estimate so one burst does not cascade straight to kOff.
     mean_gap_ns_ = 0;
   } else if (rate < cfg_.deescalate_rate && lvl != TraceLevel::kFull) {
@@ -124,6 +164,11 @@ void TracingThrottle::maybe_transition(std::uint64_t now) {
     PRISM_OBS_COUNT("core.throttle.level_changes");
     PRISM_OBS_GAUGE_SET("core.throttle.level", static_cast<int>(lvl) - 1);
     PRISM_OBS_INSTANT("throttle.deescalate", "core");
+    if (observer_)
+      observer_->timeline.sample_changed("throttle.level",
+                                         static_cast<double>(now),
+                                         static_cast<double>(
+                                             static_cast<int>(lvl) - 1));
     mean_gap_ns_ = 0;
   }
 }

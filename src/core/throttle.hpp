@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "core/sensor.hpp"
+#include "obs/pipeline.hpp"
 #include "trace/record.hpp"
 
 namespace prism::core {
@@ -74,13 +75,25 @@ class TracingThrottle {
   void pin(TraceLevel lvl);
   void unpin() { pinned_.store(false); }
 
+  /// Attaches the model-time observability sink (may be null).  The
+  /// throttle becomes the pipeline's lineage capture point (pass
+  /// capture=false to the downstream LIS's set_observer): every offered
+  /// record is offered to the tracer, suppression is a kThrottle loss, and
+  /// seq renumbering remaps tracked keys.  Level transitions land on the
+  /// "throttle.level" timeline series.  Call before traffic begins.
+  void set_observer(obs::PipelineObserver* o) { observer_ = o; }
+
  private:
   void maybe_transition(std::uint64_t now);
-  void forward(const trace::EventRecord& r);
+  /// `fresh` marks a record synthesized by the throttle itself (a counting
+  /// window aggregate): it enters lineage as a new capture instead of
+  /// remapping an existing one.
+  void forward(const trace::EventRecord& r, bool fresh = false);
   void flush_window(std::uint64_t now, const trace::EventRecord& like);
 
   ThrottleConfig cfg_;
   EventSink down_;
+  obs::PipelineObserver* observer_ = nullptr;
   std::mutex mu_;
   double mean_gap_ns_ = 0;
   std::uint64_t last_event_ns_ = 0;

@@ -68,6 +68,13 @@ void TransferProtocol::broadcast(const ControlMessage& m) {
   }
 }
 
+void TransferProtocol::sample_depths(obs::Timeline* tl, double t) const {
+  if (!tl) return;
+  for (std::size_t i = 0; i < datas_.size(); ++i)
+    tl->sample_changed("tp.link" + std::to_string(i) + ".depth", t,
+                       static_cast<double>(datas_[i]->size()));
+}
+
 void TransferProtocol::close_all() {
   close_data_links();
   close_control_links();

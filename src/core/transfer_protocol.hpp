@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/channel.hpp"
+#include "obs/timeline.hpp"
 #include "trace/record.hpp"
 
 namespace prism::core {
@@ -86,6 +87,10 @@ class TransferProtocol {
 
   /// Broadcasts a control message to every node's control link.
   void broadcast(const ControlMessage& m);
+
+  /// Samples every data link's queue depth into `tl` at time `t` (series
+  /// "tp.link<i>.depth", on-change).  No-op when `tl` is null.
+  void sample_depths(obs::Timeline* tl, double t) const;
 
   /// Closes every link (shutdown path).
   void close_all();

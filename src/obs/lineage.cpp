@@ -1,0 +1,206 @@
+#include "obs/lineage.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace prism::obs {
+
+std::string_view to_string(PipelineStage s) {
+  switch (s) {
+    case PipelineStage::kCapture: return "capture";
+    case PipelineStage::kLisEnqueue: return "lis_enqueue";
+    case PipelineStage::kLisForward: return "lis_forward";
+    case PipelineStage::kIsmInput: return "ism_input";
+    case PipelineStage::kIsmProcessed: return "ism_processed";
+    case PipelineStage::kToolDispatch: return "tool_dispatch";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(LossSite s) {
+  switch (s) {
+    case LossSite::kThrottle: return "throttle";
+    case LossSite::kLisBuffer: return "lis_buffer";
+    case LossSite::kLisPipe: return "lis_pipe";
+    case LossSite::kTpBackpressure: return "tp_backpressure";
+    case LossSite::kIsmQueue: return "ism_queue";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- LineageReport
+
+double LineageReport::attributed_loss_fraction() const {
+  if (lost == 0) return 1.0;
+  std::uint64_t named = 0;
+  for (auto n : lost_at) named += n;
+  return static_cast<double>(named) / static_cast<double>(lost);
+}
+
+void LineageReport::merge(const LineageReport& other) {
+  offered += other.offered;
+  admitted += other.admitted;
+  completed += other.completed;
+  lost += other.lost;
+  in_flight += other.in_flight;
+  for (std::size_t i = 0; i < stage.size(); ++i) stage[i].merge(other.stage[i]);
+  end_to_end.merge(other.end_to_end);
+  for (std::size_t i = 0; i < kLossSiteCount; ++i) {
+    lost_at[i] += other.lost_at[i];
+    loss_age[i].merge(other.loss_age[i]);
+  }
+}
+
+namespace {
+
+std::string transition_name(std::size_t i) {
+  std::string out(to_string(static_cast<PipelineStage>(i)));
+  out += "->";
+  out += to_string(static_cast<PipelineStage>(i + 1));
+  return out;
+}
+
+void summary_cells(std::ostringstream& os, const stats::Summary& s) {
+  os << s.count() << ',' << s.mean() << ','
+     << (s.count() ? s.min() : 0.0) << ',' << (s.count() ? s.max() : 0.0);
+}
+
+}  // namespace
+
+std::string LineageReport::to_string() const {
+  std::ostringstream os;
+  os << "lineage: offered=" << offered << " admitted=" << admitted
+     << " completed=" << completed << " lost=" << lost
+     << " in_flight=" << in_flight << '\n';
+  for (std::size_t i = 0; i + 1 < kPipelineStageCount; ++i) {
+    if (stage[i].count() == 0) continue;
+    os << "  " << transition_name(i) << ": mean=" << stage[i].mean()
+       << " min=" << stage[i].min() << " max=" << stage[i].max() << '\n';
+  }
+  if (end_to_end.count() > 0)
+    os << "  end_to_end: mean=" << end_to_end.mean()
+       << " min=" << end_to_end.min() << " max=" << end_to_end.max() << '\n';
+  for (std::size_t i = 0; i < kLossSiteCount; ++i) {
+    if (lost_at[i] == 0) continue;
+    os << "  lost@" << ::prism::obs::to_string(static_cast<LossSite>(i))
+       << ": " << lost_at[i] << " (mean age " << loss_age[i].mean() << ")\n";
+  }
+  return os.str();
+}
+
+std::string LineageReport::csv() const {
+  std::ostringstream os;
+  os << "transition,count,mean,min,max\n";
+  for (std::size_t i = 0; i + 1 < kPipelineStageCount; ++i) {
+    os << transition_name(i) << ',';
+    summary_cells(os, stage[i]);
+    os << '\n';
+  }
+  os << "end_to_end,";
+  summary_cells(os, end_to_end);
+  os << '\n';
+  for (std::size_t i = 0; i < kLossSiteCount; ++i) {
+    os << "lost@" << ::prism::obs::to_string(static_cast<LossSite>(i)) << ','
+       << lost_at[i] << ',' << loss_age[i].mean() << ','
+       << (loss_age[i].count() ? loss_age[i].min() : 0.0) << ','
+       << (loss_age[i].count() ? loss_age[i].max() : 0.0) << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------- LineageTracer
+
+LineageTracer::LineageTracer(std::uint32_t stride)
+    : stride_(stride == 0 ? 1 : stride) {}
+
+bool LineageTracer::offer(LineageKey k, double t) {
+  std::lock_guard lk(mu_);
+  const bool admit = offered_++ % stride_ == 0;
+  if (!admit) return false;
+  ++done_.admitted;
+  Entry e;
+  e.t.fill(0.0);
+  e.t[static_cast<std::size_t>(PipelineStage::kCapture)] = t;
+  e.stamped = 1u << static_cast<std::size_t>(PipelineStage::kCapture);
+  live_[k] = e;
+  return true;
+}
+
+void LineageTracer::stamp(LineageKey k, PipelineStage s, double t) {
+  std::lock_guard lk(mu_);
+  auto it = live_.find(k);
+  if (it == live_.end()) return;
+  it->second.t[static_cast<std::size_t>(s)] = t;
+  it->second.stamped |= 1u << static_cast<std::size_t>(s);
+}
+
+void LineageTracer::fold_completed(const Entry& e) {
+  // Unstamped intermediate stages inherit the previous stamp (zero-width),
+  // so the per-stage deltas telescope exactly to the end-to-end latency.
+  std::array<double, kPipelineStageCount> t = e.t;
+  for (std::size_t i = 1; i < kPipelineStageCount; ++i) {
+    if (!(e.stamped & (1u << i)) || t[i] < t[i - 1]) t[i] = t[i - 1];
+  }
+  for (std::size_t i = 0; i + 1 < kPipelineStageCount; ++i)
+    done_.stage[i].add(t[i + 1] - t[i]);
+  done_.end_to_end.add(t[kPipelineStageCount - 1] - t[0]);
+  ++done_.completed;
+}
+
+void LineageTracer::complete(LineageKey k, double t) {
+  std::lock_guard lk(mu_);
+  auto it = live_.find(k);
+  if (it == live_.end()) return;
+  it->second.t[static_cast<std::size_t>(PipelineStage::kToolDispatch)] = t;
+  it->second.stamped |=
+      1u << static_cast<std::size_t>(PipelineStage::kToolDispatch);
+  fold_completed(it->second);
+  live_.erase(it);
+}
+
+void LineageTracer::lose(LineageKey k, LossSite site, double t) {
+  std::lock_guard lk(mu_);
+  auto it = live_.find(k);
+  if (it == live_.end()) return;
+  const double t0 =
+      it->second.t[static_cast<std::size_t>(PipelineStage::kCapture)];
+  ++done_.lost;
+  ++done_.lost_at[static_cast<std::size_t>(site)];
+  done_.loss_age[static_cast<std::size_t>(site)].add(t >= t0 ? t - t0 : 0.0);
+  live_.erase(it);
+}
+
+void LineageTracer::remap(LineageKey from, LineageKey to) {
+  if (from == to) return;
+  std::lock_guard lk(mu_);
+  auto it = live_.find(from);
+  if (it == live_.end()) return;
+  Entry e = it->second;
+  live_.erase(it);
+  live_[to] = e;
+}
+
+bool LineageTracer::tracked(LineageKey k) const {
+  std::lock_guard lk(mu_);
+  return live_.count(k) != 0;
+}
+
+std::uint64_t LineageTracer::offered() const {
+  std::lock_guard lk(mu_);
+  return offered_;
+}
+
+std::uint64_t LineageTracer::admitted() const {
+  std::lock_guard lk(mu_);
+  return done_.admitted;
+}
+
+LineageReport LineageTracer::report() const {
+  std::lock_guard lk(mu_);
+  LineageReport out = done_;
+  out.offered = offered_;
+  out.in_flight = live_.size();
+  return out;
+}
+
+}  // namespace prism::obs

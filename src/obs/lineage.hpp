@@ -1,0 +1,165 @@
+// Model-time record lineage tracing (DESIGN.md §9).
+//
+// The paper evaluates an instrumentation system by observing the IS itself:
+// where monitoring latency is spent and where data dies (§2.3, §3.3.2).
+// LineageTracer gives PRISM that primitive.  A capture point offers every
+// record; each Nth offered record is admitted and accumulates per-stage
+// timestamps as it moves through the pipeline
+//
+//   probe capture -> LIS buffer enqueue -> LIS flush/forward -> ISM input
+//   -> ISM processed -> tool dispatch
+//
+// yielding per-stage latency breakdowns that telescope exactly to the
+// end-to-end monitoring latency, and — for admitted records that never reach
+// a tool — loss attribution to a named pipeline site (throttle suppression,
+// LIS buffer overflow, full daemon pipe, TP backpressure, ISM queue residue).
+//
+// Timestamps are caller-supplied doubles in whatever clock the pipeline
+// runs on: core::now_ns() for the live IS, simulated milliseconds for the
+// ROCC / Vista models.  The tracer never reads a clock itself, so hooked
+// simulations stay deterministic.  All entry points are thread-safe; hook
+// sites gate every call on a nullable observer pointer, so unhooked runs
+// never touch the tracer at all.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include <mutex>
+
+#include "stats/summary.hpp"
+
+namespace prism::obs {
+
+/// Stages a record passes on its way from probe to tool (Fig. 2's path).
+enum class PipelineStage : std::uint8_t {
+  kCapture = 0,    ///< probe fired / record generated
+  kLisEnqueue,     ///< accepted into a LIS buffer or daemon pipe
+  kLisForward,     ///< left the LIS toward the TP (flush / forward / drain)
+  kIsmInput,       ///< arrived at the ISM input side
+  kIsmProcessed,   ///< processed (reordered, stamped) into the output buffer
+  kToolDispatch,   ///< delivered to the attached tool(s)
+};
+inline constexpr std::size_t kPipelineStageCount = 6;
+
+std::string_view to_string(PipelineStage s);
+
+/// Pipeline sites where an admitted record can die.
+enum class LossSite : std::uint8_t {
+  kThrottle = 0,     ///< suppressed by the tracing throttle
+  kLisBuffer,        ///< local trace buffer overflow
+  kLisPipe,          ///< daemon pipe full / wakeup skipped
+  kTpBackpressure,   ///< transfer-protocol link refused the batch
+  kIsmQueue,         ///< stranded in the ISM (unresolvable hold-back)
+};
+inline constexpr std::size_t kLossSiteCount = 5;
+
+std::string_view to_string(LossSite s);
+
+/// A record's identity across the pipeline: packed (node, process, seq),
+/// mirroring the ISM's stream key layout.
+using LineageKey = std::uint64_t;
+
+constexpr LineageKey lineage_key(std::uint32_t node, std::uint32_t process,
+                                 std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(node) << 46) ^
+         (static_cast<std::uint64_t>(process) << 28) ^ seq;
+}
+
+/// Aggregated lineage results.  Mergeable across replications (merge order
+/// must be deterministic for bit-identical parallel runs — sim::replicate
+/// merges in replication-index order).
+struct LineageReport {
+  std::uint64_t offered = 0;    ///< records seen at the capture point
+  std::uint64_t admitted = 0;   ///< sampled into tracing (1-in-stride)
+  std::uint64_t completed = 0;  ///< admitted records that reached a tool
+  std::uint64_t lost = 0;       ///< admitted records attributed to a loss site
+  std::uint64_t in_flight = 0;  ///< admitted, neither completed nor lost
+
+  /// Latency of transition stage i -> i+1, over completed records.  A stage
+  /// a record skipped inherits the previous stamp (zero-width), so each
+  /// record's five deltas sum exactly to its end-to-end latency.
+  std::array<stats::Summary, kPipelineStageCount - 1> stage;
+  /// kCapture -> kToolDispatch, over completed records.
+  stats::Summary end_to_end;
+
+  std::array<std::uint64_t, kLossSiteCount> lost_at{};
+  /// Age (capture -> loss) of records lost at each site.
+  std::array<stats::Summary, kLossSiteCount> loss_age;
+
+  /// Every admitted record is accounted for.
+  bool conserved() const {
+    return admitted == completed + lost + in_flight;
+  }
+  /// Losses with a named site / all losses (1 whenever lost > 0, by
+  /// construction — the accessor exists so tests state the criterion).
+  double attributed_loss_fraction() const;
+
+  void merge(const LineageReport& other);
+
+  /// Human-readable per-stage table (time unit is the caller's).
+  std::string to_string() const;
+  /// "transition,count,mean,min,max" rows plus loss-site rows.
+  std::string csv() const;
+};
+
+/// Sampled per-record lineage tracer.  One instance observes one pipeline
+/// (or one model replication); merge the reports across replications.
+class LineageTracer {
+ public:
+  /// Admits every `stride`-th offered record (1 = trace everything).
+  explicit LineageTracer(std::uint32_t stride = 1);
+
+  /// Capture point: counts the record and, if it falls on the sampling
+  /// stride, starts tracking it with a kCapture stamp at `t`.  Returns
+  /// whether the record was admitted.  Re-offering a tracked key restarts
+  /// its lineage.
+  bool offer(LineageKey k, double t);
+
+  /// Stamps a stage timestamp; no-op for untracked keys, so downstream
+  /// stages stamp unconditionally and sampling stays a capture-point-only
+  /// decision.
+  void stamp(LineageKey k, PipelineStage s, double t);
+
+  /// Terminal success: stamps kToolDispatch at `t` and folds the record
+  /// into the report.  No-op for untracked keys.
+  void complete(LineageKey k, double t);
+
+  /// Terminal failure: attributes the record to `site` and folds it.
+  void lose(LineageKey k, LossSite site, double t);
+
+  /// Transfers a tracked record's lineage to a new key (the throttle
+  /// renumbers per-stream sequence numbers of forwarded records).  No-op
+  /// when `from` is untracked or the keys are equal.
+  void remap(LineageKey from, LineageKey to);
+
+  bool tracked(LineageKey k) const;
+  std::uint32_t stride() const { return stride_; }
+  std::uint64_t offered() const;
+  std::uint64_t admitted() const;
+
+  /// Folded terminals plus the current in-flight count.
+  LineageReport report() const;
+
+  LineageTracer(const LineageTracer&) = delete;
+  LineageTracer& operator=(const LineageTracer&) = delete;
+
+ private:
+  struct Entry {
+    std::array<double, kPipelineStageCount> t;
+    std::uint32_t stamped = 0;  ///< bitmask of stamped stages
+  };
+
+  void fold_completed(const Entry& e);
+
+  const std::uint32_t stride_;
+  mutable std::mutex mu_;
+  std::uint64_t offered_ = 0;
+  std::unordered_map<LineageKey, Entry> live_;
+  LineageReport done_;  ///< terminals folded so far (in_flight stays 0 here)
+};
+
+}  // namespace prism::obs

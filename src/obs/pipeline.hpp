@@ -1,0 +1,31 @@
+// The runtime-nullable model-time observability sink (DESIGN.md §9).
+//
+// One PipelineObserver bundles the two model-time recorders — sampled record
+// lineage and time-series probes — and is handed by pointer to IS components
+// (Lis/Ism/TracingThrottle via set_observer) and simulation models
+// (run_vista_ism / run_paradyn_rocc).  A null pointer is the default
+// everywhere: unhooked runs execute no observability code at all and stay
+// bit-identical to builds that never heard of this header.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/lineage.hpp"
+#include "obs/timeline.hpp"
+
+namespace prism::obs {
+
+struct PipelineObserver {
+  explicit PipelineObserver(std::uint32_t lineage_stride = 1)
+      : lineage(lineage_stride) {}
+
+  LineageTracer lineage;
+  Timeline timeline;
+
+  /// Fixed-interval sampling period for model-driven timeline pollers, in
+  /// the model's time unit (simulated ms).  0 disables periodic polling;
+  /// on-change probes still record.  Models read this once at start.
+  double timeline_interval = 0;
+};
+
+}  // namespace prism::obs

@@ -1,0 +1,132 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace prism::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Timeline::sample(const std::string& series, double t, double value) {
+  std::lock_guard lk(mu_);
+  series_[series].push_back(Point{t, value});
+}
+
+void Timeline::sample_changed(const std::string& series, double t,
+                              double value) {
+  std::lock_guard lk(mu_);
+  auto& pts = series_[series];
+  if (!pts.empty() && pts.back().value == value) return;
+  pts.push_back(Point{t, value});
+}
+
+std::vector<std::string> Timeline::series_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, pts] : series_) out.push_back(name);
+  return out;
+}
+
+std::vector<Timeline::Point> Timeline::series(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = series_.find(name);
+  return it == series_.end() ? std::vector<Point>{} : it->second;
+}
+
+std::size_t Timeline::total_points() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, pts] : series_) n += pts.size();
+  return n;
+}
+
+std::string Timeline::csv() const {
+  std::lock_guard lk(mu_);
+  std::string out = "series,time,value\n";
+  for (const auto& [name, pts] : series_) {
+    for (const Point& p : pts) {
+      out += name;
+      out += ',';
+      append_double(out, p.t);
+      out += ',';
+      append_double(out, p.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Timeline::chrome_counter_json(double us_per_unit) const {
+  std::lock_guard lk(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [name, pts] : series_) {
+    for (const Point& p : pts) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n{\"name\":\"";
+      detail::append_json_escaped(out, name);
+      out += "\",\"ph\":\"C\",\"ts\":";
+      append_double(out, p.t * us_per_unit);
+      out += ",\"pid\":0,\"tid\":0,\"args\":{\"value\":";
+      append_double(out, p.value);
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("Timeline: cannot open " + path);
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!f) throw std::runtime_error("Timeline: write failed for " + path);
+}
+
+}  // namespace
+
+void Timeline::write_chrome_json(const std::string& path,
+                                 double us_per_unit) const {
+  write_file(path, chrome_counter_json(us_per_unit));
+}
+
+void Timeline::write_csv(const std::string& path) const {
+  write_file(path, csv());
+}
+
+void Timeline::merge_prefixed(const Timeline& other,
+                              const std::string& prefix) {
+  // Copy out first: self-merge and lock-order safety.
+  std::map<std::string, std::vector<Point>> theirs;
+  {
+    std::lock_guard lk(other.mu_);
+    theirs = other.series_;
+  }
+  std::lock_guard lk(mu_);
+  for (auto& [name, pts] : theirs) {
+    auto& dst = series_[prefix + name];
+    dst.insert(dst.end(), pts.begin(), pts.end());
+  }
+}
+
+void Timeline::clear() {
+  std::lock_guard lk(mu_);
+  series_.clear();
+}
+
+}  // namespace prism::obs

@@ -1,0 +1,89 @@
+// Model-time time-series probes (DESIGN.md §9).
+//
+// Timeline records named series of (time, value) points — queue depths,
+// buffer occupancy, per-class resource busy time, throttle level — sampled
+// either on change (sample_changed) or at a fixed interval by a
+// model-scheduled poller.  Timestamps are caller-supplied doubles in the
+// pipeline's own clock (ns for the live IS, simulated ms for the models);
+// the recorder never reads a clock, so hooked simulations stay
+// deterministic.
+//
+// Exports:
+//   * CSV ("series,time,value", series in name order, points in insertion
+//     order) for plotting occupancy trajectories;
+//   * Chrome trace-event counter JSON ('C' phase, ts scaled to µs) —
+//     Perfetto renders the simulated timeline directly, same file format as
+//     the wall-clock span tracer (trace.hpp).
+//
+// Thread-safe; hook sites gate every call on a nullable observer pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prism::obs {
+
+class Timeline {
+ public:
+  struct Point {
+    double t = 0;
+    double value = 0;
+  };
+
+  /// Appends a point unconditionally (fixed-interval pollers).
+  void sample(const std::string& series, double t, double value);
+
+  /// Appends only when `value` differs from the series' last value
+  /// (on-change probes: queue depths, throttle level).
+  void sample_changed(const std::string& series, double t, double value);
+
+  std::vector<std::string> series_names() const;  ///< sorted
+  /// Points of one series (copy); empty when unknown.
+  std::vector<Point> series(const std::string& name) const;
+  std::size_t total_points() const;
+  bool empty() const { return total_points() == 0; }
+
+  /// "series,time,value" rows, series in name order.
+  std::string csv() const;
+
+  /// Chrome trace-event JSON of 'C' (counter) events.  `us_per_unit`
+  /// converts the recorded time unit to microseconds (1000 when times are
+  /// simulated ms, 1e-3 when times are ns).
+  std::string chrome_counter_json(double us_per_unit = 1000.0) const;
+  void write_chrome_json(const std::string& path,
+                         double us_per_unit = 1000.0) const;
+  void write_csv(const std::string& path) const;
+
+  /// Copies every series of `other` in under "<prefix><name>" (replication
+  /// merge: per-rep timelines keep their identity side by side).
+  void merge_prefixed(const Timeline& other, const std::string& prefix);
+
+  void clear();
+
+  Timeline() = default;
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+  /// Movable so result bundles can carry a timeline by value.  The source
+  /// must be quiescent (no concurrent samplers).
+  Timeline(Timeline&& other) noexcept {
+    std::lock_guard lk(other.mu_);
+    series_ = std::move(other.series_);
+  }
+  Timeline& operator=(Timeline&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lk(mu_, other.mu_);
+      series_ = std::move(other.series_);
+    }
+    return *this;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // Ordered map: exports iterate deterministically by series name.
+  std::map<std::string, std::vector<Point>> series_;
+};
+
+}  // namespace prism::obs

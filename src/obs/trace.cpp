@@ -107,11 +107,10 @@ void Tracer::clear() {
   }
 }
 
-namespace {
+namespace detail {
 
-void append_escaped(std::string& out, const char* s) {
-  for (; *s; ++s) {
-    const char c = *s;
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
     if (c == '"' || c == '\\') {
       out += '\\';
       out += c;
@@ -123,6 +122,14 @@ void append_escaped(std::string& out, const char* s) {
       out += c;
     }
   }
+}
+
+}  // namespace detail
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  detail::append_json_escaped(out, s);
 }
 
 void append_us(std::string& out, std::uint64_t ns) {

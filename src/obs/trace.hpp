@@ -22,9 +22,17 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace prism::obs {
+
+namespace detail {
+/// Appends `s` JSON-string-escaped.  Shared by the span tracer's and the
+/// model-time Timeline's Chrome trace-event exporters so both emit files
+/// Perfetto accepts identically.
+void append_json_escaped(std::string& out, std::string_view s);
+}  // namespace detail
 
 /// Nanoseconds since the first call in this process (steady, monotonic).
 /// Distinct epoch from core::now_ns(); trace timestamps are only ever

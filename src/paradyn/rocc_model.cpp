@@ -46,7 +46,8 @@ DaemonDemand daemon_demand(const ParadynRoccParams& p) {
 }  // namespace
 
 ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& p,
-                                    stats::Rng rng) {
+                                    stats::Rng rng,
+                                    obs::PipelineObserver* obs) {
   p.validate();
   rocc::NodeModel node(p.quantum_ms, rng);
 
@@ -75,8 +76,7 @@ ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& p,
   // starvation mechanism of §3.2.3.
   const DaemonDemand dd = daemon_demand(p);
   node.add_timer_process(ProcessClass::kInstrumentation, p.sampling_period_ms,
-                         dd.cpu, dd.net,
-                         /*max_outstanding=*/1'000'000'000);
+                         dd.cpu, dd.net, p.daemon_max_outstanding);
 
   // Other-user background load.
   if (p.other_user_processes > 0) {
@@ -89,6 +89,7 @@ ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& p,
                        rocc::background_load_behavior(other_cpu, other_think));
   }
 
+  node.set_observer(obs);
   const rocc::NodeMetrics m = node.run(p.horizon_ms);
 
   ParadynRoccMetrics out;

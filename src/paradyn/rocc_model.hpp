@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/pipeline.hpp"
 #include "sim/replication.hpp"
 #include "stats/factorial.hpp"
 #include "stats/rng.hpp"
@@ -61,6 +62,13 @@ struct ParadynRoccParams {
   double quantum_ms = 5.0;    ///< Unix round-robin quantum
   double horizon_ms = 60'000; ///< simulated run length
 
+  /// In-flight request bound before the daemon skips (coalesces) a wakeup.
+  /// The default is effectively unbounded — backlog piles up in the pipes,
+  /// the §3.2.3 starvation mechanism.  Small values model a daemon that
+  /// drops ticks instead; every skipped tick becomes attributable sample
+  /// loss under lineage tracing.
+  unsigned daemon_max_outstanding = 1'000'000'000;
+
   void validate() const;
 };
 
@@ -80,9 +88,15 @@ struct ParadynRoccMetrics {
   double cpu_utilization = 0;
 };
 
-/// Runs one replication of the scenario.
+/// Runs one replication of the scenario.  When `obs` is non-null the
+/// daemon's wakeups are lineage-traced (capture -> CPU grant -> collection
+/// done -> batch forwarded; skipped wakeups are losses) and the node's
+/// resources stream occupancy onto the timeline (fixed-interval polling when
+/// obs->timeline_interval > 0).  The returned metrics are bit-identical
+/// with or without `obs`.
 ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& params,
-                                    stats::Rng rng);
+                                    stats::Rng rng,
+                                    obs::PipelineObserver* obs = nullptr);
 
 /// Fig. 9(a) sweep: Pd interference (with 90% CI) vs sampling period.
 /// `opts` controls replication execution (parallel by default; results are

@@ -1,5 +1,6 @@
 #include "rocc/model.hpp"
 
+#include <functional>
 #include <stdexcept>
 
 namespace prism::rocc {
@@ -33,10 +34,47 @@ TimerProcess& NodeModel::add_timer_process(ProcessClass cls, sim::Time period,
   return *timers_.back();
 }
 
+void NodeModel::set_observer(obs::PipelineObserver* o) {
+  observer_ = o;
+  obs::Timeline* tl = o ? &o->timeline : nullptr;
+  cpu_->set_timeline(tl);
+  net_->set_timeline(tl);
+  for (auto& t : timers_) t->set_observer(o);
+}
+
+void NodeModel::poll(sim::Time t) {
+  obs::Timeline& tl = observer_->timeline;
+  tl.sample("poll.cpu.ready_queue", t,
+            static_cast<double>(cpu_->ready_queue_length()));
+  tl.sample("poll.net.queue", t, static_cast<double>(net_->queue_length()));
+  tl.sample("poll.cpu.busy.app", t,
+            cpu_->busy_time_at(t, ProcessClass::kApplication));
+  tl.sample("poll.cpu.busy.instr", t,
+            cpu_->busy_time_at(t, ProcessClass::kInstrumentation));
+  tl.sample("poll.cpu.busy.other", t,
+            cpu_->busy_time_at(t, ProcessClass::kOtherUser));
+  tl.sample("poll.net.busy.instr", t,
+            net_->busy_time_at(t, ProcessClass::kInstrumentation));
+}
+
 NodeMetrics NodeModel::run(sim::Time horizon) {
   if (!(horizon > 0)) throw std::invalid_argument("NodeModel::run: horizon");
   for (auto& p : processes_) p->start();
   for (auto& t : timers_) t->start();
+  if (observer_ && observer_->timeline_interval > 0) {
+    // Fixed-interval simulated-time probe.  Poller events are read-only and
+    // run_until pins the final clock to `horizon`, so an observed run's
+    // NodeMetrics stay bit-identical.
+    const sim::Time dt = observer_->timeline_interval;
+    auto tick = std::make_shared<std::function<void(sim::Time)>>();
+    *tick = [this, dt, horizon, tick](sim::Time t) {
+      poll(t);
+      const sim::Time next = t + dt;
+      if (next <= horizon)
+        eng_.schedule_at(next, [tick, next] { (*tick)(next); });
+    };
+    if (dt <= horizon) eng_.schedule_at(dt, [tick, dt] { (*tick)(dt); });
+  }
   eng_.run_until(horizon);
   cpu_->finalize(eng_.now());
   net_->finalize(eng_.now());

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/pipeline.hpp"
 #include "rocc/process.hpp"
 #include "rocc/resource.hpp"
 #include "sim/engine.hpp"
@@ -63,16 +64,28 @@ class NodeModel {
                                   sim::Time cpu_demand, sim::Time net_demand,
                                   unsigned max_outstanding = 4);
 
+  /// Attaches the model-time observability sink to the node (may be null to
+  /// detach): timer processes trace lineage, resources stream occupancy
+  /// onto the timeline, and — when `o->timeline_interval > 0` — run()
+  /// drives a fixed-interval poller that samples queue lengths and
+  /// per-class cumulative busy time at simulated-time ticks.  Call after
+  /// adding all processes and before run().  Sampling is read-only:
+  /// NodeMetrics of an observed run are bit-identical to an unobserved one.
+  void set_observer(obs::PipelineObserver* o);
+
   /// Runs all processes for `horizon` simulated time and reports metrics.
   NodeMetrics run(sim::Time horizon);
 
  private:
+  void poll(sim::Time t);
+
   sim::Engine eng_;
   stats::Rng rng_;
   std::unique_ptr<CpuResource> cpu_;
   std::unique_ptr<FifoResource> net_;
   std::vector<std::unique_ptr<RoccProcess>> processes_;
   std::vector<std::unique_ptr<TimerProcess>> timers_;
+  obs::PipelineObserver* observer_ = nullptr;
 };
 
 }  // namespace prism::rocc

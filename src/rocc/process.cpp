@@ -106,30 +106,49 @@ void TimerProcess::wake() {
   // Re-arm first: the timer is free-running.
   eng_.schedule_after(period_, [this] { wake(); });
   ++wakeups_;
+  // One lineage record per wakeup, keyed by the wakeup ordinal.
+  const obs::LineageKey key =
+      obs::lineage_key(0, id_, static_cast<std::uint64_t>(wakeups_));
+  if (observer_) observer_->lineage.offer(key, eng_.now());
   if (outstanding_ >= max_outstanding_) {
     ++skipped_;
+    // The daemon coalesced this tick: the sample it would have collected is
+    // lost to local backpressure.
+    if (observer_)
+      observer_->lineage.lose(key, obs::LossSite::kLisPipe, eng_.now());
     return;
   }
   ++outstanding_;
+  if (observer_)
+    observer_->lineage.stamp(key, obs::PipelineStage::kLisEnqueue, eng_.now());
   Request req;
   req.process_id = id_;
   req.cls = cls_;
   req.resource = ResourceKind::kCpu;
   req.demand = cpu_demand_;
-  res_.cpu->submit(std::move(req), [this](Request&&) {
+  res_.cpu->submit(std::move(req), [this, key](Request&&) {
     ++completed_;
+    if (observer_)
+      observer_->lineage.stamp(key, obs::PipelineStage::kLisForward,
+                               eng_.now());
     if (net_demand_ > 0) {
       Request net;
       net.process_id = id_;
       net.cls = cls_;
       net.resource = ResourceKind::kNetwork;
       net.demand = net_demand_;
-      res_.network->submit(std::move(net), [this](Request&&) {
+      res_.network->submit(std::move(net), [this, key](Request&&) {
         ++completed_;
         --outstanding_;
+        if (observer_) {
+          observer_->lineage.stamp(key, obs::PipelineStage::kIsmInput,
+                                   eng_.now());
+          observer_->lineage.complete(key, eng_.now());
+        }
       });
     } else {
       --outstanding_;
+      if (observer_) observer_->lineage.complete(key, eng_.now());
     }
   });
 }

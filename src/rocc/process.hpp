@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/pipeline.hpp"
 #include "rocc/resource.hpp"
 #include "sim/engine.hpp"
 #include "stats/distributions.hpp"
@@ -172,6 +173,14 @@ class TimerProcess {
   std::uint64_t skipped() const { return skipped_; }
   std::uint64_t requests_completed() const { return completed_; }
 
+  /// Attaches the model-time observability sink (may be null).  Each wakeup
+  /// becomes one lineage record keyed (node 0, process id, wakeup ordinal):
+  /// capture at the timer fire, kLisEnqueue when the CPU request is
+  /// submitted, kLisForward at CPU completion, kIsmInput + completion at
+  /// network completion (or completion at CPU done when net_demand == 0);
+  /// a skipped wakeup is a kLisPipe loss.  Call before start().
+  void set_observer(obs::PipelineObserver* o) { observer_ = o; }
+
  private:
   void wake();
 
@@ -184,6 +193,7 @@ class TimerProcess {
   sim::Time net_demand_;
   unsigned max_outstanding_;
   unsigned outstanding_ = 0;
+  obs::PipelineObserver* observer_ = nullptr;
   bool started_ = false;
   std::uint64_t wakeups_ = 0;
   std::uint64_t skipped_ = 0;

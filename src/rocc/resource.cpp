@@ -12,6 +12,9 @@ void CpuResource::submit(Request req, Completion done) {
   const std::uint32_t pid = req.process_id;
   procs_[pid].pending.push_back(Entry{std::move(req), std::move(done), true});
   enqueue_ready(pid);
+  if (tl_)
+    tl_->sample_changed(name_ + ".ready", eng_.now(),
+                        static_cast<double>(ready_.size()));
   if (!running_) dispatch();
 }
 
@@ -26,6 +29,7 @@ void CpuResource::enqueue_ready(std::uint32_t pid) {
 void CpuResource::dispatch() {
   if (ready_.empty()) {
     running_ = false;
+    if (tl_) tl_->sample_changed(name_ + ".busy_class", eng_.now(), -1.0);
     return;
   }
   running_ = true;
@@ -40,6 +44,12 @@ void CpuResource::dispatch() {
   }
   const sim::Time slice = std::min(quantum_, entry.req.remaining);
   util_.begin_busy(eng_.now(), static_cast<int>(entry.req.cls));
+  if (tl_) {
+    tl_->sample_changed(name_ + ".busy_class", eng_.now(),
+                        static_cast<double>(entry.req.cls));
+    tl_->sample_changed(name_ + ".ready", eng_.now(),
+                        static_cast<double>(ready_.size()));
+  }
   eng_.schedule_after(slice, [this, pid, slice]() mutable {
     util_.end_busy(eng_.now());
     ProcState& p = procs_[pid];
@@ -68,12 +78,16 @@ void FifoResource::submit(Request req, Completion done) {
   req.remaining = req.demand;
   req.t_issued = eng_.now();
   waiting_.push_back(Entry{std::move(req), std::move(done)});
+  if (tl_)
+    tl_->sample_changed(name_ + ".queue", eng_.now(),
+                        static_cast<double>(waiting_.size()));
   if (!busy_) begin_service();
 }
 
 void FifoResource::begin_service() {
   if (waiting_.empty()) {
     busy_ = false;
+    if (tl_) tl_->sample_changed(name_ + ".busy_class", eng_.now(), -1.0);
     return;
   }
   busy_ = true;
@@ -81,6 +95,12 @@ void FifoResource::begin_service() {
   waiting_.pop_front();
   queueing_delay_.add(eng_.now() - entry.req.t_issued);
   util_.begin_busy(eng_.now(), static_cast<int>(entry.req.cls));
+  if (tl_) {
+    tl_->sample_changed(name_ + ".busy_class", eng_.now(),
+                        static_cast<double>(entry.req.cls));
+    tl_->sample_changed(name_ + ".queue", eng_.now(),
+                        static_cast<double>(waiting_.size()));
+  }
   const sim::Time d = entry.req.demand;
   eng_.schedule_after(d, [this, e = std::move(entry)]() mutable {
     util_.end_busy(eng_.now());

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/timeline.hpp"
 #include "rocc/request.hpp"
 #include "sim/collectors.hpp"
 #include "sim/engine.hpp"
@@ -53,6 +54,16 @@ class Resource {
   }
   /// Integrate busy-time accounting up to `t` (call at end of run).
   void finalize(sim::Time t) { util_.flush(t); }
+  /// Busy time as of model time `t` without mutating the accumulator (safe
+  /// for mid-run probes; enabled runs stay bit-identical).
+  double busy_time_at(sim::Time t) const { return util_.busy_time_at(t); }
+  double busy_time_at(sim::Time t, ProcessClass c) const {
+    return util_.busy_time_at(t, static_cast<int>(c));
+  }
+  /// Attaches a model-time timeline (may be null to detach).  Occupancy
+  /// samples land on "<name>.busy_class" (serving class, -1 idle) and
+  /// "<name>.ready" / "<name>.queue" series.
+  void set_timeline(obs::Timeline* tl) { tl_ = tl; }
   /// Waiting time from submission to first service, per completed request.
   const stats::Summary& queueing_delays() const { return queueing_delay_; }
   std::uint64_t completions() const { return completions_; }
@@ -63,6 +74,7 @@ class Resource {
   sim::UtilizationTracker util_;
   stats::Summary queueing_delay_;
   std::uint64_t completions_ = 0;
+  obs::Timeline* tl_ = nullptr;
 };
 
 /// Preemptive round-robin CPU with a fixed quantum.

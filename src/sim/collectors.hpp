@@ -53,6 +53,16 @@ class UtilizationTracker {
     auto it = by_class_.find(cls);
     return it == by_class_.end() ? 0.0 : it->second;
   }
+  /// Busy time as it would read after accounting up to `t`, WITHOUT mutating
+  /// the accumulator (mid-run probes must not perturb the float accounting
+  /// order, which would break bit-identical instrumented runs).
+  double busy_time_at(double t) const {
+    return busy_time() + (busy_ && t > last_ ? t - last_ : 0.0);
+  }
+  double busy_time_at(double t, int cls) const {
+    return busy_time(cls) +
+           (busy_ && cls_ == cls && t > last_ ? t - last_ : 0.0);
+  }
   /// Utilization over [t0, last accounted time].
   double utilization() const {
     const double span = last_ - start_;

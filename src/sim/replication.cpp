@@ -1,6 +1,7 @@
 #include "sim/replication.hpp"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -118,6 +119,67 @@ ReplicationResult replicate(
                      rep_ms[rep]);
   }
   out.set_execution(workers, ms_between(t_begin, clock::now()));
+  return out;
+}
+
+ObservedResult replicate_observed(
+    unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
+    const std::function<Responses(stats::Rng&, obs::PipelineObserver&)>& model,
+    const ReplicateOptions& opts, std::uint32_t lineage_stride,
+    double timeline_interval) {
+  if (r == 0) throw std::invalid_argument("replicate_observed: r == 0");
+  // Each replication writes into its own observer slot; the merge below
+  // runs in replication-index order, so lineage sums and timeline prefixes
+  // are bit-identical to a serial run for any thread count.
+  std::vector<std::unique_ptr<obs::PipelineObserver>> observers(r);
+  for (unsigned rep = 0; rep < r; ++rep) {
+    observers[rep] = std::make_unique<obs::PipelineObserver>(lineage_stride);
+    observers[rep]->timeline_interval = timeline_interval;
+  }
+  const unsigned threads =
+      opts.threads == 0 ? ThreadPool::default_threads() : opts.threads;
+
+  const auto t_begin = clock::now();
+  ObservedResult out;
+  if (threads <= 1 || r == 1) {
+    for (unsigned rep = 0; rep < r; ++rep) {
+      const auto t0 = clock::now();
+      stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
+                                           static_cast<std::uint64_t>(rep)));
+      const Responses resp = model(rng, *observers[rep]);
+      out.result.add(resp);
+      out.result.record_rep_time_ms(ms_between(t0, clock::now()));
+    }
+    out.result.set_execution(1, ms_between(t_begin, clock::now()));
+  } else {
+    std::vector<Responses> slots(r);
+    std::vector<double> rep_ms(r, 0.0);
+    const unsigned workers = threads < r ? threads : r;
+    {
+      ThreadPool pool(workers);
+      for (unsigned rep = 0; rep < r; ++rep) {
+        pool.submit([&slots, &rep_ms, &model, &observers, base_seed,
+                     scenario_tag, rep] {
+          const auto t0 = clock::now();
+          stats::Rng rng(stats::Rng::hash_seed(
+              base_seed, scenario_tag, static_cast<std::uint64_t>(rep)));
+          slots[rep] = model(rng, *observers[rep]);
+          rep_ms[rep] = ms_between(t0, clock::now());
+        });
+      }
+      pool.wait();
+    }
+    for (unsigned rep = 0; rep < r; ++rep) {
+      out.result.add(slots[rep]);
+      out.result.record_rep_time_ms(rep_ms[rep]);
+    }
+    out.result.set_execution(workers, ms_between(t_begin, clock::now()));
+  }
+  for (unsigned rep = 0; rep < r; ++rep) {
+    out.lineage.merge(observers[rep]->lineage.report());
+    out.timeline.merge_prefixed(observers[rep]->timeline,
+                                "rep" + std::to_string(rep) + "/");
+  }
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/pipeline.hpp"
 #include "stats/confidence.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
@@ -100,5 +101,25 @@ ReplicationResult replicate(
     unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
     const std::function<Responses(stats::Rng&)>& model,
     const ReplicateOptions& opts);
+
+/// Replication result plus the merged model-time observability of all
+/// replications: lineage reports summed across replications and per-rep
+/// timelines kept side by side under "rep<k>/" series prefixes.
+struct ObservedResult {
+  ReplicationResult result;
+  obs::LineageReport lineage;
+  obs::Timeline timeline;
+};
+
+/// Like replicate(), but hands each replication a private PipelineObserver
+/// (lineage stride `lineage_stride`, timeline interval `timeline_interval`)
+/// and merges the observers in replication-index order afterwards — so the
+/// merged lineage/timeline, like the responses, are bit-identical for any
+/// thread count.
+ObservedResult replicate_observed(
+    unsigned r, std::uint64_t base_seed, std::uint64_t scenario_tag,
+    const std::function<Responses(stats::Rng&, obs::PipelineObserver&)>& model,
+    const ReplicateOptions& opts = {}, std::uint32_t lineage_stride = 1,
+    double timeline_interval = 0);
 
 }  // namespace prism::sim

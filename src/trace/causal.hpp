@@ -38,6 +38,16 @@ class CausalReorderer {
 
   /// Number of events currently held back.
   std::size_t held() const;
+  /// Snapshot of every held-back event, in stream-key then seq order (the
+  /// ISM's shutdown residue: causally unresolvable records it attributes as
+  /// queue losses).
+  std::vector<EventRecord> held_records() const {
+    std::vector<EventRecord> out;
+    out.reserve(held_count_);
+    for (const auto& [stream, q] : held_)
+      out.insert(out.end(), q.begin(), q.end());
+    return out;
+  }
   /// Events held back at least once (for the hold-back ratio).
   std::uint64_t held_back_total() const { return held_back_total_; }
   std::uint64_t offered_total() const { return offered_total_; }

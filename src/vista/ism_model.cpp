@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -60,7 +61,8 @@ struct Model {
   stats::TimeWeighted input_len;
   sim::UtilizationTracker proc_util;
 
-  std::deque<double> out_queue;
+  /// Lineage key of each record waiting in the output buffer, FIFO.
+  std::deque<obs::LineageKey> out_queue;
   bool tool_busy = false;
   stats::TimeWeighted out_len;
 
@@ -68,14 +70,49 @@ struct Model {
   std::uint64_t arrivals = 0;
   std::uint64_t held_back = 0;
   std::uint64_t released = 0;
+  obs::PipelineObserver* obs = nullptr;
 
   Model(const VistaIsmParams& params, stats::Rng r)
       : p(params), arrival_rng(r.split()), service_rng(r.split()),
         next_release(params.processes, 0), held(params.processes) {}
 
+  static obs::LineageKey key_of(const Arrival& a) {
+    return obs::lineage_key(0, a.process, a.seq);
+  }
+
   void note_input_len() {
     input_len.set(eng.now(),
                   static_cast<double>(proc_queue.size() + held_count));
+    if (obs)
+      obs->timeline.sample_changed(
+          "ism.input_len", eng.now(),
+          static_cast<double>(proc_queue.size() + held_count));
+  }
+
+  void note_out_len() {
+    out_len.set(eng.now(), static_cast<double>(out_queue.size()));
+    if (obs)
+      obs->timeline.sample_changed("ism.output_len", eng.now(),
+                                   static_cast<double>(out_queue.size()));
+  }
+
+  /// Fixed-interval simulated-time probe; ticks stop at the horizon so the
+  /// poller never extends the drain.
+  void start_poller() {
+    if (!obs || !(obs->timeline_interval > 0)) return;
+    const double dt = obs->timeline_interval;
+    auto tick = std::make_shared<std::function<void(double)>>();
+    *tick = [this, dt, tick](double t) {
+      obs->timeline.sample("poll.input_len", t,
+                           static_cast<double>(proc_queue.size() + held_count));
+      obs->timeline.sample("poll.held", t, static_cast<double>(held_count));
+      obs->timeline.sample("poll.output_len", t,
+                           static_cast<double>(out_queue.size()));
+      const double next = t + dt;
+      if (next <= p.horizon_ms)
+        eng.schedule_at(next, [tick, next] { (*tick)(next); });
+    };
+    if (dt <= p.horizon_ms) eng.schedule_at(dt, [tick, dt] { (*tick)(dt); });
   }
 
   void start_sources() {
@@ -106,6 +143,14 @@ struct Model {
     eng.schedule_after(gap, [this, proc, seq] {
       if (eng.now() > p.horizon_ms) return;  // sources stop at the horizon
       const std::uint64_t s = (*seq)++;
+      if (obs) {
+        // Forwarding LIS: the record leaves the application the instant it
+        // is generated, so capture/enqueue/forward coincide.
+        const obs::LineageKey key = obs::lineage_key(0, proc, s);
+        obs->lineage.offer(key, eng.now());
+        obs->lineage.stamp(key, obs::PipelineStage::kLisEnqueue, eng.now());
+        obs->lineage.stamp(key, obs::PipelineStage::kLisForward, eng.now());
+      }
       double delay = exp_draw(arrival_rng, p.network_delay_mean_ms);
       if (p.straggle_prob > 0 && arrival_rng.next_bernoulli(p.straggle_prob)) {
         // Truncated Pareto(shape, scale): scale * U^{-1/shape}, capped.
@@ -123,6 +168,9 @@ struct Model {
 
   void on_arrival(const Arrival& a) {
     ++arrivals;
+    if (obs)
+      obs->lineage.stamp(key_of(a), obs::PipelineStage::kIsmInput,
+                         a.t_arrival);
     proc_queue.push_back(a);
     note_input_len();
     maybe_start_processor();
@@ -177,8 +225,11 @@ struct Model {
     latencies.push_back(eng.now() - a.t_arrival);
     ++released;
     next_release[a.process] = a.seq + 1;
-    out_queue.push_back(eng.now());
-    out_len.set(eng.now(), static_cast<double>(out_queue.size()));
+    if (obs)
+      obs->lineage.stamp(key_of(a), obs::PipelineStage::kIsmProcessed,
+                         eng.now());
+    out_queue.push_back(key_of(a));
+    note_out_len();
     maybe_start_tool();
   }
 
@@ -187,8 +238,10 @@ struct Model {
     tool_busy = true;
     const double service = exp_draw(service_rng, p.tool_service_mean_ms);
     eng.schedule_after(service, [this] {
+      const obs::LineageKey key = out_queue.front();
       out_queue.pop_front();
-      out_len.set(eng.now(), static_cast<double>(out_queue.size()));
+      note_out_len();
+      if (obs) obs->lineage.complete(key, eng.now());
       tool_busy = false;
       maybe_start_tool();
     });
@@ -197,10 +250,13 @@ struct Model {
 
 }  // namespace
 
-VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng) {
+VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng,
+                              obs::PipelineObserver* obs) {
   params.validate();
   Model m(params, rng);
+  m.obs = obs;
   m.start_sources();
+  m.start_poller();
   m.eng.run();
 
   VistaIsmMetrics out;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/pipeline.hpp"
 #include "sim/replication.hpp"
 #include "stats/confidence.hpp"
 #include "stats/factorial.hpp"
@@ -79,8 +80,13 @@ struct VistaIsmMetrics {
   std::uint64_t released = 0;
 };
 
-/// One replication of the model.
-VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng);
+/// One replication of the model.  When `obs` is non-null every record is
+/// lineage-traced end to end on the simulated clock (generation ->
+/// forwarding -> ISM arrival -> release to the output buffer -> tool
+/// consumption), and queue occupancies stream onto the timeline (on-change
+/// plus fixed-interval "poll.*" probes when obs->timeline_interval > 0).
+VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng,
+                              obs::PipelineObserver* obs = nullptr);
 
 struct VistaSweepPoint {
   double mean_interarrival_ms = 0;

@@ -72,6 +72,11 @@ TEST(Integration, LiveIsFeedsOfflineAnalysis) {
     env.stop();
     recorded = rep.events_recorded;
     EXPECT_EQ(stats_tool->total(), recorded);
+    // Record conservation end to end: every record the apps offered is
+    // forwarded/dropped/buffered at the LIS tier, and every record the TP
+    // delivered is dispatched/held/queued at the ISM (exact at quiescence).
+    EXPECT_TRUE(env.total_lis_stats().conserved());
+    EXPECT_TRUE(env.ism().stats().conserved());
   }
   trace::TraceFileReader reader(path);
   EXPECT_EQ(reader.record_count(), recorded);
@@ -160,6 +165,8 @@ TEST(Integration, EnvironmentSupportsHeterogeneousToolSet) {
   EXPECT_EQ(stats_tool->total(), 20u);
   EXPECT_FALSE(timeline->records().empty());
   EXPECT_GT(steering_triggers, 0);
+  EXPECT_TRUE(env.total_lis_stats().conserved());
+  EXPECT_TRUE(env.ism().stats().conserved());
 }
 
 TEST(Integration, ViewsThresholdSteeringComposition) {

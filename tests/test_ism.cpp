@@ -72,6 +72,7 @@ TEST(Ism, SisoDispatchesEverythingInOrder) {
   EXPECT_EQ(s.records_received, 3u);
   EXPECT_EQ(s.records_dispatched, 3u);
   EXPECT_EQ(s.processing_latency_ns.count(), 3u);
+  EXPECT_TRUE(s.conserved());
 }
 
 TEST(Ism, MisoConsumesAllLinks) {
@@ -108,6 +109,7 @@ TEST(Ism, CausalOrderingReordersAcrossBatches) {
   EXPECT_EQ(out[1].kind, trace::EventKind::kRecv);
   EXPECT_GT(ism.stats().held_back, 0u);
   EXPECT_GT(ism.stats().hold_back_ratio, 0.0);
+  EXPECT_TRUE(ism.stats().conserved());
   // Lamport stamps assigned in release order.
   EXPECT_LT(out[0].lamport, out[1].lamport);
 }
@@ -215,6 +217,7 @@ TEST(Ism, TinyOutputBufferBackpressureStillConserves) {
   ism.stop();
   EXPECT_EQ(tool->records().size(), 200u);
   EXPECT_EQ(ism.stats().records_dispatched, 200u);
+  EXPECT_TRUE(ism.stats().conserved());
 }
 
 TEST(Ism, P95LatencyReported) {
@@ -255,6 +258,29 @@ TEST(Ism, HighVolumeThroughSisoConserved) {
   ism.stop();
   EXPECT_EQ(tool->records().size(), total);
   EXPECT_EQ(ism.stats().records_dispatched, total);
+  EXPECT_TRUE(ism.stats().conserved());
+}
+
+TEST(Ism, UnresolvableHoldBackResidueStaysAccounted) {
+  // A recv whose matching send never arrives is causally unresolvable: it
+  // stays held at stop, and conservation counts it via still_held —
+  // records_received == dispatched + still_held + in_output.
+  TransferProtocol tp(TpFlavor::kPipe, 2, 1, 64);
+  IsmConfig cfg;
+  cfg.causal_ordering = true;
+  Ism ism(tp, cfg);
+  auto tool = std::make_shared<RecordingTool>();
+  ism.attach_tool(tool);
+  ism.start();
+  tp.data_link(0).push(
+      batch_of(1, {rec(1, 0, trace::EventKind::kRecv, 0, 9)}));
+  tp.data_link(0).push(batch_of(0, {rec(0, 0)}));
+  ism.stop();
+  const auto s = ism.stats();
+  EXPECT_EQ(s.records_received, 2u);
+  EXPECT_EQ(s.records_dispatched, 1u);  // the plain record
+  EXPECT_EQ(s.still_held, 1u);          // the orphaned recv
+  EXPECT_TRUE(s.conserved());
 }
 
 }  // namespace

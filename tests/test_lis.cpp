@@ -56,6 +56,7 @@ TEST(BufferedLis, FofFlushesOwnBufferWhenFull) {
   EXPECT_EQ(s.recorded, 3u);
   EXPECT_EQ(s.flushes, 1u);
   EXPECT_EQ(s.records_forwarded, 3u);
+  EXPECT_TRUE(s.conserved());
 }
 
 TEST(BufferedLis, ManualFlushShipsPartialBuffer) {
@@ -239,6 +240,74 @@ TEST(DaemonLis, RejectsBadConstruction) {
   DataLink link(16);
   EXPECT_THROW(DaemonLis(0, 0, 8, 1000, link), std::invalid_argument);
   EXPECT_THROW(DaemonLis(0, 1, 8, 0, link), std::invalid_argument);
+}
+
+// ---- Record conservation (DESIGN.md §9) -----------------------------------
+//
+// records_in == records_forwarded + dropped + buffered, exact at quiescence:
+// every record the application offered is accounted for by name.
+
+TEST(LisConservation, BufferedHoldsThenForwards) {
+  DataLink link(16);
+  BufferedLis lis(0, 8, std::make_unique<FlushOnFill>(), link);
+  lis.record(rec(0, 0, 0));
+  lis.record(rec(0, 0, 1));
+  auto s = lis.stats();
+  EXPECT_EQ(s.buffered, 2u);
+  EXPECT_TRUE(s.conserved());  // held locally, not yet forwarded
+  lis.flush();
+  s = lis.stats();
+  EXPECT_EQ(s.buffered, 0u);
+  EXPECT_EQ(s.records_forwarded, 2u);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(LisConservation, BufferedCountsDropsAsLosses) {
+  class NeverFlush final : public FlushPolicy {
+   public:
+    bool should_flush(const trace::TraceBuffer&) override { return false; }
+    std::string_view name() const override { return "never"; }
+  };
+  DataLink link(16);
+  BufferedLis lis(0, 2, std::make_unique<NeverFlush>(), link);
+  for (std::uint64_t i = 0; i < 5; ++i) lis.record(rec(0, 0, i));
+  const auto s = lis.stats();
+  EXPECT_EQ(s.records_in(), 5u);
+  EXPECT_EQ(s.dropped, 3u);
+  EXPECT_EQ(s.buffered, 2u);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(LisConservation, ForwardingNeverBuffers) {
+  DataLink link(16);
+  ForwardingLis lis(0, link);
+  for (std::uint64_t i = 0; i < 4; ++i) lis.record(rec(0, 0, i));
+  const auto s = lis.stats();
+  EXPECT_EQ(s.buffered, 0u);
+  EXPECT_EQ(s.records_forwarded, 4u);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(LisConservation, DaemonExactAfterStop) {
+  DataLink link(1024);
+  DaemonLis lis(0, 2, 64, /*sampling_period_ns=*/1'000'000, link);
+  for (std::uint64_t i = 0; i < 25; ++i) lis.record(rec(0, i % 2, i));
+  lis.stop();  // drains the pipes
+  const auto s = lis.stats();
+  EXPECT_EQ(s.records_in(), 25u);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(LisConservation, DaemonDropsStayAccounted) {
+  DataLink link(16);
+  DaemonLis lis(0, 1, /*pipe_capacity=*/4, /*period=*/500'000'000, link,
+                nullptr, /*block=*/false);
+  for (std::uint64_t i = 0; i < 10; ++i) lis.record(rec(0, 0, i));
+  lis.stop();
+  const auto s = lis.stats();
+  EXPECT_EQ(s.records_in(), 10u);
+  EXPECT_GE(s.dropped, 6u);
+  EXPECT_TRUE(s.conserved());
 }
 
 }  // namespace

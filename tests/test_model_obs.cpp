@@ -1,0 +1,194 @@
+// Model-time observability of the ROCC and Vista models (DESIGN.md §9):
+// lineage conservation and telescoping on real simulated pipelines, loss
+// attribution under backpressure, bit-identity of hooked vs unhooked runs,
+// and thread-count invariance of replicate_observed().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "obs/pipeline.hpp"
+#include "paradyn/rocc_model.hpp"
+#include "sim/replication.hpp"
+#include "stats/rng.hpp"
+#include "vista/ism_model.hpp"
+
+namespace prism {
+namespace {
+
+vista::VistaIsmParams small_vista() {
+  vista::VistaIsmParams p;
+  p.processes = 4;
+  p.mean_interarrival_ms = 15.0;
+  p.horizon_ms = 5'000;
+  return p;
+}
+
+TEST(ModelObs, VistaLineageConservedAndTelescopes) {
+  const vista::VistaIsmParams p = small_vista();
+  obs::PipelineObserver observer(/*lineage_stride=*/1);
+  stats::Rng rng(stats::Rng::hash_seed(11, 0, 0));
+  const auto m = vista::run_vista_ism(p, rng, &observer);
+  const obs::LineageReport rep = observer.lineage.report();
+
+  // Every generated record is offered; the drained engine finishes them all.
+  EXPECT_GT(rep.offered, 100u);
+  EXPECT_EQ(rep.admitted, rep.offered);
+  EXPECT_EQ(rep.completed, rep.offered);
+  EXPECT_EQ(rep.completed, m.released);
+  EXPECT_EQ(rep.lost, 0u);
+  EXPECT_EQ(rep.in_flight, 0u);
+  EXPECT_TRUE(rep.conserved());
+
+  // Per-stage transition means telescope to the end-to-end mean (identical
+  // record sets, so only float summation order separates them).
+  double stage_sum = 0;
+  for (const auto& s : rep.stage) stage_sum += s.mean();
+  EXPECT_NEAR(stage_sum, rep.end_to_end.mean(),
+              1e-9 * std::max(1.0, rep.end_to_end.mean()));
+  // The forwarding-LIS stages are zero-width; network / ISM / tool are not.
+  EXPECT_DOUBLE_EQ(rep.stage[0].mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.stage[1].mean(), 0.0);
+  EXPECT_GT(rep.stage[2].mean(), 0.0);
+  EXPECT_GT(rep.stage[3].mean(), 0.0);
+  EXPECT_GT(rep.stage[4].mean(), 0.0);
+}
+
+TEST(ModelObs, VistaStrideTracesSubsetOnly) {
+  const vista::VistaIsmParams p = small_vista();
+  obs::PipelineObserver observer(/*lineage_stride=*/8);
+  stats::Rng rng(stats::Rng::hash_seed(11, 0, 0));
+  (void)vista::run_vista_ism(p, rng, &observer);
+  const obs::LineageReport rep = observer.lineage.report();
+  EXPECT_GT(rep.offered, rep.admitted);
+  // ceil(offered / 8) records fall on the stride.
+  EXPECT_EQ(rep.admitted, (rep.offered + 7) / 8);
+  EXPECT_EQ(rep.completed, rep.admitted);
+  EXPECT_TRUE(rep.conserved());
+}
+
+TEST(ModelObs, VistaTimelineRecordsQueueTrajectories) {
+  const vista::VistaIsmParams p = small_vista();
+  obs::PipelineObserver observer(/*lineage_stride=*/1);
+  observer.timeline_interval = 100.0;
+  stats::Rng rng(stats::Rng::hash_seed(12, 0, 0));
+  (void)vista::run_vista_ism(p, rng, &observer);
+  const auto names = observer.timeline.series_names();
+  for (const char* want :
+       {"ism.input_len", "ism.output_len", "poll.input_len", "poll.held",
+        "poll.output_len"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << want;
+  }
+  // Fixed-interval poller: one tick per interval up to and including the
+  // horizon, none beyond it.
+  const auto polls = observer.timeline.series("poll.input_len");
+  EXPECT_EQ(polls.size(), std::size_t(p.horizon_ms / 100.0));
+  EXPECT_LE(polls.back().t, p.horizon_ms);
+}
+
+TEST(ModelObs, RoccAttributesAllLossesUnderBackpressure) {
+  paradyn::ParadynRoccParams p;
+  p.app_processes = 24;              // heavy CPU contention
+  p.horizon_ms = 20'000;
+  p.daemon_max_outstanding = 1;      // tick-dropping daemon
+  obs::PipelineObserver observer(/*lineage_stride=*/1);
+  stats::Rng rng(stats::Rng::hash_seed(0x5EED, 0x0B5, 0));
+  (void)paradyn::run_paradyn_rocc(p, rng, &observer);
+  const obs::LineageReport rep = observer.lineage.report();
+  EXPECT_GT(rep.offered, 0u);
+  EXPECT_GT(rep.lost, 0u) << "expected skipped wakeups under contention";
+  EXPECT_DOUBLE_EQ(rep.attributed_loss_fraction(), 1.0);
+  // Every loss in this scenario is a skipped wakeup (full daemon pipe).
+  EXPECT_EQ(rep.lost_at[std::size_t(obs::LossSite::kLisPipe)], rep.lost);
+  EXPECT_TRUE(rep.conserved());
+  // Survivors telescope: stage means sum to the end-to-end mean.
+  double stage_sum = 0;
+  for (const auto& s : rep.stage) stage_sum += s.mean();
+  EXPECT_NEAR(stage_sum, rep.end_to_end.mean(),
+              1e-9 * std::max(1.0, rep.end_to_end.mean()));
+}
+
+TEST(ModelObs, RoccMetricsBitIdenticalWithAndWithoutObserver) {
+  paradyn::ParadynRoccParams p;
+  p.horizon_ms = 20'000;
+  const std::uint64_t seed = stats::Rng::hash_seed(7, 3, 1);
+
+  const auto plain = paradyn::run_paradyn_rocc(p, stats::Rng(seed));
+  obs::PipelineObserver observer(/*lineage_stride=*/1);
+  observer.timeline_interval = 100.0;  // read-only poller events
+  const auto hooked =
+      paradyn::run_paradyn_rocc(p, stats::Rng(seed), &observer);
+
+  EXPECT_EQ(plain.pd_interference_ms, hooked.pd_interference_ms);
+  EXPECT_EQ(plain.pd_cpu_utilization_pct, hooked.pd_cpu_utilization_pct);
+  EXPECT_EQ(plain.pd_horizon_utilization_pct,
+            hooked.pd_horizon_utilization_pct);
+  EXPECT_EQ(plain.app_cpu_ms, hooked.app_cpu_ms);
+  EXPECT_EQ(plain.app_requests, hooked.app_requests);
+  EXPECT_EQ(plain.mean_cpu_queueing_delay_ms,
+            hooked.mean_cpu_queueing_delay_ms);
+  EXPECT_EQ(plain.cpu_utilization, hooked.cpu_utilization);
+  // And the observer really observed the run.
+  EXPECT_GT(observer.lineage.report().offered, 0u);
+  EXPECT_FALSE(observer.timeline.empty());
+}
+
+TEST(ModelObs, VistaMetricsIdenticalWithNullSink) {
+  // A null observer is the disabled sink: no observability code runs, so an
+  // explicitly-nulled run is bit-identical to an unhooked one.
+  const vista::VistaIsmParams p = small_vista();
+  const std::uint64_t seed = stats::Rng::hash_seed(21, 4, 2);
+  const auto unhooked = vista::run_vista_ism(p, stats::Rng(seed));
+  const auto nulled = vista::run_vista_ism(p, stats::Rng(seed), nullptr);
+  EXPECT_EQ(unhooked.mean_processing_latency_ms,
+            nulled.mean_processing_latency_ms);
+  EXPECT_EQ(unhooked.p95_processing_latency_ms,
+            nulled.p95_processing_latency_ms);
+  EXPECT_EQ(unhooked.mean_input_buffer_length,
+            nulled.mean_input_buffer_length);
+  EXPECT_EQ(unhooked.hold_back_ratio, nulled.hold_back_ratio);
+  EXPECT_EQ(unhooked.records, nulled.records);
+  EXPECT_EQ(unhooked.released, nulled.released);
+}
+
+TEST(ModelObs, ReplicateObservedThreadCountInvariant) {
+  const vista::VistaIsmParams p = small_vista();
+  const auto model = [&p](stats::Rng& rng,
+                          obs::PipelineObserver& o) -> sim::Responses {
+    const auto m = vista::run_vista_ism(p, rng, &o);
+    return {{"latency", m.mean_processing_latency_ms},
+            {"buffer", m.mean_input_buffer_length}};
+  };
+  const auto serial = sim::replicate_observed(
+      6, 99, 5, model, sim::ReplicateOptions{1}, /*lineage_stride=*/2,
+      /*timeline_interval=*/250.0);
+  const auto parallel = sim::replicate_observed(
+      6, 99, 5, model, sim::ReplicateOptions{4}, /*lineage_stride=*/2,
+      /*timeline_interval=*/250.0);
+
+  for (const auto& metric : serial.result.metrics()) {
+    EXPECT_EQ(serial.result.summary(metric).mean(),
+              parallel.result.summary(metric).mean())
+        << metric;
+  }
+  EXPECT_EQ(serial.lineage.offered, parallel.lineage.offered);
+  EXPECT_EQ(serial.lineage.admitted, parallel.lineage.admitted);
+  EXPECT_EQ(serial.lineage.completed, parallel.lineage.completed);
+  EXPECT_EQ(serial.lineage.lost, parallel.lineage.lost);
+  EXPECT_TRUE(serial.lineage.conserved());
+  // Index-order merge makes even the float summaries bit-identical.
+  EXPECT_EQ(serial.lineage.end_to_end.mean(),
+            parallel.lineage.end_to_end.mean());
+  for (std::size_t i = 0; i < serial.lineage.stage.size(); ++i) {
+    EXPECT_EQ(serial.lineage.stage[i].mean(),
+              parallel.lineage.stage[i].mean())
+        << "stage " << i;
+  }
+  EXPECT_EQ(serial.timeline.series_names(), parallel.timeline.series_names());
+  EXPECT_EQ(serial.timeline.total_points(), parallel.timeline.total_points());
+}
+
+}  // namespace
+}  // namespace prism

@@ -1,0 +1,192 @@
+// Sampled record lineage tracing (obs/lineage.hpp, DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/lineage.hpp"
+
+namespace prism::obs {
+namespace {
+
+TEST(Lineage, KeyPackingSeparatesFields) {
+  // Distinct (node, process, seq) triples must not collide for the small
+  // values the models use.
+  EXPECT_NE(lineage_key(0, 0, 1), lineage_key(0, 1, 0));
+  EXPECT_NE(lineage_key(1, 0, 0), lineage_key(0, 1, 0));
+  EXPECT_NE(lineage_key(2, 7, 41), lineage_key(2, 7, 42));
+  EXPECT_EQ(lineage_key(3, 9, 5), lineage_key(3, 9, 5));
+}
+
+TEST(Lineage, StrideSamplesEveryNth) {
+  LineageTracer tr(/*stride=*/4);
+  int admitted = 0;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    admitted += tr.offer(lineage_key(0, 0, i), double(i)) ? 1 : 0;
+  EXPECT_EQ(admitted, 25);
+  EXPECT_EQ(tr.offered(), 100u);
+  EXPECT_EQ(tr.admitted(), 25u);
+  const LineageReport rep = tr.report();
+  EXPECT_EQ(rep.offered, 100u);
+  EXPECT_EQ(rep.admitted, 25u);
+  EXPECT_EQ(rep.in_flight, 25u);
+  EXPECT_TRUE(rep.conserved());
+}
+
+TEST(Lineage, StageDeltasTelescopeToEndToEnd) {
+  LineageTracer tr;
+  const LineageKey k = lineage_key(1, 2, 3);
+  ASSERT_TRUE(tr.offer(k, 10.0));
+  tr.stamp(k, PipelineStage::kLisEnqueue, 12.0);
+  tr.stamp(k, PipelineStage::kLisForward, 17.0);
+  tr.stamp(k, PipelineStage::kIsmInput, 18.5);
+  tr.stamp(k, PipelineStage::kIsmProcessed, 25.0);
+  tr.complete(k, 30.0);
+  const LineageReport rep = tr.report();
+  ASSERT_EQ(rep.completed, 1u);
+  EXPECT_DOUBLE_EQ(rep.stage[0].mean(), 2.0);   // capture -> enqueue
+  EXPECT_DOUBLE_EQ(rep.stage[1].mean(), 5.0);   // enqueue -> forward
+  EXPECT_DOUBLE_EQ(rep.stage[2].mean(), 1.5);   // forward -> ism input
+  EXPECT_DOUBLE_EQ(rep.stage[3].mean(), 6.5);   // input -> processed
+  EXPECT_DOUBLE_EQ(rep.stage[4].mean(), 5.0);   // processed -> dispatch
+  EXPECT_DOUBLE_EQ(rep.end_to_end.mean(), 20.0);
+  double sum = 0;
+  for (const auto& s : rep.stage) sum += s.mean();
+  EXPECT_DOUBLE_EQ(sum, rep.end_to_end.mean());
+}
+
+TEST(Lineage, SkippedStagesAreZeroWidthNotGaps) {
+  // A record that jumps from capture straight to completion inherits the
+  // previous stamp for every unstamped stage, so the telescoping identity
+  // holds with zero-width intermediate transitions.
+  LineageTracer tr;
+  const LineageKey k = lineage_key(0, 0, 0);
+  ASSERT_TRUE(tr.offer(k, 100.0));
+  tr.stamp(k, PipelineStage::kIsmInput, 106.0);  // skips enqueue/forward
+  tr.complete(k, 109.0);
+  const LineageReport rep = tr.report();
+  ASSERT_EQ(rep.completed, 1u);
+  EXPECT_DOUBLE_EQ(rep.stage[0].mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.stage[1].mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.stage[2].mean(), 6.0);  // forward(=capture) -> input
+  EXPECT_DOUBLE_EQ(rep.stage[3].mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.stage[4].mean(), 3.0);  // processed(=input) -> dispatch
+  EXPECT_DOUBLE_EQ(rep.end_to_end.mean(), 9.0);
+}
+
+TEST(Lineage, LossAttributionBySiteWithAge) {
+  LineageTracer tr;
+  for (std::uint64_t i = 0; i < 6; ++i)
+    ASSERT_TRUE(tr.offer(lineage_key(0, 0, i), 0.0));
+  tr.lose(lineage_key(0, 0, 0), LossSite::kThrottle, 1.0);
+  tr.lose(lineage_key(0, 0, 1), LossSite::kThrottle, 3.0);
+  tr.lose(lineage_key(0, 0, 2), LossSite::kLisPipe, 10.0);
+  tr.lose(lineage_key(0, 0, 3), LossSite::kTpBackpressure, 4.0);
+  tr.complete(lineage_key(0, 0, 4), 2.0);
+  // key 5 stays in flight.
+  const LineageReport rep = tr.report();
+  EXPECT_EQ(rep.lost, 4u);
+  EXPECT_EQ(rep.completed, 1u);
+  EXPECT_EQ(rep.in_flight, 1u);
+  EXPECT_TRUE(rep.conserved());
+  EXPECT_DOUBLE_EQ(rep.attributed_loss_fraction(), 1.0);
+  EXPECT_EQ(rep.lost_at[std::size_t(LossSite::kThrottle)], 2u);
+  EXPECT_EQ(rep.lost_at[std::size_t(LossSite::kLisPipe)], 1u);
+  EXPECT_EQ(rep.lost_at[std::size_t(LossSite::kTpBackpressure)], 1u);
+  EXPECT_EQ(rep.lost_at[std::size_t(LossSite::kLisBuffer)], 0u);
+  EXPECT_DOUBLE_EQ(rep.loss_age[std::size_t(LossSite::kThrottle)].mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rep.loss_age[std::size_t(LossSite::kLisPipe)].mean(), 10.0);
+}
+
+TEST(Lineage, UntrackedKeysAreNoOps) {
+  LineageTracer tr(/*stride=*/2);
+  ASSERT_TRUE(tr.offer(lineage_key(0, 0, 0), 0.0));   // admitted
+  ASSERT_FALSE(tr.offer(lineage_key(0, 0, 1), 0.0));  // stride-suppressed
+  // Downstream stamps/terminals for the suppressed record must not count.
+  tr.stamp(lineage_key(0, 0, 1), PipelineStage::kIsmInput, 5.0);
+  tr.complete(lineage_key(0, 0, 1), 6.0);
+  tr.lose(lineage_key(0, 0, 9), LossSite::kIsmQueue, 1.0);  // never offered
+  const LineageReport rep = tr.report();
+  EXPECT_EQ(rep.admitted, 1u);
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_EQ(rep.lost, 0u);
+  EXPECT_EQ(rep.in_flight, 1u);
+  EXPECT_TRUE(rep.conserved());
+}
+
+TEST(Lineage, RemapCarriesLineageToNewKey) {
+  // The throttle renumbers forwarded records' sequence numbers; remap moves
+  // the accumulated stamps so downstream stages keep stamping blindly.
+  LineageTracer tr;
+  const LineageKey a = lineage_key(0, 1, 10);
+  const LineageKey b = lineage_key(0, 1, 2);  // renumbered
+  ASSERT_TRUE(tr.offer(a, 0.0));
+  tr.stamp(a, PipelineStage::kLisEnqueue, 1.0);
+  tr.remap(a, b);
+  EXPECT_FALSE(tr.tracked(a));
+  EXPECT_TRUE(tr.tracked(b));
+  tr.stamp(b, PipelineStage::kIsmInput, 4.0);
+  tr.complete(b, 5.0);
+  const LineageReport rep = tr.report();
+  ASSERT_EQ(rep.completed, 1u);
+  EXPECT_DOUBLE_EQ(rep.stage[0].mean(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.end_to_end.mean(), 5.0);
+  // Remap of an untracked key, or onto itself, is a no-op.
+  tr.remap(lineage_key(9, 9, 9), lineage_key(8, 8, 8));
+  tr.remap(b, b);
+  EXPECT_TRUE(rep.conserved());
+}
+
+TEST(Lineage, ReofferRestartsLineage) {
+  LineageTracer tr;
+  const LineageKey k = lineage_key(0, 0, 7);
+  ASSERT_TRUE(tr.offer(k, 0.0));
+  tr.stamp(k, PipelineStage::kLisEnqueue, 50.0);
+  ASSERT_TRUE(tr.offer(k, 100.0));  // key reused: lineage restarts
+  tr.complete(k, 103.0);
+  const LineageReport rep = tr.report();
+  ASSERT_EQ(rep.completed, 1u);
+  EXPECT_DOUBLE_EQ(rep.end_to_end.mean(), 3.0);  // from the re-offer, not 0.0
+  EXPECT_EQ(rep.offered, 2u);
+  EXPECT_EQ(rep.admitted, 2u);
+}
+
+TEST(Lineage, MergeSumsCountsAndPoolsSummaries) {
+  LineageTracer a, b;
+  ASSERT_TRUE(a.offer(lineage_key(0, 0, 0), 0.0));
+  a.complete(lineage_key(0, 0, 0), 4.0);
+  ASSERT_TRUE(b.offer(lineage_key(0, 0, 0), 0.0));
+  b.complete(lineage_key(0, 0, 0), 8.0);
+  ASSERT_TRUE(b.offer(lineage_key(0, 0, 1), 0.0));
+  b.lose(lineage_key(0, 0, 1), LossSite::kLisBuffer, 2.0);
+  LineageReport merged = a.report();
+  merged.merge(b.report());
+  EXPECT_EQ(merged.offered, 3u);
+  EXPECT_EQ(merged.admitted, 3u);
+  EXPECT_EQ(merged.completed, 2u);
+  EXPECT_EQ(merged.lost, 1u);
+  EXPECT_TRUE(merged.conserved());
+  EXPECT_EQ(merged.end_to_end.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.end_to_end.mean(), 6.0);
+  EXPECT_EQ(merged.lost_at[std::size_t(LossSite::kLisBuffer)], 1u);
+}
+
+TEST(Lineage, ReportRenderings) {
+  LineageTracer tr;
+  ASSERT_TRUE(tr.offer(lineage_key(0, 0, 0), 0.0));
+  tr.complete(lineage_key(0, 0, 0), 1.0);
+  ASSERT_TRUE(tr.offer(lineage_key(0, 0, 1), 0.0));
+  tr.lose(lineage_key(0, 0, 1), LossSite::kThrottle, 0.5);
+  const LineageReport rep = tr.report();
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("end_to_end"), std::string::npos);
+  EXPECT_NE(text.find("throttle"), std::string::npos);
+  const std::string csv = rep.csv();
+  EXPECT_NE(csv.find("transition,count,mean,min,max"), std::string::npos);
+  EXPECT_NE(csv.find("capture->lis_enqueue"), std::string::npos);
+  // Attribution with zero losses is vacuously complete.
+  EXPECT_DOUBLE_EQ(LineageReport{}.attributed_loss_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace prism::obs

@@ -1,0 +1,121 @@
+// Model-time time-series probes (obs/timeline.hpp, DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_check.hpp"
+#include "obs/timeline.hpp"
+
+namespace prism::obs {
+namespace {
+
+TEST(Timeline, SampleAppendsUnconditionally) {
+  Timeline tl;
+  tl.sample("q", 0.0, 1.0);
+  tl.sample("q", 1.0, 1.0);  // duplicate value still recorded
+  tl.sample("q", 2.0, 3.0);
+  const auto pts = tl.series("q");
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[1].t, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].value, 1.0);
+  EXPECT_EQ(tl.total_points(), 3u);
+  EXPECT_FALSE(tl.empty());
+}
+
+TEST(Timeline, SampleChangedDedupesRuns) {
+  Timeline tl;
+  tl.sample_changed("level", 0.0, 0.0);
+  tl.sample_changed("level", 1.0, 0.0);  // unchanged: skipped
+  tl.sample_changed("level", 2.0, 1.0);
+  tl.sample_changed("level", 3.0, 1.0);  // unchanged: skipped
+  tl.sample_changed("level", 4.0, 0.0);
+  const auto pts = tl.series("level");
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].t, 2.0);
+  EXPECT_DOUBLE_EQ(pts[2].t, 4.0);
+}
+
+TEST(Timeline, SeriesNamesSortedAndUnknownEmpty) {
+  Timeline tl;
+  tl.sample("zeta", 0, 1);
+  tl.sample("alpha", 0, 1);
+  tl.sample("mid", 0, 1);
+  const std::vector<std::string> expect{"alpha", "mid", "zeta"};
+  EXPECT_EQ(tl.series_names(), expect);
+  EXPECT_TRUE(tl.series("nope").empty());
+}
+
+TEST(Timeline, CsvIsDeterministic) {
+  Timeline tl;
+  tl.sample("b", 1.5, 2.0);
+  tl.sample("a", 0.5, 1.0);
+  tl.sample("a", 1.0, 3.0);
+  const std::string csv = tl.csv();
+  EXPECT_EQ(csv.find("series,time,value"), 0u);
+  // Series in name order, points in insertion order.
+  const auto a0 = csv.find("a,0.5,1");
+  const auto a1 = csv.find("a,1,3");
+  const auto b0 = csv.find("b,1.5,2");
+  ASSERT_NE(a0, std::string::npos);
+  ASSERT_NE(a1, std::string::npos);
+  ASSERT_NE(b0, std::string::npos);
+  EXPECT_LT(a0, a1);
+  EXPECT_LT(a1, b0);
+  EXPECT_EQ(csv, tl.csv());  // stable across calls
+}
+
+TEST(Timeline, ChromeCounterJsonValidates) {
+  Timeline tl;
+  tl.sample("node0/cpu.ready", 0.0, 2.0);
+  tl.sample("node0/cpu.ready", 100.0, 5.0);
+  tl.sample("weird \"name\"\\path", 50.0, 1.0);  // must be escaped
+  const std::string json = tl.chrome_counter_json();
+  EXPECT_TRUE(jsonlite::valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // ms -> µs scaling: t=100 ms becomes ts=100000.
+  EXPECT_NE(json.find("100000"), std::string::npos);
+  // An empty timeline still renders a valid (empty) trace document.
+  EXPECT_TRUE(jsonlite::valid(Timeline{}.chrome_counter_json()));
+}
+
+TEST(Timeline, MergePrefixedKeepsReplicationsSideBySide) {
+  Timeline a, b;
+  a.sample("q", 0, 1);
+  b.sample("q", 0, 2);
+  b.sample("r", 1, 3);
+  Timeline merged;
+  merged.merge_prefixed(a, "rep0/");
+  merged.merge_prefixed(b, "rep1/");
+  const std::vector<std::string> expect{"rep0/q", "rep1/q", "rep1/r"};
+  EXPECT_EQ(merged.series_names(), expect);
+  EXPECT_EQ(merged.total_points(), 3u);
+  ASSERT_EQ(merged.series("rep1/q").size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.series("rep1/q")[0].value, 2.0);
+}
+
+TEST(Timeline, MoveTransfersSeries) {
+  Timeline src;
+  src.sample("q", 0, 1);
+  src.sample("q", 1, 2);
+  Timeline dst(std::move(src));
+  EXPECT_EQ(dst.total_points(), 2u);
+  Timeline assigned;
+  assigned.sample("old", 0, 9);
+  assigned = std::move(dst);
+  EXPECT_EQ(assigned.total_points(), 2u);
+  EXPECT_TRUE(assigned.series("old").empty());
+}
+
+TEST(Timeline, ClearEmpties) {
+  Timeline tl;
+  tl.sample("q", 0, 1);
+  tl.clear();
+  EXPECT_TRUE(tl.empty());
+  EXPECT_TRUE(tl.series_names().empty());
+}
+
+}  // namespace
+}  // namespace prism::obs

@@ -84,5 +84,72 @@ TEST(P2Quantile, ConstantStream) {
   EXPECT_DOUBLE_EQ(q.value(), 42.0);
 }
 
+TEST(P2Quantile, ExactBelowFiveSamplesForAnyQuantile) {
+  // Before the five P² markers exist the estimator must answer from the
+  // sorted sample directly, at every requested quantile.
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    P2Quantile q(p);
+    const std::vector<double> xs{7, 1, 5, 3};  // unsorted on purpose
+    std::vector<double> sorted;
+    for (double x : xs) {
+      q.add(x);
+      sorted.push_back(x);
+      std::sort(sorted.begin(), sorted.end());
+      const auto idx = static_cast<std::size_t>(p * sorted.size());
+      EXPECT_DOUBLE_EQ(q.value(), sorted[std::min(idx, sorted.size() - 1)])
+          << "p=" << p << " n=" << sorted.size();
+    }
+  }
+}
+
+TEST(P2Quantile, MassiveTiesWithFewDistinctValues) {
+  // Ties collapse marker heights; the estimate must stay on an observed
+  // plateau, not between them.
+  P2Quantile q(0.5);
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) q.add(rng.next_double() < 0.5 ? 1.0 : 2.0);
+  EXPECT_GE(q.value(), 1.0);
+  EXPECT_LE(q.value(), 2.0);
+  P2Quantile lo(0.05), hi(0.95);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = i % 100 == 0 ? 5.0 : 1.0;  // 99% ties at 1.0
+    lo.add(x);
+    hi.add(x);
+  }
+  EXPECT_DOUBLE_EQ(lo.value(), 1.0);
+  EXPECT_GE(hi.value(), 1.0);
+  EXPECT_LE(hi.value(), 5.0);
+}
+
+TEST(P2Quantile, EstimateStaysWithinObservedRange) {
+  // At every stream length the estimate is bounded by the running min/max.
+  P2Quantile q(0.9);
+  Rng rng(21);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = (rng.next_double() - 0.5) * 1000.0;
+    q.add(x);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    ASSERT_GE(q.value(), lo) << "n=" << i + 1;
+    ASSERT_LE(q.value(), hi) << "n=" << i + 1;
+  }
+}
+
+TEST(P2Quantile, EstimatesMonotoneInQuantileLevel) {
+  // On the same stream, a higher requested quantile must not estimate lower.
+  std::vector<double> levels{0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
+  std::vector<P2Quantile> qs;
+  for (double p : levels) qs.emplace_back(p);
+  Rng rng(34);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -std::log(rng.next_double_open());
+    for (auto& q : qs) q.add(x);
+  }
+  for (std::size_t i = 1; i < qs.size(); ++i)
+    EXPECT_LE(qs[i - 1].value(), qs[i].value() + 1e-9)
+        << levels[i - 1] << " vs " << levels[i];
+}
+
 }  // namespace
 }  // namespace prism::stats
