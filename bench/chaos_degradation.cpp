@@ -1,0 +1,174 @@
+// Seeded chaos benchmark for the live IS fault plane (DESIGN.md §10).
+//
+// Drives an integrated environment under a fault plan (probabilistic send
+// failures plus a deterministic node crash), runs the same seed twice to
+// verify that the loss ledger is bit-identical, runs a null-injector
+// baseline to measure the fault plane's hot-path overhead, and writes
+// BENCH_chaos.json.  Exits nonzero when conservation or determinism fails,
+// so the bench harness doubles as a soak gate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.hpp"
+#include "core/environment.hpp"
+#include "core/tool.hpp"
+#include "fault/fault.hpp"
+#include "obs/pipeline.hpp"
+
+using namespace prism;
+
+namespace {
+
+constexpr std::uint64_t kRecords = 40'000;
+constexpr std::uint32_t kNodes = 8;
+constexpr std::uint64_t kSeed = 0xC4A05;
+
+struct RunResult {
+  obs::LineageReport lineage;
+  core::LisStats lis;
+  core::IsmStats ism;
+  core::DegradationReport degradation;
+  double wall_ms = 0;
+};
+
+RunResult run_once(fault::FaultInjector* inj) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.flush_policy = core::FlushPolicyKind::kFof;
+  cfg.local_buffer_capacity = 64;
+  cfg.link_capacity = 8192;
+  cfg.ism.input = core::InputConfig::kSiso;
+  cfg.ism.causal_ordering = true;
+  core::IntegratedEnvironment env(cfg);
+  env.attach_tool(std::make_shared<core::StatsTool>());
+  obs::PipelineObserver obs;
+  env.set_observer(&obs);
+  fault::RetryPolicy rp;
+  rp.base_backoff_ns = 200;
+  if (inj) env.set_fault(inj, rp);
+  env.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  trace::EventRecord r;
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    r.node = static_cast<std::uint32_t>(i % kNodes);
+    r.seq = i / kNodes;
+    r.timestamp = i;
+    env.record(r);
+  }
+  env.stop();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.lineage = obs.lineage.report();
+  out.lis = env.total_lis_stats();
+  out.ism = env.ism().stats();
+  out.degradation = env.degradation();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+bool same_ledger(const RunResult& a, const RunResult& b) {
+  return a.lineage.admitted == b.lineage.admitted &&
+         a.lineage.completed == b.lineage.completed &&
+         a.lineage.lost == b.lineage.lost &&
+         a.lineage.lost_at == b.lineage.lost_at &&
+         a.lis.records_forwarded == b.lis.records_forwarded &&
+         a.lis.lost_send == b.lis.lost_send &&
+         a.lis.lost_dead == b.lis.lost_dead &&
+         a.ism.records_dispatched == b.ism.records_dispatched;
+}
+
+fault::FaultPlan chaos_plan() {
+  fault::FaultPlan plan;
+  // Crash first: the at_op trigger is one-shot and the first matching spec
+  // wins, so a Bernoulli landing on the same consult must not mask it.
+  // Each node ships ~78 batches (kRecords / kNodes / buffer capacity), so
+  // op 50 lands about two thirds of the way through node 7's run.
+  plan.crash(fault::FaultSite::kTpSend, 50, /*node=*/kNodes - 1);
+  plan.send_failure(fault::FaultSite::kTpSend, 0.02);
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  fault::FaultInjector inj_a(chaos_plan(), kSeed);
+  const RunResult chaos_a = run_once(&inj_a);
+  fault::FaultInjector inj_b(chaos_plan(), kSeed);
+  const RunResult chaos_b = run_once(&inj_b);
+  const RunResult baseline = run_once(nullptr);
+
+  std::printf("chaos_degradation: %llu records, %u nodes, seed %#llx\n",
+              static_cast<unsigned long long>(kRecords), kNodes,
+              static_cast<unsigned long long>(kSeed));
+  std::printf("  chaos:    %.1f ms  |  baseline: %.1f ms\n", chaos_a.wall_ms,
+              baseline.wall_ms);
+  std::printf("%s", chaos_a.degradation.to_string().c_str());
+  std::printf("\n%s", chaos_a.lineage.to_string().c_str());
+
+  if (!chaos_a.lineage.conserved() || chaos_a.lineage.in_flight != 0) {
+    std::printf("FAIL: chaos lineage not conserved\n");
+    ok = false;
+  }
+  if (!chaos_a.lis.conserved() || !chaos_a.ism.conserved()) {
+    std::printf("FAIL: chaos LIS/ISM ledger not conserved\n");
+    ok = false;
+  }
+  if (!same_ledger(chaos_a, chaos_b)) {
+    std::printf("FAIL: same-seed chaos runs diverged\n");
+    ok = false;
+  }
+  if (!chaos_a.degradation.degraded() || chaos_a.degradation.lises_dead == 0) {
+    std::printf("FAIL: fault plan injected nothing\n");
+    ok = false;
+  }
+  if (baseline.degradation.degraded() || baseline.lineage.lost != 0) {
+    std::printf("FAIL: fault-free baseline degraded\n");
+    ok = false;
+  }
+
+  auto loss_sites = bench::JsonValue::object();
+  for (std::size_t i = 0; i < obs::kLossSiteCount; ++i) {
+    if (chaos_a.lineage.lost_at[i] == 0) continue;
+    loss_sites.add(std::string(obs::to_string(static_cast<obs::LossSite>(i))),
+                   bench::JsonValue::integer(static_cast<std::int64_t>(
+                       chaos_a.lineage.lost_at[i])));
+  }
+  auto root = bench::JsonValue::object();
+  root.add("bench", bench::JsonValue::string("chaos_degradation"))
+      .add("records", bench::JsonValue::integer(kRecords))
+      .add("nodes", bench::JsonValue::integer(kNodes))
+      .add("seed", bench::JsonValue::integer(static_cast<std::int64_t>(kSeed)))
+      .add("chaos_wall_ms", bench::JsonValue::number(chaos_a.wall_ms))
+      .add("baseline_wall_ms", bench::JsonValue::number(baseline.wall_ms))
+      .add("baseline_events_per_sec",
+           bench::JsonValue::number(baseline.wall_ms > 0
+                                        ? 1e3 * kRecords / baseline.wall_ms
+                                        : 0))
+      .add("admitted", bench::JsonValue::integer(
+                           static_cast<std::int64_t>(chaos_a.lineage.admitted)))
+      .add("completed",
+           bench::JsonValue::integer(
+               static_cast<std::int64_t>(chaos_a.lineage.completed)))
+      .add("lost", bench::JsonValue::integer(
+                       static_cast<std::int64_t>(chaos_a.lineage.lost)))
+      .add("lost_at", std::move(loss_sites))
+      .add("lises_dead", bench::JsonValue::integer(static_cast<std::int64_t>(
+                             chaos_a.degradation.lises_dead)))
+      .add("holdback_expired",
+           bench::JsonValue::integer(static_cast<std::int64_t>(
+               chaos_a.degradation.holdback_expired)))
+      .add("deterministic", bench::JsonValue::boolean(same_ledger(chaos_a,
+                                                                  chaos_b)))
+      .add("conserved", bench::JsonValue::boolean(chaos_a.lineage.conserved()));
+  bench::write_json_file("BENCH_chaos.json", root);
+  std::printf("\nwrote BENCH_chaos.json\n");
+
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

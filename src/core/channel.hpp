@@ -75,6 +75,34 @@ class Channel {
     return true;
   }
 
+  /// Push with a deadline: blocks while full for up to `timeout`, then gives
+  /// up.  Returns false on timeout or when the channel is closed.  The
+  /// reliable control path uses this for lifecycle-critical messages —
+  /// bounded blocking instead of a silent try_push drop.
+  template <typename Rep, typename Period>
+  bool push_for(T value, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait_for(lk, timeout,
+                         [&] { return items_.size() < capacity_ || closed_; });
+      stats_.producer_block_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    if (closed_ || items_.size() >= capacity_) {
+      ++stats_.rejected;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    ++stats_.enqueued;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocking pop.  Returns nullopt when the channel is closed and drained.
   std::optional<T> pop() {
     std::unique_lock lk(mu_);

@@ -1,5 +1,6 @@
 #include "core/environment.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace prism::core {
@@ -86,6 +87,11 @@ void IntegratedEnvironment::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
   for (auto& l : lises_) l->stop();
+  // Graceful degradation: tell the ISM which sources died before it drains,
+  // so the causal reorderer stops waiting for their lost sends and releases
+  // the records their death stranded — partial results, fully delivered.
+  for (std::uint32_t n = 0; n < lises_.size(); ++n)
+    if (lises_[n]->dead()) ism_->mark_source_dead(n);
   ism_->stop();
 }
 
@@ -109,6 +115,8 @@ LisStats IntegratedEnvironment::total_lis_stats() const {
     total.records_forwarded += s.records_forwarded;
     total.flush_time_ns += s.flush_time_ns;
     total.buffered += s.buffered;
+    total.lost_send += s.lost_send;
+    total.lost_dead += s.lost_dead;
   }
   return total;
 }
@@ -116,6 +124,39 @@ LisStats IntegratedEnvironment::total_lis_stats() const {
 void IntegratedEnvironment::set_observer(obs::PipelineObserver* o) {
   for (auto& l : lises_) l->set_observer(o);
   ism_->set_observer(o);
+}
+
+void IntegratedEnvironment::set_fault(fault::FaultInjector* f,
+                                      fault::RetryPolicy retry) {
+  for (auto& l : lises_) l->set_fault(f, retry);
+  ism_->set_fault(f);
+  tp_->set_fault(f, retry);
+}
+
+DegradationReport IntegratedEnvironment::degradation() const {
+  DegradationReport d;
+  for (const auto& l : lises_) {
+    if (l->dead()) ++d.lises_dead;
+    const LisStats s = l->stats();
+    d.records_lost_send += s.lost_send;
+    d.records_lost_dead += s.lost_dead;
+  }
+  const IsmStats is = ism_->stats();
+  d.tools_failed = is.tools_failed;
+  d.holdback_expired = is.expired_released;
+  d.control_dropped = tp_->control_dropped_total();
+  return d;
+}
+
+std::string DegradationReport::to_string() const {
+  std::ostringstream os;
+  os << "degradation: lises_dead=" << lises_dead
+     << " tools_failed=" << tools_failed
+     << " lost_send=" << records_lost_send
+     << " lost_dead=" << records_lost_dead
+     << " control_dropped=" << control_dropped
+     << " holdback_expired=" << holdback_expired;
+  return os.str();
 }
 
 IsClassification IntegratedEnvironment::classification() const {

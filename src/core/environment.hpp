@@ -58,6 +58,26 @@ struct EnvironmentConfig {
   IsmConfig ism;
 };
 
+/// How far an environment degraded during a run — the partial-result report
+/// the lifecycle hands back after a chaotic run.  All counters are zero on a
+/// fault-free run.
+struct DegradationReport {
+  std::uint32_t lises_dead = 0;        ///< LIS components that died
+  std::uint64_t tools_failed = 0;      ///< tools isolated after crashing
+  std::uint64_t records_lost_send = 0; ///< destroyed by TP send failures
+  std::uint64_t records_lost_dead = 0; ///< destroyed with dead components
+  std::uint64_t control_dropped = 0;   ///< control messages lost, all kinds
+  /// Held-back records force-released because their source died.
+  std::uint64_t holdback_expired = 0;
+
+  /// True when anything at all degraded.
+  bool degraded() const {
+    return lises_dead || tools_failed || records_lost_send ||
+           records_lost_dead || control_dropped || holdback_expired;
+  }
+  std::string to_string() const;
+};
+
 class IntegratedEnvironment {
  public:
   explicit IntegratedEnvironment(EnvironmentConfig config);
@@ -98,6 +118,17 @@ class IntegratedEnvironment {
   /// (may be null to detach).  Call before start(); the LISes are the
   /// pipeline's capture points.
   void set_observer(obs::PipelineObserver* o);
+
+  /// Attaches one fault plane to every LIS, the ISM and the TP control path
+  /// (may be null to detach; null is the default and leaves behavior
+  /// bit-identical).  Call before start().
+  void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {});
+
+  /// Partial-result accounting after (or during) a chaotic run: which
+  /// components died and where records went.  stop() drains what remains
+  /// reachable first, so completed work is delivered even when parts of the
+  /// IS died mid-run.
+  DegradationReport degradation() const;
 
   /// How this environment classifies along the §2.4 dimensions.
   IsClassification classification() const;

@@ -1,5 +1,6 @@
 #include "core/ism.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <unordered_map>
@@ -58,9 +59,20 @@ void Ism::start() {
   std::lock_guard lk(mu_);
   if (started_) return;
   started_ = true;
+  tool_dead_.assign(tools_.size(), 0);
   running_.store(true);
   processor_ = std::thread([this] { processor_main(); });
   dispatcher_ = std::thread([this] { dispatch_main(); });
+}
+
+void Ism::mark_source_dead(std::uint32_t node) {
+  std::lock_guard lk(mu_);
+  if (std::find(dead_sources_.begin(), dead_sources_.end(), node) !=
+      dead_sources_.end())
+    return;
+  dead_sources_.push_back(node);
+  ++stats_.sources_dead;
+  PRISM_OBS_COUNT("core.ism.sources_dead");
 }
 
 void Ism::processor_main() {
@@ -128,10 +140,24 @@ void Ism::processor_main() {
       }
     }
   }
-  // Input exhausted: anything still held back is causally unresolvable
-  // (lost sends); it stays held, and stats expose the residue via
+  // Input exhausted.  First, stop waiting on dead sources: their sends will
+  // never arrive, so receives held back on them are force-released (in
+  // stream order) rather than stranded.  Whatever remains after expiry is
+  // genuinely unresolvable; it stays held, and stats expose the residue via
   // held_back / still_held.  Lineage attributes it as ISM queue loss.
   if (reorderer_) {
+    std::vector<std::uint32_t> dead;
+    {
+      std::lock_guard lk(mu_);
+      dead = dead_sources_;
+    }
+    std::size_t released = 0;
+    for (auto n : dead) released += reorderer_->expire_node(n);
+    if (released) {
+      std::lock_guard lk(mu_);
+      stats_.expired_released += released;
+      PRISM_OBS_COUNT_N("core.ism.expired_released", released);
+    }
     if (observer_) {
       const auto t = static_cast<double>(now_ns());
       for (const auto& r : reorderer_->held_records())
@@ -145,6 +171,15 @@ void Ism::processor_main() {
 
 void Ism::process_batch(DataBatch&& batch) {
   PRISM_OBS_SPAN("ism.process_batch", "core");
+  if (fault_) {
+    // Receive-side faults: only delay kinds are meaningful here (the batch
+    // already crossed the link; dropping it would un-conserve the ledger).
+    const auto f =
+        fault_->consult(fault::FaultSite::kTpReceive, batch.source_node);
+    if (f.kind == fault::FaultKind::kStall ||
+        f.kind == fault::FaultKind::kSlowConsumer)
+      fault::sleep_ns(f.stall_ns);
+  }
   PRISM_OBS_COUNT("core.ism.batches_received");
   PRISM_OBS_COUNT_N("core.ism.records_received", batch.records.size());
   {
@@ -207,9 +242,41 @@ void Ism::emit(const trace::EventRecord& r, std::uint64_t t_arrival_ns) {
 
 void Ism::dispatch_main() {
   while (auto timed = output_->pop()) {
+    if (fault_) {
+      const auto f = fault_->consult(fault::FaultSite::kIsmDispatch, 0);
+      if (f.kind == fault::FaultKind::kStall ||
+          f.kind == fault::FaultKind::kSlowConsumer)
+        fault::sleep_ns(f.stall_ns);
+    }
     const std::uint64_t t_now = now_ns();
     PRISM_OBS_GAUGE_SET("core.ism.output_depth", output_->size());
-    for (auto& tool : tools_) tool->consume(timed->record);
+    for (std::size_t i = 0; i < tools_.size(); ++i) {
+      if (tool_dead_[i]) continue;
+      if (fault_) {
+        const auto f = fault_->consult(fault::FaultSite::kToolCallback,
+                                       static_cast<std::uint32_t>(i));
+        if (f.kind == fault::FaultKind::kCrash) {
+          tool_dead_[i] = 1;
+          std::lock_guard lk(mu_);
+          ++stats_.tools_failed;
+          PRISM_OBS_COUNT("core.ism.tools_failed");
+          continue;
+        }
+        if (f.kind == fault::FaultKind::kStall ||
+            f.kind == fault::FaultKind::kSlowConsumer)
+          fault::sleep_ns(f.stall_ns);
+      }
+      try {
+        tools_[i]->consume(timed->record);
+      } catch (...) {
+        // A crashing tool must not take the IS down with it: isolate it and
+        // keep dispatching to the survivors.
+        tool_dead_[i] = 1;
+        std::lock_guard lk(mu_);
+        ++stats_.tools_failed;
+        PRISM_OBS_COUNT("core.ism.tools_failed");
+      }
+    }
     if (observer_) {
       observer_->lineage.complete(obs_key(timed->record),
                                   static_cast<double>(t_now));
@@ -245,7 +312,16 @@ void Ism::stop() {
     std::lock_guard lk(mu_);
     if (storage_) storage_->close();
   }
-  for (auto& tool : tools_) tool->finish();
+  for (std::size_t i = 0; i < tools_.size(); ++i) {
+    if (i < tool_dead_.size() && tool_dead_[i]) continue;  // already isolated
+    try {
+      tools_[i]->finish();
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      ++stats_.tools_failed;
+      PRISM_OBS_COUNT("core.ism.tools_failed");
+    }
+  }
   tp_.close_control_links();
 }
 

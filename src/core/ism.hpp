@@ -69,6 +69,15 @@ struct IsmStats {
   double processing_latency_p95_ns = 0;
   /// Output-queue residence (ns): output buffer -> tool dispatch.
   stats::Summary dispatch_latency_ns;
+  /// Tools isolated after throwing from consume()/finish() or being crashed
+  /// by the fault plane (kToolCallback).  A failed tool is skipped for the
+  /// rest of the run; the pipeline keeps serving the survivors.
+  std::uint64_t tools_failed = 0;
+  /// Sources declared dead via mark_source_dead().
+  std::uint64_t sources_dead = 0;
+  /// Held-back records force-released because their source died (the
+  /// matching sends will never arrive; see CausalReorderer::expire_node).
+  std::uint64_t expired_released = 0;
 
   std::uint64_t records_in() const { return records_received; }
   /// Record-conservation invariant: every record the TP delivered is
@@ -108,6 +117,17 @@ class Ism {
   /// ISM -> LIS control plane (dynamic instrumentation, FAOF broadcast...).
   void broadcast_control(const ControlMessage& m) { tp_.broadcast(m); }
 
+  /// Attaches the fault plane (may be null).  Call before start().
+  /// Consulted at kTpReceive (per batch), kIsmDispatch (per record) and
+  /// kToolCallback (per tool per record; node = tool index).
+  void set_fault(fault::FaultInjector* f) { fault_ = f; }
+
+  /// Declares a source node dead: the causal reorderer stops waiting for
+  /// sends from that node, so receives held back on its messages are
+  /// force-released at drain time instead of stranding as residue.  Safe to
+  /// call any time before or during stop().
+  void mark_source_dead(std::uint32_t node);
+
  private:
   struct Timed {
     trace::EventRecord record;
@@ -133,6 +153,11 @@ class Ism {
   mutable std::mutex mu_;
   IsmStats stats_;
   obs::PipelineObserver* observer_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
+  /// Nodes declared dead (guarded by mu_); drained by processor_main.
+  std::vector<std::uint32_t> dead_sources_;
+  /// Per-tool failed flag; dispatcher-thread-only until after join.
+  std::vector<char> tool_dead_;
   stats::P2Quantile proc_latency_p95_{0.95};
   /// Arrival time of the batch whose records are being processed.
   std::uint64_t current_batch_arrival_ns_ = 0;

@@ -10,6 +10,39 @@
 
 namespace prism::core {
 
+// ---------------------------------------------------------------- Lis
+
+Lis::SendOutcome Lis::tp_send(DataLink& link, DataBatch&& batch) {
+  fault::FaultInjector* inj = fault_.load(std::memory_order_acquire);
+  if (!inj)
+    return link.push(std::move(batch)) ? SendOutcome::kDelivered
+                                       : SendOutcome::kClosed;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    const auto f = inj->consult(fault::FaultSite::kTpSend, node_);
+    if (f.kind == fault::FaultKind::kCrash) {
+      dead_.store(true, std::memory_order_relaxed);
+      return SendOutcome::kCrashed;
+    }
+    if (f.kind == fault::FaultKind::kStall ||
+        f.kind == fault::FaultKind::kSlowConsumer)
+      fault::sleep_ns(f.stall_ns);
+    if (f.kind != fault::FaultKind::kSendFail) {
+      return link.push(std::move(batch)) ? SendOutcome::kDelivered
+                                         : SendOutcome::kClosed;
+    }
+    PRISM_OBS_COUNT("core.tp.send_faults");
+    if (++attempt >= retry_.max_attempts) return SendOutcome::kExhausted;
+    PRISM_OBS_COUNT("core.tp.send_retries");
+    std::uint64_t backoff;
+    {
+      std::lock_guard lk(fault_mu_);
+      backoff = retry_.backoff_ns(attempt, backoff_rng_);
+    }
+    fault::sleep_ns(backoff);
+  }
+}
+
 // ---------------------------------------------------------------- FlushCoordinator
 
 void FlushCoordinator::attach(BufferedLis* lis) {
@@ -69,6 +102,17 @@ void BufferedLis::record(const trace::EventRecord& r) {
   {
     std::unique_lock lk(mu_);
     if (stopped_) return;
+    if (dead()) {
+      ++stats_.dropped;
+      PRISM_OBS_COUNT("core.lis.dropped");
+      if (observer_) {
+        const auto k = obs_key(r);
+        const auto t = static_cast<double>(now_ns());
+        if (obs_capture_) observer_->lineage.offer(k, t);
+        observer_->lineage.lose(k, obs::LossSite::kLisDead, t);
+      }
+      return;
+    }
     const bool accepted = buffer_.append(r);
     if (accepted) {
       ++stats_.recorded;
@@ -111,30 +155,64 @@ void BufferedLis::flush() {
 
 void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
   if (buffer_.empty()) return;
+  if (dead()) return;  // crash residue was accounted when the LIS died
   PRISM_OBS_SPAN("lis.flush", "core");
   const std::uint64_t t0 = now_ns();
   DataBatch batch;
   batch.source_node = node_;
   batch.t_sent_ns = t0;
   batch.records = buffer_.drain();
-  ++stats_.flushes;
-  stats_.records_forwarded += batch.records.size();
+  const std::size_t n = batch.records.size();
+  std::vector<obs::LineageKey> keys;
   if (observer_) {
     const auto ts = static_cast<double>(t0);
-    for (const auto& r : batch.records)
+    keys.reserve(n);
+    for (const auto& r : batch.records) {
+      keys.push_back(obs_key(r));
       observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisForward, ts);
+    }
     observer_->timeline.sample_changed(tl_buffer_, ts, 0.0);
   }
-  PRISM_OBS_COUNT("core.lis.flushes");
-  PRISM_OBS_COUNT_N("core.lis.records_forwarded", batch.records.size());
-  PRISM_OBS_COUNT("core.tp.batches_pushed");
   // Ship without holding the buffer lock: the link may block when the ISM
   // is behind, and application threads must still be able to... wait.  They
   // cannot: PICL semantics are that the *application* pays for the flush
   // ("data collection stops" / processes are context-switched).  We keep the
   // lock to preserve exactly that cost model — record() blocks for the
   // duration of the flush, which is what the FOF/FAOF analysis measures.
-  link_.push(std::move(batch));
+  const SendOutcome out = tp_send(link_, std::move(batch));
+  switch (out) {
+    case SendOutcome::kDelivered:
+      ++stats_.flushes;
+      stats_.records_forwarded += n;
+      PRISM_OBS_COUNT("core.lis.flushes");
+      PRISM_OBS_COUNT_N("core.lis.records_forwarded", n);
+      PRISM_OBS_COUNT("core.tp.batches_pushed");
+      break;
+    case SendOutcome::kClosed:
+    case SendOutcome::kExhausted: {
+      // The batch is destroyed, not forwarded: a closed link counted as a
+      // forward used to make conserved() lie at shutdown.
+      stats_.lost_send += n;
+      PRISM_OBS_COUNT_N("core.lis.records_lost_send", n);
+      if (observer_) {
+        const auto tl = static_cast<double>(now_ns());
+        const auto site = out == SendOutcome::kClosed
+                              ? obs::LossSite::kTpSendFailed
+                              : obs::LossSite::kRetryExhausted;
+        for (const auto& k : keys) observer_->lineage.lose(k, site, tl);
+      }
+      break;
+    }
+    case SendOutcome::kCrashed:
+      stats_.lost_dead += n;
+      PRISM_OBS_COUNT_N("core.lis.records_lost_dead", n);
+      if (observer_) {
+        const auto tl = static_cast<double>(now_ns());
+        for (const auto& k : keys)
+          observer_->lineage.lose(k, obs::LossSite::kLisDead, tl);
+      }
+      break;
+  }
   stats_.flush_time_ns += now_ns() - t0;
   (void)lk;
 }
@@ -162,36 +240,75 @@ void ForwardingLis::record(const trace::EventRecord& r) {
   {
     std::lock_guard lk(mu_);
     if (stopped_) return;
-    ++stats_.recorded;
-    PRISM_OBS_COUNT("core.lis.recorded");
+  }
+  const auto k = obs_key(r);
+  if (dead()) {
+    if (observer_) {
+      const auto t = static_cast<double>(now_ns());
+      if (obs_capture_) observer_->lineage.offer(k, t);
+      observer_->lineage.lose(k, obs::LossSite::kLisDead, t);
+    }
+    std::lock_guard lk(mu_);
+    ++stats_.dropped;
+    PRISM_OBS_COUNT("core.lis.dropped");
+    return;
   }
   DataBatch batch;
   batch.source_node = node_;
   batch.t_sent_ns = now_ns();
   batch.records.push_back(r);
   const auto t_sent = static_cast<double>(batch.t_sent_ns);
-  if (observer_ && obs_capture_) observer_->lineage.offer(obs_key(r), t_sent);
-  if (link_.push(std::move(batch))) {
-    if (observer_) {
-      // Bufferless forwarding: enqueue and forward are the same system call.
-      observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisEnqueue,
-                               t_sent);
-      observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisForward,
-                               t_sent);
+  if (observer_ && obs_capture_) observer_->lineage.offer(k, t_sent);
+  switch (tp_send(link_, std::move(batch))) {
+    case SendOutcome::kDelivered: {
+      if (observer_) {
+        // Bufferless forwarding: enqueue and forward are the same system call.
+        observer_->lineage.stamp(k, obs::PipelineStage::kLisEnqueue, t_sent);
+        observer_->lineage.stamp(k, obs::PipelineStage::kLisForward, t_sent);
+      }
+      std::lock_guard lk(mu_);
+      ++stats_.recorded;
+      ++stats_.flushes;
+      ++stats_.records_forwarded;
+      PRISM_OBS_COUNT("core.lis.recorded");
+      PRISM_OBS_COUNT("core.lis.records_forwarded");
+      PRISM_OBS_COUNT("core.tp.batches_pushed");
+      break;
     }
-    std::lock_guard lk(mu_);
-    ++stats_.flushes;
-    ++stats_.records_forwarded;
-    PRISM_OBS_COUNT("core.lis.records_forwarded");
-    PRISM_OBS_COUNT("core.tp.batches_pushed");
-  } else {
-    if (observer_) {
-      observer_->lineage.lose(obs_key(r), obs::LossSite::kTpBackpressure,
-                              static_cast<double>(now_ns()));
+    case SendOutcome::kClosed: {
+      // A refused record is a drop, full stop.  (This path used to bump
+      // recorded up front AND dropped here, double-counting the record and
+      // breaking conserved() whenever the link was closed.)
+      if (observer_)
+        observer_->lineage.lose(k, obs::LossSite::kTpBackpressure,
+                                static_cast<double>(now_ns()));
+      std::lock_guard lk(mu_);
+      ++stats_.dropped;
+      PRISM_OBS_COUNT("core.lis.dropped");
+      break;
     }
-    std::lock_guard lk(mu_);
-    ++stats_.dropped;
-    PRISM_OBS_COUNT("core.lis.dropped");
+    case SendOutcome::kExhausted: {
+      if (observer_)
+        observer_->lineage.lose(k, obs::LossSite::kRetryExhausted,
+                                static_cast<double>(now_ns()));
+      std::lock_guard lk(mu_);
+      ++stats_.recorded;
+      ++stats_.lost_send;
+      PRISM_OBS_COUNT("core.lis.recorded");
+      PRISM_OBS_COUNT("core.lis.records_lost_send");
+      break;
+    }
+    case SendOutcome::kCrashed: {
+      if (observer_)
+        observer_->lineage.lose(k, obs::LossSite::kLisDead,
+                                static_cast<double>(now_ns()));
+      std::lock_guard lk(mu_);
+      ++stats_.recorded;
+      ++stats_.lost_dead;
+      PRISM_OBS_COUNT("core.lis.recorded");
+      PRISM_OBS_COUNT("core.lis.records_lost_dead");
+      break;
+    }
   }
 }
 
@@ -235,6 +352,19 @@ DaemonLis::~DaemonLis() { stop(); }
 void DaemonLis::record(const trace::EventRecord& r) {
   if (r.process >= pipes_.size())
     throw std::out_of_range("DaemonLis::record: unknown process");
+  if (dead()) {
+    // The daemon process is gone; nothing will ever drain the pipes again.
+    if (observer_) {
+      const auto k = obs_key(r);
+      const auto t = static_cast<double>(now_ns());
+      if (obs_capture_) observer_->lineage.offer(k, t);
+      observer_->lineage.lose(k, obs::LossSite::kLisDead, t);
+    }
+    std::lock_guard lk(mu_);
+    ++stats_.dropped;
+    PRISM_OBS_COUNT("core.lis.dropped");
+    return;
+  }
   auto& pipe = *pipes_[r.process];
   bool ok;
   if (block_on_full_pipe_) {
@@ -269,6 +399,16 @@ void DaemonLis::daemon_main() {
     const auto period = std::chrono::nanoseconds(
         sampling_period_ns_.load(std::memory_order_relaxed));
     std::this_thread::sleep_for(period);
+    if (auto* inj = fault_.load(std::memory_order_acquire)) {
+      const auto f = inj->consult(fault::FaultSite::kLisTick, node_);
+      if (f.kind == fault::FaultKind::kCrash) {
+        die();
+        return;  // no final sweep: the daemon process no longer exists
+      }
+      if (f.kind == fault::FaultKind::kStall ||
+          f.kind == fault::FaultKind::kSlowConsumer)
+        fault::sleep_ns(f.stall_ns);
+    }
     if (control_) {
       while (auto msg = control_->try_pop()) {
         if (msg->kind == ControlKind::kSetSamplingPeriod) {
@@ -283,8 +423,31 @@ void DaemonLis::daemon_main() {
       }
     }
     drain_once();
+    if (dead()) return;  // crashed inside the drain's TP send
   }
   drain_once();  // final sweep
+}
+
+void DaemonLis::die() {
+  dead_.store(true, std::memory_order_relaxed);
+  running_.store(false, std::memory_order_relaxed);
+  // The daemon process is gone and its pipes die with it: close them so
+  // blocked application writers wake (their pushes fail and count as drops),
+  // and account every record still queued as a lis_dead loss so the
+  // conservation ledger closes.
+  std::uint64_t orphans = 0;
+  const auto t = static_cast<double>(now_ns());
+  for (auto& p : pipes_) {
+    p->close();
+    while (auto r = p->try_pop()) {
+      ++orphans;
+      if (observer_)
+        observer_->lineage.lose(obs_key(*r), obs::LossSite::kLisDead, t);
+    }
+  }
+  std::lock_guard lk(mu_);
+  stats_.lost_dead += orphans;
+  PRISM_OBS_COUNT_N("core.lis.records_lost_dead", orphans);
 }
 
 void DaemonLis::drain_once() {
@@ -308,29 +471,71 @@ void DaemonLis::drain_once() {
   if (!batch.records.empty()) {
     const std::size_t n = batch.records.size();
     batch.t_sent_ns = now_ns();
+    std::vector<obs::LineageKey> keys;
     if (observer_) {
       const auto ts = static_cast<double>(batch.t_sent_ns);
-      for (const auto& r : batch.records)
+      keys.reserve(n);
+      for (const auto& r : batch.records) {
+        keys.push_back(obs_key(r));
         observer_->lineage.stamp(obs_key(r), obs::PipelineStage::kLisForward,
                                  ts);
+      }
       observer_->timeline.sample_changed(tl_backlog_, ts, 0.0);
     }
-    link_.push(std::move(batch));
-    std::lock_guard lk(mu_);
-    ++stats_.flushes;
-    stats_.records_forwarded += n;
-    PRISM_OBS_COUNT("core.lis.flushes");
-    PRISM_OBS_COUNT_N("core.lis.records_forwarded", n);
-    PRISM_OBS_COUNT("core.tp.batches_pushed");
+    const SendOutcome out = tp_send(link_, std::move(batch));
+    switch (out) {
+      case SendOutcome::kDelivered: {
+        std::lock_guard lk(mu_);
+        ++stats_.flushes;
+        stats_.records_forwarded += n;
+        PRISM_OBS_COUNT("core.lis.flushes");
+        PRISM_OBS_COUNT_N("core.lis.records_forwarded", n);
+        PRISM_OBS_COUNT("core.tp.batches_pushed");
+        break;
+      }
+      case SendOutcome::kClosed:
+      case SendOutcome::kExhausted: {
+        if (observer_) {
+          const auto tl = static_cast<double>(now_ns());
+          const auto site = out == SendOutcome::kClosed
+                                ? obs::LossSite::kTpSendFailed
+                                : obs::LossSite::kRetryExhausted;
+          for (const auto& k : keys) observer_->lineage.lose(k, site, tl);
+        }
+        std::lock_guard lk(mu_);
+        stats_.lost_send += n;
+        PRISM_OBS_COUNT_N("core.lis.records_lost_send", n);
+        break;
+      }
+      case SendOutcome::kCrashed: {
+        if (observer_) {
+          const auto tl = static_cast<double>(now_ns());
+          for (const auto& k : keys)
+            observer_->lineage.lose(k, obs::LossSite::kLisDead, tl);
+        }
+        {
+          std::lock_guard lk(mu_);
+          stats_.lost_dead += n;
+          PRISM_OBS_COUNT_N("core.lis.records_lost_dead", n);
+        }
+        die();  // the whole component is gone — drain pipe residue too
+        break;
+      }
+    }
   }
   daemon_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
 }
 
-void DaemonLis::flush() { drain_once(); }
+void DaemonLis::flush() {
+  if (!dead()) drain_once();
+}
 
 void DaemonLis::stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) {
+    // Already stopped — or died, in which case die() closed the pipes;
+    // close() is idempotent, so just make sure and join.
+    for (auto& p : pipes_) p->close();
     if (daemon_.joinable()) daemon_.join();
     return;
   }

@@ -27,6 +27,7 @@
 
 #include "core/flush_policy.hpp"
 #include "core/transfer_protocol.hpp"
+#include "fault/fault.hpp"
 #include "obs/pipeline.hpp"
 #include "trace/buffer.hpp"
 #include "trace/record.hpp"
@@ -35,20 +36,29 @@ namespace prism::core {
 
 struct LisStats {
   std::uint64_t recorded = 0;        ///< events accepted from the application
-  std::uint64_t dropped = 0;         ///< events lost (buffer/pipe overflow)
+  std::uint64_t dropped = 0;         ///< events refused (overflow / dead LIS)
   std::uint64_t flushes = 0;         ///< batches shipped to the ISM
   std::uint64_t records_forwarded = 0;
   std::uint64_t flush_time_ns = 0;   ///< cumulative time in flush operations
   std::uint64_t buffered = 0;        ///< records still held locally (snapshot)
+  /// Accepted records destroyed by a TP send failure (closed link or retry
+  /// budget exhausted) — the fault plane's tp_send_failed/retry_exhausted
+  /// loss sites.
+  std::uint64_t lost_send = 0;
+  /// Accepted records destroyed because this LIS died (crash injection or
+  /// organic component death).
+  std::uint64_t lost_dead = 0;
 
   /// Records offered by the application (accepted + refused).
   std::uint64_t records_in() const { return recorded + dropped; }
   /// Record-conservation invariant: every offered record is accounted for —
-  /// forwarded toward the ISM, dropped, or still buffered locally.  Exact at
-  /// quiescence (after stop()); mid-run a record being moved between buffer
-  /// and batch can be transiently uncounted.
+  /// forwarded toward the ISM, dropped, destroyed by a send failure or
+  /// component death, or still buffered locally.  Exact at quiescence (after
+  /// stop()); mid-run a record being moved between buffer and batch can be
+  /// transiently uncounted.
   bool conserved() const {
-    return records_in() == records_forwarded + dropped + buffered;
+    return records_in() ==
+           records_forwarded + dropped + buffered + lost_send + lost_dead;
   }
 };
 
@@ -79,14 +89,57 @@ class Lis {
     obs_capture_ = capture;
   }
 
+  /// Attaches the fault plane (may be null to detach; null is the default
+  /// and leaves every code path bit-identical to pre-fault builds).  Call
+  /// before traffic begins.  kTpSend is consulted once per shipped batch
+  /// (plus once per retry); injected transient failures follow `retry`.
+  /// The pointer is published with release/acquire ordering because the
+  /// daemon style's tick thread is already running when this is callable
+  /// (it starts in the constructor) — the policy and RNG writes below must
+  /// be visible before the thread can observe a non-null injector.
+  void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {}) {
+    retry_ = retry;
+    {
+      std::lock_guard lk(fault_mu_);
+      backoff_rng_ = stats::Rng(
+          stats::Rng::hash_seed(f ? f->seed() : 0, 0x115ull, node_));
+    }
+    fault_.store(f, std::memory_order_release);
+  }
+
+  /// True once this LIS has died (crash injection or organic failure).  A
+  /// dead LIS refuses new records (attributed lis_dead) and ships nothing.
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
  protected:
   static obs::LineageKey obs_key(const trace::EventRecord& r) {
     return obs::lineage_key(r.node, r.process, r.seq);
   }
 
+  /// Terminal outcome of a faulted TP send (see tp_send).
+  enum class SendOutcome : std::uint8_t {
+    kDelivered,  ///< the batch reached the data link
+    kClosed,     ///< the link refused the batch (closed) — unretryable
+    kExhausted,  ///< injected transient failures outlived the retry budget
+    kCrashed,    ///< the fault plane declared this LIS dead at the send
+  };
+
+  /// Ships one batch through the fault plane: consults kTpSend, applies
+  /// stalls, retries injected send failures with jittered backoff, and
+  /// latches dead_ on an injected crash.  With a null injector this is
+  /// exactly `link.push(std::move(batch))`.
+  SendOutcome tp_send(DataLink& link, DataBatch&& batch);
+
   std::uint32_t node_;
   obs::PipelineObserver* observer_ = nullptr;
   bool obs_capture_ = true;
+  std::atomic<fault::FaultInjector*> fault_{nullptr};
+  fault::RetryPolicy retry_;
+  /// Guards backoff_rng_ (tp_send may run concurrently from app threads in
+  /// the forwarding style; the retry path is cold).
+  std::mutex fault_mu_;
+  stats::Rng backoff_rng_{0};
+  std::atomic<bool> dead_{false};
 };
 
 class BufferedLis;
@@ -194,6 +247,9 @@ class DaemonLis final : public Lis {
  private:
   void daemon_main();
   void drain_once();
+  /// Injected crash: latches dead_, stops the loop, closes the pipes and
+  /// accounts every orphaned record as a lis_dead loss.
+  void die();
 
   std::vector<std::unique_ptr<Channel<trace::EventRecord>>> pipes_;
   DataLink& link_;

@@ -5,8 +5,11 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <stdexcept>
 #include <system_error>
 #include <vector>
+
+#include "core/clock.hpp"
 
 namespace prism::core {
 
@@ -21,45 +24,60 @@ struct FrameHeader {
   std::uint64_t record_count = 0;
 };
 
-bool write_all(int fd, const void* data, std::size_t len) {
+/// Writes up to `len` bytes; returns how many actually landed.  A short
+/// return distinguishes a clean failure (0 written, stream still at a frame
+/// boundary) from a mid-frame failure (stream desynchronized).
+std::size_t write_bytes(int fd, const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, p + written, len - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      break;
     }
-    p += n;
-    len -= static_cast<std::size_t>(n);
+    written += static_cast<std::size_t>(n);
   }
-  return true;
+  return written;
 }
 
-bool read_all(int fd, void* data, std::size_t len) {
+/// Reads exactly `len` bytes unless EOF/error cuts the stream short;
+/// returns how many were read (a short return on a nonzero offset means a
+/// truncated frame).
+std::size_t read_bytes(int fd, void* data, std::size_t len) {
   char* p = static_cast<char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::read(fd, p, len);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      break;
     }
-    if (n == 0) return false;  // EOF
-    p += n;
-    len -= static_cast<std::size_t>(n);
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
   }
-  return true;
+  return got;
 }
+
+std::once_flag g_sigpipe_once;
 
 }  // namespace
 
-PosixPipeLink::PosixPipeLink(DataLink& deliver_to) : out_(deliver_to) {
+PosixPipeLink::PosixPipeLink(DataLink& deliver_to,
+                             std::uint64_t max_frame_records)
+    : out_(deliver_to), max_frame_records_(max_frame_records) {
+  if (max_frame_records_ == 0)
+    throw std::invalid_argument("PosixPipeLink: max_frame_records 0");
   int fds[2];
   if (::pipe(fds) != 0)
     throw std::system_error(errno, std::generic_category(), "pipe");
   read_fd_ = fds[0];
   write_fd_ = fds[1];
-  // Writes to a closed pipe must surface as errors, not SIGPIPE.
-  ::signal(SIGPIPE, SIG_IGN);
+  // Writes to a closed pipe must surface as EPIPE, not SIGPIPE.  Installed
+  // once per process: the old per-instance ::signal() call re-clobbered any
+  // handler the application installed between link constructions (and raced
+  // with it).
+  std::call_once(g_sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
   reader_ = std::thread([this] { reader_main(); });
 }
 
@@ -69,23 +87,128 @@ PosixPipeLink::~PosixPipeLink() {
   if (read_fd_ >= 0) ::close(read_fd_);
 }
 
+void PosixPipeLink::set_fault(fault::FaultInjector* f,
+                              fault::RetryPolicy retry) {
+  std::lock_guard lk(write_mu_);
+  fault_ = f;
+  retry_ = retry;
+  backoff_rng_ =
+      stats::Rng(stats::Rng::hash_seed(f ? f->seed() : 0, 0x919eull));
+}
+
+void PosixPipeLink::lose_batch(const DataBatch& batch, obs::LossSite site) {
+  if (!observer_) return;
+  const auto t = static_cast<double>(now_ns());
+  for (const auto& r : batch.records)
+    observer_->lineage.lose(obs::lineage_key(r.node, r.process, r.seq), site,
+                            t);
+}
+
+void PosixPipeLink::abort_stream_locked(const DataBatch& batch) {
+  frames_aborted_.fetch_add(1, std::memory_order_relaxed);
+  send_failures_.fetch_add(1, std::memory_order_relaxed);
+  stream_corrupt_.store(true, std::memory_order_relaxed);
+  if (!writer_closed_.exchange(true) && write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+  lose_batch(batch, obs::LossSite::kFrameCorrupt);
+}
+
 bool PosixPipeLink::send(const DataBatch& batch) {
   std::lock_guard lk(write_mu_);
-  if (writer_closed_.load()) return false;
+  if (writer_closed_.load() || stream_corrupt_.load()) return false;
+
+  // Send-attempt faults: injected transient failures happen before any byte
+  // hits the wire, so they are cleanly retryable.
+  std::uint32_t attempt = 0;
+  for (;;) {
+    if (!fault_) break;
+    const auto f = fault_->consult(fault::FaultSite::kPipeSend,
+                                   batch.source_node);
+    if (f.kind == fault::FaultKind::kStall ||
+        f.kind == fault::FaultKind::kSlowConsumer)
+      fault::sleep_ns(f.stall_ns);
+    if (f.kind != fault::FaultKind::kSendFail) break;
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (++attempt >= retry_.max_attempts) {
+      lose_batch(batch, obs::LossSite::kRetryExhausted);
+      return false;
+    }
+    fault::sleep_ns(retry_.backoff_ns(attempt, backoff_rng_));
+  }
+
   FrameHeader hdr;
   hdr.source_node = batch.source_node;
   hdr.t_sent_ns = batch.t_sent_ns;
   hdr.record_count = batch.records.size();
-  if (!write_all(write_fd_, &hdr, sizeof hdr)) return false;
-  if (!batch.records.empty() &&
-      !write_all(write_fd_, batch.records.data(),
-                 batch.records.size() * sizeof(trace::EventRecord)))
+
+  // Frame-boundary faults.
+  if (fault_) {
+    const auto f = fault_->consult(fault::FaultSite::kPipeFrame,
+                                   batch.source_node);
+    if (f.kind == fault::FaultKind::kPartialFrame) {
+      // Simulate the writer dying mid-frame: half the serialized frame hits
+      // the wire, then the stream is declared desynchronized.
+      const std::size_t payload =
+          batch.records.size() * sizeof(trace::EventRecord);
+      std::vector<char> wire(sizeof hdr + payload);
+      std::memcpy(wire.data(), &hdr, sizeof hdr);
+      if (payload > 0)
+        std::memcpy(wire.data() + sizeof hdr, batch.records.data(), payload);
+      write_bytes(write_fd_, wire.data(), wire.size() / 2);
+      abort_stream_locked(batch);
+      return false;
+    }
+    if (f.kind == fault::FaultKind::kFrameCorrupt) {
+      // Flip the magic and ship the frame anyway: the reader must detect
+      // the corruption; the records are gone either way.
+      hdr.magic ^= 0xFFu;
+    }
+  }
+  const bool wire_corrupt = hdr.magic != kFrameMagic;
+
+  const std::size_t hdr_written = write_bytes(write_fd_, &hdr, sizeof hdr);
+  if (hdr_written != sizeof hdr) {
+    if (hdr_written == 0) {
+      // Nothing landed: the stream is still at a frame boundary (typically
+      // EPIPE from a dead reader).  Clean, non-desyncing failure.
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    abort_stream_locked(batch);
     return false;
+  }
+  if (!batch.records.empty()) {
+    const std::size_t payload =
+        batch.records.size() * sizeof(trace::EventRecord);
+    if (write_bytes(write_fd_, batch.records.data(), payload) != payload) {
+      // The header (and possibly part of the payload) is on the wire but
+      // the frame is incomplete — every later byte would be misparsed.
+      abort_stream_locked(batch);
+      return false;
+    }
+  }
+  if (wire_corrupt) {
+    // The full frame shipped, but with a bad magic: the records are lost at
+    // the reader.  Account them on the writer side, where their identity is
+    // still known.
+    frames_aborted_.fetch_add(1, std::memory_order_relaxed);
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    lose_batch(batch, obs::LossSite::kFrameCorrupt);
+    return false;
+  }
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(sizeof hdr +
                        batch.records.size() * sizeof(trace::EventRecord),
                    std::memory_order_relaxed);
   return true;
+}
+
+bool PosixPipeLink::inject_raw(const void* data, std::size_t len) {
+  std::lock_guard lk(write_mu_);
+  if (writer_closed_.load()) return false;
+  return write_bytes(write_fd_, data, len) == len;
 }
 
 void PosixPipeLink::close_writer() {
@@ -96,19 +219,49 @@ void PosixPipeLink::close_writer() {
   }
 }
 
+void PosixPipeLink::reader_declare_corrupt() {
+  frames_corrupt_.fetch_add(1, std::memory_order_relaxed);
+  stream_corrupt_.store(true, std::memory_order_relaxed);
+  // Stop consuming a stream we cannot parse, and close the read end so any
+  // writer blocked on a full kernel buffer fails with EPIPE instead of
+  // hanging forever.
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
 void PosixPipeLink::reader_main() {
   for (;;) {
     FrameHeader hdr;
-    if (!read_all(read_fd_, &hdr, sizeof hdr)) break;  // EOF or error
-    if (hdr.magic != kFrameMagic) break;               // corrupt stream
+    const std::size_t got = read_bytes(read_fd_, &hdr, sizeof hdr);
+    if (got == 0) break;  // clean EOF at a frame boundary
+    if (got != sizeof hdr) {  // writer died mid-header
+      reader_declare_corrupt();
+      break;
+    }
+    if (hdr.magic != kFrameMagic) {
+      reader_declare_corrupt();
+      break;
+    }
+    if (hdr.record_count > max_frame_records_) {
+      // The header is wire input, not something to trust: an insane count
+      // here used to drive a multi-GB resize before the first payload byte
+      // was read.
+      reader_declare_corrupt();
+      break;
+    }
     DataBatch batch;
     batch.source_node = hdr.source_node;
     batch.t_sent_ns = hdr.t_sent_ns;
     batch.records.resize(hdr.record_count);
-    if (hdr.record_count > 0 &&
-        !read_all(read_fd_, batch.records.data(),
-                  hdr.record_count * sizeof(trace::EventRecord)))
-      break;
+    if (hdr.record_count > 0) {
+      const std::size_t want = hdr.record_count * sizeof(trace::EventRecord);
+      if (read_bytes(read_fd_, batch.records.data(), want) != want) {
+        reader_declare_corrupt();  // writer died mid-payload
+        break;
+      }
+    }
     delivered_.fetch_add(1, std::memory_order_relaxed);
     out_.push(Message(std::move(batch)));
   }

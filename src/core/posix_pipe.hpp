@@ -5,6 +5,21 @@
 // rest of the stack (ISM, tools) is unchanged.  This demonstrates that the
 // TP abstraction really does cover OS IPC — batches cross a kernel buffer
 // with genuine blocking-on-full semantics.
+//
+// Process-wide side effect: the first PosixPipeLink constructed sets the
+// process's SIGPIPE disposition to SIG_IGN (exactly once, via
+// std::call_once), so writes to a dead reader surface as EPIPE errors
+// instead of killing the process.  A handler the application installs
+// *after* that first link is never clobbered by later links.
+//
+// Failure semantics: a pipe is a byte stream, so a frame that fails
+// mid-write desynchronizes every byte after it — no later frame boundary
+// can be trusted.  The link fails hard instead of limping: the writer end
+// is closed, stream_corrupt() latches, and the aborted frame's records are
+// attributed to the frame_corrupt loss site.  Symmetrically, the reader
+// treats a truncated header, a bad magic, an oversized record count, or a
+// truncated payload as a corrupt stream: it stops reading and closes the
+// read end so blocked writers fail with EPIPE rather than hanging.
 #pragma once
 
 #include <atomic>
@@ -13,41 +28,94 @@
 #include <thread>
 
 #include "core/transfer_protocol.hpp"
+#include "fault/fault.hpp"
+#include "obs/pipeline.hpp"
 
 namespace prism::core {
 
 class PosixPipeLink {
  public:
+  /// Upper bound on records per frame accepted from the wire.  A header is
+  /// untrusted input: a corrupt (or hostile) record_count must not be able
+  /// to drive a multi-GB allocation in the reader.
+  static constexpr std::uint64_t kDefaultMaxFrameRecords = 1u << 20;
+
   /// Frames sent into the pipe are delivered to `deliver_to` (typically the
-  /// ISM's data link).  Throws std::system_error when pipe(2) fails.
-  explicit PosixPipeLink(DataLink& deliver_to);
+  /// ISM's data link).  Throws std::system_error when pipe(2) fails and
+  /// std::invalid_argument when `max_frame_records` is zero.
+  explicit PosixPipeLink(
+      DataLink& deliver_to,
+      std::uint64_t max_frame_records = kDefaultMaxFrameRecords);
   ~PosixPipeLink();
   PosixPipeLink(const PosixPipeLink&) = delete;
   PosixPipeLink& operator=(const PosixPipeLink&) = delete;
 
   /// Writes one batch into the pipe (blocking if the kernel buffer is
-  /// full).  Returns false after close_writer() or on a broken pipe.
+  /// full).  Returns false after close_writer(), on a broken/corrupt
+  /// stream, or when the fault plane destroyed the frame.
   bool send(const DataBatch& batch);
 
   /// Closes the write end; the reader drains remaining frames and exits.
   void close_writer();
 
+  /// Attaches the fault plane (may be null).  kPipeSend is consulted once
+  /// per send attempt (kSendFail retried per `retry`, stalls applied);
+  /// kPipeFrame once per frame actually written (kFrameCorrupt flips the
+  /// magic on the wire, kPartialFrame truncates the frame mid-write).
+  void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {});
+
+  /// Attaches the observability sink (may be null): records destroyed by
+  /// frame aborts/corruption are attributed to frame_corrupt /
+  /// retry_exhausted loss sites.  Call before traffic begins.
+  void set_observer(obs::PipelineObserver* o) { observer_ = o; }
+
+  /// Test hook: writes raw bytes into the pipe, bypassing framing — lets
+  /// corruption tests place arbitrary garbage on the wire.
+  bool inject_raw(const void* data, std::size_t len);
+
   std::uint64_t messages_sent() const { return messages_.load(); }
   std::uint64_t bytes_sent() const { return bytes_.load(); }
   std::uint64_t frames_delivered() const { return delivered_.load(); }
+  /// Frames the reader rejected (truncated header, bad magic, oversized
+  /// record count, truncated payload).
+  std::uint64_t frames_corrupt() const { return frames_corrupt_.load(); }
+  /// Frames the writer destroyed (mid-frame write failure, injected
+  /// corruption or truncation).
+  std::uint64_t frames_aborted() const { return frames_aborted_.load(); }
+  /// Failed send attempts, injected and organic.
+  std::uint64_t send_failures() const { return send_failures_.load(); }
+  /// Latched once either end declared the byte stream desynchronized.
+  bool stream_corrupt() const { return stream_corrupt_.load(); }
+  std::uint64_t max_frame_records() const { return max_frame_records_; }
 
  private:
   void reader_main();
+  /// Reader-side: latch corruption and close the read end so blocked
+  /// writers get EPIPE instead of hanging on a stream no one reads.
+  void reader_declare_corrupt();
+  /// Writer-side (write_mu_ held): the stream is desynchronized — close
+  /// the write end, latch, and attribute the batch's records.
+  void abort_stream_locked(const DataBatch& batch);
+  void lose_batch(const DataBatch& batch, obs::LossSite site);
 
   DataLink& out_;
+  const std::uint64_t max_frame_records_;
   int read_fd_ = -1;
   int write_fd_ = -1;
   std::mutex write_mu_;
   std::thread reader_;
   std::atomic<bool> writer_closed_{false};
+  std::atomic<bool> stream_corrupt_{false};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> frames_corrupt_{0};
+  std::atomic<std::uint64_t> frames_aborted_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_;
+  stats::Rng backoff_rng_{0};  // guarded by write_mu_
+  obs::PipelineObserver* observer_ = nullptr;
 };
 
 }  // namespace prism::core

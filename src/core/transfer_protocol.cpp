@@ -19,6 +19,11 @@ std::string_view to_string(ControlKind k) {
   return "unknown";
 }
 
+bool lifecycle_critical(ControlKind k) {
+  return k == ControlKind::kShutdown || k == ControlKind::kFlushAll ||
+         k == ControlKind::kStop;
+}
+
 std::string_view to_string(TpFlavor f) {
   switch (f) {
     case TpFlavor::kPipe: return "pipe";
@@ -55,17 +60,57 @@ ControlLink& TransferProtocol::control_link(std::uint32_t node) {
   return *controls_.at(node);
 }
 
+bool TransferProtocol::deliver_control(std::size_t node,
+                                       const ControlMessage& m) {
+  // Injected control-plane faults: one consult per (broadcast, node); a
+  // kSendFail on a critical kind is retried with backoff, mirroring the TP
+  // data path.  Organic full-link pressure on critical kinds gets bounded
+  // blocking (push_for) instead of the old silent try_push drop.
+  const bool critical = lifecycle_critical(m.kind);
+  std::uint32_t attempt = 0;
+  for (;;) {
+    if (fault_) {
+      const auto f = fault_->consult(fault::FaultSite::kTpControl,
+                                     static_cast<std::uint32_t>(node));
+      if (f.kind == fault::FaultKind::kStall ||
+          f.kind == fault::FaultKind::kSlowConsumer)
+        fault::sleep_ns(f.stall_ns);
+      if (f.kind == fault::FaultKind::kSendFail) {
+        PRISM_OBS_COUNT("core.tp.control_send_faults");
+        if (!critical || ++attempt >= retry_.max_attempts) return false;
+        fault::sleep_ns(retry_.backoff_ns(attempt, backoff_rng_));
+        continue;
+      }
+    }
+    if (critical)
+      return controls_[node]->push_for(
+          m, std::chrono::nanoseconds(control_send_timeout_ns_));
+    return controls_[node]->try_push(m);
+  }
+}
+
 void TransferProtocol::broadcast(const ControlMessage& m) {
   PRISM_OBS_COUNT("core.tp.control_broadcasts");
+  std::lock_guard lk(control_mu_);
   for (std::size_t i = 0; i < controls_.size(); ++i) {
     ControlMessage copy = m;
     copy.target_node = static_cast<std::uint32_t>(i);
-    if (!controls_[i]->try_push(copy)) {
-      // A full or closed control link silently loses the message for that
-      // node (the broadcast is best-effort by design); surface the loss.
+    if (!deliver_control(i, copy)) {
+      // The message for this node is lost (closed link, timeout on a full
+      // critical link, or injected failure past the retry budget).  Never
+      // silent: the loss is attributed to its ControlKind.
+      control_dropped_[static_cast<std::size_t>(m.kind)].fetch_add(
+          1, std::memory_order_relaxed);
       PRISM_OBS_COUNT("core.tp.control_dropped");
     }
   }
+}
+
+std::uint64_t TransferProtocol::control_dropped_total() const {
+  std::uint64_t total = 0;
+  for (const auto& c : control_dropped_)
+    total += c.load(std::memory_order_relaxed);
+  return total;
 }
 
 void TransferProtocol::sample_depths(obs::Timeline* tl, double t) const {

@@ -14,6 +14,8 @@
 // the paper depends on.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "core/channel.hpp"
+#include "fault/fault.hpp"
 #include "obs/timeline.hpp"
 #include "trace/record.hpp"
 
@@ -44,8 +47,15 @@ enum class ControlKind : std::uint8_t {
   kDisableInstrumentation,///< value = metric/probe id
   kShutdown,              ///< tear down the receiver
 };
+inline constexpr std::size_t kControlKindCount = 7;
 
 std::string_view to_string(ControlKind k);
+
+/// Control kinds whose loss breaks the IS lifecycle rather than merely
+/// degrading a policy: kShutdown leaks the receiver's threads, a dropped
+/// kFlushAll strands FAOF buffers, a dropped kStop keeps collection running.
+/// broadcast() delivers these with bounded blocking instead of try_push.
+bool lifecycle_critical(ControlKind k);
 
 struct ControlMessage {
   ControlKind kind = ControlKind::kStart;
@@ -86,7 +96,36 @@ class TransferProtocol {
   ControlLink& control_link(std::uint32_t node);
 
   /// Broadcasts a control message to every node's control link.
+  /// Lifecycle-critical kinds (see lifecycle_critical()) block for up to the
+  /// control send timeout per node — and retry injected failures per the
+  /// attached RetryPolicy — before a drop is declared; other kinds stay
+  /// best-effort try_push.  Every drop is attributed to its ControlKind in
+  /// control_dropped().
   void broadcast(const ControlMessage& m);
+
+  /// Drops of control messages, attributed per kind (satellite of the fault
+  /// plane: a dropped kShutdown is a bug, a dropped kSetSamplingPeriod is a
+  /// policy hiccup — they must be distinguishable).
+  std::uint64_t control_dropped(ControlKind k) const {
+    return control_dropped_[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t control_dropped_total() const;
+
+  /// Bounded blocking budget per node for lifecycle-critical broadcasts.
+  void set_control_send_timeout_ns(std::uint64_t ns) {
+    control_send_timeout_ns_ = ns;
+  }
+
+  /// Attaches the fault plane (may be null to detach).  kTpControl is
+  /// consulted once per node per broadcast; injected send failures on
+  /// critical kinds are retried per `retry`.
+  void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {}) {
+    fault_ = f;
+    retry_ = retry;
+    backoff_rng_ = stats::Rng(
+        stats::Rng::hash_seed(f ? f->seed() : 0, 0x7c0ull));
+  }
 
   /// Samples every data link's queue depth into `tl` at time `t` (series
   /// "tp.link<i>.depth", on-change).  No-op when `tl` is null.
@@ -100,9 +139,19 @@ class TransferProtocol {
   void close_control_links();
 
  private:
+  bool deliver_control(std::size_t node, const ControlMessage& m);
+
   TpFlavor flavor_;
   std::vector<std::unique_ptr<DataLink>> datas_;
   std::vector<std::unique_ptr<ControlLink>> controls_;
+  std::array<std::atomic<std::uint64_t>, kControlKindCount> control_dropped_{};
+  std::uint64_t control_send_timeout_ns_ = 100'000'000;  // 100 ms
+  fault::FaultInjector* fault_ = nullptr;
+  fault::RetryPolicy retry_;
+  /// Guards backoff_rng_ across concurrent broadcasts (control plane is
+  /// cold; one lock is fine).
+  std::mutex control_mu_;
+  stats::Rng backoff_rng_{0};
 };
 
 }  // namespace prism::core

@@ -24,6 +24,10 @@ std::string_view to_string(LossSite s) {
     case LossSite::kLisPipe: return "lis_pipe";
     case LossSite::kTpBackpressure: return "tp_backpressure";
     case LossSite::kIsmQueue: return "ism_queue";
+    case LossSite::kTpSendFailed: return "tp_send_failed";
+    case LossSite::kFrameCorrupt: return "frame_corrupt";
+    case LossSite::kLisDead: return "lis_dead";
+    case LossSite::kRetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }

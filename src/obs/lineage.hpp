@@ -54,8 +54,12 @@ enum class LossSite : std::uint8_t {
   kLisPipe,          ///< daemon pipe full / wakeup skipped
   kTpBackpressure,   ///< transfer-protocol link refused the batch
   kIsmQueue,         ///< stranded in the ISM (unresolvable hold-back)
+  kTpSendFailed,     ///< unretryable TP/pipe send failure (closed, broken)
+  kFrameCorrupt,     ///< wire frame corrupted or aborted mid-write
+  kLisDead,          ///< the record's LIS died (fault plane or organic)
+  kRetryExhausted,   ///< transient send failures exceeded the retry budget
 };
-inline constexpr std::size_t kLossSiteCount = 5;
+inline constexpr std::size_t kLossSiteCount = 9;
 
 std::string_view to_string(LossSite s);
 

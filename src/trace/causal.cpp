@@ -22,7 +22,9 @@ bool CausalReorderer::deliverable(const EventRecord& r) const {
     const std::uint64_t sends = sit == sends_released_.end() ? 0 : sit->second;
     auto rit = recvs_released_.find(ch);
     const std::uint64_t recvs = rit == recvs_released_.end() ? 0 : rit->second;
-    if (recvs >= sends) return false;  // matching send not yet released
+    // Matching send not yet released: hold — unless the sender is dead, in
+    // which case that send is known lost and waiting would strand the recv.
+    if (recvs >= sends && dead_nodes_.count(r.peer) == 0) return false;
   }
   return true;
 }
@@ -72,6 +74,27 @@ void CausalReorderer::drain_ready() {
       }
     }
   }
+}
+
+std::size_t CausalReorderer::expire_node(std::uint32_t node) {
+  const std::uint64_t before = released_total_;
+  dead_nodes_.insert(node);
+  // Force-release the dead node's own held streams in seq order, tolerating
+  // gaps: the missing records died with the node and will never arrive
+  // (release_now advances next_seq past each gap).
+  for (auto& [key, dq] : held_) {
+    if (static_cast<std::uint32_t>(key >> 32) != node) continue;
+    while (!dq.empty()) {
+      EventRecord r = dq.front();
+      dq.pop_front();
+      --held_count_;
+      release_now(r);
+    }
+  }
+  // Receives at live nodes waiting on the dead node's sends drain via the
+  // usual fixed point now that deliverable() waives their message order.
+  drain_ready();
+  return static_cast<std::size_t>(released_total_ - before);
 }
 
 std::size_t CausalReorderer::held() const { return held_count_; }

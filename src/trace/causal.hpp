@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "trace/record.hpp"
@@ -35,6 +36,17 @@ class CausalReorderer {
   /// Offers one event.  May trigger zero or more releases (the offered
   /// event and any previously-held events it unblocks).
   void offer(EventRecord r);
+
+  /// Declares `node` dead (its remaining records will never arrive) and
+  /// force-releases what its death stranded: the node's own held streams are
+  /// released in seq order tolerating gaps, and receives at live nodes that
+  /// were waiting on the dead node's unreleased sends become deliverable.
+  /// Returns the number of records released.  Degraded-mode operation: the
+  /// released order may violate message order across the dead node's
+  /// channels — by construction, since the matching sends are lost.
+  std::size_t expire_node(std::uint32_t node);
+
+  const std::set<std::uint32_t>& dead_nodes() const { return dead_nodes_; }
 
   /// Number of events currently held back.
   std::size_t held() const;
@@ -85,6 +97,9 @@ class CausalReorderer {
   std::map<ChannelKey, std::uint64_t> recvs_released_;
   /// Held-back events per stream, kept sorted by seq.
   std::map<StreamKey, std::deque<EventRecord>> held_;
+  /// Nodes whose missing records are known lost (see expire_node): message
+  /// order is waived for receives naming them as peer.
+  std::set<std::uint32_t> dead_nodes_;
   std::size_t held_count_ = 0;
   std::uint64_t lamport_ = 0;
   std::uint64_t offered_total_ = 0;

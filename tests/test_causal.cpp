@@ -194,6 +194,67 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CausalShuffle,
 
 // ---- first_causal_violation -------------------------------------------------------
 
+// ---- Dead-node expiry (graceful degradation) ------------------------------------
+
+TEST(CausalExpiry, RecvWaitingOnDeadPeerReleasedAfterExpire) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  // Node 1 receives from node 0, but node 0's send was lost with node 0.
+  r.offer(ev(1, 0, EventKind::kRecv, /*peer=*/0, /*tag=*/7));
+  EXPECT_EQ(r.held(), 1u);
+  const std::size_t released = r.expire_node(0);
+  EXPECT_EQ(released, 1u);
+  EXPECT_EQ(r.held(), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, EventKind::kRecv);
+  EXPECT_TRUE(r.dead_nodes().count(0));
+}
+
+TEST(CausalExpiry, LaterRecvsFromDeadPeerPassWithoutHolding) {
+  // Once a peer is dead, message order is waived for its channels: new
+  // receives naming it must not strand waiting for sends that cannot come.
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.expire_node(3);
+  r.offer(ev(1, 0, EventKind::kRecv, /*peer=*/3, /*tag=*/1));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(r.held(), 0u);
+}
+
+TEST(CausalExpiry, DeadNodesOwnStreamReleasedToleratingSeqGaps) {
+  // The dead node's held records are released in seq order even across the
+  // gaps its death created (seq 1 is lost forever; 0, 2, 3 must come out).
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.offer(ev(2, 2));  // held: waiting for seq 0 and 1
+  r.offer(ev(2, 3));
+  r.offer(ev(2, 0));  // released immediately; 2 and 3 still gapped on seq 1
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(r.held(), 2u);
+  EXPECT_EQ(r.expire_node(2), 2u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].seq, 2u);
+  EXPECT_EQ(out[2].seq, 3u);
+  // Lamport stamps stay monotone through the forced release.
+  EXPECT_LT(out[0].lamport, out[1].lamport);
+  EXPECT_LT(out[1].lamport, out[2].lamport);
+}
+
+TEST(CausalExpiry, ExpireUnblocksChainedLiveStreams) {
+  // A live node's recv was waiting on the dead node; expiring the dead node
+  // must cascade: the recv releases, then the live node's later records.
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.offer(ev(1, 0, EventKind::kRecv, /*peer=*/0, /*tag=*/2));
+  r.offer(ev(1, 1));  // program order: behind the held recv
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(r.expire_node(0), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, EventKind::kRecv);
+  EXPECT_EQ(out[1].seq, 1u);
+  EXPECT_EQ(r.held(), 0u);
+}
+
 TEST(CausalChecker, DetectsProgramOrderViolation) {
   std::vector<EventRecord> recs{ev(0, 1), ev(0, 0)};
   EXPECT_EQ(first_causal_violation(recs), 0);

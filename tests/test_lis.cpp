@@ -298,6 +298,36 @@ TEST(LisConservation, DaemonExactAfterStop) {
   EXPECT_TRUE(s.conserved());
 }
 
+TEST(LisConservation, ForwardingClosedLinkNoDoubleCount) {
+  // Regression: record() into a closed link used to bump `recorded` up
+  // front AND `dropped` on the failed push, so records_in() double-counted
+  // and conserved() failed.
+  DataLink link(4);
+  link.close();
+  ForwardingLis lis(0, link);
+  for (std::uint64_t i = 0; i < 3; ++i) lis.record(rec(0, 0, i));
+  const auto s = lis.stats();
+  EXPECT_EQ(s.recorded, 0u);
+  EXPECT_EQ(s.dropped, 3u);
+  EXPECT_EQ(s.records_forwarded, 0u);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(LisConservation, BufferedClosedLinkAttributesLostSend) {
+  // The other half of the same fix: a flush into a closed link destroys the
+  // batch — that is a lost_send, not a phantom successful flush.
+  DataLink link(4);
+  link.close();
+  BufferedLis lis(0, 2, std::make_unique<FlushOnFill>(), link);
+  lis.record(rec(0, 0, 0));
+  lis.record(rec(0, 0, 1));  // fills -> flush into the closed link
+  const auto s = lis.stats();
+  EXPECT_EQ(s.recorded, 2u);
+  EXPECT_EQ(s.lost_send, 2u);
+  EXPECT_EQ(s.records_forwarded, 0u);
+  EXPECT_TRUE(s.conserved());
+}
+
 TEST(LisConservation, DaemonDropsStayAccounted) {
   DataLink link(16);
   DaemonLis lis(0, 1, /*pipe_capacity=*/4, /*period=*/500'000'000, link,

@@ -2,12 +2,16 @@
 // writers, and end-to-end integration with the ISM.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstring>
 #include <memory>
 #include <thread>
 
 #include "core/clock.hpp"
 #include "core/ism.hpp"
 #include "core/posix_pipe.hpp"
+#include "fault/fault.hpp"
+#include "obs/pipeline.hpp"
 
 namespace prism::core {
 namespace {
@@ -119,6 +123,220 @@ TEST(PosixPipe, FeedsIsmEndToEnd) {
   }
   ism.stop();
   EXPECT_EQ(stats_tool->total(), 200u);
+}
+
+// ---- Corruption handling (the wire is untrusted input) ----------------------
+
+/// Mirrors the on-wire frame header layout (24 bytes).
+struct WireHeader {
+  std::uint32_t magic = 0x50495045;  // "PIPE"
+  std::uint32_t source_node = 0;
+  std::uint64_t t_sent_ns = 0;
+  std::uint64_t record_count = 0;
+};
+static_assert(sizeof(WireHeader) == 24);
+
+/// Polls `f` until true or ~2 s elapse (the reader latches corruption
+/// asynchronously).
+template <typename F>
+bool eventually(F&& f) {
+  for (int i = 0; i < 2000; ++i) {
+    if (f()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return f();
+}
+
+TEST(PosixPipeCorruption, TruncatedHeaderDeclaresStreamCorrupt) {
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  WireHeader hdr;
+  ASSERT_TRUE(link.inject_raw(&hdr, sizeof(hdr) / 2));  // writer dies mid-header
+  link.close_writer();
+  EXPECT_TRUE(eventually([&] { return link.stream_corrupt(); }));
+  EXPECT_EQ(link.frames_corrupt(), 1u);
+  EXPECT_EQ(link.frames_delivered(), 0u);
+}
+
+TEST(PosixPipeCorruption, BadMagicDeclaresStreamCorrupt) {
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  WireHeader hdr;
+  hdr.magic = 0xDEADBEEF;
+  ASSERT_TRUE(link.inject_raw(&hdr, sizeof hdr));
+  EXPECT_TRUE(eventually([&] { return link.stream_corrupt(); }));
+  EXPECT_EQ(link.frames_corrupt(), 1u);
+}
+
+TEST(PosixPipeCorruption, OversizedRecordCountRejectedBeforeAllocation) {
+  // Regression: an insane wire count used to drive a multi-GB resize in the
+  // reader before a single payload byte arrived.
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  WireHeader hdr;
+  hdr.record_count = 1ull << 40;  // ~48 TB of claimed payload
+  ASSERT_TRUE(link.inject_raw(&hdr, sizeof hdr));
+  EXPECT_TRUE(eventually([&] { return link.stream_corrupt(); }));
+  EXPECT_EQ(link.frames_corrupt(), 1u);
+  EXPECT_EQ(link.frames_delivered(), 0u);
+}
+
+TEST(PosixPipeCorruption, BoundaryRecordCountStillAccepted) {
+  DataLink sink(16);
+  PosixPipeLink link(sink, /*max_frame_records=*/4);
+  ASSERT_TRUE(link.send(batch(0, 4)));  // exactly at the bound
+  auto msg = sink.pop();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get_if<DataBatch>(&*msg)->records.size(), 4u);
+  EXPECT_FALSE(link.stream_corrupt());
+}
+
+TEST(PosixPipeCorruption, WriterDeathMidFrameDetected) {
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  WireHeader hdr;
+  hdr.record_count = 10;  // header promises 10 records...
+  ASSERT_TRUE(link.inject_raw(&hdr, sizeof hdr));
+  trace::EventRecord partial[3] = {ev(0, 0), ev(0, 1), ev(0, 2)};
+  ASSERT_TRUE(link.inject_raw(partial, sizeof partial));  // ...only 3 arrive
+  link.close_writer();
+  EXPECT_TRUE(eventually([&] { return link.stream_corrupt(); }));
+  EXPECT_EQ(link.frames_corrupt(), 1u);
+  EXPECT_EQ(link.frames_delivered(), 0u);
+}
+
+TEST(PosixPipeCorruption, ValidFramesBeforeCorruptionStillDelivered) {
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  ASSERT_TRUE(link.send(batch(1, 2)));
+  WireHeader hdr;
+  hdr.magic = 0;
+  ASSERT_TRUE(link.inject_raw(&hdr, sizeof hdr));
+  EXPECT_TRUE(eventually([&] { return link.stream_corrupt(); }));
+  EXPECT_EQ(link.frames_delivered(), 1u);  // the good frame landed
+  auto msg = sink.pop();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get_if<DataBatch>(&*msg)->records.size(), 2u);
+}
+
+TEST(PosixPipeCorruption, SendFailsCleanlyAfterReaderDeclaredCorrupt) {
+  // The reader closes its end on corruption, so a blocked writer gets EPIPE
+  // instead of hanging; subsequent sends fail without desyncing further.
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  WireHeader hdr;
+  hdr.magic = 0xBAD;
+  ASSERT_TRUE(link.inject_raw(&hdr, sizeof hdr));
+  ASSERT_TRUE(eventually([&] { return link.stream_corrupt(); }));
+  EXPECT_FALSE(link.send(batch(0, 1)));
+  EXPECT_EQ(link.frames_delivered(), 0u);
+}
+
+// ---- SIGPIPE discipline ------------------------------------------------------
+
+TEST(PosixPipeSignals, LaterLinksDoNotReclobberApplicationHandler) {
+  // Regression: the disposition is installed exactly once per process; the
+  // old per-instance ::signal() call overwrote any handler the application
+  // installed between link constructions.
+  DataLink sink(16);
+  {
+    PosixPipeLink first(sink);  // guarantees the call_once has fired
+  }
+  struct sigaction custom {};
+  custom.sa_handler = [](int) {};
+  struct sigaction saved {};
+  ASSERT_EQ(::sigaction(SIGPIPE, &custom, &saved), 0);
+  {
+    PosixPipeLink second(sink);
+    ASSERT_TRUE(second.send(batch(0, 1)));
+    struct sigaction now {};
+    ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &now), 0);
+    EXPECT_EQ(now.sa_handler, custom.sa_handler);
+  }
+  // Restore SIG_IGN: the rest of the suite depends on EPIPE semantics.
+  struct sigaction ign {};
+  ign.sa_handler = SIG_IGN;
+  ASSERT_EQ(::sigaction(SIGPIPE, &ign, nullptr), 0);
+  while (sink.try_pop()) {
+  }
+}
+
+// ---- Injected faults ---------------------------------------------------------
+
+TEST(PosixPipeFaults, TransientSendFailureRetriedAndDelivered) {
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  fault::FaultPlan plan;
+  fault::FaultSpec s;
+  s.site = fault::FaultSite::kPipeSend;
+  s.kind = fault::FaultKind::kSendFail;
+  s.at_op = 1;  // first attempt fails, the retry goes through
+  plan.add(s);
+  fault::FaultInjector inj(plan, 31);
+  fault::RetryPolicy rp;
+  rp.base_backoff_ns = 100;
+  link.set_fault(&inj, rp);
+
+  ASSERT_TRUE(link.send(batch(2, 3)));
+  EXPECT_EQ(link.send_failures(), 1u);
+  EXPECT_EQ(link.messages_sent(), 1u);
+  auto msg = sink.pop();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get_if<DataBatch>(&*msg)->records.size(), 3u);
+}
+
+TEST(PosixPipeFaults, InjectedFrameCorruptionDetectedAndAttributed) {
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  obs::PipelineObserver obs;
+  link.set_observer(&obs);
+  fault::FaultPlan plan;
+  fault::FaultSpec s;
+  s.site = fault::FaultSite::kPipeFrame;
+  s.kind = fault::FaultKind::kFrameCorrupt;
+  s.at_op = 1;
+  plan.add(s);
+  fault::FaultInjector inj(plan, 77);
+  link.set_fault(&inj);
+
+  DataBatch b = batch(1, 4);
+  const auto t = static_cast<double>(now_ns());
+  for (const auto& r : b.records)
+    obs.lineage.offer(obs::lineage_key(r.node, r.process, r.seq), t);
+  EXPECT_FALSE(link.send(b));
+  EXPECT_EQ(link.frames_aborted(), 1u);
+  EXPECT_TRUE(eventually([&] { return link.frames_corrupt() == 1; }));
+  const auto rep = obs.lineage.report();
+  EXPECT_EQ(rep.lost_at[static_cast<std::size_t>(obs::LossSite::kFrameCorrupt)],
+            4u);
+  EXPECT_EQ(rep.in_flight, 0u);
+}
+
+TEST(PosixPipeFaults, InjectedPartialFrameClosesWriterAndAttributes) {
+  // Satellite regression: a mid-frame send failure must close the writer,
+  // latch stream_corrupt, and attribute the records — not leave a half
+  // frame on a wire that later frames would silently desync against.
+  DataLink sink(16);
+  PosixPipeLink link(sink);
+  obs::PipelineObserver obs;
+  link.set_observer(&obs);
+  fault::FaultPlan plan;
+  plan.partial_frame(/*at_op=*/1);
+  fault::FaultInjector inj(plan, 13);
+  link.set_fault(&inj);
+
+  DataBatch b = batch(0, 6);
+  const auto t = static_cast<double>(now_ns());
+  for (const auto& r : b.records)
+    obs.lineage.offer(obs::lineage_key(r.node, r.process, r.seq), t);
+  EXPECT_FALSE(link.send(b));
+  EXPECT_TRUE(link.stream_corrupt());
+  EXPECT_EQ(link.frames_aborted(), 1u);
+  EXPECT_FALSE(link.send(batch(0, 1)));  // writer is closed for good
+  EXPECT_TRUE(eventually([&] { return link.frames_corrupt() == 1; }));
+  const auto rep = obs.lineage.report();
+  EXPECT_EQ(rep.lost_at[static_cast<std::size_t>(obs::LossSite::kFrameCorrupt)],
+            6u);
 }
 
 }  // namespace

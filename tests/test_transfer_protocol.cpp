@@ -2,7 +2,11 @@
 // shutdown.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/transfer_protocol.hpp"
+#include "fault/fault.hpp"
 
 namespace prism::core {
 namespace {
@@ -79,6 +83,93 @@ TEST(TransferProtocol, NamesForDisplay) {
   EXPECT_EQ(to_string(ControlKind::kFlushAll), "flush_all");
   EXPECT_EQ(to_string(ControlKind::kSetSamplingPeriod),
             "set_sampling_period");
+}
+
+// ---- Reliable control path ----------------------------------------------------
+
+TEST(ControlPlane, LifecycleCriticalKindsAreExactlyShutdownFlushAllStop) {
+  EXPECT_TRUE(lifecycle_critical(ControlKind::kShutdown));
+  EXPECT_TRUE(lifecycle_critical(ControlKind::kFlushAll));
+  EXPECT_TRUE(lifecycle_critical(ControlKind::kStop));
+  EXPECT_FALSE(lifecycle_critical(ControlKind::kStart));
+  EXPECT_FALSE(lifecycle_critical(ControlKind::kSetSamplingPeriod));
+  EXPECT_FALSE(lifecycle_critical(ControlKind::kEnableInstrumentation));
+  EXPECT_FALSE(lifecycle_critical(ControlKind::kDisableInstrumentation));
+}
+
+TEST(ControlPlane, CriticalBroadcastBlocksUntilConsumerDrains) {
+  // Regression: kShutdown on a full link used to be a silent try_push drop —
+  // the receiver's threads leaked.  Now it blocks (bounded) for the consumer.
+  TransferProtocol tp(TpFlavor::kPipe, 1, 1, 1);
+  ASSERT_TRUE(
+      tp.control_link(0).try_push(ControlMessage{ControlKind::kStart, 0, 0}));
+  std::thread consumer([&tp] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    tp.control_link(0).pop();  // frees the slot
+  });
+  tp.broadcast(ControlMessage{ControlKind::kShutdown, 0, 0});
+  consumer.join();
+  EXPECT_EQ(tp.control_dropped_total(), 0u);
+  auto m = tp.control_link(0).try_pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, ControlKind::kShutdown);
+}
+
+TEST(ControlPlane, NonCriticalDropOnFullLinkAttributedPerKind) {
+  TransferProtocol tp(TpFlavor::kPipe, 1, 1, 1);
+  ASSERT_TRUE(
+      tp.control_link(0).try_push(ControlMessage{ControlKind::kStart, 0, 0}));
+  tp.broadcast(ControlMessage{ControlKind::kSetSamplingPeriod, 0, 1e6});
+  EXPECT_EQ(tp.control_dropped(ControlKind::kSetSamplingPeriod), 1u);
+  EXPECT_EQ(tp.control_dropped(ControlKind::kShutdown), 0u);
+  EXPECT_EQ(tp.control_dropped_total(), 1u);
+}
+
+TEST(ControlPlane, CriticalTimeoutIsAttributedNotSilent) {
+  TransferProtocol tp(TpFlavor::kPipe, 1, 1, 1);
+  ASSERT_TRUE(
+      tp.control_link(0).try_push(ControlMessage{ControlKind::kStart, 0, 0}));
+  tp.set_control_send_timeout_ns(1'000'000);  // 1 ms; nobody ever drains
+  tp.broadcast(ControlMessage{ControlKind::kShutdown, 0, 0});
+  EXPECT_EQ(tp.control_dropped(ControlKind::kShutdown), 1u);
+}
+
+TEST(ControlPlane, InjectedFailureRetriedForCriticalKinds) {
+  TransferProtocol tp(TpFlavor::kPipe, 2, 1, 16);
+  fault::FaultPlan plan;
+  fault::FaultSpec s;
+  s.site = fault::FaultSite::kTpControl;
+  s.kind = fault::FaultKind::kSendFail;
+  s.at_op = 1;  // first delivery attempt per node fails
+  plan.add(s);
+  fault::FaultInjector inj(plan, 4);
+  fault::RetryPolicy rp;
+  rp.base_backoff_ns = 100;
+  tp.set_fault(&inj, rp);
+  tp.broadcast(ControlMessage{ControlKind::kFlushAll, 0, 0});
+  EXPECT_EQ(tp.control_dropped_total(), 0u);
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    auto m = tp.control_link(n).try_pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->kind, ControlKind::kFlushAll);
+  }
+}
+
+TEST(ControlPlane, InjectedFailureDropsNonCriticalWithoutRetry) {
+  TransferProtocol tp(TpFlavor::kPipe, 1, 1, 16);
+  fault::FaultPlan plan;
+  fault::FaultSpec s;
+  s.site = fault::FaultSite::kTpControl;
+  s.kind = fault::FaultKind::kSendFail;
+  s.every_n = 1;  // every attempt fails
+  plan.add(s);
+  fault::FaultInjector inj(plan, 4);
+  tp.set_fault(&inj);
+  tp.broadcast(ControlMessage{ControlKind::kSetSamplingPeriod, 0, 5e5});
+  EXPECT_EQ(tp.control_dropped(ControlKind::kSetSamplingPeriod), 1u);
+  EXPECT_FALSE(tp.control_link(0).try_pop().has_value());
+  // Exactly one consult: non-critical kinds never burn retry budget.
+  EXPECT_EQ(inj.stats().consults, 1u);
 }
 
 }  // namespace
