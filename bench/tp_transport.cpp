@@ -1,0 +1,245 @@
+// Pipe-vs-socket transport benchmark for the live TP tier (DESIGN.md §11).
+//
+// Runs the same seeded workload through every data-plane backend from one
+// binary — in-process links (tp = pipe), AF_UNIX sockets, and TCP loopback —
+// comparing wall time and events/sec, then repeats a kTpSend-only chaos plan
+// on the pipe and socket backends and requires their loss ledgers to be
+// bit-identical (fault lanes key on the batch's source node, so a plan that
+// never touches the wire sites is transport-independent).  Writes
+// BENCH_tp_transport.json and exits nonzero when conservation, equivalence,
+// or wire accounting fails, so the bench doubles as a soak gate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "bench_json.hpp"
+#include "core/environment.hpp"
+#include "core/socket_link.hpp"
+#include "core/tool.hpp"
+#include "fault/fault.hpp"
+#include "obs/pipeline.hpp"
+
+using namespace prism;
+
+namespace {
+
+constexpr std::uint64_t kRecords = 40'000;
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint64_t kSeed = 0x7A9B5;
+
+struct WireCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RunResult {
+  obs::LineageReport lineage;
+  core::DegradationReport degradation;
+  double wall_ms = 0;
+  std::optional<WireCounters> wire;  ///< socket backends only
+};
+
+RunResult run_once(core::TpFlavor flavor, core::SocketDomain domain,
+                   fault::FaultInjector* inj) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.flush_policy = core::FlushPolicyKind::kFof;
+  cfg.local_buffer_capacity = 32;  // ~1250 frames hit the transport
+  cfg.link_capacity = 8192;
+  cfg.tp_flavor = flavor;
+  cfg.socket.domain = domain;
+  cfg.ism.input = core::InputConfig::kSiso;
+  cfg.ism.causal_ordering = true;
+  core::IntegratedEnvironment env(cfg);
+  env.attach_tool(std::make_shared<core::StatsTool>());
+  obs::PipelineObserver obs;
+  env.set_observer(&obs);
+  fault::RetryPolicy rp;
+  rp.base_backoff_ns = 200;
+  if (inj) env.set_fault(inj, rp);
+  env.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  trace::EventRecord r;
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    r.node = static_cast<std::uint32_t>(i % kNodes);
+    r.seq = i / kNodes;
+    r.timestamp = i;
+    env.record(r);
+  }
+  env.stop();  // includes the socket drain/quiesce — measured on purpose
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.lineage = obs.lineage.report();
+  out.degradation = env.degradation();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (auto* st = env.tp().socket_transport()) {
+    WireCounters w;
+    for (std::size_t i = 0; i < st->link_count(); ++i) {
+      const auto& l = st->link(i);
+      w.frames_sent += l.frames_sent();
+      w.frames_delivered += l.frames_delivered();
+      w.writes += l.writes();
+      w.bytes += l.bytes_sent();
+    }
+    out.wire = w;
+  }
+  return out;
+}
+
+bool same_ledger(const RunResult& a, const RunResult& b) {
+  return a.lineage.admitted == b.lineage.admitted &&
+         a.lineage.completed == b.lineage.completed &&
+         a.lineage.lost == b.lineage.lost &&
+         a.lineage.lost_at == b.lineage.lost_at &&
+         a.degradation.lises_dead == b.degradation.lises_dead &&
+         a.degradation.records_lost_send == b.degradation.records_lost_send &&
+         a.degradation.records_lost_dead == b.degradation.records_lost_dead;
+}
+
+/// A plan confined to the in-process kTpSend site: it consults the same
+/// per-node lanes in the same order on every backend, so the resulting
+/// ledgers must match across transports.
+fault::FaultPlan tp_only_plan() {
+  fault::FaultPlan plan;
+  plan.crash(fault::FaultSite::kTpSend, 50, /*node=*/kNodes - 1);
+  plan.send_failure(fault::FaultSite::kTpSend, 0.02);
+  return plan;
+}
+
+bool check_clean(const char* label, const RunResult& r, bool* ok) {
+  bool good = true;
+  if (!r.lineage.conserved() || r.lineage.in_flight != 0) {
+    std::printf("FAIL: %s lineage not conserved\n", label);
+    good = false;
+  }
+  if (r.degradation.degraded() || r.lineage.completed != kRecords) {
+    std::printf("FAIL: %s fault-free run degraded\n", label);
+    good = false;
+  }
+  if (!good) *ok = false;
+  return good;
+}
+
+bench::JsonValue backend_json(const RunResult& r) {
+  auto o = bench::JsonValue::object();
+  o.add("wall_ms", bench::JsonValue::number(r.wall_ms))
+      .add("events_per_sec",
+           bench::JsonValue::number(r.wall_ms > 0 ? 1e3 * kRecords / r.wall_ms
+                                                  : 0))
+      .add("completed", bench::JsonValue::integer(static_cast<std::int64_t>(
+                            r.lineage.completed)));
+  if (r.wire) {
+    o.add("frames_sent", bench::JsonValue::integer(static_cast<std::int64_t>(
+                             r.wire->frames_sent)))
+        .add("wire_writes", bench::JsonValue::integer(
+                                static_cast<std::int64_t>(r.wire->writes)))
+        .add("wire_bytes", bench::JsonValue::integer(
+                               static_cast<std::int64_t>(r.wire->bytes)))
+        .add("coalesce_factor",
+             bench::JsonValue::number(
+                 r.wire->writes > 0 ? static_cast<double>(r.wire->frames_sent) /
+                                          static_cast<double>(r.wire->writes)
+                                    : 0));
+  }
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  const RunResult pipe =
+      run_once(core::TpFlavor::kPipe, core::SocketDomain::kUnix, nullptr);
+  const RunResult unx =
+      run_once(core::TpFlavor::kSocket, core::SocketDomain::kUnix, nullptr);
+  const RunResult tcp = run_once(core::TpFlavor::kSocket,
+                                 core::SocketDomain::kTcpLoopback, nullptr);
+
+  std::printf("tp_transport: %llu records, %u nodes, seed %#llx\n",
+              static_cast<unsigned long long>(kRecords), kNodes,
+              static_cast<unsigned long long>(kSeed));
+  std::printf("  pipe:        %8.1f ms  (%.0f ev/s)\n", pipe.wall_ms,
+              1e3 * kRecords / pipe.wall_ms);
+  std::printf("  socket/unix: %8.1f ms  (%.0f ev/s)\n", unx.wall_ms,
+              1e3 * kRecords / unx.wall_ms);
+  std::printf("  socket/tcp:  %8.1f ms  (%.0f ev/s)\n", tcp.wall_ms,
+              1e3 * kRecords / tcp.wall_ms);
+
+  check_clean("pipe", pipe, &ok);
+  check_clean("socket/unix", unx, &ok);
+  check_clean("socket/tcp", tcp, &ok);
+  for (const RunResult* r : {&unx, &tcp}) {
+    if (!r->wire || r->wire->frames_sent != r->wire->frames_delivered) {
+      std::printf("FAIL: fault-free socket run dropped frames on the wire\n");
+      ok = false;
+    }
+    if (r->wire && r->wire->writes > r->wire->frames_sent) {
+      std::printf("FAIL: more writes than frames (coalescing inverted)\n");
+      ok = false;
+    }
+  }
+
+  // The equivalence leg: the same seeded kTpSend-only chaos on both
+  // backends must produce the same ledger, and the socket run must not
+  // attribute anything to the wire.
+  fault::FaultInjector inj_pipe(tp_only_plan(), kSeed);
+  const RunResult chaos_pipe =
+      run_once(core::TpFlavor::kPipe, core::SocketDomain::kUnix, &inj_pipe);
+  fault::FaultInjector inj_sock(tp_only_plan(), kSeed);
+  const RunResult chaos_sock =
+      run_once(core::TpFlavor::kSocket, core::SocketDomain::kUnix, &inj_sock);
+
+  std::printf("\nchaos (kTpSend-only, seed %#llx):\n%s",
+              static_cast<unsigned long long>(kSeed),
+              chaos_sock.degradation.to_string().c_str());
+  for (const RunResult* r : {&chaos_pipe, &chaos_sock}) {
+    if (!r->lineage.conserved() || r->lineage.in_flight != 0) {
+      std::printf("FAIL: chaos lineage not conserved\n");
+      ok = false;
+    }
+  }
+  if (!chaos_pipe.degradation.degraded() ||
+      chaos_pipe.degradation.lises_dead == 0) {
+    std::printf("FAIL: chaos plan injected nothing\n");
+    ok = false;
+  }
+  if (!same_ledger(chaos_pipe, chaos_sock)) {
+    std::printf("FAIL: pipe and socket ledgers diverged for the same seed\n");
+    ok = false;
+  }
+  if (chaos_sock.degradation.records_lost_wire != 0) {
+    std::printf("FAIL: kTpSend-only plan leaked losses onto the wire\n");
+    ok = false;
+  }
+
+  auto root = bench::JsonValue::object();
+  root.add("bench", bench::JsonValue::string("tp_transport"))
+      .add("records", bench::JsonValue::integer(kRecords))
+      .add("nodes", bench::JsonValue::integer(kNodes))
+      .add("seed", bench::JsonValue::integer(static_cast<std::int64_t>(kSeed)))
+      .add("pipe", backend_json(pipe))
+      .add("socket_unix", backend_json(unx))
+      .add("socket_tcp", backend_json(tcp))
+      .add("socket_vs_pipe_slowdown",
+           bench::JsonValue::number(
+               pipe.wall_ms > 0 ? unx.wall_ms / pipe.wall_ms : 0))
+      .add("chaos_lost", bench::JsonValue::integer(static_cast<std::int64_t>(
+                             chaos_sock.lineage.lost)))
+      .add("chaos_ledgers_match",
+           bench::JsonValue::boolean(same_ledger(chaos_pipe, chaos_sock)))
+      .add("conserved",
+           bench::JsonValue::boolean(chaos_pipe.lineage.conserved() &&
+                                     chaos_sock.lineage.conserved()));
+  bench::write_json_file("BENCH_tp_transport.json", root);
+  std::printf("\nwrote BENCH_tp_transport.json\n");
+
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -24,7 +24,9 @@ namespace prism::core {
 struct ChannelStats {
   std::uint64_t enqueued = 0;
   std::uint64_t dequeued = 0;
-  std::uint64_t rejected = 0;  ///< failed try_push attempts
+  /// Failed push attempts of any flavor (push on closed, try_push on
+  /// full/closed, push_for timeout/closed): attempts == enqueued + rejected.
+  std::uint64_t rejected = 0;
   std::size_t max_occupancy = 0;
   /// Cumulative time producers spent blocked in push() (ns).
   std::uint64_t producer_block_ns = 0;
@@ -51,7 +53,13 @@ class Channel {
               std::chrono::steady_clock::now() - t0)
               .count());
     }
-    if (closed_) return false;
+    if (closed_) {
+      // Every failed push counts: try_push and push_for already increment
+      // rejected, and the conservation audit (accepted == enqueued,
+      // attempts == enqueued + rejected) only closes if this path does too.
+      ++stats_.rejected;
+      return false;
+    }
     items_.push_back(std::move(value));
     ++stats_.enqueued;
     stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());

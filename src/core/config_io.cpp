@@ -24,14 +24,16 @@ std::uint64_t parse_u64(std::size_t line, const std::string& v) {
 }
 
 double parse_double(std::size_t line, const std::string& v) {
-  try {
-    std::size_t pos = 0;
-    const double out = std::stod(v, &pos);
-    if (pos != v.size()) throw std::invalid_argument("trailing junk");
-    return out;
-  } catch (const std::exception&) {
+  // from_chars, not stod: stod honors the global C locale (a config written
+  // with '.' fails to parse under a ',' decimal locale) and throws an
+  // unrelated out_of_range on overflow ("1e999") instead of a ConfigError.
+  double out = 0.0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec == std::errc::result_out_of_range)
+    throw ConfigError(line, "number out of range: '" + v + "'");
+  if (ec != std::errc{} || p != v.data() + v.size())
     throw ConfigError(line, "expected a number, got '" + v + "'");
-  }
+  return out;
 }
 
 bool parse_bool(std::size_t line, const std::string& v) {
@@ -100,6 +102,18 @@ EnvironmentConfig parse_environment_config(const std::string& text) {
       else throw ConfigError(lineno, "unknown tp flavor '" + value + "'");
     } else if (key == "link_capacity") {
       cfg.link_capacity = parse_u64(lineno, value);
+    } else if (key == "socket_domain") {
+      if (value == "unix") cfg.socket.domain = SocketDomain::kUnix;
+      else if (value == "tcp") cfg.socket.domain = SocketDomain::kTcpLoopback;
+      else throw ConfigError(lineno, "unknown socket domain '" + value + "'");
+    } else if (key == "socket_coalesce_bytes") {
+      cfg.socket.coalesce_byte_budget = parse_u64(lineno, value);
+      if (cfg.socket.coalesce_byte_budget == 0)
+        throw ConfigError(lineno, "socket_coalesce_bytes must be positive");
+    } else if (key == "socket_max_frame_records") {
+      cfg.socket.max_frame_records = parse_u64(lineno, value);
+      if (cfg.socket.max_frame_records == 0)
+        throw ConfigError(lineno, "socket_max_frame_records must be positive");
     } else if (key == "ism_input") {
       if (value == "siso") cfg.ism.input = InputConfig::kSiso;
       else if (value == "miso") cfg.ism.input = InputConfig::kMiso;
@@ -139,6 +153,9 @@ std::string serialize_environment_config(const EnvironmentConfig& cfg) {
      << (cfg.daemon_blocks_app_on_full_pipe ? "true" : "false") << "\n";
   os << "tp = " << to_string(cfg.tp_flavor) << "\n";
   os << "link_capacity = " << cfg.link_capacity << "\n";
+  os << "socket_domain = " << to_string(cfg.socket.domain) << "\n";
+  os << "socket_coalesce_bytes = " << cfg.socket.coalesce_byte_budget << "\n";
+  os << "socket_max_frame_records = " << cfg.socket.max_frame_records << "\n";
   os << "ism_input = "
      << (cfg.ism.input == InputConfig::kSiso ? "siso" : "miso") << "\n";
   os << "causal_ordering = " << (cfg.ism.causal_ordering ? "true" : "false")

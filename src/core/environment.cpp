@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/socket_link.hpp"
+
 namespace prism::core {
 
 std::string_view to_string(LisStyle s) {
@@ -39,6 +41,10 @@ IntegratedEnvironment::IntegratedEnvironment(EnvironmentConfig config)
       config_.ism.input == InputConfig::kSiso ? 1 : config_.nodes;
   tp_ = std::make_unique<TransferProtocol>(config_.tp_flavor, config_.nodes,
                                            data_links, config_.link_capacity);
+  // kSocket is the one flavor with a real OS data plane: batches leave the
+  // process's in-memory links and cross kernel stream sockets.
+  if (config_.tp_flavor == TpFlavor::kSocket)
+    tp_->enable_socket_backend(config_.socket);
   ism_ = std::make_unique<Ism>(*tp_, config_.ism);
   lises_.reserve(config_.nodes);
   for (std::uint32_t n = 0; n < config_.nodes; ++n) {
@@ -124,6 +130,7 @@ LisStats IntegratedEnvironment::total_lis_stats() const {
 void IntegratedEnvironment::set_observer(obs::PipelineObserver* o) {
   for (auto& l : lises_) l->set_observer(o);
   ism_->set_observer(o);
+  tp_->set_observer(o);
 }
 
 void IntegratedEnvironment::set_fault(fault::FaultInjector* f,
@@ -145,6 +152,8 @@ DegradationReport IntegratedEnvironment::degradation() const {
   d.tools_failed = is.tools_failed;
   d.holdback_expired = is.expired_released;
   d.control_dropped = tp_->control_dropped_total();
+  if (tp_->socket_backend_enabled())
+    d.records_lost_wire = tp_->socket_transport()->records_lost_total();
   return d;
 }
 
@@ -154,6 +163,7 @@ std::string DegradationReport::to_string() const {
      << " tools_failed=" << tools_failed
      << " lost_send=" << records_lost_send
      << " lost_dead=" << records_lost_dead
+     << " lost_wire=" << records_lost_wire
      << " control_dropped=" << control_dropped
      << " holdback_expired=" << holdback_expired;
   return os.str();

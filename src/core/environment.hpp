@@ -55,6 +55,9 @@ struct EnvironmentConfig {
   bool daemon_blocks_app_on_full_pipe = true;
   TpFlavor tp_flavor = TpFlavor::kPipe;
   std::size_t link_capacity = 1024;
+  /// Real-socket data plane (used only when tp_flavor == kSocket): address
+  /// family, untrusted-header record bound, and write coalescing budget.
+  SocketOptions socket;
   IsmConfig ism;
 };
 
@@ -66,6 +69,9 @@ struct DegradationReport {
   std::uint64_t tools_failed = 0;      ///< tools isolated after crashing
   std::uint64_t records_lost_send = 0; ///< destroyed by TP send failures
   std::uint64_t records_lost_dead = 0; ///< destroyed with dead components
+  /// Destroyed on the socket wire (frame corruption, mid-frame aborts,
+  /// undelivered kernel-buffered frames).  Zero for in-process flavors.
+  std::uint64_t records_lost_wire = 0;
   std::uint64_t control_dropped = 0;   ///< control messages lost, all kinds
   /// Held-back records force-released because their source died.
   std::uint64_t holdback_expired = 0;
@@ -73,7 +79,8 @@ struct DegradationReport {
   /// True when anything at all degraded.
   bool degraded() const {
     return lises_dead || tools_failed || records_lost_send ||
-           records_lost_dead || control_dropped || holdback_expired;
+           records_lost_dead || records_lost_wire || control_dropped ||
+           holdback_expired;
   }
   std::string to_string() const;
 };

@@ -1,0 +1,93 @@
+#include "core/io_loop.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+namespace prism::core {
+
+void append_frame(std::vector<char>& wire, const DataBatch& b,
+                  bool corrupt_magic) {
+  FrameHeader hdr;
+  hdr.source_node = b.source_node;
+  hdr.t_sent_ns = b.t_sent_ns;
+  hdr.record_count = b.records.size();
+  if (corrupt_magic) hdr.magic ^= 0xFFu;
+  const std::size_t off = wire.size();
+  wire.resize(off + frame_wire_size(b));
+  std::memcpy(wire.data() + off, &hdr, sizeof hdr);
+  if (!b.records.empty())
+    std::memcpy(wire.data() + off + sizeof hdr, b.records.data(),
+                b.records.size() * sizeof(trace::EventRecord));
+}
+
+namespace {
+
+/// Parks until `fd` raises `events` (or an error condition).  Returns false
+/// when poll itself failed hard — the caller's next read/write surfaces the
+/// real errno.
+bool park(int fd, short events) {
+  struct pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, -1);
+    if (r >= 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+std::size_t io_write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, p + written, len - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    // A 0-byte write is a hard link failure on the targets that produce it;
+    // retrying would spin forever without moving a byte.
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!park(fd, POLLOUT)) break;
+      continue;
+    }
+    break;  // EPIPE, EBADF, ECONNRESET, ...
+  }
+  return written;
+}
+
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+std::size_t io_read_full(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!park(fd, POLLIN)) break;
+      continue;
+    }
+    break;
+  }
+  return got;
+}
+
+}  // namespace prism::core

@@ -1,0 +1,69 @@
+// Shared byte-stream plumbing for the real-IPC TP links (pipe + socket).
+//
+// Both OS-level transports — PosixPipeLink and SocketLink — speak the same
+// wire format: length-prefixed frames of trivially-copyable EventRecords
+// behind a fixed 24-byte header.  This header hosts that format plus the
+// fd read/write loops the two links share.
+//
+// The write loop treats a 0-byte ::write return as a hard link failure
+// instead of retrying: POSIX permits a zero return on some targets, and the
+// old per-link loop spun forever on it (`while (written < len)` with `n == 0`
+// never advanced).  A short return from io_write_all therefore always means
+// "the link is broken at `written` bytes" — at a frame boundary if nothing
+// of the current frame landed, mid-frame (stream desynchronized) otherwise.
+//
+// Both loops retry EINTR and, for non-blocking fds (the socket link), park
+// in poll(2) on EAGAIN so callers keep pipe-like blocking semantics without
+// caring which fd flavor they hold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/transfer_protocol.hpp"
+
+namespace prism::core {
+
+/// Magic leading every wire frame ("PIPE" — the socket link deliberately
+/// keeps the pipe's value so the two transports are wire-compatible).
+inline constexpr std::uint32_t kFrameMagic = 0x50495045;
+
+/// On-wire frame header.  `record_count` is untrusted input on the read
+/// side: readers must bound-check it before allocating.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t source_node = 0;
+  std::uint64_t t_sent_ns = 0;
+  std::uint64_t record_count = 0;
+};
+static_assert(sizeof(FrameHeader) == 24, "wire format");
+
+/// Serialized size of one batch on the wire.
+inline std::size_t frame_wire_size(const DataBatch& b) {
+  return sizeof(FrameHeader) + b.records.size() * sizeof(trace::EventRecord);
+}
+
+/// Serializes `b` as one frame appended to `wire`.  `corrupt_magic` flips
+/// low magic bits (fault injection: the frame ships, the reader must catch
+/// it).
+void append_frame(std::vector<char>& wire, const DataBatch& b,
+                  bool corrupt_magic = false);
+
+/// Writes up to `len` bytes; returns how many actually landed.  Retries
+/// EINTR, parks in poll(POLLOUT) on EAGAIN (non-blocking fds), and treats a
+/// 0-byte ::write as a hard link failure (no spin).  A short return
+/// distinguishes a clean failure (`0` written, stream still at a frame
+/// boundary) from a mid-frame failure (stream desynchronized).
+std::size_t io_write_all(int fd, const void* data, std::size_t len);
+
+/// Reads exactly `len` bytes unless EOF/error cuts the stream short;
+/// returns how many were read (a short return at a nonzero offset means a
+/// truncated frame).  Retries EINTR and parks in poll(POLLIN) on EAGAIN.
+std::size_t io_read_full(int fd, void* data, std::size_t len);
+
+/// Sets the process's SIGPIPE disposition to SIG_IGN exactly once (shared
+/// std::call_once), so writes to a dead peer surface as EPIPE.  A handler
+/// the application installs after the first call is never clobbered.
+void ignore_sigpipe_once();
+
+}  // namespace prism::core

@@ -91,11 +91,13 @@ void Ism::processor_main() {
         });
   }
 
+  // The ISM consumes receive_link(): the data link itself for in-process
+  // flavors, the socket backend's egress buffer when one is enabled.
   const std::size_t n_links = tp_.data_link_count();
   if (n_links == 1) {
     // SISO: block on the single input buffer.
-    while (auto msg = tp_.data_link(0).pop()) {
-      PRISM_OBS_GAUGE_SET("core.ism.input_depth", tp_.data_link(0).size());
+    while (auto msg = tp_.receive_link(0).pop()) {
+      PRISM_OBS_GAUGE_SET("core.ism.input_depth", tp_.receive_link(0).size());
       if (observer_)
         tp_.sample_depths(&observer_->timeline,
                           static_cast<double>(now_ns()));
@@ -114,7 +116,7 @@ void Ism::processor_main() {
       bool any = false;
       bool all_done = true;
       for (std::size_t i = 0; i < n_links; ++i) {
-        auto& link = tp_.data_link(i);
+        auto& link = tp_.receive_link(i);
         if (!link.closed() || link.size() > 0) all_done = false;
         if (auto msg = link.try_pop()) {
           any = true;

@@ -10,58 +10,15 @@
 #include <vector>
 
 #include "core/clock.hpp"
+#include "core/io_loop.hpp"
+
+// Framing and the fd read/write loops live in core/io_loop.hpp, shared with
+// the socket transport (the two links are wire-compatible).  The shared
+// write loop also fixes a long-standing hazard here: a 0-byte ::write
+// return (possible on some targets) used to spin this writer forever; it is
+// now a hard link failure surfacing as a short write.
 
 namespace prism::core {
-
-namespace {
-
-constexpr std::uint32_t kFrameMagic = 0x50495045;  // "PIPE"
-
-struct FrameHeader {
-  std::uint32_t magic = kFrameMagic;
-  std::uint32_t source_node = 0;
-  std::uint64_t t_sent_ns = 0;
-  std::uint64_t record_count = 0;
-};
-
-/// Writes up to `len` bytes; returns how many actually landed.  A short
-/// return distinguishes a clean failure (0 written, stream still at a frame
-/// boundary) from a mid-frame failure (stream desynchronized).
-std::size_t write_bytes(int fd, const void* data, std::size_t len) {
-  const char* p = static_cast<const char*>(data);
-  std::size_t written = 0;
-  while (written < len) {
-    const ssize_t n = ::write(fd, p + written, len - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return written;
-}
-
-/// Reads exactly `len` bytes unless EOF/error cuts the stream short;
-/// returns how many were read (a short return on a nonzero offset means a
-/// truncated frame).
-std::size_t read_bytes(int fd, void* data, std::size_t len) {
-  char* p = static_cast<char*>(data);
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::read(fd, p + got, len - got);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // EOF
-    got += static_cast<std::size_t>(n);
-  }
-  return got;
-}
-
-std::once_flag g_sigpipe_once;
-
-}  // namespace
 
 PosixPipeLink::PosixPipeLink(DataLink& deliver_to,
                              std::uint64_t max_frame_records)
@@ -74,10 +31,8 @@ PosixPipeLink::PosixPipeLink(DataLink& deliver_to,
   read_fd_ = fds[0];
   write_fd_ = fds[1];
   // Writes to a closed pipe must surface as EPIPE, not SIGPIPE.  Installed
-  // once per process: the old per-instance ::signal() call re-clobbered any
-  // handler the application installed between link constructions (and raced
-  // with it).
-  std::call_once(g_sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+  // once per process (shared with the socket transport).
+  ignore_sigpipe_once();
   reader_ = std::thread([this] { reader_main(); });
 }
 
@@ -150,13 +105,9 @@ bool PosixPipeLink::send(const DataBatch& batch) {
     if (f.kind == fault::FaultKind::kPartialFrame) {
       // Simulate the writer dying mid-frame: half the serialized frame hits
       // the wire, then the stream is declared desynchronized.
-      const std::size_t payload =
-          batch.records.size() * sizeof(trace::EventRecord);
-      std::vector<char> wire(sizeof hdr + payload);
-      std::memcpy(wire.data(), &hdr, sizeof hdr);
-      if (payload > 0)
-        std::memcpy(wire.data() + sizeof hdr, batch.records.data(), payload);
-      write_bytes(write_fd_, wire.data(), wire.size() / 2);
+      std::vector<char> wire;
+      append_frame(wire, batch);
+      io_write_all(write_fd_, wire.data(), wire.size() / 2);
       abort_stream_locked(batch);
       return false;
     }
@@ -168,7 +119,7 @@ bool PosixPipeLink::send(const DataBatch& batch) {
   }
   const bool wire_corrupt = hdr.magic != kFrameMagic;
 
-  const std::size_t hdr_written = write_bytes(write_fd_, &hdr, sizeof hdr);
+  const std::size_t hdr_written = io_write_all(write_fd_, &hdr, sizeof hdr);
   if (hdr_written != sizeof hdr) {
     if (hdr_written == 0) {
       // Nothing landed: the stream is still at a frame boundary (typically
@@ -182,7 +133,7 @@ bool PosixPipeLink::send(const DataBatch& batch) {
   if (!batch.records.empty()) {
     const std::size_t payload =
         batch.records.size() * sizeof(trace::EventRecord);
-    if (write_bytes(write_fd_, batch.records.data(), payload) != payload) {
+    if (io_write_all(write_fd_, batch.records.data(), payload) != payload) {
       // The header (and possibly part of the payload) is on the wire but
       // the frame is incomplete — every later byte would be misparsed.
       abort_stream_locked(batch);
@@ -208,7 +159,7 @@ bool PosixPipeLink::send(const DataBatch& batch) {
 bool PosixPipeLink::inject_raw(const void* data, std::size_t len) {
   std::lock_guard lk(write_mu_);
   if (writer_closed_.load()) return false;
-  return write_bytes(write_fd_, data, len) == len;
+  return io_write_all(write_fd_, data, len) == len;
 }
 
 void PosixPipeLink::close_writer() {
@@ -234,7 +185,7 @@ void PosixPipeLink::reader_declare_corrupt() {
 void PosixPipeLink::reader_main() {
   for (;;) {
     FrameHeader hdr;
-    const std::size_t got = read_bytes(read_fd_, &hdr, sizeof hdr);
+    const std::size_t got = io_read_full(read_fd_, &hdr, sizeof hdr);
     if (got == 0) break;  // clean EOF at a frame boundary
     if (got != sizeof hdr) {  // writer died mid-header
       reader_declare_corrupt();
@@ -257,7 +208,7 @@ void PosixPipeLink::reader_main() {
     batch.records.resize(hdr.record_count);
     if (hdr.record_count > 0) {
       const std::size_t want = hdr.record_count * sizeof(trace::EventRecord);
-      if (read_bytes(read_fd_, batch.records.data(), want) != want) {
+      if (io_read_full(read_fd_, batch.records.data(), want) != want) {
         reader_declare_corrupt();  // writer died mid-payload
         break;
       }

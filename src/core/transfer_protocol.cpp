@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/socket_link.hpp"
 #include "obs/obs.hpp"
 
 namespace prism::core {
@@ -34,6 +35,14 @@ std::string_view to_string(TpFlavor f) {
   return "unknown";
 }
 
+std::string_view to_string(SocketDomain d) {
+  switch (d) {
+    case SocketDomain::kUnix: return "unix";
+    case SocketDomain::kTcpLoopback: return "tcp";
+  }
+  return "unknown";
+}
+
 TransferProtocol::TransferProtocol(TpFlavor flavor, std::size_t nodes,
                                    std::size_t data_links,
                                    std::size_t link_capacity)
@@ -48,6 +57,51 @@ TransferProtocol::TransferProtocol(TpFlavor flavor, std::size_t nodes,
   controls_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i)
     controls_.push_back(std::make_unique<ControlLink>(link_capacity));
+}
+
+TransferProtocol::~TransferProtocol() {
+  if (socket_) {
+    // The pumps exit once their ingress links close; the reader follows the
+    // resulting EOFs.  Closing first makes the join in ~SocketTransport
+    // finite even when the owner never ran an orderly shutdown.
+    close_data_links();
+    socket_.reset();
+  }
+}
+
+void TransferProtocol::enable_socket_backend(const SocketOptions& opts) {
+  if (flavor_ != TpFlavor::kSocket)
+    throw std::logic_error(
+        "TransferProtocol: socket backend requires TpFlavor::kSocket");
+  if (socket_)
+    throw std::logic_error("TransferProtocol: socket backend already enabled");
+  socket_ = std::make_unique<SocketTransport>(*this, opts);
+  socket_->set_fault(fault_, retry_);
+  socket_->set_observer(observer_);
+}
+
+DataLink& TransferProtocol::receive_link(std::size_t index) {
+  return socket_ ? socket_->egress(index) : data_link(index);
+}
+
+SocketLink& TransferProtocol::socket_link(std::size_t index) {
+  if (!socket_)
+    throw std::logic_error("TransferProtocol: socket backend not enabled");
+  return socket_->link(index);
+}
+
+void TransferProtocol::set_fault(fault::FaultInjector* f,
+                                 fault::RetryPolicy retry) {
+  fault_ = f;
+  retry_ = retry;
+  backoff_rng_ =
+      stats::Rng(stats::Rng::hash_seed(f ? f->seed() : 0, 0x7c0ull));
+  if (socket_) socket_->set_fault(f, retry);
+}
+
+void TransferProtocol::set_observer(obs::PipelineObserver* o) {
+  observer_ = o;
+  if (socket_) socket_->set_observer(o);
 }
 
 DataLink& TransferProtocol::data_link_for(std::uint32_t node) {
@@ -127,6 +181,10 @@ void TransferProtocol::close_all() {
 
 void TransferProtocol::close_data_links() {
   for (auto& d : datas_) d->close();
+  // The socket pumps drain the closed links asynchronously (attributing
+  // whatever a dead stream can no longer carry); wait for that accounting
+  // to finish so ledgers read after shutdown are final, not racing.
+  if (socket_) socket_->quiesce();
 }
 
 void TransferProtocol::close_control_links() {

@@ -27,6 +27,10 @@
 #include "obs/timeline.hpp"
 #include "trace/record.hpp"
 
+namespace prism::obs {
+struct PipelineObserver;
+}
+
 namespace prism::core {
 
 /// A batch of instrumentation data in flight from a LIS to the ISM.
@@ -70,10 +74,35 @@ using DataLink = Channel<Message>;
 using ControlLink = Channel<ControlMessage>;
 
 /// IPC flavor tags of Fig. 3 ("RPC / Sockets / Pipes") plus the
-/// custom-protocol option the paper notes for VIZIR.
+/// custom-protocol option the paper notes for VIZIR.  kSocket is a real
+/// backend: enable_socket_backend() routes the data plane over OS-level
+/// stream sockets (see socket_link.hpp).  kRpc / kCustom remain
+/// descriptive tags over in-process links.
 enum class TpFlavor : std::uint8_t { kPipe, kSocket, kRpc, kCustom };
 
 std::string_view to_string(TpFlavor f);
+
+/// Address family for the real socket backend.
+enum class SocketDomain : std::uint8_t {
+  kUnix,         ///< AF_UNIX stream pair (default; no network stack)
+  kTcpLoopback,  ///< TCP over 127.0.0.1 (exercises the full inet path)
+};
+
+std::string_view to_string(SocketDomain d);
+
+/// Tuning for the socket transport.
+struct SocketOptions {
+  SocketDomain domain = SocketDomain::kUnix;
+  /// Upper bound on records per frame accepted from the wire (the header is
+  /// untrusted input; same bound check as the pipe link).
+  std::uint64_t max_frame_records = 1ull << 20;
+  /// Write-side batching: a link's pump coalesces queued DataBatch frames
+  /// into one write syscall until the serialized bytes reach this budget.
+  std::size_t coalesce_byte_budget = 64 * 1024;
+};
+
+class SocketTransport;  // socket_link.hpp
+class SocketLink;
 
 /// Wiring for one integrated environment: data links from each LIS toward
 /// the ISM and a control link back to each LIS.  The number of data links is
@@ -83,6 +112,7 @@ class TransferProtocol {
  public:
   TransferProtocol(TpFlavor flavor, std::size_t nodes,
                    std::size_t data_links, std::size_t link_capacity);
+  ~TransferProtocol();
 
   TpFlavor flavor() const { return flavor_; }
   std::size_t nodes() const { return controls_.size(); }
@@ -94,6 +124,24 @@ class TransferProtocol {
   DataLink& data_link(std::size_t index) { return *datas_.at(index); }
 
   ControlLink& control_link(std::uint32_t node);
+
+  /// Makes the kSocket flavor real: each data link grows a pump that
+  /// serializes its batches over an OS-level stream socket, and a shared
+  /// poll()-driven reader delivers the frames into per-link egress buffers.
+  /// Senders keep pushing into data_link_for() unchanged; the ISM must
+  /// consume receive_link() instead of data_link().  The control plane
+  /// stays in-process (§2.2.3 allows direct ISM<->LIS control).  Call once,
+  /// before any traffic; requires flavor() == kSocket.
+  void enable_socket_backend(const SocketOptions& opts = {});
+  bool socket_backend_enabled() const { return socket_ != nullptr; }
+
+  /// Link the ISM consumes: the socket receiver's egress buffer when the
+  /// socket backend is enabled, else the data link itself.
+  DataLink& receive_link(std::size_t index);
+
+  /// Socket-backend introspection (null / throws when not enabled).
+  SocketTransport* socket_transport() { return socket_.get(); }
+  SocketLink& socket_link(std::size_t index);
 
   /// Broadcasts a control message to every node's control link.
   /// Lifecycle-critical kinds (see lifecycle_critical()) block for up to the
@@ -119,13 +167,14 @@ class TransferProtocol {
 
   /// Attaches the fault plane (may be null to detach).  kTpControl is
   /// consulted once per node per broadcast; injected send failures on
-  /// critical kinds are retried per `retry`.
-  void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {}) {
-    fault_ = f;
-    retry_ = retry;
-    backoff_rng_ = stats::Rng(
-        stats::Rng::hash_seed(f ? f->seed() : 0, 0x7c0ull));
-  }
+  /// critical kinds are retried per `retry`.  Forwarded to the socket
+  /// backend (kSocketSend / kSocketFrame sites) when one is enabled.
+  void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {});
+
+  /// Attaches the observability sink (may be null).  Only the socket
+  /// backend consumes it (wire losses need attribution); the in-process
+  /// links never destroy records.
+  void set_observer(obs::PipelineObserver* o);
 
   /// Samples every data link's queue depth into `tl` at time `t` (series
   /// "tp.link<i>.depth", on-change).  No-op when `tl` is null.
@@ -152,6 +201,9 @@ class TransferProtocol {
   /// cold; one lock is fine).
   std::mutex control_mu_;
   stats::Rng backoff_rng_{0};
+  obs::PipelineObserver* observer_ = nullptr;
+  /// Real OS-socket data plane (kSocket flavor only; see socket_link.hpp).
+  std::unique_ptr<SocketTransport> socket_;
 };
 
 }  // namespace prism::core

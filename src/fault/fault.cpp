@@ -31,6 +31,8 @@ std::string_view to_string(FaultSite s) {
     case FaultSite::kLisTick: return "lis_tick";
     case FaultSite::kIsmDispatch: return "ism_dispatch";
     case FaultSite::kToolCallback: return "tool_callback";
+    case FaultSite::kSocketSend: return "socket_send";
+    case FaultSite::kSocketFrame: return "socket_frame";
   }
   return "unknown";
 }
@@ -85,18 +87,24 @@ FaultPlan& FaultPlan::crash(FaultSite site, std::uint64_t at_op,
   return add(s);
 }
 
-FaultPlan& FaultPlan::corrupt_frame(double p, std::uint32_t node) {
+FaultPlan& FaultPlan::corrupt_frame(double p, std::uint32_t node,
+                                    FaultSite site) {
+  if (site != FaultSite::kPipeFrame && site != FaultSite::kSocketFrame)
+    throw std::invalid_argument("FaultPlan: corrupt_frame needs a frame site");
   FaultSpec s;
-  s.site = FaultSite::kPipeFrame;
+  s.site = site;
   s.kind = FaultKind::kFrameCorrupt;
   s.probability = p;
   s.node = node;
   return add(s);
 }
 
-FaultPlan& FaultPlan::partial_frame(std::uint64_t at_op, std::uint32_t node) {
+FaultPlan& FaultPlan::partial_frame(std::uint64_t at_op, std::uint32_t node,
+                                    FaultSite site) {
+  if (site != FaultSite::kPipeFrame && site != FaultSite::kSocketFrame)
+    throw std::invalid_argument("FaultPlan: partial_frame needs a frame site");
   FaultSpec s;
-  s.site = FaultSite::kPipeFrame;
+  s.site = site;
   s.kind = FaultKind::kPartialFrame;
   s.at_op = at_op;
   s.node = node;

@@ -58,8 +58,10 @@ enum class FaultSite : std::uint8_t {
   kLisTick,        ///< daemon LIS sampling tick (crash / stall injection)
   kIsmDispatch,    ///< ISM output-buffer dispatch (slow-consumer injection)
   kToolCallback,   ///< per-tool consume() (crash isolation; node = tool idx)
+  kSocketSend,     ///< SocketLink send entry (per frame; retryable failures)
+  kSocketFrame,    ///< SocketLink frame boundary (corruption injection)
 };
-inline constexpr std::size_t kFaultSiteCount = 8;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 std::string_view to_string(FaultSite s);
 
@@ -104,10 +106,13 @@ class FaultPlan {
   /// Component crash on the `at_op`-th consult of `site`.
   FaultPlan& crash(FaultSite site, std::uint64_t at_op,
                    std::uint32_t node = kAnyNode);
-  /// Frame corruption with probability `p` (pipe frame boundary).
-  FaultPlan& corrupt_frame(double p, std::uint32_t node = kAnyNode);
-  /// Writer death mid-frame on the `at_op`-th pipe frame.
-  FaultPlan& partial_frame(std::uint64_t at_op, std::uint32_t node = kAnyNode);
+  /// Frame corruption with probability `p` at a wire frame boundary
+  /// (kPipeFrame by default; pass kSocketFrame for the socket transport).
+  FaultPlan& corrupt_frame(double p, std::uint32_t node = kAnyNode,
+                           FaultSite site = FaultSite::kPipeFrame);
+  /// Writer death mid-frame on the `at_op`-th wire frame.
+  FaultPlan& partial_frame(std::uint64_t at_op, std::uint32_t node = kAnyNode,
+                           FaultSite site = FaultSite::kPipeFrame);
 
   const std::vector<FaultSpec>& specs() const { return specs_; }
   bool empty() const { return specs_.empty(); }

@@ -67,11 +67,16 @@ NodeMetrics NodeModel::run(sim::Time horizon) {
     // NodeMetrics stay bit-identical.
     const sim::Time dt = observer_->timeline_interval;
     auto tick = std::make_shared<std::function<void(sim::Time)>>();
-    *tick = [this, dt, horizon, tick](sim::Time t) {
+    // The stored function must not capture its own shared_ptr (a refcount
+    // cycle that leaks); scheduled closures keep it alive, the body holds
+    // only a weak_ptr.
+    std::weak_ptr<std::function<void(sim::Time)>> weak = tick;
+    *tick = [this, dt, horizon, weak](sim::Time t) {
       poll(t);
       const sim::Time next = t + dt;
       if (next <= horizon)
-        eng_.schedule_at(next, [tick, next] { (*tick)(next); });
+        if (auto keep = weak.lock())
+          eng_.schedule_at(next, [keep, next] { (*keep)(next); });
     };
     if (dt <= horizon) eng_.schedule_at(dt, [tick, dt] { (*tick)(dt); });
   }

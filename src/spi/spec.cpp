@@ -1,6 +1,7 @@
 #include "spi/spec.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <map>
 #include <optional>
 
@@ -70,7 +71,17 @@ class Lexer {
                (s_[j - 1] == 'e' || s_[j - 1] == 'E'))))
         ++j;
       const std::string lit = s_.substr(i_, j - i_);
-      cur_ = Token{Tok::kNumber, lit, std::stod(lit), line_};
+      // from_chars, not stod: stod honors the global C locale and throws an
+      // uncaught std::out_of_range on overflow ("1e999") — both must be
+      // ordinary SpecErrors carrying the line number.
+      double value = 0.0;
+      const auto [p, ec] =
+          std::from_chars(lit.data(), lit.data() + lit.size(), value);
+      if (ec == std::errc::result_out_of_range)
+        throw SpecError(line_, "number literal out of range: '" + lit + "'");
+      if (ec != std::errc{} || p != lit.data() + lit.size())
+        throw SpecError(line_, "malformed number literal: '" + lit + "'");
+      cur_ = Token{Tok::kNumber, lit, value, line_};
       i_ = j;
       return;
     }

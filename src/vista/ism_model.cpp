@@ -102,7 +102,11 @@ struct Model {
     if (!obs || !(obs->timeline_interval > 0)) return;
     const double dt = obs->timeline_interval;
     auto tick = std::make_shared<std::function<void(double)>>();
-    *tick = [this, dt, tick](double t) {
+    // The stored function must not capture its own shared_ptr (a refcount
+    // cycle that leaks); scheduled closures keep it alive, the body holds
+    // only a weak_ptr.
+    std::weak_ptr<std::function<void(double)>> weak = tick;
+    *tick = [this, dt, weak](double t) {
       obs->timeline.sample("poll.input_len", t,
                            static_cast<double>(proc_queue.size() + held_count));
       obs->timeline.sample("poll.held", t, static_cast<double>(held_count));
@@ -110,7 +114,8 @@ struct Model {
                            static_cast<double>(out_queue.size()));
       const double next = t + dt;
       if (next <= p.horizon_ms)
-        eng.schedule_at(next, [tick, next] { (*tick)(next); });
+        if (auto keep = weak.lock())
+          eng.schedule_at(next, [keep, next] { (*keep)(next); });
     };
     if (dt <= p.horizon_ms) eng.schedule_at(dt, [tick, dt] { (*tick)(dt); });
   }

@@ -59,6 +59,22 @@ TEST(Channel, PushAfterCloseFails) {
   EXPECT_FALSE(ch.try_push(1));
 }
 
+TEST(Channel, RejectedCountsEveryFailedPushFlavor) {
+  // The conservation audit reads attempts == enqueued + rejected; that only
+  // holds if every failing path counts, including blocking push() on a
+  // closed channel (the path that used to return false silently).
+  Channel<int> ch(1);
+  EXPECT_TRUE(ch.push(1));                                      // accepted
+  EXPECT_FALSE(ch.try_push(2));                                 // full
+  ch.close();
+  EXPECT_FALSE(ch.push(3));                                     // closed
+  EXPECT_FALSE(ch.try_push(4));                                 // closed
+  EXPECT_FALSE(ch.push_for(5, std::chrono::milliseconds(1)));   // closed
+  const auto s = ch.stats();
+  EXPECT_EQ(s.enqueued, 1u);
+  EXPECT_EQ(s.rejected, 4u);  // 5 attempts == 1 enqueued + 4 rejected
+}
+
 TEST(Channel, FullChannelBlocksProducerUntilPop) {
   Channel<int> ch(1);
   ch.push(1);

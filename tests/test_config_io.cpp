@@ -90,6 +90,42 @@ TEST(ConfigIo, RejectsMalformedValues) {
   EXPECT_THROW(parse_environment_config("nodes ="), ConfigError);
 }
 
+TEST(ConfigIo, SocketKeysParseAndRoundTrip) {
+  const auto cfg = parse_environment_config(
+      "tp = socket\nsocket_domain = tcp\nsocket_coalesce_bytes = 123\n"
+      "socket_max_frame_records = 77\n");
+  EXPECT_EQ(cfg.tp_flavor, TpFlavor::kSocket);
+  EXPECT_EQ(cfg.socket.domain, SocketDomain::kTcpLoopback);
+  EXPECT_EQ(cfg.socket.coalesce_byte_budget, 123u);
+  EXPECT_EQ(cfg.socket.max_frame_records, 77u);
+  const auto back =
+      parse_environment_config(serialize_environment_config(cfg));
+  EXPECT_EQ(back.socket.domain, cfg.socket.domain);
+  EXPECT_EQ(back.socket.coalesce_byte_budget, cfg.socket.coalesce_byte_budget);
+  EXPECT_EQ(back.socket.max_frame_records, cfg.socket.max_frame_records);
+}
+
+TEST(ConfigIo, RejectsBadSocketValues) {
+  EXPECT_THROW(parse_environment_config("socket_domain = carrier_pigeon"),
+               ConfigError);
+  EXPECT_THROW(parse_environment_config("socket_coalesce_bytes = 0"),
+               ConfigError);
+  EXPECT_THROW(parse_environment_config("socket_max_frame_records = 0"),
+               ConfigError);
+}
+
+TEST(ConfigIo, OverflowingNumberIsAConfigErrorNotACrash) {
+  // "1e999" overflows double; std::stod threw a bare std::out_of_range here.
+  // The parser must surface an ordinary ConfigError with the line number.
+  try {
+    parse_environment_config("nodes = 2\nflush_threshold = 1e999\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
 TEST(ConfigIo, SerializeParseRoundTrip) {
   EnvironmentConfig cfg;
   cfg.nodes = 3;

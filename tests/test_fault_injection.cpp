@@ -18,6 +18,7 @@
 
 #include "core/environment.hpp"
 #include "core/lis.hpp"
+#include "core/socket_link.hpp"
 #include "core/tool.hpp"
 #include "fault/fault.hpp"
 #include "obs/pipeline.hpp"
@@ -449,6 +450,7 @@ struct ChaosCounts {
   std::array<std::uint64_t, obs::kLossSiteCount> lost_at{};
   std::uint64_t recorded = 0, forwarded = 0, lost_send = 0, lost_dead = 0;
   std::uint64_t dispatched = 0;
+  std::uint64_t lost_wire = 0;
   std::uint32_t lises_dead = 0;
 
   bool operator==(const ChaosCounts& o) const {
@@ -456,11 +458,12 @@ struct ChaosCounts {
            lost == o.lost && lost_at == o.lost_at && recorded == o.recorded &&
            forwarded == o.forwarded && lost_send == o.lost_send &&
            lost_dead == o.lost_dead && dispatched == o.dispatched &&
-           lises_dead == o.lises_dead;
+           lost_wire == o.lost_wire && lises_dead == o.lises_dead;
   }
 };
 
-ChaosCounts run_chaos(std::uint64_t seed) {
+ChaosCounts run_chaos(std::uint64_t seed,
+                      core::TpFlavor flavor = core::TpFlavor::kPipe) {
   FaultPlan plan;
   // The crash goes first: the first matching spec wins a consult, and the
   // at_op trigger is one-shot — a Bernoulli send-failure landing on the same
@@ -475,6 +478,7 @@ ChaosCounts run_chaos(std::uint64_t seed) {
   cfg.flush_policy = core::FlushPolicyKind::kFof;
   cfg.local_buffer_capacity = 8;
   cfg.link_capacity = 4096;
+  cfg.tp_flavor = flavor;
   cfg.ism.input = core::InputConfig::kSiso;
   cfg.ism.causal_ordering = true;
   core::IntegratedEnvironment env(cfg);
@@ -511,6 +515,7 @@ ChaosCounts run_chaos(std::uint64_t seed) {
   c.lost_send = lis.lost_send;
   c.lost_dead = lis.lost_dead;
   c.dispatched = ism.records_dispatched;
+  c.lost_wire = env.degradation().records_lost_wire;
   c.lises_dead = env.degradation().lises_dead;
   return c;
 }
@@ -536,6 +541,127 @@ TEST(ChaosSoak, DifferentSeedsStillConserve) {
   // Conservation asserted inside run_chaos for both; the seeds should
   // plausibly produce different fault sequences.
   EXPECT_EQ(a.admitted, b.admitted);  // offered load is seed-independent
+}
+
+TEST(ChaosSoak, PipeAndSocketLedgersMatchForTheSameSeed) {
+  // The fault plan only consults LIS-side lanes (kTpSend), and lanes are
+  // schedule-independent, so routing the data plane over real sockets must
+  // not change a single ledger entry: same records admitted, same records
+  // lost at the same sites, nothing extra destroyed on the wire.
+  const auto pipe = run_chaos(4242, core::TpFlavor::kPipe);
+  const auto socket = run_chaos(4242, core::TpFlavor::kSocket);
+  EXPECT_TRUE(pipe == socket)
+      << "transport changed the ledger: admitted " << pipe.admitted << "/"
+      << socket.admitted << " completed " << pipe.completed << "/"
+      << socket.completed << " lost " << pipe.lost << "/" << socket.lost
+      << " lost_wire " << pipe.lost_wire << "/" << socket.lost_wire;
+  EXPECT_EQ(socket.lost_wire, 0u);  // no socket-site faults in the plan
+  EXPECT_GT(socket.completed, 0u);
+}
+
+/// Socket-path chaos: LIS faults plus retryable wire-send failures.  Only
+/// synchronous fault sites (kTpSend, kSocketSend) — asynchronous wire
+/// corruption splits losses between sites by reader/writer timing and is
+/// exercised by the conservation-only test below.
+ChaosCounts run_socket_chaos(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.crash(FaultSite::kTpSend, 40, /*node=*/2);
+  plan.send_failure(FaultSite::kTpSend, 0.05);
+  plan.send_failure(FaultSite::kSocketSend, 0.3);
+  FaultInjector inj(plan, seed);
+
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 4;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.flush_policy = core::FlushPolicyKind::kFof;
+  cfg.local_buffer_capacity = 8;
+  cfg.link_capacity = 4096;
+  cfg.tp_flavor = core::TpFlavor::kSocket;
+  cfg.ism.input = core::InputConfig::kSiso;
+  cfg.ism.causal_ordering = true;
+  core::IntegratedEnvironment env(cfg);
+  obs::PipelineObserver obs;
+  env.set_observer(&obs);
+  RetryPolicy rp;
+  rp.base_backoff_ns = 100;
+  env.set_fault(&inj, rp);
+  env.start();
+  for (std::uint64_t i = 0; i < 2000; ++i)
+    env.record(rec(static_cast<std::uint32_t>(i % 4), i / 4));
+  env.stop();
+
+  const auto rep = obs.lineage.report();
+  EXPECT_EQ(rep.in_flight, 0u);
+  EXPECT_EQ(rep.admitted, rep.completed + rep.lost);
+  EXPECT_DOUBLE_EQ(rep.attributed_loss_fraction(), 1.0);
+  EXPECT_TRUE(env.total_lis_stats().conserved());
+  EXPECT_TRUE(env.ism().stats().conserved());
+
+  ChaosCounts c;
+  c.admitted = rep.admitted;
+  c.completed = rep.completed;
+  c.lost = rep.lost;
+  c.lost_at = rep.lost_at;
+  c.recorded = env.total_lis_stats().recorded;
+  c.forwarded = env.total_lis_stats().records_forwarded;
+  c.lost_send = env.total_lis_stats().lost_send;
+  c.lost_dead = env.total_lis_stats().lost_dead;
+  c.dispatched = env.ism().stats().records_dispatched;
+  c.lost_wire = env.degradation().records_lost_wire;
+  c.lises_dead = env.degradation().lises_dead;
+  return c;
+}
+
+TEST(SocketChaos, SeededSocketRunRepeatsExactly) {
+  const auto first = run_socket_chaos(99);
+  const auto second = run_socket_chaos(99);
+  EXPECT_TRUE(first == second)
+      << "same-seed socket chaos runs diverged: admitted " << first.admitted
+      << "/" << second.admitted << " lost " << first.lost << "/"
+      << second.lost << " lost_wire " << first.lost_wire << "/"
+      << second.lost_wire;
+  EXPECT_EQ(first.lises_dead, 1u);
+  EXPECT_GT(first.completed, 0u);
+  EXPECT_GT(first.lost, 0u);
+}
+
+TEST(SocketChaos, WireCorruptionStillConserves) {
+  // Asynchronous corruption: where exactly each record dies (aborted frame,
+  // stranded in the kernel buffer, EPIPE after the reader quit) depends on
+  // reader/writer timing — but the identity admitted == completed + lost +
+  // in_flight must close exactly, with every loss attributed.
+  FaultPlan plan;
+  plan.corrupt_frame(0.02, fault::kAnyNode, FaultSite::kSocketFrame);
+  plan.partial_frame(30, fault::kAnyNode, FaultSite::kSocketFrame);
+  FaultInjector inj(plan, 31337);
+
+  core::EnvironmentConfig cfg;
+  cfg.nodes = 2;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.tp_flavor = core::TpFlavor::kSocket;
+  cfg.ism.input = core::InputConfig::kSiso;
+  cfg.ism.causal_ordering = false;
+  core::IntegratedEnvironment env(cfg);
+  obs::PipelineObserver obs;
+  env.set_observer(&obs);
+  env.set_fault(&inj);
+  env.start();
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    env.record(rec(static_cast<std::uint32_t>(i % 2), i / 2));
+  env.stop();
+
+  const auto rep = obs.lineage.report();
+  EXPECT_EQ(rep.in_flight, 0u);
+  EXPECT_EQ(rep.admitted, rep.completed + rep.lost);
+  EXPECT_DOUBLE_EQ(rep.attributed_loss_fraction(), 1.0);
+  EXPECT_TRUE(env.total_lis_stats().conserved());
+  // The stream died mid-run: wire losses were recorded and surfaced in the
+  // degradation report.
+  EXPECT_GT(env.degradation().records_lost_wire, 0u);
+  EXPECT_TRUE(env.degradation().degraded());
+  EXPECT_TRUE(env.tp().socket_link(0).stream_corrupt());
+  EXPECT_EQ(env.degradation().records_lost_wire,
+            env.tp().socket_transport()->records_lost_total());
 }
 
 TEST(ChaosSoak, NullInjectorIsBitIdenticalToDetachedRun) {

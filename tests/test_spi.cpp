@@ -113,6 +113,21 @@ TEST(SpecParser, RejectsMalformedInput) {
   EXPECT_THROW(parse_spec("@"), SpecError);
 }
 
+TEST(SpecParser, OverflowingNumberLiteralIsASpecError) {
+  // "1e999" overflows double; std::stod would leak a bare std::out_of_range
+  // out of the lexer.  It must be a SpecError carrying the offending line.
+  try {
+    parse_spec(
+        "rule ok: when kind = send do count\n"
+        "rule hot: when value > 1e999 do count\n");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  EXPECT_THROW(parse_spec("rule r: when value > 1.2.3 do count"), SpecError);
+}
+
 TEST(SpecParser, EmptySpecIsEmpty) {
   EXPECT_TRUE(parse_spec("").empty());
   EXPECT_TRUE(parse_spec("  # only a comment\n").empty());
