@@ -263,9 +263,12 @@ bench::JsonValue engine_micro() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Optional args: perf_replication [--no-trace] [reps] (keeps CI wall time
-  // bounded; --no-trace skips the span tracer and the trace-file write).
+  // Optional args: perf_replication [--quick] [--no-trace] [reps] (keeps CI
+  // wall time bounded; --no-trace skips the span tracer and the trace-file
+  // write; --quick shrinks reps and thread counts for perf-gate runs and is
+  // recorded in the JSON so baselines compare like-for-like).
   bool trace = true;
+  bool quick = false;
   unsigned reps = 12;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -273,17 +276,25 @@ int main(int argc, char** argv) {
       trace = false;
       continue;
     }
+    if (arg == "--quick") {
+      quick = true;
+      trace = false;
+      reps = 4;
+      continue;
+    }
     const int parsed = std::atoi(arg.c_str());
     if (parsed < 1) {
-      std::fprintf(stderr, "usage: %s [--no-trace] [reps>=1]  (got '%s')\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--no-trace] [reps>=1]  (got '%s')\n",
                    argv[0], arg.c_str());
       return 2;
     }
     reps = static_cast<unsigned>(parsed);
   }
   const unsigned hw = sim::ThreadPool::default_threads();
-  std::vector<unsigned> counts{1, 2, 4};
-  if (hw > 4) counts.push_back(hw);
+  std::vector<unsigned> counts{1, 2};
+  if (!quick) counts.push_back(4);
+  if (!quick && hw > 4) counts.push_back(hw);
 
   // Self-telemetry: trace the run (spans ride along with the timings below)
   // and scrape the metrics registry into the BENCH file at the end.
@@ -295,6 +306,7 @@ int main(int argc, char** argv) {
   auto root = bench::JsonValue::object();
   root.add("bench", bench::JsonValue::string("replication_harness"));
   root.add("schema_version", bench::JsonValue::integer(1));
+  root.add("quick", bench::JsonValue::boolean(quick));
   root.add("hardware_concurrency", bench::JsonValue::integer(hw));
   std::printf("perf_replication: hardware_concurrency=%u, r=%u per scenario\n",
               hw, reps);

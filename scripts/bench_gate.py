@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_*.json against its committed
+baseline and fail when any throughput metric regressed beyond tolerance.
+
+Usage:
+    scripts/bench_gate.py BASELINE FRESH [--tolerance 0.10]
+
+Every numeric field whose name ends in ``_per_sec`` (events/sec, ops/sec,
+ticks/sec) anywhere in the JSON tree is a throughput metric; the gate fails
+when ``fresh < baseline * (1 - tolerance)``.  Speedups getting *faster* never
+fail.  Matching is by JSON path, so renaming or dropping a metric is flagged
+as a missing-metric failure rather than silently ungated; *new* metrics in
+the fresh file are ignored (they have no baseline yet).
+
+Both files must agree on their ``quick`` flag when present — a full-workload
+run compared against a quick baseline (or vice versa) measures workload size,
+not regression.
+
+Capture baselines as the per-metric *minimum* over several quick runs (the
+committed ones were floored over four samples): single-run numbers on a
+small box swing more than the tolerance, and a floored baseline fires only
+on regressions below the machine's observed variance.
+
+Exit codes: 0 clean, 1 regression/malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def throughput_metrics(tree, path=""):
+    """Yields (json_path, value) for every *_per_sec number in the tree."""
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            sub = f"{path}.{key}" if path else key
+            if key.endswith("_per_sec") and isinstance(value, (int, float)):
+                yield sub, float(value)
+            else:
+                yield from throughput_metrics(value, sub)
+    elif isinstance(tree, list):
+        for i, value in enumerate(tree):
+            yield from throughput_metrics(value, f"{path}[{i}]")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_*.json")
+    ap.add_argument("fresh", help="just-produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional drop (default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot load input: {e}")
+        return 1
+
+    if base.get("quick") != fresh.get("quick"):
+        print(f"bench_gate: quick-mode mismatch (baseline quick="
+              f"{base.get('quick')}, fresh quick={fresh.get('quick')}); "
+              "regenerate the baseline with the same mode")
+        return 1
+
+    fresh_metrics = dict(throughput_metrics(fresh))
+    failures = []
+    checked = 0
+    for path, base_v in throughput_metrics(base):
+        if base_v <= 0:
+            continue  # degenerate baseline sample; nothing to gate against
+        if path not in fresh_metrics:
+            failures.append(f"  MISSING {path} (baseline {base_v:.0f})")
+            continue
+        checked += 1
+        fresh_v = fresh_metrics[path]
+        ratio = fresh_v / base_v
+        marker = "FAIL" if ratio < 1 - args.tolerance else "ok"
+        print(f"  [{marker:4s}] {path}: {base_v:12.0f} -> {fresh_v:12.0f} "
+              f"({(ratio - 1) * 100:+.1f}%)")
+        if ratio < 1 - args.tolerance:
+            failures.append(f"  REGRESSED {path}: {base_v:.0f} -> {fresh_v:.0f} "
+                            f"({(ratio - 1) * 100:+.1f}%, limit "
+                            f"-{args.tolerance * 100:.0f}%)")
+
+    if not checked and not failures:
+        print("bench_gate: no *_per_sec metrics found in baseline")
+        return 1
+    if failures:
+        print(f"\nbench_gate: {len(failures)} failure(s) vs {args.baseline}:")
+        for f_ in failures:
+            print(f_)
+        return 1
+    print(f"\nbench_gate: {checked} metric(s) within -{args.tolerance * 100:.0f}% "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

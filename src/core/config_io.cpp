@@ -4,6 +4,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "core/shm_ring.hpp"
+
 namespace prism::core {
 
 namespace {
@@ -99,6 +101,7 @@ EnvironmentConfig parse_environment_config(const std::string& text) {
       else if (value == "socket") cfg.tp_flavor = TpFlavor::kSocket;
       else if (value == "rpc") cfg.tp_flavor = TpFlavor::kRpc;
       else if (value == "custom") cfg.tp_flavor = TpFlavor::kCustom;
+      else if (value == "shm") cfg.tp_flavor = TpFlavor::kShm;
       else throw ConfigError(lineno, "unknown tp flavor '" + value + "'");
     } else if (key == "link_capacity") {
       cfg.link_capacity = parse_u64(lineno, value);
@@ -114,6 +117,19 @@ EnvironmentConfig parse_environment_config(const std::string& text) {
       cfg.socket.max_frame_records = parse_u64(lineno, value);
       if (cfg.socket.max_frame_records == 0)
         throw ConfigError(lineno, "socket_max_frame_records must be positive");
+    } else if (key == "shm_ring_capacity") {
+      cfg.shm.ring_capacity = parse_u64(lineno, value);
+      // Validated at parse time, not link setup: a zero or non-power-of-two
+      // capacity would otherwise surface as a throw deep inside environment
+      // construction, far from the config line that caused it.
+      if (!is_power_of_two(cfg.shm.ring_capacity))
+        throw ConfigError(
+            lineno, "shm_ring_capacity must be a nonzero power of two, got '" +
+                        value + "'");
+    } else if (key == "shm_max_frame_records") {
+      cfg.shm.max_frame_records = parse_u64(lineno, value);
+      if (cfg.shm.max_frame_records == 0)
+        throw ConfigError(lineno, "shm_max_frame_records must be positive");
     } else if (key == "ism_input") {
       if (value == "siso") cfg.ism.input = InputConfig::kSiso;
       else if (value == "miso") cfg.ism.input = InputConfig::kMiso;
@@ -156,6 +172,8 @@ std::string serialize_environment_config(const EnvironmentConfig& cfg) {
   os << "socket_domain = " << to_string(cfg.socket.domain) << "\n";
   os << "socket_coalesce_bytes = " << cfg.socket.coalesce_byte_budget << "\n";
   os << "socket_max_frame_records = " << cfg.socket.max_frame_records << "\n";
+  os << "shm_ring_capacity = " << cfg.shm.ring_capacity << "\n";
+  os << "shm_max_frame_records = " << cfg.shm.max_frame_records << "\n";
   os << "ism_input = "
      << (cfg.ism.input == InputConfig::kSiso ? "siso" : "miso") << "\n";
   os << "causal_ordering = " << (cfg.ism.causal_ordering ? "true" : "false")

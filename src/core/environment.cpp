@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/shm_link.hpp"
 #include "core/socket_link.hpp"
 
 namespace prism::core {
@@ -41,10 +42,12 @@ IntegratedEnvironment::IntegratedEnvironment(EnvironmentConfig config)
       config_.ism.input == InputConfig::kSiso ? 1 : config_.nodes;
   tp_ = std::make_unique<TransferProtocol>(config_.tp_flavor, config_.nodes,
                                            data_links, config_.link_capacity);
-  // kSocket is the one flavor with a real OS data plane: batches leave the
-  // process's in-memory links and cross kernel stream sockets.
+  // kSocket and kShm have real data planes: batches leave the process's
+  // in-memory links and cross kernel stream sockets or shared-memory rings.
   if (config_.tp_flavor == TpFlavor::kSocket)
     tp_->enable_socket_backend(config_.socket);
+  else if (config_.tp_flavor == TpFlavor::kShm)
+    tp_->enable_shm_backend(config_.shm);
   ism_ = std::make_unique<Ism>(*tp_, config_.ism);
   lises_.reserve(config_.nodes);
   for (std::uint32_t n = 0; n < config_.nodes; ++n) {
@@ -154,6 +157,8 @@ DegradationReport IntegratedEnvironment::degradation() const {
   d.control_dropped = tp_->control_dropped_total();
   if (tp_->socket_backend_enabled())
     d.records_lost_wire = tp_->socket_transport()->records_lost_total();
+  else if (tp_->shm_backend_enabled())
+    d.records_lost_wire = tp_->shm_transport()->records_lost_total();
   return d;
 }
 

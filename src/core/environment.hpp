@@ -58,6 +58,9 @@ struct EnvironmentConfig {
   /// Real-socket data plane (used only when tp_flavor == kSocket): address
   /// family, untrusted-header record bound, and write coalescing budget.
   SocketOptions socket;
+  /// Shared-memory data plane (used only when tp_flavor == kShm): per-link
+  /// ring capacity (power of two) and untrusted-header record bound.
+  ShmOptions shm;
   IsmConfig ism;
 };
 
@@ -69,8 +72,9 @@ struct DegradationReport {
   std::uint64_t tools_failed = 0;      ///< tools isolated after crashing
   std::uint64_t records_lost_send = 0; ///< destroyed by TP send failures
   std::uint64_t records_lost_dead = 0; ///< destroyed with dead components
-  /// Destroyed on the socket wire (frame corruption, mid-frame aborts,
-  /// undelivered kernel-buffered frames).  Zero for in-process flavors.
+  /// Destroyed on the real data plane — socket wire or shm ring (frame
+  /// corruption, mid-frame aborts, undelivered in-transit frames).  Zero
+  /// for in-process flavors.
   std::uint64_t records_lost_wire = 0;
   std::uint64_t control_dropped = 0;   ///< control messages lost, all kinds
   /// Held-back records force-released because their source died.

@@ -10,6 +10,40 @@
 
 namespace prism::core {
 
+BatchArena& BatchArena::instance() {
+  static BatchArena arena;
+  return arena;
+}
+
+std::vector<trace::EventRecord> BatchArena::acquire(std::size_t records) {
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.acquires;
+    if (!pool_.empty()) {
+      ++stats_.reuses;
+      std::vector<trace::EventRecord> out = std::move(pool_.back());
+      pool_.pop_back();
+      out.resize(records);
+      return out;
+    }
+  }
+  return std::vector<trace::EventRecord>(records);
+}
+
+void BatchArena::release(std::vector<trace::EventRecord>&& storage) {
+  if (storage.capacity() == 0) return;
+  storage.clear();
+  std::lock_guard lk(mu_);
+  if (pool_.size() >= kMaxPooled) return;  // freed on scope exit
+  ++stats_.releases;
+  pool_.push_back(std::move(storage));
+}
+
+BatchArena::Stats BatchArena::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
 void append_frame(std::vector<char>& wire, const DataBatch& b,
                   bool corrupt_magic) {
   FrameHeader hdr;

@@ -18,11 +18,50 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/transfer_protocol.hpp"
 
 namespace prism::core {
+
+/// Process-wide freelist of record-batch storage for the reader side of the
+/// real transports.  The socket and shm readers must materialize a
+/// std::vector<EventRecord> per inbound frame; without pooling that is one
+/// heap allocation per frame in steady state.  Readers acquire() staging
+/// storage here and the ISM release()s a batch's storage once its records
+/// have been consumed (Ism::process_batch), so after warm-up the
+/// reader->ISM->reader cycle recycles the same capacity and the read path
+/// allocates nothing.  Bounded (kMaxPooled vectors) so a burst can never
+/// turn the pool into a leak; overflow storage is simply freed.
+/// Thread-safe; the lock is uncontended in practice (one reader thread and
+/// one ISM processor trade vectors).
+class BatchArena {
+ public:
+  static BatchArena& instance();
+
+  /// A vector sized to `records` (unspecified contents) — pooled capacity
+  /// when available, freshly allocated otherwise.
+  std::vector<trace::EventRecord> acquire(std::size_t records);
+
+  /// Returns a consumed batch's storage to the pool.  Empty-capacity
+  /// vectors are ignored; beyond kMaxPooled the storage is freed.
+  void release(std::vector<trace::EventRecord>&& storage);
+
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< acquires served from the pool
+    std::uint64_t releases = 0;  ///< vectors accepted back into the pool
+  };
+  Stats stats() const;
+
+  static constexpr std::size_t kMaxPooled = 64;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<trace::EventRecord>> pool_;
+  Stats stats_;
+};
 
 /// Magic leading every wire frame ("PIPE" — the socket link deliberately
 /// keeps the pipe's value so the two transports are wire-compatible).

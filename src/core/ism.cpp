@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/clock.hpp"
+#include "core/io_loop.hpp"
 #include "obs/obs.hpp"
 
 namespace prism::core {
@@ -205,6 +206,9 @@ void Ism::process_batch(DataBatch&& batch) {
       emit(out, batch.t_sent_ns);
     }
   }
+  // The records are consumed (copied into the reorderer or emitted); the
+  // storage goes back to the transport readers' staging pool.
+  BatchArena::instance().release(std::move(batch.records));
   if (config_.causal_ordering) {
     std::lock_guard lk(mu_);
     stats_.held_back = reorderer_->held_back_total();

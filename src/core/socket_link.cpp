@@ -498,7 +498,9 @@ void SocketTransport::service(Conn& c) {
       c.batch = DataBatch{};
       c.batch.source_node = c.hdr.source_node;
       c.batch.t_sent_ns = c.hdr.t_sent_ns;
-      c.batch.records.resize(c.hdr.record_count);
+      // Staging storage from the shared arena: the ISM returns it after
+      // consuming the batch, so steady-state receive allocates nothing.
+      c.batch.records = BatchArena::instance().acquire(c.hdr.record_count);
       c.in_payload = true;
       c.got = 0;
     } else {

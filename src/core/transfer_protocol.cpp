@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/shm_link.hpp"
 #include "core/socket_link.hpp"
 #include "obs/obs.hpp"
 
@@ -31,6 +32,7 @@ std::string_view to_string(TpFlavor f) {
     case TpFlavor::kSocket: return "socket";
     case TpFlavor::kRpc: return "rpc";
     case TpFlavor::kCustom: return "custom";
+    case TpFlavor::kShm: return "shm";
   }
   return "unknown";
 }
@@ -60,12 +62,13 @@ TransferProtocol::TransferProtocol(TpFlavor flavor, std::size_t nodes,
 }
 
 TransferProtocol::~TransferProtocol() {
-  if (socket_) {
+  if (socket_ || shm_) {
     // The pumps exit once their ingress links close; the reader follows the
-    // resulting EOFs.  Closing first makes the join in ~SocketTransport
-    // finite even when the owner never ran an orderly shutdown.
+    // resulting EOFs.  Closing first makes the joins in the backend
+    // destructors finite even when the owner never ran an orderly shutdown.
     close_data_links();
     socket_.reset();
+    shm_.reset();
   }
 }
 
@@ -80,14 +83,33 @@ void TransferProtocol::enable_socket_backend(const SocketOptions& opts) {
   socket_->set_observer(observer_);
 }
 
+void TransferProtocol::enable_shm_backend(const ShmOptions& opts) {
+  if (flavor_ != TpFlavor::kShm)
+    throw std::logic_error(
+        "TransferProtocol: shm backend requires TpFlavor::kShm");
+  if (shm_)
+    throw std::logic_error("TransferProtocol: shm backend already enabled");
+  shm_ = std::make_unique<ShmTransport>(*this, opts);
+  shm_->set_fault(fault_, retry_);
+  shm_->set_observer(observer_);
+}
+
 DataLink& TransferProtocol::receive_link(std::size_t index) {
-  return socket_ ? socket_->egress(index) : data_link(index);
+  if (socket_) return socket_->egress(index);
+  if (shm_) return shm_->egress(index);
+  return data_link(index);
 }
 
 SocketLink& TransferProtocol::socket_link(std::size_t index) {
   if (!socket_)
     throw std::logic_error("TransferProtocol: socket backend not enabled");
   return socket_->link(index);
+}
+
+ShmLink& TransferProtocol::shm_link(std::size_t index) {
+  if (!shm_)
+    throw std::logic_error("TransferProtocol: shm backend not enabled");
+  return shm_->link(index);
 }
 
 void TransferProtocol::set_fault(fault::FaultInjector* f,
@@ -97,11 +119,13 @@ void TransferProtocol::set_fault(fault::FaultInjector* f,
   backoff_rng_ =
       stats::Rng(stats::Rng::hash_seed(f ? f->seed() : 0, 0x7c0ull));
   if (socket_) socket_->set_fault(f, retry);
+  if (shm_) shm_->set_fault(f, retry);
 }
 
 void TransferProtocol::set_observer(obs::PipelineObserver* o) {
   observer_ = o;
   if (socket_) socket_->set_observer(o);
+  if (shm_) shm_->set_observer(o);
 }
 
 DataLink& TransferProtocol::data_link_for(std::uint32_t node) {
@@ -181,10 +205,11 @@ void TransferProtocol::close_all() {
 
 void TransferProtocol::close_data_links() {
   for (auto& d : datas_) d->close();
-  // The socket pumps drain the closed links asynchronously (attributing
+  // The backend pumps drain the closed links asynchronously (attributing
   // whatever a dead stream can no longer carry); wait for that accounting
   // to finish so ledgers read after shutdown are final, not racing.
   if (socket_) socket_->quiesce();
+  if (shm_) shm_->quiesce();
 }
 
 void TransferProtocol::close_control_links() {

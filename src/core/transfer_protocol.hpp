@@ -74,11 +74,12 @@ using DataLink = Channel<Message>;
 using ControlLink = Channel<ControlMessage>;
 
 /// IPC flavor tags of Fig. 3 ("RPC / Sockets / Pipes") plus the
-/// custom-protocol option the paper notes for VIZIR.  kSocket is a real
-/// backend: enable_socket_backend() routes the data plane over OS-level
-/// stream sockets (see socket_link.hpp).  kRpc / kCustom remain
-/// descriptive tags over in-process links.
-enum class TpFlavor : std::uint8_t { kPipe, kSocket, kRpc, kCustom };
+/// custom-protocol option the paper notes for VIZIR.  kSocket and kShm are
+/// real backends: enable_socket_backend() routes the data plane over
+/// OS-level stream sockets (see socket_link.hpp), enable_shm_backend() over
+/// lock-free SPSC rings in shared-memory segments (see shm_link.hpp).
+/// kRpc / kCustom remain descriptive tags over in-process links.
+enum class TpFlavor : std::uint8_t { kPipe, kSocket, kRpc, kCustom, kShm };
 
 std::string_view to_string(TpFlavor f);
 
@@ -101,8 +102,21 @@ struct SocketOptions {
   std::size_t coalesce_byte_budget = 64 * 1024;
 };
 
+/// Tuning for the shared-memory transport.
+struct ShmOptions {
+  /// Bytes of ring data area per data link.  Must be a nonzero power of two
+  /// (the ring maps positions with a mask) and large enough for one
+  /// single-record frame; link setup rejects anything else.
+  std::size_t ring_capacity = 1 << 20;
+  /// Upper bound on records per frame accepted from the ring (the header is
+  /// untrusted shared state; same bound check as the pipe and socket links).
+  std::uint64_t max_frame_records = 1ull << 20;
+};
+
 class SocketTransport;  // socket_link.hpp
 class SocketLink;
+class ShmTransport;  // shm_link.hpp
+class ShmLink;
 
 /// Wiring for one integrated environment: data links from each LIS toward
 /// the ISM and a control link back to each LIS.  The number of data links is
@@ -135,13 +149,27 @@ class TransferProtocol {
   void enable_socket_backend(const SocketOptions& opts = {});
   bool socket_backend_enabled() const { return socket_ != nullptr; }
 
-  /// Link the ISM consumes: the socket receiver's egress buffer when the
-  /// socket backend is enabled, else the data link itself.
+  /// Makes the kShm flavor real: each data link grows a pump that frames its
+  /// batches into a lock-free SPSC ring in a shared-memory segment, and a
+  /// shared polling reader delivers the frames into per-link egress buffers.
+  /// Same consumption contract as the socket backend: the ISM must consume
+  /// receive_link().  Call once, before any traffic; requires
+  /// flavor() == kShm.  Throws std::invalid_argument on a ring capacity that
+  /// is zero, not a power of two, or too small for one record frame.
+  void enable_shm_backend(const ShmOptions& opts = {});
+  bool shm_backend_enabled() const { return shm_ != nullptr; }
+
+  /// Link the ISM consumes: the enabled backend's egress buffer (socket or
+  /// shm), else the data link itself.
   DataLink& receive_link(std::size_t index);
 
   /// Socket-backend introspection (null / throws when not enabled).
   SocketTransport* socket_transport() { return socket_.get(); }
   SocketLink& socket_link(std::size_t index);
+
+  /// Shm-backend introspection (null / throws when not enabled).
+  ShmTransport* shm_transport() { return shm_.get(); }
+  ShmLink& shm_link(std::size_t index);
 
   /// Broadcasts a control message to every node's control link.
   /// Lifecycle-critical kinds (see lifecycle_critical()) block for up to the
@@ -167,12 +195,12 @@ class TransferProtocol {
 
   /// Attaches the fault plane (may be null to detach).  kTpControl is
   /// consulted once per node per broadcast; injected send failures on
-  /// critical kinds are retried per `retry`.  Forwarded to the socket
-  /// backend (kSocketSend / kSocketFrame sites) when one is enabled.
+  /// critical kinds are retried per `retry`.  Forwarded to the enabled
+  /// backend (kSocketSend / kSocketFrame or kShmPush / kShmFrame sites).
   void set_fault(fault::FaultInjector* f, fault::RetryPolicy retry = {});
 
-  /// Attaches the observability sink (may be null).  Only the socket
-  /// backend consumes it (wire losses need attribution); the in-process
+  /// Attaches the observability sink (may be null).  Only the real
+  /// backends consume it (wire losses need attribution); the in-process
   /// links never destroy records.
   void set_observer(obs::PipelineObserver* o);
 
@@ -204,6 +232,8 @@ class TransferProtocol {
   obs::PipelineObserver* observer_ = nullptr;
   /// Real OS-socket data plane (kSocket flavor only; see socket_link.hpp).
   std::unique_ptr<SocketTransport> socket_;
+  /// Shared-memory data plane (kShm flavor only; see shm_link.hpp).
+  std::unique_ptr<ShmTransport> shm_;
 };
 
 }  // namespace prism::core

@@ -33,6 +33,8 @@ std::string_view to_string(FaultSite s) {
     case FaultSite::kToolCallback: return "tool_callback";
     case FaultSite::kSocketSend: return "socket_send";
     case FaultSite::kSocketFrame: return "socket_frame";
+    case FaultSite::kShmPush: return "shm_push";
+    case FaultSite::kShmFrame: return "shm_frame";
   }
   return "unknown";
 }
@@ -89,7 +91,8 @@ FaultPlan& FaultPlan::crash(FaultSite site, std::uint64_t at_op,
 
 FaultPlan& FaultPlan::corrupt_frame(double p, std::uint32_t node,
                                     FaultSite site) {
-  if (site != FaultSite::kPipeFrame && site != FaultSite::kSocketFrame)
+  if (site != FaultSite::kPipeFrame && site != FaultSite::kSocketFrame &&
+      site != FaultSite::kShmFrame)
     throw std::invalid_argument("FaultPlan: corrupt_frame needs a frame site");
   FaultSpec s;
   s.site = site;
@@ -101,7 +104,8 @@ FaultPlan& FaultPlan::corrupt_frame(double p, std::uint32_t node,
 
 FaultPlan& FaultPlan::partial_frame(std::uint64_t at_op, std::uint32_t node,
                                     FaultSite site) {
-  if (site != FaultSite::kPipeFrame && site != FaultSite::kSocketFrame)
+  if (site != FaultSite::kPipeFrame && site != FaultSite::kSocketFrame &&
+      site != FaultSite::kShmFrame)
     throw std::invalid_argument("FaultPlan: partial_frame needs a frame site");
   FaultSpec s;
   s.site = site;

@@ -60,8 +60,10 @@ enum class FaultSite : std::uint8_t {
   kToolCallback,   ///< per-tool consume() (crash isolation; node = tool idx)
   kSocketSend,     ///< SocketLink send entry (per frame; retryable failures)
   kSocketFrame,    ///< SocketLink frame boundary (corruption injection)
+  kShmPush,        ///< ShmLink ring push entry (per frame; retryable failures)
+  kShmFrame,       ///< ShmLink frame boundary (corruption injection)
 };
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 12;
 
 std::string_view to_string(FaultSite s);
 
@@ -107,7 +109,8 @@ class FaultPlan {
   FaultPlan& crash(FaultSite site, std::uint64_t at_op,
                    std::uint32_t node = kAnyNode);
   /// Frame corruption with probability `p` at a wire frame boundary
-  /// (kPipeFrame by default; pass kSocketFrame for the socket transport).
+  /// (kPipeFrame by default; pass kSocketFrame / kShmFrame for the real
+  /// backends).
   FaultPlan& corrupt_frame(double p, std::uint32_t node = kAnyNode,
                            FaultSite site = FaultSite::kPipeFrame);
   /// Writer death mid-frame on the `at_op`-th wire frame.

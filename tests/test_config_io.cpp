@@ -114,6 +114,51 @@ TEST(ConfigIo, RejectsBadSocketValues) {
                ConfigError);
 }
 
+TEST(ConfigIo, ShmKeysParseAndRoundTrip) {
+  const auto cfg = parse_environment_config(
+      "tp = shm\nshm_ring_capacity = 4096\nshm_max_frame_records = 99\n");
+  EXPECT_EQ(cfg.tp_flavor, TpFlavor::kShm);
+  EXPECT_EQ(cfg.shm.ring_capacity, 4096u);
+  EXPECT_EQ(cfg.shm.max_frame_records, 99u);
+  const auto back =
+      parse_environment_config(serialize_environment_config(cfg));
+  EXPECT_EQ(back.tp_flavor, TpFlavor::kShm);
+  EXPECT_EQ(back.shm.ring_capacity, cfg.shm.ring_capacity);
+  EXPECT_EQ(back.shm.max_frame_records, cfg.shm.max_frame_records);
+}
+
+TEST(ConfigIo, RejectsBadShmValuesWithLineNumbers) {
+  EXPECT_THROW(parse_environment_config("shm_max_frame_records = 0"),
+               ConfigError);
+  // Zero and non-power-of-two capacities are rejected at parse time, with
+  // the offending line, instead of surfacing as a throw from deep inside
+  // environment construction.
+  for (const char* bad : {"shm_ring_capacity = 0", "shm_ring_capacity = 100",
+                          "shm_ring_capacity = 4095"}) {
+    try {
+      parse_environment_config(std::string("tp = shm\n") + bad + "\n");
+      FAIL() << "expected ConfigError for '" << bad << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.line(), 2u);
+      EXPECT_NE(std::string(e.what()).find("power of two"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(ConfigIo, TpFlavorRoundTripsAllFlavors) {
+  // to_string/parse symmetry for every transport flavor, through a full
+  // serialize -> parse cycle.
+  for (const TpFlavor f : {TpFlavor::kPipe, TpFlavor::kSocket, TpFlavor::kRpc,
+                           TpFlavor::kCustom, TpFlavor::kShm}) {
+    EnvironmentConfig cfg;
+    cfg.tp_flavor = f;
+    const auto back =
+        parse_environment_config(serialize_environment_config(cfg));
+    EXPECT_EQ(back.tp_flavor, f) << to_string(f);
+  }
+}
+
 TEST(ConfigIo, OverflowingNumberIsAConfigErrorNotACrash) {
   // "1e999" overflows double; std::stod threw a bare std::out_of_range here.
   // The parser must surface an ordinary ConfigError with the line number.
