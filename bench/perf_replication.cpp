@@ -6,6 +6,8 @@
 // engine's schedule/step, cancel, and reschedule hot loops, and writes
 // BENCH_replication.json so future PRs have a comparable perf record.
 // (BENCH_*.json field documentation lives in README.md.)
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,9 @@
 #include "bench_json.hpp"
 #include "obs/json_check.hpp"
 #include "obs/obs.hpp"
+#include "obs/prof/alloc.hpp"
+#include "obs/prof/amdahl.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "picl/analytic_model.hpp"
@@ -35,6 +40,35 @@ double wall_ms(const std::function<void()>& fn) {
   fn();
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// ---- diagnosis probes (DESIGN.md §13) --------------------------------------
+//
+// Each thread-count leg of a workload is bracketed by a registry snapshot
+// (engine event counts, WorkerClock busy/idle publishes, queue-wait
+// histogram), a process-wide allocation scope, a calling-thread counter
+// scope, and a process-wide rusage read.  The deltas feed the per-workload
+// `diagnosis` block so the BENCH file states *why* a leg scaled or didn't.
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& s,
+                            const std::string& name) {
+  for (const auto& c : s.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+double histogram_sum(const obs::MetricsSnapshot& s, const std::string& name) {
+  for (const auto& h : s.histograms)
+    if (h.name == name) return h.sum;
+  return 0;
+}
+
+/// Process-wide context switches (voluntary + involuntary, all threads).
+std::uint64_t process_ctx_switches() {
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_nvcsw) +
+         static_cast<std::uint64_t>(ru.ru_nivcsw);
 }
 
 /// One replicated case-study workload, parameterized on the thread count.
@@ -97,21 +131,56 @@ struct ThreadsResult {
   double ms = 0;
   double speedup = 1;
   bool identical = true;
+  bool oversubscribed = false;  ///< threads > hardware_concurrency
+
+  // Diagnosis probes for this leg (all-zero with PRISM_OBS=OFF).
+  obs::prof::CounterDelta counters;  ///< calling thread (exact at threads=1)
+  obs::prof::AllocStats alloc;       ///< process-wide allocation delta
+  std::uint64_t events = 0;          ///< sim.engine.events_executed delta
+  std::uint64_t pool_busy_ns = 0;    ///< WorkerClock publishes, all pools
+  std::uint64_t pool_idle_ns = 0;
+  double queue_wait_ms = 0;          ///< submission-to-start lag, summed
+  std::uint64_t ctx_switches = 0;    ///< process-wide (rusage), all threads
+
+  double pool_utilization() const {
+    const double total =
+        static_cast<double>(pool_busy_ns) + static_cast<double>(pool_idle_ns);
+    return total > 0 ? static_cast<double>(pool_busy_ns) / total : 0;
+  }
 };
 
 /// Times `work` at each thread count; threads=1 is the baseline.
 std::vector<ThreadsResult> time_workload(const Workload& work,
-                                         const std::vector<unsigned>& counts) {
+                                         const std::vector<unsigned>& counts,
+                                         unsigned hw) {
   std::vector<ThreadsResult> out;
   double serial_ms = 0, serial_fp = 0;
   for (unsigned t : counts) {
     sim::ReplicateOptions opts;
     opts.threads = t;
     double fp = 0;
+    const auto snap0 = obs::Registry::instance().snapshot();
+    const std::uint64_t csw0 = process_ctx_switches();
+    const obs::prof::ProcessAllocScope alloc_scope;
+    const obs::prof::CounterScope counter_scope;
     const double ms = wall_ms([&] { fp = work(opts); });
     ThreadsResult r;
+    r.counters = counter_scope.delta();
+    r.alloc = alloc_scope.delta();
+    r.ctx_switches = process_ctx_switches() - csw0;
+    const auto snap1 = obs::Registry::instance().snapshot();
+    r.events = counter_value(snap1, "sim.engine.events_executed") -
+               counter_value(snap0, "sim.engine.events_executed");
+    r.pool_busy_ns = counter_value(snap1, "sim.pool.worker.busy_ns") -
+                     counter_value(snap0, "sim.pool.worker.busy_ns");
+    r.pool_idle_ns = counter_value(snap1, "sim.pool.worker.idle_ns") -
+                     counter_value(snap0, "sim.pool.worker.idle_ns");
+    r.queue_wait_ms = (histogram_sum(snap1, "sim.pool.queue_wait_ns") -
+                       histogram_sum(snap0, "sim.pool.queue_wait_ns")) *
+                      1e-6;
     r.threads = t;
     r.ms = ms;
+    r.oversubscribed = t > hw;
     if (t == 1) {
       serial_ms = ms;
       serial_fp = fp;
@@ -126,7 +195,148 @@ std::vector<ThreadsResult> time_workload(const Workload& work,
   return out;
 }
 
-bench::JsonValue to_json(const std::string& name, unsigned reps,
+/// Attributes the workload's scaling outcome to one dominant cause.  The
+/// verdict looks at the best parallel leg: if even the best one failed to
+/// beat serial, the probes say why — oversubscription (more workers than
+/// cores: wall time measures time-slicing), queue-wait dominance (workers
+/// starved behind the submission lock), a high Amdahl serial fraction
+/// (the workload itself is serialized), or residual pool overhead.
+struct Verdict {
+  std::string code;
+  std::string detail;
+};
+
+Verdict diagnose(const std::vector<ThreadsResult>& rows,
+                 const obs::prof::AmdahlFit& fit, unsigned hw) {
+  const ThreadsResult* best = nullptr;
+  for (const auto& r : rows)
+    if (r.threads > 1 && (!best || r.speedup > best->speedup)) best = &r;
+  char buf[256];
+  if (!best) return {"serial_only", "no parallel legs were timed"};
+  if (best->speedup >= 1.05) {
+    std::snprintf(buf, sizeof buf,
+                  "threads=%u reached %.2fx over serial (pool utilization "
+                  "%.0f%%)",
+                  best->threads, best->speedup,
+                  100 * best->pool_utilization());
+    return {"parallel_ok", buf};
+  }
+  if (best->oversubscribed) {
+    std::snprintf(buf, sizeof buf,
+                  "%u worker threads on %u hardware thread%s: wall time "
+                  "measures time-slicing, not scaling (%llu context switches "
+                  "in the best parallel leg)",
+                  best->threads, hw, hw == 1 ? "" : "s",
+                  static_cast<unsigned long long>(best->ctx_switches));
+    return {"oversubscribed", buf};
+  }
+  const double busy_ms = static_cast<double>(best->pool_busy_ns) * 1e-6;
+  if (busy_ms > 0 && best->queue_wait_ms > 0.5 * busy_ms) {
+    std::snprintf(buf, sizeof buf,
+                  "queue wait (%.1f ms summed) is %.0f%% of worker busy time "
+                  "(%.1f ms): tasks starve behind the submission path",
+                  best->queue_wait_ms, 100 * best->queue_wait_ms / busy_ms,
+                  busy_ms);
+    return {"queue_wait_dominant", buf};
+  }
+  if (fit.valid && fit.serial_fraction >= 0.5) {
+    std::snprintf(buf, sizeof buf,
+                  "Amdahl serial fraction s=%.2f (s>1 means parallelism adds "
+                  "cost beyond full serialization)",
+                  fit.serial_fraction);
+    return {"serial_fraction_dominant", buf};
+  }
+  std::snprintf(buf, sizeof buf,
+                "speedup %.2fx at threads=%u with utilization %.0f%%: pool "
+                "overhead exceeds the per-replication work",
+                best->speedup, best->threads, 100 * best->pool_utilization());
+  return {"parallel_overhead", buf};
+}
+
+/// Per-workload diagnosis block (DESIGN.md §13 documents the schema).  The
+/// whole subtree is additive telemetry: scripts/bench_gate.py skips keys
+/// under `diagnosis` for both gating and missing-metric checks.
+bench::JsonValue diagnosis_to_json(const std::vector<ThreadsResult>& rows,
+                                   unsigned hw) {
+  std::vector<std::pair<unsigned, double>> sweep;
+  for (const auto& r : rows) sweep.emplace_back(r.threads, r.ms);
+  const auto fit = obs::prof::fit_amdahl(sweep);
+  const auto verdict = diagnose(rows, fit, hw);
+
+  auto out_rows = bench::JsonValue::array();
+  for (const auto& r : rows) {
+    const double events = static_cast<double>(r.events);
+    auto row = bench::JsonValue::object();
+    row.add("threads", bench::JsonValue::integer(r.threads));
+    row.add("oversubscribed", bench::JsonValue::boolean(r.oversubscribed));
+    row.add("pool_busy_ms",
+            bench::JsonValue::number(static_cast<double>(r.pool_busy_ns) *
+                                     1e-6));
+    row.add("pool_idle_ms",
+            bench::JsonValue::number(static_cast<double>(r.pool_idle_ns) *
+                                     1e-6));
+    row.add("pool_utilization", bench::JsonValue::number(r.pool_utilization()));
+    row.add("queue_wait_ms", bench::JsonValue::number(r.queue_wait_ms));
+    row.add("events_executed",
+            bench::JsonValue::integer(static_cast<std::int64_t>(r.events)));
+    row.add("allocs",
+            bench::JsonValue::integer(
+                static_cast<std::int64_t>(r.alloc.allocs)));
+    row.add("alloc_bytes",
+            bench::JsonValue::integer(
+                static_cast<std::int64_t>(r.alloc.bytes)));
+    row.add("allocs_per_event",
+            bench::JsonValue::number(
+                events > 0 ? static_cast<double>(r.alloc.allocs) / events
+                           : 0));
+    row.add("ctx_switches",
+            bench::JsonValue::integer(
+                static_cast<std::int64_t>(r.ctx_switches)));
+    // Calling-thread counter scope: exact for the workload at threads=1 (the
+    // serial path runs in the caller); at threads>1 it measures the
+    // submitting/waiting thread, so only the serial row divides per event.
+    row.add("main_cpu_fraction",
+            bench::JsonValue::number(r.counters.cpu_fraction()));
+    if (r.counters.hw_valid && r.threads == 1 && events > 0) {
+      row.add("instructions_per_event",
+              bench::JsonValue::number(
+                  static_cast<double>(r.counters.instructions) / events));
+      row.add("cycles_per_event",
+              bench::JsonValue::number(
+                  static_cast<double>(r.counters.cycles) / events));
+      row.add("cache_misses_per_event",
+              bench::JsonValue::number(
+                  static_cast<double>(r.counters.cache_misses) / events));
+      row.add("ipc", bench::JsonValue::number(r.counters.ipc()));
+    }
+    out_rows.push(std::move(row));
+  }
+
+  auto amdahl = bench::JsonValue::object();
+  amdahl.add("valid", bench::JsonValue::boolean(fit.valid));
+  amdahl.add("serial_fraction", bench::JsonValue::number(fit.serial_fraction));
+  amdahl.add("t1_ms", bench::JsonValue::number(fit.t1_ms));
+  amdahl.add("rmse_ms", bench::JsonValue::number(fit.rmse_ms));
+  amdahl.add("points", bench::JsonValue::integer(fit.points));
+
+  auto diag = bench::JsonValue::object();
+  diag.add("profiling_backend",
+           bench::JsonValue::string(
+               obs::prof::backend_name(obs::prof::backend())));
+  diag.add("rows", std::move(out_rows));
+  diag.add("amdahl", std::move(amdahl));
+  diag.add("verdict", bench::JsonValue::string(verdict.code));
+  diag.add("detail", bench::JsonValue::string(verdict.detail));
+  std::printf("  diagnosis: %s — %s", verdict.code.c_str(),
+              verdict.detail.c_str());
+  if (fit.valid)
+    std::printf(" (Amdahl s=%.2f over %u points)", fit.serial_fraction,
+                fit.points);
+  std::printf("\n");
+  return diag;
+}
+
+bench::JsonValue to_json(const std::string& name, unsigned reps, unsigned hw,
                          const std::vector<ThreadsResult>& results,
                          bool* all_identical) {
   auto arr = bench::JsonValue::array();
@@ -136,6 +346,7 @@ bench::JsonValue to_json(const std::string& name, unsigned reps,
     row.add("wall_ms", bench::JsonValue::number(r.ms));
     row.add("speedup_vs_serial", bench::JsonValue::number(r.speedup));
     row.add("bit_identical_to_serial", bench::JsonValue::boolean(r.identical));
+    row.add("oversubscribed", bench::JsonValue::boolean(r.oversubscribed));
     *all_identical = *all_identical && r.identical;
     arr.push(std::move(row));
   }
@@ -143,6 +354,7 @@ bench::JsonValue to_json(const std::string& name, unsigned reps,
   wl.add("name", bench::JsonValue::string(name));
   wl.add("replications_per_scenario", bench::JsonValue::integer(reps));
   wl.add("results", std::move(arr));
+  wl.add("diagnosis", diagnosis_to_json(results, hw));
   return wl;
 }
 
@@ -205,6 +417,21 @@ bench::JsonValue replication_telemetry(unsigned reps, unsigned threads) {
   obj.add("rep_time_ms_max", bench::JsonValue::number(rr.rep_time_ms().max()));
   obj.add("worker_utilization",
           bench::JsonValue::number(rr.worker_utilization()));
+  // DESIGN.md §13 execution telemetry (zero with PRISM_OBS=OFF): wall >>
+  // cpu per replication is the oversubscription signature.
+  if (rr.rep_cpu_ms().count() > 0)
+    obj.add("rep_cpu_ms_mean", bench::JsonValue::number(rr.rep_cpu_ms().mean()));
+  if (rr.rep_allocs().count() > 0)
+    obj.add("rep_allocs_mean", bench::JsonValue::number(rr.rep_allocs().mean()));
+  obj.add("pool_busy_ms",
+          bench::JsonValue::number(static_cast<double>(rr.pool().busy_ns) *
+                                   1e-6));
+  obj.add("pool_idle_ms",
+          bench::JsonValue::number(static_cast<double>(rr.pool().idle_ns) *
+                                   1e-6));
+  obj.add("pool_queue_wait_ms",
+          bench::JsonValue::number(
+              static_cast<double>(rr.pool().queue_wait_ns) * 1e-6));
   return obj;
 }
 
@@ -295,6 +522,15 @@ int main(int argc, char** argv) {
   std::vector<unsigned> counts{1, 2};
   if (!quick) counts.push_back(4);
   if (!quick && hw > 4) counts.push_back(hw);
+  for (unsigned t : counts) {
+    if (t <= hw) continue;
+    std::fprintf(stderr,
+                 "WARNING: timing threads=%u on hardware_concurrency=%u — "
+                 "these legs measure oversubscription (time-slicing), not "
+                 "scaling; their speedup_vs_serial is flagged "
+                 "oversubscribed and skipped by scripts/bench_gate.py\n",
+                 t, hw);
+  }
 
   // Self-telemetry: trace the run (spans ride along with the timings below)
   // and scrape the metrics registry into the BENCH file at the end.
@@ -308,8 +544,12 @@ int main(int argc, char** argv) {
   root.add("schema_version", bench::JsonValue::integer(1));
   root.add("quick", bench::JsonValue::boolean(quick));
   root.add("hardware_concurrency", bench::JsonValue::integer(hw));
-  std::printf("perf_replication: hardware_concurrency=%u, r=%u per scenario\n",
-              hw, reps);
+  root.add("profiling_backend",
+           bench::JsonValue::string(
+               obs::prof::backend_name(obs::prof::backend())));
+  std::printf("perf_replication: hardware_concurrency=%u, r=%u per scenario, "
+              "profiling backend=%s\n",
+              hw, reps, obs::prof::backend_name(obs::prof::backend()));
 
   bool all_identical = true;
   auto workloads = bench::JsonValue::array();
@@ -321,8 +561,8 @@ int main(int argc, char** argv) {
         [&](const sim::ReplicateOptions& o) {
           return run_fig05_sweep(o, reps, 400, 250);
         },
-        counts);
-    workloads.push(to_json("fig05_picl_flushing_sweep", reps, res,
+        counts, hw);
+    workloads.push(to_json("fig05_picl_flushing_sweep", reps, hw, res,
                            &all_identical));
     for (const auto& r : res)
       std::printf("  threads=%u  wall=%8.1f ms  speedup=%.2fx  identical=%s\n",
@@ -332,8 +572,8 @@ int main(int argc, char** argv) {
     std::printf("timing fig09 Paradyn ROCC period sweep...\n");
     const auto res = time_workload(
         [&](const sim::ReplicateOptions& o) { return run_rocc_sweep(o, reps); },
-        counts);
-    workloads.push(to_json("fig09_rocc_period_sweep", reps, res,
+        counts, hw);
+    workloads.push(to_json("fig09_rocc_period_sweep", reps, hw, res,
                            &all_identical));
     for (const auto& r : res)
       std::printf("  threads=%u  wall=%8.1f ms  speedup=%.2fx  identical=%s\n",
@@ -343,8 +583,8 @@ int main(int argc, char** argv) {
     std::printf("timing fig11 Vista ISM interarrival sweep...\n");
     const auto res = time_workload(
         [&](const sim::ReplicateOptions& o) { return run_vista_sweep(o, reps); },
-        counts);
-    workloads.push(to_json("fig11_vista_ism_sweep", reps, res,
+        counts, hw);
+    workloads.push(to_json("fig11_vista_ism_sweep", reps, hw, res,
                            &all_identical));
     for (const auto& r : res)
       std::printf("  threads=%u  wall=%8.1f ms  speedup=%.2fx  identical=%s\n",

@@ -10,7 +10,16 @@ ticks/sec) anywhere in the JSON tree is a throughput metric; the gate fails
 when ``fresh < baseline * (1 - tolerance)``.  Speedups getting *faster* never
 fail.  Matching is by JSON path, so renaming or dropping a metric is flagged
 as a missing-metric failure rather than silently ungated; *new* metrics in
-the fresh file are ignored (they have no baseline yet).
+the fresh file are ignored (they have no baseline yet), and everything under
+a ``diagnosis`` key is telemetry, exempt from both gating and missing-metric
+checks (the block's fields vary with the measurement backend).
+
+Parallel-scaling rows (``workloads[].results[].speedup_vs_serial``) are also
+gated against the baseline, with one exception: a row that ran more worker
+threads than the box has hardware threads (``oversubscribed`` flag, or
+``threads > hardware_concurrency`` in either file) measures time-slicing,
+not scaling, and is skipped with a printed note.  Rows present in only one
+file (thread sweeps differ across boxes) are skipped, not failed.
 
 Both files must agree on their ``quick`` flag when present — a full-workload
 run compared against a quick baseline (or vice versa) measures workload size,
@@ -30,9 +39,12 @@ import sys
 
 
 def throughput_metrics(tree, path=""):
-    """Yields (json_path, value) for every *_per_sec number in the tree."""
+    """Yields (json_path, value) for every *_per_sec number in the tree,
+    skipping ``diagnosis`` subtrees (additive telemetry, never gated)."""
     if isinstance(tree, dict):
         for key, value in tree.items():
+            if key == "diagnosis":
+                continue
             sub = f"{path}.{key}" if path else key
             if key.endswith("_per_sec") and isinstance(value, (int, float)):
                 yield sub, float(value)
@@ -41,6 +53,23 @@ def throughput_metrics(tree, path=""):
     elif isinstance(tree, list):
         for i, value in enumerate(tree):
             yield from throughput_metrics(value, f"{path}[{i}]")
+
+
+def speedup_rows(tree):
+    """Yields (key, speedup, oversubscribed) per parallel workload row."""
+    hw = tree.get("hardware_concurrency") or 0
+    for wl in tree.get("workloads") or []:
+        name = wl.get("name", "?")
+        for row in wl.get("results") or []:
+            threads = row.get("threads")
+            speedup = row.get("speedup_vs_serial")
+            if not isinstance(threads, int) or threads <= 1:
+                continue
+            if not isinstance(speedup, (int, float)):
+                continue
+            over = bool(row.get("oversubscribed")) or (hw and threads > hw)
+            yield f"{name}.speedup_vs_serial[threads={threads}]", \
+                float(speedup), over
 
 
 def main():
@@ -85,6 +114,31 @@ def main():
             failures.append(f"  REGRESSED {path}: {base_v:.0f} -> {fresh_v:.0f} "
                             f"({(ratio - 1) * 100:+.1f}%, limit "
                             f"-{args.tolerance * 100:.0f}%)")
+
+    # Parallel-scaling rows: gated like throughput, except that rows which
+    # oversubscribed the box (in either file) are informational only.
+    fresh_speedups = {k: (v, over) for k, v, over in speedup_rows(fresh)}
+    for key, base_v, base_over in speedup_rows(base):
+        if key not in fresh_speedups:
+            print(f"  [skip] {key}: not in fresh file (thread sweep differs)")
+            continue
+        fresh_v, fresh_over = fresh_speedups[key]
+        if base_over or fresh_over:
+            print(f"  [skip] {key}: oversubscribed (threads > "
+                  f"hardware_concurrency) — measures time-slicing, not "
+                  f"scaling ({base_v:.2f}x -> {fresh_v:.2f}x)")
+            continue
+        if base_v <= 0:
+            continue
+        checked += 1
+        ratio = fresh_v / base_v
+        marker = "FAIL" if ratio < 1 - args.tolerance else "ok"
+        print(f"  [{marker:4s}] {key}: {base_v:11.2f}x -> {fresh_v:11.2f}x "
+              f"({(ratio - 1) * 100:+.1f}%)")
+        if ratio < 1 - args.tolerance:
+            failures.append(f"  REGRESSED {key}: {base_v:.2f}x -> "
+                            f"{fresh_v:.2f}x ({(ratio - 1) * 100:+.1f}%, "
+                            f"limit -{args.tolerance * 100:.0f}%)")
 
     if not checked and not failures:
         print("bench_gate: no *_per_sec metrics found in baseline")

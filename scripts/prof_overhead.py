@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Profiling-overhead check: the self-profiling plane (DESIGN.md §13) must
+cost under --tolerance (default 5%) of workload wall time.
+
+Usage:
+    scripts/prof_overhead.py --on ON.json [ON2.json ...] \\
+                             --off OFF.json [OFF2.json ...] [--tolerance 0.05]
+
+Each ``--on`` file is a BENCH_replication.json produced with profiling
+active; each ``--off`` file one produced by the same binary with
+PRISM_PROF=off in the environment (counter scopes read wall clock only; the
+interposed allocator and WorkerClock publishes remain, so this isolates the
+perf/rusage syscall cost).  For every workload x thread-count leg the check
+takes the MINIMUM wall_ms across the runs on each side — min-of-N is the
+standard noise-robust wall-time estimator; a loaded 1-core CI box swings
+single runs by more than the tolerance in either direction — then compares
+the summed minima and fails when the profiled sum exceeds the unprofiled
+sum by more than the tolerance.
+
+Exit codes: 0 within tolerance, 1 overhead/malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def leg_walls(tree):
+    """[(workload, threads, wall_ms)] in file order."""
+    legs = []
+    for wl in tree.get("workloads") or []:
+        for row in wl.get("results") or []:
+            ms = row.get("wall_ms")
+            if isinstance(ms, (int, float)):
+                legs.append((wl.get("name"), row.get("threads"), float(ms)))
+    return legs
+
+
+def min_walls(paths):
+    """Per-leg minimum across runs.  Returns (leg keys, min wall_ms list)."""
+    keys = None
+    mins = None
+    for path in paths:
+        with open(path) as f:
+            legs = leg_walls(json.load(f))
+        run_keys = [(name, threads) for name, threads, _ in legs]
+        walls = [ms for _, _, ms in legs]
+        if keys is None:
+            keys, mins = run_keys, walls
+        elif run_keys != keys:
+            raise ValueError(f"{path}: leg set differs from first run; "
+                             "run the same binary and flags every time")
+        else:
+            mins = [min(a, b) for a, b in zip(mins, walls)]
+    return keys or [], mins or []
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--on", nargs="+", required=True, metavar="BENCH_ON",
+                    help="BENCH json(s) with profiling enabled")
+    ap.add_argument("--off", nargs="+", required=True, metavar="BENCH_OFF",
+                    help="BENCH json(s) from PRISM_PROF=off runs")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional overhead (default 0.05 = 5%%)")
+    args = ap.parse_args()
+
+    try:
+        on_keys, on_mins = min_walls(args.on)
+        off_keys, off_mins = min_walls(args.off)
+        with open(args.on[0]) as f:
+            backend = json.load(f).get("profiling_backend", "?")
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"prof_overhead: cannot load input: {e}")
+        return 1
+
+    if not on_keys or on_keys != off_keys:
+        print(f"prof_overhead: leg mismatch (profiled {len(on_keys)} legs, "
+              f"unprofiled {len(off_keys)}); run the same binary and flags "
+              "on both sides")
+        return 1
+
+    on_ms = sum(on_mins)
+    off_ms = sum(off_mins)
+    if off_ms <= 0:
+        print("prof_overhead: unprofiled wall time is zero; nothing to gate")
+        return 1
+
+    overhead = on_ms / off_ms - 1
+    verdict = "FAIL" if overhead > args.tolerance else "ok"
+    print(f"prof_overhead [{verdict}]: backend={backend}, "
+          f"{len(on_keys)} legs, min of {len(args.on)}x on / "
+          f"{len(args.off)}x off: profiled {on_ms:.1f} ms vs unprofiled "
+          f"{off_ms:.1f} ms ({overhead * 100:+.1f}%, limit "
+          f"+{args.tolerance * 100:.0f}%)")
+    return 1 if overhead > args.tolerance else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -111,6 +111,16 @@ class Channel {
     return true;
   }
 
+  // GCC 12's uninitialized-use analysis misfires on the moved-from variant
+  // inside the returned optional when these pops inline into a caller loop
+  // (observed in the transport pump threads; the move-construct at `T v =
+  // std::move(items_.front())` is guarded by the emptiness checks above it).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
   /// Blocking pop.  Returns nullopt when the channel is closed and drained.
   std::optional<T> pop() {
     std::unique_lock lk(mu_);
@@ -135,6 +145,10 @@ class Channel {
     not_full_.notify_one();
     return v;
   }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   /// Pop with a deadline.  Returns nullopt on timeout or closed+drained.
   template <typename Rep, typename Period>

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/obs.hpp"
+
 namespace prism::core {
 
 BatchArena& BatchArena::instance() {
@@ -16,6 +18,7 @@ BatchArena& BatchArena::instance() {
 }
 
 std::vector<trace::EventRecord> BatchArena::acquire(std::size_t records) {
+  PRISM_OBS_COUNT("io.batch_arena.acquires");
   {
     std::lock_guard lk(mu_);
     ++stats_.acquires;
@@ -24,6 +27,7 @@ std::vector<trace::EventRecord> BatchArena::acquire(std::size_t records) {
       std::vector<trace::EventRecord> out = std::move(pool_.back());
       pool_.pop_back();
       out.resize(records);
+      PRISM_OBS_COUNT("io.batch_arena.reuses");
       return out;
     }
   }

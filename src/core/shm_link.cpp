@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "core/clock.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace prism::core {
 
@@ -213,7 +214,16 @@ void ShmLink::handle_batch(DataBatch&& batch) {
 }
 
 void ShmLink::pump_main() {
-  while (auto msg = ingress_.pop()) {
+  // Busy/idle split for the live tier's obs report: waiting in pop() —
+  // ingress empty or ingress lock contended — is idle; serializing and
+  // ring pushes (including ring-full parks, which burn the pump's budget)
+  // are busy.
+  obs::prof::WorkerClock clock("io.shm.pump");
+  for (;;) {
+    const std::uint64_t t_park = obs::prof::prof_now_ns();
+    std::optional<Message> msg = ingress_.pop();
+    clock.add_idle_ns(obs::prof::prof_now_ns() - t_park);
+    if (!msg) break;  // ingress closed and drained
     if (auto* batch = std::get_if<DataBatch>(&*msg)) {
       handle_batch(std::move(*batch));
     } else {
@@ -420,6 +430,10 @@ bool ShmTransport::service(Rx& rx) {
 }
 
 void ShmTransport::reader_main() {
+  // Busy/idle split for the live tier's obs report: the yield/sleep rungs
+  // of the backoff ladder are idle; spinning and draining rings are busy
+  // (a spinning reader occupies its core whether or not frames arrive).
+  obs::prof::WorkerClock clock("io.shm.reader");
   std::size_t idle = 0;
   for (;;) {
     bool any = false;
@@ -438,10 +452,14 @@ void ShmTransport::reader_main() {
     // mid-publish), then yield, then sleep so an idle plane costs nothing.
     if (++idle < 16) continue;
     if (idle < 64) {
+      const std::uint64_t t_park = obs::prof::prof_now_ns();
       std::this_thread::yield();
+      clock.add_idle_ns(obs::prof::prof_now_ns() - t_park);
       continue;
     }
+    const std::uint64_t t_park = obs::prof::prof_now_ns();
     std::this_thread::sleep_for(std::chrono::microseconds(100));
+    clock.add_idle_ns(obs::prof::prof_now_ns() - t_park);
   }
 }
 

@@ -12,6 +12,7 @@
 #include <system_error>
 
 #include "core/clock.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace prism::core {
 
@@ -284,6 +285,9 @@ void SocketLink::handle_batch(DataBatch&& batch) {
 }
 
 void SocketLink::pump_main() {
+  // Busy/idle split for the live tier's obs report: blocking on an empty
+  // ingress is idle, everything else (serialize, flush, write) is busy.
+  obs::prof::WorkerClock clock("io.socket.pump");
   for (;;) {
     bool have_pending;
     {
@@ -293,8 +297,11 @@ void SocketLink::pump_main() {
     // Coalescing discipline: only block on an empty ingress once the wire
     // buffer has been flushed, so a queue that momentarily runs dry never
     // strands serialized frames.
+    const std::uint64_t t_park = obs::prof::prof_now_ns();
     std::optional<Message> msg =
         have_pending ? ingress_.try_pop() : ingress_.pop();
+    if (!have_pending)  // only the blocking pop counts as idle
+      clock.add_idle_ns(obs::prof::prof_now_ns() - t_park);
     if (!msg) {
       if (have_pending) {
         std::lock_guard lk(write_mu_);
@@ -510,6 +517,9 @@ void SocketTransport::service(Conn& c) {
 }
 
 void SocketTransport::reader_main() {
+  // Busy/idle split for the live tier's obs report: parked in poll(2) is
+  // idle, servicing connections is busy.
+  obs::prof::WorkerClock clock("io.socket.reader");
   std::vector<pollfd> pfds;
   std::vector<std::size_t> idx;
   for (;;) {
@@ -524,7 +534,9 @@ void SocketTransport::reader_main() {
       idx.push_back(i);
     }
     if (pfds.empty()) return;  // every connection reached EOF or corruption
+    const std::uint64_t t_park = obs::prof::prof_now_ns();
     const int r = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    clock.add_idle_ns(obs::prof::prof_now_ns() - t_park);
     if (r < 0) {
       if (errno == EINTR) continue;
       // poll itself failed hard: every remaining stream is unreadable.

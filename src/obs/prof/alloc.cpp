@@ -1,0 +1,208 @@
+#include "obs/prof/alloc.hpp"
+
+#if PRISM_OBS_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace prism::obs::prof {
+
+namespace {
+
+// Per-thread tally.  Plain integers with constant initialization: the
+// counting path must never allocate (operator new would recurse) and must
+// be safe during TLS setup of other variables, so this is deliberately the
+// most boring possible storage.
+struct ThreadTally {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+};
+thread_local ThreadTally t_tally;
+
+// Process-wide tally, sharded to keep concurrent allocators off each
+// other's cache lines (same scheme as obs::Counter).  Constant-initialized
+// so interposed allocations during static init are safe.
+constexpr unsigned kShards = 16;
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+Shard g_shards[kShards];
+
+Shard& shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return g_shards[idx];
+}
+
+inline void count_alloc(std::size_t size) noexcept {
+  t_tally.allocs += 1;
+  t_tally.bytes += size;
+  Shard& s = shard();
+  s.allocs.fetch_add(1, std::memory_order_relaxed);
+  s.bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void count_free() noexcept {
+  t_tally.frees += 1;
+  shard().frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* checked_alloc(std::size_t size) {
+  // malloc(0) may return nullptr legally; operator new must not.
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) {
+      count_alloc(size);
+      return p;
+    }
+    if (std::new_handler h = std::get_new_handler())
+      h();
+    else
+      throw std::bad_alloc();
+  }
+}
+
+void* checked_alloc_aligned(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  // aligned_alloc requires size % align == 0 on some libcs; round up.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  for (;;) {
+    if (void* p = std::aligned_alloc(align, rounded)) {
+      count_alloc(size);
+      return p;
+    }
+    if (std::new_handler h = std::get_new_handler())
+      h();
+    else
+      throw std::bad_alloc();
+  }
+}
+
+}  // namespace
+
+AllocStats thread_alloc_stats() {
+  return {t_tally.allocs, t_tally.frees, t_tally.bytes};
+}
+
+AllocStats process_alloc_stats() {
+  AllocStats out;
+  for (const Shard& s : g_shards) {
+    out.allocs += s.allocs.load(std::memory_order_relaxed);
+    out.frees += s.frees.load(std::memory_order_relaxed);
+    out.bytes += s.bytes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace prism::obs::prof
+
+// ----------------------------------------------------------- interposition
+//
+// Counting replacements for the global allocation functions ([new.delete]
+// replaceability).  Each forwards to malloc/free, so sanitizer runtimes —
+// which intercept at the malloc layer — still see and check every block,
+// and new/delete stay mismatch-consistent from their point of view.
+
+namespace prof = prism::obs::prof;
+
+void* operator new(std::size_t size) { return prof::checked_alloc(size); }
+
+void* operator new[](std::size_t size) { return prof::checked_alloc(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return prof::checked_alloc_aligned(size,
+                                     static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return prof::checked_alloc_aligned(size,
+                                     static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return prof::checked_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return prof::checked_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return prof::checked_alloc_aligned(size,
+                                       static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return prof::checked_alloc_aligned(size,
+                                       static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept {
+  if (p) prof::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  if (p) prof::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept {
+  operator delete[](p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p) prof::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  if (p) prof::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  if (p) prof::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  if (p) prof::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete[](p);
+}
+
+#endif  // PRISM_OBS_ENABLED

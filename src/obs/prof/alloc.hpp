@@ -1,0 +1,87 @@
+// Allocation tracking for the profiling plane (DESIGN.md §13).
+//
+// The ROADMAP's arena-allocator item needs a baseline number — allocations
+// per simulated event on the hot path — that external tools can't give
+// without symbolized heap profiles.  This header provides it in-process:
+// the matching alloc.cpp interposes the global operator new/delete family
+// (guarded by the PRISM_OBS kill switch, so a -DPRISM_OBS=OFF build carries
+// no interposition at all) and counts every allocation twice:
+//
+//   * a per-thread tally (plain thread_local integers, zero-cost TLS init,
+//     no atomics) for exact single-thread scopes — the unit tests assert
+//     alloc-counter exactness against a synthetic new/delete loop;
+//   * a sharded process-wide tally (relaxed fetch_add on a cache-line
+//     padded shard, same scheme as obs::Counter) so benches can difference
+//     allocations across a multi-threaded region.
+//
+// Interposition only takes effect in binaries that link an object file from
+// this translation unit; prof.cpp (and through it the thread pool and
+// replication harness) references alloc symbols, so every prism binary that
+// profiles also counts.  Binaries that never touch the profiling plane are
+// left with the plain allocator.
+#pragma once
+
+#include <cstdint>
+
+#ifndef PRISM_OBS_ENABLED
+#define PRISM_OBS_ENABLED 1
+#endif
+
+namespace prism::obs::prof {
+
+/// Monotonic allocation tallies.  `bytes` counts requested sizes on the
+/// allocation side only (the deallocation path has no portable size).
+struct AllocStats {
+  std::uint64_t allocs = 0;  ///< operator new / new[] calls
+  std::uint64_t frees = 0;   ///< operator delete / delete[] calls
+  std::uint64_t bytes = 0;   ///< sum of requested allocation sizes
+
+  AllocStats operator-(const AllocStats& o) const {
+    return {allocs - o.allocs, frees - o.frees, bytes - o.bytes};
+  }
+};
+
+#if PRISM_OBS_ENABLED
+
+/// This thread's tallies since thread start.  Exact for work done on the
+/// calling thread; all-zero in a PRISM_OBS=OFF build (no interposition).
+AllocStats thread_alloc_stats();
+
+/// Process-wide tallies since process start (racy-but-consistent sharded
+/// scrape, exact once writers are quiescent — same contract as
+/// obs::Counter::value()).
+AllocStats process_alloc_stats();
+
+#else  // !PRISM_OBS_ENABLED — alloc.cpp compiles to nothing; scopes read 0.
+
+inline AllocStats thread_alloc_stats() { return {}; }
+inline AllocStats process_alloc_stats() { return {}; }
+
+#endif  // PRISM_OBS_ENABLED
+
+/// True when this build interposes the allocator (PRISM_OBS on).
+constexpr bool alloc_tracking_compiled_in() { return PRISM_OBS_ENABLED != 0; }
+
+/// RAII delta of the calling thread's tallies: construction snapshots,
+/// delta() subtracts.  Nestable for the same reason CounterScope is.
+class AllocScope {
+ public:
+  AllocScope() : start_(thread_alloc_stats()) {}
+  AllocStats delta() const { return thread_alloc_stats() - start_; }
+
+ private:
+  AllocStats start_;
+};
+
+/// As AllocScope but over the process-wide tallies (multi-threaded regions;
+/// inexact while other threads allocate concurrently — that is the point).
+class ProcessAllocScope {
+ public:
+  ProcessAllocScope() : start_(process_alloc_stats()) {}
+  AllocStats delta() const { return process_alloc_stats() - start_; }
+
+ private:
+  AllocStats start_;
+};
+
+}  // namespace prism::obs::prof

@@ -1,0 +1,58 @@
+#include "obs/prof/amdahl.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace prism::obs::prof {
+
+AmdahlFit fit_amdahl(
+    const std::vector<std::pair<unsigned, double>>& wall_ms_by_threads) {
+  AmdahlFit fit;
+  // Average duplicates so repeated sweeps at one thread count don't weight
+  // the regression toward that count.
+  std::map<unsigned, std::pair<double, unsigned>> by_n;
+  for (const auto& [n, ms] : wall_ms_by_threads) {
+    if (n == 0 || ms <= 0 || !std::isfinite(ms)) continue;
+    auto& [sum, cnt] = by_n[n];
+    sum += ms;
+    ++cnt;
+  }
+  const auto it1 = by_n.find(1);
+  if (it1 == by_n.end() || by_n.size() < 2) return fit;
+  fit.t1_ms = it1->second.first / it1->second.second;
+  if (fit.t1_ms <= 0) return fit;
+
+  double num = 0, den = 0;
+  for (const auto& [n, acc] : by_n) {
+    if (n == 1) continue;
+    const double y = (acc.first / acc.second) / fit.t1_ms;
+    const double inv = 1.0 / static_cast<double>(n);
+    const double w = 1.0 - inv;
+    num += w * (y - inv);
+    den += w * w;
+  }
+  if (den <= 0) return fit;
+  fit.serial_fraction = num / den;
+  fit.valid = true;
+  fit.points = static_cast<unsigned>(by_n.size());
+
+  double sq = 0;
+  unsigned m = 0;
+  for (const auto& [n, acc] : by_n) {
+    if (n == 1) continue;
+    const double resid = acc.first / acc.second - amdahl_predict_ms(fit, n);
+    sq += resid * resid;
+    ++m;
+  }
+  fit.rmse_ms = m ? std::sqrt(sq / m) : 0;
+  return fit;
+}
+
+double amdahl_predict_ms(const AmdahlFit& fit, unsigned threads) {
+  if (!fit.valid || threads == 0) return 0;
+  return fit.t1_ms * (fit.serial_fraction +
+                      (1.0 - fit.serial_fraction) /
+                          static_cast<double>(threads));
+}
+
+}  // namespace prism::obs::prof

@@ -1,0 +1,39 @@
+// Amdahl serial-fraction fit over a thread-sweep (DESIGN.md §13).
+//
+// The replication bench times each workload at 1, 2, ... N worker threads.
+// Fitting Amdahl's law  T(n) = T1 * (s + (1 - s) / n)  to those wall times
+// turns the sweep into a single diagnostic number: the measured serial
+// fraction s.  s near 0 means the harness scales; s near 1 means it is
+// serialized (lock convoy, one big scenario, queue-wait); s above 1 is the
+// pathological regime the ROADMAP flags — parallelism *adds* cost beyond
+// full serialization (oversubscription, pool overhead exceeding the work).
+//
+// The fit anchors T1 at the measured single-thread time and least-squares
+// s over the remaining points:  with y_n = T(n)/T1,
+//   y_n = s * (1 - 1/n) + 1/n   =>   s = sum(w_n * (y_n - 1/n)) / sum(w_n^2)
+// where w_n = 1 - 1/n.  Pure function, unit-tested in isolation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace prism::obs::prof {
+
+struct AmdahlFit {
+  bool valid = false;        ///< >= 2 distinct thread counts incl. n == 1
+  double serial_fraction = 0;///< s; unclamped, may exceed 1 (see header)
+  double t1_ms = 0;          ///< anchor: measured single-thread wall time
+  double rmse_ms = 0;        ///< fit residual over the non-serial points
+  unsigned points = 0;       ///< thread counts that entered the fit
+};
+
+/// Fits Amdahl's law to (threads, wall_ms) samples.  Requires one sample
+/// with threads == 1 (the anchor) and at least one with threads > 1;
+/// returns valid == false otherwise.  Duplicate thread counts are averaged.
+AmdahlFit fit_amdahl(
+    const std::vector<std::pair<unsigned, double>>& wall_ms_by_threads);
+
+/// T(n) predicted by a fit (valid fits only).
+double amdahl_predict_ms(const AmdahlFit& fit, unsigned threads);
+
+}  // namespace prism::obs::prof

@@ -1,0 +1,265 @@
+#include "obs/prof/prof.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if PRISM_OBS_ENABLED
+#include "obs/obs.hpp"
+#endif
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#define PRISM_PROF_HAVE_PERF 1
+#else
+#define PRISM_PROF_HAVE_PERF 0
+#endif
+
+namespace prism::obs::prof {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kOff:
+      return "off";
+    case Backend::kPerfEvent:
+      return "perf_event";
+    case Backend::kFallback:
+      return "rusage_fallback";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t steady_ns() {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+#if !PRISM_OBS_ENABLED
+
+// PRISM_OBS=OFF: the plane is compiled out.  Scopes still exist (callers
+// need no guards) but measure wall time only and report Backend::kOff.
+Backend resolve_backend(bool) { return Backend::kOff; }
+Backend backend() { return Backend::kOff; }
+
+CounterScope::CounterScope() : backend_(Backend::kOff) {
+  start_.wall_ns = steady_ns();
+}
+CounterScope::CounterScope(Backend) : CounterScope() {}
+
+CounterDelta CounterScope::delta() const {
+  CounterDelta d;
+  d.backend = Backend::kOff;
+  d.wall_ns = steady_ns() - start_.wall_ns;
+  return d;
+}
+
+#else  // PRISM_OBS_ENABLED
+
+namespace {
+
+#if PRISM_PROF_HAVE_PERF
+
+/// One perf fd per counter kind, per thread.  Counters are opened with the
+/// thread as target and run from open to thread exit; scopes difference
+/// their readings.  An fd of -1 means "this kind is unavailable here" —
+/// hardware kinds commonly are (no PMU in VMs), software kinds almost never.
+struct PerfFds {
+  int task_clock = -1;
+  int ctx_switches = -1;
+  int cycles = -1;
+  int instructions = -1;
+  int cache_misses = -1;
+
+  ~PerfFds() {
+    for (int fd : {task_clock, ctx_switches, cycles, instructions,
+                   cache_misses})
+      if (fd >= 0) ::close(fd);
+  }
+};
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // user-space work is what the harness profiles
+  attr.exclude_hv = 1;
+  attr.inherit = 0;  // per-thread scoping: children are not aggregated
+  const long fd =
+      ::syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                /*group_fd=*/-1, /*flags=*/0);
+  return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+/// This thread's counters, opened lazily on first profiled scope.
+PerfFds& thread_perf_fds() {
+  thread_local PerfFds fds = [] {
+    PerfFds f;
+    f.task_clock = open_counter(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+    f.ctx_switches =
+        open_counter(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES);
+    f.cycles = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    f.instructions =
+        open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    f.cache_misses =
+        open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    return f;
+  }();
+  return fds;
+}
+
+std::uint64_t read_counter(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t v = 0;
+  if (::read(fd, &v, sizeof v) != static_cast<ssize_t>(sizeof v)) return 0;
+  return v;
+}
+
+/// Absolute readings for the calling thread (perf rung).
+CounterDelta perf_absolute() {
+  PerfFds& fds = thread_perf_fds();
+  CounterDelta d;
+  d.backend = Backend::kPerfEvent;
+  d.wall_ns = steady_ns();
+  d.task_clock_ns = read_counter(fds.task_clock);
+  d.context_switches = read_counter(fds.ctx_switches);
+  d.cycles = read_counter(fds.cycles);
+  d.instructions = read_counter(fds.instructions);
+  d.cache_misses = read_counter(fds.cache_misses);
+  d.sw_valid = fds.task_clock >= 0;
+  d.hw_valid = fds.cycles >= 0 && fds.instructions >= 0;
+  return d;
+}
+
+std::uint64_t timeval_ns(const timeval& tv) {
+  return static_cast<std::uint64_t>(tv.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(tv.tv_usec) * 1'000ull;
+}
+
+/// Absolute readings for the calling thread (rusage rung).
+CounterDelta rusage_absolute() {
+  CounterDelta d;
+  d.backend = Backend::kFallback;
+  d.wall_ns = steady_ns();
+  rusage ru;
+  if (::getrusage(RUSAGE_THREAD, &ru) == 0) {
+    d.task_clock_ns = timeval_ns(ru.ru_utime) + timeval_ns(ru.ru_stime);
+    d.context_switches = static_cast<std::uint64_t>(ru.ru_nvcsw) +
+                         static_cast<std::uint64_t>(ru.ru_nivcsw);
+    d.sw_valid = true;
+  }
+  return d;
+}
+
+#else  // !PRISM_PROF_HAVE_PERF
+
+CounterDelta perf_absolute() {
+  CounterDelta d;
+  d.backend = Backend::kFallback;
+  d.wall_ns = steady_ns();
+  return d;
+}
+
+CounterDelta rusage_absolute() { return perf_absolute(); }
+
+#endif  // PRISM_PROF_HAVE_PERF
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+CounterDelta absolute_for(Backend b) {
+  switch (b) {
+    case Backend::kPerfEvent:
+      return perf_absolute();
+    case Backend::kFallback:
+      return rusage_absolute();
+    case Backend::kOff:
+      break;
+  }
+  CounterDelta d;
+  d.backend = Backend::kOff;
+  d.wall_ns = steady_ns();
+  return d;
+}
+
+}  // namespace
+
+Backend resolve_backend(bool force_fallback) {
+  if (const char* v = std::getenv("PRISM_PROF");
+      v != nullptr && std::strcmp(v, "off") == 0)
+    return Backend::kOff;
+  if (force_fallback) return Backend::kFallback;
+#if PRISM_PROF_HAVE_PERF
+  // Probe once with the cheapest software event: if the syscall itself is
+  // denied (seccomp, perf_event_paranoid, kernel without perf) every other
+  // open fails the same way and the ladder drops to rusage.
+  const int fd = open_counter(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+  if (fd >= 0) {
+    ::close(fd);
+    return Backend::kPerfEvent;
+  }
+#endif
+  return Backend::kFallback;
+}
+
+Backend backend() {
+  static const Backend b =
+      resolve_backend(env_flag("PRISM_PROF_FORCE_FALLBACK"));
+  return b;
+}
+
+CounterScope::CounterScope() : CounterScope(backend()) {}
+
+CounterScope::CounterScope(Backend forced)
+    : backend_(forced), start_(absolute_for(forced)) {}
+
+CounterDelta CounterScope::delta() const {
+  const CounterDelta now = absolute_for(backend_);
+  CounterDelta d;
+  d.backend = backend_;
+  d.wall_ns = now.wall_ns - start_.wall_ns;
+  d.task_clock_ns = now.task_clock_ns - start_.task_clock_ns;
+  d.context_switches = now.context_switches - start_.context_switches;
+  d.cycles = now.cycles - start_.cycles;
+  d.instructions = now.instructions - start_.instructions;
+  d.cache_misses = now.cache_misses - start_.cache_misses;
+  d.sw_valid = now.sw_valid && start_.sw_valid;
+  d.hw_valid = now.hw_valid && start_.hw_valid;
+  return d;
+}
+
+std::uint64_t prof_now_ns() { return ::prism::obs::now_ns(); }
+
+WorkerClock::WorkerClock(const char* prefix)
+    : prefix_(prefix), t0_ns_(prof_now_ns()) {}
+
+WorkerClock::~WorkerClock() {
+  const std::uint64_t lifetime = prof_now_ns() - t0_ns_;
+  const std::uint64_t idle = idle_ns_ < lifetime ? idle_ns_ : lifetime;
+  auto& reg = Registry::instance();
+  // Runtime-assembled names, so no function-local-static caching here: a
+  // WorkerClock flushes once per thread lifetime, not per operation.
+  const std::string p(prefix_);
+  reg.counter(p + ".busy_ns").add(lifetime - idle);
+  reg.counter(p + ".idle_ns").add(idle);
+  reg.counter(p + ".threads").add(1);
+}
+
+#endif  // PRISM_OBS_ENABLED
+
+}  // namespace prism::obs::prof

@@ -1,0 +1,148 @@
+// Self-profiling plane: hardware/software counter scopes (DESIGN.md §13).
+//
+// The obs stack from §8–§9 can say *that* the harness is slow; this plane
+// exists to say *why*.  It wraps Linux perf_event_open in RAII scopes that
+// measure cycles, instructions, cache misses, context switches, and
+// task-clock over a region, with a probed fallback ladder for environments
+// (containers, CI, non-Linux) where the syscall is denied:
+//
+//   rung 1  perf_event_open, hardware + software events   (hw_valid == true)
+//   rung 2  perf_event_open, software events only         (no PMU in VMs)
+//   rung 3  getrusage(RUSAGE_THREAD) + steady_clock       (syscall denied)
+//
+// The probe runs once per process, degrades silently, and records which
+// backend was used so every CounterDelta is self-describing.  Environment
+// knobs: PRISM_PROF=off disables the plane at runtime (scopes still measure
+// wall time); PRISM_PROF_FORCE_FALLBACK=1 pins rung 3 (used by the tests to
+// exercise the fallback on boxes where perf works).
+//
+// Counters are opened once per thread and run continuously; a CounterScope
+// merely snapshots them at construction and subtracts on delta().  Scopes
+// therefore nest naturally (an outer delta always covers an inner one) and
+// cost five read(2) calls per delta on the perf rungs — cheap enough per
+// replication or per workload, not meant per simulated event.
+//
+// Everything here is compiled out by PRISM_OBS=OFF except the types
+// themselves (deltas read all-zero, backend() == Backend::kOff), so callers
+// never need their own #if guards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#ifndef PRISM_OBS_ENABLED
+#define PRISM_OBS_ENABLED 1
+#endif
+
+namespace prism::obs::prof {
+
+/// Which measurement rung the process resolved to (see ladder above).
+enum class Backend {
+  kOff,       ///< PRISM_PROF=off or PRISM_OBS=OFF build: wall clock only
+  kPerfEvent, ///< perf_event_open (hw_valid tells hw from sw-only)
+  kFallback,  ///< getrusage(RUSAGE_THREAD) + steady_clock
+};
+
+const char* backend_name(Backend b);
+
+/// Counter readings over a region.  Fields an active backend cannot measure
+/// are zero with the matching *_valid flag false; consumers must check the
+/// flags (or backend) before dividing by them.
+struct CounterDelta {
+  Backend backend = Backend::kOff;
+  std::uint64_t wall_ns = 0;          ///< steady_clock, always valid
+  std::uint64_t task_clock_ns = 0;    ///< on-CPU ns of this thread
+  std::uint64_t context_switches = 0; ///< sched-out events (vol + invol)
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  bool hw_valid = false;  ///< cycles/instructions/cache_misses measured
+  bool sw_valid = false;  ///< task_clock/context_switches measured
+
+  /// Instructions per cycle; 0 when hardware counters are unavailable.
+  double ipc() const {
+    return hw_valid && cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  /// On-CPU fraction of wall time; 0 when software counters are unavailable.
+  double cpu_fraction() const {
+    return sw_valid && wall_ns > 0 ? static_cast<double>(task_clock_ns) /
+                                         static_cast<double>(wall_ns)
+                                   : 0.0;
+  }
+};
+
+/// The process-wide resolved backend.  First call probes (perf syscall +
+/// environment knobs) and caches; later calls are a load.  Always kOff in a
+/// PRISM_OBS=OFF build.
+Backend backend();
+
+/// Probe logic behind backend(), re-run on every call (for tests): resolves
+/// what the ladder would pick with `force_fallback` pinning rung 3.
+Backend resolve_backend(bool force_fallback);
+
+/// RAII-ish counter scope over the calling thread.  Construction snapshots
+/// the thread's counters; delta() subtracts (callable repeatedly; each call
+/// re-reads, so nested scopes and incremental sampling both work).  The
+/// scope must be read on the thread that constructed it.
+class CounterScope {
+ public:
+  CounterScope();
+  /// Test/CI hook: measure with an explicit backend instead of backend().
+  explicit CounterScope(Backend forced);
+
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+
+  CounterDelta delta() const;
+
+ private:
+  Backend backend_;
+  CounterDelta start_;  ///< absolute readings at construction
+};
+
+#if PRISM_OBS_ENABLED
+
+/// Busy/idle accounting for a long-lived service thread (pool worker, TP
+/// reader/pump).  The owner marks its blocking waits via add_idle_ns(); the
+/// destructor computes busy = lifetime - idle and publishes both to the obs
+/// metrics registry as counters `<prefix>.busy_ns` / `<prefix>.idle_ns`
+/// (plus `<prefix>.threads` counting completed lifetimes), so every service
+/// thread's utilization is scrapeable without a bespoke stats path.
+/// `prefix` must outlive the clock (string literals at call sites).
+class WorkerClock {
+ public:
+  explicit WorkerClock(const char* prefix);
+  ~WorkerClock();
+  WorkerClock(const WorkerClock&) = delete;
+  WorkerClock& operator=(const WorkerClock&) = delete;
+
+  void add_idle_ns(std::uint64_t ns) { idle_ns_ += ns; }
+
+  std::uint64_t idle_ns() const { return idle_ns_; }
+
+ private:
+  const char* prefix_;
+  std::uint64_t t0_ns_;
+  std::uint64_t idle_ns_ = 0;
+};
+
+/// Monotonic nanosecond timestamp for WorkerClock bookkeeping (same epoch
+/// as obs::now_ns; redeclared here so prof users need not pull trace.hpp).
+std::uint64_t prof_now_ns();
+
+#else  // !PRISM_OBS_ENABLED — accounting vanishes with the plane.
+
+class WorkerClock {
+ public:
+  explicit WorkerClock(const char*) {}
+  void add_idle_ns(std::uint64_t) {}
+  std::uint64_t idle_ns() const { return 0; }
+};
+
+inline std::uint64_t prof_now_ns() { return 0; }
+
+#endif  // PRISM_OBS_ENABLED
+
+}  // namespace prism::obs::prof

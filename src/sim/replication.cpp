@@ -5,7 +5,15 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "obs/prof/alloc.hpp"
 #include "sim/thread_pool.hpp"
+
+#if PRISM_OBS_ENABLED && defined(__unix__)
+#include <time.h>
+#define PRISM_REP_CPU_CLOCK 1
+#else
+#define PRISM_REP_CPU_CLOCK 0
+#endif
 
 namespace prism::sim {
 
@@ -15,6 +23,63 @@ using clock = std::chrono::steady_clock;
 
 double ms_between(clock::time_point t0, clock::time_point t1) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Calling thread's CPU time (ms); 0 when unavailable or PRISM_OBS=OFF.
+double thread_cpu_ms() {
+#if PRISM_REP_CPU_CLOCK
+  timespec ts;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+#else
+  return 0;
+#endif
+}
+
+/// Per-replication execution telemetry, filled by whichever thread ran the
+/// replication and merged into the result in replication-index order.
+struct RepTelemetry {
+  double wall_ms = 0;
+  double cpu_ms = 0;
+  obs::prof::AllocStats alloc;
+};
+
+/// Runs one replication of `model` with full telemetry.  The alloc scope is
+/// exact because one task occupies one worker thread at a time.
+template <typename ModelCall>
+Responses run_one_rep(RepTelemetry& t, const ModelCall& call) {
+  const auto t0 = clock::now();
+  const double cpu0 = thread_cpu_ms();
+  const obs::prof::AllocScope allocs;
+  Responses resp;
+  {
+    PRISM_OBS_SPAN("replicate.rep", "sim");
+    resp = call();
+  }
+  t.cpu_ms = thread_cpu_ms() - cpu0;
+  t.alloc = allocs.delta();
+  t.wall_ms = ms_between(t0, clock::now());
+  return resp;
+}
+
+void merge_telemetry(ReplicationResult& out, const RepTelemetry& t) {
+  out.record_rep_time_ms(t.wall_ms);
+#if PRISM_OBS_ENABLED
+  out.record_rep_cpu_ms(t.cpu_ms);
+  out.record_rep_alloc(t.alloc);
+#endif
+  PRISM_OBS_HIST_B("sim.replicate.rep_ms",
+                   ::prism::obs::Histogram::exponential_bounds(0.01, 4, 16),
+                   t.wall_ms);
+}
+
+ReplicationResult::PoolAccounting pool_accounting(const PoolStats& ps) {
+  ReplicationResult::PoolAccounting acc;
+  acc.busy_ns = ps.busy_ns_total();
+  acc.idle_ns = ps.idle_ns_total();
+  acc.queue_wait_ns = ps.queue_wait_ns;
+  return acc;
 }
 
 }  // namespace
@@ -69,20 +134,12 @@ ReplicationResult replicate(
   ReplicationResult out;
   if (threads <= 1 || r == 1) {
     for (unsigned rep = 0; rep < r; ++rep) {
-      const auto t0 = clock::now();
+      RepTelemetry t;
       stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
                                            static_cast<std::uint64_t>(rep)));
-      Responses resp;
-      {
-        PRISM_OBS_SPAN("replicate.rep", "sim");
-        resp = model(rng);
-      }
-      const double ms = ms_between(t0, clock::now());
+      const Responses resp = run_one_rep(t, [&] { return model(rng); });
       out.add(resp);
-      out.record_rep_time_ms(ms);
-      PRISM_OBS_HIST_B("sim.replicate.rep_ms",
-                       ::prism::obs::Histogram::exponential_bounds(0.01, 4, 16),
-                       ms);
+      merge_telemetry(out, t);
     }
     out.set_execution(1, ms_between(t_begin, clock::now()));
     return out;
@@ -93,30 +150,24 @@ ReplicationResult replicate(
   // the summed metrics are bit-identical to the serial path.  A throwing
   // replication surfaces via ThreadPool::wait() after the pool drains.
   std::vector<Responses> slots(r);
-  std::vector<double> rep_ms(r, 0.0);
+  std::vector<RepTelemetry> telemetry(r);
   const unsigned workers = threads < r ? threads : r;
   {
     ThreadPool pool(workers);
     for (unsigned rep = 0; rep < r; ++rep) {
-      pool.submit([&slots, &rep_ms, &model, base_seed, scenario_tag, rep] {
-        const auto t0 = clock::now();
+      pool.submit([&slots, &telemetry, &model, base_seed, scenario_tag, rep] {
         stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
                                              static_cast<std::uint64_t>(rep)));
-        {
-          PRISM_OBS_SPAN("replicate.rep", "sim");
-          slots[rep] = model(rng);
-        }
-        rep_ms[rep] = ms_between(t0, clock::now());
+        slots[rep] =
+            run_one_rep(telemetry[rep], [&] { return model(rng); });
       });
     }
     pool.wait();
+    out.set_pool_accounting(pool_accounting(pool.stats()));
   }
   for (unsigned rep = 0; rep < r; ++rep) {
     out.add(slots[rep]);
-    out.record_rep_time_ms(rep_ms[rep]);
-    PRISM_OBS_HIST_B("sim.replicate.rep_ms",
-                     ::prism::obs::Histogram::exponential_bounds(0.01, 4, 16),
-                     rep_ms[rep]);
+    merge_telemetry(out, telemetry[rep]);
   }
   out.set_execution(workers, ms_between(t_begin, clock::now()));
   return out;
@@ -143,35 +194,36 @@ ObservedResult replicate_observed(
   ObservedResult out;
   if (threads <= 1 || r == 1) {
     for (unsigned rep = 0; rep < r; ++rep) {
-      const auto t0 = clock::now();
+      RepTelemetry t;
       stats::Rng rng(stats::Rng::hash_seed(base_seed, scenario_tag,
                                            static_cast<std::uint64_t>(rep)));
-      const Responses resp = model(rng, *observers[rep]);
+      const Responses resp =
+          run_one_rep(t, [&] { return model(rng, *observers[rep]); });
       out.result.add(resp);
-      out.result.record_rep_time_ms(ms_between(t0, clock::now()));
+      merge_telemetry(out.result, t);
     }
     out.result.set_execution(1, ms_between(t_begin, clock::now()));
   } else {
     std::vector<Responses> slots(r);
-    std::vector<double> rep_ms(r, 0.0);
+    std::vector<RepTelemetry> telemetry(r);
     const unsigned workers = threads < r ? threads : r;
     {
       ThreadPool pool(workers);
       for (unsigned rep = 0; rep < r; ++rep) {
-        pool.submit([&slots, &rep_ms, &model, &observers, base_seed,
+        pool.submit([&slots, &telemetry, &model, &observers, base_seed,
                      scenario_tag, rep] {
-          const auto t0 = clock::now();
           stats::Rng rng(stats::Rng::hash_seed(
               base_seed, scenario_tag, static_cast<std::uint64_t>(rep)));
-          slots[rep] = model(rng, *observers[rep]);
-          rep_ms[rep] = ms_between(t0, clock::now());
+          slots[rep] = run_one_rep(
+              telemetry[rep], [&] { return model(rng, *observers[rep]); });
         });
       }
       pool.wait();
+      out.result.set_pool_accounting(pool_accounting(pool.stats()));
     }
     for (unsigned rep = 0; rep < r; ++rep) {
       out.result.add(slots[rep]);
-      out.result.record_rep_time_ms(rep_ms[rep]);
+      merge_telemetry(out.result, telemetry[rep]);
     }
     out.result.set_execution(workers, ms_between(t_begin, clock::now()));
   }

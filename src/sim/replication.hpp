@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/pipeline.hpp"
+#include "obs/prof/alloc.hpp"
 #include "stats/confidence.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
@@ -46,6 +47,15 @@ class ReplicationResult {
 
   /// Per-replication wall time (ms), merged in replication-index order.
   const stats::Summary& rep_time_ms() const { return rep_time_ms_; }
+  /// Per-replication thread-CPU time (ms; CLOCK_THREAD_CPUTIME_ID around
+  /// the model call).  wall >> cpu for a replication means it spent its
+  /// life descheduled — the oversubscription signature.  Empty with
+  /// PRISM_OBS=OFF.
+  const stats::Summary& rep_cpu_ms() const { return rep_cpu_ms_; }
+  /// Per-replication allocation counts (operator-new interposition; see
+  /// obs/prof/alloc.hpp).  Empty with PRISM_OBS=OFF.
+  const stats::Summary& rep_allocs() const { return rep_allocs_; }
+  const stats::Summary& rep_alloc_bytes() const { return rep_alloc_bytes_; }
   /// Wall time (ms) of the whole replicate() call.
   double wall_ms() const { return wall_ms_; }
   /// Worker threads the run actually used (1 = serial path).
@@ -55,17 +65,37 @@ class ReplicationResult {
   /// undersized replication count.  0 until replicate() fills it.
   double worker_utilization() const;
 
+  /// Scheduler contention accounting copied off the worker pool after the
+  /// run (DESIGN.md §13).  All-zero on the serial path (threads == 1 runs
+  /// in the caller, no pool) and with PRISM_OBS=OFF.
+  struct PoolAccounting {
+    std::uint64_t busy_ns = 0;        ///< workers inside replications
+    std::uint64_t idle_ns = 0;        ///< workers parked on the queue
+    std::uint64_t queue_wait_ns = 0;  ///< sum of submission-to-start lag
+  };
+  const PoolAccounting& pool() const { return pool_; }
+
   /// Harness bookkeeping (public so replicate() and custom harnesses can
   /// fill it; not meant for model code).
   void record_rep_time_ms(double ms) { rep_time_ms_.add(ms); }
+  void record_rep_cpu_ms(double ms) { rep_cpu_ms_.add(ms); }
+  void record_rep_alloc(const obs::prof::AllocStats& a) {
+    rep_allocs_.add(static_cast<double>(a.allocs));
+    rep_alloc_bytes_.add(static_cast<double>(a.bytes));
+  }
   void set_execution(unsigned threads, double wall_ms) {
     threads_used_ = threads;
     wall_ms_ = wall_ms;
   }
+  void set_pool_accounting(const PoolAccounting& p) { pool_ = p; }
 
  private:
   std::map<std::string, stats::Summary> by_metric_;
   stats::Summary rep_time_ms_;
+  stats::Summary rep_cpu_ms_;
+  stats::Summary rep_allocs_;
+  stats::Summary rep_alloc_bytes_;
+  PoolAccounting pool_;
   double wall_ms_ = 0;
   unsigned threads_used_ = 0;
   unsigned n_ = 0;

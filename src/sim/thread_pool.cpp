@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace prism::sim {
 
@@ -14,9 +15,10 @@ unsigned ThreadPool::default_threads() noexcept {
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = default_threads();
+  slots_ = std::vector<WorkerSlot>(threads);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -55,12 +57,43 @@ void ThreadPool::wait() {
   }
 }
 
-void ThreadPool::worker_loop() {
+PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  out.workers.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    out.workers[i].busy_ns = slots_[i].busy_ns.load(std::memory_order_relaxed);
+    out.workers[i].idle_ns = slots_[i].idle_ns.load(std::memory_order_relaxed);
+    out.workers[i].tasks = slots_[i].tasks.load(std::memory_order_relaxed);
+    out.tasks += out.workers[i].tasks;
+  }
+  out.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+#if PRISM_OBS_ENABLED
+  // Publishes this worker's busy/idle split to the registry at thread exit;
+  // the per-pool slots below stay live for ThreadPool::stats().
+  obs::prof::WorkerClock clock("sim.pool.worker");
+#endif
+  WorkerSlot& slot = slots_[index];
+  (void)slot;
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+#if PRISM_OBS_ENABLED
+      if (!shutdown_ && queue_.empty()) {
+        const std::uint64_t t_park = obs::now_ns();
+        work_ready_.wait(lock,
+                         [this] { return shutdown_ || !queue_.empty(); });
+        const std::uint64_t idled = obs::now_ns() - t_park;
+        slot.idle_ns.fetch_add(idled, std::memory_order_relaxed);
+        clock.add_idle_ns(idled);
+      }
+#else
       work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+#endif
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -68,9 +101,10 @@ void ThreadPool::worker_loop() {
     }
 #if PRISM_OBS_ENABLED
     const std::uint64_t t_start = obs::now_ns();
-    PRISM_OBS_HIST("sim.pool.queue_wait_ns",
-                   t_start >= task.t_submit_ns ? t_start - task.t_submit_ns
-                                               : 0);
+    const std::uint64_t waited =
+        t_start >= task.t_submit_ns ? t_start - task.t_submit_ns : 0;
+    queue_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+    PRISM_OBS_HIST("sim.pool.queue_wait_ns", waited);
 #endif
     std::exception_ptr err;
     try {
@@ -80,7 +114,10 @@ void ThreadPool::worker_loop() {
       err = std::current_exception();
     }
 #if PRISM_OBS_ENABLED
-    PRISM_OBS_HIST("sim.pool.task_run_ns", obs::now_ns() - t_start);
+    const std::uint64_t ran = obs::now_ns() - t_start;
+    slot.busy_ns.fetch_add(ran, std::memory_order_relaxed);
+    slot.tasks.fetch_add(1, std::memory_order_relaxed);
+    PRISM_OBS_HIST("sim.pool.task_run_ns", ran);
     PRISM_OBS_COUNT("sim.pool.tasks_executed");
 #endif
     {

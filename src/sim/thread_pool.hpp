@@ -8,8 +8,19 @@
 // replication-index order, not completion order); the pool only promises
 // that every submitted task runs exactly once and that wait() observes all
 // side effects of completed tasks (release/acquire via the queue mutex).
+//
+// Scheduler contention accounting (DESIGN.md §13): with PRISM_OBS on, every
+// worker splits its lifetime into busy (inside a task) and idle (parked on
+// the queue condvar) nanoseconds, and every task records its
+// submission-to-start lag.  stats() exposes the per-worker split — the
+// replication harness folds it into ReplicationResult so worker utilization
+// and queue-wait dominance are first-class bench outputs — and the same
+// numbers feed the obs metrics registry (sim.pool.worker.busy_ns /
+// idle_ns / threads counters, queue-wait and task-run histograms).  With
+// PRISM_OBS=OFF all accounting compiles to nothing and stats() reads zero.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -21,6 +32,31 @@
 #include <vector>
 
 namespace prism::sim {
+
+/// One worker's busy/idle split (ns since the pool started it).
+struct WorkerStats {
+  std::uint64_t busy_ns = 0;   ///< executing tasks
+  std::uint64_t idle_ns = 0;   ///< parked waiting for work
+  std::uint64_t tasks = 0;     ///< tasks executed
+};
+
+/// Accounting snapshot for a pool (all-zero with PRISM_OBS=OFF).
+struct PoolStats {
+  std::vector<WorkerStats> workers;   ///< one entry per worker thread
+  std::uint64_t queue_wait_ns = 0;    ///< sum of submission-to-start lag
+  std::uint64_t tasks = 0;            ///< tasks executed, all workers
+
+  std::uint64_t busy_ns_total() const {
+    std::uint64_t t = 0;
+    for (const auto& w : workers) t += w.busy_ns;
+    return t;
+  }
+  std::uint64_t idle_ns_total() const {
+    std::uint64_t t = 0;
+    for (const auto& w : workers) t += w.idle_ns;
+    return t;
+  }
+};
 
 class ThreadPool {
  public:
@@ -49,6 +85,11 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// Scheduler accounting snapshot.  Consistent when the pool is quiescent
+  /// (after wait()); racy-but-monotonic while tasks run.  All-zero in a
+  /// PRISM_OBS=OFF build.
+  PoolStats stats() const;
+
   /// The worker count `threads == 0` resolves to on this machine.
   static unsigned default_threads() noexcept;
 
@@ -58,7 +99,14 @@ class ThreadPool {
     std::uint64_t t_submit_ns = 0;  ///< obs only; 0 in PRISM_OBS=OFF builds
   };
 
-  void worker_loop();
+  /// Per-worker accounting slot, padded so workers never share a line.
+  struct alignas(64) WorkerSlot {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
+
+  void worker_loop(unsigned index);
 
   std::mutex mu_;
   std::condition_variable work_ready_;   // workers wait here for tasks
@@ -67,6 +115,8 @@ class ThreadPool {
   std::exception_ptr first_error_;       // first task exception, for wait()
   std::size_t in_flight_ = 0;            // queued + currently-executing tasks
   bool shutdown_ = false;
+  std::vector<WorkerSlot> slots_;        // one per worker, fixed at ctor
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,271 @@
+// Self-profiling plane tests (DESIGN.md §13): backend ladder resolution and
+// env knobs, counter-scope nesting, pool busy/idle accounting invariants,
+// allocation-counter exactness, the Amdahl fit, and — the invariant the
+// whole plane hangs off — that profiling never perturbs simulation results.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/prof/alloc.hpp"
+#include "obs/prof/amdahl.hpp"
+#include "obs/prof/prof.hpp"
+#include "sim/replication.hpp"
+#include "sim/thread_pool.hpp"
+
+using namespace prism;
+using obs::prof::Backend;
+
+namespace {
+
+/// Spins the CPU for roughly `ms` (sleep would accrue no task-clock).
+void burn_ms(double ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  volatile double sink = 1.0;
+  while (std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count() < ms)
+    sink = sink * 1.0000001;
+}
+
+std::uint64_t registry_counter(const std::string& name) {
+  const auto snap = obs::Registry::instance().snapshot();
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+TEST(ProfBackend, ForceFallbackPinsRungThree) {
+  if (!obs::compiled_in()) {
+    EXPECT_EQ(obs::prof::resolve_backend(true), Backend::kOff);
+    return;
+  }
+  EXPECT_EQ(obs::prof::resolve_backend(true), Backend::kFallback);
+}
+
+TEST(ProfBackend, EnvKnobDisablesThePlane) {
+  ASSERT_EQ(::setenv("PRISM_PROF", "off", 1), 0);
+  EXPECT_EQ(obs::prof::resolve_backend(false), Backend::kOff);
+  EXPECT_EQ(obs::prof::resolve_backend(true), Backend::kOff);
+  ASSERT_EQ(::unsetenv("PRISM_PROF"), 0);
+  if (obs::compiled_in()) {
+    EXPECT_NE(obs::prof::resolve_backend(false), Backend::kOff);
+  }
+}
+
+TEST(ProfBackend, ResolvedBackendIsStable) {
+  EXPECT_EQ(obs::prof::backend(), obs::prof::backend());
+  EXPECT_STRNE(obs::prof::backend_name(obs::prof::backend()), "unknown");
+}
+
+TEST(ProfCounterScope, FallbackMeasuresWallAndCpu) {
+  const obs::prof::CounterScope scope(Backend::kFallback);
+  burn_ms(20);
+  const auto d = scope.delta();
+  EXPECT_GT(d.wall_ns, 10u * 1'000'000u);
+  if (!obs::compiled_in()) {
+    EXPECT_EQ(d.backend, Backend::kOff);
+    return;
+  }
+  EXPECT_EQ(d.backend, Backend::kFallback);
+  ASSERT_TRUE(d.sw_valid);
+  EXPECT_GT(d.task_clock_ns, 0u);
+  // A thread cannot accrue more CPU than wall time; allow scheduler-tick
+  // granularity slack (rusage advances in jiffies).
+  EXPECT_LE(d.task_clock_ns, d.wall_ns + 20'000'000u);
+  EXPECT_FALSE(d.hw_valid);  // rusage cannot count cycles
+}
+
+TEST(ProfCounterScope, ScopesNest) {
+  const obs::prof::CounterScope outer;
+  burn_ms(5);
+  const obs::prof::CounterScope inner;
+  burn_ms(10);
+  const auto di = inner.delta();
+  const auto douter = outer.delta();
+  // Counters run continuously per thread; an outer scope's delta always
+  // covers an inner one taken on the same thread.
+  EXPECT_GE(douter.wall_ns, di.wall_ns);
+  EXPECT_GE(douter.task_clock_ns, di.task_clock_ns);
+  EXPECT_GE(douter.cycles, di.cycles);
+  EXPECT_GE(douter.instructions, di.instructions);
+  if (obs::compiled_in()) {
+    EXPECT_GT(di.wall_ns, 0u);
+  }
+}
+
+TEST(ProfCounterScope, DeltaIsRepeatable) {
+  const obs::prof::CounterScope scope;
+  burn_ms(2);
+  const auto d1 = scope.delta();
+  burn_ms(2);
+  const auto d2 = scope.delta();
+  EXPECT_GE(d2.wall_ns, d1.wall_ns);
+  EXPECT_GE(d2.task_clock_ns, d1.task_clock_ns);
+}
+
+TEST(ProfPool, BusyIdleAccountingSumsToWallTime) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "pool accounting compiled out with PRISM_OBS=OFF";
+  constexpr unsigned kWorkers = 2;
+  constexpr unsigned kTasks = 8;
+  constexpr auto kTaskWork = std::chrono::milliseconds(5);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::ThreadPool pool(kWorkers);
+  for (unsigned i = 0; i < kTasks; ++i)
+    pool.submit([kTaskWork] { std::this_thread::sleep_for(kTaskWork); });
+  pool.wait();
+  const auto stats = pool.stats();
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  ASSERT_EQ(stats.workers.size(), kWorkers);
+  EXPECT_EQ(stats.tasks, kTasks);
+  // Tasks sleep 5 ms each, so summed busy time is at least the scheduled
+  // work (sleep_for never returns early).
+  const std::uint64_t expected_busy_ns =
+      static_cast<std::uint64_t>(kTasks) *
+      std::chrono::duration_cast<std::chrono::nanoseconds>(kTaskWork).count();
+  EXPECT_GE(stats.busy_ns_total(), expected_busy_ns);
+  // Invariant: each worker's busy + idle never exceeds the pool's lifetime
+  // so far (small slack for the clock reads bracketing the accounting).
+  for (const auto& w : stats.workers)
+    EXPECT_LE(w.busy_ns + w.idle_ns, wall_ns + 5'000'000u);
+}
+
+TEST(ProfPool, WorkerClockPublishesToRegistry) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "WorkerClock compiled out with PRISM_OBS=OFF";
+  const auto threads0 = registry_counter("test.prof.worker.threads");
+  const auto busy0 = registry_counter("test.prof.worker.busy_ns");
+  const auto idle0 = registry_counter("test.prof.worker.idle_ns");
+  std::thread t([] {
+    obs::prof::WorkerClock clock("test.prof.worker");
+    const auto t_park = obs::prof::prof_now_ns();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    clock.add_idle_ns(obs::prof::prof_now_ns() - t_park);
+    burn_ms(2);
+  });
+  t.join();
+  EXPECT_EQ(registry_counter("test.prof.worker.threads"), threads0 + 1);
+  const auto busy = registry_counter("test.prof.worker.busy_ns") - busy0;
+  const auto idle = registry_counter("test.prof.worker.idle_ns") - idle0;
+  EXPECT_GE(idle, 4u * 1'000'000u);  // the 5 ms sleep was marked idle
+  EXPECT_GT(busy, 0u);               // the burn was not
+}
+
+TEST(ProfAlloc, CounterIsExactOnSyntheticLoop) {
+  if (!obs::prof::alloc_tracking_compiled_in())
+    GTEST_SKIP() << "allocator interposition compiled out with PRISM_OBS=OFF";
+  constexpr std::size_t kN = 100;
+  constexpr std::size_t kSize = 32;
+  std::vector<char*> blocks;
+  blocks.reserve(kN);  // the loop below must do exactly kN allocations
+  const obs::prof::AllocScope scope;
+  for (std::size_t i = 0; i < kN; ++i) blocks.push_back(new char[kSize]);
+  const auto after_news = scope.delta();
+  EXPECT_EQ(after_news.allocs, kN);
+  EXPECT_EQ(after_news.frees, 0u);
+  EXPECT_GE(after_news.bytes, kN * kSize);
+  for (char* p : blocks) delete[] p;
+  const auto after_frees = scope.delta();
+  EXPECT_EQ(after_frees.allocs, kN);
+  EXPECT_EQ(after_frees.frees, kN);
+}
+
+TEST(ProfAlloc, ProcessScopeSeesThreadAllocations) {
+  if (!obs::prof::alloc_tracking_compiled_in())
+    GTEST_SKIP() << "allocator interposition compiled out with PRISM_OBS=OFF";
+  const obs::prof::ProcessAllocScope scope;
+  std::thread t([] {
+    std::vector<char*> blocks;
+    blocks.reserve(10);
+    for (int i = 0; i < 10; ++i) blocks.push_back(new char[64]);
+    for (char* p : blocks) delete[] p;
+  });
+  t.join();
+  const auto d = scope.delta();
+  EXPECT_GE(d.allocs, 10u);
+  EXPECT_GE(d.frees, 10u);
+}
+
+TEST(ProfAmdahl, RecoversKnownSerialFraction) {
+  // T(n) = T1 * (s + (1-s)/n) with s = 0.3, T1 = 100 ms — exact inputs must
+  // recover s exactly (up to fp rounding) with zero residual.
+  const auto fit = obs::prof::fit_amdahl(
+      {{1, 100.0}, {2, 65.0}, {4, 47.5}, {8, 38.75}});
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.serial_fraction, 0.3, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.t1_ms, 100.0);
+  EXPECT_NEAR(fit.rmse_ms, 0.0, 1e-9);
+  EXPECT_EQ(fit.points, 4u);
+  EXPECT_NEAR(obs::prof::amdahl_predict_ms(fit, 4), 47.5, 1e-9);
+}
+
+TEST(ProfAmdahl, SlowdownYieldsSerialFractionAboveOne) {
+  // Parallel legs *slower* than serial (the regime the ROADMAP flags):
+  // T(2) = 1.2 * T(1)  =>  s = (1.2 - 0.5) / 0.5 = 1.4.
+  const auto fit = obs::prof::fit_amdahl({{1, 100.0}, {2, 120.0}});
+  ASSERT_TRUE(fit.valid);
+  EXPECT_GT(fit.serial_fraction, 1.0);
+  EXPECT_NEAR(fit.serial_fraction, 1.4, 1e-9);
+}
+
+TEST(ProfAmdahl, RejectsDegenerateSweeps) {
+  EXPECT_FALSE(obs::prof::fit_amdahl({}).valid);
+  EXPECT_FALSE(obs::prof::fit_amdahl({{1, 100.0}}).valid);
+  EXPECT_FALSE(obs::prof::fit_amdahl({{2, 60.0}, {4, 40.0}}).valid);  // no T1
+}
+
+/// The model used by the determinism tests: enough arithmetic and RNG draws
+/// that any profiling-induced perturbation of the random streams would show.
+sim::Responses demo_model(stats::Rng& rng) {
+  double acc = 0;
+  for (int i = 0; i < 500; ++i) acc += rng.next_double();
+  return {{"acc", acc}};
+}
+
+TEST(ProfDeterminism, ProfiledParallelRunMatchesSerialBitForBit) {
+  // Profiling instruments replicate() internally (counter scopes, alloc
+  // scopes, pool accounting); none of it may perturb results.  Serial vs
+  // 4-thread runs must agree bitwise, profiled or not.
+  sim::ReplicateOptions serial;
+  serial.threads = 1;
+  sim::ReplicateOptions parallel;
+  parallel.threads = 4;
+  const auto a = sim::replicate(16, 0xD5EED, 42, demo_model, serial);
+  const obs::prof::CounterScope scope;
+  const obs::prof::AllocScope allocs;
+  const auto b = sim::replicate(16, 0xD5EED, 42, demo_model, parallel);
+  ASSERT_EQ(a.metrics(), b.metrics());
+  for (const auto& m : a.metrics()) {
+    EXPECT_EQ(a.summary(m).mean(), b.summary(m).mean()) << m;
+    EXPECT_EQ(a.summary(m).sum(), b.summary(m).sum()) << m;
+  }
+  if (obs::compiled_in()) {
+    // The parallel run's pool accounting must be populated...
+    EXPECT_GT(b.pool().busy_ns, 0u);
+    EXPECT_GT(b.rep_cpu_ms().count(), 0u);
+    // ...and the serial run took no pool at all.
+    EXPECT_EQ(a.pool().busy_ns, 0u);
+  }
+  EXPECT_EQ(a.rep_time_ms().count(), 16u);
+  EXPECT_EQ(b.rep_time_ms().count(), 16u);
+}
+
+TEST(ProfDeterminism, ScopesDoNotPerturbModelResults) {
+  stats::Rng rng1(7), rng2(7);
+  const auto plain = demo_model(rng1);
+  const obs::prof::CounterScope scope(Backend::kFallback);
+  const obs::prof::AllocScope allocs;
+  const auto profiled = demo_model(rng2);
+  EXPECT_EQ(plain, profiled);
+}
+
+}  // namespace

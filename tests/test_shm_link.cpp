@@ -488,16 +488,26 @@ TEST(ShmFault, PartialFrameDesynchronizesAndAborts) {
 TEST(ShmArena, ReceivePathRecyclesBatchStorageThroughTheArena) {
   // Steady state must not malloc per batch: the reader acquires record
   // storage from the BatchArena and the ISM releases it back.  The arena is
-  // process-global, so assert on deltas, not absolutes.
+  // process-global, so assert on deltas, not absolutes.  Two waves with a
+  // consumption barrier between them: reuse requires a release to land
+  // before a later acquire, and on a single core a one-shot burst can
+  // legitimately run every reader acquire before the ISM's first release.
+  // Once the tool has seen all of wave one, its storage is back in the
+  // pool, so wave two's acquires must be served from it.
   const auto before = BatchArena::instance().stats();
   TransferProtocol tp(TpFlavor::kShm, 1, 1, 256);
   tp.enable_shm_backend();
   IsmConfig cfg;
   cfg.causal_ordering = false;
   Ism ism(tp, cfg);
-  ism.attach_tool(std::make_shared<StatsTool>());
+  auto tool = std::make_shared<StatsTool>();
+  ism.attach_tool(tool);
   ism.start();
-  for (std::uint64_t i = 0; i < 50; ++i)
+  for (std::uint64_t i = 0; i < 25; ++i)
+    ASSERT_TRUE(tp.data_link(0).push(Message(batch(0, 4, i * 4))));
+  while (tool->total() < 100)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (std::uint64_t i = 25; i < 50; ++i)
     ASSERT_TRUE(tp.data_link(0).push(Message(batch(0, 4, i * 4))));
   ism.stop();
   const auto after = BatchArena::instance().stats();
