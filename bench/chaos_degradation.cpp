@@ -6,16 +6,39 @@
 // baseline to measure the fault plane's hot-path overhead, and writes
 // BENCH_chaos.json.  Exits nonzero when conservation or determinism fails,
 // so the bench harness doubles as a soak gate.
+//
+// With --telemetry (PRISM_OBS builds) a fourth leg reruns the chaos seed
+// with the live telemetry plane on (DESIGN.md §14) — sampler + AF_UNIX
+// scrape endpoint — scraping it mid-run.  The leg must produce the exact
+// same loss ledger as the plain chaos run (telemetry observes, never
+// perturbs) and every mid-run snapshot must conserve; its wall time lands
+// in a `telemetry` subtree of BENCH_chaos.json, which
+// scripts/telemetry_overhead.py gates against chaos_wall_ms.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "bench_json.hpp"
 #include "core/environment.hpp"
 #include "core/tool.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "obs/pipeline.hpp"
+
+#if PRISM_OBS_ENABLED
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/live/flight.hpp"
+#include "obs/live/health.hpp"
+#include "obs/live/sampler.hpp"
+#endif
 
 using namespace prism;
 
@@ -31,9 +54,48 @@ struct RunResult {
   core::IsmStats ism;
   core::DegradationReport degradation;
   double wall_ms = 0;
+  // --telemetry leg only.
+  std::uint64_t scrapes = 0;
+  std::uint64_t scrape_bytes = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t flight_events = 0;
+  bool snapshots_conserved = true;
 };
 
-RunResult run_once(fault::FaultInjector* inj) {
+#if PRISM_OBS_ENABLED
+/// Minimal blocking AF_UNIX GET: returns response bytes read (0 = failed).
+/// The endpoint speaks HTTP/1.0 + Connection: close, so EOF delimits.
+std::size_t scrape_unix(const std::string& path, std::string_view target) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  const std::string req =
+      "GET " + std::string(target) + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    // MSG_NOSIGNAL: the server may close first during shutdown, and this
+    // process may never have installed the transports' SIGPIPE ignore.
+    const ssize_t n =
+        ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::size_t total = 0;
+  char buf[4096];
+  for (ssize_t n; (n = ::recv(fd, buf, sizeof buf, 0)) > 0;)
+    total += static_cast<std::size_t>(n);
+  ::close(fd);
+  return total;
+}
+#endif
+
+RunResult run_once(fault::FaultInjector* inj, bool telemetry = false) {
   core::EnvironmentConfig cfg;
   cfg.nodes = kNodes;
   cfg.lis_style = core::LisStyle::kBuffered;
@@ -42,6 +104,12 @@ RunResult run_once(fault::FaultInjector* inj) {
   cfg.link_capacity = 8192;
   cfg.ism.input = core::InputConfig::kSiso;
   cfg.ism.causal_ordering = true;
+  if (telemetry) {
+    cfg.telemetry.mode = core::TelemetryMode::kUnix;
+    cfg.telemetry.endpoint =
+        "/tmp/prism.chaos_bench." + std::to_string(::getpid()) + ".sock";
+    cfg.telemetry.period_ms = 10;
+  }
   core::IntegratedEnvironment env(cfg);
   env.attach_tool(std::make_shared<core::StatsTool>());
   obs::PipelineObserver obs;
@@ -51,6 +119,33 @@ RunResult run_once(fault::FaultInjector* inj) {
   if (inj) env.set_fault(inj, rp);
   env.start();
 
+  RunResult out;
+#if PRISM_OBS_ENABLED
+  // Mid-run scraper, the way Prometheus would do it: a separate client
+  // hitting the endpoint on a cadence while the workload runs untouched.
+  // Every snapshot read back off the live pipeline must satisfy
+  // admitted == completed + lost + in_flight on every stage.  The workload
+  // wall below therefore measures the plane's *interference* (sampler
+  // thread + endpoint pump + scrape handling), which is what the 5%
+  // overhead gate bounds — not the client's own blocking round trips.
+  std::atomic<bool> scraper_stop{false};
+  std::thread scraper;
+  if (telemetry) {
+    scraper = std::thread([&] {
+      while (!scraper_stop.load(std::memory_order_relaxed)) {
+        out.scrape_bytes +=
+            scrape_unix(env.telemetry_address(), "/metrics");
+        ++out.scrapes;
+        // ::prism::obs, not obs:: — the local PipelineObserver shadows
+        // the namespace here.
+        ::prism::obs::live::HealthSnapshot hs;
+        if (env.telemetry_sampler()->read(hs) && !hs.conserved())
+          out.snapshots_conserved = false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+#endif
   const auto t0 = std::chrono::steady_clock::now();
   trace::EventRecord r;
   for (std::uint64_t i = 0; i < kRecords; ++i) {
@@ -61,8 +156,23 @@ RunResult run_once(fault::FaultInjector* inj) {
   }
   env.stop();
   const auto t1 = std::chrono::steady_clock::now();
+#if PRISM_OBS_ENABLED
+  if (scraper.joinable()) {
+    scraper_stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+  }
+#endif
 
-  RunResult out;
+#if PRISM_OBS_ENABLED
+  if (telemetry) {
+    out.samples = env.telemetry_sampler()->samples();
+    out.flight_events =
+        ::prism::obs::live::FlightRecorder::instance().recorded();
+    ::prism::obs::live::HealthSnapshot hs;
+    if (!env.telemetry_sampler()->read(hs) || !hs.conserved())
+      out.snapshots_conserved = false;
+  }
+#endif
   out.lineage = obs.lineage.report();
   out.lis = env.total_lis_stats();
   out.ism = env.ism().stats();
@@ -95,8 +205,16 @@ fault::FaultPlan chaos_plan() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bool ok = true;
+  bool want_telemetry = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--telemetry") want_telemetry = true;
+  if (want_telemetry && !obs::compiled_in()) {
+    std::printf("chaos_degradation: --telemetry ignored (PRISM_OBS=OFF "
+                "build)\n");
+    want_telemetry = false;
+  }
 
   fault::FaultInjector inj_a(chaos_plan(), kSeed);
   const RunResult chaos_a = run_once(&inj_a);
@@ -133,6 +251,32 @@ int main() {
     ok = false;
   }
 
+  // --telemetry: same chaos seed with the live plane on and scraped mid-run.
+  RunResult chaos_t;
+  if (want_telemetry) {
+    fault::FaultInjector inj_t(chaos_plan(), kSeed);
+    chaos_t = run_once(&inj_t, /*telemetry=*/true);
+    std::printf("  telemetry: %.1f ms  (%llu scrapes, %llu bytes, %llu "
+                "samples, %llu flight events)\n",
+                chaos_t.wall_ms,
+                static_cast<unsigned long long>(chaos_t.scrapes),
+                static_cast<unsigned long long>(chaos_t.scrape_bytes),
+                static_cast<unsigned long long>(chaos_t.samples),
+                static_cast<unsigned long long>(chaos_t.flight_events));
+    if (!same_ledger(chaos_a, chaos_t)) {
+      std::printf("FAIL: telemetry perturbed the chaos ledger\n");
+      ok = false;
+    }
+    if (!chaos_t.snapshots_conserved) {
+      std::printf("FAIL: a mid-run telemetry snapshot broke conservation\n");
+      ok = false;
+    }
+    if (chaos_t.scrapes == 0 || chaos_t.scrape_bytes == 0) {
+      std::printf("FAIL: telemetry endpoint served no scrapes\n");
+      ok = false;
+    }
+  }
+
   auto loss_sites = bench::JsonValue::object();
   for (std::size_t i = 0; i < obs::kLossSiteCount; ++i) {
     if (chaos_a.lineage.lost_at[i] == 0) continue;
@@ -167,6 +311,29 @@ int main() {
       .add("deterministic", bench::JsonValue::boolean(same_ledger(chaos_a,
                                                                   chaos_b)))
       .add("conserved", bench::JsonValue::boolean(chaos_a.lineage.conserved()));
+  // Additive subtree (bench_gate.py exempts "telemetry" like "diagnosis");
+  // scripts/telemetry_overhead.py gates wall_ms against chaos_wall_ms.
+  if (want_telemetry) {
+    auto telemetry = bench::JsonValue::object();
+    telemetry
+        .add("enabled", bench::JsonValue::boolean(true))
+        .add("wall_ms", bench::JsonValue::number(chaos_t.wall_ms))
+        .add("scrapes", bench::JsonValue::integer(
+                            static_cast<std::int64_t>(chaos_t.scrapes)))
+        .add("scrape_bytes",
+             bench::JsonValue::integer(
+                 static_cast<std::int64_t>(chaos_t.scrape_bytes)))
+        .add("samples", bench::JsonValue::integer(
+                            static_cast<std::int64_t>(chaos_t.samples)))
+        .add("flight_events",
+             bench::JsonValue::integer(
+                 static_cast<std::int64_t>(chaos_t.flight_events)))
+        .add("snapshots_conserved",
+             bench::JsonValue::boolean(chaos_t.snapshots_conserved))
+        .add("ledger_identical",
+             bench::JsonValue::boolean(same_ledger(chaos_a, chaos_t)));
+    root.add("telemetry", std::move(telemetry));
+  }
   bench::write_json_file("BENCH_chaos.json", root);
   std::printf("\nwrote BENCH_chaos.json\n");
 

@@ -11,8 +11,10 @@ when ``fresh < baseline * (1 - tolerance)``.  Speedups getting *faster* never
 fail.  Matching is by JSON path, so renaming or dropping a metric is flagged
 as a missing-metric failure rather than silently ungated; *new* metrics in
 the fresh file are ignored (they have no baseline yet), and everything under
-a ``diagnosis`` key is telemetry, exempt from both gating and missing-metric
-checks (the block's fields vary with the measurement backend).
+a ``diagnosis`` or ``telemetry`` key is additive self-measurement, exempt
+from both gating and missing-metric checks (``diagnosis`` fields vary with
+the measurement backend; ``telemetry`` blocks exist only on runs that passed
+--telemetry).
 
 Parallel-scaling rows (``workloads[].results[].speedup_vs_serial``) are also
 gated against the baseline, with one exception: a row that ran more worker
@@ -40,10 +42,11 @@ import sys
 
 def throughput_metrics(tree, path=""):
     """Yields (json_path, value) for every *_per_sec number in the tree,
-    skipping ``diagnosis`` subtrees (additive telemetry, never gated)."""
+    skipping ``diagnosis``/``telemetry`` subtrees (additive
+    self-measurement, never gated)."""
     if isinstance(tree, dict):
         for key, value in tree.items():
-            if key == "diagnosis":
+            if key in ("diagnosis", "telemetry"):
                 continue
             sub = f"{path}.{key}" if path else key
             if key.endswith("_per_sec") and isinstance(value, (int, float)):

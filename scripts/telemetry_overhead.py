@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Telemetry-overhead check: the live telemetry plane (DESIGN.md §14) must
+cost under --tolerance (default 5%) of chaos workload wall time.
+
+Usage:
+    scripts/telemetry_overhead.py BENCH_chaos.json [MORE.json ...] \\
+                                  [--tolerance 0.05]
+
+Each input is a BENCH_chaos.json produced by ``chaos_degradation
+--telemetry``: one file carries both sides of the comparison —
+``chaos_wall_ms`` is the seeded chaos run with telemetry off, and
+``telemetry.wall_ms`` the same seed rerun with the sampler + AF_UNIX scrape
+endpoint live and scraped mid-run.  Across the input files the check takes
+the MINIMUM wall on each side — min-of-N is the standard noise-robust
+wall-time estimator; a loaded 1-core CI box swings single runs by more than
+the tolerance in either direction — and fails when the telemetry side
+exceeds the plain side by more than the tolerance.
+
+The bench itself already enforces neutrality (identical loss ledger) and
+mid-run snapshot conservation; this gate only bounds the wall-time cost,
+and re-checks the bench's own verdicts so a gated CI run cannot pass on a
+perturbed ledger.
+
+Exit codes: 0 within tolerance, 1 overhead/malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_walls(paths):
+    """Returns (min plain wall_ms, min telemetry wall_ms) across the runs,
+    raising ValueError on files without a telemetry leg or with a failed
+    in-bench verdict."""
+    plain = []
+    live = []
+    for path in paths:
+        with open(path) as f:
+            tree = json.load(f)
+        off = tree.get("chaos_wall_ms")
+        tel = tree.get("telemetry") or {}
+        on = tel.get("wall_ms")
+        if not isinstance(off, (int, float)) or not isinstance(on, (int, float)):
+            raise ValueError(
+                f"{path}: no telemetry leg; run chaos_degradation --telemetry")
+        if tel.get("snapshots_conserved") is False:
+            raise ValueError(f"{path}: a mid-run snapshot broke conservation")
+        if tel.get("ledger_identical") is False:
+            raise ValueError(f"{path}: telemetry perturbed the chaos ledger")
+        if not tel.get("scrapes"):
+            raise ValueError(f"{path}: telemetry leg served no scrapes")
+        plain.append(float(off))
+        live.append(float(on))
+    return min(plain), min(live)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench", nargs="+", metavar="BENCH_chaos.json",
+                    help="output(s) of chaos_degradation --telemetry")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional overhead (default 0.05 = 5%%)")
+    args = ap.parse_args()
+
+    try:
+        off_ms, on_ms = load_walls(args.bench)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"telemetry_overhead: cannot load input: {e}")
+        return 1
+
+    if off_ms <= 0:
+        print(f"telemetry_overhead: nonsensical plain wall {off_ms} ms")
+        return 1
+
+    overhead = on_ms / off_ms - 1.0
+    verdict = "OK" if overhead <= args.tolerance else "FAIL"
+    print(f"telemetry_overhead: plain {off_ms:.1f} ms, telemetry {on_ms:.1f} ms "
+          f"-> {overhead * 100:+.1f}% (tolerance {args.tolerance * 100:.0f}%) "
+          f"[{verdict}] over {len(args.bench)} run(s)")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -140,6 +140,18 @@ EnvironmentConfig parse_environment_config(const std::string& text) {
       cfg.ism.output_capacity = parse_u64(lineno, value);
     } else if (key == "storage_path") {
       cfg.ism.storage_path = value;
+    } else if (key == "telemetry") {
+      if (value == "off") cfg.telemetry.mode = TelemetryMode::kOff;
+      else if (value == "unix") cfg.telemetry.mode = TelemetryMode::kUnix;
+      else if (value == "tcp") cfg.telemetry.mode = TelemetryMode::kTcp;
+      else throw ConfigError(lineno, "unknown telemetry mode '" + value + "'");
+    } else if (key == "telemetry_period_ms") {
+      cfg.telemetry.period_ms = parse_u64(lineno, value);
+      // Caught here rather than at start(), next to the offending line.
+      if (cfg.telemetry.period_ms == 0)
+        throw ConfigError(lineno, "telemetry_period_ms must be positive");
+    } else if (key == "telemetry_endpoint") {
+      cfg.telemetry.endpoint = value;
     } else {
       throw ConfigError(lineno, "unknown key '" + key + "'");
     }
@@ -181,6 +193,10 @@ std::string serialize_environment_config(const EnvironmentConfig& cfg) {
   os << "output_capacity = " << cfg.ism.output_capacity << "\n";
   if (cfg.ism.storage_path)
     os << "storage_path = " << cfg.ism.storage_path->string() << "\n";
+  os << "telemetry = " << to_string(cfg.telemetry.mode) << "\n";
+  os << "telemetry_period_ms = " << cfg.telemetry.period_ms << "\n";
+  if (!cfg.telemetry.endpoint.empty())
+    os << "telemetry_endpoint = " << cfg.telemetry.endpoint << "\n";
   return os.str();
 }
 

@@ -6,6 +6,18 @@
 #include "core/shm_link.hpp"
 #include "core/socket_link.hpp"
 
+#if PRISM_OBS_ENABLED
+#include <unistd.h>
+
+#include <chrono>
+
+#include "obs/live/endpoint.hpp"
+#include "obs/live/expo.hpp"
+#include "obs/live/flight.hpp"
+#include "obs/live/health.hpp"
+#include "obs/live/sampler.hpp"
+#endif
+
 namespace prism::core {
 
 std::string_view to_string(LisStyle s) {
@@ -13,6 +25,15 @@ std::string_view to_string(LisStyle s) {
     case LisStyle::kBuffered: return "buffered";
     case LisStyle::kForwarding: return "forwarding";
     case LisStyle::kDaemon: return "daemon";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TelemetryMode m) {
+  switch (m) {
+    case TelemetryMode::kOff: return "off";
+    case TelemetryMode::kUnix: return "unix";
+    case TelemetryMode::kTcp: return "tcp";
   }
   return "unknown";
 }
@@ -90,11 +111,77 @@ void IntegratedEnvironment::start() {
   if (started_) return;
   started_ = true;
   ism_->start();
+  if (config_.telemetry.mode != TelemetryMode::kOff) {
+#if PRISM_OBS_ENABLED
+    if (config_.telemetry.period_ms == 0)
+      throw std::invalid_argument("telemetry: period_ms must be > 0");
+    obs::live::SamplerOptions so;
+    so.period_ms = config_.telemetry.period_ms;
+    sampler_ = std::make_unique<obs::live::TelemetrySampler>(
+        so, [this](obs::live::HealthSnapshot& s) { collect_health(s); });
+    obs::live::EndpointOptions eo;
+    if (config_.telemetry.mode == TelemetryMode::kUnix) {
+      eo.kind = obs::live::EndpointKind::kUnix;
+      eo.address = config_.telemetry.endpoint.empty()
+                       ? "/tmp/prism.telemetry." + std::to_string(::getpid()) +
+                             ".sock"
+                       : config_.telemetry.endpoint;
+    } else {
+      eo.kind = obs::live::EndpointKind::kTcp;
+      eo.address = config_.telemetry.endpoint.empty()
+                       ? "0"
+                       : config_.telemetry.endpoint;
+    }
+    server_ = std::make_unique<obs::live::TelemetryServer>(
+        eo, [this](std::string_view path, std::string& content_type,
+                   std::string& body) {
+          // Scrapes are cold: force a fresh sample so the reader never sees
+          // one staler than the request itself.
+          obs::live::HealthSnapshot hs;
+          if (path == "/metrics" || path == "/") {
+            sampler_->sample_now();
+            const bool have = sampler_->read(hs);
+            const auto now_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count());
+            content_type = "text/plain; version=0.0.4";
+            body = obs::live::prometheus_exposition(
+                obs::Registry::instance().snapshot(), have ? &hs : nullptr,
+                now_ns);
+            return true;
+          }
+          if (path == "/health" || path == "/health.json") {
+            sampler_->sample_now();
+            if (!sampler_->read(hs)) return false;
+            content_type = "application/json";
+            body = obs::live::health_json(hs);
+            return true;
+          }
+          if (path == "/flight" || path == "/flight.json") {
+            content_type = "application/json";
+            body = obs::live::FlightRecorder::instance().dump_json();
+            return true;
+          }
+          return false;
+        });
+#else
+    throw std::runtime_error(
+        "telemetry requested but this build has PRISM_OBS=OFF");
+#endif
+  }
 }
 
 void IntegratedEnvironment::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+#if PRISM_OBS_ENABLED
+  // The scrape surface goes down before the pipeline (its handler samples
+  // live stats); the sampler outlives the drain so its terminal stop()
+  // sample — still readable via telemetry_sampler()->read() — reflects the
+  // quiescent, fully-drained ledger.
+  if (server_) server_->stop();
+#endif
   for (auto& l : lises_) l->stop();
   // Graceful degradation: tell the ISM which sources died before it drains,
   // so the causal reorderer stops waiting for their lost sends and releases
@@ -102,6 +189,9 @@ void IntegratedEnvironment::stop() {
   for (std::uint32_t n = 0; n < lises_.size(); ++n)
     if (lises_[n]->dead()) ism_->mark_source_dead(n);
   ism_->stop();
+#if PRISM_OBS_ENABLED
+  if (sampler_) sampler_->stop();
+#endif
 }
 
 Lis& IntegratedEnvironment::lis(std::uint32_t node) {
@@ -142,6 +232,60 @@ void IntegratedEnvironment::set_fault(fault::FaultInjector* f,
   ism_->set_fault(f);
   tp_->set_fault(f, retry);
 }
+
+#if PRISM_OBS_ENABLED
+
+// The read ordering here is the whole trick (StageHealth's contract): for
+// each stage row, the counters that can only grow *after* admission —
+// completed, then losses — are read before the admitted counter, so a
+// record in completed/lost at read time is always already in admitted and
+// the derived in_flight residue is non-negative in every sample.  Buffered
+// and forwarding LISes update their stats under one mutex (internally
+// consistent per read); the daemon LIS admits a benign inversion (its
+// daemon can forward a piped record before the app thread counts it
+// recorded), which latches StageHealth::torn instead of fabricating a
+// negative residue.
+void IntegratedEnvironment::collect_health(
+    obs::live::HealthSnapshot& snap) const {
+  // 1. Downstream completions first.
+  const IsmStats ism = ism_->stats();
+  // 2. Losses second.
+  std::uint64_t wire_lost = 0;
+  const bool wire = tp_->socket_backend_enabled() || tp_->shm_backend_enabled();
+  if (tp_->socket_backend_enabled())
+    wire_lost = tp_->socket_transport()->records_lost_total();
+  else if (tp_->shm_backend_enabled())
+    wire_lost = tp_->shm_transport()->records_lost_total();
+  const std::uint64_t control_dropped = tp_->control_dropped_total();
+  std::uint32_t lises_dead = 0;
+  for (const auto& l : lises_)
+    if (l->dead()) ++lises_dead;
+  // 3. Admission counters last (one consistent per-LIS pass).
+  const LisStats lis = total_lis_stats();
+
+  snap.add_stage("lis", lis.recorded, lis.records_forwarded,
+                 lis.lost_send + lis.lost_dead, lis.dropped);
+  if (wire)
+    snap.add_stage("wire", lis.records_forwarded, ism.records_received,
+                   wire_lost);
+  snap.add_stage("ism", ism.records_received, ism.records_dispatched, 0);
+  snap.add_stage("pipeline", lis.recorded, ism.records_dispatched,
+                 lis.lost_send + lis.lost_dead + wire_lost, lis.dropped);
+
+  snap.lises_dead = lises_dead;
+  snap.tools_failed = ism.tools_failed;
+  snap.records_lost_send = lis.lost_send;
+  snap.records_lost_dead = lis.lost_dead;
+  snap.records_lost_wire = wire_lost;
+  snap.control_dropped = control_dropped;
+  snap.holdback_expired = ism.expired_released;
+}
+
+std::string IntegratedEnvironment::telemetry_address() const {
+  return server_ ? server_->address() : std::string();
+}
+
+#endif  // PRISM_OBS_ENABLED
 
 DegradationReport IntegratedEnvironment::degradation() const {
   DegradationReport d;

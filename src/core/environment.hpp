@@ -26,6 +26,15 @@
 #include "core/lis.hpp"
 #include "core/probe_registry.hpp"
 #include "core/transfer_protocol.hpp"
+#include "obs/obs.hpp"
+
+#if PRISM_OBS_ENABLED
+namespace prism::obs::live {
+struct HealthSnapshot;
+class TelemetrySampler;
+class TelemetryServer;
+}  // namespace prism::obs::live
+#endif
 
 namespace prism::core {
 
@@ -40,6 +49,23 @@ std::string_view to_string(LisStyle s);
 
 /// Flush policies selectable by name for buffered LISes.
 enum class FlushPolicyKind : std::uint8_t { kFof, kFaof, kThreshold, kAdaptive };
+
+/// Live telemetry plane (DESIGN.md §14): off, or a scrape endpoint over an
+/// AF_UNIX socket / TCP loopback.  kOff is the default and leaves behavior
+/// bit-identical to a build without the plane.
+enum class TelemetryMode : std::uint8_t { kOff, kUnix, kTcp };
+
+std::string_view to_string(TelemetryMode m);
+
+struct TelemetryOptions {
+  TelemetryMode mode = TelemetryMode::kOff;
+  /// Sampler period.  Must be > 0 when the plane is on.
+  std::uint64_t period_ms = 100;
+  /// kUnix: socket path (empty = "/tmp/prism.telemetry.<pid>.sock").
+  /// kTcp: loopback port as text (empty or "0" = ephemeral; read the real
+  /// one back from telemetry_address()).
+  std::string endpoint;
+};
 
 struct EnvironmentConfig {
   std::uint32_t nodes = 4;
@@ -62,6 +88,10 @@ struct EnvironmentConfig {
   /// ring capacity (power of two) and untrusted-header record bound.
   ShmOptions shm;
   IsmConfig ism;
+  /// Live telemetry: sampler + scrape endpoint (DESIGN.md §14).  Requires a
+  /// PRISM_OBS build when mode != kOff; start() throws otherwise rather than
+  /// silently serving nothing.
+  TelemetryOptions telemetry;
 };
 
 /// How far an environment degraded during a run — the partial-result report
@@ -144,6 +174,23 @@ class IntegratedEnvironment {
   /// How this environment classifies along the §2.4 dimensions.
   IsClassification classification() const;
 
+#if PRISM_OBS_ENABLED
+  /// Fills the pipeline-specific snapshot fields: stage conservation rows
+  /// ("lis", "wire" when a real data plane is up, "ism", "pipeline") and the
+  /// DegradationReport mirror.  Counters are read in completed → losses →
+  /// admitted order so the per-stage identity admitted == completed + lost +
+  /// in_flight holds in every sample (see StageHealth).  Safe to call from
+  /// any thread while the pipeline runs; the sampler's Collector is exactly
+  /// this method.
+  void collect_health(obs::live::HealthSnapshot& snap) const;
+
+  /// Non-null between start() and destruction when telemetry is on.
+  obs::live::TelemetrySampler* telemetry_sampler() { return sampler_.get(); }
+  obs::live::TelemetryServer* telemetry_server() { return server_.get(); }
+  /// The scrape address (unix path or "127.0.0.1:<port>"); empty when off.
+  std::string telemetry_address() const;
+#endif
+
  private:
   EnvironmentConfig config_;
   std::unique_ptr<TransferProtocol> tp_;
@@ -153,6 +200,12 @@ class IntegratedEnvironment {
   std::vector<std::unique_ptr<Lis>> lises_;
   bool started_ = false;
   bool stopped_ = false;
+#if PRISM_OBS_ENABLED
+  // Declared last: the sampler/server reference the pipeline members above
+  // through collect_health(), so they must be destroyed first.
+  std::unique_ptr<obs::live::TelemetrySampler> sampler_;
+  std::unique_ptr<obs::live::TelemetryServer> server_;
+#endif
 };
 
 }  // namespace prism::core

@@ -7,6 +7,7 @@
 
 #include "core/clock.hpp"
 #include "core/io_loop.hpp"
+#include "obs/live/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace prism::core {
@@ -263,6 +264,7 @@ void Ism::dispatch_main() {
                                        static_cast<std::uint32_t>(i));
         if (f.kind == fault::FaultKind::kCrash) {
           tool_dead_[i] = 1;
+          PRISM_OBS_FLIGHT("tool_isolated", "fault_crash", i, 1);
           std::lock_guard lk(mu_);
           ++stats_.tools_failed;
           PRISM_OBS_COUNT("core.ism.tools_failed");
@@ -278,6 +280,7 @@ void Ism::dispatch_main() {
         // A crashing tool must not take the IS down with it: isolate it and
         // keep dispatching to the survivors.
         tool_dead_[i] = 1;
+        PRISM_OBS_FLIGHT("tool_isolated", "consume_threw", i, 1);
         std::lock_guard lk(mu_);
         ++stats_.tools_failed;
         PRISM_OBS_COUNT("core.ism.tools_failed");
@@ -323,6 +326,7 @@ void Ism::stop() {
     try {
       tools_[i]->finish();
     } catch (...) {
+      PRISM_OBS_FLIGHT("tool_isolated", "finish_threw", i, 1);
       std::lock_guard lk(mu_);
       ++stats_.tools_failed;
       PRISM_OBS_COUNT("core.ism.tools_failed");

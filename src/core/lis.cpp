@@ -6,6 +6,7 @@
 
 #include "core/clock.hpp"
 #include "core/probe_registry.hpp"
+#include "obs/live/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace prism::core {
@@ -21,7 +22,10 @@ Lis::SendOutcome Lis::tp_send(DataLink& link, DataBatch&& batch) {
   for (;;) {
     const auto f = inj->consult(fault::FaultSite::kTpSend, node_);
     if (f.kind == fault::FaultKind::kCrash) {
-      dead_.store(true, std::memory_order_relaxed);
+      // exchange (not store) so exactly one lis_crash event per component
+      // death reaches the flight recorder, whichever path latched it.
+      if (!dead_.exchange(true, std::memory_order_relaxed))
+        PRISM_OBS_FLIGHT("lis_crash", "tp_send", node_, 1);
       return SendOutcome::kCrashed;
     }
     if (f.kind == fault::FaultKind::kStall ||
@@ -34,6 +38,7 @@ Lis::SendOutcome Lis::tp_send(DataLink& link, DataBatch&& batch) {
     PRISM_OBS_COUNT("core.tp.send_faults");
     if (++attempt >= retry_.max_attempts) return SendOutcome::kExhausted;
     PRISM_OBS_COUNT("core.tp.send_retries");
+    PRISM_OBS_FLIGHT("retry", "tp_send", node_, attempt);
     std::uint64_t backoff;
     {
       std::lock_guard lk(fault_mu_);
@@ -194,6 +199,10 @@ void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
       // forward used to make conserved() lie at shutdown.
       stats_.lost_send += n;
       PRISM_OBS_COUNT_N("core.lis.records_lost_send", n);
+      PRISM_OBS_FLIGHT("send_loss",
+                       out == SendOutcome::kClosed ? "link_closed"
+                                                   : "retry_exhausted",
+                       node_, n);
       if (observer_) {
         const auto tl = static_cast<double>(now_ns());
         const auto site = out == SendOutcome::kClosed
@@ -206,6 +215,7 @@ void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
     case SendOutcome::kCrashed:
       stats_.lost_dead += n;
       PRISM_OBS_COUNT_N("core.lis.records_lost_dead", n);
+      PRISM_OBS_FLIGHT("dead_loss", "crash_in_flush", node_, n);
       if (observer_) {
         const auto tl = static_cast<double>(now_ns());
         for (const auto& k : keys)
@@ -296,6 +306,7 @@ void ForwardingLis::record(const trace::EventRecord& r) {
       ++stats_.lost_send;
       PRISM_OBS_COUNT("core.lis.recorded");
       PRISM_OBS_COUNT("core.lis.records_lost_send");
+      PRISM_OBS_FLIGHT("send_loss", "retry_exhausted", node_, 1);
       break;
     }
     case SendOutcome::kCrashed: {
@@ -307,6 +318,7 @@ void ForwardingLis::record(const trace::EventRecord& r) {
       ++stats_.lost_dead;
       PRISM_OBS_COUNT("core.lis.recorded");
       PRISM_OBS_COUNT("core.lis.records_lost_dead");
+      PRISM_OBS_FLIGHT("dead_loss", "crash_in_send", node_, 1);
       break;
     }
   }
@@ -429,7 +441,8 @@ void DaemonLis::daemon_main() {
 }
 
 void DaemonLis::die() {
-  dead_.store(true, std::memory_order_relaxed);
+  if (!dead_.exchange(true, std::memory_order_relaxed))
+    PRISM_OBS_FLIGHT("lis_crash", "daemon_die", node_, 1);
   running_.store(false, std::memory_order_relaxed);
   // The daemon process is gone and its pipes die with it: close them so
   // blocked application writers wake (their pushes fail and count as drops),
@@ -445,6 +458,8 @@ void DaemonLis::die() {
         observer_->lineage.lose(obs_key(*r), obs::LossSite::kLisDead, t);
     }
   }
+  if (orphans > 0)
+    PRISM_OBS_FLIGHT("dead_loss", "daemon_orphans", node_, orphans);
   std::lock_guard lk(mu_);
   stats_.lost_dead += orphans;
   PRISM_OBS_COUNT_N("core.lis.records_lost_dead", orphans);
@@ -505,6 +520,10 @@ void DaemonLis::drain_once() {
         std::lock_guard lk(mu_);
         stats_.lost_send += n;
         PRISM_OBS_COUNT_N("core.lis.records_lost_send", n);
+        PRISM_OBS_FLIGHT("send_loss",
+                         out == SendOutcome::kClosed ? "link_closed"
+                                                     : "retry_exhausted",
+                         node_, n);
         break;
       }
       case SendOutcome::kCrashed: {
@@ -517,6 +536,7 @@ void DaemonLis::drain_once() {
           std::lock_guard lk(mu_);
           stats_.lost_dead += n;
           PRISM_OBS_COUNT_N("core.lis.records_lost_dead", n);
+          PRISM_OBS_FLIGHT("dead_loss", "crash_in_drain", node_, n);
         }
         die();  // the whole component is gone — drain pipe residue too
         break;

@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "core/clock.hpp"
+#include "obs/live/flight.hpp"
 #include "obs/prof/prof.hpp"
 
 namespace prism::core {
@@ -63,6 +64,7 @@ void ShmLink::set_fault(fault::FaultInjector* f, fault::RetryPolicy retry) {
 void ShmLink::lose_keys(const std::vector<obs::LineageKey>& keys,
                         std::uint64_t count, obs::LossSite site) {
   records_lost_.fetch_add(count, std::memory_order_relaxed);
+  PRISM_OBS_FLIGHT("wire_loss", obs::to_string(site), index_, count);
   auto* o = observer();
   if (!o) return;
   const auto t = static_cast<double>(now_ns());
@@ -71,6 +73,8 @@ void ShmLink::lose_keys(const std::vector<obs::LineageKey>& keys,
 
 void ShmLink::lose_batch(const DataBatch& batch, obs::LossSite site) {
   records_lost_.fetch_add(batch.records.size(), std::memory_order_relaxed);
+  PRISM_OBS_FLIGHT("wire_loss", obs::to_string(site), index_,
+                   batch.records.size());
   auto* o = observer();
   if (!o) return;
   const auto t = static_cast<double>(now_ns());
@@ -85,7 +89,8 @@ void ShmLink::close_writer_locked() {
 }
 
 void ShmLink::abort_stream_locked() {
-  stream_corrupt_.store(true, std::memory_order_relaxed);
+  if (!stream_corrupt_.exchange(true, std::memory_order_relaxed))
+    PRISM_OBS_FLIGHT("stream_corrupt", "shm_ring", index_, 0);
   ring_.set_flags(ShmRing::kPoisoned);
   close_writer_locked();
 }
@@ -101,6 +106,7 @@ void ShmLink::prune_acked_locked() {
 bool ShmLink::wait_for_space_locked(std::size_t len) {
   if (ring_.free_bytes() >= len) return true;
   ring_full_waits_.fetch_add(1, std::memory_order_relaxed);
+  PRISM_OBS_FLIGHT("backpressure", "shm_ring_full", index_, 0);
   std::size_t rounds = 0;
   for (;;) {
     // A gone or poisoned ring frees no further space; bail instead of

@@ -12,6 +12,7 @@
 #include <system_error>
 
 #include "core/clock.hpp"
+#include "obs/live/flight.hpp"
 #include "obs/prof/prof.hpp"
 
 namespace prism::core {
@@ -112,6 +113,7 @@ void SocketLink::set_fault(fault::FaultInjector* f, fault::RetryPolicy retry) {
 void SocketLink::lose_keys(const std::vector<obs::LineageKey>& keys,
                            std::uint64_t count, obs::LossSite site) {
   records_lost_.fetch_add(count, std::memory_order_relaxed);
+  PRISM_OBS_FLIGHT("wire_loss", obs::to_string(site), index_, count);
   auto* o = observer();
   if (!o) return;
   const auto t = static_cast<double>(now_ns());
@@ -120,6 +122,8 @@ void SocketLink::lose_keys(const std::vector<obs::LineageKey>& keys,
 
 void SocketLink::lose_batch(const DataBatch& batch, obs::LossSite site) {
   records_lost_.fetch_add(batch.records.size(), std::memory_order_relaxed);
+  PRISM_OBS_FLIGHT("wire_loss", obs::to_string(site), index_,
+                   batch.records.size());
   auto* o = observer();
   if (!o) return;
   const auto t = static_cast<double>(now_ns());
@@ -135,7 +139,8 @@ void SocketLink::close_writer_locked() {
 }
 
 void SocketLink::abort_stream_locked() {
-  stream_corrupt_.store(true, std::memory_order_relaxed);
+  if (!stream_corrupt_.exchange(true, std::memory_order_relaxed))
+    PRISM_OBS_FLIGHT("stream_corrupt", "socket", index_, 0);
   close_writer_locked();
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/shm_link.hpp"
 #include "core/socket_link.hpp"
+#include "obs/live/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace prism::core {
@@ -180,6 +181,7 @@ void TransferProtocol::broadcast(const ControlMessage& m) {
       control_dropped_[static_cast<std::size_t>(m.kind)].fetch_add(
           1, std::memory_order_relaxed);
       PRISM_OBS_COUNT("core.tp.control_dropped");
+      PRISM_OBS_FLIGHT("control_drop", to_string(m.kind), i, 1);
     }
   }
 }

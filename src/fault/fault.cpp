@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/live/flight.hpp"
+
 namespace prism::fault {
 
 std::string_view to_string(FaultKind k) {
@@ -160,6 +162,10 @@ Fault FaultInjector::consult(FaultSite site, std::uint32_t node) {
     ++stats_.fired;
     ++stats_.fired_at_site[static_cast<std::size_t>(site)];
     ++stats_.fired_kind[static_cast<std::size_t>(out.kind)];
+    PRISM_OBS_FLIGHT(
+        "fault",
+        std::string(to_string(out.kind)) + "@" + std::string(to_string(site)),
+        node, 0);
   }
   return out;
 }

@@ -1,0 +1,277 @@
+#include "obs/live/endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace prism::obs::live {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("TelemetryServer: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(EndpointOptions options, ScrapeHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (!handler_)
+    throw std::invalid_argument("TelemetryServer: null handler");
+
+  if (options_.kind == EndpointKind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.address.empty() ||
+        options_.address.size() >= sizeof addr.sun_path)
+      throw std::invalid_argument("TelemetryServer: bad unix path");
+    std::memcpy(addr.sun_path, options_.address.c_str(),
+                options_.address.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket(AF_UNIX)");
+    ::unlink(options_.address.c_str());  // stale socket from a dead run
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind(unix)");
+    }
+    address_ = options_.address;
+  } else {
+    std::uint16_t port = 0;
+    if (!options_.address.empty()) {
+      const auto res =
+          std::from_chars(options_.address.data(),
+                          options_.address.data() + options_.address.size(),
+                          port);
+      if (res.ec != std::errc{} ||
+          res.ptr != options_.address.data() + options_.address.size())
+        throw std::invalid_argument("TelemetryServer: bad tcp port");
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("getsockname");
+    }
+    address_ = "127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
+  }
+
+  if (::listen(listen_fd_, 8) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen");
+  }
+  set_nonblocking(listen_fd_);
+  thread_ = std::thread([this] { pump(); });
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (options_.kind == EndpointKind::kUnix)
+    ::unlink(options_.address.c_str());
+}
+
+void TelemetryServer::pump() {
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns)
+      fds.push_back({c.fd,
+                     static_cast<short>(c.responding ? POLLOUT : POLLIN), 0});
+
+    // Bounded wait so stop() is honored even with no traffic.
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failed: shut the pump down
+    }
+    if (rc == 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN / transient: retry next pass
+        if (conns.size() >= kMaxConnections) {
+          ::close(fd);  // over cap: shed load instead of queueing
+          continue;
+        }
+        set_nonblocking(fd);
+        Conn c;
+        c.fd = fd;
+        conns.push_back(std::move(c));
+      }
+    }
+
+    // accept() above can grow `conns` past the set this pass polled; a
+    // fresh connection has no fds entry yet, so it gets revents 0 here
+    // and is serviced on the next pass.
+    std::size_t polled = fds.size() - 1;
+
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Conn& c = conns[i];
+      const short revents = i < polled ? fds[i + 1].revents : 0;
+      bool close_conn = false;
+
+      if (!c.responding && (revents & (POLLIN | POLLHUP | POLLERR))) {
+        char buf[1024];
+        for (;;) {
+          const ssize_t n = ::read(c.fd, buf, sizeof buf);
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            if (c.in.size() > kMaxRequestBytes) {
+              build_response(c, 400, "text/plain", "request too large\n");
+              break;
+            }
+            if (c.in.find("\r\n\r\n") != std::string::npos ||
+                c.in.find("\n\n") != std::string::npos ||
+                (c.in.find('\n') != std::string::npos &&
+                 c.in.rfind("HTTP/", 0) == std::string::npos &&
+                 c.in.find(" HTTP/") == std::string::npos)) {
+              // Full header block, or a bare "GET /path\n" probe.
+              handle_request(c);
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {  // client closed before completing a request
+            if (c.in.find('\n') != std::string::npos)
+              handle_request(c);
+            else
+              close_conn = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          close_conn = true;  // hard read error
+          break;
+        }
+      }
+
+      if (c.responding && (revents & (POLLOUT | POLLHUP | POLLERR))) {
+        while (c.sent < c.out.size()) {
+          const ssize_t n = ::send(c.fd, c.out.data() + c.sent,
+                                   c.out.size() - c.sent, MSG_NOSIGNAL);
+          if (n > 0) {
+            c.sent += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          close_conn = true;  // peer went away mid-response
+          break;
+        }
+        if (c.sent == c.out.size()) close_conn = true;  // HTTP/1.0: done
+      }
+
+      if (close_conn) {
+        ::close(c.fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        if (i < polled) {
+          fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+          --polled;
+        }
+        --i;
+      }
+    }
+  }
+
+  for (Conn& c : conns) ::close(c.fd);
+}
+
+void TelemetryServer::handle_request(Conn& c) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // First line only: "GET <path>[ HTTP/x.y]".  Everything else is 400.
+  const std::size_t eol = c.in.find_first_of("\r\n");
+  const std::string_view line(c.in.data(),
+                              eol == std::string::npos ? c.in.size() : eol);
+  if (line.rfind("GET ", 0) != 0) {
+    build_response(c, 400, "text/plain", "only GET is supported\n");
+    return;
+  }
+  std::string_view path = line.substr(4);
+  const std::size_t sp = path.find(' ');
+  if (sp != std::string_view::npos) path = path.substr(0, sp);
+  if (path.empty() || path.front() != '/') {
+    build_response(c, 400, "text/plain", "bad request path\n");
+    return;
+  }
+
+  std::string content_type;
+  std::string body;
+  if (handler_(path, content_type, body))
+    build_response(c, 200, content_type, std::move(body));
+  else
+    build_response(c, 404, "text/plain", "unknown path\n");
+}
+
+void TelemetryServer::build_response(Conn& c, int status,
+                                     std::string_view content_type,
+                                     std::string body) {
+  c.out = "HTTP/1.0 " + std::to_string(status) + " " + status_text(status) +
+          "\r\nContent-Type: " + std::string(content_type) +
+          "\r\nContent-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n";
+  c.out += body;
+  c.sent = 0;
+  c.responding = true;
+}
+
+}  // namespace prism::obs::live

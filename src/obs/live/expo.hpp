@@ -1,0 +1,47 @@
+// Text exposition for the scrape endpoint (DESIGN.md §14): renders the
+// metrics registry and the latest HealthSnapshot as Prometheus text
+// exposition format (version 0.0.4) and the snapshot alone as a JSON
+// object.  Output is deterministic for identical inputs (name-sorted
+// families, round-trip number formatting), so the format is golden-file
+// testable.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/live/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace prism::obs::live {
+
+/// Sanitizes a registry metric name into a Prometheus metric name:
+/// [a-zA-Z0-9_:] survive, every other byte becomes '_', and a leading
+/// digit gains a '_' prefix.
+std::string prometheus_name(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline are escaped; everything else passes through.
+std::string escape_label_value(std::string_view value);
+
+/// Renders `snap` (and, when non-null, `health`) as Prometheus text
+/// exposition:
+///   * every registry counter becomes family `prism_<name>_total` with
+///     HELP/TYPE lines (TYPE counter);
+///   * every gauge becomes `prism_<name>` (TYPE gauge);
+///   * every histogram becomes `prism_<name>` with cumulative
+///     `_bucket{le="..."}` rows, the mandatory `le="+Inf"` row, `_sum`
+///     and `_count` (TYPE histogram);
+///   * health stages become `prism_pipeline_records{stage="..",state=".."}`
+///     plus `prism_pipeline_conserved{stage=".."}`,
+///   * degradation fields become `prism_degradation{kind=".."}`, and the
+///     sample itself `prism_health_sample_seq` / `prism_health_sample_age_ns`
+///     (age relative to `now_ns`, clamped at zero).
+std::string prometheus_exposition(const MetricsSnapshot& snap,
+                                  const HealthSnapshot* health = nullptr,
+                                  std::uint64_t now_ns = 0);
+
+/// Renders one HealthSnapshot as a JSON object (schema documented in
+/// DESIGN.md §14; `version` is kHealthSnapshotVersion).
+std::string health_json(const HealthSnapshot& health);
+
+}  // namespace prism::obs::live

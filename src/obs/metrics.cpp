@@ -49,8 +49,13 @@ std::vector<double> Histogram::exponential_bounds(double start, double factor,
 void Histogram::record(double v) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  // Torn-read discipline (paired with count()/snapshot()): the bucket is
+  // bumped first and count_ published with release, so a scraper that reads
+  // count_ (acquire) *before* the buckets can never observe a sample in the
+  // total that is missing from every bucket — concurrent snapshots satisfy
+  // count <= sum(buckets), with equality at quiescence.
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_release);
   // Double-precision sum via CAS on the bit pattern; contention is rare
   // (histograms sit off the per-event fast path or tolerate a few retries).
   std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
@@ -161,6 +166,10 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     HistogramSample s;
     s.name = name;
+    // Read order is load-bearing: count (acquire) strictly before the bucket
+    // cells, pairing with record()'s bucket-then-count(release) write order.
+    // The acquire/release edge guarantees s.count <= sum(s.buckets) even
+    // mid-record; sum is a racy CAS cell and stays an approximation.
     s.count = h->count();
     s.sum = h->sum();
     s.bounds = h->bounds();

@@ -36,7 +36,10 @@ namespace prism::obs {
 /// shard index on first use; add() touches only that thread's cache line.
 /// value() sums the shards — a racy-but-consistent-enough scrape (each shard
 /// read is atomic; the sum is a moment-in-time approximation, exact once
-/// writers are quiescent).
+/// writers are quiescent).  Torn-read audit: each cell is individually
+/// monotone and read atomically, so a value() sum is bounded by the true
+/// totals at the first and last cell read — successive scrapes are monotone
+/// non-decreasing, and no sum can double- or under-count a single add().
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
@@ -115,8 +118,12 @@ class Histogram {
   void record(double v) noexcept;
 
   const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Acquire-loads the sample total.  Pairs with record()'s release
+  /// increment: a reader that loads count() and *then* bucket_counts() sees
+  /// every counted sample in some bucket (count <= sum of buckets), so a
+  /// snapshot taken concurrently with record() is never torn the other way.
   std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
+    return count_.load(std::memory_order_acquire);
   }
   double sum() const noexcept;
   /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).

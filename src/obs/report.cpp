@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/live/flight.hpp"
+#include "obs/prof/alloc.hpp"
+
 namespace prism::obs {
 
 namespace {
@@ -113,6 +116,67 @@ std::string json_report(const MetricsSnapshot& snap) {
     out += "]}";
   }
   out += "}}";
+  return out;
+}
+
+std::string text_report(const MetricsSnapshot& snap,
+                        const ReportOptions& opts) {
+  std::string out = text_report(snap);
+  char line[256];
+  if (opts.include_prof) {
+    const auto a = prof::process_alloc_stats();
+    out += "prof:\n";
+    std::snprintf(line, sizeof line,
+                  "  allocs=%llu frees=%llu bytes=%llu\n",
+                  static_cast<unsigned long long>(a.allocs),
+                  static_cast<unsigned long long>(a.frees),
+                  static_cast<unsigned long long>(a.bytes));
+    out += line;
+  }
+#if PRISM_OBS_ENABLED
+  if (opts.flight_tail > 0) {
+    const auto& rec = live::FlightRecorder::instance();
+    const auto events = rec.tail(opts.flight_tail);
+    std::snprintf(line, sizeof line, "flight: recorded=%llu showing=%zu\n",
+                  static_cast<unsigned long long>(rec.recorded()),
+                  events.size());
+    out += line;
+    for (const auto& ev : events) {
+      std::snprintf(line, sizeof line,
+                    "  t=%llu %-16s %-20s node=%u count=%llu\n",
+                    static_cast<unsigned long long>(ev.t_ns), ev.category,
+                    ev.detail, ev.node,
+                    static_cast<unsigned long long>(ev.count));
+      out += line;
+    }
+  }
+#endif
+  return out;
+}
+
+std::string json_report(const MetricsSnapshot& snap,
+                        const ReportOptions& opts) {
+  std::string out = json_report(snap);
+  // Splice the extra planes in before the closing brace: the base object's
+  // byte-stable rendering is preserved verbatim.
+  out.pop_back();
+  if (opts.include_prof) {
+    const auto a = prof::process_alloc_stats();
+    out += ",\"prof\":{\"allocs\":";
+    out += std::to_string(a.allocs);
+    out += ",\"frees\":";
+    out += std::to_string(a.frees);
+    out += ",\"bytes\":";
+    out += std::to_string(a.bytes);
+    out += '}';
+  }
+#if PRISM_OBS_ENABLED
+  if (opts.flight_tail > 0) {
+    out += ",\"flight\":";
+    out += live::FlightRecorder::instance().dump_json(opts.flight_tail);
+  }
+#endif
+  out += '}';
   return out;
 }
 

@@ -29,6 +29,25 @@ std::string text_report(const MetricsSnapshot& snap);
 /// the output is byte-stable for identical snapshots.
 std::string json_report(const MetricsSnapshot& snap);
 
+/// Extra obs planes folded into the report, so one reporter covers the whole
+/// stack (registry + prof + flight recorder).
+struct ReportOptions {
+  /// Append the profiling plane's process-wide allocator tallies.
+  bool include_prof = false;
+  /// Append the last `flight_tail` flight-recorder events (0 = omit the
+  /// section entirely).  No-op in a PRISM_OBS=OFF build.
+  std::size_t flight_tail = 0;
+};
+
+/// text_report plus a "prof:" block (alloc/free/bytes tallies) and a
+/// "flight:" tail (most recent events, oldest first) per `opts`.
+std::string text_report(const MetricsSnapshot& snap, const ReportOptions& opts);
+
+/// json_report with two extra top-level keys per `opts`:
+///   "prof":{"allocs":..,"frees":..,"bytes":..}
+///   "flight":{"recorded":..,"capacity":..,"events":[...]}
+std::string json_report(const MetricsSnapshot& snap, const ReportOptions& opts);
+
 /// Calls `publish` with a fresh Registry snapshot every `period_ms` until
 /// stopped or destroyed.  The callback runs on the reporter's thread.
 class PeriodicReporter {
