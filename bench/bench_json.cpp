@@ -47,6 +47,12 @@ JsonValue JsonValue::string(std::string s) {
   return v;
 }
 
+JsonValue JsonValue::null() {
+  JsonValue v;
+  v.kind_ = Kind::kNull;
+  return v;
+}
+
 JsonValue& JsonValue::add(const std::string& key, JsonValue v) {
   if (kind_ != Kind::kObject)
     throw std::logic_error("JsonValue::add on non-object");
@@ -148,6 +154,7 @@ void JsonValue::render(std::string& out, int indent) const {
     case Kind::kInteger: out += std::to_string(int_); return;
     case Kind::kBool: out += bool_ ? "true" : "false"; return;
     case Kind::kString: append_escaped(out, str_); return;
+    case Kind::kNull: out += "null"; return;
   }
 }
 

@@ -23,6 +23,9 @@ class JsonValue {
   static JsonValue integer(std::int64_t v);
   static JsonValue boolean(bool v);
   static JsonValue string(std::string v);
+  /// JSON null — for fields that are genuinely undefined (e.g. a per-event
+  /// ratio when the workload executed zero events), as opposed to 0.
+  static JsonValue null();
 
   /// Adds (or replaces nothing — keys are not deduplicated; callers add each
   /// key once) a member to an object value.
@@ -34,7 +37,7 @@ class JsonValue {
   std::string dump() const;
 
  private:
-  enum class Kind { kObject, kArray, kNumber, kInteger, kBool, kString };
+  enum class Kind { kObject, kArray, kNumber, kInteger, kBool, kString, kNull };
   void render(std::string& out, int indent) const;
 
   Kind kind_ = Kind::kObject;

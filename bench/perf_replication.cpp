@@ -135,7 +135,11 @@ struct ThreadsResult {
 
   // Diagnosis probes for this leg (all-zero with PRISM_OBS=OFF).
   obs::prof::CounterDelta counters;  ///< calling thread (exact at threads=1)
-  obs::prof::AllocStats alloc;       ///< process-wide allocation delta
+  /// Process-wide allocation delta for the leg, read from the sharded
+  /// tallies after replicate() has joined its pool — so allocations made on
+  /// worker threads are attributed to this leg's row, not silently dropped
+  /// the way a thread-local scope on the submitting thread would drop them.
+  obs::prof::AllocStats alloc;
   std::uint64_t events = 0;          ///< sim.engine.events_executed delta
   std::uint64_t pool_busy_ns = 0;    ///< WorkerClock publishes, all pools
   std::uint64_t pool_idle_ns = 0;
@@ -285,10 +289,17 @@ bench::JsonValue diagnosis_to_json(const std::vector<ThreadsResult>& rows,
     row.add("alloc_bytes",
             bench::JsonValue::integer(
                 static_cast<std::int64_t>(r.alloc.bytes)));
-    row.add("allocs_per_event",
-            bench::JsonValue::number(
-                events > 0 ? static_cast<double>(r.alloc.allocs) / events
-                           : 0));
+    // A zero event count is genuine for engine-free workloads (the fig05
+    // PICL sweep is pure Monte Carlo — it never schedules on sim::Engine),
+    // so the ratio is *undefined* there, not zero: emit JSON null rather
+    // than a fake perfect score the alloc gate would anchor on.
+    if (events > 0) {
+      row.add("allocs_per_event",
+              bench::JsonValue::number(static_cast<double>(r.alloc.allocs) /
+                                       events));
+    } else {
+      row.add("allocs_per_event", bench::JsonValue::null());
+    }
     row.add("ctx_switches",
             bench::JsonValue::integer(
                 static_cast<std::int64_t>(r.ctx_switches)));
@@ -423,6 +434,15 @@ bench::JsonValue replication_telemetry(unsigned reps, unsigned threads) {
     obj.add("rep_cpu_ms_mean", bench::JsonValue::number(rr.rep_cpu_ms().mean()));
   if (rr.rep_allocs().count() > 0)
     obj.add("rep_allocs_mean", bench::JsonValue::number(rr.rep_allocs().mean()));
+  // Whole-call allocation footprint including pool-worker allocations
+  // (ReplicationResult::workload_alloc — sharded tallies snapshotted after
+  // the pool joined).
+  obj.add("workload_allocs",
+          bench::JsonValue::integer(
+              static_cast<std::int64_t>(rr.workload_alloc().allocs)));
+  obj.add("workload_alloc_bytes",
+          bench::JsonValue::integer(
+              static_cast<std::int64_t>(rr.workload_alloc().bytes)));
   obj.add("pool_busy_ms",
           bench::JsonValue::number(static_cast<double>(rr.pool().busy_ns) *
                                    1e-6));
@@ -435,19 +455,27 @@ bench::JsonValue replication_telemetry(unsigned reps, unsigned threads) {
   return obj;
 }
 
-/// Engine calendar hot loops, in events (or operations) per second.
+/// Engine calendar hot loops, in events (or operations) per second.  Each
+/// loop runs a short untimed warm-up pass on the same engine first, so the
+/// timed pass measures the steady state (slot vector, heap, and EventFn
+/// storage already faulted in), not first-touch growth.
 bench::JsonValue engine_micro() {
   auto obj = bench::JsonValue::object();
 
   // schedule_at + step through a large FEL, the simulator's core loop.
   {
     constexpr int kEvents = 200'000;
+    constexpr int kWarm = 10'000;
     sim::Engine e;
     volatile int sink = 0;
     stats::Rng rng(42);
+    for (int i = 0; i < kWarm; ++i)
+      e.schedule_at(rng.next_double() * 1e6, [&sink] { sink = sink + 1; });
+    e.run();
     const double ms = wall_ms([&] {
       for (int i = 0; i < kEvents; ++i)
-        e.schedule_at(rng.next_double() * 1e6, [&sink] { sink = sink + 1; });
+        e.schedule_at(e.now() + rng.next_double() * 1e6,
+                      [&sink] { sink = sink + 1; });
       e.run();
     });
     obj.add("schedule_step_events_per_sec",
@@ -458,10 +486,14 @@ bench::JsonValue engine_micro() {
   // cancelled before it fires).
   {
     constexpr int kOps = 200'000;
+    constexpr int kWarm = 10'000;
     sim::Engine e;
+    for (int i = 0; i < kWarm; ++i)
+      e.cancel(e.schedule_at(static_cast<double>(i + 1), [] {}));
+    e.run();
     const double ms = wall_ms([&] {
       for (int i = 0; i < kOps; ++i) {
-        auto h = e.schedule_at(static_cast<double>(i + 1), [] {});
+        auto h = e.schedule_at(e.now() + static_cast<double>(i + 1), [] {});
         e.cancel(h);
       }
       e.run();
@@ -470,14 +502,21 @@ bench::JsonValue engine_micro() {
             bench::JsonValue::number(kOps / (ms / 1000.0)));
   }
 
-  // Periodic event rescheduling itself via its handle (no std::function
+  // Periodic event rescheduling itself via its handle (no callable
   // re-allocation per period).
   {
     constexpr int kTicks = 200'000;
+    constexpr int kWarm = 10'000;
     sim::Engine e;
+    int warm_ticks = 0;
+    sim::EventHandle wh;
+    wh = e.schedule_at(1.0, [&] {
+      if (++warm_ticks < kWarm) wh = e.reschedule(wh, e.now() + 1.0);
+    });
+    e.run();
     int ticks = 0;
     sim::EventHandle h;
-    h = e.schedule_at(1.0, [&] {
+    h = e.schedule_at(e.now() + 1.0, [&] {
       if (++ticks < kTicks) h = e.reschedule(h, e.now() + 1.0);
     });
     const double ms = wall_ms([&] { e.run(); });

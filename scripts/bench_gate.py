@@ -23,6 +23,14 @@ threads than the box has hardware threads (``oversubscribed`` flag, or
 not scaling, and is skipped with a printed note.  Rows present in only one
 file (thread sweeps differ across boxes) are skipped, not failed.
 
+Allocation-discipline rows (``workloads[].diagnosis.rows[].allocs_per_event``)
+are the one gated exception to the diagnosis exemption: the hot path's
+allocations-per-event ratio must not rise above the committed baseline by
+more than the tolerance (plus a small absolute slack for counting noise).
+Rows whose ratio is ``null`` (zero events executed — the ratio is undefined,
+not perfect) or missing in either file are skipped.  Lower is better, so a
+falling ratio never fails.
+
 Both files must agree on their ``quick`` flag when present — a full-workload
 run compared against a quick baseline (or vice versa) measures workload size,
 not regression.
@@ -73,6 +81,28 @@ def speedup_rows(tree):
             over = bool(row.get("oversubscribed")) or (hw and threads > hw)
             yield f"{name}.speedup_vs_serial[threads={threads}]", \
                 float(speedup), over
+
+
+def alloc_ratios(tree):
+    """Yields (key, allocs_per_event) per workload diagnosis row, skipping
+    null ratios (zero-event legs: the ratio is undefined there)."""
+    for wl in tree.get("workloads") or []:
+        name = wl.get("name", "?")
+        rows = (wl.get("diagnosis") or {}).get("rows") or []
+        for row in rows:
+            threads = row.get("threads")
+            ratio = row.get("allocs_per_event")
+            if not isinstance(threads, int):
+                continue
+            if not isinstance(ratio, (int, float)):
+                continue  # null / missing: no events, nothing to gate
+            yield f"{name}.allocs_per_event[threads={threads}]", float(ratio)
+
+
+# Counting noise floor for the alloc gate: one-off registry registrations
+# and pool bring-up land in the process-wide delta, so ratios this close to
+# the baseline are indistinguishable from run-to-run jitter.
+ALLOC_ABS_SLACK = 0.02
 
 
 def main():
@@ -142,6 +172,25 @@ def main():
             failures.append(f"  REGRESSED {key}: {base_v:.2f}x -> "
                             f"{fresh_v:.2f}x ({(ratio - 1) * 100:+.1f}%, "
                             f"limit -{args.tolerance * 100:.0f}%)")
+
+    # Allocation discipline: allocs_per_event must not *rise* past the
+    # committed baseline (inverted sense vs throughput — lower is better).
+    fresh_allocs = dict(alloc_ratios(fresh))
+    for key, base_v in alloc_ratios(base):
+        if key not in fresh_allocs:
+            print(f"  [skip] {key}: not in fresh file (no events or no row)")
+            continue
+        fresh_v = fresh_allocs[key]
+        limit = base_v * (1 + args.tolerance) + ALLOC_ABS_SLACK
+        checked += 1
+        marker = "FAIL" if fresh_v > limit else "ok"
+        print(f"  [{marker:4s}] {key}: {base_v:11.3f} -> {fresh_v:11.3f} "
+              f"(limit {limit:.3f})")
+        if fresh_v > limit:
+            failures.append(f"  REGRESSED {key}: {base_v:.3f} -> {fresh_v:.3f} "
+                            f"allocs/event (limit {limit:.3f}: baseline "
+                            f"+{args.tolerance * 100:.0f}% "
+                            f"+{ALLOC_ABS_SLACK} slack)")
 
     if not checked and not failures:
         print("bench_gate: no *_per_sec metrics found in baseline")

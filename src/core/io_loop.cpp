@@ -34,6 +34,13 @@ std::vector<trace::EventRecord> BatchArena::acquire(std::size_t records) {
   return std::vector<trace::EventRecord>(records);
 }
 
+std::vector<trace::EventRecord> BatchArena::acquire_reserved(
+    std::size_t capacity) {
+  std::vector<trace::EventRecord> out = acquire(0);
+  if (out.capacity() < capacity) out.reserve(capacity);
+  return out;
+}
+
 void BatchArena::release(std::vector<trace::EventRecord>&& storage) {
   if (storage.capacity() == 0) return;
   storage.clear();

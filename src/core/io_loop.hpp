@@ -44,6 +44,12 @@ class BatchArena {
   /// when available, freshly allocated otherwise.
   std::vector<trace::EventRecord> acquire(std::size_t records);
 
+  /// An *empty* vector with capacity >= `capacity` — the push_back-style
+  /// counterpart to acquire().  Producers that build batches incrementally
+  /// (BufferedLis flushes, daemon drains) use this so a warmed pool makes
+  /// batch construction allocation-free.
+  std::vector<trace::EventRecord> acquire_reserved(std::size_t capacity);
+
   /// Returns a consumed batch's storage to the pool.  Empty-capacity
   /// vectors are ignored; beyond kMaxPooled the storage is freed.
   void release(std::vector<trace::EventRecord>&& storage);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/clock.hpp"
+#include "core/io_loop.hpp"
 #include "core/probe_registry.hpp"
 #include "obs/live/flight.hpp"
 #include "obs/obs.hpp"
@@ -166,9 +167,13 @@ void BufferedLis::flush_locked(std::unique_lock<std::mutex>& lk) {
   DataBatch batch;
   batch.source_node = node_;
   batch.t_sent_ns = t0;
-  batch.records = buffer_.drain();
+  // Swap recycled batch storage (BatchArena) into the buffer and ship the
+  // buffer's warmed backing store: a steady-state flush allocates nothing.
+  batch.records = BatchArena::instance().acquire_reserved(buffer_.capacity());
+  buffer_.drain_into(batch.records);
   const std::size_t n = batch.records.size();
-  std::vector<obs::LineageKey> keys;
+  std::vector<obs::LineageKey>& keys = keys_scratch_;
+  keys.clear();
   if (observer_) {
     const auto ts = static_cast<double>(t0);
     keys.reserve(n);
@@ -266,6 +271,10 @@ void ForwardingLis::record(const trace::EventRecord& r) {
   DataBatch batch;
   batch.source_node = node_;
   batch.t_sent_ns = now_ns();
+  // Single-record batch on recycled storage — the consumer (ISM) returns
+  // the vector to the BatchArena, so the per-event send stops allocating
+  // once the pool is warm.
+  batch.records = BatchArena::instance().acquire_reserved(1);
   batch.records.push_back(r);
   const auto t_sent = static_cast<double>(batch.t_sent_ns);
   if (observer_ && obs_capture_) observer_->lineage.offer(k, t_sent);
@@ -470,6 +479,7 @@ void DaemonLis::drain_once() {
   const std::uint64_t t0 = now_ns();
   DataBatch batch;
   batch.source_node = node_;
+  batch.records = BatchArena::instance().acquire_reserved(pipes_.size());
   // "The local daemon collects the instrumentation data samples from the
   // head of each buffer, one at a time" (§3.2.2) — round-robin over pipe
   // heads until all pipes are momentarily empty.
@@ -542,6 +552,9 @@ void DaemonLis::drain_once() {
         break;
       }
     }
+  } else {
+    // Idle tick: hand the untouched storage straight back to the pool.
+    BatchArena::instance().release(std::move(batch.records));
   }
   daemon_busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
 }

@@ -191,6 +191,9 @@ class BufferedLis final : public Lis {
   FlushCoordinator* coordinator_;
   LisStats stats_;
   bool stopped_ = false;
+  /// Lineage-key staging reused across flushes (guarded by mu_), so an
+  /// observed flush does not re-allocate the key list every time.
+  std::vector<obs::LineageKey> keys_scratch_;
   const std::string tl_buffer_;  ///< timeline series: buffer occupancy
 };
 

@@ -34,6 +34,13 @@ struct PipelineObserver;
 namespace prism::core {
 
 /// A batch of instrumentation data in flight from a LIS to the ISM.
+///
+/// Storage-recycling contract: producers draw `records` capacity from
+/// core::BatchArena (acquire/acquire_reserved) and the terminal consumer —
+/// the ISM, after it has copied the records out — hands the vector back
+/// with BatchArena::release.  Once the pool is warm, the live tier's
+/// per-batch path performs no heap allocation; a batch destroyed on an
+/// error path simply frees its storage, which is safe but unpooled.
 struct DataBatch {
   std::uint32_t source_node = 0;
   /// Physical time the batch entered the TP (ns), for latency accounting.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "rocc/model.hpp"
+#include "sim/arena.hpp"
 #include "stats/distributions.hpp"
 
 namespace prism::paradyn {
@@ -43,21 +44,33 @@ DaemonDemand daemon_demand(const ParadynRoccParams& p) {
           p.per_sample_network_ms * samples_per_wakeup};
 }
 
+/// A shared Exponential whose control block and payload live in the
+/// replication arena — per-replication scenario setup then touches the heap
+/// only on the first replication per thread (DESIGN.md §15).
+std::shared_ptr<stats::Exponential> arena_exponential(double mean_ms) {
+  return std::allocate_shared<stats::Exponential>(
+      sim::ArenaAllocator<stats::Exponential>(&sim::rep_arena()),
+      stats::Exponential::from_mean(mean_ms));
+}
+
 }  // namespace
 
 ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& p,
                                     stats::Rng rng,
                                     obs::PipelineObserver* obs) {
   p.validate();
+  // Frame-structured arena use: everything this scenario arena-allocates is
+  // reclaimed (for reuse, not freed) when the model returns, so direct
+  // callers in a loop — sweeps, factorials, tests — recycle instead of
+  // growing the thread's arena.
+  const sim::MonotonicArena::Frame arena_frame(sim::rep_arena());
   rocc::NodeModel node(p.quantum_ms, rng);
 
   // Application processes: compute/communicate cycles; the inserted
   // instrumentation costs one sample's CPU per generated sample, folded
   // into the burst (events_per_sample = 1 cycle per sample on average).
-  auto app_cpu = std::make_shared<stats::Exponential>(
-      stats::Exponential::from_mean(p.app_cpu_burst_mean_ms));
-  auto app_net = std::make_shared<stats::Exponential>(
-      stats::Exponential::from_mean(p.app_network_mean_ms));
+  auto app_cpu = arena_exponential(p.app_cpu_burst_mean_ms);
+  auto app_net = arena_exponential(p.app_network_mean_ms);
   for (unsigned i = 0; i < p.app_processes; ++i) {
     node.add_process(
         ProcessClass::kApplication,
@@ -80,10 +93,8 @@ ParadynRoccMetrics run_paradyn_rocc(const ParadynRoccParams& p,
 
   // Other-user background load.
   if (p.other_user_processes > 0) {
-    auto other_cpu = std::make_shared<stats::Exponential>(
-        stats::Exponential::from_mean(p.other_cpu_burst_mean_ms));
-    auto other_think = std::make_shared<stats::Exponential>(
-        stats::Exponential::from_mean(p.other_think_mean_ms));
+    auto other_cpu = arena_exponential(p.other_cpu_burst_mean_ms);
+    auto other_think = arena_exponential(p.other_think_mean_ms);
     for (unsigned i = 0; i < p.other_user_processes; ++i)
       node.add_process(ProcessClass::kOtherUser,
                        rocc::background_load_behavior(other_cpu, other_think));

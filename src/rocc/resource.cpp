@@ -10,7 +10,7 @@ void CpuResource::submit(Request req, Completion done) {
   req.remaining = req.demand;
   req.t_issued = eng_.now();
   const std::uint32_t pid = req.process_id;
-  procs_[pid].pending.push_back(Entry{std::move(req), std::move(done), true});
+  proc(pid).pending.push_back(Entry{std::move(req), std::move(done), true});
   enqueue_ready(pid);
   if (tl_)
     tl_->sample_changed(name_ + ".ready", eng_.now(),
@@ -22,7 +22,7 @@ void CpuResource::enqueue_ready(std::uint32_t pid) {
   ProcState& ps = procs_[pid];
   if (!ps.in_ready && !ps.pending.empty()) {
     ps.in_ready = true;
-    ready_.push_back(pid);
+    ready_.push(pid);
   }
 }
 
@@ -33,8 +33,7 @@ void CpuResource::dispatch() {
     return;
   }
   running_ = true;
-  const std::uint32_t pid = ready_.front();
-  ready_.pop_front();
+  const std::uint32_t pid = ready_.pop();
   ProcState& ps = procs_[pid];
   ps.in_ready = false;
   Entry& entry = ps.pending.front();
@@ -91,8 +90,9 @@ void FifoResource::begin_service() {
     return;
   }
   busy_ = true;
-  Entry entry = std::move(waiting_.front());
+  in_service_.emplace(std::move(waiting_.front()));
   waiting_.pop_front();
+  Entry& entry = *in_service_;
   queueing_delay_.add(eng_.now() - entry.req.t_issued);
   util_.begin_busy(eng_.now(), static_cast<int>(entry.req.cls));
   if (tl_) {
@@ -101,9 +101,12 @@ void FifoResource::begin_service() {
     tl_->sample_changed(name_ + ".queue", eng_.now(),
                         static_cast<double>(waiting_.size()));
   }
-  const sim::Time d = entry.req.demand;
-  eng_.schedule_after(d, [this, e = std::move(entry)]() mutable {
+  // The in-service entry lives in a member, not the closure — a FifoResource
+  // never serves two requests at once, and [this] fits EventFn inline.
+  eng_.schedule_after(entry.req.demand, [this] {
     util_.end_busy(eng_.now());
+    Entry e = std::move(*in_service_);
+    in_service_.reset();
     e.req.remaining = 0;
     e.req.t_completed = eng_.now();
     ++completions_;

@@ -15,10 +15,11 @@
 
 #include <deque>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "obs/timeline.hpp"
 #include "rocc/request.hpp"
@@ -77,6 +78,42 @@ class Resource {
   obs::Timeline* tl_ = nullptr;
 };
 
+/// Fixed-capacity-growable circular FIFO of process ids — the CPU ready
+/// ring.  A deque pays a block allocation every few hundred push/pop cycles;
+/// this ring allocates only when it grows (never at steady state) and keeps
+/// the round-robin rotation inside one contiguous line of memory, the
+/// textbook circular-queue scheduler layout.
+class ReadyRing {
+ public:
+  void push(std::uint32_t pid) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = pid;
+    ++count_;
+  }
+  std::uint32_t pop() {
+    const std::uint32_t pid = buf_[head_];
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return pid;
+  }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  void grow() {
+    // Power-of-two capacity so the rotation is a mask, not a division.
+    std::vector<std::uint32_t> next(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<std::uint32_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 /// Preemptive round-robin CPU with a fixed quantum.
 ///
 /// Scheduling is per *process* (keyed by Request::process_id), exactly like
@@ -85,6 +122,11 @@ class Resource {
 /// requests are served FIFO within that slot.  A process that stays
 /// backlogged therefore receives its fair 1/(#ready) share — the mechanism
 /// behind the §3.2.3 daemon starvation.
+///
+/// Process ids are small and dense (NodeModel assigns them sequentially), so
+/// per-process state lives in a flat vector indexed by pid and the ready set
+/// is a circular ring — the quantum loop does no hashing and, at steady
+/// state, no allocation.
 class CpuResource final : public Resource {
  public:
   CpuResource(sim::Engine& eng, std::string name, sim::Time quantum)
@@ -113,10 +155,14 @@ class CpuResource final : public Resource {
 
   void enqueue_ready(std::uint32_t pid);
   void dispatch();
+  ProcState& proc(std::uint32_t pid) {
+    if (pid >= procs_.size()) procs_.resize(pid + 1);
+    return procs_[pid];
+  }
 
   sim::Time quantum_;
-  std::unordered_map<std::uint32_t, ProcState> procs_;
-  std::deque<std::uint32_t> ready_;  ///< one slot per runnable process
+  std::vector<ProcState> procs_;  ///< indexed by pid (dense, sequential)
+  ReadyRing ready_;               ///< one slot per runnable process
   bool running_ = false;
   std::uint64_t preemptions_ = 0;
 };
@@ -139,6 +185,10 @@ class FifoResource final : public Resource {
   void begin_service();
 
   std::deque<Entry> waiting_;
+  /// The request currently occupying the resource.  Holding it here keeps
+  /// the scheduled completion closure at a bare [this] capture — inline in
+  /// the engine's EventFn, so FCFS service allocates nothing per operation.
+  std::optional<Entry> in_service_;
   bool busy_ = false;
 };
 

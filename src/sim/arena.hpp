@@ -1,0 +1,200 @@
+// Per-replication monotonic arena allocator (DESIGN.md §15).
+//
+// A replication allocates bookkeeping that lives exactly as long as the
+// replication: sequence counters, hold-back maps, latency samples, the
+// distributions a scenario hands its behaviors.  Paying operator-new for
+// each of those — and operator-delete when the model unwinds — is pure
+// overhead the paper's own evaluation discipline says to measure and then
+// remove.  A MonotonicArena bump-allocates out of coarse chunks that are
+// *kept* across reset(), so the first replication on a thread faults the
+// chunks in (visible to the operator-new interposition in obs/prof/alloc)
+// and every later replication reuses them: identical allocation sequences
+// return identical pointers and the interposition counters read zero.
+//
+// Deallocation is a no-op; lifetime is frame-structured.  reset() rewinds
+// the whole arena; a Frame rewinds to its construction point on scope exit,
+// which is what model entry points use so direct (non-replicate) callers in
+// a loop reuse memory instead of growing the thread's arena without bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace prism::sim {
+
+class MonotonicArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit MonotonicArena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes ? chunk_bytes : kDefaultChunkBytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (which must be a power of
+  /// two <= alignof(std::max_align_t) for chunk-start alignment to hold).
+  /// Never returns null; an exhausted chunk advances to the next kept chunk
+  /// or allocates a fresh one (the only path that touches operator new).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (current_ < chunks_.size()) {
+        Chunk& c = chunks_[current_];
+        const std::size_t at = (c.used + (align - 1)) & ~(align - 1);
+        if (at + bytes <= c.size) {
+          c.used = at + bytes;
+          high_water_ = std::max(high_water_, used_bytes());
+          return c.data.get() + at;
+        }
+        ++current_;
+        continue;
+      }
+      // Oversized requests get a dedicated exact-fit chunk so one huge
+      // allocation cannot poison the steady-state chunk ladder.
+      const std::size_t size = std::max(bytes + align, chunk_bytes_);
+      chunks_.push_back(Chunk{std::make_unique<unsigned char[]>(size), size, 0});
+      ++chunk_allocations_;
+    }
+  }
+
+  /// Constructs a T in the arena.  No destructor will run: only use for
+  /// trivially-destructible types or objects whose destructor is a no-op
+  /// worth skipping (frame-structured lifetime).
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds every chunk, keeping their storage — the between-replications
+  /// reset.  The next identical allocation sequence returns identical
+  /// pointers and performs zero operator-new calls.
+  void reset() noexcept {
+    for (Chunk& c : chunks_) c.used = 0;
+    current_ = 0;
+    ++resets_;
+  }
+
+  /// A saved cursor position (see Frame).
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const noexcept {
+    if (current_ >= chunks_.size()) return Mark{chunks_.size(), 0};
+    return Mark{current_, chunks_[current_].used};
+  }
+
+  void rewind(Mark m) noexcept {
+    for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i)
+      chunks_[i].used = 0;
+    if (m.chunk < chunks_.size()) chunks_[m.chunk].used = m.used;
+    current_ = m.chunk;
+  }
+
+  /// RAII frame: everything allocated after construction is reclaimed (for
+  /// reuse, not freed) when the frame dies.  Model entry points open one so
+  /// repeated direct calls on a thread recycle instead of accumulate.
+  class Frame {
+   public:
+    explicit Frame(MonotonicArena& a) noexcept : arena_(a), mark_(a.mark()) {}
+    ~Frame() { arena_.rewind(mark_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    MonotonicArena& arena_;
+    Mark mark_;
+  };
+
+  struct Stats {
+    std::size_t chunks = 0;            ///< chunks currently owned
+    std::size_t reserved_bytes = 0;    ///< sum of chunk sizes
+    std::size_t high_water_bytes = 0;  ///< max bytes live at once
+    std::uint64_t resets = 0;
+    std::uint64_t chunk_allocations = 0;  ///< operator-new events, ever
+  };
+
+  Stats stats() const {
+    Stats s;
+    s.chunks = chunks_.size();
+    for (const Chunk& c : chunks_) s.reserved_bytes += c.size;
+    s.high_water_bytes = high_water_;
+    s.resets = resets_;
+    s.chunk_allocations = chunk_allocations_;
+    return s;
+  }
+
+  std::size_t used_bytes() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < chunks_.size() && i <= current_; ++i)
+      n += chunks_[i].used;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t chunk_allocations_ = 0;
+};
+
+/// Minimal STL allocator over a MonotonicArena: allocate bumps, deallocate
+/// is a no-op (the arena frame reclaims).  Lets per-replication containers
+/// (hold-back maps, latency vectors) draw from the arena unchanged.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* a) noexcept : arena_(a) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept  // NOLINT
+      : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  MonotonicArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ != o.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+/// The calling thread's replication arena.  replicate() resets it before
+/// each replication it runs on the thread; model entry points open a Frame
+/// on it.  Thread-local, so worker threads never contend, and parallel
+/// replications stay bit-identical (arena placement never feeds back into
+/// model state).
+inline MonotonicArena& rep_arena() {
+  static thread_local MonotonicArena arena;
+  return arena;
+}
+
+}  // namespace prism::sim

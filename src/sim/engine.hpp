@@ -14,17 +14,21 @@
 // set to grow without bound — and cancelled/rescheduled events leave lazy
 // tombstone entries in the heap that are discarded when they surface (or
 // compacted wholesale when tombstones outnumber live events).
+//
+// Callbacks are stored as EventFn (small-buffer callables), not
+// std::function: every model closure fits inline, so the steady-state
+// schedule/step loop performs zero allocations (DESIGN.md §15).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sim/event_fn.hpp"
 
 namespace prism::sim {
 
@@ -52,7 +56,7 @@ class Engine {
 
   /// Schedules `fn` to run at absolute time `t` (>= now).  Events scheduled
   /// for the same instant run in scheduling order (FIFO tie-break).
-  EventHandle schedule_at(Time t, std::function<void()> fn) {
+  EventHandle schedule_at(Time t, EventFn fn) {
     if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
     const std::uint32_t s = acquire_slot();
     const std::uint64_t id = ++next_id_;
@@ -65,7 +69,7 @@ class Engine {
   }
 
   /// Schedules `fn` to run `delay` (>= 0) after the current time.
-  EventHandle schedule_after(Time delay, std::function<void()> fn) {
+  EventHandle schedule_after(Time delay, EventFn fn) {
     if (delay < 0) throw std::invalid_argument("schedule_after: delay < 0");
     return schedule_at(now_ + delay, std::move(fn));
   }
@@ -131,7 +135,7 @@ class Engine {
       --live_;
       PRISM_OBS_COUNT("sim.engine.events_executed");
       PRISM_OBS_GAUGE_SET("sim.engine.calendar_entries", heap_.size());
-      std::function<void()> fn = std::move(slots_[top.slot].fn);
+      EventFn fn = std::move(slots_[top.slot].fn);
       release_slot(top.slot);
       // Save re-arm state so callbacks that recursively step the engine
       // cannot clobber an enclosing event's bookkeeping.
@@ -184,16 +188,22 @@ class Engine {
   std::size_t pending() const noexcept { return live_; }
   std::uint64_t events_executed() const noexcept { return executed_; }
   bool empty() const noexcept { return live_ == 0; }
+  /// Heap entries, live *and* tombstoned — the quantity the lazy-deletion
+  /// compaction bounds (tests assert it stays O(pending())).
+  std::size_t calendar_entries() const noexcept { return heap_.size(); }
 
  private:
   static constexpr std::uint32_t kNoSlot =
       std::numeric_limits<std::uint32_t>::max();
 
   struct Slot {
-    std::function<void()> fn;
+    EventFn fn;
     std::uint64_t id = 0;  // generation: 0 = free, else the live event's id
     std::uint32_t next_free = kNoSlot;
   };
+  // step() visits slots in event-time order, which is random with respect
+  // to slot index: slot width is memory traffic on the core loop.
+  static_assert(sizeof(Slot) <= 64, "Slot must stay within one cache line");
   struct Entry {
     Time at;
     std::uint64_t id;

@@ -1,0 +1,132 @@
+// Small-buffer callable for the engine calendar and the worker pool.
+//
+// The per-event hot path used to store each scheduled callback in a
+// std::function<void()>.  libstdc++'s std::function inlines targets only up
+// to 16 bytes, and nearly every model closure in this codebase captures
+// 20-40 bytes ([this, pid, slice], [this, proc, seq], ...), so each
+// scheduled event paid one operator-new — the ~1.0 allocations/event the
+// replication bench attributed to the calendar (DESIGN.md §13, §15).
+//
+// EventFn is a move-only callable with kInlineSize bytes of inline storage:
+// every closure the simulator schedules fits inline, so scheduling an event
+// touches no allocator at all.  Oversized or throwing-move targets fall back
+// to the heap (correct, just not free), keeping the type fully general.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace prism::sim {
+
+class EventFn {
+ public:
+  /// Inline capacity.  40 bytes holds five pointers — enough for every
+  /// per-event closure the models schedule (the largest, Vista's
+  /// [this, proc, Arrival], is exactly 40), and it sizes the whole EventFn
+  /// at 48 bytes so the engine's Slot {fn, id, next_free} packs into one
+  /// 64-byte cache line.  200k-slot calendars are walked in random event
+  /// order, so slot width is the schedule/step throughput lever.
+  static constexpr std::size_t kInlineSize = 40;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using T = std::decay_t<F>;
+    if constexpr (fits_inline<T>()) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(f));
+      ops_ = &inline_ops<T>;
+    } else {
+      ::new (static_cast<void*>(buf_)) T*(new T(std::forward<F>(f)));
+      ops_ = &heap_ops<T>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  /// Invokes the target.  Precondition: non-empty (the engine only invokes
+  /// slots it just verified live).
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the target from `src` into `dst`, then destroys the
+    /// source — one virtual hop for the whole move, noexcept by the inline
+    /// eligibility rule below.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename T>
+  static constexpr bool fits_inline() {
+    return sizeof(T) <= kInlineSize && alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  template <typename T>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<T*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        T* s = std::launder(reinterpret_cast<T*>(src));
+        ::new (dst) T(std::move(*s));
+        s->~T();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<T*>(p))->~T(); }};
+
+  template <typename T>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<T**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) T*(*std::launder(reinterpret_cast<T**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<T**>(p)); }};
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace prism::sim

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "obs/prof/alloc.hpp"
+#include "sim/arena.hpp"
 #include "sim/thread_pool.hpp"
 
 #if PRISM_OBS_ENABLED && defined(__unix__)
@@ -49,6 +50,11 @@ struct RepTelemetry {
 /// exact because one task occupies one worker thread at a time.
 template <typename ModelCall>
 Responses run_one_rep(RepTelemetry& t, const ModelCall& call) {
+  // Rewind this thread's replication arena so the model's frame-structured
+  // bookkeeping reuses the chunks the previous replication faulted in
+  // (DESIGN.md §15).  Only the first replication on a thread pays the
+  // chunk operator-new calls; later ones allocate nothing from the arena.
+  rep_arena().reset();
   const auto t0 = clock::now();
   const double cpu0 = thread_cpu_ms();
   const obs::prof::AllocScope allocs;
@@ -130,6 +136,9 @@ ReplicationResult replicate(
   PRISM_OBS_SPAN("replicate", "sim");
   PRISM_OBS_COUNT_N("sim.replicate.replications", r);
 
+  // Process-wide scope so allocations made by pool workers are attributed
+  // to this workload; the delta is read only after the pool has joined.
+  const obs::prof::ProcessAllocScope workload_allocs;
   const auto t_begin = clock::now();
   ReplicationResult out;
   if (threads <= 1 || r == 1) {
@@ -142,6 +151,7 @@ ReplicationResult replicate(
       merge_telemetry(out, t);
     }
     out.set_execution(1, ms_between(t_begin, clock::now()));
+    out.set_workload_alloc(workload_allocs.delta());
     return out;
   }
 
@@ -170,6 +180,9 @@ ReplicationResult replicate(
     merge_telemetry(out, telemetry[rep]);
   }
   out.set_execution(workers, ms_between(t_begin, clock::now()));
+  // The pool destructor above joined every worker, so the sharded tallies
+  // now include all worker-side allocations.
+  out.set_workload_alloc(workload_allocs.delta());
   return out;
 }
 
@@ -190,6 +203,7 @@ ObservedResult replicate_observed(
   const unsigned threads =
       opts.threads == 0 ? ThreadPool::default_threads() : opts.threads;
 
+  const obs::prof::ProcessAllocScope workload_allocs;
   const auto t_begin = clock::now();
   ObservedResult out;
   if (threads <= 1 || r == 1) {
@@ -227,6 +241,9 @@ ObservedResult replicate_observed(
     }
     out.result.set_execution(workers, ms_between(t_begin, clock::now()));
   }
+  // Pool workers (if any) are joined by this point, so the process-wide
+  // delta captures their allocations too.
+  out.result.set_workload_alloc(workload_allocs.delta());
   for (unsigned rep = 0; rep < r; ++rep) {
     out.lineage.merge(observers[rep]->lineage.report());
     out.timeline.merge_prefixed(observers[rep]->timeline,

@@ -89,12 +89,26 @@ class ReplicationResult {
   }
   void set_pool_accounting(const PoolAccounting& p) { pool_ = p; }
 
+  /// Process-wide allocation delta spanning the whole replicate() call,
+  /// snapshotted from the sharded process tallies *after* the worker pool
+  /// has joined — so allocations made on pool workers land in this
+  /// workload's row, not just work done on the submitting thread.  Inexact
+  /// only if unrelated threads allocate concurrently.  Zero with
+  /// PRISM_OBS=OFF.
+  const obs::prof::AllocStats& workload_alloc() const {
+    return workload_alloc_;
+  }
+  void set_workload_alloc(const obs::prof::AllocStats& a) {
+    workload_alloc_ = a;
+  }
+
  private:
   std::map<std::string, stats::Summary> by_metric_;
   stats::Summary rep_time_ms_;
   stats::Summary rep_cpu_ms_;
   stats::Summary rep_allocs_;
   stats::Summary rep_alloc_bytes_;
+  obs::prof::AllocStats workload_alloc_;
   PoolAccounting pool_;
   double wall_ms_ = 0;
   unsigned threads_used_ = 0;

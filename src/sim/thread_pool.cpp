@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(EventFn task) {
   Task t{std::move(task), 0};
 #if PRISM_OBS_ENABLED
   t.t_submit_ns = obs::now_ns();

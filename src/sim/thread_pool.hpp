@@ -26,10 +26,11 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/event_fn.hpp"
 
 namespace prism::sim {
 
@@ -73,7 +74,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.  Throws std::runtime_error after shutdown began.
-  void submit(std::function<void()> task);
+  /// Tasks are EventFn (small-buffer callables), so submitting the
+  /// replication harness's closures allocates nothing per task.
+  void submit(EventFn task);
 
   /// Blocks until all tasks submitted so far have finished, then rethrows
   /// the *first* exception any of them threw (if any).  The pool remains
@@ -95,7 +98,7 @@ class ThreadPool {
 
  private:
   struct Task {
-    std::function<void()> fn;
+    EventFn fn;
     std::uint64_t t_submit_ns = 0;  ///< obs only; 0 in PRISM_OBS=OFF builds
   };
 

@@ -67,12 +67,20 @@ class TraceBuffer {
 
   /// Moves all buffered records out and resets the buffer (a flush).
   std::vector<EventRecord> drain() {
-    ++flushes_;
     std::vector<EventRecord> out;
-    out.swap(records_);
-    records_.reserve(capacity_);
-    write_cursor_ = 0;
+    drain_into(out);
     return out;
+  }
+
+  /// As drain(), but swaps into caller-provided storage — pass a recycled
+  /// vector (core::BatchArena) and the flush allocates only until the
+  /// buffer's own backing store has warmed to `capacity`.
+  void drain_into(std::vector<EventRecord>& out) {
+    ++flushes_;
+    out.clear();
+    out.swap(records_);
+    if (records_.capacity() < capacity_) records_.reserve(capacity_);
+    write_cursor_ = 0;
   }
 
   /// Conservation invariant: offered == resident + drained + dropped

@@ -7,6 +7,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "sim/arena.hpp"
 #include "sim/collectors.hpp"
 #include "sim/engine.hpp"
 #include "stats/distributions.hpp"
@@ -53,8 +54,15 @@ struct Model {
   stats::Rng arrival_rng;
   stats::Rng service_rng;
 
+  // Hold-back maps and the latency samples grow with the record stream, so
+  // they draw from the replication arena: node and growth allocations reuse
+  // the chunks earlier replications faulted in (DESIGN.md §15).
+  using HeldAlloc = sim::ArenaAllocator<std::pair<const std::uint64_t, Arrival>>;
+  using HeldMap =
+      std::map<std::uint64_t, Arrival, std::less<std::uint64_t>, HeldAlloc>;
+
   std::vector<std::uint64_t> next_release;
-  std::vector<std::map<std::uint64_t, Arrival>> held;
+  std::vector<HeldMap, sim::ArenaAllocator<HeldMap>> held;
   std::size_t held_count = 0;
   std::deque<Arrival> proc_queue;
   bool proc_busy = false;
@@ -66,7 +74,7 @@ struct Model {
   bool tool_busy = false;
   stats::TimeWeighted out_len;
 
-  std::vector<double> latencies;
+  std::vector<double, sim::ArenaAllocator<double>> latencies;
   std::uint64_t arrivals = 0;
   std::uint64_t held_back = 0;
   std::uint64_t released = 0;
@@ -74,7 +82,10 @@ struct Model {
 
   Model(const VistaIsmParams& params, stats::Rng r)
       : p(params), arrival_rng(r.split()), service_rng(r.split()),
-        next_release(params.processes, 0), held(params.processes) {}
+        next_release(params.processes, 0),
+        held(params.processes, HeldMap(HeldAlloc(&sim::rep_arena())),
+             sim::ArenaAllocator<HeldMap>(&sim::rep_arena())),
+        latencies(sim::ArenaAllocator<double>(&sim::rep_arena())) {}
 
   static obs::LineageKey key_of(const Arrival& a) {
     return obs::lineage_key(0, a.process, a.seq);
@@ -121,8 +132,12 @@ struct Model {
   }
 
   void start_sources() {
+    // Per-source sequence counters live in the arena (not shared_ptr
+    // control blocks): the generation closure then captures a raw pointer
+    // and stays inside EventFn's inline buffer.  The counters outlive every
+    // scheduled closure because the engine drains before the model returns.
     for (std::uint32_t i = 0; i < p.processes; ++i) {
-      schedule_generation(i, std::make_shared<std::uint64_t>(0));
+      schedule_generation(i, sim::rep_arena().create<std::uint64_t>(0));
     }
   }
 
@@ -142,8 +157,7 @@ struct Model {
     }
   }
 
-  void schedule_generation(std::uint32_t proc,
-                           std::shared_ptr<std::uint64_t> seq) {
+  void schedule_generation(std::uint32_t proc, std::uint64_t* seq) {
     const double gap = exp_draw(arrival_rng, p.mean_interarrival_ms);
     eng.schedule_after(gap, [this, proc, seq] {
       if (eng.now() > p.horizon_ms) return;  // sources stop at the horizon
@@ -258,6 +272,10 @@ struct Model {
 VistaIsmMetrics run_vista_ism(const VistaIsmParams& params, stats::Rng rng,
                               obs::PipelineObserver* obs) {
   params.validate();
+  // Frame-structured arena use: the model's counters, hold-back maps, and
+  // latency samples are reclaimed for reuse when this call returns, so
+  // direct callers in a loop (sweeps, factorials) do not grow the arena.
+  const sim::MonotonicArena::Frame arena_frame(sim::rep_arena());
   Model m(params, rng);
   m.obs = obs;
   m.start_sources();

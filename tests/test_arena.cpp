@@ -1,0 +1,179 @@
+// MonotonicArena / ArenaAllocator (DESIGN.md §15): frame-structured reuse,
+// chunk retention across reset(), interposition-visible steady state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/prof/alloc.hpp"
+#include "sim/arena.hpp"
+#include "sim/engine.hpp"
+#include "sim/replication.hpp"
+
+namespace prism::sim {
+namespace {
+
+TEST(Arena, ResetReusesIdenticalPointers) {
+  MonotonicArena a(1024);
+  std::vector<void*> first;
+  for (int i = 0; i < 64; ++i) first.push_back(a.allocate(40, 8));
+  a.reset();
+  // The identical allocation sequence lands on the identical addresses:
+  // the chunks were kept, only the cursors rewound.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.allocate(40, 8), first[i]);
+  EXPECT_EQ(a.stats().resets, 1u);
+}
+
+TEST(Arena, ResetKeepsChunksAndStopsAllocating) {
+  MonotonicArena a(256);
+  for (int i = 0; i < 100; ++i) a.allocate(64);
+  const auto warmed = a.stats();
+  EXPECT_GT(warmed.chunk_allocations, 1u);
+  a.reset();
+  for (int i = 0; i < 100; ++i) a.allocate(64);
+  // Same footprint, zero new chunks: the steady-state contract.
+  EXPECT_EQ(a.stats().chunk_allocations, warmed.chunk_allocations);
+  EXPECT_EQ(a.stats().chunks, warmed.chunks);
+}
+
+TEST(Arena, FrameRewindsForReuse) {
+  MonotonicArena a(512);
+  void* outer = a.allocate(32);
+  void* inner_first = nullptr;
+  {
+    const MonotonicArena::Frame f(a);
+    inner_first = a.allocate(128);
+    a.allocate(400);  // force a second chunk inside the frame
+  }
+  {
+    const MonotonicArena::Frame f(a);
+    EXPECT_EQ(a.allocate(128), inner_first);  // frame storage was recycled
+  }
+  // The pre-frame allocation was never disturbed.
+  EXPECT_LT(outer, inner_first);
+}
+
+TEST(Arena, NestedFramesUnwindInOrder) {
+  MonotonicArena a(256);
+  const auto used0 = a.used_bytes();
+  {
+    const MonotonicArena::Frame f1(a);
+    a.allocate(64);
+    const auto used1 = a.used_bytes();
+    {
+      const MonotonicArena::Frame f2(a);
+      a.allocate(1024);  // spills to an oversized chunk
+    }
+    EXPECT_EQ(a.used_bytes(), used1);
+  }
+  EXPECT_EQ(a.used_bytes(), used0);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  MonotonicArena a(128);
+  void* small = a.allocate(16);
+  void* huge = a.allocate(64 * 1024);  // far beyond the chunk size
+  ASSERT_NE(huge, nullptr);
+  EXPECT_NE(small, huge);
+  // Small allocations keep working after the oversized one.
+  EXPECT_NE(a.allocate(16), nullptr);
+  EXPECT_GE(a.stats().reserved_bytes, 64u * 1024u);
+}
+
+TEST(Arena, CreateConstructsInPlace) {
+  MonotonicArena a;
+  struct Pod {
+    std::uint64_t x;
+    std::uint32_t y;
+  };
+  Pod* p = a.create<Pod>(Pod{42, 7});
+  EXPECT_EQ(p->x, 42u);
+  EXPECT_EQ(p->y, 7u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(Pod), 0u);
+}
+
+TEST(Arena, AllocatorWorksWithStdContainers) {
+  MonotonicArena a;
+  using Alloc = ArenaAllocator<std::pair<const int, int>>;
+  std::map<int, int, std::less<int>, Alloc> m{Alloc(&a)};
+  std::vector<double, ArenaAllocator<double>> v{ArenaAllocator<double>(&a)};
+  for (int i = 0; i < 200; ++i) {
+    m.emplace(i, i * i);
+    v.push_back(i * 0.5);
+  }
+  EXPECT_EQ(m.at(13), 169);
+  EXPECT_DOUBLE_EQ(v[100], 50.0);
+  EXPECT_GT(a.used_bytes(), 200u * sizeof(double));
+}
+
+TEST(Arena, ArenaOnlyLegInterposesZeroAfterWarmup) {
+  if (!obs::prof::alloc_tracking_compiled_in())
+    GTEST_SKIP() << "PRISM_OBS=OFF build: no interposition to observe";
+  MonotonicArena a(4096);
+  auto leg = [&a] {
+    for (int i = 0; i < 500; ++i) a.allocate(24, 8);
+  };
+  leg();  // warm-up replication: faults the chunks in
+  a.reset();
+  const obs::prof::AllocScope scope;
+  leg();  // steady-state replication
+  EXPECT_EQ(scope.delta().allocs, 0u)
+      << "an arena-only leg must not reach operator new after warm-up";
+}
+
+TEST(Arena, EngineSteadyStateSchedulesWithoutHeap) {
+  if (!obs::prof::alloc_tracking_compiled_in())
+    GTEST_SKIP() << "PRISM_OBS=OFF build: no interposition to observe";
+  Engine e;
+  volatile int sink = 0;
+  // Warm-up: grow the slot vector and the calendar heap, register the obs
+  // counters this path touches.
+  for (int i = 0; i < 2000; ++i)
+    e.schedule_after(static_cast<double>(i % 17) + 1.0,
+                     [&sink] { sink = sink + 1; });
+  e.run();
+  const obs::prof::AllocScope scope;
+  for (int i = 0; i < 2000; ++i)
+    e.schedule_after(static_cast<double>(i % 17) + 1.0,
+                     [&sink] { sink = sink + 1; });
+  e.run();
+  // EventFn keeps every model-sized closure inline and the calendar's
+  // vectors are already grown: the whole schedule/step loop is malloc-free.
+  EXPECT_EQ(scope.delta().allocs, 0u);
+}
+
+TEST(Arena, RepArenaIsThreadLocalAndResets) {
+  MonotonicArena& a = rep_arena();
+  const auto resets0 = a.stats().resets;
+  void* p = a.allocate(64);
+  a.reset();
+  EXPECT_EQ(a.allocate(64), p);
+  EXPECT_EQ(a.stats().resets, resets0 + 1);
+}
+
+// Satellite of the diagnosis-misattribution fix: allocations made *by pool
+// workers* must land in the workload's own ledger.  A thread-local scope on
+// the submitting thread would read ~0 here; workload_alloc() reads the
+// sharded process tallies after the pool joined, so it sees them.
+TEST(Arena, WorkerAllocationsAttributedToWorkload) {
+  if (!obs::prof::alloc_tracking_compiled_in())
+    GTEST_SKIP() << "PRISM_OBS=OFF build: no interposition to observe";
+  constexpr unsigned kReps = 8;
+  ReplicateOptions opts;
+  opts.threads = 2;
+  const auto rr = sim::replicate(
+      kReps, /*base_seed=*/99, /*scenario_tag=*/1,
+      [](stats::Rng& rng) -> Responses {
+        std::vector<double> big(4096, rng.next_double());  // worker-side heap
+        return {{"x", big[0]}};
+      },
+      opts);
+  EXPECT_EQ(rr.threads_used(), 2u);
+  // Every replication allocated at least its 32 KiB vector on a worker.
+  EXPECT_GE(rr.workload_alloc().allocs, static_cast<std::uint64_t>(kReps));
+  EXPECT_GE(rr.workload_alloc().bytes, kReps * 4096ull * sizeof(double));
+}
+
+}  // namespace
+}  // namespace prism::sim
