@@ -1,0 +1,364 @@
+// Federation scaling benchmark for the sharded IS tier (DESIGN.md §16).
+//
+// Two tiers of measurement from one binary:
+//
+//  1. Scaling legs: the same seeded workload — 200 buffered LIS nodes
+//     recording round-robin — through the two-level federation at 1, 2, 4
+//     and 8 aggregator shards, comparing end-to-end wall time and
+//     records/sec (LIS -> cluster TP -> aggregator -> root TP -> root ISM
+//     -> tool).  The curve is the §3.2.2 story quantified: how much the
+//     pre-reducing aggregator tier relieves the logically centralized ISM.
+//     On a small box the legs converge to the root drain rate; the gated
+//     question is "does the federated pipeline keep up", per shard count.
+//
+//  2. Chaos legs: one seeded fault plan — LIS-level send failures, uplink
+//     send failures with a bounded retry budget, and an aggregator crash —
+//     run over pipe, AF_UNIX sockets and shared-memory rings.  The four
+//     resulting ledgers (pipe twice for same-transport determinism, then
+//     socket and shm) must be bit-identical: fault lanes key on the source
+//     node / shard, uplink batches are fixed-size, and the tombstone drain
+//     keeps post-crash accounting schedule-independent, so nothing in the
+//     ledger may depend on which transport carried the bytes.
+//
+// Every leg asserts the federation-wide conservation identity
+//   recorded == dispatched + in_flight + lost   (each loss at exactly one
+// site, at every level).  Writes BENCH_ism_sharding.json — including the
+// per-shard degradation subtree from the chaos run — and exits nonzero on
+// any conservation, delivery or determinism failure, so the bench doubles
+// as a soak gate.  --quick shrinks the workload for CI perf-gate runs
+// (recorded in the JSON so baselines compare like-for-like).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/federation.hpp"
+#include "core/tool.hpp"
+#include "fault/fault.hpp"
+
+using namespace prism;
+
+namespace {
+
+bool g_quick = false;
+std::uint64_t g_scale_records_per_node = 1'500;  // --quick: 300
+std::uint64_t g_chaos_records_per_node = 400;    // --quick: 150
+
+constexpr std::uint32_t kScaleNodes = 200;
+constexpr std::uint32_t kChaosNodes = 48;
+constexpr std::uint32_t kChaosShards = 4;
+constexpr std::uint64_t kChaosSeed = 0x51AB3;
+
+int g_failures = 0;
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+/// The federation-wide exactness check (the tests' invariant, summarized to
+/// one predicate): every accepted record is dispatched, parked at a named
+/// stage, or lost at exactly one site — and the two level boundaries agree.
+bool conserved(core::FederatedEnvironment& env, std::string& why) {
+  const core::LisStats lis = env.total_lis_stats();
+  const std::uint64_t wire = env.degradation().records_lost_wire;
+  std::uint64_t agg_received = 0, agg_forwarded = 0, agg_sunk = 0;
+  for (std::uint32_t s = 0; s < env.shards(); ++s) {
+    const core::AggregatorStats as = env.aggregator_stats(s);
+    if (!as.conserved()) {
+      why = "aggregator shard " + std::to_string(s) + " leaks";
+      return false;
+    }
+    agg_received += as.records_received;
+    agg_forwarded += as.records_forwarded;
+    agg_sunk += as.lost_uplink + as.lost_dead + as.still_held + as.staged;
+  }
+  const core::IsmStats root = env.root_ism().stats();
+  if (!root.conserved()) {
+    why = "root ISM leaks";
+    return false;
+  }
+  if (wire == 0 && lis.records_forwarded != agg_received) {
+    why = "cluster-level delivery leak";
+    return false;
+  }
+  if (wire == 0 && agg_forwarded != root.records_received) {
+    why = "federation boundary double-count";
+    return false;
+  }
+  const std::uint64_t accounted = root.records_dispatched + root.still_held +
+                                  root.in_output + lis.buffered +
+                                  lis.lost_send + lis.lost_dead + agg_sunk +
+                                  wire;
+  if (lis.recorded != accounted) {
+    why = "pipeline identity: recorded=" + std::to_string(lis.recorded) +
+          " accounted=" + std::to_string(accounted);
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- scaling legs
+
+struct ScalingLeg {
+  std::uint32_t shards = 0;
+  double wall_ms = 0;
+  double records_per_sec = 0;
+  std::uint64_t uplink_batches = 0;
+  std::uint64_t root_held_back = 0;
+};
+
+ScalingLeg run_scaling_leg(std::uint32_t shards) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = kScaleNodes;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.flush_policy = core::FlushPolicyKind::kFof;
+  cfg.local_buffer_capacity = 64;
+  cfg.link_capacity = 8192;
+  cfg.ism.input = core::InputConfig::kMiso;
+  cfg.federation.shards = shards;
+  core::FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<core::StatsTool>();
+  env.attach_tool(tool);
+  env.start();
+
+  const std::uint64_t total = g_scale_records_per_node * kScaleNodes;
+  const auto t0 = std::chrono::steady_clock::now();
+  trace::EventRecord r;
+  for (std::uint64_t i = 0; i < g_scale_records_per_node; ++i) {
+    r.seq = i;
+    for (std::uint32_t n = 0; n < kScaleNodes; ++n) {
+      r.node = n;
+      r.timestamp = i * kScaleNodes + n;
+      env.record(r);
+    }
+  }
+  env.stop();  // includes aggregator + root drain — measured on purpose
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ScalingLeg leg;
+  leg.shards = shards;
+  leg.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  leg.records_per_sec = total / (leg.wall_ms / 1e3);
+  for (std::uint32_t s = 0; s < shards; ++s)
+    leg.uplink_batches += env.aggregator_stats(s).batches_forwarded;
+  leg.root_held_back = env.root_ism().stats().held_back;
+
+  if (tool->total() != total)
+    fail("scaling shards=" + std::to_string(shards) + ": dispatched " +
+         std::to_string(tool->total()) + " of " + std::to_string(total));
+  std::string why;
+  if (!conserved(env, why))
+    fail("scaling shards=" + std::to_string(shards) + ": " + why);
+  if (env.degradation().degraded())
+    fail("scaling shards=" + std::to_string(shards) +
+         ": degraded on a fault-free run");
+  return leg;
+}
+
+// --------------------------------------------------------------- chaos legs
+
+struct ChaosRun {
+  std::string ledger;  ///< the full bit-comparable accounting string
+  std::vector<core::DegradationReport> per_shard;
+  core::DegradationReport total;
+};
+
+ChaosRun run_chaos(core::TpFlavor flavor) {
+  core::EnvironmentConfig cfg;
+  cfg.nodes = kChaosNodes;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.flush_policy = core::FlushPolicyKind::kFof;
+  cfg.local_buffer_capacity = 32;
+  cfg.link_capacity = 4096;
+  cfg.tp_flavor = flavor;
+  cfg.shm.ring_capacity = 1 << 16;
+  cfg.ism.input = core::InputConfig::kMiso;
+  cfg.federation.shards = kChaosShards;
+  cfg.federation.assign = core::ShardAssign::kModulo;
+  cfg.federation.agg_batch_records = 64;
+
+  fault::FaultPlan plan;
+  plan.send_failure(fault::FaultSite::kTpSend, 0.10);
+  plan.send_failure(fault::FaultSite::kAggForward, 0.20);
+  plan.crash(fault::FaultSite::kAggForward, /*at_op=*/5, /*node=*/2);
+  fault::FaultInjector inj(plan, kChaosSeed);
+  fault::RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.base_backoff_ns = 200;
+
+  core::FederatedEnvironment env(cfg);
+  env.attach_tool(std::make_shared<core::StatsTool>());
+  env.set_fault(&inj, retry);
+  env.start();
+  trace::EventRecord r;
+  for (std::uint64_t i = 0; i < g_chaos_records_per_node; ++i) {
+    r.seq = i;
+    for (std::uint32_t n = 0; n < kChaosNodes; ++n) {
+      r.node = n;
+      r.timestamp = i * kChaosNodes + n;
+      env.record(r);
+    }
+  }
+  env.stop();
+
+  std::string why;
+  if (!conserved(env, why))
+    fail("chaos " + std::string(core::to_string(flavor)) + ": " + why);
+
+  // The comparable ledger is the *conservation* ledger: admissions, level
+  // boundaries and every loss site.  The root's dispatched/still_held split
+  // is deliberately excluded — after an uplink batch is destroyed, which
+  // streams gap at the root depends on the pre-reducer's arrival
+  // interleaving (uplink batches mix member nodes), so the count of records
+  // stranded behind the gap is schedule-dependent even though every loss
+  // counter and boundary total is not (DESIGN.md §16).
+  ChaosRun run;
+  std::ostringstream led;
+  const core::LisStats lis = env.total_lis_stats();
+  led << "lis recorded=" << lis.recorded
+      << " forwarded=" << lis.records_forwarded
+      << " lost_send=" << lis.lost_send << " lost_dead=" << lis.lost_dead
+      << '\n';
+  for (std::uint32_t s = 0; s < env.shards(); ++s) {
+    const core::AggregatorStats as = env.aggregator_stats(s);
+    led << "shard " << s << " received=" << as.records_received
+        << " forwarded=" << as.records_forwarded
+        << " lost_uplink=" << as.lost_uplink << " lost_dead=" << as.lost_dead
+        << " dead=" << (env.aggregator(s).dead() ? 1 : 0) << '\n';
+    run.per_shard.push_back(env.shard_degradation(s));
+  }
+  const core::DegradationReport d = env.degradation();
+  led << "root received=" << env.root_ism().stats().records_received << '\n';
+  led << "losses send=" << d.records_lost_send
+      << " dead=" << d.records_lost_dead << " wire=" << d.records_lost_wire
+      << " uplink=" << d.records_lost_uplink << " agg=" << d.records_lost_agg
+      << " lises_dead=" << d.lises_dead << " shards_dead=" << d.shards_dead
+      << '\n';
+  run.ledger = led.str();
+  run.total = d;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) g_quick = true;
+  }
+  if (g_quick) {
+    g_scale_records_per_node = 300;
+    g_chaos_records_per_node = 150;
+  }
+
+  auto json = bench::JsonValue::object();
+  json.add("bench", bench::JsonValue::string("ism_sharding"));
+  json.add("quick", bench::JsonValue::boolean(g_quick));
+  json.add("hardware_concurrency",
+           bench::JsonValue::integer(static_cast<std::int64_t>(
+               std::thread::hardware_concurrency())));
+
+  // --- scaling curve: root throughput at 1..8 shards, >= 200 LIS nodes.
+  auto scaling = bench::JsonValue::object();
+  scaling.add("nodes", bench::JsonValue::integer(kScaleNodes));
+  scaling.add("records_per_node", bench::JsonValue::integer(
+                                      static_cast<std::int64_t>(
+                                          g_scale_records_per_node)));
+  auto legs = bench::JsonValue::array();
+  std::printf("%-8s %12s %16s %14s %10s\n", "shards", "wall_ms",
+              "records_per_sec", "uplink_batches", "held_back");
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const ScalingLeg leg = run_scaling_leg(shards);
+    std::printf("%-8u %12.2f %16.0f %14llu %10llu\n", leg.shards, leg.wall_ms,
+                leg.records_per_sec,
+                static_cast<unsigned long long>(leg.uplink_batches),
+                static_cast<unsigned long long>(leg.root_held_back));
+    auto j = bench::JsonValue::object();
+    j.add("shards", bench::JsonValue::integer(leg.shards));
+    j.add("wall_ms", bench::JsonValue::number(leg.wall_ms));
+    j.add("records_per_sec", bench::JsonValue::number(leg.records_per_sec));
+    j.add("uplink_batches", bench::JsonValue::integer(
+                                static_cast<std::int64_t>(leg.uplink_batches)));
+    j.add("root_held_back", bench::JsonValue::integer(
+                                static_cast<std::int64_t>(leg.root_held_back)));
+    legs.push(std::move(j));
+  }
+  scaling.add("legs", std::move(legs));
+  json.add("scaling", std::move(scaling));
+
+  // --- chaos determinism: pipe twice, then socket and shm, one seed.
+  const ChaosRun pipe1 = run_chaos(core::TpFlavor::kPipe);
+  const ChaosRun pipe2 = run_chaos(core::TpFlavor::kPipe);
+  const ChaosRun sock = run_chaos(core::TpFlavor::kSocket);
+  const ChaosRun shm = run_chaos(core::TpFlavor::kShm);
+  if (pipe1.ledger != pipe2.ledger)
+    fail("chaos ledger differs across same-seed pipe runs:\n" + pipe1.ledger +
+         "--- vs ---\n" + pipe2.ledger);
+  if (pipe1.ledger != sock.ledger)
+    fail("chaos ledger differs pipe vs socket:\n" + pipe1.ledger +
+         "--- vs ---\n" + sock.ledger);
+  if (pipe1.ledger != shm.ledger)
+    fail("chaos ledger differs pipe vs shm:\n" + pipe1.ledger +
+         "--- vs ---\n" + shm.ledger);
+  if (pipe1.total.shards_dead != 1)
+    fail("chaos: expected exactly one dead shard, got " +
+         std::to_string(pipe1.total.shards_dead));
+
+  auto chaos = bench::JsonValue::object();
+  chaos.add("nodes", bench::JsonValue::integer(kChaosNodes));
+  chaos.add("shards", bench::JsonValue::integer(kChaosShards));
+  chaos.add("records_per_node", bench::JsonValue::integer(
+                                    static_cast<std::int64_t>(
+                                        g_chaos_records_per_node)));
+  chaos.add("ledgers_identical",
+            bench::JsonValue::boolean(pipe1.ledger == pipe2.ledger &&
+                                      pipe1.ledger == sock.ledger &&
+                                      pipe1.ledger == shm.ledger));
+  chaos.add("shards_dead",
+            bench::JsonValue::integer(pipe1.total.shards_dead));
+  chaos.add("records_lost_uplink",
+            bench::JsonValue::integer(static_cast<std::int64_t>(
+                pipe1.total.records_lost_uplink)));
+  chaos.add("records_lost_agg",
+            bench::JsonValue::integer(static_cast<std::int64_t>(
+                pipe1.total.records_lost_agg)));
+  auto per_shard = bench::JsonValue::array();
+  for (std::size_t s = 0; s < pipe1.per_shard.size(); ++s) {
+    const core::DegradationReport& d = pipe1.per_shard[s];
+    auto j = bench::JsonValue::object();
+    j.add("shard", bench::JsonValue::integer(static_cast<std::int64_t>(s)));
+    j.add("shard_dead", bench::JsonValue::boolean(d.shards_dead != 0));
+    j.add("lises_dead", bench::JsonValue::integer(d.lises_dead));
+    j.add("records_lost_send", bench::JsonValue::integer(
+                                   static_cast<std::int64_t>(
+                                       d.records_lost_send)));
+    j.add("records_lost_uplink", bench::JsonValue::integer(
+                                     static_cast<std::int64_t>(
+                                         d.records_lost_uplink)));
+    j.add("records_lost_agg", bench::JsonValue::integer(
+                                  static_cast<std::int64_t>(
+                                      d.records_lost_agg)));
+    j.add("holdback_expired", bench::JsonValue::integer(
+                                  static_cast<std::int64_t>(
+                                      d.holdback_expired)));
+    per_shard.push(std::move(j));
+  }
+  chaos.add("per_shard", std::move(per_shard));
+  json.add("chaos", std::move(chaos));
+
+  bench::write_json_file("BENCH_ism_sharding.json", json);
+  std::printf("\nchaos ledger (pipe == pipe == socket == shm):\n%s",
+              pipe1.ledger.c_str());
+  if (g_failures) {
+    std::fprintf(stderr, "\nism_sharding: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("\nism_sharding: all legs conserved, ledgers bit-identical\n");
+  return 0;
+}

@@ -152,6 +152,28 @@ EnvironmentConfig parse_environment_config(const std::string& text) {
         throw ConfigError(lineno, "telemetry_period_ms must be positive");
     } else if (key == "telemetry_endpoint") {
       cfg.telemetry.endpoint = value;
+    } else if (key == "ism_shards") {
+      cfg.federation.shards = static_cast<std::uint32_t>(parse_u64(lineno, value));
+    } else if (key == "shard_virtual_nodes") {
+      cfg.federation.virtual_nodes =
+          static_cast<std::uint32_t>(parse_u64(lineno, value));
+      if (cfg.federation.virtual_nodes == 0)
+        throw ConfigError(lineno, "shard_virtual_nodes must be positive");
+    } else if (key == "shard_assign") {
+      if (value == "hash") cfg.federation.assign = ShardAssign::kHash;
+      else if (value == "modulo") cfg.federation.assign = ShardAssign::kModulo;
+      else throw ConfigError(lineno, "unknown shard_assign '" + value + "'");
+    } else if (key == "root_tp") {
+      if (value == "pipe") cfg.federation.root_tp = TpFlavor::kPipe;
+      else if (value == "socket") cfg.federation.root_tp = TpFlavor::kSocket;
+      else if (value == "rpc") cfg.federation.root_tp = TpFlavor::kRpc;
+      else if (value == "custom") cfg.federation.root_tp = TpFlavor::kCustom;
+      else if (value == "shm") cfg.federation.root_tp = TpFlavor::kShm;
+      else throw ConfigError(lineno, "unknown root_tp flavor '" + value + "'");
+    } else if (key == "agg_batch_records") {
+      cfg.federation.agg_batch_records = parse_u64(lineno, value);
+      if (cfg.federation.agg_batch_records == 0)
+        throw ConfigError(lineno, "agg_batch_records must be positive");
     } else {
       throw ConfigError(lineno, "unknown key '" + key + "'");
     }
@@ -197,6 +219,12 @@ std::string serialize_environment_config(const EnvironmentConfig& cfg) {
   os << "telemetry_period_ms = " << cfg.telemetry.period_ms << "\n";
   if (!cfg.telemetry.endpoint.empty())
     os << "telemetry_endpoint = " << cfg.telemetry.endpoint << "\n";
+  os << "ism_shards = " << cfg.federation.shards << "\n";
+  os << "shard_virtual_nodes = " << cfg.federation.virtual_nodes << "\n";
+  os << "shard_assign = " << to_string(cfg.federation.assign) << "\n";
+  if (cfg.federation.root_tp)
+    os << "root_tp = " << to_string(*cfg.federation.root_tp) << "\n";
+  os << "agg_batch_records = " << cfg.federation.agg_batch_records << "\n";
   return os.str();
 }
 

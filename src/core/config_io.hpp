@@ -20,6 +20,11 @@
 //   causal_ordering = true
 //   output_capacity = 8192
 //   storage_path = /tmp/run.trc
+//   ism_shards = 8                # 0 = flat IS; >= 1 = two-level federation
+//   shard_virtual_nodes = 64      # consistent-hash ring points per shard
+//   shard_assign = hash           # hash | modulo
+//   root_tp = socket              # aggregator->root transport (default: tp)
+//   agg_batch_records = 256       # aggregator uplink batch size
 //
 // Unknown keys and malformed values are errors (with line numbers): a
 // config that silently ignores typos is how an evaluation runs the wrong

@@ -38,9 +38,15 @@ std::string_view to_string(TelemetryMode m) {
   return "unknown";
 }
 
-namespace {
+std::string_view to_string(ShardAssign a) {
+  switch (a) {
+    case ShardAssign::kHash: return "hash";
+    case ShardAssign::kModulo: return "modulo";
+  }
+  return "unknown";
+}
 
-std::unique_ptr<FlushPolicy> make_policy(const EnvironmentConfig& cfg) {
+std::unique_ptr<FlushPolicy> make_flush_policy(const EnvironmentConfig& cfg) {
   switch (cfg.flush_policy) {
     case FlushPolicyKind::kFof: return std::make_unique<FlushOnFill>();
     case FlushPolicyKind::kFaof: return std::make_unique<FlushAllOnFill>();
@@ -50,10 +56,8 @@ std::unique_ptr<FlushPolicy> make_policy(const EnvironmentConfig& cfg) {
       return std::make_unique<AdaptiveThresholdFlush>(
           cfg.adaptive_target_flush_ns);
   }
-  throw std::invalid_argument("make_policy: unknown policy");
+  throw std::invalid_argument("make_flush_policy: unknown policy");
 }
-
-}  // namespace
 
 IntegratedEnvironment::IntegratedEnvironment(EnvironmentConfig config)
     : config_(config) {
@@ -75,7 +79,7 @@ IntegratedEnvironment::IntegratedEnvironment(EnvironmentConfig config)
     switch (config_.lis_style) {
       case LisStyle::kBuffered:
         lises_.push_back(std::make_unique<BufferedLis>(
-            n, config_.local_buffer_capacity, make_policy(config_),
+            n, config_.local_buffer_capacity, make_flush_policy(config_),
             tp_->data_link_for(n),
             config_.flush_policy == FlushPolicyKind::kFaof ? &coordinator_
                                                            : nullptr));
@@ -315,6 +319,12 @@ std::string DegradationReport::to_string() const {
      << " lost_wire=" << records_lost_wire
      << " control_dropped=" << control_dropped
      << " holdback_expired=" << holdback_expired;
+  // Federation fields only when a federation produced the report — flat
+  // topologies keep the historical single-level line.
+  if (shards_dead || records_lost_uplink || records_lost_agg)
+    os << " shards_dead=" << shards_dead
+       << " lost_uplink=" << records_lost_uplink
+       << " lost_agg=" << records_lost_agg;
   return os.str();
 }
 

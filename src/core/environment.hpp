@@ -67,6 +67,42 @@ struct TelemetryOptions {
   std::string endpoint;
 };
 
+/// How LIS nodes are assigned to aggregator shards (DESIGN.md §16).
+enum class ShardAssign : std::uint8_t {
+  kHash,    ///< consistent hashing over a virtual-node ring (default)
+  kModulo,  ///< node % shards (simple, but every resize remaps everything)
+};
+
+std::string_view to_string(ShardAssign a);
+
+/// Two-level ISM federation (DESIGN.md §16): per-cluster aggregator ISMs
+/// consume their cluster's LIS streams, causally pre-reduce them, and
+/// forward re-batched record lineages over the root transport to a root ISM
+/// that performs the global gap-tolerant merge.  shards == 0 leaves the IS
+/// flat (the classic single-ISM IntegratedEnvironment topology).
+struct FederationOptions {
+  /// Number of aggregator shards.  0 = flat (no federation); >= 1 builds
+  /// the two-level topology (1 shard is a valid degenerate federation — the
+  /// scaling curve's first point).
+  std::uint32_t shards = 0;
+  /// Ring replicas per shard for ShardAssign::kHash — more virtual nodes
+  /// smooth the key distribution.
+  std::uint32_t virtual_nodes = 64;
+  ShardAssign assign = ShardAssign::kHash;
+  /// Transport of the root level (aggregator -> root ISM).  Unset = same
+  /// flavor as the cluster level (EnvironmentConfig::tp_flavor).  The two
+  /// levels are independent: e.g. shm inside a cluster, sockets to the root.
+  std::optional<TpFlavor> root_tp;
+  /// Pre-reduction batch size: an aggregator ships its causally-ordered
+  /// stream to the root in batches of exactly this many records (the drain
+  /// remainder excepted).  Fixed-size uplink batches keep chaos ledgers
+  /// schedule-independent: the k-th uplink send of a shard always carries
+  /// the same record *count*, whatever the arrival interleaving was.
+  std::size_t agg_batch_records = 256;
+
+  bool enabled() const { return shards != 0; }
+};
+
 struct EnvironmentConfig {
   std::uint32_t nodes = 4;
   /// Application processes (threads) per node — used by the daemon LIS.
@@ -92,7 +128,16 @@ struct EnvironmentConfig {
   /// PRISM_OBS build when mode != kOff; start() throws otherwise rather than
   /// silently serving nothing.
   TelemetryOptions telemetry;
+  /// Two-level ISM federation (DESIGN.md §16).  Ignored by
+  /// IntegratedEnvironment (the flat topology); FederatedEnvironment
+  /// requires federation.shards >= 1.
+  FederationOptions federation;
 };
+
+/// Builds the FlushPolicy the configuration names (shared by the flat and
+/// federated environments).
+std::unique_ptr<class FlushPolicy> make_flush_policy(
+    const EnvironmentConfig& cfg);
 
 /// How far an environment degraded during a run — the partial-result report
 /// the lifecycle hands back after a chaotic run.  All counters are zero on a
@@ -109,12 +154,23 @@ struct DegradationReport {
   std::uint64_t control_dropped = 0;   ///< control messages lost, all kinds
   /// Held-back records force-released because their source died.
   std::uint64_t holdback_expired = 0;
+  /// Federation levels only (DESIGN.md §16); all zero on a flat topology.
+  /// Aggregator shards that died (crash injection or organic failure).
+  std::uint32_t shards_dead = 0;
+  /// Forwarded by an aggregator but destroyed on the root-bound uplink —
+  /// the federation-boundary loss site, attributed exactly once (at the
+  /// shard, never also in the root's ledger).
+  std::uint64_t records_lost_uplink = 0;
+  /// Destroyed with a dead aggregator shard (staged, held, or drained after
+  /// its crash).
+  std::uint64_t records_lost_agg = 0;
 
   /// True when anything at all degraded.
   bool degraded() const {
     return lises_dead || tools_failed || records_lost_send ||
            records_lost_dead || records_lost_wire || control_dropped ||
-           holdback_expired;
+           holdback_expired || shards_dead || records_lost_uplink ||
+           records_lost_agg;
   }
   std::string to_string() const;
 };

@@ -77,6 +77,10 @@ void Ism::mark_source_dead(std::uint32_t node) {
   PRISM_OBS_COUNT("core.ism.sources_dead");
 }
 
+void Ism::mark_sources_dead(const std::vector<std::uint32_t>& nodes) {
+  for (auto n : nodes) mark_source_dead(n);
+}
+
 void Ism::processor_main() {
   // Latency bookkeeping for records held back by the reorderer: record key
   // -> TP arrival time.
@@ -155,8 +159,10 @@ void Ism::processor_main() {
       std::lock_guard lk(mu_);
       dead = dead_sources_;
     }
-    std::size_t released = 0;
-    for (auto n : dead) released += reorderer_->expire_node(n);
+    // One group expiry, not a per-node loop: when the dead set is a whole
+    // aggregator shard, holds between two of its nodes must resolve within
+    // the same pass (see CausalReorderer::expire_nodes).
+    const std::size_t released = reorderer_->expire_nodes(dead);
     if (released) {
       std::lock_guard lk(mu_);
       stats_.expired_released += released;

@@ -128,6 +128,13 @@ class Ism {
   /// call any time before or during stop().
   void mark_source_dead(std::uint32_t node);
 
+  /// Declares a whole group of source nodes dead at once — a federated
+  /// deployment's unit of death is an aggregator shard (DESIGN.md §16).
+  /// The group is expired together at drain time (one
+  /// CausalReorderer::expire_nodes pass), so holds *between* two nodes of
+  /// the dead shard resolve instead of stranding.
+  void mark_sources_dead(const std::vector<std::uint32_t>& nodes);
+
  private:
   struct Timed {
     trace::EventRecord record;

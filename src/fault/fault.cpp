@@ -37,6 +37,7 @@ std::string_view to_string(FaultSite s) {
     case FaultSite::kSocketFrame: return "socket_frame";
     case FaultSite::kShmPush: return "shm_push";
     case FaultSite::kShmFrame: return "shm_frame";
+    case FaultSite::kAggForward: return "agg_forward";
   }
   return "unknown";
 }

@@ -62,8 +62,10 @@ enum class FaultSite : std::uint8_t {
   kSocketFrame,    ///< SocketLink frame boundary (corruption injection)
   kShmPush,        ///< ShmLink ring push entry (per frame; retryable failures)
   kShmFrame,       ///< ShmLink frame boundary (corruption injection)
+  kAggForward,     ///< aggregator ISM -> root ISM uplink send (per pre-reduced
+                   ///< batch; node = shard id; crash kills the aggregator)
 };
-inline constexpr std::size_t kFaultSiteCount = 12;
+inline constexpr std::size_t kFaultSiteCount = 13;
 
 std::string_view to_string(FaultSite s);
 

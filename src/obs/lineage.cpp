@@ -28,6 +28,9 @@ std::string_view to_string(LossSite s) {
     case LossSite::kFrameCorrupt: return "frame_corrupt";
     case LossSite::kLisDead: return "lis_dead";
     case LossSite::kRetryExhausted: return "retry_exhausted";
+    case LossSite::kAggUplink: return "agg_uplink";
+    case LossSite::kAggDead: return "agg_dead";
+    case LossSite::kAggQueue: return "agg_queue";
   }
   return "unknown";
 }

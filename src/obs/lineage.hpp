@@ -58,8 +58,15 @@ enum class LossSite : std::uint8_t {
   kFrameCorrupt,     ///< wire frame corrupted or aborted mid-write
   kLisDead,          ///< the record's LIS died (fault plane or organic)
   kRetryExhausted,   ///< transient send failures exceeded the retry budget
+  /// Federation boundary (DESIGN.md §16): forwarded by an aggregator ISM
+  /// but destroyed on the root-bound uplink (closed link or exhausted
+  /// retries).  Attributed exactly once, at the shard that lost it — the
+  /// root never saw the record.
+  kAggUplink,
+  kAggDead,          ///< destroyed with a dead aggregator shard
+  kAggQueue,         ///< stranded in an aggregator's pre-reducer hold-back
 };
-inline constexpr std::size_t kLossSiteCount = 9;
+inline constexpr std::size_t kLossSiteCount = 12;
 
 std::string_view to_string(LossSite s);
 

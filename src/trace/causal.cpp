@@ -17,6 +17,10 @@ bool CausalReorderer::deliverable(const EventRecord& r) const {
   const std::uint64_t expected = it == next_seq_.end() ? 0 : it->second;
   if (r.seq != expected) return false;
   if (r.kind == EventKind::kRecv) {
+    // Out-of-scope peer: the matching send flows through another shard's
+    // aggregator and will never be offered here; message order for this
+    // channel is the unscoped (root) reorderer's job.
+    if (scoped_ && local_scope_.count(r.peer) == 0) return true;
     const auto ch = channel(r.peer, r.node, r.tag);
     auto sit = sends_released_.find(ch);
     const std::uint64_t sends = sit == sends_released_.end() ? 0 : sit->second;
@@ -27,6 +31,13 @@ bool CausalReorderer::deliverable(const EventRecord& r) const {
     if (recvs >= sends && dead_nodes_.count(r.peer) == 0) return false;
   }
   return true;
+}
+
+void CausalReorderer::restrict_scope(
+    const std::vector<std::uint32_t>& local_nodes) {
+  scoped_ = true;
+  local_scope_.clear();
+  local_scope_.insert(local_nodes.begin(), local_nodes.end());
 }
 
 void CausalReorderer::release_now(const EventRecord& r) {
@@ -77,21 +88,31 @@ void CausalReorderer::drain_ready() {
 }
 
 std::size_t CausalReorderer::expire_node(std::uint32_t node) {
+  return expire_nodes({node});
+}
+
+std::size_t CausalReorderer::expire_nodes(
+    const std::vector<std::uint32_t>& nodes) {
   const std::uint64_t before = released_total_;
-  dead_nodes_.insert(node);
-  // Force-release the dead node's own held streams in seq order, tolerating
+  // The whole group enters the dead set before any release: a recv held at
+  // one dying node waiting on another dying node's lost send must see the
+  // peer's message-order waiver during its own force-release.
+  for (auto n : nodes) dead_nodes_.insert(n);
+  // Force-release each dead node's own held streams in seq order, tolerating
   // gaps: the missing records died with the node and will never arrive
   // (release_now advances next_seq past each gap).
-  for (auto& [key, dq] : held_) {
-    if (static_cast<std::uint32_t>(key >> 32) != node) continue;
-    while (!dq.empty()) {
-      EventRecord r = dq.front();
-      dq.pop_front();
-      --held_count_;
-      release_now(r);
+  for (auto node : nodes) {
+    for (auto& [key, dq] : held_) {
+      if (static_cast<std::uint32_t>(key >> 32) != node) continue;
+      while (!dq.empty()) {
+        EventRecord r = dq.front();
+        dq.pop_front();
+        --held_count_;
+        release_now(r);
+      }
     }
   }
-  // Receives at live nodes waiting on the dead node's sends drain via the
+  // Receives at live nodes waiting on the dead nodes' sends drain via the
   // usual fixed point now that deliverable() waives their message order.
   drain_ready();
   return static_cast<std::size_t>(released_total_ - before);

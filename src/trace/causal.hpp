@@ -44,7 +44,27 @@ class CausalReorderer {
   /// Returns the number of records released.  Degraded-mode operation: the
   /// released order may violate message order across the dead node's
   /// channels — by construction, since the matching sends are lost.
+  /// Idempotent: expiring an already-dead node (or one with no pending
+  /// records) releases nothing and returns 0.
   std::size_t expire_node(std::uint32_t node);
+
+  /// Expires a whole group of nodes at once — the federation's unit of
+  /// death is an aggregator shard, not a single node.  All nodes enter the
+  /// dead set *before* any force-release, so holds between two dying nodes
+  /// (a recv at one waiting on a send from the other) resolve in the same
+  /// pass instead of stranding, and the ready fixed point runs once for the
+  /// group.  Returns the total number of records released.
+  std::size_t expire_nodes(const std::vector<std::uint32_t>& nodes);
+
+  /// Restricts message-order enforcement to `local_nodes`: a recv whose
+  /// peer is outside the scope is released without waiting for the matching
+  /// send.  This is how a per-shard aggregator pre-reduces — it can order
+  /// its own cluster's traffic, but a cross-shard send is processed by a
+  /// different aggregator and will never flow through this one; holding the
+  /// recv would strand it forever.  The root-level reorderer (unscoped)
+  /// still enforces the waived pairs globally.  Program order is always
+  /// enforced regardless of scope.  Call before the first offer().
+  void restrict_scope(const std::vector<std::uint32_t>& local_nodes);
 
   const std::set<std::uint32_t>& dead_nodes() const { return dead_nodes_; }
 
@@ -100,6 +120,10 @@ class CausalReorderer {
   /// Nodes whose missing records are known lost (see expire_node): message
   /// order is waived for receives naming them as peer.
   std::set<std::uint32_t> dead_nodes_;
+  /// When scoped_ (see restrict_scope), message order is enforced only for
+  /// peers inside local_scope_ — everything else is another shard's traffic.
+  bool scoped_ = false;
+  std::set<std::uint32_t> local_scope_;
   std::size_t held_count_ = 0;
   std::uint64_t lamport_ = 0;
   std::uint64_t offered_total_ = 0;

@@ -146,6 +146,49 @@ TEST(ConfigIo, RejectsBadShmValuesWithLineNumbers) {
   }
 }
 
+TEST(ConfigIo, FederationKeysParseAndRoundTrip) {
+  const auto cfg = parse_environment_config(
+      "nodes = 200\nism_shards = 8\nshard_virtual_nodes = 16\n"
+      "shard_assign = modulo\nroot_tp = socket\nagg_batch_records = 128\n");
+  EXPECT_EQ(cfg.federation.shards, 8u);
+  EXPECT_TRUE(cfg.federation.enabled());
+  EXPECT_EQ(cfg.federation.virtual_nodes, 16u);
+  EXPECT_EQ(cfg.federation.assign, ShardAssign::kModulo);
+  ASSERT_TRUE(cfg.federation.root_tp.has_value());
+  EXPECT_EQ(*cfg.federation.root_tp, TpFlavor::kSocket);
+  EXPECT_EQ(cfg.federation.agg_batch_records, 128u);
+  const auto back =
+      parse_environment_config(serialize_environment_config(cfg));
+  EXPECT_EQ(back.federation.shards, cfg.federation.shards);
+  EXPECT_EQ(back.federation.virtual_nodes, cfg.federation.virtual_nodes);
+  EXPECT_EQ(back.federation.assign, cfg.federation.assign);
+  EXPECT_EQ(back.federation.root_tp, cfg.federation.root_tp);
+  EXPECT_EQ(back.federation.agg_batch_records,
+            cfg.federation.agg_batch_records);
+}
+
+TEST(ConfigIo, FederationDefaultsToFlatTopology) {
+  const auto cfg = parse_environment_config("nodes = 4\n");
+  EXPECT_FALSE(cfg.federation.enabled());
+  EXPECT_FALSE(cfg.federation.root_tp.has_value());
+  // An unset root_tp stays unset through a round trip (it means "inherit
+  // the cluster flavor", which is not the same as an explicit value).
+  const auto back =
+      parse_environment_config(serialize_environment_config(cfg));
+  EXPECT_FALSE(back.federation.root_tp.has_value());
+  EXPECT_EQ(back.federation.shards, 0u);
+}
+
+TEST(ConfigIo, RejectsBadFederationValues) {
+  EXPECT_THROW(parse_environment_config("shard_assign = zodiac"),
+               ConfigError);
+  EXPECT_THROW(parse_environment_config("shard_virtual_nodes = 0"),
+               ConfigError);
+  EXPECT_THROW(parse_environment_config("agg_batch_records = 0"),
+               ConfigError);
+  EXPECT_THROW(parse_environment_config("root_tp = telegraph"), ConfigError);
+}
+
 TEST(ConfigIo, TpFlavorRoundTripsAllFlavors) {
   // to_string/parse symmetry for every transport flavor, through a full
   // serialize -> parse cycle.

@@ -1,0 +1,616 @@
+// Sharded hierarchical ISM federation (DESIGN.md §16): shard routing,
+// scoped causal pre-reduction, group expiry, the two-level conservation
+// identity, and determinism of chaos ledgers under aggregator crashes.
+//
+// The federation-wide exactness invariant under test everywhere:
+//
+//   recorded == root_dispatched + root_still_held + root_in_output
+//             + lis_lost_send + lis_lost_dead
+//             + sum_shards(lost_uplink + lost_dead + still_held + staged)
+//             + wire losses (both levels)
+//
+// i.e. admitted == completed + lost + in_flight, telescoped across both
+// federation levels, with every loss attributed to exactly one site.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/federation.hpp"
+#include "core/tool.hpp"
+#include "fault/fault.hpp"
+#include "trace/causal.hpp"
+
+namespace prism {
+namespace {
+
+using core::AggregatorStats;
+using core::EnvironmentConfig;
+using core::FederatedEnvironment;
+using core::ShardAssign;
+using core::ShardRouter;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultSite;
+using fault::RetryPolicy;
+using trace::CausalReorderer;
+using trace::EventKind;
+using trace::EventRecord;
+
+EventRecord ev(std::uint32_t node, std::uint64_t seq,
+               EventKind kind = EventKind::kUserEvent, std::uint32_t peer = 0,
+               std::uint16_t tag = 0) {
+  EventRecord r;
+  r.node = node;
+  r.process = 0;
+  r.seq = seq;
+  r.timestamp = seq;
+  r.kind = kind;
+  r.peer = peer;
+  r.tag = tag;
+  return r;
+}
+
+class CollectTool final : public core::Tool {
+ public:
+  std::string_view name() const override { return "collect"; }
+  void consume(const EventRecord& r) override {
+    std::lock_guard lk(mu_);
+    records_.push_back(r);
+  }
+  std::vector<EventRecord> records() const {
+    std::lock_guard lk(mu_);
+    return records_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EventRecord> records_;
+};
+
+/// The conservation ledger of a chaos run, for bit-identical same-seed
+/// comparisons: admissions, level boundaries, and every loss site.  The
+/// root's dispatched/still_held split is deliberately NOT part of the
+/// ledger — after an uplink batch is destroyed, which streams gap at the
+/// root depends on the pre-reducer's arrival interleaving (uplink batches
+/// mix member nodes), so the stranded count is schedule-dependent even
+/// though every loss counter and boundary total is not (DESIGN.md §16).
+struct FederationLedger {
+  std::uint64_t recorded = 0, lis_forwarded = 0, lis_lost_send = 0,
+                lis_lost_dead = 0, lis_dropped = 0;
+  std::vector<std::uint64_t> agg_received, agg_forwarded, agg_lost_uplink,
+      agg_lost_dead;
+  std::uint64_t root_received = 0;
+  std::uint64_t lost_uplink = 0, lost_agg = 0;
+  std::uint32_t lises_dead = 0, shards_dead = 0;
+
+  bool operator==(const FederationLedger& o) const {
+    return recorded == o.recorded && lis_forwarded == o.lis_forwarded &&
+           lis_lost_send == o.lis_lost_send &&
+           lis_lost_dead == o.lis_lost_dead && lis_dropped == o.lis_dropped &&
+           agg_received == o.agg_received &&
+           agg_forwarded == o.agg_forwarded &&
+           agg_lost_uplink == o.agg_lost_uplink &&
+           agg_lost_dead == o.agg_lost_dead &&
+           root_received == o.root_received &&
+           lost_uplink == o.lost_uplink && lost_agg == o.lost_agg &&
+           lises_dead == o.lises_dead && shards_dead == o.shards_dead;
+  }
+};
+
+FederationLedger ledger_of(FederatedEnvironment& env) {
+  FederationLedger led;
+  const core::LisStats lis = env.total_lis_stats();
+  led.recorded = lis.recorded;
+  led.lis_forwarded = lis.records_forwarded;
+  led.lis_lost_send = lis.lost_send;
+  led.lis_lost_dead = lis.lost_dead;
+  led.lis_dropped = lis.dropped;
+  for (std::uint32_t s = 0; s < env.shards(); ++s) {
+    const AggregatorStats as = env.aggregator_stats(s);
+    led.agg_received.push_back(as.records_received);
+    led.agg_forwarded.push_back(as.records_forwarded);
+    led.agg_lost_uplink.push_back(as.lost_uplink);
+    led.agg_lost_dead.push_back(as.lost_dead);
+  }
+  led.root_received = env.root_ism().stats().records_received;
+  const core::DegradationReport d = env.degradation();
+  led.lost_uplink = d.records_lost_uplink;
+  led.lost_agg = d.records_lost_agg;
+  led.lises_dead = d.lises_dead;
+  led.shards_dead = d.shards_dead;
+  return led;
+}
+
+/// Asserts the two-level exactness chain on a stopped environment, link by
+/// link, so a violation names the level that leaked.
+void expect_exact_conservation(FederatedEnvironment& env) {
+  const core::LisStats lis = env.total_lis_stats();
+  const std::uint64_t wire_lost = env.degradation().records_lost_wire;
+  std::uint64_t agg_received = 0, agg_sunk = 0, agg_forwarded = 0;
+  for (std::uint32_t s = 0; s < env.shards(); ++s) {
+    const AggregatorStats as = env.aggregator_stats(s);
+    EXPECT_TRUE(as.conserved())
+        << "shard " << s << ": received=" << as.records_received
+        << " forwarded=" << as.records_forwarded
+        << " lost_uplink=" << as.lost_uplink << " lost_dead=" << as.lost_dead
+        << " still_held=" << as.still_held << " staged=" << as.staged;
+    agg_received += as.records_received;
+    agg_forwarded += as.records_forwarded;
+    agg_sunk += as.lost_uplink + as.lost_dead + as.still_held + as.staged;
+    for (const std::uint32_t n : env.shard_members(s))
+      EXPECT_TRUE(env.lis(n).stats().conserved()) << "LIS node " << n;
+  }
+  const core::IsmStats root = env.root_ism().stats();
+  EXPECT_TRUE(root.conserved());
+  // Level-to-level delivery, exact on in-process transports (wire_lost == 0
+  // otherwise the wire losses sit somewhere along these two links and only
+  // the end-to-end identity below is exact).
+  if (wire_lost == 0) {
+    EXPECT_EQ(lis.records_forwarded, agg_received) << "cluster-level leak";
+    EXPECT_EQ(agg_forwarded, root.records_received)
+        << "federation boundary double-count: aggregator forwarded and root "
+           "received disagree";
+  }
+  // The federation-wide pipeline identity: every accepted record is
+  // dispatched, in flight at a named stage, or lost at exactly one site.
+  EXPECT_EQ(lis.recorded,
+            root.records_dispatched + root.still_held + root.in_output +
+                lis.buffered + lis.lost_send + lis.lost_dead + agg_sunk +
+                wire_lost)
+      << "pipeline identity leak: recorded=" << lis.recorded;
+}
+
+EnvironmentConfig base_config(std::uint32_t nodes, std::uint32_t shards) {
+  EnvironmentConfig cfg;
+  cfg.nodes = nodes;
+  cfg.federation.shards = shards;
+  cfg.federation.agg_batch_records = 16;
+  cfg.lis_style = core::LisStyle::kBuffered;
+  cfg.local_buffer_capacity = 32;
+  cfg.link_capacity = 256;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- ShardRouter
+
+TEST(ShardRouter, ModuloAssignsRoundRobin) {
+  ShardRouter r(4, 64, ShardAssign::kModulo);
+  for (std::uint32_t n = 0; n < 100; ++n) EXPECT_EQ(r.shard_for(n), n % 4);
+}
+
+TEST(ShardRouter, HashIsDeterministic) {
+  ShardRouter a(8, 64, ShardAssign::kHash);
+  ShardRouter b(8, 64, ShardAssign::kHash);
+  for (std::uint32_t n = 0; n < 1000; ++n)
+    EXPECT_EQ(a.shard_for(n), b.shard_for(n));
+}
+
+TEST(ShardRouter, HashCoversAllShardsReasonablyEvenly) {
+  const std::uint32_t shards = 8, nodes = 1024;
+  ShardRouter r(shards, 64, ShardAssign::kHash);
+  std::vector<std::uint32_t> count(shards, 0);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const std::uint32_t s = r.shard_for(n);
+    ASSERT_LT(s, shards);
+    ++count[s];
+  }
+  const std::uint32_t mean = nodes / shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_GT(count[s], 0u) << "shard " << s << " owns no keys";
+    EXPECT_LT(count[s], 4 * mean) << "shard " << s << " grossly overloaded";
+  }
+}
+
+TEST(ShardRouter, ConsistentHashingIsStableUnderGrowth) {
+  // Growing S -> S+1 only adds shard S's ring points, so a key either moves
+  // to the new shard or keeps its old assignment — never shuffles between
+  // the survivors.  (Modulo, by contrast, remaps nearly everything.)
+  const std::uint32_t nodes = 2000;
+  ShardRouter small(4, 64, ShardAssign::kHash);
+  ShardRouter big(5, 64, ShardAssign::kHash);
+  std::uint32_t moved = 0;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const std::uint32_t to = big.shard_for(n);
+    if (to == 4) {
+      ++moved;
+      continue;
+    }
+    EXPECT_EQ(to, small.shard_for(n))
+        << "node " << n << " shuffled between surviving shards";
+  }
+  // Roughly 1/5th of the keys should land on the new shard.
+  EXPECT_GT(moved, nodes / 10);
+  EXPECT_LT(moved, nodes / 2);
+}
+
+TEST(ShardRouter, RejectsDegenerateArguments) {
+  EXPECT_THROW(ShardRouter(0), std::invalid_argument);
+  EXPECT_THROW(ShardRouter(4, 0, ShardAssign::kHash), std::invalid_argument);
+}
+
+// ------------------------------------------------- scoped causal pre-reduction
+
+TEST(ScopedReorderer, OutOfScopePeerRecvReleasesWithoutSend) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.restrict_scope({0, 1});
+  // A recv at node 0 from node 5 — another shard's traffic.  The matching
+  // send will never be offered here; the recv must not be held.
+  r.offer(ev(0, 0, EventKind::kRecv, /*peer=*/5, /*tag=*/1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(r.held(), 0u);
+}
+
+TEST(ScopedReorderer, InScopePeerStillEnforcesMessageOrder) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.restrict_scope({0, 1});
+  r.offer(ev(0, 0, EventKind::kRecv, /*peer=*/1, /*tag=*/1));
+  EXPECT_EQ(out.size(), 0u);  // held: node 1 is in scope, send not released
+  EXPECT_EQ(r.held(), 1u);
+  r.offer(ev(1, 0, EventKind::kSend, /*peer=*/0, /*tag=*/1));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, EventKind::kSend);
+  EXPECT_EQ(out[1].kind, EventKind::kRecv);
+}
+
+TEST(ScopedReorderer, ProgramOrderEnforcedRegardlessOfScope) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.restrict_scope({0});
+  r.offer(ev(0, 1));  // seq 1 before seq 0: held on program order
+  EXPECT_EQ(out.size(), 0u);
+  r.offer(ev(0, 0));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[1].seq, 1u);
+}
+
+// ------------------------------------------------------- expire_node edge cases
+
+TEST(ExpireNode, EmptyPendingQueueReleasesNothing) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.offer(ev(0, 0));
+  EXPECT_EQ(r.expire_node(7), 0u);  // node 7 never offered anything
+  EXPECT_EQ(out.size(), 1u);
+  // The reorderer keeps working afterwards.
+  r.offer(ev(0, 1));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ExpireNode, ExpiringSameNodeTwiceIsIdempotent) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.offer(ev(1, 1));  // gap at seq 0: held
+  r.offer(ev(1, 2));
+  EXPECT_EQ(r.held(), 2u);
+  EXPECT_EQ(r.expire_node(1), 2u);
+  EXPECT_EQ(r.held(), 0u);
+  EXPECT_EQ(r.expire_node(1), 0u) << "second expiry must be a no-op";
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ExpireNode, GapTolerantReleaseInterleavedWithLivePeerArrivals) {
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  // Dead-to-be node 1 has a seq gap (0 missing) and an unmatched recv
+  // upstream of live node 0's send.
+  r.offer(ev(1, 1));
+  r.offer(ev(1, 3));  // two gaps: seq 0 and seq 2
+  // Live node 0 is itself mid-stream: seq 1 held on program order.
+  r.offer(ev(0, 1, EventKind::kRecv, /*peer=*/1, /*tag=*/3));
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(r.held(), 3u);
+  // Expire node 1: its held records force-release past both gaps.  Node 0
+  // is NOT expired — its recv stays held only for program order now.
+  EXPECT_EQ(r.expire_node(1), 2u);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 3u);
+  // Late arrival from the live peer: seq 0 unblocks seq 1, whose recv names
+  // the dead node — message order is waived for dead peers.
+  r.offer(ev(0, 0));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[2].node, 0u);
+  EXPECT_EQ(out[2].seq, 0u);
+  EXPECT_EQ(out[3].seq, 1u);
+  EXPECT_EQ(r.held(), 0u);
+}
+
+TEST(ExpireNodes, GroupExpiryResolvesHoldsBetweenDyingNodes) {
+  // A recv at node 2 waits on a send from node 3; both die together (they
+  // are one aggregator shard).  Group expiry must resolve the pair in one
+  // pass — per-node expiry of 2 alone would strand the recv until 3's turn.
+  std::vector<EventRecord> out;
+  CausalReorderer r([&](const EventRecord& e) { out.push_back(e); });
+  r.offer(ev(2, 1, EventKind::kRecv, /*peer=*/3, /*tag=*/9));  // held twice over
+  r.offer(ev(3, 1));                                           // gap at seq 0
+  EXPECT_EQ(r.held(), 2u);
+  EXPECT_EQ(r.expire_nodes({2, 3}), 2u);
+  EXPECT_EQ(r.held(), 0u);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ------------------------------------------------------- federated environment
+
+TEST(FederatedEnvironment, RejectsFlatAndDegenerateConfigs) {
+  EnvironmentConfig cfg = base_config(4, 0);
+  EXPECT_THROW(FederatedEnvironment{cfg}, std::invalid_argument);
+  cfg = base_config(4, 2);
+  cfg.federation.agg_batch_records = 0;
+  EXPECT_THROW(FederatedEnvironment{cfg}, std::invalid_argument);
+  cfg = base_config(0, 2);
+  EXPECT_THROW(FederatedEnvironment{cfg}, std::invalid_argument);
+}
+
+TEST(FederatedEnvironment, PartitionsNodesConsistentlyWithRouter) {
+  EnvironmentConfig cfg = base_config(40, 4);
+  FederatedEnvironment env(cfg);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t s = 0; s < env.shards(); ++s) {
+    for (const std::uint32_t n : env.shard_members(s)) {
+      EXPECT_EQ(env.shard_of(n), s);
+      EXPECT_EQ(env.router().shard_for(n), s);
+      EXPECT_TRUE(seen.insert(n).second) << "node " << n << " in two shards";
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(FederatedEnvironment, DeliversEverythingFaultFree) {
+  EnvironmentConfig cfg = base_config(24, 4);
+  FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<CollectTool>();
+  env.attach_tool(tool);
+  env.start();
+  const std::uint64_t per_node = 50;
+  for (std::uint64_t i = 0; i < per_node; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+
+  EXPECT_EQ(tool->records().size(), per_node * cfg.nodes);
+  EXPECT_EQ(env.root_ism().stats().records_dispatched, per_node * cfg.nodes);
+  expect_exact_conservation(env);
+  EXPECT_FALSE(env.degradation().degraded());
+  // Program order survives the two-level merge.
+  EXPECT_EQ(trace::first_causal_violation(tool->records()), -1);
+}
+
+TEST(FederatedEnvironment, SingleShardDegenerateFederationWorks) {
+  EnvironmentConfig cfg = base_config(8, 1);
+  FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<CollectTool>();
+  env.attach_tool(tool);
+  env.start();
+  for (std::uint64_t i = 0; i < 40; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+  EXPECT_EQ(tool->records().size(), 320u);
+  expect_exact_conservation(env);
+}
+
+TEST(FederatedEnvironment, CrossShardMessageOrderEnforcedAtRoot) {
+  // Even nodes (shard 0 under modulo-2) send; odd nodes (shard 1) receive.
+  // The recvs are recorded BEFORE the matching sends, so shard 1's
+  // aggregator must waive them (out-of-scope peer) and the root must hold
+  // them until shard 0's sends arrive.
+  EnvironmentConfig cfg = base_config(6, 2);
+  cfg.federation.assign = ShardAssign::kModulo;
+  cfg.lis_style = core::LisStyle::kForwarding;
+  cfg.federation.agg_batch_records = 4;
+  FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<CollectTool>();
+  env.attach_tool(tool);
+  env.start();
+  const std::uint64_t per_pair = 20;
+  for (std::uint64_t i = 0; i < per_pair; ++i) {
+    for (std::uint32_t p = 0; p < 3; ++p) {
+      const std::uint32_t sender = 2 * p, receiver = 2 * p + 1;
+      env.record(ev(receiver, i, EventKind::kRecv, sender,
+                    static_cast<std::uint16_t>(p)));
+      env.record(ev(sender, i, EventKind::kSend, receiver,
+                    static_cast<std::uint16_t>(p)));
+    }
+  }
+  env.stop();
+
+  const auto out = tool->records();
+  EXPECT_EQ(out.size(), per_pair * 6);
+  // The dispatch order must satisfy program order AND cross-shard message
+  // order — the property the aggregators waived locally and delegated to
+  // the root.
+  EXPECT_EQ(trace::first_causal_violation(out), -1);
+  expect_exact_conservation(env);
+}
+
+TEST(FederatedEnvironment, ScalesToHundredsOfLisNodes) {
+  EnvironmentConfig cfg = base_config(256, 8);
+  cfg.ism.input = core::InputConfig::kMiso;
+  FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<CollectTool>();
+  env.attach_tool(tool);
+  env.start();
+  const std::uint64_t per_node = 40;
+  for (std::uint64_t i = 0; i < per_node; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+  EXPECT_EQ(tool->records().size(), per_node * cfg.nodes);
+  expect_exact_conservation(env);
+  // Pre-reduction actually happened: every live record crossed an uplink in
+  // a fixed-size batch.
+  std::uint64_t uplink_batches = 0;
+  for (std::uint32_t s = 0; s < env.shards(); ++s)
+    uplink_batches += env.aggregator_stats(s).batches_forwarded;
+  EXPECT_GE(uplink_batches,
+            per_node * cfg.nodes / cfg.federation.agg_batch_records);
+}
+
+TEST(FederatedEnvironment, RootTransportCanDifferFromClusterTransport) {
+  // Clusters on in-process pipes, root level over real sockets.
+  EnvironmentConfig cfg = base_config(12, 3);
+  cfg.federation.root_tp = core::TpFlavor::kSocket;
+  FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<CollectTool>();
+  env.attach_tool(tool);
+  env.start();
+  for (std::uint64_t i = 0; i < 64; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+  EXPECT_EQ(tool->records().size(), 64u * 12u);
+  expect_exact_conservation(env);
+}
+
+TEST(FederatedEnvironment, BothLevelsOverSharedMemory) {
+  EnvironmentConfig cfg = base_config(8, 2);
+  cfg.tp_flavor = core::TpFlavor::kShm;
+  cfg.shm.ring_capacity = 1 << 16;
+  FederatedEnvironment env(cfg);
+  auto tool = std::make_shared<CollectTool>();
+  env.attach_tool(tool);
+  env.start();
+  for (std::uint64_t i = 0; i < 64; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+  EXPECT_EQ(tool->records().size(), 64u * 8u);
+  expect_exact_conservation(env);
+}
+
+// --------------------------------------------- conservation under chaos
+
+TEST(FederationChaos, UplinkLossAttributedExactlyOnce) {
+  // The satellite regression: a record forwarded by its aggregator and then
+  // destroyed on the root-bound uplink must appear exactly once, as that
+  // shard's lost_uplink — never as root input, never double-counted with
+  // the LIS-level kTpSend losses racing underneath.
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    EnvironmentConfig cfg = base_config(16, 4);
+    cfg.federation.assign = ShardAssign::kModulo;
+    FaultPlan plan;
+    plan.send_failure(FaultSite::kTpSend, 0.3);
+    plan.send_failure(FaultSite::kAggForward, 0.5);
+    FaultInjector inj(plan, seed);
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.base_backoff_ns = 100;
+
+    FederatedEnvironment env(cfg);
+    env.set_fault(&inj, retry);
+    env.start();
+    for (std::uint64_t i = 0; i < 200; ++i)
+      for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+    env.stop();
+
+    expect_exact_conservation(env);
+    std::uint64_t lost_uplink = 0, agg_forwarded = 0;
+    for (std::uint32_t s = 0; s < env.shards(); ++s) {
+      lost_uplink += env.aggregator_stats(s).lost_uplink;
+      agg_forwarded += env.aggregator_stats(s).records_forwarded;
+    }
+    EXPECT_EQ(agg_forwarded, env.root_ism().stats().records_received)
+        << "seed " << seed << ": uplink loss leaked into the root ledger";
+    EXPECT_EQ(env.degradation().records_lost_uplink, lost_uplink);
+    if (seed == 7) {
+      EXPECT_GT(lost_uplink, 0u) << "site never fired";
+    }
+  }
+}
+
+TEST(FederationChaos, AggregatorCrashKeepsEveryLevelExact) {
+  EnvironmentConfig cfg = base_config(16, 4);
+  cfg.federation.assign = ShardAssign::kModulo;  // shard 1 surely has members
+  FaultPlan plan;
+  plan.crash(FaultSite::kAggForward, /*at_op=*/3, /*node=*/1);
+  FaultInjector inj(plan, 42);
+  FederatedEnvironment env(cfg);
+  env.set_fault(&inj, RetryPolicy{});
+  env.start();
+  for (std::uint64_t i = 0; i < 300; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+
+  EXPECT_TRUE(env.aggregator(1).dead());
+  const auto d = env.degradation();
+  EXPECT_EQ(d.shards_dead, 1u);
+  EXPECT_GT(d.records_lost_agg, 0u);
+  EXPECT_NE(d.to_string().find("shards_dead=1"), std::string::npos);
+  // The dead shard forwarded exactly its first two uplink batches.
+  const AggregatorStats dead_stats = env.aggregator_stats(1);
+  EXPECT_EQ(dead_stats.records_forwarded,
+            2 * cfg.federation.agg_batch_records);
+  EXPECT_EQ(dead_stats.lost_dead,
+            dead_stats.records_received - dead_stats.records_forwarded);
+  // Member LIS ledgers are untouched by the aggregator's death: the
+  // tombstone drain keeps consuming their sends.
+  const core::LisStats shard_lis = env.shard_lis_stats(1);
+  EXPECT_EQ(shard_lis.lost_send, 0u);
+  EXPECT_EQ(shard_lis.lost_dead, 0u);
+  EXPECT_EQ(shard_lis.records_forwarded, dead_stats.records_received);
+  expect_exact_conservation(env);
+  // Per-shard slices: only shard 1 degraded.
+  EXPECT_EQ(env.shard_degradation(1).shards_dead, 1u);
+  EXPECT_EQ(env.shard_degradation(0).shards_dead, 0u);
+  EXPECT_FALSE(env.shard_degradation(0).degraded());
+}
+
+TEST(FederationChaos, SameSeedProducesBitIdenticalLedgers) {
+  auto run = [](std::uint64_t seed) {
+    EnvironmentConfig cfg = base_config(16, 4);
+    cfg.federation.assign = ShardAssign::kModulo;
+    FaultPlan plan;
+    plan.send_failure(FaultSite::kTpSend, 0.15);
+    plan.send_failure(FaultSite::kAggForward, 0.25);
+    plan.crash(FaultSite::kAggForward, /*at_op=*/4, /*node=*/2);
+    FaultInjector inj(plan, seed);
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.base_backoff_ns = 100;
+    FederatedEnvironment env(cfg);
+    env.set_fault(&inj, retry);
+    env.start();
+    for (std::uint64_t i = 0; i < 250; ++i)
+      for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+    env.stop();
+    expect_exact_conservation(env);
+    return ledger_of(env);
+  };
+  const FederationLedger a = run(99), b = run(99), c = run(100);
+  EXPECT_TRUE(a == b) << "same seed produced different conservation ledgers";
+  EXPECT_FALSE(a == c) << "different seeds produced identical chaos";
+}
+
+TEST(FederationChaos, DeadLisRollsUpThroughBothLevels) {
+  EnvironmentConfig cfg = base_config(12, 3);
+  FaultPlan plan;
+  plan.crash(FaultSite::kTpSend, /*at_op=*/2, /*node=*/5);
+  FaultInjector inj(plan, 7);
+  FederatedEnvironment env(cfg);
+  env.set_fault(&inj, RetryPolicy{});
+  env.start();
+  for (std::uint64_t i = 0; i < 200; ++i)
+    for (std::uint32_t n = 0; n < cfg.nodes; ++n) env.record(ev(n, i));
+  env.stop();
+
+  EXPECT_TRUE(env.lis(5).dead());
+  const auto d = env.degradation();
+  EXPECT_EQ(d.lises_dead, 1u);
+  EXPECT_GT(d.records_lost_dead + d.records_lost_send, 0u);
+  EXPECT_EQ(d.shards_dead, 0u);
+  expect_exact_conservation(env);
+  // Only node 5's shard saw degradation.
+  const std::uint32_t s5 = env.shard_of(5);
+  for (std::uint32_t s = 0; s < env.shards(); ++s) {
+    if (s == s5) continue;
+    EXPECT_FALSE(env.shard_degradation(s).degraded()) << "shard " << s;
+  }
+  EXPECT_EQ(env.shard_degradation(s5).lises_dead, 1u);
+}
+
+}  // namespace
+}  // namespace prism
